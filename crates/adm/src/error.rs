@@ -1,0 +1,41 @@
+//! Error type shared across the ADM crate.
+
+use std::fmt;
+
+/// Errors produced while parsing, validating, encoding or decoding ADM data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmError {
+    /// Text parser error with byte offset and message.
+    Parse { offset: usize, message: String },
+    /// A value did not conform to a declared datatype.
+    TypeCheck(String),
+    /// A physical record was malformed.
+    Corrupt(String),
+    /// A requested field/path does not exist.
+    NoSuchField(String),
+}
+
+impl AdmError {
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        AdmError::Corrupt(msg.into())
+    }
+
+    pub fn type_check(msg: impl Into<String>) -> Self {
+        AdmError::TypeCheck(msg.into())
+    }
+}
+
+impl fmt::Display for AdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            AdmError::TypeCheck(m) => write!(f, "type check failed: {m}"),
+            AdmError::Corrupt(m) => write!(f, "corrupt record: {m}"),
+            AdmError::NoSuchField(m) => write!(f, "no such field: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmError {}

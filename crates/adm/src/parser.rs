@@ -1,0 +1,576 @@
+//! Hand-written recursive-descent parser for ADM text.
+//!
+//! Accepts standard JSON plus the ADM extensions the paper's examples use:
+//!
+//! * multisets: `{{ v1, v2, … }}`
+//! * constructor literals: `date("2018-09-20")`, `time("13:30:00")`,
+//!   `datetime("2018-09-20T13:30:00")`, `duration(ms)`, `uuid("hex…")`,
+//!   `point(x, y)`, `line(x1,y1,x2,y2)`, `rectangle(x1,y1,x2,y2)`,
+//!   `circle(x,y,r)`, `binary("hex")`
+//! * integer-width suffixes: `5i8`, `5i16`, `5i32` (bare integers parse to
+//!   `bigint`/Int64, bare decimals to `double`, matching SQL++ defaults)
+//! * `missing` as a literal (useful in tests)
+
+use crate::error::AdmError;
+use crate::value::Value;
+
+/// Recursive-descent parser over a byte buffer.
+pub struct Parser<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    pub fn new(text: &'a str) -> Self {
+        Parser { text: text.as_bytes(), pos: 0 }
+    }
+
+    /// Parse exactly one value; trailing whitespace allowed, trailing
+    /// content rejected.
+    pub fn parse_single(mut self) -> Result<Value, AdmError> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.text.len() {
+            return Err(self.err("trailing content after value"));
+        }
+        Ok(v)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> AdmError {
+        AdmError::Parse { offset: self.pos, message: msg.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.text.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), AdmError> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, AdmError> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'{') => {
+                if self.text.get(self.pos + 1) == Some(&b'{') {
+                    self.parse_multiset()
+                } else {
+                    self.parse_object()
+                }
+            }
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(c) if c.is_ascii_alphabetic() => self.parse_word(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, AdmError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        if self.eat(b'}') {
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let name = self.parse_string()?;
+            if fields.iter().any(|(n, _)| *n == name) {
+                return Err(self.err(format!("duplicate field name '{name}'")));
+            }
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((name, value));
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            return Ok(Value::Object(fields));
+        }
+    }
+
+    fn parse_multiset(&mut self) -> Result<Value, AdmError> {
+        self.expect(b'{')?;
+        self.expect(b'{')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') && self.text.get(self.pos + 1) == Some(&b'}') {
+            self.pos += 2;
+            return Ok(Value::Multiset(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            self.expect(b'}')?;
+            return Ok(Value::Multiset(items));
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, AdmError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.eat(b']') {
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(Value::Array(items));
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, AdmError> {
+        self.skip_ws();
+        if self.bump() != Some(b'"') {
+            return Err(self.err("expected string"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let cp = self.parse_hex4()?;
+                        // Surrogate pair handling.
+                        let ch = if (0xD800..0xDC00).contains(&cp) {
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("unpaired surrogate"));
+                            }
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(c).ok_or_else(|| self.err("invalid codepoint"))?
+                        } else {
+                            char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?
+                        };
+                        out.push(ch);
+                    }
+                    _ => return Err(self.err("invalid escape")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode a UTF-8 multibyte sequence.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8 byte")),
+                    };
+                    if start + len > self.text.len() {
+                        return Err(self.err("truncated UTF-8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&self.text[start..start + len])
+                        .map_err(|_| self.err("invalid UTF-8 sequence"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, AdmError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char).to_digit(16).ok_or_else(|| self.err("bad hex digit"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, AdmError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                b'-' if is_float => self.pos += 1,
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.text[start..self.pos]).expect("ascii digits");
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+            // Optional float suffix: 1.5f
+            if self.peek() == Some(b'f') {
+                self.pos += 1;
+                return Ok(Value::Float(v as f32));
+            }
+            return Ok(Value::Double(v));
+        }
+        let v: i64 = text.parse().map_err(|_| self.err("integer out of range"))?;
+        // Width suffixes: i8 / i16 / i32 / i64.
+        if self.peek() == Some(b'i') {
+            let save = self.pos;
+            self.pos += 1;
+            let mut digits = String::new();
+            while let Some(b @ b'0'..=b'9') = self.peek() {
+                digits.push(b as char);
+                self.pos += 1;
+            }
+            match digits.as_str() {
+                "8" => return Ok(Value::Int8(v as i8)),
+                "16" => return Ok(Value::Int16(v as i16)),
+                "32" => return Ok(Value::Int32(v as i32)),
+                "64" => return Ok(Value::Int64(v)),
+                _ => self.pos = save,
+            }
+        }
+        if self.peek() == Some(b'f') {
+            self.pos += 1;
+            return Ok(Value::Float(v as f32));
+        }
+        Ok(Value::Int64(v))
+    }
+
+    fn parse_word(&mut self) -> Result<Value, AdmError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.pos += 1;
+        }
+        let word = std::str::from_utf8(&self.text[start..self.pos]).expect("ascii word");
+        match word {
+            "true" => Ok(Value::Boolean(true)),
+            "false" => Ok(Value::Boolean(false)),
+            "null" => Ok(Value::Null),
+            "missing" => Ok(Value::Missing),
+            "date" => {
+                let s = self.constructor_string()?;
+                Ok(Value::Date(parse_date(&s).ok_or_else(|| self.err("bad date literal"))?))
+            }
+            "time" => {
+                let s = self.constructor_string()?;
+                Ok(Value::Time(parse_time(&s).ok_or_else(|| self.err("bad time literal"))?))
+            }
+            "datetime" => {
+                let s = self.constructor_string()?;
+                Ok(Value::DateTime(
+                    parse_datetime(&s).ok_or_else(|| self.err("bad datetime literal"))?,
+                ))
+            }
+            "duration" => {
+                // Parsed as an exact integer — going through f64 would lose
+                // precision beyond 2^53 milliseconds.
+                self.expect(b'(')?;
+                self.skip_ws();
+                let v = self.parse_number()?;
+                let ms = v
+                    .as_i64()
+                    .ok_or_else(|| self.err("duration(ms) takes an integer argument"))?;
+                self.expect(b')')?;
+                Ok(Value::Duration(ms))
+            }
+            "uuid" => {
+                let s = self.constructor_string()?;
+                let hex: String = s.chars().filter(|c| *c != '-').collect();
+                if hex.len() != 32 {
+                    return Err(self.err("uuid needs 32 hex digits"));
+                }
+                let mut bytes = [0u8; 16];
+                for (i, chunk) in hex.as_bytes().chunks_exact(2).enumerate() {
+                    let s = std::str::from_utf8(chunk).expect("hex ascii");
+                    bytes[i] =
+                        u8::from_str_radix(s, 16).map_err(|_| self.err("bad uuid hex"))?;
+                }
+                Ok(Value::Uuid(bytes))
+            }
+            "binary" => {
+                let s = self.constructor_string()?;
+                if s.len() % 2 != 0 {
+                    return Err(self.err("binary hex must have even length"));
+                }
+                let mut bytes = Vec::with_capacity(s.len() / 2);
+                for chunk in s.as_bytes().chunks_exact(2) {
+                    let st = std::str::from_utf8(chunk).expect("hex ascii");
+                    bytes.push(
+                        u8::from_str_radix(st, 16).map_err(|_| self.err("bad binary hex"))?,
+                    );
+                }
+                Ok(Value::Binary(bytes))
+            }
+            "point" => {
+                let args = self.constructor_numbers()?;
+                if args.len() != 2 {
+                    return Err(self.err("point(x, y) takes two arguments"));
+                }
+                Ok(Value::Point(args[0], args[1]))
+            }
+            "line" => {
+                let args = self.constructor_numbers()?;
+                let arr: [f64; 4] =
+                    args.try_into().map_err(|_| self.err("line takes four arguments"))?;
+                Ok(Value::Line(arr))
+            }
+            "rectangle" => {
+                let args = self.constructor_numbers()?;
+                let arr: [f64; 4] =
+                    args.try_into().map_err(|_| self.err("rectangle takes four arguments"))?;
+                Ok(Value::Rectangle(arr))
+            }
+            "circle" => {
+                let args = self.constructor_numbers()?;
+                let arr: [f64; 3] =
+                    args.try_into().map_err(|_| self.err("circle takes three arguments"))?;
+                Ok(Value::Circle(arr))
+            }
+            other => Err(self.err(format!("unknown keyword '{other}'"))),
+        }
+    }
+
+    fn constructor_string(&mut self) -> Result<String, AdmError> {
+        self.expect(b'(')?;
+        let s = self.parse_string()?;
+        self.expect(b')')?;
+        Ok(s)
+    }
+
+    fn constructor_numbers(&mut self) -> Result<Vec<f64>, AdmError> {
+        self.expect(b'(')?;
+        let mut args = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.parse_number()? {
+                v => args.push(v.as_f64().expect("numeric literal")),
+            }
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b')')?;
+            return Ok(args);
+        }
+    }
+}
+
+/// Days from the civil epoch for `YYYY-MM-DD` (proleptic Gregorian).
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut parts = s.split('-');
+    // Handle a possible leading '-' for negative years.
+    let (y, m, d): (i64, u32, u32) = if let Some(stripped) = s.strip_prefix('-') {
+        let mut p = stripped.split('-');
+        (
+            -(p.next()?.parse::<i64>().ok()?),
+            p.next()?.parse().ok()?,
+            p.next()?.parse().ok()?,
+        )
+    } else {
+        (
+            parts.next()?.parse().ok()?,
+            parts.next()?.parse().ok()?,
+            parts.next()?.parse().ok()?,
+        )
+    };
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(days_from_civil(y, m, d) as i32)
+}
+
+/// Howard Hinnant's days_from_civil.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64;
+    let mp = ((m as i64) + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + (d as i64) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146097 + doe - 719468
+}
+
+/// Milliseconds since midnight for `HH:MM:SS[.mmm]`.
+pub fn parse_time(s: &str) -> Option<i32> {
+    let mut parts = s.split(':');
+    let h: i32 = parts.next()?.parse().ok()?;
+    let m: i32 = parts.next()?.parse().ok()?;
+    let sec_part = parts.next()?;
+    let (sec, ms) = match sec_part.split_once('.') {
+        Some((s, frac)) => {
+            let ms: i32 = format!("{frac:0<3}")[..3].parse().ok()?;
+            (s.parse::<i32>().ok()?, ms)
+        }
+        None => (sec_part.parse().ok()?, 0),
+    };
+    if !(0..24).contains(&h) || !(0..60).contains(&m) || !(0..60).contains(&sec) {
+        return None;
+    }
+    Some(((h * 60 + m) * 60 + sec) * 1000 + ms)
+}
+
+/// Milliseconds since the epoch for `YYYY-MM-DDTHH:MM:SS[.mmm]`.
+pub fn parse_datetime(s: &str) -> Option<i64> {
+    let (d, t) = s.split_once('T')?;
+    let days = parse_date(d)? as i64;
+    let ms = parse_time(t)? as i64;
+    Some(days * 86_400_000 + ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn parses_plain_json() {
+        let v = parse(r#"{"id": 1, "name": "Ann", "tags": ["a", "b"], "ok": true, "x": null}"#)
+            .unwrap();
+        assert_eq!(v.get_field("id").unwrap().as_i64(), Some(1));
+        assert_eq!(v.get_field("name").unwrap().as_str(), Some("Ann"));
+        assert_eq!(v.get_field("tags").unwrap().as_items().unwrap().len(), 2);
+        assert_eq!(v.get_field("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(*v.get_field("x").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn parses_paper_figure10_record() {
+        let v = parse(
+            r#"{
+            "id": 1,
+            "name": "Ann",
+            "dependents": {{
+                {"name": "Bob", "age": 6},
+                {"name": "Carol", "age": 10} }},
+            "employment_date": date("2018-09-20"),
+            "branch_location": point(24.0, -56.12),
+            "working_shifts": [[8, 16], [9, 17], [10, 18], "on_call"]
+        }"#,
+        )
+        .unwrap();
+        assert_eq!(v.get_field("dependents").unwrap().type_tag(), crate::TypeTag::Multiset);
+        assert_eq!(
+            *v.get_field("branch_location").unwrap(),
+            Value::Point(24.0, -56.12)
+        );
+        // 2018-09-20 is 17794 days after 1970-01-01.
+        assert_eq!(*v.get_field("employment_date").unwrap(), Value::Date(17_794));
+        // id, name, 4 dependent scalars, date, point, 6 shift ints + "on_call".
+        assert_eq!(v.count_scalars(), 15);
+    }
+
+    #[test]
+    fn parses_numbers() {
+        assert_eq!(parse("42").unwrap(), Value::Int64(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int64(-7));
+        assert_eq!(parse("1.5").unwrap(), Value::Double(1.5));
+        assert_eq!(parse("-2.5e3").unwrap(), Value::Double(-2500.0));
+        assert_eq!(parse("5i8").unwrap(), Value::Int8(5));
+        assert_eq!(parse("5i16").unwrap(), Value::Int16(5));
+        assert_eq!(parse("5i32").unwrap(), Value::Int32(5));
+        assert_eq!(parse("5i64").unwrap(), Value::Int64(5));
+        assert_eq!(parse("1.5f").unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        assert_eq!(parse(r#""a\nb""#).unwrap(), Value::string("a\nb"));
+        assert_eq!(parse(r#""A""#).unwrap(), Value::string("A"));
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::string("😀"));
+        assert_eq!(parse("\"héllo\"").unwrap(), Value::string("héllo"));
+    }
+
+    #[test]
+    fn parses_temporal_and_spatial() {
+        assert_eq!(parse(r#"date("1970-01-01")"#).unwrap(), Value::Date(0));
+        assert_eq!(parse(r#"date("1970-01-02")"#).unwrap(), Value::Date(1));
+        assert_eq!(parse(r#"time("00:00:01")"#).unwrap(), Value::Time(1000));
+        assert_eq!(
+            parse(r#"datetime("1970-01-02T00:00:00")"#).unwrap(),
+            Value::DateTime(86_400_000)
+        );
+        assert_eq!(parse("duration(500)").unwrap(), Value::Duration(500));
+        assert_eq!(parse("circle(0.0, 0.0, 2.0)").unwrap(), Value::Circle([0.0, 0.0, 2.0]));
+        assert_eq!(
+            parse("line(0.0, 0.0, 1.0, 1.0)").unwrap(),
+            Value::Line([0.0, 0.0, 1.0, 1.0])
+        );
+        assert_eq!(
+            parse(r#"binary("deadbeef")"#).unwrap(),
+            Value::Binary(vec![0xde, 0xad, 0xbe, 0xef])
+        );
+        assert_eq!(
+            parse(r#"uuid("00112233-4455-6677-8899-aabbccddeeff")"#).unwrap(),
+            Value::Uuid([
+                0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc,
+                0xdd, 0xee, 0xff
+            ])
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse(r#"{"a": 1,}"#).is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse(r#"{"a": 1, "a": 2}"#).is_err());
+        assert!(parse("bogus").is_err());
+        assert!(parse(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("{}").unwrap(), Value::Object(vec![]));
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse("{{}}").unwrap(), Value::Multiset(vec![]));
+    }
+
+    #[test]
+    fn date_math_spot_checks() {
+        assert_eq!(parse_date("2000-03-01"), Some(11017));
+        assert_eq!(parse_date("1969-12-31"), Some(-1));
+        assert_eq!(parse_date("2018-09-20"), Some(17794));
+        assert_eq!(parse_date("2018-13-01"), None);
+    }
+}

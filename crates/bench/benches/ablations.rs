@@ -1,0 +1,143 @@
+//! Design-choice ablations beyond the paper's figures (DESIGN.md §3).
+//!
+//! * Bloom filters on/off for the upsert existence-check path (validates
+//!   the Fig 17b cost model).
+//! * Page-size sweep: compression ratio vs LAF overhead (§2.4).
+//! * Merge policy: prefix vs constant vs none (ingestion sensitivity,
+//!   §4.3).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tc_bench::support::{banner, fmt_bytes, fmt_dur, header, row, scale};
+use tc_compress::CompressionScheme;
+use tc_datagen::{twitter::TwitterGen, Generator};
+use tc_lsm::entry::encode_u64_key;
+use tc_lsm::{LsmOptions, LsmTree, MergePolicy, NoopHook};
+use tc_storage::device::{Device, DeviceProfile};
+use tc_storage::{BufferCache, PageStore};
+
+fn bloom_ablation(n: u64) {
+    banner(
+        "Ablation: bloom filters",
+        "point lookups of absent keys with and without bloom filters",
+        "bloom filters make new-key existence checks ~free (upsert path)",
+    );
+    header("configuration", &["lookup time (10k absent keys)", "bytes read"]);
+    for (bits, label) in [(10usize, "bloom 10 bits/key"), (0, "no bloom")] {
+        let device = Arc::new(Device::new(DeviceProfile::SATA_SSD));
+        let cache = Arc::new(BufferCache::new(64)); // small: misses hit the device
+        let mut tree = LsmTree::new(
+            Arc::clone(&device),
+            cache,
+            Arc::new(NoopHook),
+            LsmOptions {
+                bloom_bits_per_key: bits.max(1),
+                merge_policy: MergePolicy::NoMerge,
+                memtable_budget: 256 * 1024,
+                ..Default::default()
+            },
+        );
+        // With bits=0 we emulate "no bloom" by querying keys that *are*
+        // covered by the filter's always-true degenerate case; instead,
+        // simply bypass: insert with minimal filter and measure a scan-less
+        // lookup. To keep the comparison honest we use 1 bit/key (near-
+        // useless filter) as "no bloom".
+        for i in 0..n {
+            tree.insert(encode_u64_key(i * 2), vec![0u8; 64]);
+        }
+        tree.flush();
+        let before = device.bytes_read();
+        let start = Instant::now();
+        let mut found = 0;
+        for i in 0..10_000u64 {
+            if tree.get(&encode_u64_key(1_000_000 + i)).is_some() {
+                found += 1;
+            }
+        }
+        let wall = start.elapsed();
+        assert_eq!(found, 0);
+        row(label, &[fmt_dur(wall), fmt_bytes(device.bytes_read() - before)]);
+    }
+}
+
+fn page_size_ablation() {
+    banner(
+        "Ablation: page size",
+        "compression ratio and LAF overhead across page sizes",
+        "bigger pages compress better; LAF overhead shrinks with page count",
+    );
+    let mut gen = TwitterGen::new(1);
+    let payload: Vec<u8> = (0..2000)
+        .flat_map(|_| tc_adm::to_string(&gen.next_record()).into_bytes())
+        .collect();
+    header("page size", &["data bytes", "LAF bytes", "ratio"]);
+    for page_size in [4 * 1024, 32 * 1024, 128 * 1024] {
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        let store = PageStore::new(device, page_size, CompressionScheme::Snappy);
+        for chunk in payload.chunks(page_size) {
+            let mut page = chunk.to_vec();
+            page.resize(page_size, 0);
+            store.write_page(&page);
+        }
+        row(
+            &format!("{} KB", page_size / 1024),
+            &[
+                fmt_bytes(store.data_bytes()),
+                fmt_bytes(store.laf_bytes()),
+                format!("{:.2}x", payload.len() as f64 / store.data_bytes() as f64),
+            ],
+        );
+    }
+}
+
+fn merge_policy_ablation(n: usize) {
+    banner(
+        "Ablation: merge policy",
+        "ingestion with prefix / constant / no-merge policies",
+        "prefix bounds component count with moderate write amplification",
+    );
+    header("policy", &["ingest time", "components", "bytes written"]);
+    for (policy, label) in [
+        (
+            MergePolicy::Prefix { max_mergeable_size: 4 * 1024 * 1024, max_tolerable_components: 5 },
+            "prefix (paper default)",
+        ),
+        (MergePolicy::Constant { max_components: 5 }, "constant(5)"),
+        (MergePolicy::NoMerge, "no merge"),
+    ] {
+        let device = Arc::new(Device::new(DeviceProfile::SATA_SSD));
+        let cache = Arc::new(BufferCache::new(1024));
+        let mut tree = LsmTree::new(
+            Arc::clone(&device),
+            cache,
+            Arc::new(NoopHook),
+            LsmOptions {
+                merge_policy: policy,
+                memtable_budget: 64 * 1024,
+                ..Default::default()
+            },
+        );
+        let start = Instant::now();
+        for i in 0..n as u64 {
+            tree.insert(encode_u64_key(i), vec![7u8; 256]);
+        }
+        tree.flush();
+        let wall = start.elapsed() + device.io_time();
+        row(
+            label,
+            &[
+                fmt_dur(wall),
+                tree.components().len().to_string(),
+                fmt_bytes(device.bytes_written()),
+            ],
+        );
+    }
+}
+
+fn main() {
+    let s = scale();
+    bloom_ablation(20_000 * s as u64);
+    page_size_ablation();
+    merge_policy_ablation(20_000 * s);
+}

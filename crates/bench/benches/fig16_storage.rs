@@ -1,0 +1,83 @@
+//! Figure 16: on-disk storage size after ingestion.
+//!
+//! Open / Closed / Inferred × {uncompressed, Snappy} for the Twitter, WoS,
+//! and Sensors datasets. The `mongodb-equiv` row is Snappy-compressed open
+//! storage — the paper's own equivalence (§4.2: "the compressed open case
+//! is comparable to what other NoSQL systems take for storage").
+
+use tc_bench::support::{
+    banner, disk_size, header, ingest, ratio, row, scale, sensors_closed_type,
+    twitter_closed_type, wos_closed_type, ExpConfig,
+};
+use tc_compress::CompressionScheme;
+use tc_datagen::{sensors::SensorsGen, twitter::TwitterGen, wos::WosGen, Generator};
+use tc_storage::device::DeviceProfile;
+use tuple_compactor::StorageFormat;
+
+fn measure<G: Generator>(
+    make_gen: impl Fn() -> G,
+    n: usize,
+    closed: tc_adm::ObjectType,
+) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for (fmt, fmt_name) in [
+        (StorageFormat::Open, "open"),
+        (StorageFormat::Closed, "closed"),
+        (StorageFormat::Inferred, "inferred"),
+    ] {
+        for (scheme, scheme_name) in [
+            (CompressionScheme::None, "uncompressed"),
+            (CompressionScheme::Snappy, "compressed"),
+        ] {
+            let cfg = ExpConfig {
+                format: fmt,
+                compression: scheme,
+                device: DeviceProfile::RAM,
+                ..Default::default()
+            };
+            let mut gen = make_gen();
+            let (mut cluster, _) = ingest(&mut gen, n, &cfg, Some(closed.clone()));
+            cluster.merge_all();
+            out.push((format!("{fmt_name}/{scheme_name}"), disk_size(&cluster)));
+        }
+    }
+    out
+}
+
+fn report(name: &str, sizes: &[(String, u64)]) {
+    println!("\n--- {name} ---");
+    header("configuration", &["on-disk size"]);
+    for (label, size) in sizes {
+        row(label, &[tc_bench::support::fmt_bytes(*size)]);
+    }
+    let get = |label: &str| sizes.iter().find(|(l, _)| l == label).map(|(_, s)| *s).unwrap();
+    let open_u = get("open/uncompressed");
+    let open_c = get("open/compressed");
+    let closed_u = get("closed/uncompressed");
+    let inf_u = get("inferred/uncompressed");
+    let inf_c = get("inferred/compressed");
+    row("mongodb-equiv (= open/compressed)", &[tc_bench::support::fmt_bytes(open_c)]);
+    println!();
+    println!("  open/inferred (uncompressed):    {}", ratio(open_u, inf_u));
+    println!("  open/closed   (uncompressed):    {}", ratio(open_u, closed_u));
+    println!("  combined (open-unc / inf-comp):  {}", ratio(open_u, inf_c));
+    assert!(inf_u < closed_u, "shape: inferred < closed (uncompressed)");
+    assert!(closed_u < open_u, "shape: closed < open (uncompressed)");
+    assert!(inf_c <= inf_u && open_c < open_u, "shape: compression shrinks");
+}
+
+fn main() {
+    let n = 2000 * scale();
+    banner(
+        "Fig 16",
+        "On-disk sizes (open/closed/inferred × compression)",
+        "inferred ≤ closed < open everywhere; combined savings largest on \
+         Sensors (paper: 9.8x), then Twitter (5x), then WoS (3.7x)",
+    );
+    report("Twitter (Fig 16a)", &measure(|| TwitterGen::new(1), n, twitter_closed_type()));
+    report("WoS (Fig 16b)", &measure(|| WosGen::new(1), n, wos_closed_type()));
+    report(
+        "Sensors (Fig 16c)",
+        &measure(|| SensorsGen::new(1), n / 2, sensors_closed_type()),
+    );
+}

@@ -1,0 +1,68 @@
+//! Figure 17a: Twitter data-feed ingestion time, SATA vs NVMe × compression.
+//!
+//! Shape to reproduce: ingesting into the inferred dataset is *not slower*
+//! than open/closed (the compactor piggybacks on flushes; vector-format
+//! record construction is cheaper and flushed components are smaller);
+//! compression adds slight CPU cost; SATA vs NVMe matters little because
+//! the feed path is gated by WAL/log writes (§4.3).
+
+use tc_bench::support::{
+    banner, fmt_dur, header, ingest, row, scale, twitter_closed_type, ExpConfig,
+};
+use tc_compress::CompressionScheme;
+use tc_datagen::twitter::TwitterGen;
+use tc_storage::device::DeviceProfile;
+use tuple_compactor::StorageFormat;
+
+fn main() {
+    let n = 3000 * scale();
+    banner(
+        "Fig 17a",
+        "Feed ingestion time (Twitter)",
+        "inferred ≤ open and ≤ closed; compression slightly slower; \
+         SATA ≈ NVMe (log-write gated)",
+    );
+    header("configuration", &["wall", "sim IO", "total", "flushes"]);
+    let mut totals = std::collections::HashMap::new();
+    for (device, dev_name) in
+        [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
+    {
+        for (scheme, scheme_name) in [
+            (CompressionScheme::None, "uncompressed"),
+            (CompressionScheme::Snappy, "compressed"),
+        ] {
+            for (fmt, fmt_name) in [
+                (StorageFormat::Open, "open"),
+                (StorageFormat::Closed, "closed"),
+                (StorageFormat::Inferred, "inferred"),
+            ] {
+                let cfg =
+                    ExpConfig { format: fmt, compression: scheme, device, ..Default::default() };
+                let mut gen = TwitterGen::new(1);
+                let (cluster, report) = ingest(&mut gen, n, &cfg, Some(twitter_closed_type()));
+                let flushes: u64 =
+                    cluster.partitions().iter().map(|p| p.lsm_stats().flushes).sum();
+                let label = format!("{dev_name}/{scheme_name}/{fmt_name}");
+                totals.insert(label.clone(), report.total());
+                row(
+                    &label,
+                    &[
+                        fmt_dur(report.wall),
+                        fmt_dur(report.io),
+                        fmt_dur(report.total()),
+                        flushes.to_string(),
+                    ],
+                );
+            }
+        }
+    }
+    let inf = totals["nvme/uncompressed/inferred"];
+    let open = totals["nvme/uncompressed/open"];
+    let closed = totals["nvme/uncompressed/closed"];
+    println!(
+        "\n  nvme/uncompressed — inferred {} vs open {} vs closed {}",
+        fmt_dur(inf),
+        fmt_dur(open),
+        fmt_dur(closed)
+    );
+}

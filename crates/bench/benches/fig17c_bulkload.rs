@@ -1,0 +1,79 @@
+//! Figure 17c: bulk-loading the WoS dataset, SATA vs NVMe × compression.
+//!
+//! Bulk load sorts and builds a single component bottom-up with no WAL
+//! (§4.3), so — unlike the feed — device bandwidth shows through. Shape:
+//! inferred loads fastest (cheaper record construction + smaller build);
+//! NVMe ≤ SATA; compression helps SATA, costs CPU on NVMe.
+
+use std::time::Instant;
+
+use tc_bench::support::{banner, fmt_dur, header, row, scale, wos_closed_type, ExpConfig};
+use tc_cluster::Cluster;
+use tc_compress::CompressionScheme;
+use tc_datagen::{wos::WosGen, Generator};
+use tc_storage::device::DeviceProfile;
+use tuple_compactor::StorageFormat;
+
+fn main() {
+    let n = 1500 * scale();
+    banner(
+        "Fig 17c",
+        "Bulk-load time (WoS)",
+        "inferred < closed/open; NVMe ≤ SATA; compression: win on SATA, \
+         CPU cost on NVMe",
+    );
+    header("configuration", &["wall", "sim IO", "total"]);
+    let mut gen_master = WosGen::new(1);
+    let records: Vec<_> = (0..n).map(|_| gen_master.next_record()).collect();
+    let mut totals = std::collections::HashMap::new();
+    for (device, dev_name) in
+        [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
+    {
+        for (scheme, scheme_name) in [
+            (CompressionScheme::None, "uncompressed"),
+            (CompressionScheme::Snappy, "compressed"),
+        ] {
+            for (fmt, fmt_name) in [
+                (StorageFormat::Open, "open"),
+                (StorageFormat::Closed, "closed"),
+                (StorageFormat::Inferred, "inferred"),
+            ] {
+                let cfg =
+                    ExpConfig { format: fmt, compression: scheme, device, ..Default::default() };
+                let ds_cfg = cfg
+                    .dataset_config("wos", Some(wos_closed_type()))
+                    .with_wal(false); // load statements bypass the log
+                let mut cluster = Cluster::create_dataset(cfg.cluster_config(), ds_cfg);
+                // Pre-partition, then bulk-load partition-parallel.
+                let mut per_part: Vec<Vec<tc_adm::Value>> =
+                    vec![Vec::new(); cluster.num_partitions()];
+                for r in &records {
+                    let pk = r.get_field("id").unwrap().as_i64().unwrap();
+                    per_part[cluster.partition_of(pk)].push(r.clone());
+                }
+                let snaps = cluster.io_snapshots();
+                let start = Instant::now();
+                std::thread::scope(|scope| {
+                    for (part, batch) in cluster
+                        .nodes_mut()
+                        .iter_mut()
+                        .flat_map(|nd| nd.partitions.iter_mut())
+                        .zip(per_part)
+                    {
+                        scope.spawn(move || {
+                            part.bulk_load(batch).expect("bulk load");
+                        });
+                    }
+                });
+                let wall = start.elapsed();
+                let io = cluster.max_io_time_since(&snaps);
+                let label = format!("{dev_name}/{scheme_name}/{fmt_name}");
+                totals.insert(label.clone(), wall + io);
+                row(&label, &[fmt_dur(wall), fmt_dur(io), fmt_dur(wall + io)]);
+            }
+        }
+    }
+    let inf = totals["sata/uncompressed/inferred"].as_secs_f64();
+    let open = totals["sata/uncompressed/open"].as_secs_f64();
+    println!("\n  sata/uncompressed: inferred/open load-time ratio {:.2}", inf / open);
+}

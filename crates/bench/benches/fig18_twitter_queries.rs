@@ -1,0 +1,59 @@
+//! Figure 18: Twitter query execution time, SATA vs NVMe × compression.
+//!
+//! Q1 COUNT(*), Q2 GROUP/ORDER on user, Q3 EXISTS-hashtag, Q4 full ORDER
+//! BY. Shape: on SATA, execution time tracks on-disk size (IO-bound), so
+//! inferred < closed < open; on NVMe the CPU shows through and compression
+//! helps less; Q3 is fastest on inferred (consolidated access pushdown
+//! extracts hashtag text only).
+
+use tc_bench::support::{
+    banner, fmt_dur, header, ingest, measure_query_cold, row, scale, twitter_closed_type, ExpConfig,
+};
+use tc_compress::CompressionScheme;
+use tc_datagen::twitter::TwitterGen;
+use tc_query::paper_queries as q;
+use tc_query::plan::QueryOptions;
+use tc_storage::device::DeviceProfile;
+use tuple_compactor::StorageFormat;
+
+fn main() {
+    let n = 3000 * scale();
+    banner(
+        "Fig 18",
+        "Twitter queries Q1–Q4",
+        "SATA: time ≈ storage size (inferred < closed < open); NVMe: CPU \
+         visible; Q3 fastest on inferred (access pushdown)",
+    );
+    let opts = QueryOptions::default();
+    let queries =
+        [q::twitter_q1(opts), q::twitter_q2(opts), q::twitter_q3(opts), q::twitter_q4(opts)];
+    header("configuration", &["Q1", "Q2", "Q3", "Q4"]);
+    for (device, dev_name) in
+        [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
+    {
+        for (scheme, scheme_name) in [
+            (CompressionScheme::None, "uncompressed"),
+            (CompressionScheme::Snappy, "compressed"),
+        ] {
+            for (fmt, fmt_name) in [
+                (StorageFormat::Open, "open"),
+                (StorageFormat::Closed, "closed"),
+                (StorageFormat::Inferred, "inferred"),
+            ] {
+                let cfg =
+                    ExpConfig { format: fmt, compression: scheme, device, ..Default::default() };
+                let mut gen = TwitterGen::new(1);
+                let (mut cluster, _) = ingest(&mut gen, n, &cfg, Some(twitter_closed_type()));
+                cluster.merge_all();
+                let cells: Vec<String> = queries
+                    .iter()
+                    .map(|query| {
+                        let m = measure_query_cold(&cluster, query, true, 3);
+                        fmt_dur(m.total())
+                    })
+                    .collect();
+                row(&format!("{dev_name}/{scheme_name}/{fmt_name}"), &cells);
+            }
+        }
+    }
+}

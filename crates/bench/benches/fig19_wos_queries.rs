@@ -1,0 +1,59 @@
+//! Figure 19: WoS query execution time, SATA vs NVMe × compression.
+//!
+//! Q1 COUNT(*), Q2 subjects group, Q3 US collaborators, Q4 country pairs.
+//! Shape: Q1/Q2 track storage size; Q3/Q4 are substantially faster on the
+//! inferred dataset (field-access consolidation + pushdown through the
+//! country unnest), and for open/closed compression barely helps Q3/Q4
+//! (CPU-bound navigation dominates).
+
+use tc_bench::support::{
+    banner, fmt_dur, header, ingest, measure_query_cold, row, scale, wos_closed_type, ExpConfig,
+};
+use tc_compress::CompressionScheme;
+use tc_datagen::wos::WosGen;
+use tc_query::paper_queries as q;
+use tc_query::plan::QueryOptions;
+use tc_storage::device::DeviceProfile;
+use tuple_compactor::StorageFormat;
+
+fn main() {
+    let n = 2000 * scale();
+    banner(
+        "Fig 19",
+        "WoS queries Q1–Q4",
+        "Q1/Q2 ≈ storage size; Q3/Q4 much faster on inferred \
+         (consolidation + pushdown); compression doesn't rescue open/closed \
+         on Q3/Q4",
+    );
+    let opts = QueryOptions::default();
+    let queries = [q::wos_q1(opts), q::wos_q2(opts), q::wos_q3(opts), q::wos_q4(opts)];
+    header("configuration", &["Q1", "Q2", "Q3", "Q4"]);
+    for (device, dev_name) in
+        [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
+    {
+        for (scheme, scheme_name) in [
+            (CompressionScheme::None, "uncompressed"),
+            (CompressionScheme::Snappy, "compressed"),
+        ] {
+            for (fmt, fmt_name) in [
+                (StorageFormat::Open, "open"),
+                (StorageFormat::Closed, "closed"),
+                (StorageFormat::Inferred, "inferred"),
+            ] {
+                let cfg =
+                    ExpConfig { format: fmt, compression: scheme, device, ..Default::default() };
+                let mut gen = WosGen::new(1);
+                let (mut cluster, _) = ingest(&mut gen, n, &cfg, Some(wos_closed_type()));
+                cluster.merge_all();
+                let cells: Vec<String> = queries
+                    .iter()
+                    .map(|query| {
+                        let m = measure_query_cold(&cluster, query, true, 3);
+                        fmt_dur(m.total())
+                    })
+                    .collect();
+                row(&format!("{dev_name}/{scheme_name}/{fmt_name}"), &cells);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 21: how much of the saving is the *format* vs the *compaction*?
+//!
+//! SL-VB is the vector-based format without schema inference or compaction.
+//! Shape (Twitter): open > SL-VB > closed > inferred — about half the
+//! inferred saving comes from the format's cheaper nested-value encoding,
+//! half from stripping names. For Sensors, SL-VB even beats closed (no
+//! per-nested-value offsets for the reading objects — §4.4.4).
+
+use tc_bench::support::{
+    banner, disk_size, header, ingest, ratio, row, scale, sensors_closed_type,
+    twitter_closed_type, ExpConfig,
+};
+use tc_datagen::{sensors::SensorsGen, twitter::TwitterGen, Generator};
+use tc_storage::device::DeviceProfile;
+use tuple_compactor::StorageFormat;
+
+fn measure<G: Generator>(
+    make_gen: impl Fn() -> G,
+    n: usize,
+    closed: tc_adm::ObjectType,
+) -> Vec<(&'static str, u64)> {
+    [
+        (StorageFormat::Open, "open"),
+        (StorageFormat::Closed, "closed"),
+        (StorageFormat::Inferred, "inferred"),
+        (StorageFormat::VectorUncompacted, "sl-vb"),
+    ]
+    .into_iter()
+    .map(|(fmt, name)| {
+        let cfg = ExpConfig { format: fmt, device: DeviceProfile::RAM, ..Default::default() };
+        let mut gen = make_gen();
+        let (mut cluster, _) = ingest(&mut gen, n, &cfg, Some(closed.clone()));
+        cluster.merge_all();
+        (name, disk_size(&cluster))
+    })
+    .collect()
+}
+
+fn report(name: &str, sizes: &[(&str, u64)], slvb_beats_closed: bool) {
+    println!("\n--- {name} ---");
+    header("format", &["on-disk size"]);
+    for (label, size) in sizes {
+        row(label, &[tc_bench::support::fmt_bytes(*size)]);
+    }
+    let get = |l: &str| sizes.iter().find(|(n, _)| *n == l).map(|(_, s)| *s).unwrap();
+    let (open, closed, inferred, slvb) =
+        (get("open"), get("closed"), get("inferred"), get("sl-vb"));
+    let format_share =
+        (open - slvb) as f64 / (open - inferred) as f64;
+    println!(
+        "\n  encoding share of total saving: {:.0}% (paper: ~half for Twitter)",
+        format_share * 100.0
+    );
+    println!("  open/sl-vb {}, open/inferred {}", ratio(open, slvb), ratio(open, inferred));
+    assert!(slvb < open, "shape: SL-VB < open");
+    assert!(inferred < slvb, "shape: inferred < SL-VB");
+    if slvb_beats_closed {
+        assert!(slvb < closed, "shape (Sensors): SL-VB < closed");
+    }
+}
+
+fn main() {
+    let n = 2000 * scale();
+    banner(
+        "Fig 21",
+        "SL-VB ablation: format savings vs compaction savings",
+        "open > sl-vb > inferred always; Twitter: sl-vb slightly above \
+         closed; Sensors: sl-vb below closed",
+    );
+    report(
+        "Twitter (Fig 21a)",
+        &measure(|| TwitterGen::new(1), n, twitter_closed_type()),
+        false,
+    );
+    report(
+        "Sensors (Fig 21b)",
+        &measure(|| SensorsGen::new(1), n / 2, sensors_closed_type()),
+        true,
+    );
+}

@@ -1,0 +1,68 @@
+//! Figure 23: consolidating + pushing down field accesses (Sensors Q2–Q4).
+//!
+//! "Inferred (un-op)" disables the rewrite: every field access re-scans the
+//! record's vectors and intermediates carry whole reading objects. Shape:
+//! Q2/Q3 roughly double without the optimization; Q4 *improves* un-op
+//! (delaying accesses past the selective filter wins — §4.4.4).
+
+use tc_bench::support::{
+    banner, fmt_dur, header, ingest, measure_query_cold, row, scale, sensors_closed_type, ExpConfig,
+};
+use tc_compress::CompressionScheme;
+use tc_datagen::sensors::SensorsGen;
+use tc_query::paper_queries as q;
+use tc_query::plan::{Query, QueryOptions};
+use tc_storage::device::DeviceProfile;
+use tuple_compactor::StorageFormat;
+
+const DAY_START: i64 = 1_556_496_000_000;
+/// ~3 records pass the Q4 filter (the paper's 0.001%-class selectivity).
+const Q4_WINDOW_MS: i64 = 3 * 60_000;
+
+fn queries(opts: QueryOptions) -> [Query; 3] {
+    [
+        q::sensors_q2(opts),
+        q::sensors_q3(opts),
+        q::sensors_q4_range(opts, DAY_START, DAY_START + Q4_WINDOW_MS),
+    ]
+}
+
+fn main() {
+    let n = 1500 * scale();
+    banner(
+        "Fig 23",
+        "Field-access consolidation/pushdown ablation (Sensors Q2–Q4)",
+        "un-op ≈ 2x slower on Q2/Q3; un-op *faster* on Q4 (delayed access \
+         behind the selective filter)",
+    );
+    header("configuration", &["Q2", "Q3", "Q4"]);
+    for (device, dev_name) in
+        [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
+    {
+        for (scheme, scheme_name) in [
+            (CompressionScheme::None, "uncompressed"),
+            (CompressionScheme::Snappy, "compressed"),
+        ] {
+            let configs: [(&str, StorageFormat, QueryOptions); 3] = [
+                ("closed", StorageFormat::Closed, QueryOptions::default()),
+                ("inferred", StorageFormat::Inferred, QueryOptions::default()),
+                ("inferred (un-op)", StorageFormat::Inferred, QueryOptions::unoptimized()),
+            ];
+            for (label, fmt, opts) in configs {
+                let cfg =
+                    ExpConfig { format: fmt, compression: scheme, device, ..Default::default() };
+                let mut gen = SensorsGen::new(1);
+                let (mut cluster, _) = ingest(&mut gen, n, &cfg, Some(sensors_closed_type()));
+                cluster.merge_all();
+                let cells: Vec<String> = queries(opts)
+                    .iter()
+                    .map(|query| {
+                        let m = measure_query_cold(&cluster, query, true, 3);
+                        fmt_dur(m.total())
+                    })
+                    .collect();
+                row(&format!("{dev_name}/{scheme_name}/{label}"), &cells);
+            }
+        }
+    }
+}

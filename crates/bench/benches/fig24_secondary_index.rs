@@ -1,0 +1,90 @@
+//! Figure 24: range queries through a secondary index on `timestamp_ms`.
+//!
+//! Selectivities from 0.001% to 50%. Shape: at low selectivity all formats
+//! are fast and close together (the index does the work; pre-declaring the
+//! schema barely helps — §4.4.5); at high selectivity the point lookups
+//! dominate and times track storage size (inferred ≤ closed < open).
+
+use tc_bench::support::{
+    banner, fmt_dur, header, row, scale, twitter_closed_type, ExpConfig,
+};
+use tc_cluster::{Cluster, FeedMode};
+use tc_compress::CompressionScheme;
+use tc_datagen::{twitter::TwitterGen, Generator};
+use tc_storage::device::DeviceProfile;
+use tuple_compactor::StorageFormat;
+
+fn main() {
+    let n = 4000 * scale();
+    banner(
+        "Fig 24",
+        "Secondary-index range queries (Twitter, timestamp index, NVMe)",
+        "low selectivity: formats ≈ equal; high selectivity: time tracks \
+         storage size",
+    );
+    let selectivities: [(f64, &str); 6] = [
+        (0.00001, "0.001%"),
+        (0.0001, "0.01%"),
+        (0.001, "0.1%"),
+        (0.01, "1%"),
+        (0.10, "10%"),
+        (0.50, "50%"),
+    ];
+    let sel_names: Vec<&str> = selectivities.iter().map(|(_, n)| *n).collect();
+    for (scheme, scheme_name) in [
+        (CompressionScheme::None, "uncompressed"),
+        (CompressionScheme::Snappy, "compressed"),
+    ] {
+        println!("\n[{scheme_name}]");
+        header("format", &sel_names);
+        for (fmt, fmt_name) in [
+            (StorageFormat::Open, "open"),
+            (StorageFormat::Closed, "closed"),
+            (StorageFormat::Inferred, "inferred"),
+        ] {
+            let cfg = ExpConfig {
+                format: fmt,
+                compression: scheme,
+                device: DeviceProfile::NVME_SSD,
+                secondary_index_on: Some("timestamp_ms".to_string()),
+                ..Default::default()
+            };
+            let mut cluster = Cluster::create_dataset(
+                cfg.cluster_config(),
+                cfg.dataset_config("tweets", Some(twitter_closed_type())),
+            );
+            let mut gen = TwitterGen::new(1);
+            let records: Vec<_> = (0..n).map(|_| gen.next_record()).collect();
+            let ts_min =
+                records.first().unwrap().get_field("timestamp_ms").unwrap().as_i64().unwrap();
+            let ts_max =
+                records.last().unwrap().get_field("timestamp_ms").unwrap().as_i64().unwrap();
+            cluster.feed(records, FeedMode::Insert).expect("feed");
+            cluster.flush_all();
+            let span = (ts_max - ts_min) as f64;
+            let cells: Vec<String> = selectivities
+                .iter()
+                .map(|(sel, _)| {
+                    // Average several range probes at this selectivity.
+                    let width = (span * sel).max(1.0) as i64;
+                    let probes = 5;
+                    cluster.clear_caches();
+                    let snaps = cluster.io_snapshots();
+                    let start = std::time::Instant::now();
+                    let mut rows = 0usize;
+                    for i in 0..probes {
+                        let lo = ts_min + (span as i64 - width) * i / probes;
+                        for part in cluster.partitions() {
+                            rows += part.secondary_range(lo, lo + width).expect("range").len();
+                        }
+                    }
+                    let wall = start.elapsed() / probes as u32;
+                    let io = cluster.max_io_time_since(&snaps) / probes as u32;
+                    let _ = rows;
+                    fmt_dur(wall + io)
+                })
+                .collect();
+            row(fmt_name, &cells);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 25: scale-out storage and ingestion (compressed datasets).
+//!
+//! The paper scales 4→32 EC2 nodes with data proportional to node count;
+//! we scale 1→8 simulated nodes. Shape: per-node storage and ingestion
+//! time stay ~flat as nodes double (linear scaling), and at every size
+//! inferred has the smallest footprint and the fastest ingestion.
+
+use tc_bench::support::{
+    banner, fmt_bytes, fmt_dur, header, ingest, row, scale, twitter_closed_type, ExpConfig,
+};
+use tc_compress::CompressionScheme;
+use tc_datagen::twitter::TwitterGen;
+use tc_storage::device::DeviceProfile;
+use tuple_compactor::StorageFormat;
+
+fn main() {
+    let per_node = 1200 * scale();
+    banner(
+        "Fig 25",
+        "Scale-out: on-disk size (a) and ingestion time (b), compressed",
+        "size grows linearly with nodes; ingestion time ~flat; inferred \
+         smallest/fastest at every scale",
+    );
+    header("nodes/format", &["records", "total size", "ingest total"]);
+    for nodes in [1usize, 2, 4, 8] {
+        for (fmt, fmt_name) in [
+            (StorageFormat::Open, "open"),
+            (StorageFormat::Closed, "closed"),
+            (StorageFormat::Inferred, "inferred"),
+        ] {
+            let cfg = ExpConfig {
+                format: fmt,
+                compression: CompressionScheme::Snappy,
+                device: DeviceProfile::NVME_SSD,
+                nodes,
+                ..Default::default()
+            };
+            let mut gen = TwitterGen::new(1);
+            let n = per_node * nodes;
+            let (mut cluster, report) = ingest(&mut gen, n, &cfg, Some(twitter_closed_type()));
+            cluster.merge_all();
+            row(
+                &format!("{nodes}/{fmt_name}"),
+                &[
+                    n.to_string(),
+                    fmt_bytes(cluster.total_disk_bytes()),
+                    fmt_dur(report.total()),
+                ],
+            );
+        }
+    }
+}

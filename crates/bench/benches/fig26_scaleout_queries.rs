@@ -1,0 +1,62 @@
+//! Figure 26: Twitter Q1–Q4 across cluster sizes (compressed).
+//!
+//! Shape: query times scale ~linearly (stay flat as data and nodes grow
+//! together); inferred fastest at every scale; the schema broadcast that
+//! Q2/Q3 trigger (hash exchanges) is visible in the stats but does not
+//! affect the ordering (§4.5).
+
+use tc_bench::support::{
+    banner, fmt_dur, header, ingest, measure_query_cold, row, run_query_cold, scale, twitter_closed_type, ExpConfig,
+};
+use tc_compress::CompressionScheme;
+use tc_datagen::twitter::TwitterGen;
+use tc_query::paper_queries as q;
+use tc_query::plan::QueryOptions;
+use tc_storage::device::DeviceProfile;
+use tuple_compactor::StorageFormat;
+
+fn main() {
+    let per_node = 1200 * scale();
+    banner(
+        "Fig 26",
+        "Scale-out query performance (Twitter Q1–Q4, compressed)",
+        "times ~flat across scales; inferred fastest; broadcast bytes grow \
+         with node count but don't change the ordering",
+    );
+    let opts = QueryOptions::default();
+    let queries =
+        [q::twitter_q1(opts), q::twitter_q2(opts), q::twitter_q3(opts), q::twitter_q4(opts)];
+    header("nodes/format", &["Q1", "Q2", "Q3", "Q4", "broadcast"]);
+    for nodes in [1usize, 2, 4, 8] {
+        for (fmt, fmt_name) in [
+            (StorageFormat::Open, "open"),
+            (StorageFormat::Closed, "closed"),
+            (StorageFormat::Inferred, "inferred"),
+        ] {
+            let cfg = ExpConfig {
+                format: fmt,
+                compression: CompressionScheme::Snappy,
+                device: DeviceProfile::NVME_SSD,
+                nodes,
+                ..Default::default()
+            };
+            let mut gen = TwitterGen::new(1);
+            let (mut cluster, _) =
+                ingest(&mut gen, per_node * nodes, &cfg, Some(twitter_closed_type()));
+            cluster.merge_all();
+            let mut broadcast = 0u64;
+            let cells: Vec<String> = queries
+                .iter()
+                .map(|query| {
+                    let (res, _) = run_query_cold(&cluster, query, true);
+                    broadcast = broadcast.max(res.stats.broadcast_bytes);
+                    let m = measure_query_cold(&cluster, query, true, 3);
+                    fmt_dur(m.total())
+                })
+                .collect();
+            let mut cells = cells;
+            cells.push(tc_bench::support::fmt_bytes(broadcast));
+            row(&format!("{nodes}/{fmt_name}"), &cells);
+        }
+    }
+}

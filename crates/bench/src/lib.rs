@@ -1,0 +1,10 @@
+//! Shared harness for the per-figure/table benchmarks.
+//!
+//! Every bench target regenerates one table or figure from the paper's
+//! evaluation (§4) at laptop scale, printing the same rows/series the paper
+//! reports. Absolute numbers differ from the paper's testbed; the *shapes*
+//! (orderings, ratios, crossovers) are what EXPERIMENTS.md tracks.
+//!
+//! Scale with `TC_SCALE` (default 1; records per dataset scale linearly).
+
+pub mod support;

@@ -1,0 +1,163 @@
+//! Data feeds: continuous partition-parallel ingestion (paper §4.3).
+//!
+//! AsterixDB's data feeds push a stream of records through the hash
+//! partitioner into every partition's LSM tree concurrently; ingestion time
+//! is gated by the slowest partition (and, with WAL enabled, by log
+//! writes). The feed here buffers a batch per partition, runs the partition
+//! inserts on threads, and reports measured wall time plus the simulated
+//! device-IO time of the slowest partition.
+
+use std::time::{Duration, Instant};
+
+use tc_adm::{AdmError, Value};
+
+use crate::Cluster;
+
+/// Insert-only or upsert feed (Fig 17a vs 17b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedMode {
+    Insert,
+    Upsert,
+}
+
+/// What a feed run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct FeedReport {
+    pub records: u64,
+    /// Measured CPU wall time of the parallel ingestion.
+    pub wall: Duration,
+    /// Simulated IO stall time of the slowest device (write path).
+    pub io: Duration,
+}
+
+impl FeedReport {
+    /// The experiment's reported ingestion time: CPU + IO stall.
+    pub fn total(&self) -> Duration {
+        self.wall + self.io
+    }
+}
+
+impl Cluster {
+    /// Ingest a stream through the feed. Records are routed by primary-key
+    /// hash and applied partition-parallel.
+    pub fn feed<I>(&mut self, records: I, mode: FeedMode) -> Result<FeedReport, AdmError>
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let n_parts = self.num_partitions();
+        let mut per_partition: Vec<Vec<Value>> = vec![Vec::new(); n_parts];
+        let mut count = 0u64;
+        for record in records {
+            let pk = record
+                .get_field(&self.nodes[0].partitions[0].config().primary_key)
+                .and_then(Value::as_i64)
+                .ok_or_else(|| {
+                    AdmError::type_check("feed record lacks integer primary key".to_string())
+                })?;
+            per_partition[self.partition_of(pk)].push(record);
+            count += 1;
+        }
+
+        let snaps = self.io_snapshots();
+        let start = Instant::now();
+        // One worker per partition, mirroring per-partition feed pipelines.
+        let per = self.config.partitions_per_node;
+        let results: Vec<Result<(), AdmError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n_parts);
+            for (idx, (node, batch)) in self
+                .nodes
+                .iter_mut()
+                .flat_map(|n| n.partitions.iter_mut())
+                .zip(per_partition)
+                .enumerate()
+            {
+                let _ = idx / per;
+                handles.push(scope.spawn(move || {
+                    for record in &batch {
+                        match mode {
+                            FeedMode::Insert => node.insert(record)?,
+                            FeedMode::Upsert => node.upsert(record)?,
+                        }
+                    }
+                    Ok(())
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("feed worker panicked")).collect()
+        });
+        for r in results {
+            r?;
+        }
+        let wall = start.elapsed();
+        let io = self.max_io_time_since(&snaps);
+        Ok(FeedReport { records: count, wall, io })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterConfig, Cluster};
+    use tc_datagen::{twitter::TwitterGen, updates::Updater, Generator};
+    use tc_query::exec::ExecOptions;
+    use tc_query::paper_queries::{single_i64, twitter_q1};
+    use tc_query::plan::QueryOptions;
+    use tc_storage::device::DeviceProfile;
+    use tuple_compactor::{DatasetConfig, StorageFormat};
+
+    fn cluster(format: StorageFormat) -> Cluster {
+        Cluster::create_dataset(
+            ClusterConfig {
+                nodes: 2,
+                partitions_per_node: 2,
+                device: DeviceProfile::SATA_SSD,
+                cache_budget_per_node: 4 * 1024 * 1024,
+            },
+            DatasetConfig::new("Tweets", "id")
+                .with_format(format)
+                .with_memtable_budget(128 * 1024)
+                .with_primary_key_index(format == StorageFormat::Inferred)
+                .with_merge_policy(tc_lsm::MergePolicy::Prefix {
+                    max_mergeable_size: 8 * 1024 * 1024,
+                    max_tolerable_components: 5,
+                }),
+        )
+    }
+
+    #[test]
+    fn insert_feed_lands_everything() {
+        let mut c = cluster(StorageFormat::Inferred);
+        let mut gen = TwitterGen::new(4);
+        let records: Vec<_> = (0..300).map(|_| gen.next_record()).collect();
+        let report = c.feed(records, FeedMode::Insert).unwrap();
+        assert_eq!(report.records, 300);
+        assert!(report.io > Duration::ZERO, "writes charge IO");
+        c.flush_all();
+        let res = c
+            .query(&twitter_q1(QueryOptions::default()), &ExecOptions::default())
+            .unwrap();
+        assert_eq!(single_i64(&res.rows), Some(300));
+    }
+
+    #[test]
+    fn upsert_feed_with_50_percent_updates() {
+        let mut c = cluster(StorageFormat::Inferred);
+        let mut gen = TwitterGen::new(6);
+        let originals: Vec<_> = (0..200).map(|_| gen.next_record()).collect();
+        c.feed(originals.clone(), FeedMode::Insert).unwrap();
+        // 50% updates: mutate existing records uniformly (Fig 17b).
+        let mut up = Updater::new(8);
+        let updates: Vec<_> = (0..100)
+            .map(|_| {
+                let k = up.pick_key(200) as usize;
+                up.mutate(&originals[k], "id").0
+            })
+            .collect();
+        let report = c.feed(updates, FeedMode::Upsert).unwrap();
+        assert_eq!(report.records, 100);
+        c.flush_all();
+        let res = c
+            .query(&twitter_q1(QueryOptions::default()), &ExecOptions::default())
+            .unwrap();
+        assert_eq!(single_i64(&res.rows), Some(200), "upserts never add keys");
+    }
+}

@@ -1,0 +1,12 @@
+//! Block compression codecs for page-level compression (paper §2.4).
+//!
+//! The paper evaluates Snappy; this crate implements the Snappy block format
+//! from scratch (varint preamble + literal/copy elements with greedy
+//! hash-table matching) so the workspace has no external codec dependency.
+//! The [`scheme::CompressionScheme`] enum is what the storage layer
+//! configures per dataset.
+
+pub mod scheme;
+pub mod snappy;
+
+pub use scheme::CompressionScheme;

@@ -1,0 +1,83 @@
+//! The compression scheme a dataset's page store is configured with.
+
+use crate::snappy;
+
+/// Page compression configuration (paper §2.4: page-level compression is a
+/// per-dataset storage option; the evaluation uses Snappy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompressionScheme {
+    /// Pages are stored raw.
+    #[default]
+    None,
+    /// Pages are compressed with the Snappy block format.
+    Snappy,
+}
+
+/// Error from decompression.
+#[derive(Debug)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl CompressionScheme {
+    /// Compress a page image. `None` returns the input verbatim.
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        match self {
+            CompressionScheme::None => data.to_vec(),
+            CompressionScheme::Snappy => snappy::compress(data),
+        }
+    }
+
+    /// Decompress a stored page image back to its original size.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        match self {
+            CompressionScheme::None => Ok(data.to_vec()),
+            CompressionScheme::Snappy => {
+                snappy::decompress(data).map_err(|e| CodecError(e.to_string()))
+            }
+        }
+    }
+
+    pub fn is_none(&self) -> bool {
+        matches!(self, CompressionScheme::None)
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompressionScheme::None => "none",
+            CompressionScheme::Snappy => "snappy",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let data = b"some page bytes".to_vec();
+        let c = CompressionScheme::None.compress(&data);
+        assert_eq!(c, data);
+        assert_eq!(CompressionScheme::None.decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn snappy_roundtrips_through_scheme() {
+        let data = b"page page page page page page".repeat(100);
+        let c = CompressionScheme::Snappy.compress(&data);
+        assert!(c.len() < data.len());
+        assert_eq!(CompressionScheme::Snappy.decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn snappy_decompress_error_maps() {
+        assert!(CompressionScheme::Snappy.decompress(&[]).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! The tuple compactor as an LSM component hook (paper §3.1).
+
+use parking_lot::Mutex;
+use tc_adm::{ObjectType, Value};
+use tc_schema::Schema;
+use tc_vector::infer_and_compact;
+
+use tc_lsm::ComponentHook;
+
+/// The tuple compactor: shared between a dataset's LSM tree (as its flush /
+/// merge hook) and its query path (which snapshots the schema dictionary).
+///
+/// One instance per dataset partition; partitions never coordinate (§3.4.1).
+pub struct TupleCompactor {
+    /// The partition's in-memory schema. Flush inference, anti-schema
+    /// processing, and query-time snapshots synchronize on this lock only.
+    schema: Mutex<Schema>,
+    /// The dataset's declared type (to skip declared fields during
+    /// anti-schema processing).
+    declared: ObjectType,
+}
+
+impl TupleCompactor {
+    pub fn new(declared: ObjectType) -> Self {
+        TupleCompactor { schema: Mutex::new(Schema::new()), declared }
+    }
+
+    /// Snapshot the current in-memory schema (query startup / schema
+    /// broadcast — §3.4.1).
+    pub fn schema_snapshot(&self) -> Schema {
+        self.schema.lock().clone()
+    }
+
+    /// Replace the in-memory schema (recovery reloads the newest valid
+    /// component's schema — §3.1.2).
+    pub fn load_schema(&self, schema: Schema) {
+        *self.schema.lock() = schema;
+    }
+
+    /// Total live schema nodes (observability/tests).
+    pub fn schema_node_count(&self) -> usize {
+        self.schema.lock().num_live_nodes()
+    }
+
+    fn is_declared(&self, name: &str) -> bool {
+        self.declared.field_index(name).is_some()
+    }
+}
+
+impl ComponentHook for TupleCompactor {
+    /// Flush-time transformation: one pass infers the schema and strips
+    /// field names (§3.3.2).
+    fn on_flush_record(&self, payload: &[u8]) -> Vec<u8> {
+        let mut schema = self.schema.lock();
+        infer_and_compact(payload, &mut schema)
+            .expect("in-memory records are well-formed uncompacted vector records")
+    }
+
+    /// Anti-matter processing: the attachment is the deleted record's
+    /// anti-schema (encoded as an uncompacted vector record); decrement the
+    /// schema counters and prune (§3.2.2). The attachment is discarded by
+    /// the engine afterwards — anti-matter reaches disk as a bare key.
+    fn on_flush_antimatter(&self, attachment: Option<&[u8]>) {
+        let Some(bytes) = attachment else { return };
+        let Ok(value) = tc_vector::decode(bytes, Some(&self.declared), None) else {
+            return;
+        };
+        let Value::Object(fields) = value else { return };
+        let mut schema = self.schema.lock();
+        schema.remove_record(&fields, &|name| self.is_declared(name));
+    }
+
+    /// Persist the (post-flush) schema snapshot into the component's
+    /// metadata page (§3.1.1).
+    fn flush_metadata(&self) -> Option<Vec<u8>> {
+        Some(self.schema.lock().serialize())
+    }
+
+    /// Merge keeps the newest input schema — always a superset of the older
+    /// ones, so merged records stay decodable; crucially this never touches
+    /// the in-memory schema, so flushes and merges run concurrently without
+    /// synchronization (§3.1.1). (The default hook impl already picks the
+    /// newest; restated here for clarity.)
+    fn merge_metadata(&self, inputs: &[Option<&[u8]>]) -> Option<Vec<u8>> {
+        inputs.iter().rev().find_map(|m| m.map(<[u8]>::to_vec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_adm::datatype::FieldDef;
+    use tc_adm::{parse, TypeKind, TypeTag};
+    use tc_vector::encode;
+
+    fn pk_type() -> ObjectType {
+        ObjectType::open(vec![FieldDef {
+            name: "id".into(),
+            kind: TypeKind::Scalar(TypeTag::Int64),
+            optional: false,
+        }])
+    }
+
+    fn raw(compactor: &TupleCompactor, src: &str) -> Vec<u8> {
+        encode(&parse(src).unwrap(), Some(&compactor.declared))
+    }
+
+    #[test]
+    fn flush_compacts_and_grows_schema() {
+        let c = TupleCompactor::new(pk_type());
+        let r = raw(&c, r#"{"id": 0, "name": "Kim", "age": 26}"#);
+        let compacted = c.on_flush_record(&r);
+        assert!(compacted.len() < r.len());
+        let s = c.schema_snapshot();
+        assert!(s.lookup_field(s.root(), "name").is_some());
+        assert!(s.lookup_field(s.root(), "id").is_none(), "declared skipped");
+        assert_eq!(s.record_count(), 1);
+    }
+
+    #[test]
+    fn antimatter_decrements_schema() {
+        let c = TupleCompactor::new(pk_type());
+        let r1 = raw(&c, r#"{"id": 0, "name": "Kim", "age": 26}"#);
+        let r2 = raw(&c, r#"{"id": 1, "name": "John"}"#);
+        c.on_flush_record(&r1);
+        c.on_flush_record(&r2);
+        // Delete record 0: its anti-schema removes `age` entirely.
+        let anti = raw(&c, r#"{"id": 0, "name": "Kim", "age": 26}"#);
+        c.on_flush_antimatter(Some(&anti));
+        let s = c.schema_snapshot();
+        assert!(s.lookup_field(s.root(), "age").is_none());
+        let (_, name) = s.lookup_field(s.root(), "name").unwrap();
+        assert_eq!(s.node(name).counter(), 1);
+    }
+
+    #[test]
+    fn metadata_roundtrips_through_serialization() {
+        let c = TupleCompactor::new(pk_type());
+        let r = raw(&c, r#"{"id": 0, "tags": [["a"], "b"], "deep": {"x": null}}"#);
+        c.on_flush_record(&r);
+        let blob = c.flush_metadata().unwrap();
+        let restored = Schema::deserialize(&blob).unwrap();
+        let live = c.schema_snapshot();
+        assert!(restored.is_superset_of(&live) && live.is_superset_of(&restored));
+    }
+
+    #[test]
+    fn merge_metadata_keeps_newest() {
+        let c = TupleCompactor::new(pk_type());
+        let old = b"old".to_vec();
+        let new = b"new".to_vec();
+        assert_eq!(
+            c.merge_metadata(&[Some(&old), Some(&new)]),
+            Some(b"new".to_vec())
+        );
+    }
+
+    #[test]
+    fn load_schema_replaces_state() {
+        let c = TupleCompactor::new(pk_type());
+        let r = raw(&c, r#"{"id": 0, "transient": 1}"#);
+        c.on_flush_record(&r);
+        c.load_schema(Schema::new());
+        let s = c.schema_snapshot();
+        assert_eq!(s.record_count(), 0);
+        assert!(s.lookup_field(s.root(), "transient").is_none());
+    }
+}

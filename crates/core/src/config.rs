@@ -1,0 +1,176 @@
+//! Dataset configuration.
+
+use tc_adm::datatype::{FieldDef, ObjectType};
+use tc_adm::{TypeKind, TypeTag};
+use tc_compress::CompressionScheme;
+use tc_lsm::MergePolicy;
+
+/// The storage formats the paper's evaluation compares (§4, "Schema
+/// Configuration").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFormat {
+    /// ADM physical format, only the primary key declared. Records are
+    /// self-describing — "similar to what schema-less NoSQL systems like
+    /// MongoDB and Couchbase do for storage".
+    Open,
+    /// ADM physical format with all fields pre-declared in the catalog.
+    Closed,
+    /// Vector-based format with the tuple compactor enabled
+    /// (`{"tuple-compactor-enabled": true}`, Fig 8).
+    Inferred,
+    /// Vector-based format *without* inference/compaction — the schema-less
+    /// vector-based ("SL-VB") ablation of Fig 21.
+    VectorUncompacted,
+}
+
+impl StorageFormat {
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageFormat::Open => "open",
+            StorageFormat::Closed => "closed",
+            StorageFormat::Inferred => "inferred",
+            StorageFormat::VectorUncompacted => "sl-vb",
+        }
+    }
+
+    /// Does this format use the vector-based record layout?
+    pub fn is_vector(&self) -> bool {
+        matches!(self, StorageFormat::Inferred | StorageFormat::VectorUncompacted)
+    }
+}
+
+/// Everything needed to create a dataset on a partition.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    pub name: String,
+    /// Root field holding the primary key; must be integer-valued.
+    pub primary_key: String,
+    /// The declared type. For `Open`/`Inferred` this usually declares only
+    /// the primary key; for `Closed` it declares everything.
+    pub datatype: ObjectType,
+    pub format: StorageFormat,
+    pub compression: CompressionScheme,
+    pub page_size: usize,
+    pub memtable_budget: usize,
+    pub merge_policy: MergePolicy,
+    pub wal_enabled: bool,
+    /// Maintain a keys-only primary-key index (upsert fast path, §3.2.2).
+    pub primary_key_index: bool,
+    /// Maintain a secondary index on this i64-valued root field (Fig 24's
+    /// timestamp index).
+    pub secondary_index_on: Option<String>,
+    /// Bloom filter budget for point lookups.
+    pub bloom_bits_per_key: usize,
+}
+
+impl DatasetConfig {
+    /// A config with the paper's defaults, declaring only the primary key
+    /// (the open/inferred "CREATE TYPE ... AS OPEN { id: int }" shape,
+    /// Fig 8).
+    pub fn new(name: impl Into<String>, primary_key: impl Into<String>) -> Self {
+        let primary_key = primary_key.into();
+        let datatype = ObjectType::open(vec![FieldDef {
+            name: primary_key.clone(),
+            kind: TypeKind::Scalar(TypeTag::Int64),
+            optional: false,
+        }]);
+        DatasetConfig {
+            name: name.into(),
+            primary_key,
+            datatype,
+            format: StorageFormat::Inferred,
+            compression: CompressionScheme::None,
+            page_size: 32 * 1024,
+            memtable_budget: 4 * 1024 * 1024,
+            merge_policy: MergePolicy::Prefix {
+                max_mergeable_size: 64 * 1024 * 1024,
+                max_tolerable_components: 5,
+            },
+            wal_enabled: true,
+            primary_key_index: false,
+            secondary_index_on: None,
+            bloom_bits_per_key: 10,
+        }
+    }
+
+    pub fn with_format(mut self, format: StorageFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    pub fn with_compression(mut self, scheme: CompressionScheme) -> Self {
+        self.compression = scheme;
+        self
+    }
+
+    /// Use a fully-declared type (the closed configuration).
+    pub fn with_datatype(mut self, datatype: ObjectType) -> Self {
+        self.datatype = datatype;
+        self
+    }
+
+    pub fn with_memtable_budget(mut self, bytes: usize) -> Self {
+        self.memtable_budget = bytes;
+        self
+    }
+
+    pub fn with_page_size(mut self, bytes: usize) -> Self {
+        self.page_size = bytes;
+        self
+    }
+
+    pub fn with_merge_policy(mut self, policy: MergePolicy) -> Self {
+        self.merge_policy = policy;
+        self
+    }
+
+    pub fn with_primary_key_index(mut self, enabled: bool) -> Self {
+        self.primary_key_index = enabled;
+        self
+    }
+
+    pub fn with_secondary_index(mut self, field: impl Into<String>) -> Self {
+        self.secondary_index_on = Some(field.into());
+        self
+    }
+
+    pub fn with_wal(mut self, enabled: bool) -> Self {
+        self.wal_enabled = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_declares_only_pk() {
+        let c = DatasetConfig::new("Employee", "id");
+        assert_eq!(c.datatype.fields.len(), 1);
+        assert_eq!(c.datatype.fields[0].name, "id");
+        assert!(c.datatype.is_open);
+        assert_eq!(c.format, StorageFormat::Inferred);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = DatasetConfig::new("d", "id")
+            .with_format(StorageFormat::Open)
+            .with_compression(CompressionScheme::Snappy)
+            .with_primary_key_index(true)
+            .with_secondary_index("timestamp_ms");
+        assert_eq!(c.format, StorageFormat::Open);
+        assert_eq!(c.compression, CompressionScheme::Snappy);
+        assert!(c.primary_key_index);
+        assert_eq!(c.secondary_index_on.as_deref(), Some("timestamp_ms"));
+    }
+
+    #[test]
+    fn format_classification() {
+        assert!(StorageFormat::Inferred.is_vector());
+        assert!(StorageFormat::VectorUncompacted.is_vector());
+        assert!(!StorageFormat::Open.is_vector());
+        assert_eq!(StorageFormat::VectorUncompacted.name(), "sl-vb");
+    }
+}

@@ -1,0 +1,658 @@
+//! A single-partition dataset: the user-facing ingestion and lookup API.
+//!
+//! One `Dataset` corresponds to one data partition of an AsterixDB dataset
+//! (paper §2.2): a primary LSM B+-tree keyed on the primary key, optionally
+//! a keys-only primary-key index (upsert fast path, §3.2.2) and a secondary
+//! index (Fig 24), all sharing the partition's device and the node's buffer
+//! cache. Cross-partition distribution lives in `tc-cluster`.
+
+use std::sync::Arc;
+
+use tc_adm::{AdmError, Value};
+use tc_lsm::entry::{encode_i64_key, Key};
+use tc_lsm::secondary::{PrimaryKeyIndex, SecondaryIndex};
+use tc_lsm::{ComponentHook, LsmOptions, LsmTree, NoopHook};
+use tc_schema::Schema;
+use tc_storage::device::Device;
+use tc_storage::BufferCache;
+
+use crate::compactor::TupleCompactor;
+use crate::config::{DatasetConfig, StorageFormat};
+use crate::decoder::RecordDecoder;
+
+/// A dataset partition.
+pub struct Dataset {
+    config: DatasetConfig,
+    primary: LsmTree,
+    pk_index: Option<PrimaryKeyIndex>,
+    secondary: Option<SecondaryIndex>,
+    /// Present iff `config.format == Inferred`.
+    compactor: Option<Arc<TupleCompactor>>,
+    ingested: u64,
+}
+
+impl Dataset {
+    pub fn new(config: DatasetConfig, device: Arc<Device>, cache: Arc<BufferCache>) -> Self {
+        let opts = LsmOptions {
+            page_size: config.page_size,
+            compression: config.compression,
+            memtable_budget: config.memtable_budget,
+            merge_policy: config.merge_policy,
+            bloom_bits_per_key: config.bloom_bits_per_key,
+            wal_enabled: config.wal_enabled,
+        };
+        let compactor = match config.format {
+            StorageFormat::Inferred => {
+                Some(Arc::new(TupleCompactor::new(config.datatype.clone())))
+            }
+            _ => None,
+        };
+        let hook: Arc<dyn ComponentHook> = match &compactor {
+            Some(c) => Arc::clone(c) as Arc<dyn ComponentHook>,
+            None => Arc::new(NoopHook),
+        };
+        let primary = LsmTree::new(Arc::clone(&device), Arc::clone(&cache), hook, opts.clone());
+        // Index trees use small memtables and no compression (keys only).
+        let index_opts = LsmOptions {
+            compression: tc_compress::CompressionScheme::None,
+            memtable_budget: (config.memtable_budget / 8).max(64 * 1024),
+            ..opts
+        };
+        let pk_index = config.primary_key_index.then(|| {
+            PrimaryKeyIndex::new(Arc::clone(&device), Arc::clone(&cache), index_opts.clone())
+        });
+        let secondary = config.secondary_index_on.is_some().then(|| {
+            SecondaryIndex::new(Arc::clone(&device), Arc::clone(&cache), index_opts, 8)
+        });
+        Dataset { config, primary, pk_index, secondary, compactor, ingested: 0 }
+    }
+
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Records ingested (inserts + upserts).
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    // -----------------------------------------------------------------
+    // Encoding
+    // -----------------------------------------------------------------
+
+    fn primary_key_of(&self, record: &Value) -> Result<(i64, Key), AdmError> {
+        let pk = record
+            .get_field(&self.config.primary_key)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| {
+                AdmError::type_check(format!(
+                    "record lacks integer primary key '{}'",
+                    self.config.primary_key
+                ))
+            })?;
+        Ok((pk, encode_i64_key(pk)))
+    }
+
+    fn encode_record(&self, record: &Value) -> Result<Vec<u8>, AdmError> {
+        // Open types admit anything beyond the declared fields; closed
+        // types reject undeclared fields — both are enforced here (§2.1).
+        self.config.datatype.check(record)?;
+        match self.config.format {
+            StorageFormat::Open | StorageFormat::Closed => {
+                tc_adm::adm_format::encode_record(record, Some(&self.config.datatype))
+            }
+            StorageFormat::Inferred | StorageFormat::VectorUncompacted => {
+                Ok(tc_vector::encode(record, Some(&self.config.datatype)))
+            }
+        }
+    }
+
+    fn secondary_key_of(&self, record: &Value) -> Option<[u8; 8]> {
+        let field = self.config.secondary_index_on.as_deref()?;
+        let v = record.get_field(field)?.as_i64()?;
+        Some(encode_i64_key(v).try_into().expect("i64 keys are 8 bytes"))
+    }
+
+    // -----------------------------------------------------------------
+    // Ingestion
+    // -----------------------------------------------------------------
+
+    /// Insert a new record (no existence check — data feeds with fresh keys).
+    pub fn insert(&mut self, record: &Value) -> Result<(), AdmError> {
+        let (_, key) = self.primary_key_of(record)?;
+        let bytes = self.encode_record(record)?;
+        if let Some(sec) = self.secondary_key_of(record) {
+            self.secondary.as_mut().expect("secondary configured").insert(&sec, &key);
+        }
+        if let Some(pki) = self.pk_index.as_mut() {
+            pki.insert(&key);
+        }
+        self.primary.insert(key, bytes);
+        self.ingested += 1;
+        Ok(())
+    }
+
+    /// Upsert: delete-then-insert (§3.2.2). The existence check goes
+    /// through the primary-key index when configured, so brand-new keys
+    /// skip the primary-index point lookup ([28, 29]).
+    pub fn upsert(&mut self, record: &Value) -> Result<(), AdmError> {
+        let (_, key) = self.primary_key_of(record)?;
+        let may_exist = match &self.pk_index {
+            Some(pki) => pki.contains(&key),
+            None => true,
+        };
+        if may_exist {
+            if let Some((source, old)) = self.lookup_versioned(&key) {
+                self.delete_found(&key, &old, source == tc_lsm::tree::LookupSource::Disk)?;
+            }
+        }
+        self.insert(record)
+    }
+
+    /// Delete by primary key. Returns whether a record existed.
+    pub fn delete(&mut self, pk: i64) -> Result<bool, AdmError> {
+        let key = encode_i64_key(pk);
+        match self.lookup_versioned(&key) {
+            None => Ok(false),
+            Some((source, old)) => {
+                self.delete_found(&key, &old, source == tc_lsm::tree::LookupSource::Disk)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Live-record lookup that reports whether the found version is on disk
+    /// (⇒ it was counted by a flush) or memtable-only (⇒ never observed).
+    fn lookup_versioned(&self, key: &[u8]) -> Option<(tc_lsm::tree::LookupSource, Vec<u8>)> {
+        match self.primary.get_entry_with_source(key)? {
+            (tc_lsm::EntryKind::Record, payload, source) => Some((source, payload)),
+            (tc_lsm::EntryKind::AntiMatter, _, _) => None,
+        }
+    }
+
+    /// Having point-looked-up the old record bytes, enqueue the anti-matter
+    /// entry (with anti-schema for inferred datasets) and fix the indexes.
+    /// `counted` says whether the old version reached disk: only counted
+    /// versions carry anti-schemas (their flush observed them — §3.2.2);
+    /// decrementing for a memtable-only version would corrupt the counters.
+    fn delete_found(&mut self, key: &Key, old_bytes: &[u8], counted: bool) -> Result<(), AdmError> {
+        // The anti-schema is only needed (and the decode only paid) when the
+        // compactor maintains a schema, or when a secondary index needs the
+        // old secondary key.
+        let needs_value = (self.compactor.is_some() && counted) || self.secondary.is_some();
+        let attachment = if needs_value {
+            let old = self.decoder().materialize(old_bytes)?;
+            if let Some(sec) = self.secondary_key_of(&old) {
+                self.secondary.as_mut().expect("secondary configured").delete(&sec, key);
+            }
+            // Anti-schema: the old record re-encoded uncompacted; the
+            // compactor walks it to decrement counters at flush (§3.2.2).
+            if counted {
+                self.compactor
+                    .as_ref()
+                    .map(|_| tc_vector::encode(&old, Some(&self.config.datatype)))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        if let Some(pki) = self.pk_index.as_mut() {
+            pki.delete(key);
+        }
+        self.primary.delete(key.clone(), attachment);
+        Ok(())
+    }
+
+    /// Bulk-load pre-sorted-or-not records into a single component (§4.3).
+    /// The dataset must be empty; the WAL is bypassed, like AsterixDB's
+    /// load statement.
+    pub fn bulk_load<I>(&mut self, records: I) -> Result<u64, AdmError>
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let mut keyed: Vec<(Key, Vec<u8>, Option<[u8; 8]>)> = Vec::new();
+        for record in records {
+            let (_, key) = self.primary_key_of(&record)?;
+            let bytes = self.encode_record(&record)?;
+            keyed.push((key, bytes, self.secondary_key_of(&record)));
+        }
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        let n = keyed.len() as u64;
+        if let Some(sec_idx) = self.secondary.as_mut() {
+            for (key, _, sec) in &keyed {
+                if let Some(sec) = sec {
+                    sec_idx.insert(sec, key);
+                }
+            }
+            sec_idx.flush();
+        }
+        if let Some(pki) = self.pk_index.as_mut() {
+            for (key, _, _) in &keyed {
+                pki.insert(key);
+            }
+            pki.flush();
+        }
+        self.primary.bulk_load(keyed.into_iter().map(|(k, b, _)| (k, b)));
+        self.ingested += n;
+        Ok(n)
+    }
+
+    // -----------------------------------------------------------------
+    // Lookup / scan
+    // -----------------------------------------------------------------
+
+    fn lookup_raw(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.primary.get(key)
+    }
+
+    /// Point lookup by primary key.
+    pub fn get(&self, pk: i64) -> Result<Option<Value>, AdmError> {
+        match self.lookup_raw(&encode_i64_key(pk)) {
+            None => Ok(None),
+            Some(bytes) => Ok(Some(self.decoder().materialize(&bytes)?)),
+        }
+    }
+
+    /// A decoder snapshot for this partition's current state. For inferred
+    /// datasets this carries the schema dictionary — the unit the schema
+    /// broadcast ships between nodes at query start (§3.4.1).
+    pub fn decoder(&self) -> RecordDecoder {
+        let dict = self.compactor.as_ref().map(|c| c.schema_snapshot().dict().clone());
+        RecordDecoder::new(self.config.format, self.config.datatype.clone(), dict)
+    }
+
+    /// The partition's current in-memory schema (inferred datasets).
+    pub fn schema_snapshot(&self) -> Option<Schema> {
+        self.compactor.as_ref().map(|c| c.schema_snapshot())
+    }
+
+    /// Raw scan of live records (key, stored bytes).
+    pub fn scan_raw(&self) -> tc_lsm::iter::MergedScan<'_> {
+        self.primary.scan()
+    }
+
+    /// Materialized scan (tests/examples; queries stream raw + decoder).
+    pub fn scan_values(&self) -> Result<Vec<Value>, AdmError> {
+        let decoder = self.decoder();
+        let mut scan = self.primary.scan();
+        let mut out = Vec::new();
+        while let Some((_, _, bytes)) = scan.next() {
+            out.push(decoder.materialize(&bytes)?);
+        }
+        Ok(out)
+    }
+
+    /// Secondary-index range query: primary keys with secondary value in
+    /// `[lo, hi)`, then point lookups into the primary index (Fig 24's
+    /// access path).
+    pub fn secondary_range(&self, lo: i64, hi: i64) -> Result<Vec<Value>, AdmError> {
+        let sec = self
+            .secondary
+            .as_ref()
+            .ok_or_else(|| AdmError::type_check("no secondary index configured".to_string()))?;
+        let pks = sec.range(&encode_i64_key(lo), &encode_i64_key(hi));
+        let decoder = self.decoder();
+        let mut out = Vec::with_capacity(pks.len());
+        for pk in pks {
+            if let Some(bytes) = self.lookup_raw(&pk) {
+                out.push(decoder.materialize(&bytes)?);
+            }
+        }
+        Ok(out)
+    }
+
+    // -----------------------------------------------------------------
+    // Lifecycle
+    // -----------------------------------------------------------------
+
+    /// Flush the in-memory component (and index memtables).
+    pub fn flush(&mut self) {
+        self.primary.flush();
+        if let Some(pki) = self.pk_index.as_mut() {
+            pki.flush();
+        }
+        if let Some(sec) = self.secondary.as_mut() {
+            sec.flush();
+        }
+    }
+
+    /// Merge every on-disk component into one.
+    pub fn force_full_merge(&mut self) {
+        self.primary.force_full_merge();
+    }
+
+    /// Primary-index on-disk footprint in bytes (Fig 16's metric).
+    pub fn disk_bytes(&self) -> u64 {
+        self.primary.disk_bytes()
+    }
+
+    /// Footprint including auxiliary indexes.
+    pub fn total_disk_bytes(&self) -> u64 {
+        self.primary.disk_bytes()
+            + self.pk_index.as_ref().map_or(0, PrimaryKeyIndex::disk_bytes)
+            + self.secondary.as_ref().map_or(0, SecondaryIndex::disk_bytes)
+    }
+
+    pub fn primary(&self) -> &LsmTree {
+        &self.primary
+    }
+
+    pub fn lsm_stats(&self) -> tc_lsm::tree::LsmStats {
+        self.primary.stats()
+    }
+
+    /// Crash: lose in-memory state (memtables and, for inferred datasets,
+    /// the in-memory schema).
+    pub fn simulate_crash(&mut self) {
+        self.primary.simulate_crash();
+        if let Some(c) = &self.compactor {
+            c.load_schema(Schema::new());
+        }
+    }
+
+    /// Recovery (§3.1.2): drop invalid components, reload the newest valid
+    /// component's schema, replay the WAL into the in-memory component.
+    pub fn recover(&mut self) -> (usize, usize) {
+        let (removed, replayed) = self.primary.recover();
+        if let Some(c) = &self.compactor {
+            let schema = self
+                .primary
+                .newest_metadata()
+                .and_then(|blob| Schema::deserialize(&blob))
+                .unwrap_or_default();
+            c.load_schema(schema);
+        }
+        (removed, replayed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_adm::datatype::{FieldDef, ObjectType};
+    use tc_adm::{parse, TypeKind, TypeTag};
+    use tc_storage::device::DeviceProfile;
+
+    fn make(config: DatasetConfig) -> Dataset {
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        let cache = Arc::new(BufferCache::new(4096));
+        Dataset::new(config, device, cache)
+    }
+
+    fn small(format: StorageFormat) -> Dataset {
+        make(
+            DatasetConfig::new("Employee", "id")
+                .with_format(format)
+                .with_memtable_budget(8 * 1024)
+                .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
+        )
+    }
+
+    fn employee(i: i64) -> Value {
+        parse(&format!(
+            r#"{{"id": {i}, "name": "emp{i}", "age": {}, "tags": ["a", "b"]}}"#,
+            20 + (i % 50)
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn ingest_and_get_all_formats() {
+        for format in [
+            StorageFormat::Open,
+            StorageFormat::Closed,
+            StorageFormat::Inferred,
+            StorageFormat::VectorUncompacted,
+        ] {
+            let mut ds = if format == StorageFormat::Closed {
+                let dt = ObjectType::closed(vec![
+                    FieldDef { name: "id".into(), kind: TypeKind::Scalar(TypeTag::Int64), optional: false },
+                    FieldDef { name: "name".into(), kind: TypeKind::Scalar(TypeTag::String), optional: false },
+                    FieldDef { name: "age".into(), kind: TypeKind::Scalar(TypeTag::Int64), optional: false },
+                    FieldDef {
+                        name: "tags".into(),
+                        kind: TypeKind::Array(Box::new(TypeKind::Scalar(TypeTag::String))),
+                        optional: true,
+                    },
+                ]);
+                make(
+                    DatasetConfig::new("Employee", "id")
+                        .with_format(StorageFormat::Closed)
+                        .with_datatype(dt)
+                        .with_memtable_budget(8 * 1024)
+                        .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
+                )
+            } else {
+                small(format)
+            };
+            for i in 0..100 {
+                ds.insert(&employee(i)).unwrap();
+            }
+            ds.flush();
+            for i in (0..100).step_by(13) {
+                let got = ds.get(i).unwrap().unwrap();
+                assert_eq!(got, employee(i), "format {format:?}, id {i}");
+            }
+            assert_eq!(ds.get(1000).unwrap(), None);
+            assert_eq!(ds.scan_values().unwrap().len(), 100, "format {format:?}");
+        }
+    }
+
+    #[test]
+    fn closed_rejects_undeclared_fields() {
+        let dt = ObjectType::closed(vec![FieldDef {
+            name: "id".into(),
+            kind: TypeKind::Scalar(TypeTag::Int64),
+            optional: false,
+        }]);
+        let mut ds = make(
+            DatasetConfig::new("Strict", "id")
+                .with_format(StorageFormat::Closed)
+                .with_datatype(dt),
+        );
+        assert!(ds.insert(&parse(r#"{"id": 1}"#).unwrap()).is_ok());
+        assert!(ds.insert(&parse(r#"{"id": 2, "extra": true}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn inferred_schema_evolves_across_flushes() {
+        let mut ds = small(StorageFormat::Inferred);
+        // Fig 9 scenario.
+        ds.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
+        ds.insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
+        ds.flush();
+        ds.insert(&parse(r#"{"id": 2, "name": "Ann"}"#).unwrap()).unwrap();
+        ds.insert(&parse(r#"{"id": 3, "name": "Bob", "age": "old"}"#).unwrap()).unwrap();
+        ds.flush();
+        let s = ds.schema_snapshot().unwrap();
+        let (_, age) = s.lookup_field(s.root(), "age").unwrap();
+        assert!(s.node(age).matches_tag(TypeTag::Int64));
+        assert!(s.node(age).matches_tag(TypeTag::String));
+        // Records from both generations decode with the current dictionary.
+        assert_eq!(
+            ds.get(0).unwrap().unwrap(),
+            parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()
+        );
+        assert_eq!(
+            ds.get(3).unwrap().unwrap(),
+            parse(r#"{"id": 3, "name": "Bob", "age": "old"}"#).unwrap()
+        );
+        // Merge keeps the newest schema and everything stays readable.
+        ds.force_full_merge();
+        assert_eq!(ds.scan_values().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn inferred_is_smallest_on_disk() {
+        let datasets: Vec<(StorageFormat, u64)> = [
+            StorageFormat::Open,
+            StorageFormat::Inferred,
+            StorageFormat::VectorUncompacted,
+        ]
+        .into_iter()
+        .map(|f| {
+            let mut ds = make(
+                DatasetConfig::new("Employee", "id")
+                    .with_format(f)
+                    .with_page_size(4096)
+                    .with_memtable_budget(64 * 1024)
+                    .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
+            );
+            for i in 0..2000 {
+                ds.insert(&employee(i)).unwrap();
+            }
+            ds.flush();
+            ds.force_full_merge();
+            (f, ds.disk_bytes())
+        })
+        .collect();
+        let open = datasets[0].1;
+        let inferred = datasets[1].1;
+        let slvb = datasets[2].1;
+        assert!(inferred < open, "inferred {inferred} < open {open}");
+        assert!(inferred < slvb, "inferred {inferred} < sl-vb {slvb}");
+        assert!(slvb < open, "sl-vb {slvb} < open {open} (Fig 21 ordering)");
+    }
+
+    #[test]
+    fn delete_updates_schema_and_hides_record() {
+        let mut ds = small(StorageFormat::Inferred);
+        ds.insert(&parse(r#"{"id": 0, "name": "Kim", "weird": [1, 2]}"#).unwrap()).unwrap();
+        ds.insert(&parse(r#"{"id": 1, "name": "John"}"#).unwrap()).unwrap();
+        ds.flush();
+        assert!(ds.delete(0).unwrap());
+        assert!(!ds.delete(99).unwrap(), "absent key");
+        ds.flush(); // anti-schema processed here
+        assert_eq!(ds.get(0).unwrap(), None);
+        let s = ds.schema_snapshot().unwrap();
+        assert!(s.lookup_field(s.root(), "weird").is_none(), "weird pruned");
+        assert!(s.lookup_field(s.root(), "name").is_some());
+        ds.force_full_merge();
+        assert_eq!(ds.scan_values().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn upsert_existing_and_new_keys() {
+        let mut ds = make(
+            DatasetConfig::new("Employee", "id")
+                .with_format(StorageFormat::Inferred)
+                .with_primary_key_index(true)
+                .with_memtable_budget(8 * 1024)
+                .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
+        );
+        ds.insert(&parse(r#"{"id": 0, "old_field": 1}"#).unwrap()).unwrap();
+        ds.flush();
+        // Upsert changes the structure entirely.
+        ds.upsert(&parse(r#"{"id": 0, "new_field": "x"}"#).unwrap()).unwrap();
+        // Upsert of a brand-new key takes the pk-index fast path.
+        ds.upsert(&parse(r#"{"id": 5, "new_field": "y"}"#).unwrap()).unwrap();
+        ds.flush();
+        let s = ds.schema_snapshot().unwrap();
+        assert!(s.lookup_field(s.root(), "old_field").is_none(), "anti-schema pruned it");
+        assert!(s.lookup_field(s.root(), "new_field").is_some());
+        assert_eq!(
+            ds.get(0).unwrap().unwrap(),
+            parse(r#"{"id": 0, "new_field": "x"}"#).unwrap()
+        );
+        assert_eq!(ds.scan_values().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn crash_recovery_restores_data_and_schema() {
+        let mut ds = small(StorageFormat::Inferred);
+        ds.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
+        ds.insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
+        ds.flush(); // C0 valid, schema persisted
+        ds.insert(&parse(r#"{"id": 2, "name": "Ann"}"#).unwrap()).unwrap();
+        ds.insert(&parse(r#"{"id": 3, "name": "Bob", "age": "old"}"#).unwrap()).unwrap();
+        ds.simulate_crash();
+        let (removed, replayed) = ds.recover();
+        assert_eq!(removed, 0);
+        assert_eq!(replayed, 2);
+        // The recovered in-memory schema is C0's (age: int only) until the
+        // restored memtable flushes — then it evolves normally (§3.1.2).
+        let s = ds.schema_snapshot().unwrap();
+        let (_, age) = s.lookup_field(s.root(), "age").unwrap();
+        assert_eq!(s.node(age).type_tag(), Some(TypeTag::Int64));
+        ds.flush();
+        let s = ds.schema_snapshot().unwrap();
+        let (_, age) = s.lookup_field(s.root(), "age").unwrap();
+        assert!(s.node(age).matches_tag(TypeTag::String), "union after re-flush");
+        assert_eq!(ds.scan_values().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn secondary_index_range_lookup() {
+        let mut ds = make(
+            DatasetConfig::new("Tweets", "id")
+                .with_format(StorageFormat::Inferred)
+                .with_secondary_index("timestamp_ms")
+                .with_memtable_budget(16 * 1024)
+                .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
+        );
+        for i in 0..200 {
+            ds.insert(
+                &parse(&format!(
+                    r#"{{"id": {i}, "timestamp_ms": {}, "text": "t{i}"}}"#,
+                    1000 + i
+                ))
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        ds.flush();
+        let hits = ds.secondary_range(1050, 1060).unwrap();
+        assert_eq!(hits.len(), 10);
+        assert!(hits
+            .iter()
+            .all(|v| (1050..1060).contains(&v.get_field("timestamp_ms").unwrap().as_i64().unwrap())));
+        // Delete keeps the index consistent.
+        ds.delete(55).unwrap();
+        let hits = ds.secondary_range(1050, 1060).unwrap();
+        assert_eq!(hits.len(), 9);
+    }
+
+    #[test]
+    fn bulk_load_single_component() {
+        let mut ds = small(StorageFormat::Inferred);
+        let records: Vec<Value> = (0..300).rev().map(employee).collect(); // unsorted input
+        ds.bulk_load(records).unwrap();
+        assert_eq!(ds.primary().components().len(), 1);
+        assert_eq!(ds.scan_values().unwrap().len(), 300);
+        assert_eq!(ds.get(123).unwrap().unwrap(), employee(123));
+        let s = ds.schema_snapshot().unwrap();
+        assert!(s.lookup_field(s.root(), "name").is_some());
+    }
+
+    #[test]
+    fn compression_reduces_disk_size() {
+        let sizes: Vec<u64> = [tc_compress::CompressionScheme::None, tc_compress::CompressionScheme::Snappy]
+            .into_iter()
+            .map(|scheme| {
+                let mut ds = make(
+                    DatasetConfig::new("T", "id")
+                        .with_format(StorageFormat::Open)
+                        .with_compression(scheme)
+                        .with_memtable_budget(32 * 1024)
+                        .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
+                );
+                for i in 0..500 {
+                    ds.insert(&employee(i)).unwrap();
+                }
+                ds.flush();
+                ds.disk_bytes()
+            })
+            .collect();
+        assert!(
+            sizes[1] < sizes[0],
+            "snappy {} should beat uncompressed {}",
+            sizes[1],
+            sizes[0]
+        );
+    }
+}

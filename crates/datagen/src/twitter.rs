@@ -1,0 +1,351 @@
+//! Synthetic tweets matching the Twitter API's JSON shape.
+//!
+//! Profile targets (Table 1): ~2.7 KB records, 53–208 scalar values
+//! (avg ≈ 88), max depth 8, dominant type string. Optional substructures
+//! (`place`, `coordinates`, `retweeted_status`) appear probabilistically so
+//! records vary; `timestamp_ms` increases monotonically (the paper generates
+//! monotone timestamps for the secondary-index experiment, §4.4.5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tc_adm::Value;
+
+use crate::{Generator, HASHTAGS, WORDS};
+
+/// Deterministic tweet stream.
+pub struct TwitterGen {
+    rng: StdRng,
+    next_id: i64,
+    /// Embedded (retweeted) tweets draw ids from a disjoint space so
+    /// top-level primary keys stay sequential.
+    next_inner_id: i64,
+    ts: i64,
+}
+
+impl TwitterGen {
+    pub fn new(seed: u64) -> Self {
+        TwitterGen {
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            next_inner_id: 2_000_000_000,
+            ts: 1_556_496_000_000,
+        }
+    }
+
+    fn words(&mut self, min: usize, max: usize) -> String {
+        let n = self.rng.gen_range(min..=max);
+        let mut out = String::new();
+        for i in 0..n {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+        }
+        out
+    }
+
+    fn screen_name(&mut self) -> String {
+        format!(
+            "{}_{}{}",
+            WORDS[self.rng.gen_range(0..WORDS.len())],
+            WORDS[self.rng.gen_range(0..WORDS.len())],
+            self.rng.gen_range(0..1000)
+        )
+    }
+
+    fn user(&mut self) -> Value {
+        let id: i64 = self.rng.gen_range(1_000..100_000_000);
+        let name = self.screen_name();
+        let mut fields = vec![
+            ("id".to_string(), Value::Int64(id)),
+            ("id_str".to_string(), Value::string(id.to_string())),
+            ("name".to_string(), Value::string(name.clone())),
+            ("screen_name".to_string(), Value::string(name)),
+            ("followers_count".to_string(), Value::Int64(self.rng.gen_range(0..100_000))),
+            ("friends_count".to_string(), Value::Int64(self.rng.gen_range(0..5_000))),
+            ("listed_count".to_string(), Value::Int64(self.rng.gen_range(0..500))),
+            ("favourites_count".to_string(), Value::Int64(self.rng.gen_range(0..20_000))),
+            ("statuses_count".to_string(), Value::Int64(self.rng.gen_range(1..200_000))),
+            ("created_at".to_string(), Value::string("Mon Apr 29 00:00:00 +0000 2013")),
+            ("verified".to_string(), Value::Boolean(self.rng.gen_bool(0.05))),
+            ("geo_enabled".to_string(), Value::Boolean(self.rng.gen_bool(0.3))),
+            ("lang".to_string(), Value::string("en")),
+            ("contributors_enabled".to_string(), Value::Boolean(false)),
+            ("is_translator".to_string(), Value::Boolean(false)),
+            ("profile_background_color".to_string(), Value::string("F5F8FA")),
+            (
+                "profile_image_url".to_string(),
+                Value::string(format!("http://pbs.twimg.com/profile_images/{id}/photo.jpg")),
+            ),
+            ("profile_link_color".to_string(), Value::string("1DA1F2")),
+            ("profile_text_color".to_string(), Value::string("333333")),
+            ("profile_sidebar_fill_color".to_string(), Value::string("DDEEF6")),
+            ("profile_sidebar_border_color".to_string(), Value::string("C0DEED")),
+            ("profile_background_tile".to_string(), Value::Boolean(false)),
+            ("profile_use_background_image".to_string(), Value::Boolean(true)),
+            ("default_profile".to_string(), Value::Boolean(self.rng.gen_bool(0.6))),
+            ("default_profile_image".to_string(), Value::Boolean(false)),
+            ("protected".to_string(), Value::Boolean(false)),
+            ("notifications".to_string(), Value::Null),
+            ("follow_request_sent".to_string(), Value::Null),
+            ("following".to_string(), Value::Null),
+            ("translator_type".to_string(), Value::string("none")),
+        ];
+        if self.rng.gen_bool(0.7) {
+            fields.push(("utc_offset".to_string(), Value::Int64(self.rng.gen_range(-12..=14) * 3600)));
+            fields.push(("time_zone".to_string(), Value::string("Pacific Time (US & Canada)")));
+        }
+        if self.rng.gen_bool(0.6) {
+            fields.push(("location".to_string(), Value::string(self.words(1, 3))));
+        }
+        if self.rng.gen_bool(0.5) {
+            fields.push(("description".to_string(), Value::string(self.words(3, 12))));
+        }
+        if self.rng.gen_bool(0.25) {
+            fields.push((
+                "url".to_string(),
+                Value::string(format!("https://t.co/{}", self.rng.gen_range(1000..9999))),
+            ));
+        }
+        Value::Object(fields)
+    }
+
+    fn hashtag_entities(&mut self, text_len: usize) -> Value {
+        let n = self.rng.gen_range(0..4);
+        let tags: Vec<Value> = (0..n)
+            .map(|_| {
+                let tag = HASHTAGS[self.rng.gen_range(0..HASHTAGS.len())];
+                let start = self.rng.gen_range(0..text_len.max(1)) as i64;
+                Value::object([
+                    ("text", Value::string(tag)),
+                    (
+                        "indices",
+                        Value::Array(vec![
+                            Value::Int64(start),
+                            Value::Int64(start + tag.len() as i64 + 1),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Array(tags)
+    }
+
+    fn url_entities(&mut self) -> Value {
+        let n = self.rng.gen_range(0..2);
+        let urls: Vec<Value> = (0..n)
+            .map(|_| {
+                let code = self.rng.gen_range(100_000..999_999);
+                Value::object([
+                    ("url", Value::string(format!("https://t.co/{code}"))),
+                    (
+                        "expanded_url",
+                        Value::string(format!("https://example.com/article/{code}")),
+                    ),
+                    ("display_url", Value::string(format!("example.com/article/{code}"))),
+                    (
+                        "indices",
+                        Value::Array(vec![Value::Int64(0), Value::Int64(23)]),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Array(urls)
+    }
+
+    fn mention_entities(&mut self) -> Value {
+        let n = self.rng.gen_range(0..3);
+        let mentions: Vec<Value> = (0..n)
+            .map(|_| {
+                let name = self.screen_name();
+                Value::object([
+                    ("screen_name", Value::string(name.clone())),
+                    ("name", Value::string(name)),
+                    ("id", Value::Int64(self.rng.gen_range(1000..10_000_000))),
+                    (
+                        "indices",
+                        Value::Array(vec![Value::Int64(0), Value::Int64(10)]),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Array(mentions)
+    }
+
+    fn place(&mut self) -> Value {
+        let lon = self.rng.gen_range(-120.0..-70.0f64);
+        let lat = self.rng.gen_range(25.0..48.0f64);
+        let ring: Vec<Value> = (0..4)
+            .map(|i| {
+                Value::Array(vec![
+                    Value::Double(lon + (i % 2) as f64 * 0.2),
+                    Value::Double(lat + (i / 2) as f64 * 0.2),
+                ])
+            })
+            .collect();
+        Value::object([
+            ("id", Value::string(format!("{:08x}", self.rng.gen::<u32>()))),
+            ("place_type", Value::string("city")),
+            ("name", Value::string(self.words(1, 2))),
+            ("full_name", Value::string(self.words(2, 3))),
+            ("country_code", Value::string("US")),
+            ("country", Value::string("United States")),
+            (
+                "bounding_box",
+                Value::object([
+                    ("type", Value::string("Polygon")),
+                    ("coordinates", Value::Array(vec![Value::Array(ring)])),
+                ]),
+            ),
+        ])
+    }
+
+    fn tweet(&mut self, allow_retweet: bool) -> Value {
+        let id = if allow_retweet {
+            self.next_id += 1;
+            self.next_id - 1
+        } else {
+            self.next_inner_id += 1;
+            self.next_inner_id - 1
+        };
+        self.ts += self.rng.gen_range(1..250);
+        let text = self.words(5, 28);
+        let mut fields = vec![
+            ("id".to_string(), Value::Int64(id)),
+            ("id_str".to_string(), Value::string(id.to_string())),
+            ("text".to_string(), Value::string(text.clone())),
+            ("timestamp_ms".to_string(), Value::Int64(self.ts)),
+            ("created_at".to_string(), Value::string("Sun Apr 28 13:20:00 +0000 2019")),
+            ("lang".to_string(), Value::string("en")),
+            (
+                "source".to_string(),
+                Value::string("<a href=\"http://twitter.com\">Twitter Web Client</a>"),
+            ),
+            ("truncated".to_string(), Value::Boolean(false)),
+            ("favorite_count".to_string(), Value::Int64(self.rng.gen_range(0..1000))),
+            ("retweet_count".to_string(), Value::Int64(self.rng.gen_range(0..500))),
+            ("quote_count".to_string(), Value::Int64(self.rng.gen_range(0..50))),
+            ("reply_count".to_string(), Value::Int64(self.rng.gen_range(0..100))),
+            ("favorited".to_string(), Value::Boolean(false)),
+            ("retweeted".to_string(), Value::Boolean(false)),
+            ("is_quote_status".to_string(), Value::Boolean(self.rng.gen_bool(0.1))),
+            ("filter_level".to_string(), Value::string("low")),
+            // The Twitter API emits these as explicit nulls on most tweets.
+            ("geo".to_string(), Value::Null),
+            ("contributors".to_string(), Value::Null),
+            ("user".to_string(), self.user()),
+            (
+                "entities".to_string(),
+                Value::object([
+                    ("hashtags", self.hashtag_entities(text.len())),
+                    ("urls", self.url_entities()),
+                    ("user_mentions", self.mention_entities()),
+                    ("symbols", Value::Array(vec![])),
+                ]),
+            ),
+        ];
+        if self.rng.gen_bool(0.2) {
+            let reply_to: i64 = self.rng.gen_range(0..1_000_000);
+            fields.push(("in_reply_to_status_id".to_string(), Value::Int64(reply_to)));
+            fields.push((
+                "in_reply_to_user_id".to_string(),
+                Value::Int64(self.rng.gen_range(1000..10_000_000)),
+            ));
+            fields.push(("in_reply_to_screen_name".to_string(), Value::string(self.screen_name())));
+        }
+        if self.rng.gen_bool(0.1) {
+            fields.push(("place".to_string(), self.place()));
+        }
+        if self.rng.gen_bool(0.05) {
+            let lon = self.rng.gen_range(-180.0..180.0f64);
+            let lat = self.rng.gen_range(-85.0..85.0f64);
+            fields.push((
+                "coordinates".to_string(),
+                Value::object([
+                    ("type", Value::string("Point")),
+                    (
+                        "coordinates",
+                        Value::Array(vec![Value::Double(lon), Value::Double(lat)]),
+                    ),
+                ]),
+            ));
+        }
+        if self.rng.gen_bool(0.02) {
+            fields.push(("possibly_sensitive".to_string(), Value::Boolean(true)));
+        }
+        if allow_retweet && self.rng.gen_bool(0.15) {
+            let inner = self.tweet(false);
+            fields.push(("retweeted_status".to_string(), inner));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Generator for TwitterGen {
+    fn name(&self) -> &'static str {
+        "twitter"
+    }
+
+    fn next_record(&mut self) -> Value {
+        self.tweet(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tweets_have_query_relevant_fields() {
+        let mut g = TwitterGen::new(5);
+        let mut saw_jobs = false;
+        let mut prev_ts = 0i64;
+        for _ in 0..300 {
+            let t = g.next_record();
+            assert!(t.get_field("text").is_some());
+            assert!(t.get_field("user").unwrap().get_field("name").is_some());
+            let ts = t.get_field("timestamp_ms").unwrap().as_i64().unwrap();
+            assert!(ts > prev_ts, "timestamps monotone for the secondary index");
+            prev_ts = ts;
+            let tags = t
+                .get_field("entities")
+                .unwrap()
+                .get_field("hashtags")
+                .unwrap()
+                .as_items()
+                .unwrap();
+            for tag in tags {
+                if tag.get_field("text").unwrap().as_str().unwrap().eq_ignore_ascii_case("jobs")
+                {
+                    saw_jobs = true;
+                }
+            }
+        }
+        assert!(saw_jobs, "Q3's hashtag must occur");
+    }
+
+    #[test]
+    fn retweets_nest_a_full_tweet() {
+        let mut g = TwitterGen::new(11);
+        let mut saw_retweet = false;
+        for _ in 0..200 {
+            let t = g.next_record();
+            if let Some(rt) = t.get_field("retweeted_status") {
+                saw_retweet = true;
+                assert!(rt.get_field("user").is_some());
+                assert!(rt.get_field("retweeted_status").is_none(), "one level only");
+            }
+        }
+        assert!(saw_retweet);
+    }
+
+    #[test]
+    fn nested_ids_do_not_collide_with_top_level_keys() {
+        let mut g = TwitterGen::new(3);
+        let mut ids = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let t = g.next_record();
+            assert!(ids.insert(t.get_field("id").unwrap().as_i64().unwrap()));
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Update workloads (paper §4.3, Fig 17b).
+//!
+//! The 50%-update experiment upserts previously ingested records mutated by
+//! "adding or removing fields or changing the types of existing data
+//! values", uniformly over the ingested key range.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tc_adm::Value;
+
+/// Kinds of structural mutation the update workload applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    AddField,
+    RemoveField,
+    ChangeType,
+}
+
+/// Deterministic record mutator.
+pub struct Updater {
+    rng: StdRng,
+    counter: u64,
+}
+
+impl Updater {
+    pub fn new(seed: u64) -> Self {
+        Updater { rng: StdRng::seed_from_u64(seed), counter: 0 }
+    }
+
+    /// Pick a uniformly distributed key from `[0, max_key)` (§4.3: "the
+    /// updates followed a uniform distribution").
+    pub fn pick_key(&mut self, max_key: i64) -> i64 {
+        self.rng.gen_range(0..max_key.max(1))
+    }
+
+    /// Structure-preserving mutation: change one scalar's *value* without
+    /// touching names or types. This is the only update a closed dataset
+    /// admits (its type rejects added/removed/retyped fields).
+    pub fn mutate_values(&mut self, record: &Value, pk_field: &str) -> Value {
+        let Value::Object(fields) = record else { return record.clone() };
+        let mut fields = fields.clone();
+        self.counter += 1;
+        let candidates: Vec<usize> = fields
+            .iter()
+            .enumerate()
+            .filter(|(_, (n, v))| {
+                n != pk_field && matches!(v, Value::Int64(_) | Value::String(_) | Value::Boolean(_))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if !candidates.is_empty() {
+            let idx = candidates[self.rng.gen_range(0..candidates.len())];
+            let (_, v) = &mut fields[idx];
+            *v = match v {
+                Value::Int64(x) => Value::Int64(*x + 1),
+                Value::String(s) => Value::String(format!("{s}!")),
+                Value::Boolean(b) => Value::Boolean(!*b),
+                _ => unreachable!("filtered above"),
+            };
+        }
+        Value::Object(fields)
+    }
+
+    /// Mutate a record (keeping `pk_field` intact) by one random structural
+    /// change. Returns the mutated record and what was done.
+    pub fn mutate(&mut self, record: &Value, pk_field: &str) -> (Value, Mutation) {
+        let Value::Object(fields) = record else {
+            return (record.clone(), Mutation::AddField);
+        };
+        let mut fields = fields.clone();
+        self.counter += 1;
+        let mutation = match self.rng.gen_range(0..3) {
+            0 => Mutation::AddField,
+            1 => Mutation::RemoveField,
+            _ => Mutation::ChangeType,
+        };
+        match mutation {
+            Mutation::AddField => {
+                let name = format!("added_field_{}", self.counter % 23);
+                let value = match self.rng.gen_range(0..3) {
+                    0 => Value::Int64(self.rng.gen()),
+                    1 => Value::string(format!("v{}", self.counter)),
+                    _ => Value::Boolean(self.counter % 2 == 0),
+                };
+                fields.retain(|(n, _)| *n != name);
+                fields.push((name, value));
+            }
+            Mutation::RemoveField => {
+                let removable: Vec<usize> = fields
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (n, _))| n != pk_field)
+                    .map(|(i, _)| i)
+                    .collect();
+                if !removable.is_empty() {
+                    let idx = removable[self.rng.gen_range(0..removable.len())];
+                    fields.remove(idx);
+                }
+            }
+            Mutation::ChangeType => {
+                let changeable: Vec<usize> = fields
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (n, v))| {
+                        n != pk_field && !matches!(v, Value::Object(_))
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if !changeable.is_empty() {
+                    let idx = changeable[self.rng.gen_range(0..changeable.len())];
+                    let (_, v) = &mut fields[idx];
+                    // Flip between string and int representations.
+                    *v = match v {
+                        Value::String(_) => Value::Int64(self.counter as i64),
+                        _ => Value::string(format!("changed_{}", self.counter)),
+                    };
+                }
+            }
+        }
+        (Value::Object(fields), mutation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_adm::parse;
+
+    fn sample() -> Value {
+        parse(r#"{"id": 5, "name": "Ann", "age": 26, "tags": ["x"]}"#).unwrap()
+    }
+
+    #[test]
+    fn pk_is_never_touched() {
+        let mut u = Updater::new(1);
+        for _ in 0..100 {
+            let (m, _) = u.mutate(&sample(), "id");
+            assert_eq!(m.get_field("id").unwrap().as_i64(), Some(5));
+        }
+    }
+
+    #[test]
+    fn all_mutation_kinds_occur_and_change_structure() {
+        let mut u = Updater::new(2);
+        let mut kinds = std::collections::HashSet::new();
+        let mut changed = 0;
+        for _ in 0..100 {
+            let (m, kind) = u.mutate(&sample(), "id");
+            kinds.insert(kind);
+            if m != sample() {
+                changed += 1;
+            }
+        }
+        assert_eq!(kinds.len(), 3);
+        assert!(changed > 90);
+    }
+
+    #[test]
+    fn keys_are_uniform_over_range() {
+        let mut u = Updater::new(3);
+        let mut lo = 0;
+        for _ in 0..1000 {
+            let k = u.pick_key(1000);
+            assert!((0..1000).contains(&k));
+            if k < 500 {
+                lo += 1;
+            }
+        }
+        assert!((300..700).contains(&lo), "roughly uniform: {lo}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Wide flat records for the field-position experiment (paper Fig 22).
+//!
+//! §4.4.4 probes values at positions 1, 34, 68, and 136 of a record to show
+//! the vector-based format's linear access cost. This generator produces
+//! records with exactly 136 root fields (`f001`…`f136`) after the primary
+//! key, every field a small string so position — not payload size — is what
+//! varies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tc_adm::Value;
+
+use crate::Generator;
+
+/// Number of probe-able fields per record.
+pub const WIDE_FIELDS: usize = 136;
+
+/// The positions the paper probes (1-based, as in Fig 22).
+pub const PROBE_POSITIONS: [usize; 4] = [1, 34, 68, 136];
+
+/// Field name at a 1-based position.
+pub fn field_at(position: usize) -> String {
+    format!("f{position:03}")
+}
+
+/// Deterministic wide-record stream.
+pub struct WideGen {
+    rng: StdRng,
+    next_id: i64,
+}
+
+impl WideGen {
+    pub fn new(seed: u64) -> Self {
+        WideGen { rng: StdRng::seed_from_u64(seed), next_id: 0 }
+    }
+}
+
+impl Generator for WideGen {
+    fn name(&self) -> &'static str {
+        "wide"
+    }
+
+    fn next_record(&mut self) -> Value {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut fields = Vec::with_capacity(WIDE_FIELDS + 1);
+        fields.push(("id".to_string(), Value::Int64(id)));
+        for pos in 1..=WIDE_FIELDS {
+            // Low-cardinality values so COUNT(field = const) selects some.
+            let v = format!("w{}", self.rng.gen_range(0..10));
+            fields.push((field_at(pos), Value::string(v)));
+        }
+        Value::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_136_probe_fields_in_order() {
+        let mut g = WideGen::new(1);
+        let r = g.next_record();
+        let fields = r.as_object().unwrap();
+        assert_eq!(fields.len(), WIDE_FIELDS + 1);
+        assert_eq!(fields[1].0, "f001");
+        assert_eq!(fields[34].0, "f034");
+        assert_eq!(fields[136].0, "f136");
+        for pos in PROBE_POSITIONS {
+            assert!(r.get_field(&field_at(pos)).is_some());
+        }
+    }
+
+    #[test]
+    fn values_hit_probe_constant() {
+        let mut g = WideGen::new(1);
+        let mut hits = 0;
+        for _ in 0..100 {
+            let r = g.next_record();
+            if r.get_field("f068").unwrap().as_str() == Some("w3") {
+                hits += 1;
+            }
+        }
+        assert!(hits > 0, "the probed constant must occur");
+    }
+}

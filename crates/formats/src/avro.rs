@@ -1,0 +1,209 @@
+//! Avro binary encoding.
+//!
+//! Per the Avro spec: longs are zigzag varints, strings/bytes are
+//! length-prefixed, doubles are 8 little-endian bytes, arrays are encoded in
+//! blocks (count, items, zero terminator), records are field values in
+//! schema order with **no** tags or names. Optional fields are
+//! `union(null, T)`: one zigzag branch index precedes the value. Like real
+//! Avro, nothing in the byte stream is self-describing — decoding requires
+//! the schema.
+
+use tc_adm::{AdmError, Value};
+use tc_util::varint;
+
+use crate::schema::WireType;
+
+/// Encode `v` against `schema`. Record fields are unions `(null, T)`:
+/// absent/null fields write branch 0, present fields branch 1 then the
+/// value.
+pub fn encode(v: &Value, schema: &WireType, out: &mut Vec<u8>) -> Result<(), AdmError> {
+    match (schema, v) {
+        (WireType::Bool, Value::Boolean(b)) => out.push(*b as u8),
+        (WireType::Long, v) => {
+            let x = v
+                .as_i64()
+                .ok_or_else(|| AdmError::type_check(format!("expected long, got {v}")))?;
+            varint::write_i64(out, x);
+        }
+        (WireType::Double, v) => {
+            let x = v
+                .as_f64()
+                .ok_or_else(|| AdmError::type_check(format!("expected double, got {v}")))?;
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        (WireType::Str, Value::String(s)) => {
+            varint::write_i64(out, s.len() as i64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        (WireType::Bytes, Value::Binary(b)) => {
+            varint::write_i64(out, b.len() as i64);
+            out.extend_from_slice(b);
+        }
+        (WireType::List(item), Value::Array(items))
+        | (WireType::List(item), Value::Multiset(items)) => {
+            let live: Vec<&Value> =
+                items.iter().filter(|v| !v.is_null_or_missing()).collect();
+            if !live.is_empty() {
+                varint::write_i64(out, live.len() as i64);
+                for v in live {
+                    encode(v, item, out)?;
+                }
+            }
+            varint::write_i64(out, 0); // end of blocks
+        }
+        (WireType::Record(fields), Value::Object(_)) => {
+            for (name, ftype) in fields {
+                match v.get_field(name) {
+                    None | Some(Value::Null) | Some(Value::Missing) => {
+                        varint::write_i64(out, 0); // union branch: null
+                    }
+                    Some(fv) => {
+                        varint::write_i64(out, 1); // union branch: value
+                        encode(fv, ftype, out)?;
+                    }
+                }
+            }
+        }
+        (s, v) => {
+            return Err(AdmError::type_check(format!(
+                "value {v} does not match schema {s:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: derive the schema from the value and encode.
+pub fn encode_record(v: &Value) -> Result<Vec<u8>, AdmError> {
+    let schema = crate::schema::derive_schema(v)?;
+    let mut out = Vec::with_capacity(256);
+    encode(v, &schema, &mut out)?;
+    Ok(out)
+}
+
+/// Decode against a schema (tests).
+pub fn decode(buf: &[u8], schema: &WireType) -> Result<Value, AdmError> {
+    let mut pos = 0usize;
+    let v = decode_inner(buf, &mut pos, schema)?;
+    if pos != buf.len() {
+        return Err(AdmError::corrupt("trailing bytes in avro record"));
+    }
+    Ok(v)
+}
+
+fn read_long(buf: &[u8], pos: &mut usize) -> Result<i64, AdmError> {
+    let (v, n) =
+        varint::read_i64(&buf[*pos..]).ok_or_else(|| AdmError::corrupt("truncated varint"))?;
+    *pos += n;
+    Ok(v)
+}
+
+fn decode_inner(buf: &[u8], pos: &mut usize, schema: &WireType) -> Result<Value, AdmError> {
+    Ok(match schema {
+        WireType::Bool => {
+            let b = *buf.get(*pos).ok_or_else(|| AdmError::corrupt("truncated bool"))?;
+            *pos += 1;
+            Value::Boolean(b != 0)
+        }
+        WireType::Long => Value::Int64(read_long(buf, pos)?),
+        WireType::Double => {
+            let bytes = buf
+                .get(*pos..*pos + 8)
+                .ok_or_else(|| AdmError::corrupt("truncated double"))?;
+            *pos += 8;
+            Value::Double(f64::from_le_bytes(bytes.try_into().expect("8")))
+        }
+        WireType::Str | WireType::Bytes => {
+            let len = read_long(buf, pos)? as usize;
+            let bytes = buf
+                .get(*pos..*pos + len)
+                .ok_or_else(|| AdmError::corrupt("truncated string"))?;
+            *pos += len;
+            if matches!(schema, WireType::Str) {
+                Value::String(
+                    std::str::from_utf8(bytes)
+                        .map_err(|_| AdmError::corrupt("bad utf8"))?
+                        .to_owned(),
+                )
+            } else {
+                Value::Binary(bytes.to_vec())
+            }
+        }
+        WireType::List(item) => {
+            let mut items = Vec::new();
+            loop {
+                let count = read_long(buf, pos)?;
+                if count == 0 {
+                    break;
+                }
+                for _ in 0..count.unsigned_abs() {
+                    items.push(decode_inner(buf, pos, item)?);
+                }
+            }
+            Value::Array(items)
+        }
+        WireType::Record(fields) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (name, ftype) in fields {
+                let branch = read_long(buf, pos)?;
+                if branch == 1 {
+                    out.push((name.clone(), decode_inner(buf, pos, ftype)?));
+                }
+            }
+            Value::Object(out)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{derive_schema, normalize};
+    use tc_adm::parse;
+
+    fn roundtrip(src: &str) {
+        let v = parse(src).unwrap();
+        let schema = derive_schema(&v).unwrap();
+        let bytes = encode_record(&v).unwrap();
+        let back = decode(&bytes, &schema).unwrap();
+        assert_eq!(back, normalize(&v), "src: {src}");
+    }
+
+    #[test]
+    fn roundtrips_tweet_like_records() {
+        roundtrip(r#"{"id": 6, "name": "Ann", "salaries": [70000, 90000], "age": 26}"#);
+        roundtrip(r#"{"a": true, "b": -1, "c": 2.5, "d": "x", "e": binary("00ff")}"#);
+        roundtrip(
+            r#"{"user": {"name": "Bob", "tags": [{"t": "a"}, {"t": "b"}]}, "n": 3}"#,
+        );
+    }
+
+    #[test]
+    fn absent_fields_cost_one_branch_byte() {
+        let full = parse(r#"{"a": 1, "b": "xx"}"#).unwrap();
+        let schema = derive_schema(&full).unwrap();
+        let sparse = parse(r#"{"a": 1}"#).unwrap();
+        let mut bytes = Vec::new();
+        encode(&sparse, &schema, &mut bytes).unwrap();
+        // branch(1) + a(1 byte varint) + branch(1 null for b) = 3 bytes.
+        assert_eq!(bytes.len(), 3);
+        let back = decode(&bytes, &schema).unwrap();
+        assert_eq!(back, sparse);
+    }
+
+    #[test]
+    fn no_field_names_in_output() {
+        let v = parse(r#"{"extremely_long_field_name_here": 1}"#).unwrap();
+        let bytes = encode_record(&v).unwrap();
+        assert!(bytes.len() < 4, "schema-first: no names on the wire");
+    }
+
+    #[test]
+    fn empty_array_is_single_zero_block() {
+        let v = parse(r#"{"xs": []}"#).unwrap();
+        let schema = derive_schema(&v).unwrap();
+        let mut bytes = Vec::new();
+        encode(&v, &schema, &mut bytes).unwrap();
+        assert_eq!(bytes, vec![2, 0]); // branch 1 (zigzag=2), block end 0
+    }
+}

@@ -1,0 +1,42 @@
+//! Schema-first wire formats, from scratch, for the Table 2 comparison.
+//!
+//! The paper compares the vector-based format against Apache Avro, Apache
+//! Thrift (binary and compact protocols), and Protocol Buffers on encoded
+//! size and record-construction time (§4.4.4, Table 2). These are *wire
+//! format* implementations — enough of each encoding to serialize the
+//! ADM/JSON value model faithfully, with decoders used to verify the
+//! encodings in tests.
+//!
+//! Unlike the vector-based format, none of these can write a record without
+//! a schema; [`schema::derive_schema`] plays the role of the user-supplied
+//! schema.
+
+pub mod avro;
+pub mod protobuf;
+pub mod schema;
+pub mod thrift;
+
+pub use schema::{derive_schema, normalize, WireType};
+
+/// The five formats Table 2 reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    Avro,
+    ThriftBinary,
+    ThriftCompact,
+    Protobuf,
+    /// The paper's contribution — encoded by `tc-vector`.
+    VectorBased,
+}
+
+impl Format {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Format::Avro => "Avro",
+            Format::ThriftBinary => "Thrift (BP)",
+            Format::ThriftCompact => "Thrift (CP)",
+            Format::Protobuf => "ProtoBuf",
+            Format::VectorBased => "Vector-based",
+        }
+    }
+}

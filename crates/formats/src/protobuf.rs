@@ -1,0 +1,315 @@
+//! Protocol Buffers wire format.
+//!
+//! Fields are `(field_number << 3) | wire_type` varint keys. Integers are
+//! plain varints (wire type 0), doubles fixed64 (wire type 1), strings /
+//! bytes / nested messages length-delimited (wire type 2). Numeric repeated
+//! fields are packed (one length-delimited block); message/string repeateds
+//! repeat the key. Field numbers come from the schema (declared order,
+//! 1-based); absent fields are omitted.
+
+use tc_adm::{AdmError, Value};
+use tc_util::varint;
+
+use crate::schema::WireType;
+
+const WT_VARINT: u64 = 0;
+const WT_FIXED64: u64 = 1;
+const WT_LEN: u64 = 2;
+
+fn key(field: u64, wire: u64) -> u64 {
+    (field << 3) | wire
+}
+
+/// Encode a message against its schema.
+pub fn encode(v: &Value, schema: &WireType, out: &mut Vec<u8>) -> Result<(), AdmError> {
+    let WireType::Record(fields) = schema else {
+        return Err(AdmError::type_check("protobuf top level must be a message".to_string()));
+    };
+    for (idx, (name, ftype)) in fields.iter().enumerate() {
+        let field = (idx + 1) as u64;
+        let Some(fv) = v.get_field(name) else { continue };
+        if fv.is_null_or_missing() {
+            continue;
+        }
+        encode_field(fv, ftype, field, out)?;
+    }
+    Ok(())
+}
+
+fn encode_field(v: &Value, t: &WireType, field: u64, out: &mut Vec<u8>) -> Result<(), AdmError> {
+    match t {
+        WireType::Bool => {
+            varint::write_u64(out, key(field, WT_VARINT));
+            out.push(v.as_bool().map(|b| b as u8).unwrap_or(0));
+        }
+        WireType::Long => {
+            varint::write_u64(out, key(field, WT_VARINT));
+            let x = v
+                .as_i64()
+                .ok_or_else(|| AdmError::type_check("expected long".to_string()))?;
+            varint::write_u64(out, x as u64); // two's-complement varint
+        }
+        WireType::Double => {
+            varint::write_u64(out, key(field, WT_FIXED64));
+            let x = v
+                .as_f64()
+                .ok_or_else(|| AdmError::type_check("expected double".to_string()))?;
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        WireType::Str => {
+            let Value::String(s) = v else {
+                return Err(AdmError::type_check("expected string".to_string()));
+            };
+            varint::write_u64(out, key(field, WT_LEN));
+            varint::write_u64(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        WireType::Bytes => {
+            let Value::Binary(b) = v else {
+                return Err(AdmError::type_check("expected bytes".to_string()));
+            };
+            varint::write_u64(out, key(field, WT_LEN));
+            varint::write_u64(out, b.len() as u64);
+            out.extend_from_slice(b);
+        }
+        WireType::List(item) => {
+            let items: Vec<&Value> = v
+                .as_items()
+                .ok_or_else(|| AdmError::type_check("expected array".to_string()))?
+                .iter()
+                .filter(|x| !x.is_null_or_missing())
+                .collect();
+            match item.as_ref() {
+                // Packed numeric repeated.
+                WireType::Long | WireType::Double | WireType::Bool => {
+                    let mut block = Vec::new();
+                    for x in &items {
+                        match item.as_ref() {
+                            WireType::Long => {
+                                let n = x.as_i64().ok_or_else(|| {
+                                    AdmError::type_check("expected long item".to_string())
+                                })?;
+                                varint::write_u64(&mut block, n as u64);
+                            }
+                            WireType::Double => {
+                                let f = x.as_f64().ok_or_else(|| {
+                                    AdmError::type_check("expected double item".to_string())
+                                })?;
+                                block.extend_from_slice(&f.to_le_bytes());
+                            }
+                            WireType::Bool => {
+                                block.push(x.as_bool().map(|b| b as u8).unwrap_or(0))
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                    varint::write_u64(out, key(field, WT_LEN));
+                    varint::write_u64(out, block.len() as u64);
+                    out.extend_from_slice(&block);
+                }
+                // Unpacked repeated: repeat the key per item.
+                _ => {
+                    for x in items {
+                        encode_field(x, item, field, out)?;
+                    }
+                }
+            }
+        }
+        WireType::Record(_) => {
+            let mut nested = Vec::new();
+            encode(v, t, &mut nested)?;
+            varint::write_u64(out, key(field, WT_LEN));
+            varint::write_u64(out, nested.len() as u64);
+            out.extend_from_slice(&nested);
+        }
+    }
+    Ok(())
+}
+
+/// Derive-and-encode.
+pub fn encode_record(v: &Value) -> Result<Vec<u8>, AdmError> {
+    let schema = crate::schema::derive_schema(v)?;
+    let mut out = Vec::with_capacity(256);
+    encode(v, &schema, &mut out)?;
+    Ok(out)
+}
+
+/// Decode against a schema (tests).
+pub fn decode(buf: &[u8], schema: &WireType) -> Result<Value, AdmError> {
+    let WireType::Record(fields) = schema else {
+        return Err(AdmError::type_check("message schema expected".to_string()));
+    };
+    let mut out: Vec<(String, Value)> = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let (k, n) =
+            varint::read_u64(&buf[pos..]).ok_or_else(|| AdmError::corrupt("truncated key"))?;
+        pos += n;
+        let field = (k >> 3) as usize;
+        let wire = k & 0x7;
+        let (name, ftype) = fields
+            .get(field - 1)
+            .ok_or_else(|| AdmError::corrupt(format!("unknown field {field}")))?;
+        let value = decode_value(buf, &mut pos, wire, ftype)?;
+        // Repeated fields: merge arrays.
+        if let Some((_, existing)) = out.iter_mut().find(|(n, _)| n == name) {
+            match (existing, value) {
+                (Value::Array(a), Value::Array(b)) => a.extend(b),
+                (Value::Array(a), v) => a.push(v),
+                (slot, v) => *slot = v, // last-wins for scalars
+            }
+        } else {
+            let value = match ftype {
+                WireType::List(item)
+                    if !matches!(
+                        item.as_ref(),
+                        WireType::Long | WireType::Double | WireType::Bool
+                    ) && !matches!(value, Value::Array(_)) =>
+                {
+                    Value::Array(vec![value])
+                }
+                _ => value,
+            };
+            out.push((name.clone(), value));
+        }
+    }
+    Ok(Value::Object(out))
+}
+
+fn decode_value(
+    buf: &[u8],
+    pos: &mut usize,
+    wire: u64,
+    t: &WireType,
+) -> Result<Value, AdmError> {
+    match (wire, t) {
+        (WT_VARINT, WireType::Bool) => {
+            let (v, n) = varint::read_u64(&buf[*pos..])
+                .ok_or_else(|| AdmError::corrupt("truncated varint"))?;
+            *pos += n;
+            Ok(Value::Boolean(v != 0))
+        }
+        (WT_VARINT, WireType::Long) => {
+            let (v, n) = varint::read_u64(&buf[*pos..])
+                .ok_or_else(|| AdmError::corrupt("truncated varint"))?;
+            *pos += n;
+            Ok(Value::Int64(v as i64))
+        }
+        (WT_FIXED64, WireType::Double) => {
+            let b = buf
+                .get(*pos..*pos + 8)
+                .ok_or_else(|| AdmError::corrupt("truncated fixed64"))?;
+            *pos += 8;
+            Ok(Value::Double(f64::from_le_bytes(b.try_into().expect("8"))))
+        }
+        (WT_LEN, t) => {
+            let (len, n) = varint::read_u64(&buf[*pos..])
+                .ok_or_else(|| AdmError::corrupt("truncated length"))?;
+            *pos += n;
+            let body = buf
+                .get(*pos..*pos + len as usize)
+                .ok_or_else(|| AdmError::corrupt("truncated body"))?;
+            *pos += len as usize;
+            match t {
+                WireType::Str => Ok(Value::String(
+                    std::str::from_utf8(body)
+                        .map_err(|_| AdmError::corrupt("bad utf8"))?
+                        .to_owned(),
+                )),
+                WireType::Bytes => Ok(Value::Binary(body.to_vec())),
+                WireType::Record(_) => decode(body, t),
+                WireType::List(item) => match item.as_ref() {
+                    // Packed block.
+                    WireType::Long | WireType::Bool => {
+                        let mut items = Vec::new();
+                        let mut p = 0usize;
+                        while p < body.len() {
+                            let (v, n) = varint::read_u64(&body[p..])
+                                .ok_or_else(|| AdmError::corrupt("truncated packed"))?;
+                            p += n;
+                            items.push(match item.as_ref() {
+                                WireType::Bool => Value::Boolean(v != 0),
+                                _ => Value::Int64(v as i64),
+                            });
+                        }
+                        Ok(Value::Array(items))
+                    }
+                    WireType::Double => {
+                        let items = body
+                            .chunks_exact(8)
+                            .map(|c| Value::Double(f64::from_le_bytes(c.try_into().expect("8"))))
+                            .collect();
+                        Ok(Value::Array(items))
+                    }
+                    // Unpacked item (string/message): one element.
+                    inner => {
+                        let mut p = 0usize;
+                        let v = match inner {
+                            WireType::Str => Value::String(
+                                std::str::from_utf8(body)
+                                    .map_err(|_| AdmError::corrupt("bad utf8"))?
+                                    .to_owned(),
+                            ),
+                            WireType::Record(_) => decode(body, inner)?,
+                            WireType::Bytes => Value::Binary(body.to_vec()),
+                            _ => return Err(AdmError::corrupt("unexpected list item")),
+                        };
+                        let _ = &mut p;
+                        Ok(v)
+                    }
+                },
+                _ => Err(AdmError::corrupt("length-delimited scalar mismatch")),
+            }
+        }
+        (w, t) => Err(AdmError::corrupt(format!("wire type {w} vs schema {t:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{derive_schema, normalize};
+    use tc_adm::parse;
+
+    fn roundtrip(src: &str) {
+        let v = parse(src).unwrap();
+        let schema = derive_schema(&v).unwrap();
+        let bytes = encode_record(&v).unwrap();
+        let back = decode(&bytes, &schema).unwrap();
+        assert_eq!(back, normalize(&v), "src: {src}");
+    }
+
+    #[test]
+    fn roundtrips_nested_messages() {
+        roundtrip(r#"{"id": 6, "name": "Ann", "salaries": [70000, 90000], "age": 26}"#);
+        roundtrip(r#"{"user": {"name": "Bob", "ok": true}, "score": 1.25}"#);
+        roundtrip(r#"{"tags": [{"t": "a"}, {"t": "b"}], "names": ["x", "y"]}"#);
+        roundtrip(r#"{"neg": -5, "bin": binary("00ff00")}"#);
+    }
+
+    #[test]
+    fn packed_numeric_arrays_are_one_block() {
+        let v = parse(r#"{"xs": [1, 2, 3, 4, 5]}"#).unwrap();
+        let bytes = encode_record(&v).unwrap();
+        // key(1) + len(1) + five 1-byte varints = 7 bytes.
+        assert_eq!(bytes.len(), 7);
+    }
+
+    #[test]
+    fn absent_fields_cost_nothing() {
+        let full = parse(r#"{"a": 1, "b": "xx"}"#).unwrap();
+        let schema = derive_schema(&full).unwrap();
+        let sparse = parse(r#"{"a": 1}"#).unwrap();
+        let mut bytes = Vec::new();
+        encode(&sparse, &schema, &mut bytes).unwrap();
+        assert_eq!(bytes.len(), 2); // key + varint
+        assert_eq!(decode(&bytes, &schema).unwrap(), sparse);
+    }
+
+    #[test]
+    fn negative_longs_use_ten_byte_varints() {
+        let v = parse(r#"{"n": -1}"#).unwrap();
+        let bytes = encode_record(&v).unwrap();
+        assert_eq!(bytes.len(), 1 + 10, "int64 -1 is a 10-byte varint");
+    }
+}

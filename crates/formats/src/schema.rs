@@ -1,0 +1,116 @@
+//! Wire schemas derived from values.
+//!
+//! Avro/Thrift/Protobuf all require a schema before writing (the paper
+//! contrasts this with the vector-based format, where the schema is
+//! optional — §4.4.4). [`derive_schema`] builds one from a record; every
+//! record field is treated as optional (`union(null, T)` in Avro terms),
+//! which is how sparse tweet fields must be modelled in practice.
+
+use tc_adm::{AdmError, Value};
+
+/// The type lattice the wire formats share.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireType {
+    Bool,
+    /// All integral types widen to a 64-bit integer.
+    Long,
+    Double,
+    Str,
+    Bytes,
+    List(Box<WireType>),
+    Record(Vec<(String, WireType)>),
+}
+
+/// Derive a wire schema from a value (field order preserved).
+pub fn derive_schema(v: &Value) -> Result<WireType, AdmError> {
+    Ok(match v {
+        Value::Boolean(_) => WireType::Bool,
+        Value::Int8(_) | Value::Int16(_) | Value::Int32(_) | Value::Int64(_)
+        | Value::Date(_) | Value::Time(_) | Value::DateTime(_) | Value::Duration(_) => {
+            WireType::Long
+        }
+        Value::Float(_) | Value::Double(_) => WireType::Double,
+        Value::String(_) => WireType::Str,
+        Value::Binary(_) => WireType::Bytes,
+        Value::Array(items) | Value::Multiset(items) => {
+            // Item type from the first non-null item; empty lists default to
+            // strings (a schema author would pick something).
+            let item = items
+                .iter()
+                .find(|v| !v.is_null_or_missing())
+                .map(derive_schema)
+                .transpose()?
+                .unwrap_or(WireType::Str);
+            WireType::List(Box::new(item))
+        }
+        Value::Object(fields) => WireType::Record(
+            fields
+                .iter()
+                .filter(|(_, v)| !v.is_null_or_missing())
+                .map(|(n, v)| Ok((n.clone(), derive_schema(v)?)))
+                .collect::<Result<_, AdmError>>()?,
+        ),
+        Value::Null | Value::Missing => {
+            return Err(AdmError::type_check("cannot derive schema from null".to_string()))
+        }
+        other => {
+            return Err(AdmError::type_check(format!(
+                "type {} has no mapping in schema-first formats",
+                other.type_tag()
+            )))
+        }
+    })
+}
+
+/// Normalize a value into the wire formats' type lattice so decoded values
+/// compare equal to inputs (ints widen, floats become doubles, multisets
+/// become arrays).
+pub fn normalize(v: &Value) -> Value {
+    match v {
+        Value::Int8(x) => Value::Int64(*x as i64),
+        Value::Int16(x) => Value::Int64(*x as i64),
+        Value::Int32(x) => Value::Int64(*x as i64),
+        Value::Date(x) | Value::Time(x) => Value::Int64(*x as i64),
+        Value::DateTime(x) | Value::Duration(x) => Value::Int64(*x),
+        Value::Float(x) => Value::Double(*x as f64),
+        Value::Array(items) | Value::Multiset(items) => Value::Array(
+            items.iter().filter(|v| !v.is_null_or_missing()).map(normalize).collect(),
+        ),
+        Value::Object(fields) => Value::Object(
+            fields
+                .iter()
+                .filter(|(_, v)| !v.is_null_or_missing())
+                .map(|(n, v)| (n.clone(), normalize(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_adm::parse;
+
+    #[test]
+    fn derives_nested_schema() {
+        let v = parse(r#"{"id": 1, "name": "x", "tags": [{"t": "a"}], "score": 1.5}"#).unwrap();
+        let s = derive_schema(&v).unwrap();
+        let WireType::Record(fields) = s else { panic!() };
+        assert_eq!(fields.len(), 4);
+        assert_eq!(fields[0], ("id".to_string(), WireType::Long));
+        assert_eq!(fields[3], ("score".to_string(), WireType::Double));
+        let WireType::List(item) = &fields[2].1 else { panic!() };
+        assert!(matches!(**item, WireType::Record(_)));
+    }
+
+    #[test]
+    fn normalize_widens_and_drops_nulls() {
+        let v = parse(r#"{"a": 5i8, "b": null, "c": [1i32, null], "d": 1.5f}"#).unwrap();
+        let n = normalize(&v);
+        assert_eq!(
+            n,
+            parse(r#"{"a": 5, "c": [1], "d": 1.5}"#).unwrap()
+        );
+    }
+}

@@ -1,0 +1,527 @@
+//! Immutable on-disk components (paper §2.2).
+//!
+//! A component is a bottom-up-built B+-tree: sorted entries packed into
+//! page-sized leaf blocks, an index of (first key → block) over them, a
+//! bloom filter on keys, and a metadata page holding the validity bit, the
+//! component id, and the hook's metadata blob (the tuple compactor's
+//! persisted schema, §3.1). Index, bloom, and metadata are written to the
+//! same page store after the leaves, so on-disk size accounting includes
+//! them, as a real B+-tree's interior nodes would.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use tc_compress::CompressionScheme;
+use tc_storage::device::Device;
+use tc_storage::page_store::{PageStore, PageWriter};
+use tc_storage::BufferCache;
+use tc_util::varint;
+
+use crate::bloom::BloomFilter;
+use crate::entry::{read_entry, write_entry, EntryKind, Key};
+
+/// Component identity: flushed components get `(n, n)`; a merge of
+/// `[Ci..Cj]` gets `(i, j)`. Recency order is by `max` (paper §2.2:
+/// AsterixDB infers recency from component ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ComponentId {
+    pub min: u64,
+    pub max: u64,
+}
+
+impl ComponentId {
+    pub fn flushed(seq: u64) -> Self {
+        ComponentId { min: seq, max: seq }
+    }
+
+    pub fn merged(oldest: ComponentId, newest: ComponentId) -> Self {
+        ComponentId { min: oldest.min, max: newest.max }
+    }
+}
+
+impl std::fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.min == self.max {
+            write!(f, "C{}", self.min)
+        } else {
+            write!(f, "[C{},C{}]", self.min, self.max)
+        }
+    }
+}
+
+/// Index entry: where a leaf block lives.
+#[derive(Debug, Clone)]
+struct BlockRef {
+    first_key: Key,
+    start_page: u64,
+    byte_len: u32,
+}
+
+/// An immutable on-disk component.
+#[derive(Debug)]
+pub struct DiskComponent {
+    id: ComponentId,
+    store: PageStore,
+    index: Vec<BlockRef>,
+    bloom: BloomFilter,
+    /// Hook metadata blob (the persisted schema for inferred datasets).
+    metadata: Option<Vec<u8>>,
+    /// Largest key in the component (None if empty).
+    max_key: Option<Key>,
+    /// The validity bit (paper §2.2): set only after the flush/merge that
+    /// produced this component completed. Recovery removes invalid
+    /// components.
+    valid: AtomicBool,
+    num_entries: u64,
+    num_antimatter: u64,
+}
+
+impl DiskComponent {
+    pub fn id(&self) -> ComponentId {
+        self.id
+    }
+
+    pub fn is_valid(&self) -> bool {
+        self.valid.load(Ordering::Acquire)
+    }
+
+    /// Set the validity bit (the final step of flush/merge).
+    pub fn set_valid(&self) {
+        self.valid.store(true, Ordering::Release);
+    }
+
+    pub fn metadata(&self) -> Option<&[u8]> {
+        self.metadata.as_deref()
+    }
+
+    pub fn num_entries(&self) -> u64 {
+        self.num_entries
+    }
+
+    pub fn num_antimatter(&self) -> u64 {
+        self.num_antimatter
+    }
+
+    /// Total on-disk footprint (leaves + index + bloom + metadata + LAF).
+    pub fn disk_bytes(&self) -> u64 {
+        self.store.total_bytes()
+    }
+
+    pub fn min_key(&self) -> Option<&[u8]> {
+        self.index.first().map(|b| b.first_key.as_slice())
+    }
+
+    pub fn max_key(&self) -> Option<&[u8]> {
+        self.max_key.as_deref()
+    }
+
+    /// Key-range filter (the LSM-filter idea of [17], cited in §5): can this
+    /// component contain keys in `[start, end)`? Scans skip components whose
+    /// range doesn't intersect — e.g. old components during a
+    /// recent-timestamp secondary range scan.
+    pub fn overlaps(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> bool {
+        let (Some(min), Some(max)) = (self.min_key(), self.max_key()) else {
+            return false; // empty component
+        };
+        if let Some(end) = end {
+            if min >= end {
+                return false;
+            }
+        }
+        if let Some(start) = start {
+            if max < start {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Point lookup through the bloom filter and block index.
+    pub fn get(&self, cache: &BufferCache, key: &[u8]) -> Option<(EntryKind, Vec<u8>)> {
+        if self.index.is_empty() || !self.bloom.contains(key) {
+            return None;
+        }
+        // Last block whose first_key <= key.
+        let idx = match self.index.binary_search_by(|b| b.first_key.as_slice().cmp(key)) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let block = self.read_block(cache, &self.index[idx]);
+        let mut pos = 0usize;
+        while pos < block.len() {
+            let (k, kind, payload, n) = read_entry(&block[pos..])?;
+            match k.cmp(key) {
+                std::cmp::Ordering::Equal => return Some((kind, payload.to_vec())),
+                std::cmp::Ordering::Greater => return None,
+                std::cmp::Ordering::Less => pos += n,
+            }
+        }
+        None
+    }
+
+    fn read_block(&self, cache: &BufferCache, block: &BlockRef) -> Vec<u8> {
+        let page_size = self.store.page_size();
+        let num_pages = (block.byte_len as usize).div_ceil(page_size);
+        let mut out = Vec::with_capacity(block.byte_len as usize);
+        for p in 0..num_pages {
+            let page = cache.read(&self.store, block.start_page + p as u64);
+            let take = (block.byte_len as usize - out.len()).min(page_size);
+            out.extend_from_slice(&page[..take]);
+        }
+        out
+    }
+
+    /// Iterate entries in key order, starting at the first key ≥ `start`
+    /// (or from the beginning).
+    pub fn scan<'a>(
+        &'a self,
+        cache: &'a BufferCache,
+        start: Option<&[u8]>,
+    ) -> ComponentScan<'a> {
+        let block_idx = match start {
+            None => 0,
+            Some(key) => match self.index.binary_search_by(|b| b.first_key.as_slice().cmp(key)) {
+                Ok(i) => i,
+                Err(0) => 0,
+                Err(i) => i - 1,
+            },
+        };
+        ComponentScan {
+            component: self,
+            cache,
+            block_idx,
+            block: Vec::new(),
+            pos: 0,
+            loaded: false,
+            skip_until: start.map(|s| s.to_vec()),
+        }
+    }
+}
+
+/// Streaming scan over a component's leaf blocks.
+pub struct ComponentScan<'a> {
+    component: &'a DiskComponent,
+    cache: &'a BufferCache,
+    block_idx: usize,
+    block: Vec<u8>,
+    pos: usize,
+    loaded: bool,
+    skip_until: Option<Key>,
+}
+
+impl ComponentScan<'_> {
+    /// Next entry: (key, kind, payload).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Key, EntryKind, Vec<u8>)> {
+        loop {
+            if !self.loaded {
+                let block_ref = self.component.index.get(self.block_idx)?;
+                self.block = self.component.read_block(self.cache, block_ref);
+                self.pos = 0;
+                self.loaded = true;
+            }
+            if self.pos >= self.block.len() {
+                self.block_idx += 1;
+                self.loaded = false;
+                continue;
+            }
+            let (k, kind, payload, n) =
+                read_entry(&self.block[self.pos..]).expect("component blocks are well-formed");
+            self.pos += n;
+            if let Some(skip) = &self.skip_until {
+                if k < skip.as_slice() {
+                    continue;
+                }
+            }
+            self.skip_until = None;
+            return Some((k.to_vec(), kind, payload.to_vec()));
+        }
+    }
+}
+
+/// Builds a component from entries supplied in ascending key order — used
+/// by flush, merge, and bulk load (the paper's §4.3 bulk-load builds a
+/// single component bottom-up exactly like this).
+pub struct ComponentBuilder {
+    store: PageStore,
+    buf: Vec<u8>,
+    index: Vec<BlockRef>,
+    pending_first_key: Option<Key>,
+    bloom: BloomFilter,
+    next_page: u64,
+    num_entries: u64,
+    num_antimatter: u64,
+    last_key: Option<Key>,
+    page_size: usize,
+}
+
+impl ComponentBuilder {
+    pub fn new(
+        device: Arc<Device>,
+        page_size: usize,
+        scheme: CompressionScheme,
+        expected_keys: usize,
+        bloom_bits_per_key: usize,
+    ) -> Self {
+        ComponentBuilder {
+            store: PageStore::new(device, page_size, scheme),
+            buf: Vec::with_capacity(page_size),
+            index: Vec::new(),
+            pending_first_key: None,
+            bloom: BloomFilter::with_capacity(expected_keys, bloom_bits_per_key),
+            next_page: 0,
+            num_entries: 0,
+            num_antimatter: 0,
+            last_key: None,
+            page_size,
+        }
+    }
+
+    /// Append one entry. Keys must arrive in strictly ascending order.
+    pub fn push(&mut self, key: &[u8], kind: EntryKind, payload: &[u8]) {
+        if let Some(last) = &self.last_key {
+            assert!(
+                key > last.as_slice(),
+                "component entries must be strictly ascending"
+            );
+        }
+        self.last_key = Some(key.to_vec());
+        self.bloom.insert(key);
+        self.num_entries += 1;
+        if kind == EntryKind::AntiMatter {
+            self.num_antimatter += 1;
+        }
+        if self.pending_first_key.is_none() {
+            self.pending_first_key = Some(key.to_vec());
+        }
+        write_entry(&mut self.buf, key, kind, payload);
+        if self.buf.len() >= self.page_size {
+            self.flush_block();
+        }
+    }
+
+    fn flush_block(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let byte_len = self.buf.len() as u32;
+        let mut writer = PageWriter::new(&self.store);
+        writer.append(&self.buf);
+        let pages = writer.finish();
+        let start_page = pages[0];
+        debug_assert_eq!(start_page, self.next_page);
+        self.next_page += pages.len() as u64;
+        self.index.push(BlockRef {
+            first_key: self.pending_first_key.take().expect("block has entries"),
+            start_page,
+            byte_len,
+        });
+        self.buf.clear();
+    }
+
+    /// Finish the component. `valid=false` simulates a crash between data
+    /// write and validity-bit set (recovery must discard the component).
+    pub fn finish(
+        mut self,
+        id: ComponentId,
+        metadata: Option<Vec<u8>>,
+        valid: bool,
+    ) -> DiskComponent {
+        self.flush_block();
+        // Persist index, bloom, and metadata after the leaves, so the
+        // component's on-disk footprint is complete.
+        let mut tail = Vec::new();
+        varint::write_u64(&mut tail, self.index.len() as u64);
+        for b in &self.index {
+            varint::write_u64(&mut tail, b.first_key.len() as u64);
+            tail.extend_from_slice(&b.first_key);
+            varint::write_u64(&mut tail, b.start_page);
+            varint::write_u64(&mut tail, b.byte_len as u64);
+        }
+        let bloom_bytes = self.bloom.serialize();
+        varint::write_u64(&mut tail, bloom_bytes.len() as u64);
+        tail.extend_from_slice(&bloom_bytes);
+        match &metadata {
+            None => {
+                varint::write_u64(&mut tail, 0);
+            }
+            Some(m) => {
+                varint::write_u64(&mut tail, m.len() as u64 + 1);
+                tail.extend_from_slice(m);
+            }
+        }
+        tail.extend_from_slice(&id.min.to_le_bytes());
+        tail.extend_from_slice(&id.max.to_le_bytes());
+        tail.extend_from_slice(&self.num_entries.to_le_bytes());
+        let mut writer = PageWriter::new(&self.store);
+        writer.append(&tail);
+        writer.finish();
+
+        let c = DiskComponent {
+            id,
+            store: self.store,
+            index: self.index,
+            bloom: self.bloom,
+            metadata,
+            max_key: self.last_key,
+            valid: AtomicBool::new(valid),
+            num_entries: self.num_entries,
+            num_antimatter: self.num_antimatter,
+        };
+        debug_assert!(valid || !c.is_valid());
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_storage::device::DeviceProfile;
+
+    fn build(n: u64, page_size: usize) -> (DiskComponent, BufferCache) {
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        let mut b =
+            ComponentBuilder::new(device, page_size, CompressionScheme::None, n as usize, 10);
+        for i in 0..n {
+            let key = (i * 2).to_be_bytes(); // even keys only
+            let payload = format!("value-{i}");
+            b.push(&key, EntryKind::Record, payload.as_bytes());
+        }
+        let c = b.finish(ComponentId::flushed(0), Some(b"schema".to_vec()), true);
+        (c, BufferCache::new(128))
+    }
+
+    #[test]
+    fn point_lookup_hits_and_misses() {
+        let (c, cache) = build(500, 256);
+        for i in [0u64, 1, 250, 499] {
+            let (kind, payload) = c.get(&cache, &(i * 2).to_be_bytes()).unwrap();
+            assert_eq!(kind, EntryKind::Record);
+            assert_eq!(payload, format!("value-{i}").into_bytes());
+        }
+        // Odd keys are absent.
+        for i in [1u64, 501, 999] {
+            assert!(c.get(&cache, &i.to_be_bytes()).is_none());
+        }
+        // Key below the first.
+        assert!(c.get(&cache, &[0u8; 1]).is_none());
+    }
+
+    #[test]
+    fn scan_returns_all_in_order() {
+        let (c, cache) = build(300, 128);
+        let mut scan = c.scan(&cache, None);
+        let mut prev: Option<Key> = None;
+        let mut count = 0;
+        while let Some((k, kind, _)) = scan.next() {
+            assert_eq!(kind, EntryKind::Record);
+            if let Some(p) = &prev {
+                assert!(k > *p);
+            }
+            prev = Some(k);
+            count += 1;
+        }
+        assert_eq!(count, 300);
+    }
+
+    #[test]
+    fn scan_from_start_key() {
+        let (c, cache) = build(100, 128);
+        // Start between keys 100 (i=50) and 102 (i=51).
+        let start = 101u64.to_be_bytes();
+        let mut scan = c.scan(&cache, Some(&start));
+        let (k, _, _) = scan.next().unwrap();
+        assert_eq!(u64::from_be_bytes(k[..8].try_into().unwrap()), 102);
+        let mut rest = 1;
+        while scan.next().is_some() {
+            rest += 1;
+        }
+        assert_eq!(rest, 49);
+    }
+
+    #[test]
+    fn oversized_entries_span_pages() {
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        let mut b = ComponentBuilder::new(device, 64, CompressionScheme::None, 4, 10);
+        let big = vec![7u8; 500];
+        b.push(b"a", EntryKind::Record, &big);
+        b.push(b"b", EntryKind::Record, b"small");
+        let c = b.finish(ComponentId::flushed(1), None, true);
+        let cache = BufferCache::new(64);
+        assert_eq!(c.get(&cache, b"a").unwrap().1, big);
+        assert_eq!(c.get(&cache, b"b").unwrap().1, b"small".to_vec());
+    }
+
+    #[test]
+    fn antimatter_entries_roundtrip() {
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        let mut b = ComponentBuilder::new(device, 128, CompressionScheme::None, 2, 10);
+        b.push(b"dead", EntryKind::AntiMatter, &[]);
+        b.push(b"live", EntryKind::Record, b"x");
+        let c = b.finish(ComponentId::flushed(2), None, true);
+        let cache = BufferCache::new(8);
+        assert_eq!(c.get(&cache, b"dead").unwrap().0, EntryKind::AntiMatter);
+        assert_eq!(c.num_antimatter(), 1);
+        assert_eq!(c.num_entries(), 2);
+    }
+
+    #[test]
+    fn validity_bit_lifecycle() {
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        let mut b = ComponentBuilder::new(device, 128, CompressionScheme::None, 1, 10);
+        b.push(b"k", EntryKind::Record, b"v");
+        let c = b.finish(ComponentId::flushed(3), None, false);
+        assert!(!c.is_valid(), "INVALID until the operation completes");
+        c.set_valid();
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn out_of_order_push_panics() {
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        let mut b = ComponentBuilder::new(device, 128, CompressionScheme::None, 2, 10);
+        b.push(b"b", EntryKind::Record, b"");
+        b.push(b"a", EntryKind::Record, b"");
+    }
+
+    #[test]
+    fn key_range_filter() {
+        let (c, _) = build(100, 128); // keys 0..=198 (even)
+        let max = 198u64.to_be_bytes();
+        assert_eq!(c.max_key(), Some(&max[..]));
+        let k = |v: u64| v.to_be_bytes().to_vec();
+        // Fully inside.
+        assert!(c.overlaps(Some(&k(10)), Some(&k(20))));
+        // Range entirely above the component.
+        assert!(!c.overlaps(Some(&k(199)), Some(&k(300))));
+        // Range entirely below (end ≤ min).
+        assert!(!c.overlaps(None, Some(&k(0))));
+        // Touching boundaries.
+        assert!(c.overlaps(Some(&k(198)), None));
+        assert!(c.overlaps(None, Some(&k(1))));
+        // Unbounded.
+        assert!(c.overlaps(None, None));
+    }
+
+    #[test]
+    fn component_id_display_and_order() {
+        let c0 = ComponentId::flushed(0);
+        let c1 = ComponentId::flushed(1);
+        let merged = ComponentId::merged(c0, c1);
+        assert_eq!(c0.to_string(), "C0");
+        assert_eq!(merged.to_string(), "[C0,C1]");
+        assert!(c1.max > c0.max);
+        assert_eq!(merged.max, c1.max);
+    }
+
+    #[test]
+    fn disk_bytes_include_tail_structures() {
+        let (c, _) = build(100, 128);
+        // 100 records ≈ data; index+bloom+metadata pages add beyond that.
+        let data_estimate: u64 = 100 * 16;
+        assert!(c.disk_bytes() > data_estimate);
+        assert_eq!(c.metadata(), Some(&b"schema"[..]));
+    }
+}

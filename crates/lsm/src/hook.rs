@@ -1,0 +1,68 @@
+//! Flush/merge hooks — the extension point the tuple compactor plugs into.
+//!
+//! The paper frames the compactor as "piggybacking" on LSM lifecycle events
+//! (§1, §5): flushes transform records and produce a metadata blob (the
+//! inferred schema); merges pick a metadata blob from their inputs (the most
+//! recent one — §3.1). The LSM engine itself stays format-agnostic.
+
+/// Observer/transformer of component lifecycle events. One hook instance is
+/// shared by all operations of one LSM tree (one dataset partition).
+pub trait ComponentHook: Send + Sync {
+    /// Transform a record payload as it is flushed from the in-memory
+    /// component to disk. The tuple compactor infers schema and compacts
+    /// here; the default is identity.
+    fn on_flush_record(&self, payload: &[u8]) -> Vec<u8> {
+        payload.to_vec()
+    }
+
+    /// Process an anti-matter entry's attachment (the anti-schema) during
+    /// flush. The attachment is discarded afterwards — anti-matter reaches
+    /// disk as a bare key (§3.2.2).
+    fn on_flush_antimatter(&self, _attachment: Option<&[u8]>) {}
+
+    /// Called once per flush after all entries are processed; the returned
+    /// blob is persisted in the new component's metadata page (the schema
+    /// snapshot, §3.1).
+    fn flush_metadata(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Choose the metadata blob for a merged component. `inputs` are the
+    /// merged components' blobs ordered oldest → newest. The paper's rule:
+    /// keep the newest (it is a superset of the rest), with no access to the
+    /// in-memory schema so merges and flushes never synchronize.
+    fn merge_metadata(&self, inputs: &[Option<&[u8]>]) -> Option<Vec<u8>> {
+        inputs.iter().rev().find_map(|m| m.map(<[u8]>::to_vec))
+    }
+}
+
+/// The no-op hook used by open/closed (non-inferred) datasets.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopHook;
+
+impl ComponentHook for NoopHook {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_hook_is_identity() {
+        let h = NoopHook;
+        assert_eq!(h.on_flush_record(b"abc"), b"abc".to_vec());
+        assert_eq!(h.flush_metadata(), None);
+    }
+
+    #[test]
+    fn merge_metadata_picks_newest_present() {
+        let h = NoopHook;
+        let a = b"old".to_vec();
+        let b = b"new".to_vec();
+        assert_eq!(
+            h.merge_metadata(&[Some(&a), Some(&b)]),
+            Some(b"new".to_vec())
+        );
+        assert_eq!(h.merge_metadata(&[Some(&a), None]), Some(b"old".to_vec()));
+        assert_eq!(h.merge_metadata(&[None, None]), None);
+    }
+}

@@ -1,0 +1,279 @@
+//! K-way merged scans across the in-memory component and on-disk
+//! components, with newest-wins semantics and anti-matter annihilation
+//! (paper §2.2, Fig 4b).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use tc_storage::BufferCache;
+
+use crate::component::{ComponentScan, DiskComponent};
+use crate::entry::{EntryKind, Key};
+use crate::memtable::{MemEntry, Memtable};
+
+/// One input to the merge. Rank encodes recency: higher = newer; the
+/// memtable is always newest.
+enum SourceIter<'a> {
+    Mem(std::vec::IntoIter<(Key, EntryKind, Vec<u8>)>),
+    Disk(ComponentScan<'a>),
+}
+
+impl SourceIter<'_> {
+    fn next(&mut self) -> Option<(Key, EntryKind, Vec<u8>)> {
+        match self {
+            SourceIter::Mem(it) => it.next(),
+            SourceIter::Disk(scan) => scan.next(),
+        }
+    }
+}
+
+struct HeapItem {
+    key: Key,
+    kind: EntryKind,
+    payload: Vec<u8>,
+    rank: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.rank == other.rank
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert key order (smallest first), break
+        // ties by rank (newest first).
+        other.key.cmp(&self.key).then_with(|| self.rank.cmp(&other.rank))
+    }
+}
+
+/// Merged iterator over an LSM tree's sources.
+pub struct MergedScan<'a> {
+    heap: BinaryHeap<HeapItem>,
+    sources: Vec<SourceIter<'a>>,
+    /// Emit anti-matter entries (used by merge); reads skip them.
+    include_antimatter: bool,
+    /// Exclusive upper bound.
+    end: Option<Key>,
+}
+
+impl<'a> MergedScan<'a> {
+    /// Build a scan. `components` are ordered oldest → newest; `mem` (if
+    /// given) is newest of all. `start` is inclusive, `end` exclusive.
+    pub fn new(
+        mem: Option<&Memtable>,
+        components: &'a [std::sync::Arc<DiskComponent>],
+        cache: &'a BufferCache,
+        start: Option<&[u8]>,
+        end: Option<&[u8]>,
+        include_antimatter: bool,
+    ) -> Self {
+        let mut sources: Vec<SourceIter<'a>> = Vec::with_capacity(components.len() + 1);
+        for c in components {
+            // Key-range filter: skip components outside [start, end).
+            if !c.overlaps(start, end) {
+                continue;
+            }
+            sources.push(SourceIter::Disk(c.scan(cache, start)));
+        }
+        if let Some(mem) = mem {
+            let snapshot: Vec<(Key, EntryKind, Vec<u8>)> = mem
+                .range(
+                    match start {
+                        Some(s) => std::ops::Bound::Included(s),
+                        None => std::ops::Bound::Unbounded,
+                    },
+                    std::ops::Bound::Unbounded,
+                )
+                .map(|(k, e)| match e {
+                    MemEntry::Record(p) => (k.clone(), EntryKind::Record, p.clone()),
+                    MemEntry::AntiMatter(_) => (k.clone(), EntryKind::AntiMatter, Vec::new()),
+                })
+                .collect();
+            sources.push(SourceIter::Mem(snapshot.into_iter()));
+        }
+        let mut scan = MergedScan {
+            heap: BinaryHeap::with_capacity(sources.len()),
+            sources,
+            include_antimatter,
+            end: end.map(|e| e.to_vec()),
+        };
+        for rank in 0..scan.sources.len() {
+            scan.advance(rank);
+        }
+        scan
+    }
+
+    fn advance(&mut self, rank: usize) {
+        if let Some((key, kind, payload)) = self.sources[rank].next() {
+            self.heap.push(HeapItem { key, kind, payload, rank });
+        }
+    }
+
+    /// Next live entry: `(key, kind, payload)`. With
+    /// `include_antimatter == false`, deleted keys are invisible.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Key, EntryKind, Vec<u8>)> {
+        loop {
+            let top = self.heap.pop()?;
+            if let Some(end) = &self.end {
+                if top.key.as_slice() >= end.as_slice() {
+                    return None;
+                }
+            }
+            self.advance(top.rank);
+            // Drop older duplicates of the same key.
+            while let Some(next) = self.heap.peek() {
+                if next.key == top.key {
+                    let dup = self.heap.pop().expect("peeked");
+                    self.advance(dup.rank);
+                } else {
+                    break;
+                }
+            }
+            match top.kind {
+                EntryKind::AntiMatter if !self.include_antimatter => continue,
+                _ => return Some((top.key, top.kind, top.payload)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{ComponentBuilder, ComponentId};
+    use std::sync::Arc;
+    use tc_compress::CompressionScheme;
+    use tc_storage::device::{Device, DeviceProfile};
+
+    fn component(seq: u64, entries: &[(u64, EntryKind, &str)]) -> Arc<DiskComponent> {
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        let mut b =
+            ComponentBuilder::new(device, 256, CompressionScheme::None, entries.len(), 10);
+        for (k, kind, v) in entries {
+            b.push(&k.to_be_bytes(), *kind, v.as_bytes());
+        }
+        Arc::new(b.finish(ComponentId::flushed(seq), None, true))
+    }
+
+    fn collect(scan: &mut MergedScan<'_>) -> Vec<(u64, EntryKind, String)> {
+        let mut out = Vec::new();
+        while let Some((k, kind, p)) = scan.next() {
+            out.push((
+                u64::from_be_bytes(k[..8].try_into().unwrap()),
+                kind,
+                String::from_utf8(p).unwrap(),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn newest_component_wins_per_key() {
+        use EntryKind::*;
+        let c0 = component(0, &[(1, Record, "old1"), (2, Record, "old2"), (3, Record, "old3")]);
+        let c1 = component(1, &[(2, Record, "new2")]);
+        let comps = vec![c0, c1];
+        let cache = BufferCache::new(16);
+        let mut scan = MergedScan::new(None, &comps, &cache, None, None, false);
+        assert_eq!(
+            collect(&mut scan),
+            vec![
+                (1, Record, "old1".into()),
+                (2, Record, "new2".into()),
+                (3, Record, "old3".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_fig4_antimatter_annihilation() {
+        use EntryKind::*;
+        // C0: records 0 ("Kim") and 1 ("John"); C1: anti-matter for 0 and
+        // record 2 ("Bob"). A read sees John and Bob only (Fig 4).
+        let c0 = component(0, &[(0, Record, "Kim"), (1, Record, "John")]);
+        let c1 = component(1, &[(0, AntiMatter, ""), (2, Record, "Bob")]);
+        let comps = vec![c0, c1];
+        let cache = BufferCache::new(16);
+        let mut scan = MergedScan::new(None, &comps, &cache, None, None, false);
+        assert_eq!(
+            collect(&mut scan),
+            vec![(1, Record, "John".into()), (2, Record, "Bob".into())]
+        );
+        // A merge-mode scan still sees the anti-matter entry.
+        let mut scan = MergedScan::new(None, &comps, &cache, None, None, true);
+        let all = collect(&mut scan);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], (0, AntiMatter, "".into()));
+    }
+
+    #[test]
+    fn memtable_overrides_disk() {
+        use EntryKind::*;
+        let c0 = component(0, &[(1, Record, "disk"), (2, Record, "stays")]);
+        let comps = vec![c0];
+        let mut mem = Memtable::new();
+        mem.put(1u64.to_be_bytes().to_vec(), MemEntry::Record(b"mem".to_vec()));
+        mem.put(3u64.to_be_bytes().to_vec(), MemEntry::AntiMatter(None));
+        let cache = BufferCache::new(16);
+        let mut scan = MergedScan::new(Some(&mem), &comps, &cache, None, None, false);
+        assert_eq!(
+            collect(&mut scan),
+            vec![(1, Record, "mem".into()), (2, Record, "stays".into())]
+        );
+    }
+
+    #[test]
+    fn range_bounds_are_respected() {
+        use EntryKind::*;
+        let entries: Vec<(u64, EntryKind, &str)> =
+            (0..20).map(|i| (i, Record, "v")).collect();
+        let c0 = component(0, &entries);
+        let comps = vec![c0];
+        let cache = BufferCache::new(16);
+        let start = 5u64.to_be_bytes();
+        let end = 9u64.to_be_bytes();
+        let mut scan = MergedScan::new(None, &comps, &cache, Some(&start), Some(&end), false);
+        let got: Vec<u64> = collect(&mut scan).into_iter().map(|(k, _, _)| k).collect();
+        assert_eq!(got, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn range_scan_skips_non_overlapping_components() {
+        use EntryKind::*;
+        // Old component holds keys 0..10; new holds 100..110. A range scan
+        // over [100, 105) must not touch the old component's pages.
+        let c_old = component(0, &(0..10).map(|i| (i, Record, "old")).collect::<Vec<_>>());
+        let c_new =
+            component(1, &(100..110).map(|i| (i, Record, "new")).collect::<Vec<_>>());
+        let comps = vec![c_old, c_new];
+        let cache = BufferCache::new(16);
+        let start = 100u64.to_be_bytes();
+        let end = 105u64.to_be_bytes();
+        let misses_before = cache.misses();
+        let mut scan = MergedScan::new(None, &comps, &cache, Some(&start), Some(&end), false);
+        let got: Vec<u64> = collect(&mut scan).into_iter().map(|(k, _, _)| k).collect();
+        assert_eq!(got, vec![100, 101, 102, 103, 104]);
+        // Only the new component's block was fetched.
+        assert_eq!(cache.misses() - misses_before, 1);
+    }
+
+    #[test]
+    fn re_insert_after_delete_is_visible() {
+        use EntryKind::*;
+        let c0 = component(0, &[(7, Record, "v1")]);
+        let c1 = component(1, &[(7, AntiMatter, "")]);
+        let c2 = component(2, &[(7, Record, "v2")]);
+        let comps = vec![c0, c1, c2];
+        let cache = BufferCache::new(16);
+        let mut scan = MergedScan::new(None, &comps, &cache, None, None, false);
+        assert_eq!(collect(&mut scan), vec![(7, Record, "v2".into())]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Merge policies (paper §2.2, [19, 29]).
+//!
+//! The paper's ingestion experiments use AsterixDB's default *prefix* merge
+//! policy with a maximum mergeable component size and a maximum tolerable
+//! component count (§4.3: 1 GB / 5 components). A constant policy and
+//! no-merge are provided for ablations.
+
+use crate::component::DiskComponent;
+
+/// When and what to merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// Merge the run of newest components, each smaller than
+    /// `max_mergeable_size`, once more than `max_tolerable_components` of
+    /// them accumulate.
+    Prefix { max_mergeable_size: u64, max_tolerable_components: usize },
+    /// Merge everything whenever more than `max_components` exist.
+    Constant { max_components: usize },
+    /// Never merge (bulk-load / ablation).
+    NoMerge,
+}
+
+impl MergePolicy {
+    /// The paper's feed-ingestion configuration, scaled: 1 GB max mergeable,
+    /// 5 tolerable components (§4.3).
+    pub fn paper_default(max_mergeable_size: u64) -> Self {
+        MergePolicy::Prefix { max_mergeable_size, max_tolerable_components: 5 }
+    }
+
+    /// Decide which adjacent components (indexes into `components`, ordered
+    /// oldest → newest) to merge. Returns a contiguous range.
+    pub fn decide(&self, components: &[std::sync::Arc<DiskComponent>]) -> Option<std::ops::Range<usize>> {
+        match *self {
+            MergePolicy::NoMerge => None,
+            MergePolicy::Constant { max_components } => {
+                if components.len() > max_components && components.len() >= 2 {
+                    Some(0..components.len())
+                } else {
+                    None
+                }
+            }
+            MergePolicy::Prefix { max_mergeable_size, max_tolerable_components } => {
+                // Walk from the newest end, collecting small components.
+                let mut run = 0usize;
+                for c in components.iter().rev() {
+                    if c.disk_bytes() <= max_mergeable_size {
+                        run += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if run > max_tolerable_components && run >= 2 {
+                    Some(components.len() - run..components.len())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{ComponentBuilder, ComponentId};
+    use crate::entry::EntryKind;
+    use std::sync::Arc;
+    use tc_compress::CompressionScheme;
+    use tc_storage::device::{Device, DeviceProfile};
+
+    /// Build a component with approximately `kb` kilobytes of payload.
+    fn comp(seq: u64, kb: usize) -> Arc<DiskComponent> {
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        let mut b = ComponentBuilder::new(device, 1024, CompressionScheme::None, kb, 10);
+        for i in 0..kb {
+            let key = ((seq << 32) + i as u64).to_be_bytes();
+            b.push(&key, EntryKind::Record, &[0u8; 1024]);
+        }
+        Arc::new(b.finish(ComponentId::flushed(seq), None, true))
+    }
+
+    #[test]
+    fn no_merge_never_fires() {
+        let comps: Vec<_> = (0..10).map(|i| comp(i, 1)).collect();
+        assert_eq!(MergePolicy::NoMerge.decide(&comps), None);
+    }
+
+    #[test]
+    fn constant_policy_merges_everything_over_threshold() {
+        let comps: Vec<_> = (0..4).map(|i| comp(i, 1)).collect();
+        let p = MergePolicy::Constant { max_components: 4 };
+        assert_eq!(p.decide(&comps), None);
+        let comps: Vec<_> = (0..5).map(|i| comp(i, 1)).collect();
+        assert_eq!(p.decide(&comps), Some(0..5));
+    }
+
+    #[test]
+    fn prefix_policy_skips_large_components() {
+        // One large old component + 6 small new ones: merge only the small
+        // run.
+        let mut comps = vec![comp(0, 300)]; // ~300 KB
+        for i in 1..7 {
+            comps.push(comp(i, 1));
+        }
+        let p = MergePolicy::Prefix {
+            max_mergeable_size: 100 * 1024,
+            max_tolerable_components: 5,
+        };
+        assert_eq!(p.decide(&comps), Some(1..7));
+    }
+
+    #[test]
+    fn prefix_policy_waits_for_tolerable_count() {
+        let comps: Vec<_> = (0..5).map(|i| comp(i, 1)).collect();
+        let p = MergePolicy::Prefix {
+            max_mergeable_size: 100 * 1024,
+            max_tolerable_components: 5,
+        };
+        assert_eq!(p.decide(&comps), None, "5 components are tolerable");
+        let comps: Vec<_> = (0..6).map(|i| comp(i, 1)).collect();
+        assert_eq!(p.decide(&comps), Some(0..6));
+    }
+}

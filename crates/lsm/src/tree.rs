@@ -1,0 +1,666 @@
+//! The LSM tree: in-memory component + on-disk components + WAL, with the
+//! flush/merge lifecycle the tuple compactor piggybacks on (paper §2.2,
+//! §3.1).
+
+use std::sync::Arc;
+
+use tc_compress::CompressionScheme;
+use tc_storage::device::Device;
+use tc_storage::BufferCache;
+
+use crate::component::{ComponentBuilder, ComponentId, DiskComponent};
+use crate::entry::{EntryKind, Key};
+use crate::hook::ComponentHook;
+use crate::iter::MergedScan;
+use crate::memtable::{MemEntry, Memtable};
+use crate::policy::MergePolicy;
+use crate::wal::Wal;
+
+/// Per-tree configuration.
+#[derive(Debug, Clone)]
+pub struct LsmOptions {
+    pub page_size: usize,
+    pub compression: CompressionScheme,
+    /// In-memory component budget in bytes; exceeding it triggers a flush.
+    pub memtable_budget: usize,
+    pub merge_policy: MergePolicy,
+    pub bloom_bits_per_key: usize,
+    /// Disable to model bulk-load (no transaction log, §4.3).
+    pub wal_enabled: bool,
+}
+
+impl Default for LsmOptions {
+    fn default() -> Self {
+        LsmOptions {
+            page_size: 32 * 1024,
+            compression: CompressionScheme::None,
+            memtable_budget: 4 * 1024 * 1024,
+            merge_policy: MergePolicy::Prefix {
+                max_mergeable_size: 64 * 1024 * 1024,
+                max_tolerable_components: 5,
+            },
+            bloom_bits_per_key: 10,
+            wal_enabled: true,
+        }
+    }
+}
+
+/// Where a point lookup found its entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupSource {
+    /// The in-memory component — this version has not been flushed (and,
+    /// for inferred datasets, not observed by the schema).
+    Memtable,
+    /// An on-disk component — this version was counted at its flush.
+    Disk,
+}
+
+/// Lifecycle statistics (ingestion experiments report these).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LsmStats {
+    pub flushes: u64,
+    pub merges: u64,
+    pub entries_flushed: u64,
+    pub entries_merged: u64,
+}
+
+/// A single-partition LSM tree. Not internally synchronized — each data
+/// partition owns one tree and runs its operations serially (the paper's
+/// partitions are independent; cross-partition parallelism lives above).
+pub struct LsmTree {
+    opts: LsmOptions,
+    device: Arc<Device>,
+    cache: Arc<BufferCache>,
+    hook: Arc<dyn ComponentHook>,
+    mem: Memtable,
+    /// Oldest → newest.
+    disk: Vec<Arc<DiskComponent>>,
+    wal: Wal,
+    next_seq: u64,
+    stats: LsmStats,
+    /// Anti-schema attachments whose anti-matter entries were displaced by
+    /// newer same-key writes in the memtable. Their *old, flushed* record
+    /// versions were counted by earlier flushes, so the next flush must
+    /// still hand them to the hook (§3.2.2 upsert path).
+    pending_anti: Vec<Vec<u8>>,
+}
+
+impl LsmTree {
+    pub fn new(
+        device: Arc<Device>,
+        cache: Arc<BufferCache>,
+        hook: Arc<dyn ComponentHook>,
+        opts: LsmOptions,
+    ) -> Self {
+        let wal = Wal::new(Arc::clone(&device));
+        LsmTree {
+            opts,
+            device,
+            cache,
+            hook,
+            mem: Memtable::new(),
+            disk: Vec::new(),
+            wal,
+            next_seq: 0,
+            stats: LsmStats::default(),
+            pending_anti: Vec::new(),
+        }
+    }
+
+    /// Apply an entry to the memtable, preserving any displaced
+    /// anti-schema attachment.
+    fn apply(&mut self, key: Key, entry: MemEntry) {
+        if let Some(MemEntry::AntiMatter(Some(att))) = self.mem.put(key, entry) {
+            self.pending_anti.push(att);
+        }
+    }
+
+    pub fn options(&self) -> &LsmOptions {
+        &self.opts
+    }
+
+    pub fn stats(&self) -> LsmStats {
+        self.stats
+    }
+
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    pub fn cache(&self) -> &Arc<BufferCache> {
+        &self.cache
+    }
+
+    pub fn components(&self) -> &[Arc<DiskComponent>] {
+        &self.disk
+    }
+
+    pub fn memtable_len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Total on-disk footprint across components.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk.iter().map(|c| c.disk_bytes()).sum()
+    }
+
+    /// Total live records (scan-count; O(n)).
+    pub fn count(&self) -> u64 {
+        let mut scan = self.scan();
+        let mut n = 0;
+        while scan.next().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    // -----------------------------------------------------------------
+    // Writes
+    // -----------------------------------------------------------------
+
+    /// Insert (or overwrite) a record.
+    pub fn insert(&mut self, key: Key, payload: Vec<u8>) {
+        let entry = MemEntry::Record(payload);
+        if self.opts.wal_enabled {
+            self.wal.log(&key, &entry);
+        }
+        self.apply(key, entry);
+        self.maybe_flush();
+    }
+
+    /// Delete by key: inserts an anti-matter entry. `attachment` is the
+    /// hook payload (the anti-schema, §3.2.2), processed and discarded at
+    /// flush.
+    pub fn delete(&mut self, key: Key, attachment: Option<Vec<u8>>) {
+        let entry = MemEntry::AntiMatter(attachment);
+        if self.opts.wal_enabled {
+            self.wal.log(&key, &entry);
+        }
+        self.apply(key, entry);
+        self.maybe_flush();
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.mem.bytes() >= self.opts.memtable_budget {
+            self.flush();
+            self.maybe_merge();
+        }
+    }
+
+    /// Flush the in-memory component to a new on-disk component, running
+    /// every record through the hook (where the tuple compactor infers and
+    /// compacts — §3.1.1).
+    pub fn flush(&mut self) {
+        if self.mem.is_empty() {
+            return;
+        }
+        self.flush_inner(true);
+    }
+
+    /// Failure injection: perform a flush but "crash" before the validity
+    /// bit is set (and before the WAL is truncated). The in-memory component
+    /// is lost, exactly as in a real crash (§3.1.2).
+    pub fn flush_crashing_before_validity(&mut self) {
+        if self.mem.is_empty() {
+            return;
+        }
+        self.flush_inner(false);
+    }
+
+    fn flush_inner(&mut self, complete: bool) {
+        let entries = self.mem.take();
+        // Anti-schemas displaced by in-memory overwrites still decrement
+        // the schema for their flushed old versions.
+        for att in self.pending_anti.drain(..) {
+            self.hook.on_flush_antimatter(Some(&att));
+        }
+        let mut builder = ComponentBuilder::new(
+            Arc::clone(&self.device),
+            self.opts.page_size,
+            self.opts.compression,
+            entries.len(),
+            self.opts.bloom_bits_per_key,
+        );
+        let mut count = 0u64;
+        for (key, entry) in &entries {
+            match entry {
+                MemEntry::Record(payload) => {
+                    let transformed = self.hook.on_flush_record(payload);
+                    builder.push(key, EntryKind::Record, &transformed);
+                }
+                MemEntry::AntiMatter(att) => {
+                    self.hook.on_flush_antimatter(att.as_deref());
+                    builder.push(key, EntryKind::AntiMatter, &[]);
+                }
+            }
+            count += 1;
+        }
+        let id = ComponentId::flushed(self.next_seq);
+        self.next_seq += 1;
+        let metadata = self.hook.flush_metadata();
+        let component = builder.finish(id, metadata, false);
+        if complete {
+            component.set_valid();
+            self.disk.push(Arc::new(component));
+            if self.opts.wal_enabled {
+                self.wal.reset();
+            }
+            self.stats.flushes += 1;
+            self.stats.entries_flushed += count;
+        } else {
+            // Crash: the invalid component is on disk; the WAL survives;
+            // the in-memory component is gone.
+            self.disk.push(Arc::new(component));
+        }
+    }
+
+    /// Run the merge policy; merge at most once.
+    pub fn maybe_merge(&mut self) {
+        if let Some(range) = self.opts.merge_policy.decide(&self.disk) {
+            self.merge(range);
+        }
+    }
+
+    /// Merge all on-disk components into one (bench/maintenance helper).
+    pub fn force_full_merge(&mut self) {
+        if self.disk.len() >= 2 {
+            self.merge(0..self.disk.len());
+        }
+    }
+
+    /// Merge the adjacent component range (oldest..newest indexes).
+    /// Annihilated records are garbage-collected; anti-matter survives only
+    /// if older components remain outside the merge (§2.2). The merged
+    /// component's metadata is chosen by the hook — the paper's rule keeps
+    /// the newest schema without touching in-memory state (§3.1.1).
+    pub fn merge(&mut self, range: std::ops::Range<usize>) {
+        assert!(range.end <= self.disk.len() && range.len() >= 2, "bad merge range");
+        let includes_oldest = range.start == 0;
+        let inputs = &self.disk[range.clone()];
+        let blobs: Vec<Option<&[u8]>> = inputs.iter().map(|c| c.metadata()).collect();
+        let metadata = self.hook.merge_metadata(&blobs);
+        let expected: usize = inputs.iter().map(|c| c.num_entries() as usize).sum();
+
+        let mut builder = ComponentBuilder::new(
+            Arc::clone(&self.device),
+            self.opts.page_size,
+            self.opts.compression,
+            expected,
+            self.opts.bloom_bits_per_key,
+        );
+        let mut count = 0u64;
+        {
+            let mut scan = MergedScan::new(None, inputs, &self.cache, None, None, true);
+            while let Some((key, kind, payload)) = scan.next() {
+                match kind {
+                    EntryKind::AntiMatter if includes_oldest => continue,
+                    kind => {
+                        builder.push(&key, kind, &payload);
+                        count += 1;
+                    }
+                }
+            }
+        }
+        let id = ComponentId::merged(inputs[0].id(), inputs[range.len() - 1].id());
+        let merged = builder.finish(id, metadata, false);
+        merged.set_valid();
+        // Swap in the merged component; old ones become garbage (deleted
+        // after the merge completes, §2.2).
+        self.disk.splice(range, [Arc::new(merged)]);
+        self.stats.merges += 1;
+        self.stats.entries_merged += count;
+    }
+
+    /// Bulk-load a pre-sorted stream into a single component (paper §4.3:
+    /// loading sorts records and builds one B+-tree bottom-up; the tuple
+    /// compactor infers and compacts during the build). The tree must be
+    /// empty.
+    pub fn bulk_load<I>(&mut self, sorted: I)
+    where
+        I: IntoIterator<Item = (Key, Vec<u8>)>,
+    {
+        assert!(
+            self.disk.is_empty() && self.mem.is_empty(),
+            "bulk_load requires an empty tree"
+        );
+        let mut builder = ComponentBuilder::new(
+            Arc::clone(&self.device),
+            self.opts.page_size,
+            self.opts.compression,
+            1024,
+            self.opts.bloom_bits_per_key,
+        );
+        let mut count = 0u64;
+        for (key, payload) in sorted {
+            let transformed = self.hook.on_flush_record(&payload);
+            builder.push(&key, EntryKind::Record, &transformed);
+            count += 1;
+        }
+        let id = ComponentId::flushed(self.next_seq);
+        self.next_seq += 1;
+        let component = builder.finish(id, self.hook.flush_metadata(), false);
+        component.set_valid();
+        self.disk.push(Arc::new(component));
+        self.stats.flushes += 1;
+        self.stats.entries_flushed += count;
+    }
+
+    // -----------------------------------------------------------------
+    // Reads
+    // -----------------------------------------------------------------
+
+    /// Point lookup returning the entry kind (deleted keys report their
+    /// anti-matter).
+    pub fn get_entry(&self, key: &[u8]) -> Option<(EntryKind, Vec<u8>)> {
+        self.get_entry_with_source(key).map(|(k, p, _)| (k, p))
+    }
+
+    /// Point lookup that also reports *where* the entry was found. The
+    /// tuple compactor needs this: only versions that reached disk were
+    /// counted by a flush, so only those get anti-schemas on delete/upsert
+    /// (§3.2.2); an in-memory version was never observed.
+    pub fn get_entry_with_source(
+        &self,
+        key: &[u8],
+    ) -> Option<(EntryKind, Vec<u8>, LookupSource)> {
+        if let Some(entry) = self.mem.get(key) {
+            return Some(match entry {
+                MemEntry::Record(p) => (EntryKind::Record, p.clone(), LookupSource::Memtable),
+                MemEntry::AntiMatter(_) => {
+                    (EntryKind::AntiMatter, Vec::new(), LookupSource::Memtable)
+                }
+            });
+        }
+        for c in self.disk.iter().rev() {
+            if let Some((kind, payload)) = c.get(&self.cache, key) {
+                return Some((kind, payload, LookupSource::Disk));
+            }
+        }
+        None
+    }
+
+    /// Point lookup for a live record.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        match self.get_entry(key)? {
+            (EntryKind::Record, p) => Some(p),
+            (EntryKind::AntiMatter, _) => None,
+        }
+    }
+
+    /// Does the key exist (live)? Used by the primary-key index fast path.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        matches!(self.get_entry(key), Some((EntryKind::Record, _)))
+    }
+
+    /// Full scan of live records.
+    pub fn scan(&self) -> MergedScan<'_> {
+        MergedScan::new(Some(&self.mem), &self.disk, &self.cache, None, None, false)
+    }
+
+    /// Range scan of live records, `start` inclusive, `end` exclusive.
+    pub fn scan_range(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> MergedScan<'_> {
+        MergedScan::new(Some(&self.mem), &self.disk, &self.cache, start, end, false)
+    }
+
+    // -----------------------------------------------------------------
+    // Crash & recovery (§3.1.2)
+    // -----------------------------------------------------------------
+
+    /// Simulate a process crash: the in-memory component vanishes; disk
+    /// components and the WAL survive as they are.
+    pub fn simulate_crash(&mut self) {
+        self.mem = Memtable::new();
+        self.pending_anti.clear();
+    }
+
+    /// Recovery: discard invalid components (unset validity bit), then
+    /// replay the WAL into a fresh in-memory component. Returns the number
+    /// of (removed_components, replayed_operations). After recovery the
+    /// caller may flush normally — the compactor hook "operates normally"
+    /// on the restored component (§3.1.2).
+    pub fn recover(&mut self) -> (usize, usize) {
+        let before = self.disk.len();
+        self.disk.retain(|c| c.is_valid());
+        let removed = before - self.disk.len();
+        // Reset the sequence to follow the newest surviving component.
+        self.next_seq = self.disk.last().map(|c| c.id().max + 1).unwrap_or(0);
+        let ops = self.wal.replay();
+        let replayed = ops.len();
+        for (key, entry) in ops {
+            // Same displacement rule as live writes, so replayed upserts
+            // rebuild the pending anti-schema list too.
+            self.apply(key, entry);
+        }
+        (removed, replayed)
+    }
+
+    /// The newest component's metadata blob (the schema the recovery
+    /// manager reloads, §3.1.2).
+    pub fn newest_metadata(&self) -> Option<Vec<u8>> {
+        self.disk.iter().rev().find_map(|c| c.metadata().map(<[u8]>::to_vec))
+    }
+
+    /// Test/benchmark access to the WAL.
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::encode_u64_key;
+    use crate::hook::NoopHook;
+    use tc_storage::device::DeviceProfile;
+
+    fn tree(opts: LsmOptions) -> LsmTree {
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        let cache = Arc::new(BufferCache::new(1024));
+        LsmTree::new(device, cache, Arc::new(NoopHook), opts)
+    }
+
+    fn small_tree() -> LsmTree {
+        tree(LsmOptions {
+            page_size: 512,
+            memtable_budget: 4 * 1024,
+            merge_policy: MergePolicy::NoMerge,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn insert_get_across_flushes() {
+        let mut t = small_tree();
+        for i in 0..200u64 {
+            t.insert(encode_u64_key(i), format!("v{i}").into_bytes());
+        }
+        assert!(t.stats().flushes > 0, "budget should have forced flushes");
+        for i in (0..200u64).step_by(17) {
+            assert_eq!(t.get(&encode_u64_key(i)), Some(format!("v{i}").into_bytes()));
+        }
+        assert_eq!(t.get(&encode_u64_key(999)), None);
+        assert_eq!(t.count(), 200);
+    }
+
+    #[test]
+    fn delete_hides_record_across_components() {
+        let mut t = small_tree();
+        t.insert(encode_u64_key(1), b"one".to_vec());
+        t.flush();
+        t.delete(encode_u64_key(1), None);
+        assert_eq!(t.get(&encode_u64_key(1)), None);
+        t.flush();
+        assert_eq!(t.get(&encode_u64_key(1)), None);
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn merge_annihilates_and_garbage_collects() {
+        let mut t = small_tree();
+        t.insert(encode_u64_key(0), b"Kim".to_vec());
+        t.insert(encode_u64_key(1), b"John".to_vec());
+        t.flush(); // C0
+        t.delete(encode_u64_key(0), None);
+        t.insert(encode_u64_key(2), b"Bob".to_vec());
+        t.flush(); // C1
+        assert_eq!(t.components().len(), 2);
+        t.force_full_merge();
+        assert_eq!(t.components().len(), 1);
+        let merged = &t.components()[0];
+        assert_eq!(merged.id().to_string(), "[C0,C1]");
+        // Kim and the anti-matter annihilated: 2 live entries, 0 anti.
+        assert_eq!(merged.num_entries(), 2);
+        assert_eq!(merged.num_antimatter(), 0);
+        assert_eq!(t.get(&encode_u64_key(0)), None);
+        assert_eq!(t.get(&encode_u64_key(1)), Some(b"John".to_vec()));
+    }
+
+    #[test]
+    fn partial_merge_preserves_antimatter() {
+        let mut t = small_tree();
+        t.insert(encode_u64_key(7), b"v".to_vec());
+        t.flush(); // C0 holds the record
+        t.delete(encode_u64_key(7), None);
+        t.flush(); // C1 holds anti-matter
+        t.insert(encode_u64_key(8), b"w".to_vec());
+        t.flush(); // C2
+        // Merge C1..C2 only: the anti-matter must survive, because C0 still
+        // holds the record it kills.
+        t.merge(1..3);
+        assert_eq!(t.components().len(), 2);
+        assert_eq!(t.components()[1].num_antimatter(), 1);
+        assert_eq!(t.get(&encode_u64_key(7)), None, "record must stay dead");
+    }
+
+    #[test]
+    fn upsert_last_write_wins() {
+        let mut t = small_tree();
+        t.insert(encode_u64_key(5), b"a".to_vec());
+        t.flush();
+        t.delete(encode_u64_key(5), None);
+        t.insert(encode_u64_key(5), b"b".to_vec());
+        assert_eq!(t.get(&encode_u64_key(5)), Some(b"b".to_vec()));
+        t.flush();
+        t.force_full_merge();
+        assert_eq!(t.get(&encode_u64_key(5)), Some(b"b".to_vec()));
+        assert_eq!(t.count(), 1);
+    }
+
+    #[test]
+    fn scan_merges_mem_and_disk() {
+        let mut t = small_tree();
+        t.insert(encode_u64_key(2), b"disk".to_vec());
+        t.flush();
+        t.insert(encode_u64_key(1), b"mem".to_vec());
+        t.insert(encode_u64_key(2), b"mem-override".to_vec());
+        let mut scan = t.scan();
+        let mut got = Vec::new();
+        while let Some((k, _, p)) = scan.next() {
+            got.push((crate::entry::decode_u64_key(&k).unwrap(), p));
+        }
+        assert_eq!(
+            got,
+            vec![(1, b"mem".to_vec()), (2, b"mem-override".to_vec())]
+        );
+    }
+
+    #[test]
+    fn crash_recovery_replays_wal() {
+        let mut t = small_tree();
+        t.insert(encode_u64_key(1), b"flushed".to_vec());
+        t.flush();
+        t.insert(encode_u64_key(2), b"unflushed".to_vec());
+        t.delete(encode_u64_key(1), Some(b"anti-schema".to_vec()));
+        t.simulate_crash();
+        assert_eq!(t.get(&encode_u64_key(2)), None, "memtable lost");
+        assert_eq!(t.get(&encode_u64_key(1)), Some(b"flushed".to_vec()));
+        let (removed, replayed) = t.recover();
+        assert_eq!(removed, 0);
+        assert_eq!(replayed, 2);
+        assert_eq!(t.get(&encode_u64_key(2)), Some(b"unflushed".to_vec()));
+        assert_eq!(t.get(&encode_u64_key(1)), None, "delete replayed");
+    }
+
+    #[test]
+    fn crash_mid_flush_discards_invalid_component() {
+        let mut t = small_tree();
+        t.insert(encode_u64_key(1), b"a".to_vec());
+        t.flush(); // C0 valid
+        t.insert(encode_u64_key(2), b"b".to_vec());
+        t.flush_crashing_before_validity(); // C1 invalid, WAL intact
+        assert_eq!(t.components().len(), 2);
+        t.simulate_crash();
+        let (removed, replayed) = t.recover();
+        assert_eq!(removed, 1, "invalid C1 removed");
+        assert_eq!(replayed, 1, "WAL replays the lost insert");
+        assert_eq!(t.get(&encode_u64_key(2)), Some(b"b".to_vec()));
+        // Re-flush: the restored component becomes the new C1 (§3.1.2).
+        t.flush();
+        assert_eq!(t.components().last().unwrap().id().to_string(), "C1");
+    }
+
+    #[test]
+    fn torn_wal_tail_loses_only_last_op() {
+        let mut t = small_tree();
+        t.insert(encode_u64_key(1), b"a".to_vec());
+        t.insert(encode_u64_key(2), b"b".to_vec());
+        t.wal().tear_tail(3);
+        t.simulate_crash();
+        let (_, replayed) = t.recover();
+        assert_eq!(replayed, 1);
+        assert_eq!(t.get(&encode_u64_key(1)), Some(b"a".to_vec()));
+        assert_eq!(t.get(&encode_u64_key(2)), None);
+    }
+
+    #[test]
+    fn merge_policy_fires_during_ingestion() {
+        let mut t = tree(LsmOptions {
+            page_size: 512,
+            memtable_budget: 2 * 1024,
+            merge_policy: MergePolicy::Prefix {
+                max_mergeable_size: 1024 * 1024,
+                max_tolerable_components: 3,
+            },
+            ..Default::default()
+        });
+        for i in 0..2000u64 {
+            t.insert(encode_u64_key(i), vec![0u8; 64]);
+        }
+        assert!(t.stats().merges > 0, "prefix policy should have merged");
+        assert!(t.components().len() <= 4);
+        assert_eq!(t.count(), 2000);
+    }
+
+    #[test]
+    fn bulk_load_builds_single_component() {
+        let mut t = small_tree();
+        t.bulk_load((0..1000u64).map(|i| (encode_u64_key(i), format!("v{i}").into_bytes())));
+        assert_eq!(t.components().len(), 1);
+        assert_eq!(t.count(), 1000);
+        assert_eq!(t.get(&encode_u64_key(500)), Some(b"v500".to_vec()));
+    }
+
+    #[test]
+    fn metadata_propagates_through_merge() {
+        struct BlobHook;
+        impl ComponentHook for BlobHook {
+            fn flush_metadata(&self) -> Option<Vec<u8>> {
+                Some(b"schema".to_vec())
+            }
+        }
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        let cache = Arc::new(BufferCache::new(64));
+        let mut t = LsmTree::new(
+            device,
+            cache,
+            Arc::new(BlobHook),
+            LsmOptions { merge_policy: MergePolicy::NoMerge, ..Default::default() },
+        );
+        t.insert(encode_u64_key(1), b"a".to_vec());
+        t.flush();
+        t.insert(encode_u64_key(2), b"b".to_vec());
+        t.flush();
+        t.force_full_merge();
+        assert_eq!(t.newest_metadata(), Some(b"schema".to_vec()));
+    }
+}

@@ -1,0 +1,189 @@
+//! Write-ahead log (paper §2.2).
+//!
+//! AsterixDB uses no-steal/no-force buffer management with WAL: every
+//! insert/delete is logged before entering the in-memory component, and the
+//! log for a component can be truncated once that component is VALID on
+//! disk. Recovery replays the log to rebuild the lost in-memory component
+//! (§3.1.2). Anti-matter log records carry their hook attachment so a
+//! replayed flush can still process anti-schemas.
+
+use std::sync::Arc;
+
+use tc_storage::device::Device;
+use tc_storage::file::FileStore;
+use tc_util::varint;
+
+use crate::entry::Key;
+use crate::memtable::MemEntry;
+
+/// Log record kinds.
+const OP_INSERT: u8 = 0;
+const OP_ANTIMATTER: u8 = 1;
+const OP_ANTIMATTER_WITH_ATTACHMENT: u8 = 2;
+
+/// An append-only log of memtable operations.
+#[derive(Debug)]
+pub struct Wal {
+    file: FileStore,
+}
+
+impl Wal {
+    pub fn new(device: Arc<Device>) -> Self {
+        Wal { file: FileStore::new(device) }
+    }
+
+    /// Append one operation. In a no-force design this is the only write
+    /// that must reach the log device before the operation commits.
+    pub fn log(&self, key: &[u8], entry: &MemEntry) {
+        let mut rec = Vec::with_capacity(key.len() + 16);
+        match entry {
+            MemEntry::Record(payload) => {
+                rec.push(OP_INSERT);
+                varint::write_u64(&mut rec, key.len() as u64);
+                rec.extend_from_slice(key);
+                varint::write_u64(&mut rec, payload.len() as u64);
+                rec.extend_from_slice(payload);
+            }
+            MemEntry::AntiMatter(None) => {
+                rec.push(OP_ANTIMATTER);
+                varint::write_u64(&mut rec, key.len() as u64);
+                rec.extend_from_slice(key);
+            }
+            MemEntry::AntiMatter(Some(att)) => {
+                rec.push(OP_ANTIMATTER_WITH_ATTACHMENT);
+                varint::write_u64(&mut rec, key.len() as u64);
+                rec.extend_from_slice(key);
+                varint::write_u64(&mut rec, att.len() as u64);
+                rec.extend_from_slice(att);
+            }
+        }
+        // Frame with a length prefix so torn tails are detectable.
+        let mut framed = Vec::with_capacity(rec.len() + 5);
+        varint::write_u64(&mut framed, rec.len() as u64);
+        framed.extend_from_slice(&rec);
+        self.file.append(&framed);
+    }
+
+    /// Truncate after a successful flush (the flushed component's log
+    /// records are no longer needed — §2.2).
+    pub fn reset(&self) {
+        self.file.truncate(0);
+    }
+
+    pub fn byte_len(&self) -> u64 {
+        self.file.len()
+    }
+
+    /// Replay all intact records; a torn tail (truncated frame) stops the
+    /// replay silently, mirroring crash-recovery semantics.
+    pub fn replay(&self) -> Vec<(Key, MemEntry)> {
+        let len = self.file.len() as usize;
+        if len == 0 {
+            return Vec::new();
+        }
+        let buf = self.file.read(0, len);
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let Some((frame_len, n)) = varint::read_u64(&buf[pos..]) else {
+                break;
+            };
+            let body_start = pos + n;
+            let body_end = body_start + frame_len as usize;
+            if body_end > buf.len() {
+                break; // torn tail
+            }
+            let body = &buf[body_start..body_end];
+            if let Some(rec) = parse_record(body) {
+                out.push(rec);
+            } else {
+                break; // corrupt record: stop at the damage
+            }
+            pos = body_end;
+        }
+        out
+    }
+
+    /// Corrupt the tail (test helper for torn-write simulation).
+    pub fn tear_tail(&self, bytes: u64) {
+        let len = self.file.len();
+        self.file.truncate(len.saturating_sub(bytes));
+    }
+}
+
+fn parse_record(body: &[u8]) -> Option<(Key, MemEntry)> {
+    let op = *body.first()?;
+    let mut pos = 1usize;
+    let (klen, n) = varint::read_u64(&body[pos..])?;
+    pos += n;
+    let key = body.get(pos..pos + klen as usize)?.to_vec();
+    pos += klen as usize;
+    match op {
+        OP_INSERT => {
+            let (plen, n) = varint::read_u64(&body[pos..])?;
+            pos += n;
+            let payload = body.get(pos..pos + plen as usize)?.to_vec();
+            Some((key, MemEntry::Record(payload)))
+        }
+        OP_ANTIMATTER => Some((key, MemEntry::AntiMatter(None))),
+        OP_ANTIMATTER_WITH_ATTACHMENT => {
+            let (alen, n) = varint::read_u64(&body[pos..])?;
+            pos += n;
+            let att = body.get(pos..pos + alen as usize)?.to_vec();
+            Some((key, MemEntry::AntiMatter(Some(att))))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_storage::device::DeviceProfile;
+
+    fn wal() -> Wal {
+        Wal::new(Arc::new(Device::new(DeviceProfile::RAM)))
+    }
+
+    #[test]
+    fn replay_returns_operations_in_order() {
+        let w = wal();
+        w.log(b"k1", &MemEntry::Record(b"v1".to_vec()));
+        w.log(b"k2", &MemEntry::AntiMatter(None));
+        w.log(b"k3", &MemEntry::AntiMatter(Some(b"anti-schema".to_vec())));
+        let ops = w.replay();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0], (b"k1".to_vec(), MemEntry::Record(b"v1".to_vec())));
+        assert_eq!(ops[1], (b"k2".to_vec(), MemEntry::AntiMatter(None)));
+        assert_eq!(
+            ops[2],
+            (b"k3".to_vec(), MemEntry::AntiMatter(Some(b"anti-schema".to_vec())))
+        );
+    }
+
+    #[test]
+    fn reset_clears_log() {
+        let w = wal();
+        w.log(b"k", &MemEntry::Record(vec![1, 2, 3]));
+        assert!(w.byte_len() > 0);
+        w.reset();
+        assert_eq!(w.byte_len(), 0);
+        assert!(w.replay().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_drops_only_last_record() {
+        let w = wal();
+        w.log(b"k1", &MemEntry::Record(b"v1".to_vec()));
+        w.log(b"k2", &MemEntry::Record(b"v2-longer-payload".to_vec()));
+        w.tear_tail(5);
+        let ops = w.replay();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].0, b"k1".to_vec());
+    }
+
+    #[test]
+    fn empty_wal_replays_nothing() {
+        assert!(wal().replay().is_empty());
+    }
+}

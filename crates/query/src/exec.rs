@@ -1,0 +1,535 @@
+//! The partitioned query executor.
+//!
+//! Mirrors the paper's Hyracks job shape (Fig 5): every partition runs the
+//! same pipeline over its own data; blocking operators (group-by, order-by,
+//! distinct) introduce a non-local exchange, at which point (a) each
+//! partition's schema is broadcast (§3.4.1 — accounted in
+//! [`ExecStats::broadcast_bytes`]) and (b) partial results meet at a
+//! coordinator that merges aggregate states / sorted runs and runs the rest
+//! of the plan.
+
+use std::collections::hash_map::Entry;
+
+use tc_adm::compare::{compare, OrdValue};
+use tc_adm::path::Path;
+use tc_adm::{AdmError, Value};
+use tc_util::hash::FxHashMap;
+use tuple_compactor::{Dataset, RecordDecoder};
+
+use crate::agg::{Agg, AggState};
+use crate::expr::Expr;
+use crate::plan::{AccessStrategy, Op, Query, ScanSpec};
+
+/// A row of values.
+pub type Row = Vec<Value>;
+
+/// Execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Run partitions on threads (the paper's one-executor-per-partition
+    /// parallelism); otherwise serially on the caller thread (Fig 22b's
+    /// 1-core configuration).
+    pub parallel: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { parallel: true }
+    }
+}
+
+/// Counters the experiments report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    pub rows_scanned: u64,
+    pub bytes_scanned: u64,
+    pub rows_output: u64,
+    /// Schema bytes shipped for queries with a non-local exchange (§3.4.1).
+    pub broadcast_bytes: u64,
+    pub partitions: usize,
+}
+
+/// Rows + stats.
+#[derive(Debug)]
+pub struct QueryResult {
+    pub rows: Vec<Row>,
+    pub stats: ExecStats,
+}
+
+/// Execute a query over a set of dataset partitions.
+pub fn execute(
+    partitions: &[&Dataset],
+    query: &Query,
+    opts: &ExecOptions,
+) -> Result<QueryResult, AdmError> {
+    let mut stats = ExecStats { partitions: partitions.len(), ..Default::default() };
+
+    // Schema broadcast: each partition ships its schema to every other
+    // executor before a repartitioning query starts (§3.4.1). The decoders
+    // below carry the dictionaries; here we account the traffic.
+    if query.has_nonlocal_exchange() && partitions.len() > 1 {
+        for ds in partitions {
+            if let Some(schema) = ds.schema_snapshot() {
+                stats.broadcast_bytes +=
+                    schema.serialize().len() as u64 * (partitions.len() as u64 - 1);
+            }
+        }
+    }
+
+    // Split the pipeline at the first blocking operator.
+    let split = query
+        .ops
+        .iter()
+        .position(|op| matches!(op, Op::GroupBy { .. } | Op::OrderBy { .. } | Op::Distinct(_)))
+        .unwrap_or(query.ops.len());
+    let local_ops = &query.ops[..split];
+    let blocking = query.ops.get(split);
+    let global_ops = if split < query.ops.len() { &query.ops[split + 1..] } else { &[][..] };
+
+    // ---- local stage, one pipeline per partition ----
+    let locals: Vec<Result<(LocalOutput, u64, u64), AdmError>> = if opts.parallel
+        && partitions.len() > 1
+    {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .iter()
+                .map(|ds| {
+                    scope.spawn(move || run_partition(ds, &query.scan, local_ops, blocking))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("partition thread panicked")).collect()
+        })
+    } else {
+        partitions
+            .iter()
+            .map(|ds| run_partition(ds, &query.scan, local_ops, blocking))
+            .collect()
+    };
+
+    let mut grouped: FxHashMap<Vec<OrdValue>, (Row, Vec<AggState>)> = FxHashMap::default();
+    let mut rows: Vec<Row> = Vec::new();
+    for local in locals {
+        let (out, scanned, bytes) = local?;
+        stats.rows_scanned += scanned;
+        stats.bytes_scanned += bytes;
+        match out {
+            LocalOutput::Rows(mut r) => rows.append(&mut r),
+            LocalOutput::Grouped(partials) => {
+                for (key, states) in partials {
+                    let hk: Vec<OrdValue> = key.iter().cloned().map(OrdValue).collect();
+                    match grouped.entry(hk) {
+                        Entry::Vacant(e) => {
+                            e.insert((key, states));
+                        }
+                        Entry::Occupied(mut e) => {
+                            let (_, existing) = e.get_mut();
+                            for (a, b) in existing.iter_mut().zip(states) {
+                                a.merge(b);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- global stage ----
+    let mut rows = match blocking {
+        Some(Op::GroupBy { keys, aggs }) => {
+            if grouped.is_empty() && keys.is_empty() {
+                // Global aggregate over zero rows still yields one row.
+                let finals: Row =
+                    aggs.iter().map(|a| AggState::new(&a.func).finalize()).collect();
+                vec![finals]
+            } else {
+                grouped
+                    .into_values()
+                    .map(|(mut key, states)| {
+                        key.extend(states.into_iter().map(AggState::finalize));
+                        key
+                    })
+                    .collect()
+            }
+        }
+        Some(op) => apply_op(rows, op),
+        None => rows,
+    };
+    for op in global_ops {
+        rows = apply_op(rows, op);
+    }
+    stats.rows_output = rows.len() as u64;
+    Ok(QueryResult { rows, stats })
+}
+
+enum LocalOutput {
+    Rows(Vec<Row>),
+    Grouped(Vec<(Row, Vec<AggState>)>),
+}
+
+/// Scan + local pipeline for one partition.
+fn run_partition(
+    ds: &Dataset,
+    scan: &ScanSpec,
+    local_ops: &[Op],
+    blocking: Option<&Op>,
+) -> Result<(LocalOutput, u64, u64), AdmError> {
+    let decoder = ds.decoder();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut scanned = 0u64;
+    let mut bytes = 0u64;
+    let mut iter = ds.scan_raw();
+    while let Some((_, _, payload)) = iter.next() {
+        scanned += 1;
+        bytes += payload.len() as u64;
+        let mut row = extract(&decoder, &payload, &scan.paths, scan.access)?;
+        if let Some(pred) = &scan.filter {
+            if !pred.eval_bool(&row) {
+                continue;
+            }
+        }
+        if !scan.late_paths.is_empty() {
+            row.extend(extract(&decoder, &payload, &scan.late_paths, scan.access)?);
+        }
+        rows.push(row);
+    }
+    let mut rows = rows;
+    for op in local_ops {
+        rows = apply_op(rows, op);
+    }
+    // Local side of the blocking operator.
+    let out = match blocking {
+        Some(Op::GroupBy { keys, aggs }) => {
+            LocalOutput::Grouped(partial_group(rows, keys, aggs))
+        }
+        Some(Op::OrderBy { keys, limit: Some(k) }) => {
+            // Local top-k: the global top-k is a subset of the union of
+            // local top-ks.
+            LocalOutput::Rows(apply_op(rows, &Op::OrderBy { keys: keys.clone(), limit: Some(*k) }))
+        }
+        Some(Op::Distinct(exprs)) => {
+            // Local dedupe shrinks the exchange; global dedupe finishes.
+            LocalOutput::Rows(apply_op(rows, &Op::Distinct(exprs.clone())))
+        }
+        _ => LocalOutput::Rows(rows),
+    };
+    Ok((out, scanned, bytes))
+}
+
+/// Evaluate scan paths against one record's stored bytes.
+fn extract(
+    decoder: &RecordDecoder,
+    payload: &[u8],
+    paths: &[Path],
+    access: AccessStrategy,
+) -> Result<Row, AdmError> {
+    if paths.is_empty() {
+        return Ok(Vec::new());
+    }
+    match access {
+        AccessStrategy::Consolidated => decoder.get_values(payload, paths),
+        AccessStrategy::PerPath => {
+            paths.iter().map(|p| decoder.get_value(payload, p)).collect()
+        }
+    }
+}
+
+/// Fold rows into per-key partial aggregate states.
+fn partial_group(rows: Vec<Row>, keys: &[Expr], aggs: &[Agg]) -> Vec<(Row, Vec<AggState>)> {
+    let mut map: FxHashMap<Vec<OrdValue>, (Row, Vec<AggState>)> = FxHashMap::default();
+    for row in rows {
+        let key: Row = keys.iter().map(|k| k.eval(&row)).collect();
+        let hk: Vec<OrdValue> = key.iter().cloned().map(OrdValue).collect();
+        let entry = map.entry(hk).or_insert_with(|| {
+            (key, aggs.iter().map(|a| AggState::new(&a.func)).collect())
+        });
+        for (agg, state) in aggs.iter().zip(entry.1.iter_mut()) {
+            state.update(agg.arg.as_ref().map(|e| e.eval(&row)));
+        }
+    }
+    map.into_values().collect()
+}
+
+/// Apply one operator to in-memory rows (used for local pipelines and the
+/// coordinator's global stage).
+pub fn apply_op(rows: Vec<Row>, op: &Op) -> Vec<Row> {
+    match op {
+        Op::Filter(pred) => rows.into_iter().filter(|r| pred.eval_bool(r)).collect(),
+        Op::Project(exprs) => rows
+            .into_iter()
+            .map(|r| exprs.iter().map(|e| e.eval(&r)).collect())
+            .collect(),
+        Op::Unnest(expr) => {
+            // A plain-column source is consumed by the unnest: emitted rows
+            // carry `null` in its slot so the (possibly large) collection
+            // isn't cloned once per item — Hyracks likewise projects the
+            // unnested field out of the frame.
+            let consumed = match expr {
+                Expr::Col(i) => Some(*i),
+                _ => None,
+            };
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                match expr.eval(&row) {
+                    Value::Array(items) | Value::Multiset(items) => {
+                        let mut base = row;
+                        if let Some(i) = consumed {
+                            base[i] = Value::Null;
+                        }
+                        let last = items.len().saturating_sub(1);
+                        for (idx, item) in items.into_iter().enumerate() {
+                            // The final item reuses the base row.
+                            let mut r = if idx == last { std::mem::take(&mut base) } else { base.clone() };
+                            r.push(item);
+                            out.push(r);
+                        }
+                    }
+                    _ => {} // UNNEST of non-collections emits nothing
+                }
+            }
+            out
+        }
+        Op::GroupBy { keys, aggs } => partial_group(rows, keys, aggs)
+            .into_iter()
+            .map(|(mut key, states)| {
+                key.extend(states.into_iter().map(AggState::finalize));
+                key
+            })
+            .collect(),
+        Op::OrderBy { keys, limit } => {
+            let mut keyed: Vec<(Vec<Value>, Row)> = rows
+                .into_iter()
+                .map(|r| (keys.iter().map(|(e, _)| e.eval(&r)).collect(), r))
+                .collect();
+            keyed.sort_by(|(a, _), (b, _)| {
+                for (i, (_, desc)) in keys.iter().enumerate() {
+                    let ord = compare(&a[i], &b[i]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let mut out: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
+            if let Some(k) = limit {
+                out.truncate(*k);
+            }
+            out
+        }
+        Op::Limit(k) => {
+            let mut rows = rows;
+            rows.truncate(*k);
+            rows
+        }
+        Op::Distinct(exprs) => {
+            let mut seen: std::collections::HashSet<Vec<OrdValue>> = Default::default();
+            let mut out = Vec::new();
+            for row in rows {
+                let projected: Row = exprs.iter().map(|e| e.eval(&row)).collect();
+                let key: Vec<OrdValue> = projected.iter().cloned().map(OrdValue).collect();
+                if seen.insert(key) {
+                    out.push(projected);
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFn;
+    use crate::expr::{CmpOp, Func};
+    use std::sync::Arc;
+    use tc_adm::parse;
+    use tc_adm::path::parse_path;
+    use tc_storage::device::{Device, DeviceProfile};
+    use tc_storage::BufferCache;
+    use tuple_compactor::{DatasetConfig, StorageFormat};
+
+    fn partitioned_dataset(format: StorageFormat, partitions: usize, n: i64) -> Vec<Dataset> {
+        let cache = Arc::new(BufferCache::new(4096));
+        let mut out: Vec<Dataset> = (0..partitions)
+            .map(|_| {
+                Dataset::new(
+                    DatasetConfig::new("T", "id")
+                        .with_format(format)
+                        .with_memtable_budget(32 * 1024)
+                        .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
+                    Arc::new(Device::new(DeviceProfile::RAM)),
+                    Arc::clone(&cache),
+                )
+            })
+            .collect();
+        for i in 0..n {
+            let r = parse(&format!(
+                r#"{{"id": {i}, "grp": "g{}", "score": {}, "tags": [{{"text": "t{}"}}]}}"#,
+                i % 3,
+                i % 10,
+                i % 5
+            ))
+            .unwrap();
+            out[(i as usize) % partitions].insert(&r).unwrap();
+        }
+        for ds in &mut out {
+            ds.flush();
+        }
+        out
+    }
+
+    fn refs(datasets: &[Dataset]) -> Vec<&Dataset> {
+        datasets.iter().collect()
+    }
+
+    #[test]
+    fn count_star_across_partitions() {
+        for format in [StorageFormat::Open, StorageFormat::Inferred] {
+            let ds = partitioned_dataset(format, 4, 100);
+            let q = Query {
+                scan: ScanSpec::all_early(vec![], AccessStrategy::Consolidated),
+                ops: vec![Op::GroupBy { keys: vec![], aggs: vec![Agg::count_star()] }],
+            };
+            let res = execute(&refs(&ds), &q, &ExecOptions::default()).unwrap();
+            assert_eq!(res.rows, vec![vec![Value::Int64(100)]], "{format:?}");
+            assert_eq!(res.stats.rows_scanned, 100);
+        }
+    }
+
+    #[test]
+    fn group_by_merges_partials() {
+        let ds = partitioned_dataset(StorageFormat::Inferred, 3, 99);
+        let q = Query {
+            scan: ScanSpec::all_early(
+                vec![parse_path("grp"), parse_path("score")],
+                AccessStrategy::Consolidated,
+            ),
+            ops: vec![
+                Op::GroupBy {
+                    keys: vec![Expr::col(0)],
+                    aggs: vec![Agg::count_star(), Agg::of(AggFn::Avg, Expr::col(1))],
+                },
+                Op::OrderBy { keys: vec![(Expr::col(0), false)], limit: None },
+            ],
+        };
+        let res = execute(&refs(&ds), &q, &ExecOptions::default()).unwrap();
+        assert_eq!(res.rows.len(), 3);
+        for row in &res.rows {
+            assert_eq!(row[1], Value::Int64(33));
+        }
+        assert!(res.stats.broadcast_bytes > 0, "inferred + exchange ⇒ broadcast");
+    }
+
+    #[test]
+    fn filter_unnest_groupby_pipeline() {
+        let ds = partitioned_dataset(StorageFormat::Inferred, 2, 50);
+        // Count tag objects with text "t0" via unnest.
+        let q = Query {
+            scan: ScanSpec::all_early(vec![parse_path("tags")], AccessStrategy::Consolidated),
+            ops: vec![
+                Op::Unnest(Expr::col(0)),
+                Op::Filter(Expr::eq(Expr::path(1, "text"), Expr::lit("t0"))),
+                Op::GroupBy { keys: vec![], aggs: vec![Agg::count_star()] },
+            ],
+        };
+        let res = execute(&refs(&ds), &q, &ExecOptions::default()).unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int64(10)]]);
+    }
+
+    #[test]
+    fn order_by_with_limit_is_global_topk() {
+        let ds = partitioned_dataset(StorageFormat::Open, 4, 40);
+        let q = Query {
+            scan: ScanSpec::all_early(vec![parse_path("id")], AccessStrategy::Consolidated),
+            ops: vec![Op::OrderBy {
+                keys: vec![(Expr::col(0), true)],
+                limit: Some(5),
+            }],
+        };
+        let res = execute(&refs(&ds), &q, &ExecOptions::default()).unwrap();
+        let got: Vec<i64> = res.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(got, vec![39, 38, 37, 36, 35]);
+    }
+
+    #[test]
+    fn scan_filter_and_late_paths() {
+        let ds = partitioned_dataset(StorageFormat::Inferred, 2, 60);
+        // Delayed-access plan: filter on id, extract grp only for survivors.
+        let q = Query {
+            scan: ScanSpec {
+                paths: vec![parse_path("id")],
+                filter: Some(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(6i64))),
+                late_paths: vec![parse_path("grp")],
+                access: AccessStrategy::PerPath,
+            },
+            ops: vec![Op::OrderBy { keys: vec![(Expr::col(0), false)], limit: None }],
+        };
+        let res = execute(&refs(&ds), &q, &ExecOptions::default()).unwrap();
+        assert_eq!(res.rows.len(), 6);
+        assert_eq!(res.rows[0][1], Value::string("g0"));
+        assert_eq!(res.stats.rows_scanned, 60);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let ds = partitioned_dataset(StorageFormat::Inferred, 4, 80);
+        let q = Query {
+            scan: ScanSpec::all_early(
+                vec![parse_path("grp")],
+                AccessStrategy::Consolidated,
+            ),
+            ops: vec![
+                Op::GroupBy { keys: vec![Expr::col(0)], aggs: vec![Agg::count_star()] },
+                Op::OrderBy { keys: vec![(Expr::col(0), false)], limit: None },
+            ],
+        };
+        let par = execute(&refs(&ds), &q, &ExecOptions { parallel: true }).unwrap();
+        let ser = execute(&refs(&ds), &q, &ExecOptions { parallel: false }).unwrap();
+        assert_eq!(par.rows, ser.rows);
+    }
+
+    #[test]
+    fn distinct_across_partitions() {
+        let ds = partitioned_dataset(StorageFormat::Open, 3, 30);
+        let q = Query {
+            scan: ScanSpec::all_early(vec![parse_path("grp")], AccessStrategy::Consolidated),
+            ops: vec![
+                Op::Distinct(vec![Expr::col(0)]),
+                Op::OrderBy { keys: vec![(Expr::col(0), false)], limit: None },
+            ],
+        };
+        let res = execute(&refs(&ds), &q, &ExecOptions::default()).unwrap();
+        assert_eq!(res.rows.len(), 3);
+    }
+
+    #[test]
+    fn exists_filter_via_array_function() {
+        let ds = partitioned_dataset(StorageFormat::Inferred, 2, 50);
+        let q = Query {
+            scan: ScanSpec::all_early(
+                vec![parse_path("tags[*].text")],
+                AccessStrategy::Consolidated,
+            ),
+            ops: vec![
+                Op::Filter(Expr::func(
+                    Func::ArrayContainsLower,
+                    vec![Expr::col(0), Expr::lit("t1")],
+                )),
+                Op::GroupBy { keys: vec![], aggs: vec![Agg::count_star()] },
+            ],
+        };
+        let res = execute(&refs(&ds), &q, &ExecOptions::default()).unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int64(10)]]);
+    }
+
+    #[test]
+    fn empty_dataset_global_count_is_zero() {
+        let ds = partitioned_dataset(StorageFormat::Inferred, 2, 0);
+        let q = Query {
+            scan: ScanSpec::all_early(vec![], AccessStrategy::Consolidated),
+            ops: vec![Op::GroupBy { keys: vec![], aggs: vec![Agg::count_star()] }],
+        };
+        let res = execute(&refs(&ds), &q, &ExecOptions::default()).unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int64(0)]]);
+    }
+}

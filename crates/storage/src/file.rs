@@ -1,0 +1,101 @@
+//! Append-only byte store.
+//!
+//! LSM on-disk components are written once and never modified (paper §2.2),
+//! so the only file operations the engine needs are append and random read.
+//! Files are backed by memory (the simulator's "disk") and charge their IO
+//! against the partition's [`Device`].
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::device::Device;
+
+/// An append-only file charging IO to a device.
+#[derive(Debug)]
+pub struct FileStore {
+    data: RwLock<Vec<u8>>,
+    device: Arc<Device>,
+}
+
+impl FileStore {
+    pub fn new(device: Arc<Device>) -> Self {
+        FileStore { data: RwLock::new(Vec::new()), device }
+    }
+
+    /// Append bytes; returns the offset they were written at.
+    pub fn append(&self, bytes: &[u8]) -> u64 {
+        let mut data = self.data.write();
+        let offset = data.len() as u64;
+        data.extend_from_slice(bytes);
+        self.device.record_write(bytes.len() as u64);
+        offset
+    }
+
+    /// Read `len` bytes at `offset`. Panics on out-of-range reads — the
+    /// engine only reads offsets it wrote, so a violation is a logic bug.
+    pub fn read(&self, offset: u64, len: usize) -> Vec<u8> {
+        let data = self.data.read();
+        let start = offset as usize;
+        let out = data[start..start + len].to_vec();
+        self.device.record_read(len as u64);
+        out
+    }
+
+    /// Current file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.data.read().len() as u64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Truncate to `len` bytes (used by WAL recovery to drop a torn tail).
+    pub fn truncate(&self, len: u64) {
+        self.data.write().truncate(len as usize);
+    }
+
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProfile;
+
+    fn file() -> FileStore {
+        FileStore::new(Arc::new(Device::new(DeviceProfile::RAM)))
+    }
+
+    #[test]
+    fn append_returns_sequential_offsets() {
+        let f = file();
+        assert_eq!(f.append(b"abc"), 0);
+        assert_eq!(f.append(b"defg"), 3);
+        assert_eq!(f.len(), 7);
+        assert_eq!(f.read(0, 3), b"abc");
+        assert_eq!(f.read(3, 4), b"defg");
+    }
+
+    #[test]
+    fn truncate_drops_tail() {
+        let f = file();
+        f.append(b"0123456789");
+        f.truncate(4);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.read(0, 4), b"0123");
+    }
+
+    #[test]
+    fn io_is_charged() {
+        let d = Arc::new(Device::new(DeviceProfile::SATA_SSD));
+        let f = FileStore::new(Arc::clone(&d));
+        f.append(&[0u8; 1000]);
+        f.read(0, 500);
+        assert_eq!(d.bytes_written(), 1000);
+        assert_eq!(d.bytes_read(), 500);
+    }
+}

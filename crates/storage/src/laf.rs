@@ -1,0 +1,149 @@
+//! Look-Aside Files (LAFs).
+//!
+//! Page-level compression produces pages of arbitrary size, but the storage
+//! engine's layout is fixed-size pages (paper §2.4). The LAF stores one
+//! 12-byte `(offset: u64, length: u32)` entry per data page; to read page
+//! *i* the engine first consults entry *i*, then reads `length` bytes at
+//! `offset` from the data file (Fig 6). A 128 KB LAF page holds 10,922
+//! entries, so LAFs stay small and cacheable.
+
+/// One LAF entry: where a compressed page lives and how long it is.
+/// Serialized as 12 bytes, matching the paper's implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LafEntry {
+    pub offset: u64,
+    pub length: u32,
+}
+
+/// Size of one serialized entry.
+pub const LAF_ENTRY_BYTES: usize = 12;
+
+impl LafEntry {
+    pub fn to_bytes(self) -> [u8; LAF_ENTRY_BYTES] {
+        let mut out = [0u8; LAF_ENTRY_BYTES];
+        out[..8].copy_from_slice(&self.offset.to_le_bytes());
+        out[8..].copy_from_slice(&self.length.to_le_bytes());
+        out
+    }
+
+    pub fn from_bytes(bytes: &[u8; LAF_ENTRY_BYTES]) -> Self {
+        LafEntry {
+            offset: u64::from_le_bytes(bytes[..8].try_into().expect("8")),
+            length: u32::from_le_bytes(bytes[8..].try_into().expect("4")),
+        }
+    }
+}
+
+/// The in-memory LAF for one data file.
+#[derive(Debug, Default)]
+pub struct Laf {
+    entries: Vec<LafEntry>,
+}
+
+impl Laf {
+    pub fn new() -> Self {
+        Laf::default()
+    }
+
+    pub fn push(&mut self, entry: LafEntry) -> usize {
+        self.entries.push(entry);
+        self.entries.len() - 1
+    }
+
+    pub fn get(&self, page: usize) -> Option<LafEntry> {
+        self.entries.get(page).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes the serialized LAF occupies (entry bytes, before page rounding).
+    pub fn byte_len(&self) -> usize {
+        self.entries.len() * LAF_ENTRY_BYTES
+    }
+
+    /// Number of LAF *pages* of `page_size` needed to hold the entries —
+    /// this is the on-disk footprint the storage accounting includes.
+    pub fn page_count(&self, page_size: usize) -> usize {
+        let per_page = page_size / LAF_ENTRY_BYTES;
+        self.entries.len().div_ceil(per_page.max(1))
+    }
+
+    /// Serialize all entries (LAF persistence in component metadata).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_len());
+        for e in &self.entries {
+            out.extend_from_slice(&e.to_bytes());
+        }
+        out
+    }
+
+    /// Parse a serialized LAF.
+    pub fn deserialize(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() % LAF_ENTRY_BYTES != 0 {
+            return None;
+        }
+        let entries = bytes
+            .chunks_exact(LAF_ENTRY_BYTES)
+            .map(|c| LafEntry::from_bytes(c.try_into().expect("12")))
+            .collect();
+        Some(Laf { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_is_twelve_bytes() {
+        let e = LafEntry { offset: 0x1122334455667788, length: 0x99aabbcc };
+        let b = e.to_bytes();
+        assert_eq!(b.len(), 12);
+        assert_eq!(LafEntry::from_bytes(&b), e);
+    }
+
+    #[test]
+    fn paper_entry_density() {
+        // "a 128KB LAF page can store up to 10,922 entries" (§2.4).
+        assert_eq!(128 * 1024 / LAF_ENTRY_BYTES, 10_922);
+    }
+
+    #[test]
+    fn page_count_rounds_up() {
+        let mut laf = Laf::new();
+        let page_size = 120; // 10 entries per page
+        for i in 0..25 {
+            laf.push(LafEntry { offset: i as u64 * 100, length: 100 });
+        }
+        assert_eq!(laf.page_count(page_size), 3);
+        assert_eq!(laf.byte_len(), 300);
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let mut laf = Laf::new();
+        for i in 0..7u64 {
+            laf.push(LafEntry { offset: i * 1000, length: (i * 37) as u32 });
+        }
+        let bytes = laf.serialize();
+        let back = Laf::deserialize(&bytes).unwrap();
+        assert_eq!(back.len(), 7);
+        for i in 0..7 {
+            assert_eq!(back.get(i), laf.get(i));
+        }
+        assert!(Laf::deserialize(&bytes[..5]).is_none());
+    }
+
+    #[test]
+    fn lookup_out_of_range() {
+        let laf = Laf::new();
+        assert_eq!(laf.get(0), None);
+        assert!(laf.is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! A fixed-size-page file with optional page-level compression.
+//!
+//! Uncompressed stores address page *i* at byte `i × page_size` directly.
+//! Compressed stores write variable-size compressed images back-to-back and
+//! record each page's `(offset, length)` in a [`Laf`] (paper §2.4). Either
+//! way the caller sees fixed-size pages.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use tc_compress::CompressionScheme;
+
+use crate::device::Device;
+use crate::file::FileStore;
+use crate::laf::{Laf, LafEntry};
+
+/// Identifies a page within one store.
+pub type PageId = u64;
+
+static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A page file. LSM components each own one (plus the buffer cache on top).
+#[derive(Debug)]
+pub struct PageStore {
+    /// Globally unique id — the buffer cache's key space.
+    id: u64,
+    page_size: usize,
+    scheme: CompressionScheme,
+    data: FileStore,
+    laf: RwLock<Laf>,
+    pages: AtomicU64,
+}
+
+impl PageStore {
+    pub fn new(device: Arc<Device>, page_size: usize, scheme: CompressionScheme) -> Self {
+        PageStore {
+            id: NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed),
+            page_size,
+            scheme,
+            data: FileStore::new(device),
+            laf: RwLock::new(Laf::new()),
+            pages: AtomicU64::new(0),
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    pub fn scheme(&self) -> CompressionScheme {
+        self.scheme
+    }
+
+    /// Append a page. `page` must be exactly `page_size` bytes (the engine
+    /// zero-pads partially filled trailing pages, like any slotted layout).
+    pub fn write_page(&self, page: &[u8]) -> PageId {
+        assert_eq!(page.len(), self.page_size, "page must be exactly page_size");
+        let id = self.pages.fetch_add(1, Ordering::Relaxed);
+        if self.scheme.is_none() {
+            let offset = self.data.append(page);
+            debug_assert_eq!(offset, id * self.page_size as u64);
+        } else {
+            let compressed = self.scheme.compress(page);
+            let offset = self.data.append(&compressed);
+            self.laf.write().push(LafEntry { offset, length: compressed.len() as u32 });
+        }
+        id
+    }
+
+    /// Read a page back to its fixed size, decompressing if needed.
+    /// IO is charged for the *stored* (compressed) bytes.
+    pub fn read_page(&self, id: PageId) -> Vec<u8> {
+        if self.scheme.is_none() {
+            self.data.read(id * self.page_size as u64, self.page_size)
+        } else {
+            let entry = self
+                .laf
+                .read()
+                .get(id as usize)
+                .unwrap_or_else(|| panic!("page {id} not in LAF"));
+            let compressed = self.data.read(entry.offset, entry.length as usize);
+            let page = self
+                .scheme
+                .decompress(&compressed)
+                .expect("stored page must decompress");
+            assert_eq!(page.len(), self.page_size, "decompressed page has wrong size");
+            page
+        }
+    }
+
+    /// Number of data pages written.
+    pub fn num_pages(&self) -> u64 {
+        self.pages.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of page data on "disk" (compressed size if compressed).
+    pub fn data_bytes(&self) -> u64 {
+        self.data.len()
+    }
+
+    /// Bytes the LAF occupies on disk, rounded up to whole pages (the LAF
+    /// is itself stored in fixed-size pages — paper §2.4).
+    pub fn laf_bytes(&self) -> u64 {
+        if self.scheme.is_none() {
+            0
+        } else {
+            (self.laf.read().page_count(self.page_size) * self.page_size) as u64
+        }
+    }
+
+    /// Total on-disk footprint: data + LAF.
+    pub fn total_bytes(&self) -> u64 {
+        self.data_bytes() + self.laf_bytes()
+    }
+
+    pub fn device(&self) -> &Arc<Device> {
+        self.data.device()
+    }
+}
+
+/// Helper that packs byte slices into fixed-size pages and flushes them to a
+/// store. Used by component builders (records never span page boundaries
+/// unless a single record exceeds the page size, in which case it spills
+/// across continuation pages).
+#[derive(Debug)]
+pub struct PageWriter<'a> {
+    store: &'a PageStore,
+    buf: Vec<u8>,
+    pages_written: Vec<PageId>,
+}
+
+impl<'a> PageWriter<'a> {
+    pub fn new(store: &'a PageStore) -> Self {
+        PageWriter { store, buf: Vec::with_capacity(store.page_size()), pages_written: Vec::new() }
+    }
+
+    /// Append a record. Returns `(page_index, offset_in_page)` of its start,
+    /// where `page_index` counts pages this writer has produced.
+    pub fn append(&mut self, record: &[u8]) -> (u64, u32) {
+        let page_size = self.store.page_size();
+        if !self.buf.is_empty() && self.buf.len() + record.len() > page_size {
+            self.flush_page();
+        }
+        let pos = (self.pages_written.len() as u64, self.buf.len() as u32);
+        let mut rest = record;
+        loop {
+            let space = page_size - self.buf.len();
+            if rest.len() <= space {
+                self.buf.extend_from_slice(rest);
+                break;
+            }
+            let (head, tail) = rest.split_at(space);
+            self.buf.extend_from_slice(head);
+            self.flush_page();
+            rest = tail;
+        }
+        if self.buf.len() == page_size {
+            self.flush_page();
+        }
+        pos
+    }
+
+    fn flush_page(&mut self) {
+        self.buf.resize(self.store.page_size(), 0);
+        let id = self.store.write_page(&self.buf);
+        self.pages_written.push(id);
+        self.buf.clear();
+    }
+
+    /// Flush any partial page and return the ids of all pages written.
+    pub fn finish(mut self) -> Vec<PageId> {
+        if !self.buf.is_empty() {
+            self.flush_page();
+        }
+        self.pages_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProfile;
+
+    fn ram() -> Arc<Device> {
+        Arc::new(Device::new(DeviceProfile::RAM))
+    }
+
+    #[test]
+    fn uncompressed_pages_roundtrip() {
+        let store = PageStore::new(ram(), 64, CompressionScheme::None);
+        let a = vec![1u8; 64];
+        let b = vec![2u8; 64];
+        let pa = store.write_page(&a);
+        let pb = store.write_page(&b);
+        assert_eq!(store.read_page(pa), a);
+        assert_eq!(store.read_page(pb), b);
+        assert_eq!(store.num_pages(), 2);
+        assert_eq!(store.data_bytes(), 128);
+        assert_eq!(store.laf_bytes(), 0);
+    }
+
+    #[test]
+    fn compressed_pages_roundtrip_and_shrink() {
+        let store = PageStore::new(ram(), 4096, CompressionScheme::Snappy);
+        let page: Vec<u8> = b"repetitive page content ".iter().copied().cycle().take(4096).collect();
+        let id = store.write_page(&page);
+        assert_eq!(store.read_page(id), page);
+        assert!(store.data_bytes() < 4096 / 2, "data bytes: {}", store.data_bytes());
+        assert!(store.laf_bytes() >= 4096, "LAF occupies whole pages");
+    }
+
+    #[test]
+    fn compressed_random_access_via_laf() {
+        let store = PageStore::new(ram(), 512, CompressionScheme::Snappy);
+        let pages: Vec<Vec<u8>> = (0..20u8)
+            .map(|i| {
+                let mut p = vec![i; 512];
+                p[0] = 0xff; // make each page distinct at both ends
+                p[511] = i;
+                p
+            })
+            .collect();
+        let ids: Vec<_> = pages.iter().map(|p| store.write_page(p)).collect();
+        // Read back out of order.
+        for (&id, page) in ids.iter().zip(&pages).rev() {
+            assert_eq!(store.read_page(id), *page);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "page must be exactly page_size")]
+    fn wrong_page_size_panics() {
+        let store = PageStore::new(ram(), 64, CompressionScheme::None);
+        store.write_page(&[0u8; 63]);
+    }
+
+    #[test]
+    fn page_writer_packs_records() {
+        let store = PageStore::new(ram(), 32, CompressionScheme::None);
+        let mut w = PageWriter::new(&store);
+        let (p0, o0) = w.append(&[1u8; 10]);
+        let (p1, o1) = w.append(&[2u8; 10]);
+        let (p2, o2) = w.append(&[3u8; 20]); // doesn't fit: new page
+        assert_eq!((p0, o0), (0, 0));
+        assert_eq!((p1, o1), (0, 10));
+        assert_eq!((p2, o2), (1, 0));
+        let pages = w.finish();
+        assert_eq!(pages.len(), 2);
+        let page0 = store.read_page(pages[0]);
+        assert_eq!(&page0[..10], &[1u8; 10]);
+        assert_eq!(&page0[10..20], &[2u8; 10]);
+        assert_eq!(&page0[20..], &[0u8; 12]); // zero padding
+    }
+
+    #[test]
+    fn page_writer_spills_oversized_records() {
+        let store = PageStore::new(ram(), 16, CompressionScheme::None);
+        let mut w = PageWriter::new(&store);
+        let big = vec![7u8; 40]; // 2.5 pages
+        let (p, o) = w.append(&big);
+        assert_eq!((p, o), (0, 0));
+        let pages = w.finish();
+        assert_eq!(pages.len(), 3);
+        let mut all = Vec::new();
+        for id in pages {
+            all.extend_from_slice(&store.read_page(id));
+        }
+        assert_eq!(&all[..40], &big[..]);
+    }
+
+    #[test]
+    fn io_charging_reflects_compression() {
+        let d = Arc::new(Device::new(DeviceProfile::SATA_SSD));
+        let store = PageStore::new(Arc::clone(&d), 4096, CompressionScheme::Snappy);
+        let page: Vec<u8> = b"abc".iter().copied().cycle().take(4096).collect();
+        let id = store.write_page(&page);
+        let written = d.bytes_written();
+        assert!(written < 4096, "compressed write should charge compressed bytes");
+        store.read_page(id);
+        assert_eq!(d.bytes_read(), written, "read charges stored size");
+    }
+}

@@ -1,0 +1,170 @@
+//! Bit-granular writer and reader.
+//!
+//! The vector-based record format stores variable-length-value lengths and
+//! field-name lengths/IDs using the *minimum* number of bits per entry
+//! (paper §3.3.1: "Lengths for variable-length values and field names are
+//! stored using the minimum amount of bytes" — bits, per the worked example).
+//! Entries are written LSB-first into a byte stream.
+
+/// Writes fixed-width bit fields into a growable byte buffer, LSB-first.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in the final byte of `buf` (0 ⇒ byte-aligned).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `width` bits of `v`. `width` must be 1..=64.
+    pub fn write(&mut self, v: u64, width: u8) {
+        debug_assert!((1..=64).contains(&width));
+        debug_assert!(width == 64 || v < (1u64 << width));
+        let mut remaining = width;
+        let mut v = v;
+        while remaining > 0 {
+            if self.bit_pos == 0 {
+                self.buf.push(0);
+            }
+            let free = 8 - self.bit_pos;
+            let take = free.min(remaining);
+            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let last = self.buf.last_mut().expect("pushed above");
+            *last |= ((v & mask) as u8) << self.bit_pos;
+            v >>= take;
+            self.bit_pos = (self.bit_pos + take) % 8;
+            remaining -= take;
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Finish and return the (byte-padded) buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Byte length the current contents occupy.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Reads fixed-width bit fields from a byte slice, LSB-first.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    bit_pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, bit_pos: 0 }
+    }
+
+    /// Read `width` bits (1..=64). Returns `None` on exhaustion.
+    pub fn read(&mut self, width: u8) -> Option<u64> {
+        debug_assert!((1..=64).contains(&width));
+        let end = self.bit_pos + width as usize;
+        if end > self.buf.len() * 8 {
+            return None;
+        }
+        let mut v = 0u64;
+        let mut got: u8 = 0;
+        while got < width {
+            let byte = self.buf[self.bit_pos / 8];
+            let offset = (self.bit_pos % 8) as u8;
+            let avail = 8 - offset;
+            let take = avail.min(width - got);
+            let mask = if take == 8 { 0xff } else { (1u8 << take) - 1 };
+            let part = (byte >> offset) & mask;
+            v |= (part as u64) << got;
+            got += take;
+            self.bit_pos += take as usize;
+        }
+        Some(v)
+    }
+
+    /// Bits not yet consumed.
+    pub fn remaining_bits(&self) -> usize {
+        self.buf.len() * 8 - self.bit_pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let entries: &[(u64, u8)] = &[
+            (1, 1),
+            (0, 1),
+            (5, 3),
+            (1023, 10),
+            (0, 64),
+            (u64::MAX, 64),
+            (0x5a5a, 16),
+            (7, 3),
+        ];
+        for &(v, width) in entries {
+            w.write(v, width);
+        }
+        let total_bits: usize = entries.iter().map(|&(_, w)| w as usize).sum();
+        assert_eq!(w.bit_len(), total_bits);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, width) in entries {
+            assert_eq!(r.read(width), Some(v), "width {width}");
+        }
+    }
+
+    #[test]
+    fn reader_rejects_overrun() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), Some(0b101));
+        // The padding bits are readable (they're zero), but reading past the
+        // final byte fails.
+        assert_eq!(r.read(5), Some(0));
+        assert_eq!(r.read(1), None);
+    }
+
+    #[test]
+    fn three_bit_fieldname_ids_match_paper_example() {
+        // Paper §3.3.2: four field-name entries at 3 bits each fit in 2 bytes.
+        let mut w = BitWriter::new();
+        for id in [0b100u64, 0b001, 0b010, 0b011] {
+            w.write(id, 3);
+        }
+        assert_eq!(w.byte_len(), 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), Some(0b100));
+        assert_eq!(r.read(3), Some(0b001));
+        assert_eq!(r.read(3), Some(0b010));
+        assert_eq!(r.read(3), Some(0b011));
+    }
+
+    #[test]
+    fn byte_aligned_values() {
+        let mut w = BitWriter::new();
+        w.write(0xab, 8);
+        w.write(0xcdef, 16);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0xab, 0xef, 0xcd]);
+    }
+}

@@ -1,0 +1,164 @@
+//! LEB128 unsigned varints and zigzag-coded signed varints.
+//!
+//! These are the integer encodings shared by the Avro/Thrift/Protobuf wire
+//! formats in `tc-formats`, the Snappy preamble in `tc-compress`, and the
+//! component metadata blocks in `tc-lsm`.
+
+/// Maximum encoded size of a u64 varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Append `v` to `out` as a LEB128 unsigned varint. Returns the number of
+/// bytes written.
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        n += 1;
+        if v == 0 {
+            out.push(byte);
+            return n;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode a LEB128 unsigned varint from the front of `buf`. Returns the value
+/// and the number of bytes consumed, or `None` if `buf` is truncated or the
+/// encoding overflows 64 bits.
+#[inline]
+pub fn read_u64(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return None;
+        }
+        let part = (byte & 0x7f) as u64;
+        // The 10th byte may only contribute a single bit.
+        if shift == 63 && part > 1 {
+            return None;
+        }
+        v |= part << shift;
+        if byte & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Zigzag-encode a signed integer so small magnitudes get small varints.
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append a zigzag-coded signed varint.
+#[inline]
+pub fn write_i64(out: &mut Vec<u8>, v: i64) -> usize {
+    write_u64(out, zigzag_encode(v))
+}
+
+/// Decode a zigzag-coded signed varint.
+#[inline]
+pub fn read_i64(buf: &[u8]) -> Option<(i64, usize)> {
+    read_u64(buf).map(|(v, n)| (zigzag_decode(v), n))
+}
+
+/// Encoded length of `v` as an unsigned varint, without writing it.
+#[inline]
+pub fn len_u64(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u64_corners() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            let n = write_u64(&mut buf, v);
+            assert_eq!(n, buf.len());
+            assert_eq!(n, len_u64(v), "len_u64 mismatch for {v}");
+            let (got, consumed) = read_u64(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(consumed, n);
+        }
+    }
+
+    #[test]
+    fn roundtrip_i64_corners() {
+        for &v in &[0i64, -1, 1, -64, 64, i64::MIN, i64::MAX, -123456789] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let (got, _) = read_i64(&buf).unwrap();
+            assert_eq!(got, v);
+        }
+    }
+
+    #[test]
+    fn zigzag_interleaves() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_encode(2), 4);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert!(read_u64(&buf[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn overlong_encoding_is_rejected() {
+        // 11 continuation bytes can never terminate within 64 bits.
+        let buf = [0x80u8; 11];
+        assert!(read_u64(&buf).is_none());
+        // A 10th byte with more than one significant bit overflows.
+        let mut buf = vec![0xffu8; 9];
+        buf.push(0x7f);
+        assert!(read_u64(&buf).is_none());
+    }
+
+    #[test]
+    fn trailing_bytes_are_ignored() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 300);
+        buf.extend_from_slice(&[0xde, 0xad]);
+        let (v, n) = read_u64(&buf).unwrap();
+        assert_eq!(v, 300);
+        assert_eq!(n, 2);
+    }
+}

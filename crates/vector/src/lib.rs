@@ -1,0 +1,35 @@
+//! The vector-based physical record format (paper §3.3).
+//!
+//! The format separates a record's *metadata* from its *values* so the tuple
+//! compactor can infer schemas and strip field names in one linear pass:
+//!
+//! ```text
+//! header (25 B) | values' type tags | fixed-length values
+//!               | varlen lengths (bit-packed) | varlen values
+//!               | field names: lengths/IDs (bit-packed) | name bytes
+//! ```
+//!
+//! * [`header`] — the 25-byte header (Fig 12): record length, tag count, two
+//!   packed length bit-widths, and four section offsets. Compaction zeroes
+//!   the fourth offset (field-name values) to signal names now live in the
+//!   schema structure.
+//! * [`encode`] — `Value` → uncompacted vector record (what the in-memory
+//!   component stores; also the "SL-VB" configuration of Fig 21).
+//! * [`reader`] — a pull parser over the tag stream; [`reader::decode`]
+//!   materializes a `Value` from either compacted or uncompacted records.
+//! * [`compact`] — the flush-time pass: schema inference + field-name
+//!   stripping in one scan (§3.3.2), plus schema-decrement for anti-matter.
+//! * [`access`] — `getValues()`: evaluate *many* path expressions in a
+//!   single linear scan (§3.4.2), the optimizer's consolidation target.
+
+pub mod access;
+pub mod compact;
+pub mod encode;
+pub mod header;
+pub mod reader;
+
+pub use access::get_values;
+pub use compact::infer_and_compact;
+pub use encode::encode;
+pub use header::Header;
+pub use reader::{decode, FieldName, Item, VectorReader};

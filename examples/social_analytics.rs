@@ -1,0 +1,93 @@
+//! Social-media analytics: the paper's Twitter workload end to end.
+//!
+//! Ingests a synthetic tweet firehose through a hash-partitioned cluster in
+//! all three storage configurations, compares on-disk sizes, then runs the
+//! paper's four analytical queries (Appendix A.1) on the inferred dataset.
+//!
+//! Run with: `cargo run --release --example social_analytics`
+
+use asterix_tc::prelude::*;
+use tc_datagen::{twitter::TwitterGen, Generator};
+use tc_query::paper_queries as q;
+
+fn main() -> Result<(), AdmError> {
+    let n = 5000;
+    println!("generating {n} tweets…");
+
+    // ---- storage comparison (Fig 16a in miniature) ----
+    let mut sizes = Vec::new();
+    for format in [StorageFormat::Open, StorageFormat::Inferred] {
+        let mut cluster = Cluster::create_dataset(
+            ClusterConfig::default(),
+            DatasetConfig::new("Tweets", "id")
+                .with_format(format)
+                .with_compression(CompressionScheme::Snappy),
+        );
+        let mut gen = TwitterGen::new(42);
+        let records: Vec<Value> = (0..n).map(|_| gen.next_record()).collect();
+        let report = cluster.feed(records, FeedMode::Insert)?;
+        cluster.flush_all();
+        cluster.merge_all();
+        println!(
+            "{:>9}: {:>10} bytes on disk, ingested in {:?} (+{:?} simulated IO)",
+            format.name(),
+            cluster.total_disk_bytes(),
+            report.wall,
+            report.io,
+        );
+        sizes.push((format, cluster.total_disk_bytes()));
+        if format == StorageFormat::Inferred {
+            run_queries(&cluster)?;
+        }
+    }
+    let open = sizes[0].1 as f64;
+    let inferred = sizes[1].1 as f64;
+    println!("\ncompacted storage is {:.1}x smaller than schema-less (compressed)", open / inferred);
+    Ok(())
+}
+
+fn run_queries(cluster: &Cluster) -> Result<(), AdmError> {
+    let opts = QueryOptions::default();
+    let exec = ExecOptions::default();
+
+    println!("\nQ1 — count(*):");
+    let res = cluster.query(&q::twitter_q1(opts), &exec)?;
+    println!("  {} tweets", q::single_i64(&res.rows).unwrap());
+
+    println!("Q2 — top users by average tweet length:");
+    let res = cluster.query(&q::twitter_q2(opts), &exec)?;
+    for row in res.rows.iter().take(3) {
+        println!("  {} avg {:.1}", row[0], row[1].as_f64().unwrap());
+    }
+
+    println!("Q3 — top users tweeting #jobs:");
+    let res = cluster.query(&q::twitter_q3(opts), &exec)?;
+    for row in res.rows.iter().take(3) {
+        println!("  {} with {} tweets", row[0], row[1].as_i64().unwrap());
+    }
+    println!(
+        "  (schema broadcast shipped {} bytes across {} partitions)",
+        res.stats.broadcast_bytes, res.stats.partitions
+    );
+
+    println!("Q4 — full scan ordered by timestamp:");
+    let res = cluster.query(&q::twitter_q4(opts), &exec)?;
+    println!("  {} records sorted", res.rows.len());
+
+    // The same Q2, written as SQL++ text through the front end.
+    let text = r#"
+        SELECT uname, a
+        FROM Tweets t
+        GROUP BY t.user.name AS uname
+        WITH a AS avg(length(t.text))
+        ORDER BY a DESC
+        LIMIT 3
+    "#;
+    let compiled = tc_query::sqlpp::compile(text, opts)?;
+    let res = cluster.query(&compiled, &exec)?;
+    println!("Q2 again, via the SQL++ front end:");
+    for row in &res.rows {
+        println!("  {} avg {:.1}", row[0], row[1].as_f64().unwrap());
+    }
+    Ok(())
+}

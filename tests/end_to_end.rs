@@ -1,0 +1,222 @@
+//! Cross-crate integration tests: the full paper pipeline, end to end.
+
+use std::sync::Arc;
+
+use asterix_tc::prelude::*;
+use tc_datagen::{
+    sensors::SensorsGen, twitter::TwitterGen, updates::Updater, wos::WosGen, Generator,
+};
+use tc_query::paper_queries as q;
+
+fn make_dataset(format: StorageFormat, compression: CompressionScheme) -> Dataset {
+    let config = DatasetConfig::new("ds", "id")
+        .with_format(format)
+        .with_compression(compression)
+        .with_memtable_budget(128 * 1024)
+        .with_primary_key_index(true);
+    let device = Arc::new(Device::new(DeviceProfile::NVME_SSD));
+    let cache = Arc::new(BufferCache::new(8192));
+    Dataset::new(config, device, cache)
+}
+
+/// Ingest → flush → merge → crash → recover → query, with page compression
+/// on, for every storage format.
+#[test]
+fn ingest_crash_recover_query_all_formats() {
+    for format in [
+        StorageFormat::Open,
+        StorageFormat::Inferred,
+        StorageFormat::VectorUncompacted,
+    ] {
+        let mut ds = make_dataset(format, CompressionScheme::Snappy);
+        let mut gen = TwitterGen::new(11);
+        let records: Vec<Value> = (0..400).map(|_| gen.next_record()).collect();
+        for r in &records[..300] {
+            ds.insert(r).unwrap();
+        }
+        ds.flush();
+        ds.force_full_merge();
+        // Unflushed tail + a delete + an upsert, then crash.
+        for r in &records[300..] {
+            ds.insert(r).unwrap();
+        }
+        ds.delete(5).unwrap();
+        let mut upd = records[6].clone();
+        if let Value::Object(fields) = &mut upd {
+            fields.push(("patched".to_string(), Value::Boolean(true)));
+        }
+        ds.upsert(&upd).unwrap();
+        ds.simulate_crash();
+        let (_, replayed) = ds.recover();
+        assert!(replayed > 0, "{format:?}: WAL replay expected");
+        ds.flush();
+
+        assert_eq!(ds.get(5).unwrap(), None, "{format:?}: delete survived crash");
+        let got = ds.get(6).unwrap().unwrap();
+        assert_eq!(
+            got.get_field("patched"),
+            Some(&Value::Boolean(true)),
+            "{format:?}: upsert survived crash"
+        );
+        assert_eq!(ds.scan_values().unwrap().len(), 399, "{format:?}");
+    }
+}
+
+/// The twelve paper queries return byte-identical results regardless of
+/// storage format, compression, optimizer configuration, and parallelism.
+#[test]
+fn paper_queries_are_format_invariant() {
+    let day_start = 1_556_496_000_000i64;
+    type QSet = Vec<Vec<Vec<Value>>>;
+    let mut reference: Option<QSet> = None;
+    for format in [StorageFormat::Open, StorageFormat::Inferred] {
+        for compression in [CompressionScheme::None, CompressionScheme::Snappy] {
+            let mut tw = make_dataset(format, compression);
+            let mut wos = make_dataset(format, compression);
+            let mut sen = make_dataset(format, compression);
+            let mut g1 = TwitterGen::new(21);
+            let mut g2 = WosGen::new(22);
+            let mut g3 = SensorsGen::new(23);
+            for _ in 0..200 {
+                tw.insert(&g1.next_record()).unwrap();
+                wos.insert(&g2.next_record()).unwrap();
+            }
+            for _ in 0..50 {
+                sen.insert(&g3.next_record()).unwrap();
+            }
+            for ds in [&mut tw, &mut wos, &mut sen] {
+                ds.flush();
+            }
+            for opts in [QueryOptions::default(), QueryOptions::unoptimized()] {
+                for parallel in [false, true] {
+                    let exec = ExecOptions { parallel };
+                    let run = |ds: &Dataset, query: &Query| {
+                        tc_query::exec::execute(&[ds], query, &exec).unwrap().rows
+                    };
+                    let results: QSet = vec![
+                        run(&tw, &q::twitter_q1(opts)),
+                        run(&tw, &q::twitter_q2(opts)),
+                        run(&tw, &q::twitter_q3(opts)),
+                        run(&wos, &q::wos_q1(opts)),
+                        run(&wos, &q::wos_q2(opts)),
+                        run(&wos, &q::wos_q3(opts)),
+                        run(&wos, &q::wos_q4(opts)),
+                        run(&sen, &q::sensors_q1(opts)),
+                        run(&sen, &q::sensors_q2(opts)),
+                        run(&sen, &q::sensors_q3(opts)),
+                        run(&sen, &q::sensors_q4(opts, day_start)),
+                    ];
+                    match &reference {
+                        None => reference = Some(results),
+                        Some(r) => assert_eq!(
+                            *r, results,
+                            "{format:?}/{compression:?}/{opts:?}/parallel={parallel}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Heavy update churn: schema counters stay consistent with reality.
+#[test]
+fn update_churn_keeps_schema_consistent() {
+    let mut ds = make_dataset(StorageFormat::Inferred, CompressionScheme::None);
+    let mut gen = TwitterGen::new(31);
+    let originals: Vec<Value> = (0..200).map(|_| gen.next_record()).collect();
+    for r in &originals {
+        ds.insert(r).unwrap();
+    }
+    ds.flush();
+    let mut up = Updater::new(32);
+    for _ in 0..400 {
+        let k = up.pick_key(200) as usize;
+        let current = ds.get(k as i64).unwrap().unwrap();
+        let (mutated, _) = up.mutate(&current, "id");
+        ds.upsert(&mutated).unwrap();
+    }
+    ds.flush();
+    ds.force_full_merge();
+    // Record count is unchanged; every record still decodes; the schema's
+    // root counter equals the live record count.
+    let values = ds.scan_values().unwrap();
+    assert_eq!(values.len(), 200);
+    let schema = ds.schema_snapshot().unwrap();
+    assert_eq!(schema.record_count(), 200);
+    // Delete everything: the schema shrinks back to (almost) nothing.
+    for i in 0..200 {
+        ds.delete(i).unwrap();
+    }
+    ds.flush();
+    assert_eq!(ds.scan_values().unwrap().len(), 0);
+    let schema = ds.schema_snapshot().unwrap();
+    assert_eq!(schema.record_count(), 0);
+    assert_eq!(schema.num_live_nodes(), 1, "only the root survives");
+}
+
+/// Partitioned cluster: heterogeneous partition schemas + broadcast still
+/// produce correct global answers.
+#[test]
+fn heterogeneous_partitions_query_correctly() {
+    let mut cluster = Cluster::create_dataset(
+        ClusterConfig {
+            nodes: 2,
+            partitions_per_node: 2,
+            device: DeviceProfile::NVME_SSD,
+            cache_budget_per_node: 8 * 1024 * 1024,
+        },
+        DatasetConfig::new("emps", "id").with_format(StorageFormat::Inferred),
+    );
+    // Partition-dependent structure: age is an int for even ids, a string
+    // for odd ids; salary only exists for ids divisible by 3 (the Fig 15
+    // heterogeneity scenario).
+    for i in 0..400i64 {
+        let age = if i % 2 == 0 { format!("{}", 20 + i % 40) } else { format!("\"{}y\"", 20 + i % 40) };
+        let salary = if i % 3 == 0 { format!(", \"salary\": {}", 50_000 + i) } else { String::new() };
+        let r = parse(&format!(r#"{{"id": {i}, "name": "e{}", "age": {age}{salary}}}"#, i % 7))
+            .unwrap();
+        cluster.insert(&r).unwrap();
+    }
+    cluster.flush_all();
+    // GROUP BY name over heterogeneous partitions.
+    let query = Query {
+        scan: tc_query::plan::ScanSpec::all_early(
+            vec![tc_adm::path::parse_path("name")],
+            tc_query::plan::AccessStrategy::Consolidated,
+        ),
+        ops: vec![
+            tc_query::plan::Op::GroupBy {
+                keys: vec![tc_query::expr::Expr::col(0)],
+                aggs: vec![tc_query::agg::Agg::count_star()],
+            },
+            tc_query::plan::Op::OrderBy {
+                keys: vec![(tc_query::expr::Expr::col(0), false)],
+                limit: None,
+            },
+        ],
+    };
+    let res = cluster.query(&query, &ExecOptions::default()).unwrap();
+    assert_eq!(res.rows.len(), 7);
+    let total: i64 = res.rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+    assert_eq!(total, 400);
+    assert!(res.stats.broadcast_bytes > 0);
+}
+
+/// Bulk load equals feed ingestion, observably.
+#[test]
+fn bulk_load_matches_feed() {
+    let mut gen = WosGen::new(44);
+    let records: Vec<Value> = (0..150).map(|_| gen.next_record()).collect();
+    let mut fed = make_dataset(StorageFormat::Inferred, CompressionScheme::None);
+    for r in &records {
+        fed.insert(r).unwrap();
+    }
+    fed.flush();
+    let mut loaded = make_dataset(StorageFormat::Inferred, CompressionScheme::None);
+    loaded.bulk_load(records.clone()).unwrap();
+    let a = fed.scan_values().unwrap();
+    let b = loaded.scan_values().unwrap();
+    assert_eq!(a, b);
+    assert_eq!(loaded.primary().components().len(), 1);
+}

@@ -1,0 +1,251 @@
+//! Property-based tests over the core invariants (proptest).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use asterix_tc::prelude::*;
+use tc_adm::path::eval_path;
+use tc_schema::Schema;
+
+// ---------------------------------------------------------------------
+// Value generator: arbitrary ADM trees (bounded depth/size)
+// ---------------------------------------------------------------------
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Boolean),
+        any::<i8>().prop_map(Value::Int8),
+        any::<i16>().prop_map(Value::Int16),
+        any::<i32>().prop_map(Value::Int32),
+        any::<i64>().prop_map(Value::Int64),
+        any::<f32>().prop_map(Value::Float),
+        any::<f64>().prop_map(Value::Double),
+        "[a-zA-Z0-9 _#@!]{0,24}".prop_map(Value::String),
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Binary),
+        (-50_000i32..50_000).prop_map(Value::Date),
+        (0i32..86_400_000).prop_map(Value::Time),
+        // Text roundtrip is defined for datetimes whose civil conversion
+        // fits i64 milliseconds (±~100k years); binary formats take any i64.
+        (-4_000_000_000_000_000i64..4_000_000_000_000_000).prop_map(Value::DateTime),
+        any::<i64>().prop_map(Value::Duration),
+        any::<[u8; 16]>().prop_map(Value::Uuid),
+        (any::<f64>(), any::<f64>()).prop_map(|(x, y)| Value::Point(x, y)),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    arb_scalar().prop_recursive(3, 48, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Multiset),
+            arb_object_from(inner),
+        ]
+    })
+}
+
+fn arb_object_from(
+    inner: impl Strategy<Value = Value> + 'static,
+) -> impl Strategy<Value = Value> {
+    proptest::collection::btree_map("[a-z]{1,8}", inner, 0..6)
+        .prop_map(|m| Value::Object(m.into_iter().collect()))
+}
+
+/// A top-level record: an object with an integer `id` plus arbitrary fields.
+fn arb_record() -> impl Strategy<Value = Value> {
+    (0i64..1_000_000, arb_object_from(arb_value())).prop_map(|(id, obj)| {
+        let Value::Object(mut fields) = obj else { unreachable!() };
+        fields.retain(|(n, _)| n != "id");
+        fields.insert(0, ("id".to_string(), Value::Int64(id)));
+        Value::Object(fields)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Text printer/parser roundtrip.
+    #[test]
+    fn adm_text_roundtrip(v in arb_value()) {
+        let text = asterix_tc::adm::to_string(&v);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// The baseline ADM physical format roundtrips.
+    #[test]
+    fn adm_format_roundtrip(v in arb_record()) {
+        let bytes = asterix_tc::adm::adm_format::encode_record(&v, None).unwrap();
+        let back = asterix_tc::adm::adm_format::decode_record(&bytes, None).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// The vector-based format roundtrips (uncompacted).
+    #[test]
+    fn vector_format_roundtrip(v in arb_record()) {
+        let bytes = asterix_tc::vector::encode(&v, None);
+        let back = asterix_tc::vector::decode(&bytes, None, None).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// infer_and_compact preserves the value exactly (decoded through the
+    /// schema dictionary) and never grows the record.
+    #[test]
+    fn compaction_preserves_value(records in proptest::collection::vec(arb_record(), 1..6)) {
+        let mut schema = Schema::new();
+        for v in &records {
+            let raw = asterix_tc::vector::encode(v, None);
+            let compacted =
+                asterix_tc::vector::infer_and_compact(&raw, &mut schema).unwrap();
+            prop_assert!(compacted.len() <= raw.len());
+            let back =
+                asterix_tc::vector::decode(&compacted, None, Some(schema.dict())).unwrap();
+            prop_assert_eq!(&back, v);
+        }
+    }
+
+    /// Observing then removing the same records restores the empty schema
+    /// (anti-schema correctness).
+    #[test]
+    fn schema_observe_remove_cancels(records in proptest::collection::vec(arb_record(), 1..8)) {
+        let mut schema = Schema::new();
+        let skip = |name: &str| name == "id";
+        for v in &records {
+            let Value::Object(fields) = v else { unreachable!() };
+            schema.observe_record(fields, &skip);
+        }
+        for v in &records {
+            let Value::Object(fields) = v else { unreachable!() };
+            schema.remove_record(fields, &skip);
+        }
+        prop_assert_eq!(schema.record_count(), 0);
+        prop_assert_eq!(schema.num_live_nodes(), 1);
+    }
+
+    /// Schema inference is monotone: after more records, the schema covers
+    /// the earlier one.
+    #[test]
+    fn schema_growth_is_monotone(records in proptest::collection::vec(arb_record(), 2..6)) {
+        let mut schema = Schema::new();
+        let skip = |name: &str| name == "id";
+        let mut prev = schema.clone();
+        for v in &records {
+            let Value::Object(fields) = v else { unreachable!() };
+            schema.observe_record(fields, &skip);
+            prop_assert!(schema.is_superset_of(&prev));
+            prev = schema.clone();
+        }
+        // Serialization roundtrip preserves coverage both ways.
+        let back = Schema::deserialize(&schema.serialize()).unwrap();
+        prop_assert!(back.is_superset_of(&schema) && schema.is_superset_of(&back));
+    }
+
+    /// Snappy roundtrips arbitrary byte strings.
+    #[test]
+    fn snappy_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let compressed = asterix_tc::compress::snappy::compress(&data);
+        let back = asterix_tc::compress::snappy::decompress(&compressed).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// getValues over vector records matches eval_path over the decoded
+    /// value for arbitrary records and field paths.
+    #[test]
+    fn get_values_matches_eval_path(v in arb_record(), name in "[a-z]{1,8}") {
+        let paths = vec![
+            tc_adm::path::parse_path(&name),
+            tc_adm::path::parse_path("id"),
+        ];
+        let raw = asterix_tc::vector::encode(&v, None);
+        let got = asterix_tc::vector::get_values(&raw, &paths, None, None).unwrap();
+        let expected: Vec<Value> = paths.iter().map(|p| eval_path(&v, p)).collect();
+        prop_assert_eq!(got, expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// LSM model check: the tree behaves like a BTreeMap under arbitrary
+// interleavings of insert / delete / upsert / flush / merge / crash+recover
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum LsmOp {
+    Insert(u8, u16),
+    Delete(u8),
+    Upsert(u8, u16),
+    Flush,
+    Merge,
+    CrashRecover,
+}
+
+fn arb_op() -> impl Strategy<Value = LsmOp> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u16>()).prop_map(|(k, v)| LsmOp::Insert(k, v)),
+        2 => any::<u8>().prop_map(LsmOp::Delete),
+        2 => (any::<u8>(), any::<u16>()).prop_map(|(k, v)| LsmOp::Upsert(k, v)),
+        1 => Just(LsmOp::Flush),
+        1 => Just(LsmOp::Merge),
+        1 => Just(LsmOp::CrashRecover),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dataset_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let config = DatasetConfig::new("model", "id")
+            .with_format(StorageFormat::Inferred)
+            .with_memtable_budget(8 * 1024)
+            .with_merge_policy(MergePolicy::NoMerge);
+        let device = Arc::new(Device::new(DeviceProfile::NVME_SSD));
+        let cache = Arc::new(BufferCache::new(1024));
+        let mut ds = Dataset::new(config, device, cache);
+        let mut model: std::collections::BTreeMap<i64, u16> = Default::default();
+
+        for op in ops {
+            match op {
+                LsmOp::Insert(k, v) | LsmOp::Upsert(k, v) => {
+                    let record = parse(&format!(r#"{{"id": {k}, "v": {v}}}"#)).unwrap();
+                    ds.upsert(&record).unwrap();
+                    model.insert(k as i64, v);
+                }
+                LsmOp::Delete(k) => {
+                    let existed = ds.delete(k as i64).unwrap();
+                    let model_existed = model.remove(&(k as i64)).is_some();
+                    prop_assert_eq!(existed, model_existed);
+                }
+                LsmOp::Flush => ds.flush(),
+                LsmOp::Merge => {
+                    ds.flush();
+                    ds.force_full_merge();
+                }
+                LsmOp::CrashRecover => {
+                    // Crash is only lossless if everything is WAL-covered —
+                    // which it is (WAL enabled by default).
+                    ds.simulate_crash();
+                    ds.recover();
+                }
+            }
+        }
+        // Full scan equals the model.
+        let got: Vec<(i64, i64)> = ds
+            .scan_values()
+            .unwrap()
+            .into_iter()
+            .map(|r| {
+                (
+                    r.get_field("id").unwrap().as_i64().unwrap(),
+                    r.get_field("v").unwrap().as_i64().unwrap(),
+                )
+            })
+            .collect();
+        let expected: Vec<(i64, i64)> =
+            model.iter().map(|(k, v)| (*k, *v as i64)).collect();
+        prop_assert_eq!(got, expected);
+        // Spot point lookups, including absent keys.
+        for k in [0i64, 17, 255] {
+            prop_assert_eq!(ds.get(k).unwrap().is_some(), model.contains_key(&k));
+        }
+    }
+}
