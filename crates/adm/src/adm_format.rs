@@ -97,9 +97,7 @@ fn encode_value(value: &Value, ctx: Option<&TypeKind>, out: &mut Vec<u8>) -> Res
         }
         Value::Array(items) | Value::Multiset(items) => {
             let item_ctx = match ctx {
-                Some(TypeKind::Array(item)) | Some(TypeKind::Multiset(item)) => {
-                    Some(item.as_ref())
-                }
+                Some(TypeKind::Array(item)) | Some(TypeKind::Multiset(item)) => Some(item.as_ref()),
                 _ => None,
             };
             let len_pos = out.len();
@@ -183,10 +181,7 @@ pub fn decode_record(buf: &[u8], dtype: Option<&ObjectType>) -> Result<Value, Ad
     let ctx = dtype.map(|t| TypeKind::Object(t.clone()));
     let (v, n) = decode_value(buf, ctx.as_ref())?;
     if n != buf.len() {
-        return Err(AdmError::corrupt(format!(
-            "trailing bytes: consumed {n} of {}",
-            buf.len()
-        )));
+        return Err(AdmError::corrupt(format!("trailing bytes: consumed {n} of {}", buf.len())));
     }
     Ok(v)
 }
@@ -211,42 +206,19 @@ fn decode_value(buf: &[u8], ctx: Option<&TypeKind>) -> Result<(Value, usize), Ad
         TypeTag::Null => (Value::Null, 1),
         TypeTag::Boolean => (Value::Boolean(fixed(1)?[0] != 0), 2),
         TypeTag::Int8 => (Value::Int8(fixed(1)?[0] as i8), 2),
-        TypeTag::Int16 => (
-            Value::Int16(i16::from_le_bytes(fixed(2)?.try_into().expect("2"))),
-            3,
-        ),
-        TypeTag::Int32 => (
-            Value::Int32(i32::from_le_bytes(fixed(4)?.try_into().expect("4"))),
-            5,
-        ),
-        TypeTag::Date => (
-            Value::Date(i32::from_le_bytes(fixed(4)?.try_into().expect("4"))),
-            5,
-        ),
-        TypeTag::Time => (
-            Value::Time(i32::from_le_bytes(fixed(4)?.try_into().expect("4"))),
-            5,
-        ),
-        TypeTag::Int64 => (
-            Value::Int64(i64::from_le_bytes(fixed(8)?.try_into().expect("8"))),
-            9,
-        ),
-        TypeTag::DateTime => (
-            Value::DateTime(i64::from_le_bytes(fixed(8)?.try_into().expect("8"))),
-            9,
-        ),
-        TypeTag::Duration => (
-            Value::Duration(i64::from_le_bytes(fixed(8)?.try_into().expect("8"))),
-            9,
-        ),
-        TypeTag::Float => (
-            Value::Float(f32::from_le_bytes(fixed(4)?.try_into().expect("4"))),
-            5,
-        ),
-        TypeTag::Double => (
-            Value::Double(f64::from_le_bytes(fixed(8)?.try_into().expect("8"))),
-            9,
-        ),
+        TypeTag::Int16 => (Value::Int16(i16::from_le_bytes(fixed(2)?.try_into().expect("2"))), 3),
+        TypeTag::Int32 => (Value::Int32(i32::from_le_bytes(fixed(4)?.try_into().expect("4"))), 5),
+        TypeTag::Date => (Value::Date(i32::from_le_bytes(fixed(4)?.try_into().expect("4"))), 5),
+        TypeTag::Time => (Value::Time(i32::from_le_bytes(fixed(4)?.try_into().expect("4"))), 5),
+        TypeTag::Int64 => (Value::Int64(i64::from_le_bytes(fixed(8)?.try_into().expect("8"))), 9),
+        TypeTag::DateTime => {
+            (Value::DateTime(i64::from_le_bytes(fixed(8)?.try_into().expect("8"))), 9)
+        }
+        TypeTag::Duration => {
+            (Value::Duration(i64::from_le_bytes(fixed(8)?.try_into().expect("8"))), 9)
+        }
+        TypeTag::Float => (Value::Float(f32::from_le_bytes(fixed(4)?.try_into().expect("4"))), 5),
+        TypeTag::Double => (Value::Double(f64::from_le_bytes(fixed(8)?.try_into().expect("8"))), 9),
         TypeTag::Uuid => {
             let b: [u8; 16] = fixed(16)?.try_into().expect("16");
             (Value::Uuid(b), 17)
@@ -267,10 +239,7 @@ fn decode_value(buf: &[u8], ctx: Option<&TypeKind>) -> Result<(Value, usize), Ad
             for (i, chunk) in b.chunks_exact(8).enumerate() {
                 a[i] = f64::from_le_bytes(chunk.try_into().expect("8"));
             }
-            (
-                if tag == TypeTag::Line { Value::Line(a) } else { Value::Rectangle(a) },
-                33,
-            )
+            (if tag == TypeTag::Line { Value::Line(a) } else { Value::Rectangle(a) }, 33)
         }
         TypeTag::Circle => {
             let b = fixed(24)?;
@@ -299,9 +268,7 @@ fn decode_value(buf: &[u8], ctx: Option<&TypeKind>) -> Result<(Value, usize), Ad
             let count = get_u32(buf, p + 4)? as usize;
             let region = p + 8 + count * 4;
             let item_ctx = match ctx {
-                Some(TypeKind::Array(item)) | Some(TypeKind::Multiset(item)) => {
-                    Some(item.as_ref())
-                }
+                Some(TypeKind::Array(item)) | Some(TypeKind::Multiset(item)) => Some(item.as_ref()),
                 _ => None,
             };
             let mut items = Vec::with_capacity(count);
@@ -310,7 +277,8 @@ fn decode_value(buf: &[u8], ctx: Option<&TypeKind>) -> Result<(Value, usize), Ad
                 let (v, _) = decode_value(&buf[region + off..], item_ctx)?;
                 items.push(v);
             }
-            let v = if tag == TypeTag::Array { Value::Array(items) } else { Value::Multiset(items) };
+            let v =
+                if tag == TypeTag::Array { Value::Array(items) } else { Value::Multiset(items) };
             (v, p + 4 + payload_len)
         }
         TypeTag::Object => {
@@ -570,7 +538,11 @@ mod tests {
         // Same value, encoded closed vs fully open: the closed encoding must
         // be smaller by at least the field-name bytes.
         let t = ObjectType::closed(vec![
-            FieldDef { name: "value".into(), kind: TypeKind::Scalar(TypeTag::Double), optional: false },
+            FieldDef {
+                name: "value".into(),
+                kind: TypeKind::Scalar(TypeTag::Double),
+                optional: false,
+            },
             FieldDef {
                 name: "timestamp".into(),
                 kind: TypeKind::Scalar(TypeTag::Int64),
@@ -591,8 +563,16 @@ mod tests {
     #[test]
     fn nested_declared_types_apply_recursively() {
         let dependent = ObjectType::closed(vec![
-            FieldDef { name: "name".into(), kind: TypeKind::Scalar(TypeTag::String), optional: false },
-            FieldDef { name: "age".into(), kind: TypeKind::Scalar(TypeTag::Int64), optional: false },
+            FieldDef {
+                name: "name".into(),
+                kind: TypeKind::Scalar(TypeTag::String),
+                optional: false,
+            },
+            FieldDef {
+                name: "age".into(),
+                kind: TypeKind::Scalar(TypeTag::Int64),
+                optional: false,
+            },
         ]);
         let t = ObjectType::open(vec![
             FieldDef { name: "id".into(), kind: TypeKind::Scalar(TypeTag::Int64), optional: false },
@@ -635,19 +615,14 @@ mod tests {
 
     #[test]
     fn cursor_path_evaluation_matches_value_path() {
-        let v = parse(
-            r#"{"id": 1, "deps": [{"name": "Bob", "age": 6}, {"name": "Carol"}], "s": "x"}"#,
-        )
-        .unwrap();
+        let v =
+            parse(r#"{"id": 1, "deps": [{"name": "Bob", "age": 6}, {"name": "Carol"}], "s": "x"}"#)
+                .unwrap();
         let buf = encode_record(&v, None).unwrap();
         let cur = AdmCursor::new(&buf, None);
         for path in ["deps[0].name", "deps[*].name", "deps[*].age", "s", "missing.field"] {
             let p = parse_path(path);
-            assert_eq!(
-                cur.get_path(&p).unwrap(),
-                crate::path::eval_path(&v, &p),
-                "path {path}"
-            );
+            assert_eq!(cur.get_path(&p).unwrap(), crate::path::eval_path(&v, &p), "path {path}");
         }
     }
 

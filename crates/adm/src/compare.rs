@@ -69,9 +69,7 @@ pub fn compare(a: &Value, b: &Value) -> Ordering {
         (Date(x), Date(y)) | (Time(x), Time(y)) => x.cmp(y),
         (DateTime(x), DateTime(y)) | (Duration(x), Duration(y)) => x.cmp(y),
         (Uuid(x), Uuid(y)) => x.cmp(y),
-        (Point(x1, y1), Point(x2, y2)) => {
-            total_f64(*x1, *x2).then_with(|| total_f64(*y1, *y2))
-        }
+        (Point(x1, y1), Point(x2, y2)) => total_f64(*x1, *x2).then_with(|| total_f64(*y1, *y2)),
         (Line(x), Line(y)) | (Rectangle(x), Rectangle(y)) => cmp_f64_slice(x, y),
         (Circle(x), Circle(y)) => cmp_f64_slice(x, y),
         (Array(x), Array(y)) | (Multiset(x), Multiset(y)) => {

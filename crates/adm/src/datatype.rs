@@ -33,11 +33,7 @@ impl TypeKind {
                 if v.type_tag() == *tag {
                     Ok(())
                 } else {
-                    Err(AdmError::type_check(format!(
-                        "expected {}, found {}",
-                        tag,
-                        v.type_tag()
-                    )))
+                    Err(AdmError::type_check(format!("expected {}, found {}", tag, v.type_tag())))
                 }
             }
             (TypeKind::Object(ot), Value::Object(_)) => ot.check(value),
@@ -48,10 +44,9 @@ impl TypeKind {
                 }
                 Ok(())
             }
-            (kind, v) => Err(AdmError::type_check(format!(
-                "expected {kind:?}, found {}",
-                v.type_tag()
-            ))),
+            (kind, v) => {
+                Err(AdmError::type_check(format!("expected {kind:?}, found {}", v.type_tag())))
+            }
         }
     }
 }
@@ -199,12 +194,24 @@ mod tests {
     /// The paper's Figure 1 types.
     fn employee_types() -> (ObjectType, ObjectType) {
         let dependent = ObjectType::closed(vec![
-            FieldDef { name: "name".into(), kind: TypeKind::Scalar(TypeTag::String), optional: false },
-            FieldDef { name: "age".into(), kind: TypeKind::Scalar(TypeTag::Int64), optional: false },
+            FieldDef {
+                name: "name".into(),
+                kind: TypeKind::Scalar(TypeTag::String),
+                optional: false,
+            },
+            FieldDef {
+                name: "age".into(),
+                kind: TypeKind::Scalar(TypeTag::Int64),
+                optional: false,
+            },
         ]);
         let employee = ObjectType::open(vec![
             FieldDef { name: "id".into(), kind: TypeKind::Scalar(TypeTag::Int64), optional: false },
-            FieldDef { name: "name".into(), kind: TypeKind::Scalar(TypeTag::String), optional: false },
+            FieldDef {
+                name: "name".into(),
+                kind: TypeKind::Scalar(TypeTag::String),
+                optional: false,
+            },
             FieldDef {
                 name: "dependents".into(),
                 kind: TypeKind::Multiset(Box::new(TypeKind::Object(dependent.clone()))),

@@ -308,9 +308,8 @@ impl<'a> Parser<'a> {
                 self.expect(b'(')?;
                 self.skip_ws();
                 let v = self.parse_number()?;
-                let ms = v
-                    .as_i64()
-                    .ok_or_else(|| self.err("duration(ms) takes an integer argument"))?;
+                let ms =
+                    v.as_i64().ok_or_else(|| self.err("duration(ms) takes an integer argument"))?;
                 self.expect(b')')?;
                 Ok(Value::Duration(ms))
             }
@@ -323,8 +322,7 @@ impl<'a> Parser<'a> {
                 let mut bytes = [0u8; 16];
                 for (i, chunk) in hex.as_bytes().chunks_exact(2).enumerate() {
                     let s = std::str::from_utf8(chunk).expect("hex ascii");
-                    bytes[i] =
-                        u8::from_str_radix(s, 16).map_err(|_| self.err("bad uuid hex"))?;
+                    bytes[i] = u8::from_str_radix(s, 16).map_err(|_| self.err("bad uuid hex"))?;
                 }
                 Ok(Value::Uuid(bytes))
             }
@@ -336,9 +334,7 @@ impl<'a> Parser<'a> {
                 let mut bytes = Vec::with_capacity(s.len() / 2);
                 for chunk in s.as_bytes().chunks_exact(2) {
                     let st = std::str::from_utf8(chunk).expect("hex ascii");
-                    bytes.push(
-                        u8::from_str_radix(st, 16).map_err(|_| self.err("bad binary hex"))?,
-                    );
+                    bytes.push(u8::from_str_radix(st, 16).map_err(|_| self.err("bad binary hex"))?);
                 }
                 Ok(Value::Binary(bytes))
             }
@@ -401,17 +397,9 @@ pub fn parse_date(s: &str) -> Option<i32> {
     // Handle a possible leading '-' for negative years.
     let (y, m, d): (i64, u32, u32) = if let Some(stripped) = s.strip_prefix('-') {
         let mut p = stripped.split('-');
-        (
-            -(p.next()?.parse::<i64>().ok()?),
-            p.next()?.parse().ok()?,
-            p.next()?.parse().ok()?,
-        )
+        (-(p.next()?.parse::<i64>().ok()?), p.next()?.parse().ok()?, p.next()?.parse().ok()?)
     } else {
-        (
-            parts.next()?.parse().ok()?,
-            parts.next()?.parse().ok()?,
-            parts.next()?.parse().ok()?,
-        )
+        (parts.next()?.parse().ok()?, parts.next()?.parse().ok()?, parts.next()?.parse().ok()?)
     };
     if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
         return None;
@@ -489,10 +477,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(v.get_field("dependents").unwrap().type_tag(), crate::TypeTag::Multiset);
-        assert_eq!(
-            *v.get_field("branch_location").unwrap(),
-            Value::Point(24.0, -56.12)
-        );
+        assert_eq!(*v.get_field("branch_location").unwrap(), Value::Point(24.0, -56.12));
         // 2018-09-20 is 17794 days after 1970-01-01.
         assert_eq!(*v.get_field("employment_date").unwrap(), Value::Date(17_794));
         // id, name, 4 dependent scalars, date, point, 6 shift ints + "on_call".
@@ -531,10 +516,7 @@ mod tests {
         );
         assert_eq!(parse("duration(500)").unwrap(), Value::Duration(500));
         assert_eq!(parse("circle(0.0, 0.0, 2.0)").unwrap(), Value::Circle([0.0, 0.0, 2.0]));
-        assert_eq!(
-            parse("line(0.0, 0.0, 1.0, 1.0)").unwrap(),
-            Value::Line([0.0, 0.0, 1.0, 1.0])
-        );
+        assert_eq!(parse("line(0.0, 0.0, 1.0, 1.0)").unwrap(), Value::Line([0.0, 0.0, 1.0, 1.0]));
         assert_eq!(
             parse(r#"binary("deadbeef")"#).unwrap(),
             Value::Binary(vec![0xde, 0xad, 0xbe, 0xef])
@@ -542,8 +524,8 @@ mod tests {
         assert_eq!(
             parse(r#"uuid("00112233-4455-6677-8899-aabbccddeeff")"#).unwrap(),
             Value::Uuid([
-                0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc,
-                0xdd, 0xee, 0xff
+                0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+                0xee, 0xff
             ])
         );
     }

@@ -122,10 +122,7 @@ mod tests {
     #[test]
     fn eval_field_and_index() {
         let v = sample();
-        assert_eq!(
-            eval_path(&v, &parse_path("dependents[0].name")),
-            Value::string("Bob")
-        );
+        assert_eq!(eval_path(&v, &parse_path("dependents[0].name")), Value::string("Bob"));
         assert_eq!(eval_path(&v, &parse_path("dependents[9].name")), Value::Missing);
         assert_eq!(eval_path(&v, &parse_path("nope")), Value::Missing);
     }

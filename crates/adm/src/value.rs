@@ -246,9 +246,7 @@ impl PartialEq for Value {
             (Object(a), Object(b)) => {
                 // Order-insensitive: JSON object semantics.
                 a.len() == b.len()
-                    && a.iter().all(|(name, v)| {
-                        b.iter().any(|(bn, bv)| bn == name && bv == v)
-                    })
+                    && a.iter().all(|(name, v)| b.iter().any(|(bn, bv)| bn == name && bv == v))
             }
             _ => false,
         }

@@ -68,9 +68,8 @@ fn page_size_ablation() {
         "bigger pages compress better; LAF overhead shrinks with page count",
     );
     let mut gen = TwitterGen::new(1);
-    let payload: Vec<u8> = (0..2000)
-        .flat_map(|_| tc_adm::to_string(&gen.next_record()).into_bytes())
-        .collect();
+    let payload: Vec<u8> =
+        (0..2000).flat_map(|_| tc_adm::to_string(&gen.next_record()).into_bytes()).collect();
     header("page size", &["data bytes", "LAF bytes", "ratio"]);
     for page_size in [4 * 1024, 32 * 1024, 128 * 1024] {
         let device = Arc::new(Device::new(DeviceProfile::RAM));
@@ -100,7 +99,10 @@ fn merge_policy_ablation(n: usize) {
     header("policy", &["ingest time", "components", "bytes written"]);
     for (policy, label) in [
         (
-            MergePolicy::Prefix { max_mergeable_size: 4 * 1024 * 1024, max_tolerable_components: 5 },
+            MergePolicy::Prefix {
+                max_mergeable_size: 4 * 1024 * 1024,
+                max_tolerable_components: 5,
+            },
             "prefix (paper default)",
         ),
         (MergePolicy::Constant { max_components: 5 }, "constant(5)"),
@@ -112,11 +114,7 @@ fn merge_policy_ablation(n: usize) {
             Arc::clone(&device),
             cache,
             Arc::new(NoopHook),
-            LsmOptions {
-                merge_policy: policy,
-                memtable_budget: 64 * 1024,
-                ..Default::default()
-            },
+            LsmOptions { merge_policy: policy, memtable_budget: 64 * 1024, ..Default::default() },
         );
         let start = Instant::now();
         for i in 0..n as u64 {

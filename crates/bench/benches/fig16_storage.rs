@@ -6,8 +6,8 @@
 //! is comparable to what other NoSQL systems take for storage").
 
 use tc_bench::support::{
-    banner, disk_size, header, ingest, ratio, row, scale, sensors_closed_type,
-    twitter_closed_type, wos_closed_type, ExpConfig,
+    banner, disk_size, header, ingest, ratio, row, scale, sensors_closed_type, twitter_closed_type,
+    wos_closed_type, ExpConfig,
 };
 use tc_compress::CompressionScheme;
 use tc_datagen::{sensors::SensorsGen, twitter::TwitterGen, wos::WosGen, Generator};
@@ -25,10 +25,9 @@ fn measure<G: Generator>(
         (StorageFormat::Closed, "closed"),
         (StorageFormat::Inferred, "inferred"),
     ] {
-        for (scheme, scheme_name) in [
-            (CompressionScheme::None, "uncompressed"),
-            (CompressionScheme::Snappy, "compressed"),
-        ] {
+        for (scheme, scheme_name) in
+            [(CompressionScheme::None, "uncompressed"), (CompressionScheme::Snappy, "compressed")]
+        {
             let cfg = ExpConfig {
                 format: fmt,
                 compression: scheme,
@@ -76,8 +75,5 @@ fn main() {
     );
     report("Twitter (Fig 16a)", &measure(|| TwitterGen::new(1), n, twitter_closed_type()));
     report("WoS (Fig 16b)", &measure(|| WosGen::new(1), n, wos_closed_type()));
-    report(
-        "Sensors (Fig 16c)",
-        &measure(|| SensorsGen::new(1), n / 2, sensors_closed_type()),
-    );
+    report("Sensors (Fig 16c)", &measure(|| SensorsGen::new(1), n / 2, sensors_closed_type()));
 }

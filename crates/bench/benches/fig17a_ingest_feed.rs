@@ -24,13 +24,11 @@ fn main() {
     );
     header("configuration", &["wall", "sim IO", "total", "flushes"]);
     let mut totals = std::collections::HashMap::new();
-    for (device, dev_name) in
-        [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
+    for (device, dev_name) in [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
     {
-        for (scheme, scheme_name) in [
-            (CompressionScheme::None, "uncompressed"),
-            (CompressionScheme::Snappy, "compressed"),
-        ] {
+        for (scheme, scheme_name) in
+            [(CompressionScheme::None, "uncompressed"), (CompressionScheme::Snappy, "compressed")]
+        {
             for (fmt, fmt_name) in [
                 (StorageFormat::Open, "open"),
                 (StorageFormat::Closed, "closed"),
@@ -40,8 +38,7 @@ fn main() {
                     ExpConfig { format: fmt, compression: scheme, device, ..Default::default() };
                 let mut gen = TwitterGen::new(1);
                 let (cluster, report) = ingest(&mut gen, n, &cfg, Some(twitter_closed_type()));
-                let flushes: u64 =
-                    cluster.partitions().iter().map(|p| p.lsm_stats().flushes).sum();
+                let flushes: u64 = cluster.partitions().iter().map(|p| p.lsm_stats().flushes).sum();
                 let label = format!("{dev_name}/{scheme_name}/{fmt_name}");
                 totals.insert(label.clone(), report.total());
                 row(

@@ -64,10 +64,9 @@ fn main() {
          per op for anti-schema lookups but stays ≈ open and < closed",
     );
     header("configuration", &["insert-only", "50% updates", "per-op overhead"]);
-    for (scheme, scheme_name) in [
-        (CompressionScheme::None, "uncompressed"),
-        (CompressionScheme::Snappy, "compressed"),
-    ] {
+    for (scheme, scheme_name) in
+        [(CompressionScheme::None, "uncompressed"), (CompressionScheme::Snappy, "compressed")]
+    {
         for (fmt, fmt_name) in [
             (StorageFormat::Open, "open"),
             (StorageFormat::Closed, "closed"),

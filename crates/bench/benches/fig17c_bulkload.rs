@@ -26,13 +26,11 @@ fn main() {
     let mut gen_master = WosGen::new(1);
     let records: Vec<_> = (0..n).map(|_| gen_master.next_record()).collect();
     let mut totals = std::collections::HashMap::new();
-    for (device, dev_name) in
-        [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
+    for (device, dev_name) in [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
     {
-        for (scheme, scheme_name) in [
-            (CompressionScheme::None, "uncompressed"),
-            (CompressionScheme::Snappy, "compressed"),
-        ] {
+        for (scheme, scheme_name) in
+            [(CompressionScheme::None, "uncompressed"), (CompressionScheme::Snappy, "compressed")]
+        {
             for (fmt, fmt_name) in [
                 (StorageFormat::Open, "open"),
                 (StorageFormat::Closed, "closed"),
@@ -40,9 +38,7 @@ fn main() {
             ] {
                 let cfg =
                     ExpConfig { format: fmt, compression: scheme, device, ..Default::default() };
-                let ds_cfg = cfg
-                    .dataset_config("wos", Some(wos_closed_type()))
-                    .with_wal(false); // load statements bypass the log
+                let ds_cfg = cfg.dataset_config("wos", Some(wos_closed_type())).with_wal(false); // load statements bypass the log
                 let mut cluster = Cluster::create_dataset(cfg.cluster_config(), ds_cfg);
                 // Pre-partition, then bulk-load partition-parallel.
                 let mut per_part: Vec<Vec<tc_adm::Value>> =

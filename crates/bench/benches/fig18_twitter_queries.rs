@@ -28,13 +28,11 @@ fn main() {
     let queries =
         [q::twitter_q1(opts), q::twitter_q2(opts), q::twitter_q3(opts), q::twitter_q4(opts)];
     header("configuration", &["Q1", "Q2", "Q3", "Q4"]);
-    for (device, dev_name) in
-        [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
+    for (device, dev_name) in [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
     {
-        for (scheme, scheme_name) in [
-            (CompressionScheme::None, "uncompressed"),
-            (CompressionScheme::Snappy, "compressed"),
-        ] {
+        for (scheme, scheme_name) in
+            [(CompressionScheme::None, "uncompressed"), (CompressionScheme::Snappy, "compressed")]
+        {
             for (fmt, fmt_name) in [
                 (StorageFormat::Open, "open"),
                 (StorageFormat::Closed, "closed"),

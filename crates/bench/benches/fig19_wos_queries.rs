@@ -28,13 +28,11 @@ fn main() {
     let opts = QueryOptions::default();
     let queries = [q::wos_q1(opts), q::wos_q2(opts), q::wos_q3(opts), q::wos_q4(opts)];
     header("configuration", &["Q1", "Q2", "Q3", "Q4"]);
-    for (device, dev_name) in
-        [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
+    for (device, dev_name) in [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
     {
-        for (scheme, scheme_name) in [
-            (CompressionScheme::None, "uncompressed"),
-            (CompressionScheme::Snappy, "compressed"),
-        ] {
+        for (scheme, scheme_name) in
+            [(CompressionScheme::None, "uncompressed"), (CompressionScheme::Snappy, "compressed")]
+        {
             for (fmt, fmt_name) in [
                 (StorageFormat::Open, "open"),
                 (StorageFormat::Closed, "closed"),

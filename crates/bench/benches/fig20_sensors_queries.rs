@@ -39,13 +39,11 @@ fn main() {
         q::sensors_q4_range(opts, DAY_START, DAY_START + Q4_WINDOW_MS),
     ];
     header("configuration", &["Q1", "Q2", "Q3", "Q4"]);
-    for (device, dev_name) in
-        [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
+    for (device, dev_name) in [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
     {
-        for (scheme, scheme_name) in [
-            (CompressionScheme::None, "uncompressed"),
-            (CompressionScheme::Snappy, "compressed"),
-        ] {
+        for (scheme, scheme_name) in
+            [(CompressionScheme::None, "uncompressed"), (CompressionScheme::Snappy, "compressed")]
+        {
             for (fmt, fmt_name) in [
                 (StorageFormat::Open, "open"),
                 (StorageFormat::Closed, "closed"),

@@ -7,8 +7,8 @@
 //! per-nested-value offsets for the reading objects — §4.4.4).
 
 use tc_bench::support::{
-    banner, disk_size, header, ingest, ratio, row, scale, sensors_closed_type,
-    twitter_closed_type, ExpConfig,
+    banner, disk_size, header, ingest, ratio, row, scale, sensors_closed_type, twitter_closed_type,
+    ExpConfig,
 };
 use tc_datagen::{sensors::SensorsGen, twitter::TwitterGen, Generator};
 use tc_storage::device::DeviceProfile;
@@ -45,8 +45,7 @@ fn report(name: &str, sizes: &[(&str, u64)], slvb_beats_closed: bool) {
     let get = |l: &str| sizes.iter().find(|(n, _)| *n == l).map(|(_, s)| *s).unwrap();
     let (open, closed, inferred, slvb) =
         (get("open"), get("closed"), get("inferred"), get("sl-vb"));
-    let format_share =
-        (open - slvb) as f64 / (open - inferred) as f64;
+    let format_share = (open - slvb) as f64 / (open - inferred) as f64;
     println!(
         "\n  encoding share of total saving: {:.0}% (paper: ~half for Twitter)",
         format_share * 100.0
@@ -67,11 +66,7 @@ fn main() {
         "open > sl-vb > inferred always; Twitter: sl-vb slightly above \
          closed; Sensors: sl-vb below closed",
     );
-    report(
-        "Twitter (Fig 21a)",
-        &measure(|| TwitterGen::new(1), n, twitter_closed_type()),
-        false,
-    );
+    report("Twitter (Fig 21a)", &measure(|| TwitterGen::new(1), n, twitter_closed_type()), false);
     report(
         "Sensors (Fig 21b)",
         &measure(|| SensorsGen::new(1), n / 2, sensors_closed_type()),

@@ -56,11 +56,7 @@ fn main() {
     let n_large = 6000 * scale();
     header("format", &cols);
     for (fmt, name) in formats {
-        let cfg = ExpConfig {
-            format: fmt,
-            device: DeviceProfile::SATA_SSD,
-            ..Default::default()
-        };
+        let cfg = ExpConfig { format: fmt, device: DeviceProfile::SATA_SSD, ..Default::default() };
         let mut gen = WideGen::new(1);
         let (mut cluster, _) = ingest(&mut gen, n_large, &cfg, Some(wide_closed_type()));
         cluster.merge_all();

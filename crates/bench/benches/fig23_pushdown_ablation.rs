@@ -36,13 +36,11 @@ fn main() {
          behind the selective filter)",
     );
     header("configuration", &["Q2", "Q3", "Q4"]);
-    for (device, dev_name) in
-        [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
+    for (device, dev_name) in [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
     {
-        for (scheme, scheme_name) in [
-            (CompressionScheme::None, "uncompressed"),
-            (CompressionScheme::Snappy, "compressed"),
-        ] {
+        for (scheme, scheme_name) in
+            [(CompressionScheme::None, "uncompressed"), (CompressionScheme::Snappy, "compressed")]
+        {
             let configs: [(&str, StorageFormat, QueryOptions); 3] = [
                 ("closed", StorageFormat::Closed, QueryOptions::default()),
                 ("inferred", StorageFormat::Inferred, QueryOptions::default()),

@@ -5,9 +5,7 @@
 //! schema barely helps — §4.4.5); at high selectivity the point lookups
 //! dominate and times track storage size (inferred ≤ closed < open).
 
-use tc_bench::support::{
-    banner, fmt_dur, header, row, scale, twitter_closed_type, ExpConfig,
-};
+use tc_bench::support::{banner, fmt_dur, header, row, scale, twitter_closed_type, ExpConfig};
 use tc_cluster::{Cluster, FeedMode};
 use tc_compress::CompressionScheme;
 use tc_datagen::{twitter::TwitterGen, Generator};
@@ -31,10 +29,9 @@ fn main() {
         (0.50, "50%"),
     ];
     let sel_names: Vec<&str> = selectivities.iter().map(|(_, n)| *n).collect();
-    for (scheme, scheme_name) in [
-        (CompressionScheme::None, "uncompressed"),
-        (CompressionScheme::Snappy, "compressed"),
-    ] {
+    for (scheme, scheme_name) in
+        [(CompressionScheme::None, "uncompressed"), (CompressionScheme::Snappy, "compressed")]
+    {
         println!("\n[{scheme_name}]");
         header("format", &sel_names);
         for (fmt, fmt_name) in [

@@ -41,11 +41,7 @@ fn main() {
             cluster.merge_all();
             row(
                 &format!("{nodes}/{fmt_name}"),
-                &[
-                    n.to_string(),
-                    fmt_bytes(cluster.total_disk_bytes()),
-                    fmt_dur(report.total()),
-                ],
+                &[n.to_string(), fmt_bytes(cluster.total_disk_bytes()), fmt_dur(report.total())],
             );
         }
     }

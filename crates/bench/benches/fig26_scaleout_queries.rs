@@ -6,7 +6,8 @@
 //! affect the ordering (§4.5).
 
 use tc_bench::support::{
-    banner, fmt_dur, header, ingest, measure_query_cold, row, run_query_cold, scale, twitter_closed_type, ExpConfig,
+    banner, fmt_dur, header, ingest, measure_query_cold, row, run_query_cold, scale,
+    twitter_closed_type, ExpConfig,
 };
 use tc_compress::CompressionScheme;
 use tc_datagen::twitter::TwitterGen;

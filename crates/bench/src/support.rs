@@ -86,10 +86,8 @@ pub fn ingest<G: Generator>(
     cfg: &ExpConfig,
     closed: Option<ObjectType>,
 ) -> (Cluster, FeedReport) {
-    let mut cluster = Cluster::create_dataset(
-        cfg.cluster_config(),
-        cfg.dataset_config(gen.name(), closed),
-    );
+    let mut cluster =
+        Cluster::create_dataset(cfg.cluster_config(), cfg.dataset_config(gen.name(), closed));
     let records: Vec<Value> = (0..n).map(|_| gen.next_record()).collect();
     let report = cluster.feed(records, FeedMode::Insert).expect("feed");
     cluster.flush_all();
@@ -125,9 +123,8 @@ pub fn run_query_cold(cluster: &Cluster, q: &Query, parallel: bool) -> (QueryRes
 /// Median of `reps` cold runs (the paper runs each query six times and
 /// averages the stable tail; medians resist the same noise at bench scale).
 pub fn measure_query_cold(cluster: &Cluster, q: &Query, parallel: bool, reps: usize) -> Measured {
-    let mut totals: Vec<Measured> = (0..reps.max(1))
-        .map(|_| run_query_cold(cluster, q, parallel).1)
-        .collect();
+    let mut totals: Vec<Measured> =
+        (0..reps.max(1)).map(|_| run_query_cold(cluster, q, parallel).1).collect();
     totals.sort_by(|a, b| a.total().cmp(&b.total()));
     totals[totals.len() / 2]
 }
@@ -135,9 +132,8 @@ pub fn measure_query_cold(cluster: &Cluster, q: &Query, parallel: bool, reps: us
 /// Median of `reps` warm runs.
 pub fn measure_query_warm(cluster: &Cluster, q: &Query, parallel: bool, reps: usize) -> Measured {
     let _ = cluster.query(q, &ExecOptions { parallel }).expect("warmup");
-    let mut totals: Vec<Measured> = (0..reps.max(1))
-        .map(|_| run_query_warm(cluster, q, parallel).1)
-        .collect();
+    let mut totals: Vec<Measured> =
+        (0..reps.max(1)).map(|_| run_query_warm(cluster, q, parallel).1).collect();
     totals.sort_by(|a, b| a.total().cmp(&b.total()));
     totals[totals.len() / 2]
 }
@@ -264,10 +260,7 @@ pub fn twitter_closed_type() -> ObjectType {
         obj(vec![
             f(
                 "hashtags",
-                arr(obj(vec![
-                    f("text", s(TypeTag::String)),
-                    f("indices", arr(s(TypeTag::Int64))),
-                ])),
+                arr(obj(vec![f("text", s(TypeTag::String)), f("indices", arr(s(TypeTag::Int64)))])),
             ),
             f(
                 "urls",
@@ -335,10 +328,7 @@ pub fn twitter_closed_type() -> ObjectType {
             opt("place", place_type()),
             opt(
                 "coordinates",
-                obj(vec![
-                    f("type", s(TypeTag::String)),
-                    f("coordinates", arr(s(TypeTag::Double))),
-                ]),
+                obj(vec![f("type", s(TypeTag::String)), f("coordinates", arr(s(TypeTag::Double)))]),
             ),
             opt("possibly_sensitive", s(TypeTag::Boolean)),
         ];
@@ -380,10 +370,7 @@ pub fn sensors_closed_type() -> ObjectType {
         ),
         f(
             "readings",
-            arr(obj(vec![
-                f("temp", s(TypeTag::Double)),
-                f("timestamp", s(TypeTag::Int64)),
-            ])),
+            arr(obj(vec![f("temp", s(TypeTag::Double)), f("timestamp", s(TypeTag::Int64))])),
         ),
     ])
 }
@@ -403,10 +390,7 @@ pub fn wos_closed_type() -> ObjectType {
         f("pubtype", s(TypeTag::String)),
         f("vol", s(TypeTag::Int64)),
         f("issue", s(TypeTag::Int64)),
-        f(
-            "page",
-            obj(vec![f("begin", s(TypeTag::Int64)), f("count", s(TypeTag::Int64))]),
-        ),
+        f("page", obj(vec![f("begin", s(TypeTag::Int64)), f("count", s(TypeTag::Int64))])),
     ]);
     let titles = obj(vec![f(
         "title",
@@ -414,11 +398,7 @@ pub fn wos_closed_type() -> ObjectType {
     )]);
     // `names.name` is union-typed → only `count` declared, object open.
     let names = open_obj(vec![f("count", s(TypeTag::Int64))]);
-    let summary = obj(vec![
-        f("pub_info", pub_info),
-        f("titles", titles),
-        f("names", names),
-    ]);
+    let summary = obj(vec![f("pub_info", pub_info), f("titles", titles), f("names", names)]);
     let category_info = obj(vec![
         f("headings", obj(vec![f("heading", s(TypeTag::String))])),
         f(
@@ -447,10 +427,7 @@ pub fn wos_closed_type() -> ObjectType {
             "tc_list",
             obj(vec![f(
                 "silo_tc",
-                obj(vec![
-                    f("coll_id", s(TypeTag::String)),
-                    f("local_count", s(TypeTag::Int64)),
-                ]),
+                obj(vec![f("coll_id", s(TypeTag::String)), f("local_count", s(TypeTag::Int64))]),
             )]),
         )]),
     )]);

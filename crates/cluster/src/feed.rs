@@ -96,7 +96,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ClusterConfig, Cluster};
+    use crate::{Cluster, ClusterConfig};
     use tc_datagen::{twitter::TwitterGen, updates::Updater, Generator};
     use tc_query::exec::ExecOptions;
     use tc_query::paper_queries::{single_i64, twitter_q1};
@@ -132,9 +132,7 @@ mod tests {
         assert_eq!(report.records, 300);
         assert!(report.io > Duration::ZERO, "writes charge IO");
         c.flush_all();
-        let res = c
-            .query(&twitter_q1(QueryOptions::default()), &ExecOptions::default())
-            .unwrap();
+        let res = c.query(&twitter_q1(QueryOptions::default()), &ExecOptions::default()).unwrap();
         assert_eq!(single_i64(&res.rows), Some(300));
     }
 
@@ -155,9 +153,7 @@ mod tests {
         let report = c.feed(updates, FeedMode::Upsert).unwrap();
         assert_eq!(report.records, 100);
         c.flush_all();
-        let res = c
-            .query(&twitter_q1(QueryOptions::default()), &ExecOptions::default())
-            .unwrap();
+        let res = c.query(&twitter_q1(QueryOptions::default()), &ExecOptions::default()).unwrap();
         assert_eq!(single_i64(&res.rows), Some(200), "upserts never add keys");
     }
 }

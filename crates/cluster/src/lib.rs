@@ -77,11 +77,7 @@ impl Cluster {
                 for _ in 0..config.partitions_per_node {
                     let device = Arc::new(Device::new(config.device));
                     devices.push(Arc::clone(&device));
-                    partitions.push(Dataset::new(
-                        ds_config.clone(),
-                        device,
-                        Arc::clone(&cache),
-                    ));
+                    partitions.push(Dataset::new(ds_config.clone(), device, Arc::clone(&cache)));
                 }
                 Node { cache, devices, partitions }
             })
@@ -188,10 +184,7 @@ impl Cluster {
 
     /// Snapshot all devices (for IO-time deltas around a phase).
     pub fn io_snapshots(&self) -> Vec<IoSnapshot> {
-        self.nodes
-            .iter()
-            .flat_map(|n| n.devices.iter().map(|d| d.snapshot()))
-            .collect()
+        self.nodes.iter().flat_map(|n| n.devices.iter().map(|d| d.snapshot())).collect()
     }
 
     /// The *maximum* per-device simulated IO time since the snapshots —
@@ -309,9 +302,7 @@ mod tests {
         c.flush_all();
         assert_eq!(c.get(7).unwrap(), None);
         assert_eq!(c.get(8).unwrap().unwrap().get_field("v").unwrap().as_i64(), Some(2));
-        let res = c
-            .query(&twitter_q1(QueryOptions::default()), &ExecOptions::default())
-            .unwrap();
+        let res = c.query(&twitter_q1(QueryOptions::default()), &ExecOptions::default()).unwrap();
         assert_eq!(single_i64(&res.rows), Some(49));
     }
 
@@ -326,9 +317,8 @@ mod tests {
                     c.insert(&gen.next_record()).unwrap();
                 }
                 c.flush_all();
-                let res = c
-                    .query(&twitter_q1(QueryOptions::default()), &ExecOptions::default())
-                    .unwrap();
+                let res =
+                    c.query(&twitter_q1(QueryOptions::default()), &ExecOptions::default()).unwrap();
                 single_i64(&res.rows).unwrap()
             })
             .collect();

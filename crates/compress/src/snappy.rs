@@ -171,8 +171,7 @@ fn emit_copy_upto64(offset: usize, len: usize, out: &mut Vec<u8>) {
 
 /// Decompress a buffer produced by [`compress`] (or any conforming encoder).
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, SnappyError> {
-    let (expected, mut pos) =
-        varint::read_u64(input).ok_or(SnappyError::BadPreamble)?;
+    let (expected, mut pos) = varint::read_u64(input).ok_or(SnappyError::BadPreamble)?;
     let expected = expected as usize;
     let mut out = Vec::with_capacity(expected);
     while pos < input.len() {

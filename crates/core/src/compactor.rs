@@ -149,10 +149,7 @@ mod tests {
         let c = TupleCompactor::new(pk_type());
         let old = b"old".to_vec();
         let new = b"new".to_vec();
-        assert_eq!(
-            c.merge_metadata(&[Some(&old), Some(&new)]),
-            Some(b"new".to_vec())
-        );
+        assert_eq!(c.merge_metadata(&[Some(&old), Some(&new)]), Some(b"new".to_vec()));
     }
 
     #[test]

@@ -42,9 +42,7 @@ impl Dataset {
             wal_enabled: config.wal_enabled,
         };
         let compactor = match config.format {
-            StorageFormat::Inferred => {
-                Some(Arc::new(TupleCompactor::new(config.datatype.clone())))
-            }
+            StorageFormat::Inferred => Some(Arc::new(TupleCompactor::new(config.datatype.clone()))),
             _ => None,
         };
         let hook: Arc<dyn ComponentHook> = match &compactor {
@@ -61,9 +59,10 @@ impl Dataset {
         let pk_index = config.primary_key_index.then(|| {
             PrimaryKeyIndex::new(Arc::clone(&device), Arc::clone(&cache), index_opts.clone())
         });
-        let secondary = config.secondary_index_on.is_some().then(|| {
-            SecondaryIndex::new(Arc::clone(&device), Arc::clone(&cache), index_opts, 8)
-        });
+        let secondary = config
+            .secondary_index_on
+            .is_some()
+            .then(|| SecondaryIndex::new(Arc::clone(&device), Arc::clone(&cache), index_opts, 8));
         Dataset { config, primary, pk_index, secondary, compactor, ingested: 0 }
     }
 
@@ -85,15 +84,14 @@ impl Dataset {
     // -----------------------------------------------------------------
 
     fn primary_key_of(&self, record: &Value) -> Result<(i64, Key), AdmError> {
-        let pk = record
-            .get_field(&self.config.primary_key)
-            .and_then(Value::as_i64)
-            .ok_or_else(|| {
+        let pk = record.get_field(&self.config.primary_key).and_then(Value::as_i64).ok_or_else(
+            || {
                 AdmError::type_check(format!(
                     "record lacks integer primary key '{}'",
                     self.config.primary_key
                 ))
-            })?;
+            },
+        )?;
         Ok((pk, encode_i64_key(pk)))
     }
 
@@ -411,9 +409,21 @@ mod tests {
         ] {
             let mut ds = if format == StorageFormat::Closed {
                 let dt = ObjectType::closed(vec![
-                    FieldDef { name: "id".into(), kind: TypeKind::Scalar(TypeTag::Int64), optional: false },
-                    FieldDef { name: "name".into(), kind: TypeKind::Scalar(TypeTag::String), optional: false },
-                    FieldDef { name: "age".into(), kind: TypeKind::Scalar(TypeTag::Int64), optional: false },
+                    FieldDef {
+                        name: "id".into(),
+                        kind: TypeKind::Scalar(TypeTag::Int64),
+                        optional: false,
+                    },
+                    FieldDef {
+                        name: "name".into(),
+                        kind: TypeKind::Scalar(TypeTag::String),
+                        optional: false,
+                    },
+                    FieldDef {
+                        name: "age".into(),
+                        kind: TypeKind::Scalar(TypeTag::Int64),
+                        optional: false,
+                    },
                     FieldDef {
                         name: "tags".into(),
                         kind: TypeKind::Array(Box::new(TypeKind::Scalar(TypeTag::String))),
@@ -451,9 +461,7 @@ mod tests {
             optional: false,
         }]);
         let mut ds = make(
-            DatasetConfig::new("Strict", "id")
-                .with_format(StorageFormat::Closed)
-                .with_datatype(dt),
+            DatasetConfig::new("Strict", "id").with_format(StorageFormat::Closed).with_datatype(dt),
         );
         assert!(ds.insert(&parse(r#"{"id": 1}"#).unwrap()).is_ok());
         assert!(ds.insert(&parse(r#"{"id": 2, "extra": true}"#).unwrap()).is_err());
@@ -489,28 +497,25 @@ mod tests {
 
     #[test]
     fn inferred_is_smallest_on_disk() {
-        let datasets: Vec<(StorageFormat, u64)> = [
-            StorageFormat::Open,
-            StorageFormat::Inferred,
-            StorageFormat::VectorUncompacted,
-        ]
-        .into_iter()
-        .map(|f| {
-            let mut ds = make(
-                DatasetConfig::new("Employee", "id")
-                    .with_format(f)
-                    .with_page_size(4096)
-                    .with_memtable_budget(64 * 1024)
-                    .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
-            );
-            for i in 0..2000 {
-                ds.insert(&employee(i)).unwrap();
-            }
-            ds.flush();
-            ds.force_full_merge();
-            (f, ds.disk_bytes())
-        })
-        .collect();
+        let datasets: Vec<(StorageFormat, u64)> =
+            [StorageFormat::Open, StorageFormat::Inferred, StorageFormat::VectorUncompacted]
+                .into_iter()
+                .map(|f| {
+                    let mut ds = make(
+                        DatasetConfig::new("Employee", "id")
+                            .with_format(f)
+                            .with_page_size(4096)
+                            .with_memtable_budget(64 * 1024)
+                            .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
+                    );
+                    for i in 0..2000 {
+                        ds.insert(&employee(i)).unwrap();
+                    }
+                    ds.flush();
+                    ds.force_full_merge();
+                    (f, ds.disk_bytes())
+                })
+                .collect();
         let open = datasets[0].1;
         let inferred = datasets[1].1;
         let slvb = datasets[2].1;
@@ -555,10 +560,7 @@ mod tests {
         let s = ds.schema_snapshot().unwrap();
         assert!(s.lookup_field(s.root(), "old_field").is_none(), "anti-schema pruned it");
         assert!(s.lookup_field(s.root(), "new_field").is_some());
-        assert_eq!(
-            ds.get(0).unwrap().unwrap(),
-            parse(r#"{"id": 0, "new_field": "x"}"#).unwrap()
-        );
+        assert_eq!(ds.get(0).unwrap().unwrap(), parse(r#"{"id": 0, "new_field": "x"}"#).unwrap());
         assert_eq!(ds.scan_values().unwrap().len(), 2);
     }
 
@@ -597,20 +599,17 @@ mod tests {
         );
         for i in 0..200 {
             ds.insert(
-                &parse(&format!(
-                    r#"{{"id": {i}, "timestamp_ms": {}, "text": "t{i}"}}"#,
-                    1000 + i
-                ))
-                .unwrap(),
+                &parse(&format!(r#"{{"id": {i}, "timestamp_ms": {}, "text": "t{i}"}}"#, 1000 + i))
+                    .unwrap(),
             )
             .unwrap();
         }
         ds.flush();
         let hits = ds.secondary_range(1050, 1060).unwrap();
         assert_eq!(hits.len(), 10);
-        assert!(hits
-            .iter()
-            .all(|v| (1050..1060).contains(&v.get_field("timestamp_ms").unwrap().as_i64().unwrap())));
+        assert!(hits.iter().all(
+            |v| (1050..1060).contains(&v.get_field("timestamp_ms").unwrap().as_i64().unwrap())
+        ));
         // Delete keeps the index consistent.
         ds.delete(55).unwrap();
         let hits = ds.secondary_range(1050, 1060).unwrap();
@@ -630,29 +629,92 @@ mod tests {
     }
 
     #[test]
-    fn compression_reduces_disk_size() {
-        let sizes: Vec<u64> = [tc_compress::CompressionScheme::None, tc_compress::CompressionScheme::Snappy]
-            .into_iter()
-            .map(|scheme| {
-                let mut ds = make(
-                    DatasetConfig::new("T", "id")
-                        .with_format(StorageFormat::Open)
-                        .with_compression(scheme)
-                        .with_memtable_budget(32 * 1024)
-                        .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
-                );
-                for i in 0..500 {
-                    ds.insert(&employee(i)).unwrap();
-                }
-                ds.flush();
-                ds.disk_bytes()
-            })
-            .collect();
+    fn antimatter_decrements_counters_at_flush() {
+        // §3.2.2: delete and upsert carry the old record's anti-schema;
+        // processing it at flush *decrements* the counters of shared nodes
+        // (rather than dropping them) and prunes only zero-counted ones.
+        let mut ds = small(StorageFormat::Inferred);
+        ds.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
+        ds.insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
+        ds.insert(&parse(r#"{"id": 2, "name": "Ann", "salary": 9}"#).unwrap()).unwrap();
+        ds.flush();
+        let s = ds.schema_snapshot().unwrap();
+        let (_, name) = s.lookup_field(s.root(), "name").unwrap();
+        let (_, age) = s.lookup_field(s.root(), "age").unwrap();
+        assert_eq!(s.node(name).counter(), 3);
+        assert_eq!(s.node(age).counter(), 2);
+        assert_eq!(s.record_count(), 3);
+
+        // Delete: the anti-schema decrements `name` 3→2 and `age` 2→1.
+        assert!(ds.delete(0).unwrap());
+        // Upsert: old record 2's anti-schema decrements `name` and removes
+        // `salary` entirely; the new image re-adds `name` and adds `bonus`.
+        ds.upsert(&parse(r#"{"id": 2, "name": "Ann", "bonus": 1}"#).unwrap()).unwrap();
+        let before_flush = ds.schema_snapshot().unwrap();
+        assert_eq!(before_flush.record_count(), 3, "anti-schemas apply at flush, not at ingest");
+        ds.flush();
+
+        let s = ds.schema_snapshot().unwrap();
+        let (_, name) = s.lookup_field(s.root(), "name").unwrap();
+        let (_, age) = s.lookup_field(s.root(), "age").unwrap();
+        assert_eq!(s.node(name).counter(), 2, "delete + upsert each -1, upsert re-adds 1");
+        assert_eq!(s.node(age).counter(), 1, "only record 1 still has age");
+        assert!(s.lookup_field(s.root(), "salary").is_none(), "zero-counted node pruned");
+        let (_, bonus) = s.lookup_field(s.root(), "bonus").unwrap();
+        assert_eq!(s.node(bonus).counter(), 1);
+        assert_eq!(s.record_count(), 2);
+    }
+
+    #[test]
+    fn merge_keeps_newest_superset_schema() {
+        // §3.1.1: a merged component adopts the *newest* input schema, which
+        // by construction is a superset of every older input's schema.
+        let mut ds = small(StorageFormat::Inferred);
+        ds.insert(&parse(r#"{"id": 0, "a": 1}"#).unwrap()).unwrap();
+        ds.flush();
+        let first = Schema::deserialize(&ds.primary().newest_metadata().unwrap()).unwrap();
+        ds.insert(&parse(r#"{"id": 1, "a": 2, "b": "x"}"#).unwrap()).unwrap();
+        ds.flush();
+        assert_eq!(ds.primary().components().len(), 2);
+
+        ds.force_full_merge();
+        assert_eq!(ds.primary().components().len(), 1);
+        let merged = Schema::deserialize(&ds.primary().newest_metadata().unwrap()).unwrap();
+        assert!(merged.is_superset_of(&first), "newest input covers the older");
         assert!(
-            sizes[1] < sizes[0],
-            "snappy {} should beat uncompressed {}",
-            sizes[1],
-            sizes[0]
+            merged.lookup_field(merged.root(), "b").is_some(),
+            "kept the newest, not the oldest"
         );
+        let live = ds.schema_snapshot().unwrap();
+        assert!(
+            merged.is_superset_of(&live) && live.is_superset_of(&merged),
+            "merged metadata matches the in-memory schema"
+        );
+        // Both generations of records stay decodable through it.
+        assert_eq!(ds.scan_values().unwrap().len(), 2);
+        assert_eq!(ds.get(0).unwrap().unwrap(), parse(r#"{"id": 0, "a": 1}"#).unwrap());
+    }
+
+    #[test]
+    fn compression_reduces_disk_size() {
+        let sizes: Vec<u64> =
+            [tc_compress::CompressionScheme::None, tc_compress::CompressionScheme::Snappy]
+                .into_iter()
+                .map(|scheme| {
+                    let mut ds = make(
+                        DatasetConfig::new("T", "id")
+                            .with_format(StorageFormat::Open)
+                            .with_compression(scheme)
+                            .with_memtable_budget(32 * 1024)
+                            .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
+                    );
+                    for i in 0..500 {
+                        ds.insert(&employee(i)).unwrap();
+                    }
+                    ds.flush();
+                    ds.disk_bytes()
+                })
+                .collect();
+        assert!(sizes[1] < sizes[0], "snappy {} should beat uncompressed {}", sizes[1], sizes[0]);
     }
 }

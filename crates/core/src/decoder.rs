@@ -110,8 +110,7 @@ mod tests {
     }
 
     fn sample() -> Value {
-        parse(r#"{"id": 7, "name": "Ann", "deps": [{"n": "Bob", "a": 6}, {"n": "Cat"}]}"#)
-            .unwrap()
+        parse(r#"{"id": 7, "name": "Ann", "deps": [{"n": "Bob", "a": 6}, {"n": "Cat"}]}"#).unwrap()
     }
 
     #[test]

@@ -59,11 +59,8 @@ pub fn dataset_stats<G: Generator>(gen: &mut G, n: usize) -> DatasetStats {
             *type_counts.entry(t.name().to_string()).or_default() += 1;
         }
     }
-    let dominant_type = type_counts
-        .into_iter()
-        .max_by_key(|(_, c)| *c)
-        .map(|(t, _)| t)
-        .unwrap_or_default();
+    let dominant_type =
+        type_counts.into_iter().max_by_key(|(_, c)| *c).map(|(t, _)| t).unwrap_or_default();
     DatasetStats {
         name: gen.name(),
         records: n,
@@ -78,21 +75,78 @@ pub fn dataset_stats<G: Generator>(gen: &mut G, n: usize) -> DatasetStats {
 
 /// Shared word pool for synthetic text.
 pub(crate) const WORDS: &[&str] = &[
-    "data", "system", "storage", "query", "flush", "merge", "record", "schema", "nested",
-    "value", "index", "stream", "cloud", "team", "launch", "update", "great", "today",
-    "working", "remote", "coffee", "morning", "project", "release", "performance", "deep",
-    "model", "paper", "result", "amazing", "build", "deploy", "cluster", "node", "batch",
+    "data",
+    "system",
+    "storage",
+    "query",
+    "flush",
+    "merge",
+    "record",
+    "schema",
+    "nested",
+    "value",
+    "index",
+    "stream",
+    "cloud",
+    "team",
+    "launch",
+    "update",
+    "great",
+    "today",
+    "working",
+    "remote",
+    "coffee",
+    "morning",
+    "project",
+    "release",
+    "performance",
+    "deep",
+    "model",
+    "paper",
+    "result",
+    "amazing",
+    "build",
+    "deploy",
+    "cluster",
+    "node",
+    "batch",
 ];
 
 /// Hashtag pool; "jobs" is the tag Twitter Q3 filters on.
 pub(crate) const HASHTAGS: &[&str] = &[
-    "jobs", "Jobs", "hiring", "tech", "rust", "database", "bigdata", "nosql", "json",
-    "analytics", "career", "startup", "ai", "cloud", "devops",
+    "jobs",
+    "Jobs",
+    "hiring",
+    "tech",
+    "rust",
+    "database",
+    "bigdata",
+    "nosql",
+    "json",
+    "analytics",
+    "career",
+    "startup",
+    "ai",
+    "cloud",
+    "devops",
 ];
 
 pub(crate) const COUNTRIES: &[&str] = &[
-    "USA", "China", "Germany", "England", "Japan", "France", "Canada", "South Korea",
-    "Australia", "Italy", "Spain", "Netherlands", "India", "Brazil", "Switzerland",
+    "USA",
+    "China",
+    "Germany",
+    "England",
+    "Japan",
+    "France",
+    "Canada",
+    "South Korea",
+    "Australia",
+    "Italy",
+    "Spain",
+    "Netherlands",
+    "India",
+    "Brazil",
+    "Switzerland",
 ];
 
 #[cfg(test)]
@@ -118,11 +172,7 @@ mod tests {
         let stats = dataset_stats(&mut TwitterGen::new(1), 200);
         // Twitter: string-dominant, deep (paper: depth 8, ~88 scalars avg).
         assert!(stats.max_depth >= 6, "twitter depth {}", stats.max_depth);
-        assert!(
-            (40..=160).contains(&stats.scalar_avg),
-            "twitter scalars {}",
-            stats.scalar_avg
-        );
+        assert!((40..=160).contains(&stats.scalar_avg), "twitter scalars {}", stats.scalar_avg);
         assert_eq!(stats.dominant_type, "string");
 
         let stats = dataset_stats(&mut WosGen::new(1), 100);

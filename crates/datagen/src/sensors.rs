@@ -28,11 +28,7 @@ pub struct SensorsGen {
 
 impl SensorsGen {
     pub fn new(seed: u64) -> Self {
-        SensorsGen {
-            rng: StdRng::seed_from_u64(seed),
-            next_id: 0,
-            base_time: 1_556_496_000_000,
-        }
+        SensorsGen { rng: StdRng::seed_from_u64(seed), next_id: 0, base_time: 1_556_496_000_000 }
     }
 }
 

@@ -92,7 +92,10 @@ impl TwitterGen {
             ("translator_type".to_string(), Value::string("none")),
         ];
         if self.rng.gen_bool(0.7) {
-            fields.push(("utc_offset".to_string(), Value::Int64(self.rng.gen_range(-12..=14) * 3600)));
+            fields.push((
+                "utc_offset".to_string(),
+                Value::Int64(self.rng.gen_range(-12i64..=14) * 3600),
+            ));
             fields.push(("time_zone".to_string(), Value::string("Pacific Time (US & Canada)")));
         }
         if self.rng.gen_bool(0.6) {
@@ -138,15 +141,9 @@ impl TwitterGen {
                 let code = self.rng.gen_range(100_000..999_999);
                 Value::object([
                     ("url", Value::string(format!("https://t.co/{code}"))),
-                    (
-                        "expanded_url",
-                        Value::string(format!("https://example.com/article/{code}")),
-                    ),
+                    ("expanded_url", Value::string(format!("https://example.com/article/{code}"))),
                     ("display_url", Value::string(format!("example.com/article/{code}"))),
-                    (
-                        "indices",
-                        Value::Array(vec![Value::Int64(0), Value::Int64(23)]),
-                    ),
+                    ("indices", Value::Array(vec![Value::Int64(0), Value::Int64(23)])),
                 ])
             })
             .collect();
@@ -162,10 +159,7 @@ impl TwitterGen {
                     ("screen_name", Value::string(name.clone())),
                     ("name", Value::string(name)),
                     ("id", Value::Int64(self.rng.gen_range(1000..10_000_000))),
-                    (
-                        "indices",
-                        Value::Array(vec![Value::Int64(0), Value::Int64(10)]),
-                    ),
+                    ("indices", Value::Array(vec![Value::Int64(0), Value::Int64(10)])),
                 ])
             })
             .collect();
@@ -208,7 +202,7 @@ impl TwitterGen {
             self.next_inner_id += 1;
             self.next_inner_id - 1
         };
-        self.ts += self.rng.gen_range(1..250);
+        self.ts += self.rng.gen_range(1i64..250);
         let text = self.words(5, 28);
         let mut fields = vec![
             ("id".to_string(), Value::Int64(id)),
@@ -263,10 +257,7 @@ impl TwitterGen {
                 "coordinates".to_string(),
                 Value::object([
                     ("type", Value::string("Point")),
-                    (
-                        "coordinates",
-                        Value::Array(vec![Value::Double(lon), Value::Double(lat)]),
-                    ),
+                    ("coordinates", Value::Array(vec![Value::Double(lon), Value::Double(lat)])),
                 ]),
             ));
         }
@@ -307,16 +298,10 @@ mod tests {
             let ts = t.get_field("timestamp_ms").unwrap().as_i64().unwrap();
             assert!(ts > prev_ts, "timestamps monotone for the secondary index");
             prev_ts = ts;
-            let tags = t
-                .get_field("entities")
-                .unwrap()
-                .get_field("hashtags")
-                .unwrap()
-                .as_items()
-                .unwrap();
+            let tags =
+                t.get_field("entities").unwrap().get_field("hashtags").unwrap().as_items().unwrap();
             for tag in tags {
-                if tag.get_field("text").unwrap().as_str().unwrap().eq_ignore_ascii_case("jobs")
-                {
+                if tag.get_field("text").unwrap().as_str().unwrap().eq_ignore_ascii_case("jobs") {
                     saw_jobs = true;
                 }
             }

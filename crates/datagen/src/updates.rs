@@ -101,9 +101,7 @@ impl Updater {
                 let changeable: Vec<usize> = fields
                     .iter()
                     .enumerate()
-                    .filter(|(_, (n, v))| {
-                        n != pk_field && !matches!(v, Value::Object(_))
-                    })
+                    .filter(|(_, (n, v))| n != pk_field && !matches!(v, Value::Object(_)))
                     .map(|(i, _)| i)
                     .collect();
                 if !changeable.is_empty() {

@@ -25,8 +25,17 @@ pub struct WosGen {
 }
 
 const SUBJECTS: &[&str] = &[
-    "Computer Science", "Physics", "Chemistry", "Biology", "Mathematics", "Medicine",
-    "Engineering", "Materials Science", "Neuroscience", "Economics", "Psychology",
+    "Computer Science",
+    "Physics",
+    "Chemistry",
+    "Biology",
+    "Mathematics",
+    "Medicine",
+    "Engineering",
+    "Materials Science",
+    "Neuroscience",
+    "Economics",
+    "Psychology",
     "Environmental Sciences",
 ];
 
@@ -73,17 +82,13 @@ impl WosGen {
     fn address(&mut self, addr_no: i64, country: &str) -> Value {
         let city = self.words(1, 1);
         let org_count = self.rng.gen_range(1..3);
-        let orgs: Vec<Value> = (0..org_count)
-            .map(|_| Value::string(format!("univ {}", self.words(1, 2))))
-            .collect();
+        let orgs: Vec<Value> =
+            (0..org_count).map(|_| Value::string(format!("univ {}", self.words(1, 2)))).collect();
         Value::object([(
             "address_spec",
             Value::object([
                 ("addr_no", Value::Int64(addr_no)),
-                (
-                    "full_address",
-                    Value::string(format!("{city}, {country}")),
-                ),
+                ("full_address", Value::string(format!("{city}, {country}"))),
                 ("city", Value::string(city)),
                 ("country", Value::string(country)),
                 (
@@ -122,11 +127,8 @@ impl WosGen {
                 countries.push(c);
             }
         }
-        let addresses: Vec<Value> = countries
-            .iter()
-            .enumerate()
-            .map(|(i, c)| self.address(i as i64 + 1, c))
-            .collect();
+        let addresses: Vec<Value> =
+            countries.iter().enumerate().map(|(i, c)| self.address(i as i64 + 1, c)).collect();
         let address_count = addresses.len() as i64;
 
         let subj_count = self.rng.gen_range(2..6);
@@ -136,7 +138,11 @@ impl WosGen {
                 Value::object([
                     (
                         "ascatype",
-                        Value::string(if self.rng.gen_bool(0.7) { "extended" } else { "traditional" }),
+                        Value::string(if self.rng.gen_bool(0.7) {
+                            "extended"
+                        } else {
+                            "traditional"
+                        }),
                     ),
                     ("code", Value::string(format!("{:02}", self.rng.gen_range(10..99)))),
                     ("value", Value::string(s)),
@@ -157,8 +163,7 @@ impl WosGen {
         };
 
         let n_paras = self.rng.gen_range(1..4);
-        let paras: Vec<Value> =
-            (0..n_paras).map(|_| Value::string(self.words(30, 90))).collect();
+        let paras: Vec<Value> = (0..n_paras).map(|_| Value::string(self.words(30, 90))).collect();
 
         let titles = vec![
             Value::object([
@@ -172,10 +177,7 @@ impl WosGen {
         ];
 
         let mut fullrecord = vec![
-            (
-                "languages".to_string(),
-                Value::object([("language", self.one_or_many(languages))]),
-            ),
+            ("languages".to_string(), Value::object([("language", self.one_or_many(languages))])),
             (
                 "addresses".to_string(),
                 Value::object([
@@ -208,8 +210,7 @@ impl WosGen {
             ),
             ("keywords".to_string(), {
                 let n = self.rng.gen_range(3..9);
-                let kws: Vec<Value> =
-                    (0..n).map(|_| Value::string(self.words(1, 2))).collect();
+                let kws: Vec<Value> = (0..n).map(|_| Value::string(self.words(1, 2))).collect();
                 Value::object([("keyword", Value::Array(kws))])
             }),
         ];
@@ -217,10 +218,7 @@ impl WosGen {
             fullrecord.push((
                 "fund_ack".to_string(),
                 Value::object([
-                    (
-                        "fund_text",
-                        Value::object([("p", Value::string(self.words(10, 30)))]),
-                    ),
+                    ("fund_text", Value::object([("p", Value::string(self.words(10, 30)))])),
                     (
                         "grants",
                         Value::object([(

@@ -41,8 +41,7 @@ pub fn encode(v: &Value, schema: &WireType, out: &mut Vec<u8>) -> Result<(), Adm
         }
         (WireType::List(item), Value::Array(items))
         | (WireType::List(item), Value::Multiset(items)) => {
-            let live: Vec<&Value> =
-                items.iter().filter(|v| !v.is_null_or_missing()).collect();
+            let live: Vec<&Value> = items.iter().filter(|v| !v.is_null_or_missing()).collect();
             if !live.is_empty() {
                 varint::write_i64(out, live.len() as i64);
                 for v in live {
@@ -65,9 +64,7 @@ pub fn encode(v: &Value, schema: &WireType, out: &mut Vec<u8>) -> Result<(), Adm
             }
         }
         (s, v) => {
-            return Err(AdmError::type_check(format!(
-                "value {v} does not match schema {s:?}"
-            )))
+            return Err(AdmError::type_check(format!("value {v} does not match schema {s:?}")))
         }
     }
     Ok(())
@@ -107,17 +104,15 @@ fn decode_inner(buf: &[u8], pos: &mut usize, schema: &WireType) -> Result<Value,
         }
         WireType::Long => Value::Int64(read_long(buf, pos)?),
         WireType::Double => {
-            let bytes = buf
-                .get(*pos..*pos + 8)
-                .ok_or_else(|| AdmError::corrupt("truncated double"))?;
+            let bytes =
+                buf.get(*pos..*pos + 8).ok_or_else(|| AdmError::corrupt("truncated double"))?;
             *pos += 8;
             Value::Double(f64::from_le_bytes(bytes.try_into().expect("8")))
         }
         WireType::Str | WireType::Bytes => {
             let len = read_long(buf, pos)? as usize;
-            let bytes = buf
-                .get(*pos..*pos + len)
-                .ok_or_else(|| AdmError::corrupt("truncated string"))?;
+            let bytes =
+                buf.get(*pos..*pos + len).ok_or_else(|| AdmError::corrupt("truncated string"))?;
             *pos += len;
             if matches!(schema, WireType::Str) {
                 Value::String(
@@ -173,9 +168,7 @@ mod tests {
     fn roundtrips_tweet_like_records() {
         roundtrip(r#"{"id": 6, "name": "Ann", "salaries": [70000, 90000], "age": 26}"#);
         roundtrip(r#"{"a": true, "b": -1, "c": 2.5, "d": "x", "e": binary("00ff")}"#);
-        roundtrip(
-            r#"{"user": {"name": "Bob", "tags": [{"t": "a"}, {"t": "b"}]}, "n": 3}"#,
-        );
+        roundtrip(r#"{"user": {"name": "Bob", "tags": [{"t": "a"}, {"t": "b"}]}, "n": 3}"#);
     }
 
     #[test]

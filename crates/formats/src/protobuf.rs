@@ -44,16 +44,13 @@ fn encode_field(v: &Value, t: &WireType, field: u64, out: &mut Vec<u8>) -> Resul
         }
         WireType::Long => {
             varint::write_u64(out, key(field, WT_VARINT));
-            let x = v
-                .as_i64()
-                .ok_or_else(|| AdmError::type_check("expected long".to_string()))?;
+            let x = v.as_i64().ok_or_else(|| AdmError::type_check("expected long".to_string()))?;
             varint::write_u64(out, x as u64); // two's-complement varint
         }
         WireType::Double => {
             varint::write_u64(out, key(field, WT_FIXED64));
-            let x = v
-                .as_f64()
-                .ok_or_else(|| AdmError::type_check("expected double".to_string()))?;
+            let x =
+                v.as_f64().ok_or_else(|| AdmError::type_check("expected double".to_string()))?;
             out.extend_from_slice(&x.to_le_bytes());
         }
         WireType::Str => {
@@ -97,9 +94,7 @@ fn encode_field(v: &Value, t: &WireType, field: u64, out: &mut Vec<u8>) -> Resul
                                 })?;
                                 block.extend_from_slice(&f.to_le_bytes());
                             }
-                            WireType::Bool => {
-                                block.push(x.as_bool().map(|b| b as u8).unwrap_or(0))
-                            }
+                            WireType::Bool => block.push(x.as_bool().map(|b| b as u8).unwrap_or(0)),
                             _ => unreachable!(),
                         }
                     }
@@ -176,12 +171,7 @@ pub fn decode(buf: &[u8], schema: &WireType) -> Result<Value, AdmError> {
     Ok(Value::Object(out))
 }
 
-fn decode_value(
-    buf: &[u8],
-    pos: &mut usize,
-    wire: u64,
-    t: &WireType,
-) -> Result<Value, AdmError> {
+fn decode_value(buf: &[u8], pos: &mut usize, wire: u64, t: &WireType) -> Result<Value, AdmError> {
     match (wire, t) {
         (WT_VARINT, WireType::Bool) => {
             let (v, n) = varint::read_u64(&buf[*pos..])
@@ -196,9 +186,8 @@ fn decode_value(
             Ok(Value::Int64(v as i64))
         }
         (WT_FIXED64, WireType::Double) => {
-            let b = buf
-                .get(*pos..*pos + 8)
-                .ok_or_else(|| AdmError::corrupt("truncated fixed64"))?;
+            let b =
+                buf.get(*pos..*pos + 8).ok_or_else(|| AdmError::corrupt("truncated fixed64"))?;
             *pos += 8;
             Ok(Value::Double(f64::from_le_bytes(b.try_into().expect("8"))))
         }

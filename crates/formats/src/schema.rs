@@ -25,10 +25,14 @@ pub enum WireType {
 pub fn derive_schema(v: &Value) -> Result<WireType, AdmError> {
     Ok(match v {
         Value::Boolean(_) => WireType::Bool,
-        Value::Int8(_) | Value::Int16(_) | Value::Int32(_) | Value::Int64(_)
-        | Value::Date(_) | Value::Time(_) | Value::DateTime(_) | Value::Duration(_) => {
-            WireType::Long
-        }
+        Value::Int8(_)
+        | Value::Int16(_)
+        | Value::Int32(_)
+        | Value::Int64(_)
+        | Value::Date(_)
+        | Value::Time(_)
+        | Value::DateTime(_)
+        | Value::Duration(_) => WireType::Long,
         Value::Float(_) | Value::Double(_) => WireType::Double,
         Value::String(_) => WireType::Str,
         Value::Binary(_) => WireType::Bytes,
@@ -73,9 +77,9 @@ pub fn normalize(v: &Value) -> Value {
         Value::Date(x) | Value::Time(x) => Value::Int64(*x as i64),
         Value::DateTime(x) | Value::Duration(x) => Value::Int64(*x),
         Value::Float(x) => Value::Double(*x as f64),
-        Value::Array(items) | Value::Multiset(items) => Value::Array(
-            items.iter().filter(|v| !v.is_null_or_missing()).map(normalize).collect(),
-        ),
+        Value::Array(items) | Value::Multiset(items) => {
+            Value::Array(items.iter().filter(|v| !v.is_null_or_missing()).map(normalize).collect())
+        }
         Value::Object(fields) => Value::Object(
             fields
                 .iter()
@@ -108,9 +112,6 @@ mod tests {
     fn normalize_widens_and_drops_nulls() {
         let v = parse(r#"{"a": 5i8, "b": null, "c": [1i32, null], "d": 1.5f}"#).unwrap();
         let n = normalize(&v);
-        assert_eq!(
-            n,
-            parse(r#"{"a": 5, "c": [1], "d": 1.5}"#).unwrap()
-        );
+        assert_eq!(n, parse(r#"{"a": 5, "c": [1], "d": 1.5}"#).unwrap());
     }
 }

@@ -108,9 +108,7 @@ fn encode_binary_value(v: &Value, t: &WireType, out: &mut Vec<u8>) -> Result<(),
             }
         }
         (WireType::Record(_), Value::Object(_)) => encode_binary(v, t, out)?,
-        (t, v) => {
-            return Err(AdmError::type_check(format!("value {v} vs thrift type {t:?}")))
-        }
+        (t, v) => return Err(AdmError::type_check(format!("value {v} vs thrift type {t:?}"))),
     }
     Ok(())
 }
@@ -133,11 +131,7 @@ pub fn decode_binary(buf: &[u8], schema: &WireType) -> Result<Value, AdmError> {
     Ok(v)
 }
 
-fn decode_binary_struct(
-    buf: &[u8],
-    pos: &mut usize,
-    schema: &WireType,
-) -> Result<Value, AdmError> {
+fn decode_binary_struct(buf: &[u8], pos: &mut usize, schema: &WireType) -> Result<Value, AdmError> {
     let WireType::Record(fields) = schema else {
         return Err(AdmError::type_check("struct schema expected".to_string()));
     };
@@ -148,9 +142,8 @@ fn decode_binary_struct(
         if ty == BP_STOP {
             break;
         }
-        let id_bytes = buf
-            .get(*pos..*pos + 2)
-            .ok_or_else(|| AdmError::corrupt("truncated field id"))?;
+        let id_bytes =
+            buf.get(*pos..*pos + 2).ok_or_else(|| AdmError::corrupt("truncated field id"))?;
         let id = i16::from_be_bytes(id_bytes.try_into().expect("2")) as usize;
         *pos += 2;
         let (name, ftype) = fields
@@ -170,9 +163,7 @@ fn decode_binary_value(buf: &[u8], pos: &mut usize, t: &WireType) -> Result<Valu
     Ok(match t {
         WireType::Bool => Value::Boolean(take(pos, 1)?[0] != 0),
         WireType::Long => Value::Int64(i64::from_be_bytes(take(pos, 8)?.try_into().expect("8"))),
-        WireType::Double => {
-            Value::Double(f64::from_be_bytes(take(pos, 8)?.try_into().expect("8")))
-        }
+        WireType::Double => Value::Double(f64::from_be_bytes(take(pos, 8)?.try_into().expect("8"))),
         WireType::Str | WireType::Bytes => {
             let len = i32::from_be_bytes(take(pos, 4)?.try_into().expect("4")) as usize;
             let bytes = take(pos, len)?;
@@ -277,9 +268,7 @@ fn encode_compact_value(v: &Value, t: &WireType, out: &mut Vec<u8>) -> Result<()
             }
         }
         (WireType::Record(_), Value::Object(_)) => encode_compact(v, t, out)?,
-        (t, v) => {
-            return Err(AdmError::type_check(format!("value {v} vs thrift type {t:?}")))
-        }
+        (t, v) => return Err(AdmError::type_check(format!("value {v} vs thrift type {t:?}"))),
     }
     Ok(())
 }
@@ -356,9 +345,7 @@ fn decode_compact_value(buf: &[u8], pos: &mut usize, t: &WireType) -> Result<Val
             Value::Int64(v)
         }
         WireType::Double => {
-            let b = buf
-                .get(*pos..*pos + 8)
-                .ok_or_else(|| AdmError::corrupt("truncated double"))?;
+            let b = buf.get(*pos..*pos + 8).ok_or_else(|| AdmError::corrupt("truncated double"))?;
             *pos += 8;
             Value::Double(f64::from_le_bytes(b.try_into().expect("8")))
         }

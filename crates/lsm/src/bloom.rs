@@ -29,9 +29,8 @@ impl BloomFilter {
         let h = hash_bytes(key);
         let h1 = h;
         let h2 = (h >> 32) | (h << 32) | 1; // odd ⇒ full cycle
-        (0..self.num_hashes as u64).map(move |i| {
-            h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits
-        })
+        (0..self.num_hashes as u64)
+            .map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits)
     }
 
     pub fn insert(&mut self, key: &[u8]) {
@@ -96,9 +95,7 @@ mod tests {
         for i in 0..10_000u64 {
             f.insert(&i.to_be_bytes());
         }
-        let fp = (10_000..110_000u64)
-            .filter(|i| f.contains(&i.to_be_bytes()))
-            .count();
+        let fp = (10_000..110_000u64).filter(|i| f.contains(&i.to_be_bytes())).count();
         let rate = fp as f64 / 100_000.0;
         assert!(rate < 0.03, "false positive rate too high: {rate}");
     }

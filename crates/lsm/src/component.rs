@@ -174,11 +174,7 @@ impl DiskComponent {
 
     /// Iterate entries in key order, starting at the first key ≥ `start`
     /// (or from the beginning).
-    pub fn scan<'a>(
-        &'a self,
-        cache: &'a BufferCache,
-        start: Option<&[u8]>,
-    ) -> ComponentScan<'a> {
+    pub fn scan<'a>(&'a self, cache: &'a BufferCache, start: Option<&[u8]>) -> ComponentScan<'a> {
         let block_idx = match start {
             None => 0,
             Some(key) => match self.index.binary_search_by(|b| b.first_key.as_slice().cmp(key)) {
@@ -281,10 +277,7 @@ impl ComponentBuilder {
     /// Append one entry. Keys must arrive in strictly ascending order.
     pub fn push(&mut self, key: &[u8], kind: EntryKind, payload: &[u8]) {
         if let Some(last) = &self.last_key {
-            assert!(
-                key > last.as_slice(),
-                "component entries must be strictly ascending"
-            );
+            assert!(key > last.as_slice(), "component entries must be strictly ascending");
         }
         self.last_key = Some(key.to_vec());
         self.bloom.insert(key);

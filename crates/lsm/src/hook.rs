@@ -58,10 +58,7 @@ mod tests {
         let h = NoopHook;
         let a = b"old".to_vec();
         let b = b"new".to_vec();
-        assert_eq!(
-            h.merge_metadata(&[Some(&a), Some(&b)]),
-            Some(b"new".to_vec())
-        );
+        assert_eq!(h.merge_metadata(&[Some(&a), Some(&b)]), Some(b"new".to_vec()));
         assert_eq!(h.merge_metadata(&[Some(&a), None]), Some(b"old".to_vec()));
         assert_eq!(h.merge_metadata(&[None, None]), None);
     }

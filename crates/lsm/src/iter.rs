@@ -155,8 +155,7 @@ mod tests {
 
     fn component(seq: u64, entries: &[(u64, EntryKind, &str)]) -> Arc<DiskComponent> {
         let device = Arc::new(Device::new(DeviceProfile::RAM));
-        let mut b =
-            ComponentBuilder::new(device, 256, CompressionScheme::None, entries.len(), 10);
+        let mut b = ComponentBuilder::new(device, 256, CompressionScheme::None, entries.len(), 10);
         for (k, kind, v) in entries {
             b.push(&k.to_be_bytes(), *kind, v.as_bytes());
         }
@@ -203,10 +202,7 @@ mod tests {
         let comps = vec![c0, c1];
         let cache = BufferCache::new(16);
         let mut scan = MergedScan::new(None, &comps, &cache, None, None, false);
-        assert_eq!(
-            collect(&mut scan),
-            vec![(1, Record, "John".into()), (2, Record, "Bob".into())]
-        );
+        assert_eq!(collect(&mut scan), vec![(1, Record, "John".into()), (2, Record, "Bob".into())]);
         // A merge-mode scan still sees the anti-matter entry.
         let mut scan = MergedScan::new(None, &comps, &cache, None, None, true);
         let all = collect(&mut scan);
@@ -233,8 +229,7 @@ mod tests {
     #[test]
     fn range_bounds_are_respected() {
         use EntryKind::*;
-        let entries: Vec<(u64, EntryKind, &str)> =
-            (0..20).map(|i| (i, Record, "v")).collect();
+        let entries: Vec<(u64, EntryKind, &str)> = (0..20).map(|i| (i, Record, "v")).collect();
         let c0 = component(0, &entries);
         let comps = vec![c0];
         let cache = BufferCache::new(16);
@@ -251,8 +246,7 @@ mod tests {
         // Old component holds keys 0..10; new holds 100..110. A range scan
         // over [100, 105) must not touch the old component's pages.
         let c_old = component(0, &(0..10).map(|i| (i, Record, "old")).collect::<Vec<_>>());
-        let c_new =
-            component(1, &(100..110).map(|i| (i, Record, "new")).collect::<Vec<_>>());
+        let c_new = component(1, &(100..110).map(|i| (i, Record, "new")).collect::<Vec<_>>());
         let comps = vec![c_old, c_new];
         let cache = BufferCache::new(16);
         let start = 100u64.to_be_bytes();

@@ -29,7 +29,10 @@ impl MergePolicy {
 
     /// Decide which adjacent components (indexes into `components`, ordered
     /// oldest → newest) to merge. Returns a contiguous range.
-    pub fn decide(&self, components: &[std::sync::Arc<DiskComponent>]) -> Option<std::ops::Range<usize>> {
+    pub fn decide(
+        &self,
+        components: &[std::sync::Arc<DiskComponent>],
+    ) -> Option<std::ops::Range<usize>> {
         match *self {
             MergePolicy::NoMerge => None,
             MergePolicy::Constant { max_components } => {
@@ -102,20 +105,14 @@ mod tests {
         for i in 1..7 {
             comps.push(comp(i, 1));
         }
-        let p = MergePolicy::Prefix {
-            max_mergeable_size: 100 * 1024,
-            max_tolerable_components: 5,
-        };
+        let p = MergePolicy::Prefix { max_mergeable_size: 100 * 1024, max_tolerable_components: 5 };
         assert_eq!(p.decide(&comps), Some(1..7));
     }
 
     #[test]
     fn prefix_policy_waits_for_tolerable_count() {
         let comps: Vec<_> = (0..5).map(|i| comp(i, 1)).collect();
-        let p = MergePolicy::Prefix {
-            max_mergeable_size: 100 * 1024,
-            max_tolerable_components: 5,
-        };
+        let p = MergePolicy::Prefix { max_mergeable_size: 100 * 1024, max_tolerable_components: 5 };
         assert_eq!(p.decide(&comps), None, "5 components are tolerable");
         let comps: Vec<_> = (0..6).map(|i| comp(i, 1)).collect();
         assert_eq!(p.decide(&comps), Some(0..6));

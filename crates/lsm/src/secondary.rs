@@ -124,8 +124,7 @@ mod tests {
         }
         idx.flush();
         let pks = idx.range(&encode_i64_key(150), &encode_i64_key(160));
-        let got: Vec<u64> =
-            pks.iter().map(|k| crate::entry::decode_u64_key(k).unwrap()).collect();
+        let got: Vec<u64> = pks.iter().map(|k| crate::entry::decode_u64_key(k).unwrap()).collect();
         assert_eq!(got, (50..60).collect::<Vec<u64>>());
     }
 

@@ -319,10 +319,7 @@ impl LsmTree {
     where
         I: IntoIterator<Item = (Key, Vec<u8>)>,
     {
-        assert!(
-            self.disk.is_empty() && self.mem.is_empty(),
-            "bulk_load requires an empty tree"
-        );
+        assert!(self.disk.is_empty() && self.mem.is_empty(), "bulk_load requires an empty tree");
         let mut builder = ComponentBuilder::new(
             Arc::clone(&self.device),
             self.opts.page_size,
@@ -359,10 +356,7 @@ impl LsmTree {
     /// tuple compactor needs this: only versions that reached disk were
     /// counted by a flush, so only those get anti-schemas on delete/upsert
     /// (§3.2.2); an in-memory version was never observed.
-    pub fn get_entry_with_source(
-        &self,
-        key: &[u8],
-    ) -> Option<(EntryKind, Vec<u8>, LookupSource)> {
+    pub fn get_entry_with_source(&self, key: &[u8]) -> Option<(EntryKind, Vec<u8>, LookupSource)> {
         if let Some(entry) = self.mem.get(key) {
             return Some(match entry {
                 MemEntry::Record(p) => (EntryKind::Record, p.clone(), LookupSource::Memtable),
@@ -524,6 +518,7 @@ mod tests {
         t.flush(); // C1 holds anti-matter
         t.insert(encode_u64_key(8), b"w".to_vec());
         t.flush(); // C2
+
         // Merge C1..C2 only: the anti-matter must survive, because C0 still
         // holds the record it kills.
         t.merge(1..3);
@@ -558,10 +553,7 @@ mod tests {
         while let Some((k, _, p)) = scan.next() {
             got.push((crate::entry::decode_u64_key(&k).unwrap(), p));
         }
-        assert_eq!(
-            got,
-            vec![(1, b"mem".to_vec()), (2, b"mem-override".to_vec())]
-        );
+        assert_eq!(got, vec![(1, b"mem".to_vec()), (2, b"mem-override".to_vec())]);
     }
 
     #[test]

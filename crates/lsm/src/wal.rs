@@ -155,10 +155,7 @@ mod tests {
         assert_eq!(ops.len(), 3);
         assert_eq!(ops[0], (b"k1".to_vec(), MemEntry::Record(b"v1".to_vec())));
         assert_eq!(ops[1], (b"k2".to_vec(), MemEntry::AntiMatter(None)));
-        assert_eq!(
-            ops[2],
-            (b"k3".to_vec(), MemEntry::AntiMatter(Some(b"anti-schema".to_vec())))
-        );
+        assert_eq!(ops[2], (b"k3".to_vec(), MemEntry::AntiMatter(Some(b"anti-schema".to_vec()))));
     }
 
     #[test]

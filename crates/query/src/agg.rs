@@ -121,10 +121,7 @@ impl AggState {
                 *total += t2;
                 *count += c2;
             }
-            (
-                AggState::MinMax { best, want_max },
-                AggState::MinMax { best: other_best, .. },
-            ) => {
+            (AggState::MinMax { best, want_max }, AggState::MinMax { best: other_best, .. }) => {
                 if let Some(v) = other_best {
                     let better = match &best {
                         None => true,
@@ -212,10 +209,7 @@ mod tests {
             run(AggFn::Min, vec![Value::Double(2.5), Value::Int64(1), Value::Int64(9)]),
             Value::Int64(1)
         );
-        assert_eq!(
-            run(AggFn::Max, vec![Value::Double(2.5), Value::Int64(1)]),
-            Value::Double(2.5)
-        );
+        assert_eq!(run(AggFn::Max, vec![Value::Double(2.5), Value::Int64(1)]), Value::Double(2.5));
     }
 
     #[test]

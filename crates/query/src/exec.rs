@@ -93,17 +93,12 @@ pub fn execute(
         std::thread::scope(|scope| {
             let handles: Vec<_> = partitions
                 .iter()
-                .map(|ds| {
-                    scope.spawn(move || run_partition(ds, &query.scan, local_ops, blocking))
-                })
+                .map(|ds| scope.spawn(move || run_partition(ds, &query.scan, local_ops, blocking)))
                 .collect();
             handles.into_iter().map(|h| h.join().expect("partition thread panicked")).collect()
         })
     } else {
-        partitions
-            .iter()
-            .map(|ds| run_partition(ds, &query.scan, local_ops, blocking))
-            .collect()
+        partitions.iter().map(|ds| run_partition(ds, &query.scan, local_ops, blocking)).collect()
     };
 
     let mut grouped: FxHashMap<Vec<OrdValue>, (Row, Vec<AggState>)> = FxHashMap::default();
@@ -138,8 +133,7 @@ pub fn execute(
         Some(Op::GroupBy { keys, aggs }) => {
             if grouped.is_empty() && keys.is_empty() {
                 // Global aggregate over zero rows still yields one row.
-                let finals: Row =
-                    aggs.iter().map(|a| AggState::new(&a.func).finalize()).collect();
+                let finals: Row = aggs.iter().map(|a| AggState::new(&a.func).finalize()).collect();
                 vec![finals]
             } else {
                 grouped
@@ -198,9 +192,7 @@ fn run_partition(
     }
     // Local side of the blocking operator.
     let out = match blocking {
-        Some(Op::GroupBy { keys, aggs }) => {
-            LocalOutput::Grouped(partial_group(rows, keys, aggs))
-        }
+        Some(Op::GroupBy { keys, aggs }) => LocalOutput::Grouped(partial_group(rows, keys, aggs)),
         Some(Op::OrderBy { keys, limit: Some(k) }) => {
             // Local top-k: the global top-k is a subset of the union of
             // local top-ks.
@@ -227,9 +219,7 @@ fn extract(
     }
     match access {
         AccessStrategy::Consolidated => decoder.get_values(payload, paths),
-        AccessStrategy::PerPath => {
-            paths.iter().map(|p| decoder.get_value(payload, p)).collect()
-        }
+        AccessStrategy::PerPath => paths.iter().map(|p| decoder.get_value(payload, p)).collect(),
     }
 }
 
@@ -239,9 +229,9 @@ fn partial_group(rows: Vec<Row>, keys: &[Expr], aggs: &[Agg]) -> Vec<(Row, Vec<A
     for row in rows {
         let key: Row = keys.iter().map(|k| k.eval(&row)).collect();
         let hk: Vec<OrdValue> = key.iter().cloned().map(OrdValue).collect();
-        let entry = map.entry(hk).or_insert_with(|| {
-            (key, aggs.iter().map(|a| AggState::new(&a.func)).collect())
-        });
+        let entry = map
+            .entry(hk)
+            .or_insert_with(|| (key, aggs.iter().map(|a| AggState::new(&a.func)).collect()));
         for (agg, state) in aggs.iter().zip(entry.1.iter_mut()) {
             state.update(agg.arg.as_ref().map(|e| e.eval(&row)));
         }
@@ -254,10 +244,9 @@ fn partial_group(rows: Vec<Row>, keys: &[Expr], aggs: &[Agg]) -> Vec<(Row, Vec<A
 pub fn apply_op(rows: Vec<Row>, op: &Op) -> Vec<Row> {
     match op {
         Op::Filter(pred) => rows.into_iter().filter(|r| pred.eval_bool(r)).collect(),
-        Op::Project(exprs) => rows
-            .into_iter()
-            .map(|r| exprs.iter().map(|e| e.eval(&r)).collect())
-            .collect(),
+        Op::Project(exprs) => {
+            rows.into_iter().map(|r| exprs.iter().map(|e| e.eval(&r)).collect()).collect()
+        }
         Op::Unnest(expr) => {
             // A plain-column source is consumed by the unnest: emitted rows
             // carry `null` in its slot so the (possibly large) collection
@@ -278,7 +267,8 @@ pub fn apply_op(rows: Vec<Row>, op: &Op) -> Vec<Row> {
                         let last = items.len().saturating_sub(1);
                         for (idx, item) in items.into_iter().enumerate() {
                             // The final item reuses the base row.
-                            let mut r = if idx == last { std::mem::take(&mut base) } else { base.clone() };
+                            let mut r =
+                                if idx == last { std::mem::take(&mut base) } else { base.clone() };
                             r.push(item);
                             out.push(r);
                         }
@@ -441,10 +431,7 @@ mod tests {
         let ds = partitioned_dataset(StorageFormat::Open, 4, 40);
         let q = Query {
             scan: ScanSpec::all_early(vec![parse_path("id")], AccessStrategy::Consolidated),
-            ops: vec![Op::OrderBy {
-                keys: vec![(Expr::col(0), true)],
-                limit: Some(5),
-            }],
+            ops: vec![Op::OrderBy { keys: vec![(Expr::col(0), true)], limit: Some(5) }],
         };
         let res = execute(&refs(&ds), &q, &ExecOptions::default()).unwrap();
         let got: Vec<i64> = res.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
@@ -474,10 +461,7 @@ mod tests {
     fn serial_and_parallel_agree() {
         let ds = partitioned_dataset(StorageFormat::Inferred, 4, 80);
         let q = Query {
-            scan: ScanSpec::all_early(
-                vec![parse_path("grp")],
-                AccessStrategy::Consolidated,
-            ),
+            scan: ScanSpec::all_early(vec![parse_path("grp")], AccessStrategy::Consolidated),
             ops: vec![
                 Op::GroupBy { keys: vec![Expr::col(0)], aggs: vec![Agg::count_star()] },
                 Op::OrderBy { keys: vec![(Expr::col(0), false)], limit: None },

@@ -59,12 +59,22 @@ pub enum Expr {
     /// Literal.
     Const(Value),
     /// Path access over the value in a column.
-    Path { col: usize, path: Path },
-    Cmp { op: CmpOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Path {
+        col: usize,
+        path: Path,
+    },
+    Cmp {
+        op: CmpOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     And(Box<Expr>, Box<Expr>),
     Or(Box<Expr>, Box<Expr>),
     Not(Box<Expr>),
-    Func { func: Func, args: Vec<Expr> },
+    Func {
+        func: Func,
+        args: Vec<Expr>,
+    },
 }
 
 impl Expr {
@@ -125,12 +135,12 @@ impl Expr {
                 };
                 Value::Boolean(b)
             }
-            Expr::And(a, b) => {
-                Value::Boolean(a.eval(row).as_bool() == Some(true) && b.eval(row).as_bool() == Some(true))
-            }
-            Expr::Or(a, b) => {
-                Value::Boolean(a.eval(row).as_bool() == Some(true) || b.eval(row).as_bool() == Some(true))
-            }
+            Expr::And(a, b) => Value::Boolean(
+                a.eval(row).as_bool() == Some(true) && b.eval(row).as_bool() == Some(true),
+            ),
+            Expr::Or(a, b) => Value::Boolean(
+                a.eval(row).as_bool() == Some(true) || b.eval(row).as_bool() == Some(true),
+            ),
             Expr::Not(e) => Value::Boolean(e.eval(row).as_bool() != Some(true)),
             Expr::Func { func, args } => eval_func(func, args, row),
         }
@@ -217,9 +227,11 @@ fn eval_func(func: &Func, args: &[Expr], row: &[Value]) -> Value {
                 _ => return Value::Boolean(false),
             };
             match arg(0).as_items() {
-                Some(items) => Value::Boolean(items.iter().any(|v| {
-                    v.as_str().map(|s| s.to_lowercase() == needle).unwrap_or(false)
-                })),
+                Some(items) => Value::Boolean(
+                    items
+                        .iter()
+                        .any(|v| v.as_str().map(|s| s.to_lowercase() == needle).unwrap_or(false)),
+                ),
                 None => Value::Boolean(false),
             }
         }
@@ -292,14 +304,8 @@ mod tests {
     #[test]
     fn string_and_array_functions() {
         let r = row();
-        assert_eq!(
-            Expr::func(Func::Lower, vec![Expr::lit("AbC")]).eval(&[]),
-            Value::string("abc")
-        );
-        assert_eq!(
-            Expr::func(Func::StrLen, vec![Expr::path(0, "name")]).eval(&r),
-            Value::Int64(3)
-        );
+        assert_eq!(Expr::func(Func::Lower, vec![Expr::lit("AbC")]).eval(&[]), Value::string("abc"));
+        assert_eq!(Expr::func(Func::StrLen, vec![Expr::path(0, "name")]).eval(&r), Value::Int64(3));
         assert_eq!(Expr::func(Func::ArrayLen, vec![Expr::col(2)]).eval(&r), Value::Int64(3));
         assert_eq!(
             Expr::func(Func::ArrayDistinct, vec![Expr::col(2)]).eval(&r),
@@ -309,16 +315,8 @@ mod tests {
             Expr::func(Func::ArraySort, vec![Expr::col(2)]).eval(&r),
             Value::Array(vec![Value::string("a"), Value::string("b"), Value::string("b")])
         );
-        assert!(Expr::func(
-            Func::ArrayContains,
-            vec![Expr::col(2), Expr::lit("a")]
-        )
-        .eval_bool(&r));
-        assert!(!Expr::func(
-            Func::ArrayContains,
-            vec![Expr::col(2), Expr::lit("z")]
-        )
-        .eval_bool(&r));
+        assert!(Expr::func(Func::ArrayContains, vec![Expr::col(2), Expr::lit("a")]).eval_bool(&r));
+        assert!(!Expr::func(Func::ArrayContains, vec![Expr::col(2), Expr::lit("z")]).eval_bool(&r));
     }
 
     #[test]
@@ -327,10 +325,7 @@ mod tests {
         let pairs = Expr::func(Func::ArrayPairs, vec![arr]).eval(&[]);
         let items = pairs.as_items().unwrap();
         assert_eq!(items.len(), 3);
-        assert_eq!(
-            items[0],
-            Value::Array(vec![Value::string("x"), Value::string("y")])
-        );
+        assert_eq!(items[0], Value::Array(vec![Value::string("x"), Value::string("y")]));
     }
 
     #[test]
@@ -338,8 +333,7 @@ mod tests {
         let r = row();
         // Pushed-down form over extracted texts.
         let texts = Expr::path(0, "tags[*].text");
-        assert!(Expr::func(Func::ArrayContainsLower, vec![texts, Expr::lit("jobs")])
-            .eval_bool(&r));
+        assert!(Expr::func(Func::ArrayContainsLower, vec![texts, Expr::lit("jobs")]).eval_bool(&r));
         // Un-pushed form over the objects.
         let tags = Expr::path(0, "tags");
         assert!(Expr::func(
@@ -347,11 +341,8 @@ mod tests {
             vec![tags.clone(), Expr::lit("jobs")]
         )
         .eval_bool(&r));
-        assert!(!Expr::func(
-            Func::AnyFieldEqLower("text".into()),
-            vec![tags, Expr::lit("nope")]
-        )
-        .eval_bool(&r));
+        assert!(!Expr::func(Func::AnyFieldEqLower("text".into()), vec![tags, Expr::lit("nope")])
+            .eval_bool(&r));
     }
 
     impl Expr {

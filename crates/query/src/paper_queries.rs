@@ -31,19 +31,10 @@ pub fn twitter_q1(_opts: QueryOptions) -> Query {
 /// Q2: top ten users whose tweets' average length is largest.
 pub fn twitter_q2(opts: QueryOptions) -> Query {
     Query {
-        scan: ScanSpec::all_early(
-            vec![parse_path("user.name"), parse_path("text")],
-            opts.access(),
-        ),
+        scan: ScanSpec::all_early(vec![parse_path("user.name"), parse_path("text")], opts.access()),
         ops: vec![
-            Op::Project(vec![
-                Expr::col(0),
-                Expr::func(Func::StrLen, vec![Expr::col(1)]),
-            ]),
-            Op::GroupBy {
-                keys: vec![Expr::col(0)],
-                aggs: vec![Agg::of(AggFn::Avg, Expr::col(1))],
-            },
+            Op::Project(vec![Expr::col(0), Expr::func(Func::StrLen, vec![Expr::col(1)])]),
+            Op::GroupBy { keys: vec![Expr::col(0)], aggs: vec![Agg::of(AggFn::Avg, Expr::col(1))] },
             Op::OrderBy { keys: vec![(Expr::col(1), true)], limit: Some(10) },
         ],
     }
@@ -93,10 +84,7 @@ pub fn twitter_q3(opts: QueryOptions) -> Query {
 /// Q4: `SELECT * FROM Tweets ORDER BY timestamp_ms` — full records out.
 pub fn twitter_q4(opts: QueryOptions) -> Query {
     Query {
-        scan: ScanSpec::all_early(
-            vec![vec![], parse_path("timestamp_ms")],
-            opts.access(),
-        ),
+        scan: ScanSpec::all_early(vec![vec![], parse_path("timestamp_ms")], opts.access()),
         ops: vec![
             Op::OrderBy { keys: vec![(Expr::col(1), false)], limit: None },
             Op::Project(vec![Expr::col(0)]),
@@ -108,8 +96,7 @@ pub fn twitter_q4(opts: QueryOptions) -> Query {
 // Web of Science (Appendix A.2)
 // ---------------------------------------------------------------------
 
-const WOS_SUBJECT: &str =
-    "static_data.fullrecord_metadata.category_info.subjects.subject";
+const WOS_SUBJECT: &str = "static_data.fullrecord_metadata.category_info.subjects.subject";
 const WOS_COUNTRY: &str =
     "static_data.fullrecord_metadata.addresses.address_name[*].address_spec.country";
 
@@ -125,10 +112,7 @@ pub fn wos_q2(opts: QueryOptions) -> Query {
         ops: vec![
             Op::Unnest(Expr::col(0)),
             Op::Filter(Expr::eq(Expr::path(1, "ascatype"), Expr::lit("extended"))),
-            Op::GroupBy {
-                keys: vec![Expr::path(1, "value")],
-                aggs: vec![Agg::count_star()],
-            },
+            Op::GroupBy { keys: vec![Expr::path(1, "value")], aggs: vec![Agg::count_star()] },
             Op::OrderBy { keys: vec![(Expr::col(1), true)], limit: Some(10) },
         ],
     }
@@ -264,11 +248,7 @@ pub fn sensors_q4_range(opts: QueryOptions, day_start: i64, day_end: i64) -> Que
     if opts.pushdown {
         Query {
             scan: ScanSpec::all_early(
-                vec![
-                    parse_path("sensor_id"),
-                    readings_path(opts),
-                    parse_path("report_time"),
-                ],
+                vec![parse_path("sensor_id"), readings_path(opts), parse_path("report_time")],
                 opts.access(),
             ),
             ops: vec![
@@ -374,7 +354,9 @@ mod tests {
     fn twitter_queries_agree_across_formats_and_opts() {
         let configs = [QueryOptions::default(), QueryOptions::unoptimized()];
         let mut reference: Option<Vec<Vec<Vec<Value>>>> = None;
-        for format in [StorageFormat::Open, StorageFormat::Inferred, StorageFormat::VectorUncompacted] {
+        for format in
+            [StorageFormat::Open, StorageFormat::Inferred, StorageFormat::VectorUncompacted]
+        {
             let parts = load(&mut TwitterGen::new(77), 120, format);
             for opts in configs {
                 let results = vec![

@@ -57,9 +57,15 @@ pub enum Op {
     Unnest(Expr),
     /// Group by key expressions; output rows are `[keys…, aggregates…]`.
     /// Executed two-phase across partitions.
-    GroupBy { keys: Vec<Expr>, aggs: Vec<Agg> },
+    GroupBy {
+        keys: Vec<Expr>,
+        aggs: Vec<Agg>,
+    },
     /// Sort (optionally top-k). `desc` per key.
-    OrderBy { keys: Vec<(Expr, bool)>, limit: Option<usize> },
+    OrderBy {
+        keys: Vec<(Expr, bool)>,
+        limit: Option<usize>,
+    },
     Limit(usize),
     /// Distinct over the evaluated expressions (row is replaced).
     Distinct(Vec<Expr>),
@@ -109,9 +115,9 @@ impl Query {
     /// Does the plan repartition data (group-by / order-by / distinct)?
     /// Those are the queries that trigger a schema broadcast (§3.4.1).
     pub fn has_nonlocal_exchange(&self) -> bool {
-        self.ops.iter().any(|op| {
-            matches!(op, Op::GroupBy { .. } | Op::OrderBy { .. } | Op::Distinct(_))
-        })
+        self.ops
+            .iter()
+            .any(|op| matches!(op, Op::GroupBy { .. } | Op::OrderBy { .. } | Op::Distinct(_)))
     }
 }
 

@@ -97,9 +97,7 @@ fn tokenize(text: &str) -> Result<Vec<Tok>, AdmError> {
                 let quoted = c == b'`';
                 let start = if quoted { i + 1 } else { i };
                 let mut j = start;
-                while j < b.len()
-                    && (b[j].is_ascii_alphanumeric() || b[j] == b'_')
-                {
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
                     j += 1;
                 }
                 toks.push(Tok::Ident(
@@ -126,8 +124,7 @@ fn tokenize(text: &str) -> Result<Vec<Tok>, AdmError> {
                 toks.push(Tok::Star);
                 i += 1;
             }
-            b'(' | b')' | b',' | b'.' | b'[' | b']' | b'=' | b'<' | b'>' | b'+' | b'-'
-            | b'/' => {
+            b'(' | b')' | b',' | b'.' | b'[' | b']' | b'=' | b'<' | b'>' | b'+' | b'-' | b'/' => {
                 toks.push(Tok::Sym(c as char));
                 i += 1;
             }
@@ -146,7 +143,10 @@ fn tokenize(text: &str) -> Result<Vec<Tok>, AdmError> {
 enum Ast {
     Lit(Value),
     /// `binding.path…` — the leading identifier is a FROM binding.
-    PathRef { binding: String, path: Path },
+    PathRef {
+        binding: String,
+        path: Path,
+    },
     Cmp(CmpOp, Box<Ast>, Box<Ast>),
     And(Box<Ast>, Box<Ast>),
     Or(Box<Ast>, Box<Ast>),
@@ -156,7 +156,11 @@ enum Ast {
     /// `SOME x IN collection SATISFIES pred(x)` — only the paper's shape
     /// (`lowercase(x.field) = "lit"` or `lowercase(x) = "lit"`) is
     /// supported.
-    SomeSatisfies { item: String, coll: Box<Ast>, pred: Box<Ast> },
+    SomeSatisfies {
+        item: String,
+        coll: Box<Ast>,
+        pred: Box<Ast>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -542,8 +546,7 @@ impl Binder {
                 if *binding == self.record || binding.is_empty() {
                     let col = self.scan_col(path.clone());
                     Expr::Col(col)
-                } else if let Some(&(_, col)) =
-                    self.unnest_cols.iter().find(|(n, _)| n == binding)
+                } else if let Some(&(_, col)) = self.unnest_cols.iter().find(|(n, _)| n == binding)
                 {
                     if path.is_empty() {
                         Expr::Col(col)
@@ -551,22 +554,14 @@ impl Binder {
                         Expr::Path { col, path: path.clone() }
                     }
                 } else {
-                    return Err(AdmError::type_check(format!(
-                        "unknown binding '{binding}'"
-                    )));
+                    return Err(AdmError::type_check(format!("unknown binding '{binding}'")));
                 }
             }
-            Ast::Cmp(op, l, r) => {
-                Expr::cmp(*op, self.resolve(l)?, self.resolve(r)?)
-            }
+            Ast::Cmp(op, l, r) => Expr::cmp(*op, self.resolve(l)?, self.resolve(r)?),
             Ast::And(l, r) => Expr::and(self.resolve(l)?, self.resolve(r)?),
-            Ast::Or(l, r) => {
-                Expr::Or(Box::new(self.resolve(l)?), Box::new(self.resolve(r)?))
-            }
+            Ast::Or(l, r) => Expr::Or(Box::new(self.resolve(l)?), Box::new(self.resolve(r)?)),
             Ast::Not(e) => Expr::Not(Box::new(self.resolve(e)?)),
-            Ast::SomeSatisfies { item, coll, pred } => {
-                self.resolve_some(item, coll, pred)?
-            }
+            Ast::SomeSatisfies { item, coll, pred } => self.resolve_some(item, coll, pred)?,
             Ast::CountStar => {
                 return Err(AdmError::type_check(
                     "count(*) is only valid in SELECT with GROUP BY".to_string(),
@@ -583,15 +578,10 @@ impl Binder {
                     "array_pairs" => Func::ArrayPairs,
                     "array_contains" => Func::ArrayContains,
                     other => {
-                        return Err(AdmError::type_check(format!(
-                            "unknown function '{other}'"
-                        )))
+                        return Err(AdmError::type_check(format!("unknown function '{other}'")))
                     }
                 };
-                let args = args
-                    .iter()
-                    .map(|a| self.resolve(a))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let args = args.iter().map(|a| self.resolve(a)).collect::<Result<Vec<_>, _>>()?;
                 Expr::Func { func, args }
             }
         })
@@ -616,9 +606,7 @@ impl Binder {
         };
         match lhs.as_ref() {
             // lowercase(x.field) = "lit"
-            Ast::Call(f, args)
-                if (f == "lowercase" || f == "lower") && args.len() == 1 =>
-            {
+            Ast::Call(f, args) if (f == "lowercase" || f == "lower") && args.len() == 1 => {
                 match &args[0] {
                     Ast::PathRef { binding, path } if binding == item => {
                         if let [PathStep::Field(field)] = path.as_slice() {
@@ -716,8 +704,7 @@ fn plan(ast: AstQuery, opts: QueryOptions) -> Result<Query, AdmError> {
         let mut aggs: Vec<Agg> = Vec::new();
         let mut agg_names: Vec<String> = Vec::new();
         for item in &ast.group_by {
-            let with_alias =
-                item.alias.as_deref().and_then(|a| a.strip_prefix("\u{1}with:"));
+            let with_alias = item.alias.as_deref().and_then(|a| a.strip_prefix("\u{1}with:"));
             match (with_alias, as_aggregate(&item.expr)) {
                 (Some(name), Some((f, arg))) => {
                     let arg = arg.map(|a| binder.resolve(a)).transpose()?;
@@ -788,9 +775,7 @@ fn plan(ast: AstQuery, opts: QueryOptions) -> Result<Query, AdmError> {
         }
         // Final projection to the SELECT shape.
         if !select_cols.is_empty() {
-            ops.push(Op::Project(
-                select_cols.iter().map(|(c, _)| Expr::Col(*c)).collect(),
-            ));
+            ops.push(Op::Project(select_cols.iter().map(|(c, _)| Expr::Col(*c)).collect()));
         }
     } else if ast.select.iter().any(|i| as_aggregate(&i.expr).is_some()) {
         // Ungrouped aggregates: a global (key-less) aggregation —
@@ -812,11 +797,8 @@ fn plan(ast: AstQuery, opts: QueryOptions) -> Result<Query, AdmError> {
     } else {
         // Ungrouped query: ORDER BY first (may reference scan columns),
         // then project the SELECT items.
-        let select_exprs: Vec<Expr> = ast
-            .select
-            .iter()
-            .map(|item| binder.resolve(&item.expr))
-            .collect::<Result<_, _>>()?;
+        let select_exprs: Vec<Expr> =
+            ast.select.iter().map(|item| binder.resolve(&item.expr)).collect::<Result<_, _>>()?;
         if !ast.order_by.is_empty() {
             let keys = resolve_order(&ast.order_by, &mut binder)?;
             ops.push(Op::OrderBy { keys, limit: ast.limit });
@@ -826,20 +808,14 @@ fn plan(ast: AstQuery, opts: QueryOptions) -> Result<Query, AdmError> {
         ops.push(Op::Project(select_exprs));
     }
 
-    Ok(Query {
-        scan: ScanSpec::all_early(binder.scan_paths, opts.access()),
-        ops,
-    })
+    Ok(Query { scan: ScanSpec::all_early(binder.scan_paths, opts.access()), ops })
 }
 
 fn resolve_order(
     order_by: &[(Ast, bool)],
     binder: &mut Binder,
 ) -> Result<Vec<(Expr, bool)>, AdmError> {
-    order_by
-        .iter()
-        .map(|(e, desc)| Ok((binder.resolve(e)?, *desc)))
-        .collect()
+    order_by.iter().map(|(e, desc)| Ok((binder.resolve(e)?, *desc))).collect()
 }
 
 /// Pre-pass: force every record-rooted path into the scan so column indexes
@@ -986,8 +962,7 @@ mod tests {
     #[test]
     fn select_value_whole_record() {
         let ds = load(&mut TwitterGen::new(6), 10);
-        let q = compile("SELECT VALUE t FROM Tweets t LIMIT 3", QueryOptions::default())
-            .unwrap();
+        let q = compile("SELECT VALUE t FROM Tweets t LIMIT 3", QueryOptions::default()).unwrap();
         let rows = run(&ds, &q);
         assert_eq!(rows.len(), 3);
         assert!(rows[0][0].get_field("user").is_some());

@@ -141,10 +141,8 @@ impl Schema {
                 if merged.replaced != child {
                     match &mut self.nodes[obj as usize] {
                         SchemaNode::Object { fields, .. } => {
-                            let slot = fields
-                                .iter_mut()
-                                .find(|(f, _)| *f == fid)
-                                .expect("slot exists");
+                            let slot =
+                                fields.iter_mut().find(|(f, _)| *f == fid).expect("slot exists");
                             slot.1 = merged.replaced;
                         }
                         _ => unreachable!(),
@@ -770,9 +768,7 @@ mod tests {
         assert_eq!(s.node(name).counter(), 6);
         // dependents: multiset, counter 1, item object counter 2.
         let (_, deps) = s.lookup_field(s.root(), "dependents").unwrap();
-        let SchemaNode::Collection { tag, counter, item } = s.node(deps) else {
-            panic!()
-        };
+        let SchemaNode::Collection { tag, counter, item } = s.node(deps) else { panic!() };
         assert_eq!(*tag, TypeTag::Multiset);
         assert_eq!(*counter, 1);
         let item = item.unwrap();
@@ -786,9 +782,7 @@ mod tests {
         // working_shifts: array of union(array(int), string); union
         // counter 4, inner array counter 3, int counter 6.
         let (_, shifts) = s.lookup_field(s.root(), "working_shifts").unwrap();
-        let SchemaNode::Collection { item: Some(u), .. } = s.node(shifts) else {
-            panic!()
-        };
+        let SchemaNode::Collection { item: Some(u), .. } = s.node(shifts) else { panic!() };
         let SchemaNode::Union { counter, children } = s.node(*u) else {
             panic!("expected union item, got {:?}", s.node(*u));
         };
@@ -886,10 +880,7 @@ mod tests {
     #[test]
     fn serialize_roundtrip_preserves_structure_and_counts() {
         let mut s = Schema::new();
-        obs(
-            &mut s,
-            r#"{"id": 1, "name": "Ann", "deps": [{"n": "Bob"}], "shift": [[1], "on"]}"#,
-        );
+        obs(&mut s, r#"{"id": 1, "name": "Ann", "deps": [{"n": "Bob"}], "shift": [[1], "on"]}"#);
         obs(&mut s, r#"{"id": 2, "name": "Cat", "age": 9}"#);
         // Create tombstones so remapping is exercised.
         unobs(&mut s, r#"{"id": 2, "name": "Cat", "age": 9}"#);

@@ -181,8 +181,10 @@ mod tests {
         let cache = BufferCache::new(2);
         cache.read(&store, 0); // frame0 = p0 (ref)
         cache.read(&store, 1); // frame1 = p1 (ref)
+
         // Miss: the sweep clears both ref bits, wraps, and evicts frame0.
         cache.read(&store, 2); // frames: [p2 (ref), p1 (unref)]
+
         // Next miss must take the unreferenced frame (p1), not p2.
         cache.read(&store, 0); // frames: [p2 (ref), p0 (ref)]
         let misses_before = cache.misses();

@@ -24,25 +24,16 @@ pub struct DeviceProfile {
 
 impl DeviceProfile {
     /// The paper's SATA SSD: up to 550 MB/s read, 520 MB/s write.
-    pub const SATA_SSD: DeviceProfile = DeviceProfile {
-        name: "sata-ssd",
-        read_bps: 550.0e6,
-        write_bps: 520.0e6,
-    };
+    pub const SATA_SSD: DeviceProfile =
+        DeviceProfile { name: "sata-ssd", read_bps: 550.0e6, write_bps: 520.0e6 };
 
     /// The paper's NVMe SSD: up to 3400 MB/s read, 2500 MB/s write.
-    pub const NVME_SSD: DeviceProfile = DeviceProfile {
-        name: "nvme-ssd",
-        read_bps: 3400.0e6,
-        write_bps: 2500.0e6,
-    };
+    pub const NVME_SSD: DeviceProfile =
+        DeviceProfile { name: "nvme-ssd", read_bps: 3400.0e6, write_bps: 2500.0e6 };
 
     /// Infinite-bandwidth device for CPU-only experiments (Fig 22b).
-    pub const RAM: DeviceProfile = DeviceProfile {
-        name: "ram",
-        read_bps: f64::INFINITY,
-        write_bps: f64::INFINITY,
-    };
+    pub const RAM: DeviceProfile =
+        DeviceProfile { name: "ram", read_bps: f64::INFINITY, write_bps: f64::INFINITY };
 }
 
 /// A device instance: a profile plus byte counters. One per data partition;
@@ -128,8 +119,7 @@ impl Device {
     pub fn io_time_since(&self, since: &IoSnapshot) -> Duration {
         let read = self.bytes_read().saturating_sub(since.bytes_read);
         let written = self.bytes_written().saturating_sub(since.bytes_written);
-        let total = read as f64 / self.profile.read_bps
-            + written as f64 / self.profile.write_bps;
+        let total = read as f64 / self.profile.read_bps + written as f64 / self.profile.write_bps;
         if total.is_finite() {
             Duration::from_secs_f64(total)
         } else {

@@ -78,16 +78,10 @@ impl PageStore {
         if self.scheme.is_none() {
             self.data.read(id * self.page_size as u64, self.page_size)
         } else {
-            let entry = self
-                .laf
-                .read()
-                .get(id as usize)
-                .unwrap_or_else(|| panic!("page {id} not in LAF"));
+            let entry =
+                self.laf.read().get(id as usize).unwrap_or_else(|| panic!("page {id} not in LAF"));
             let compressed = self.data.read(entry.offset, entry.length as usize);
-            let page = self
-                .scheme
-                .decompress(&compressed)
-                .expect("stored page must decompress");
+            let page = self.scheme.decompress(&compressed).expect("stored page must decompress");
             assert_eq!(page.len(), self.page_size, "decompressed page has wrong size");
             page
         }
@@ -207,7 +201,8 @@ mod tests {
     #[test]
     fn compressed_pages_roundtrip_and_shrink() {
         let store = PageStore::new(ram(), 4096, CompressionScheme::Snappy);
-        let page: Vec<u8> = b"repetitive page content ".iter().copied().cycle().take(4096).collect();
+        let page: Vec<u8> =
+            b"repetitive page content ".iter().copied().cycle().take(4096).collect();
         let id = store.write_page(&page);
         assert_eq!(store.read_page(id), page);
         assert!(store.data_bytes() < 4096 / 2, "data bytes: {}", store.data_bytes());

@@ -108,16 +108,8 @@ mod tests {
     #[test]
     fn roundtrip_mixed_widths() {
         let mut w = BitWriter::new();
-        let entries: &[(u64, u8)] = &[
-            (1, 1),
-            (0, 1),
-            (5, 3),
-            (1023, 10),
-            (0, 64),
-            (u64::MAX, 64),
-            (0x5a5a, 16),
-            (7, 3),
-        ];
+        let entries: &[(u64, u8)] =
+            &[(1, 1), (0, 1), (5, 3), (1023, 10), (0, 64), (u64::MAX, 64), (0x5a5a, 16), (7, 3)];
         for &(v, width) in entries {
             w.write(v, width);
         }

@@ -89,19 +89,8 @@ mod tests {
 
     #[test]
     fn roundtrip_u64_corners() {
-        let cases = [
-            0u64,
-            1,
-            127,
-            128,
-            255,
-            300,
-            16383,
-            16384,
-            u32::MAX as u64,
-            u64::MAX - 1,
-            u64::MAX,
-        ];
+        let cases =
+            [0u64, 1, 127, 128, 255, 300, 16383, 16384, u32::MAX as u64, u64::MAX - 1, u64::MAX];
         for &v in &cases {
             let mut buf = Vec::new();
             let n = write_u64(&mut buf, v);

@@ -271,17 +271,13 @@ mod tests {
 
     #[test]
     fn nested_wildcards_fall_back_to_eval_semantics() {
-        check_paths(
-            r#"{"a": [{"b": [1, 2]}, {"b": [3]}, {"c": 0}]}"#,
-            &["a[*].b[*]", "a[*].b"],
-        );
+        check_paths(r#"{"a": [{"b": [1, 2]}, {"b": [3]}, {"c": 0}]}"#, &["a[*].b[*]", "a[*].b"]);
     }
 
     #[test]
     fn early_exit_is_safe_with_multiple_paths() {
         // First path resolves immediately; second is near the end.
-        let fields: Vec<String> =
-            (0..50).map(|i| format!(r#""f{i:02}": {i}"#)).collect();
+        let fields: Vec<String> = (0..50).map(|i| format!(r#""f{i:02}": {i}"#)).collect();
         let src = format!("{{{}}}", fields.join(", "));
         check_paths(&src, &["f00", "f49", "f25"]);
     }
@@ -297,13 +293,8 @@ mod tests {
         }]);
         let v = parse(r#"{"id": 42, "name": "Ann"}"#).unwrap();
         let raw = encode(&v, Some(&t));
-        let got = get_values(
-            &raw,
-            &[parse_path("id"), parse_path("name")],
-            Some(&t),
-            None,
-        )
-        .unwrap();
+        let got =
+            get_values(&raw, &[parse_path("id"), parse_path("name")], Some(&t), None).unwrap();
         assert_eq!(got, vec![Value::Int64(42), Value::string("Ann")]);
     }
 }

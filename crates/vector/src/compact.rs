@@ -113,7 +113,11 @@ fn assemble_compacted(buf: &[u8], header_in: &Header, entries: &[FieldEntry]) ->
     let max_payload = entries.iter().map(|e| e.payload).max().unwrap_or(0);
     let id_bits = {
         let w = bit_width(max_payload);
-        if w > 15 { 32 } else { w }
+        if w > 15 {
+            32
+        } else {
+            w
+        }
     };
     let fieldname_bits = (id_bits + 1).max(2);
     let mut packed = BitWriter::new();
@@ -164,8 +168,8 @@ mod tests {
         // Paper Fig 13→14: uncompacted needs 19 bytes of field-name data;
         // compacted needs 2 bytes of 3-bit FieldNameIDs.
         let t = emp_type();
-        let v = parse(r#"{"id": 6, "name": "Ann", "salaries": [70000, 90000], "age": 26}"#)
-            .unwrap();
+        let v =
+            parse(r#"{"id": 6, "name": "Ann", "salaries": [70000, 90000], "age": 26}"#).unwrap();
         let raw = encode(&v, Some(&t));
         let mut schema = Schema::new();
         let compacted = infer_and_compact(&raw, &mut schema).unwrap();

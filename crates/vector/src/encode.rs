@@ -36,12 +36,9 @@ impl Sections {
     /// Assemble the final record. `compacted` controls the fourth header
     /// offset (zero ⇒ names live in the schema structure).
     pub fn assemble(self, compacted: bool) -> Vec<u8> {
-        let varlen_bits = effective_width(
-            self.varlen_lengths.iter().copied().max().unwrap_or(0),
-        );
-        let fieldname_bits = 1 + effective_width(
-            self.field_entries.iter().map(|e| e.payload).max().unwrap_or(0),
-        );
+        let varlen_bits = effective_width(self.varlen_lengths.iter().copied().max().unwrap_or(0));
+        let fieldname_bits =
+            1 + effective_width(self.field_entries.iter().map(|e| e.payload).max().unwrap_or(0));
         // Field entries pack flag in the top bit of each entry.
         let fieldname_bits = fieldname_bits.min(33).max(2);
 
@@ -68,7 +65,8 @@ impl Sections {
         let varlen_values_off = varlen_lengths_off + varlen_len_bytes.len();
         let fieldname_lengths_off = varlen_values_off + self.varlen_values.len();
         let fieldname_values_off = fieldname_lengths_off + fn_len_bytes.len();
-        let record_len = fieldname_values_off + if compacted { 0 } else { self.fieldname_values.len() };
+        let record_len =
+            fieldname_values_off + if compacted { 0 } else { self.fieldname_values.len() };
 
         let header = Header {
             record_len: record_len as u32,
@@ -164,15 +162,12 @@ fn write_value(value: &Value, declared: Option<&ObjectType>, is_root: bool, s: &
                 // Declared-index resolution applies to the root object only
                 // (nested declared types are a closed-format concern; the
                 // inferred path self-describes nested fields — §3.3.1).
-                let decl_idx = if is_root {
-                    declared.and_then(|t| t.field_index(name))
-                } else {
-                    None
-                };
+                let decl_idx =
+                    if is_root { declared.and_then(|t| t.field_index(name)) } else { None };
                 match decl_idx {
-                    Some(idx) => s
-                        .field_entries
-                        .push(FieldEntry { declared: true, payload: idx as u64 }),
+                    Some(idx) => {
+                        s.field_entries.push(FieldEntry { declared: true, payload: idx as u64 })
+                    }
                     None => {
                         s.field_entries
                             .push(FieldEntry { declared: false, payload: name.len() as u64 });
@@ -205,8 +200,8 @@ mod tests {
             kind: TypeKind::Scalar(TypeTag::Int64),
             optional: false,
         }]);
-        let v = parse(r#"{"id": 6, "name": "Ann", "salaries": [70000, 90000], "age": 26}"#)
-            .unwrap();
+        let v =
+            parse(r#"{"id": 6, "name": "Ann", "salaries": [70000, 90000], "age": 26}"#).unwrap();
         let buf = encode(&v, Some(&t));
         let h = Header::read(&buf).unwrap();
         assert_eq!(h.tag_count, 10);
@@ -237,8 +232,16 @@ mod tests {
         assert_eq!(
             tags,
             vec![
-                Object, Array, Int64, String, CloseNested, Object, Boolean, CloseNested,
-                CloseNested, Eov
+                Object,
+                Array,
+                Int64,
+                String,
+                CloseNested,
+                Object,
+                Boolean,
+                CloseNested,
+                CloseNested,
+                Eov
             ]
         );
     }

@@ -35,17 +35,14 @@ impl<'a> FieldName<'a> {
     {
         match self {
             FieldName::Inferred(s) => Ok(s),
-            FieldName::Declared(idx) => declared
-                .and_then(|t| t.field(*idx))
-                .map(|f| f.name.as_str())
-                .ok_or_else(|| {
+            FieldName::Declared(idx) => {
+                declared.and_then(|t| t.field(*idx)).map(|f| f.name.as_str()).ok_or_else(|| {
                     AdmError::corrupt(format!("declared field index {idx} not in catalog type"))
-                }),
-            FieldName::InferredId(id) => dict
-                .and_then(|d| d.name(*id))
-                .ok_or_else(|| {
-                    AdmError::corrupt(format!("field name id {id} not in schema dictionary"))
-                }),
+                })
+            }
+            FieldName::InferredId(id) => dict.and_then(|d| d.name(*id)).ok_or_else(|| {
+                AdmError::corrupt(format!("field name id {id} not in schema dictionary"))
+            }),
         }
     }
 }
@@ -83,8 +80,9 @@ impl<'a> VectorReader<'a> {
     pub fn new(buf: &'a [u8]) -> Result<Self, AdmError> {
         let header = Header::read(buf)?;
         let rl = header.record_len as usize;
-        let varlen_lens =
-            BitReader::new(&buf[header.varlen_lengths_off as usize..header.varlen_values_off as usize]);
+        let varlen_lens = BitReader::new(
+            &buf[header.varlen_lengths_off as usize..header.varlen_values_off as usize],
+        );
         let field_entries = BitReader::new(
             &buf[header.fieldname_lengths_off as usize..header.fieldname_lengths_end().min(rl)],
         );
@@ -359,10 +357,8 @@ mod tests {
 
     #[test]
     fn roundtrip_plain() {
-        let v = parse(
-            r#"{"id": 6, "name": "Ann", "salaries": [70000, 90000], "age": 26}"#,
-        )
-        .unwrap();
+        let v =
+            parse(r#"{"id": 6, "name": "Ann", "salaries": [70000, 90000], "age": 26}"#).unwrap();
         let buf = encode(&v, None);
         assert_eq!(decode(&buf, None, None).unwrap(), v);
     }

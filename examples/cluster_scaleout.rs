@@ -37,13 +37,13 @@ fn main() -> Result<(), AdmError> {
             .collect();
 
         // A repartitioning query (group-by) triggers the broadcast.
-        let res = cluster.query(&q::twitter_q2(QueryOptions::default()), &ExecOptions::default())?;
+        let res =
+            cluster.query(&q::twitter_q2(QueryOptions::default()), &ExecOptions::default())?;
 
         println!(
             "{nodes} node(s): {n} tweets in {:?} (+{:?} IO) | schema nodes/partition {:?} | \
              Q2 scanned {} rows, broadcast {} bytes",
-            report.wall, report.io, node_counts, res.stats.rows_scanned,
-            res.stats.broadcast_bytes,
+            report.wall, report.io, node_counts, res.stats.rows_scanned, res.stats.broadcast_bytes,
         );
         assert_eq!(res.stats.rows_scanned as usize, n);
     }

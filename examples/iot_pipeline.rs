@@ -66,11 +66,7 @@ fn main() -> Result<(), AdmError> {
     )?;
     println!("top sensors by average temperature:");
     for row in res.rows.iter().take(5) {
-        println!(
-            "  sensor {:>4}: {:.2}°",
-            row[0].as_i64().unwrap(),
-            row[1].as_f64().unwrap()
-        );
+        println!("  sensor {:>4}: {:.2}°", row[0].as_i64().unwrap(), row[1].as_f64().unwrap());
     }
     Ok(())
 }

@@ -27,8 +27,7 @@ fn print_schema(ds: &Dataset, when: &str) {
         let node = schema.node(*node_id);
         let ty = match node {
             SchemaNode::Union { children, .. } => {
-                let parts: Vec<String> =
-                    children.iter().map(|(t, _)| t.to_string()).collect();
+                let parts: Vec<String> = children.iter().map(|(t, _)| t.to_string()).collect();
                 format!("union({})", parts.join(", "))
             }
             n => n.type_tag().map(|t| t.to_string()).unwrap_or_default(),

@@ -15,14 +15,11 @@ use asterix_tc::prelude::*;
 
 fn schema_fields(ds: &Dataset) -> Vec<String> {
     let schema = ds.schema_snapshot().expect("inferred");
-    let asterix_tc::schema::SchemaNode::Object { fields, .. } = schema.node(schema.root())
-    else {
+    let asterix_tc::schema::SchemaNode::Object { fields, .. } = schema.node(schema.root()) else {
         unreachable!()
     };
-    let mut names: Vec<String> = fields
-        .iter()
-        .map(|(fid, _)| schema.field_name(*fid).unwrap_or("?").to_owned())
-        .collect();
+    let mut names: Vec<String> =
+        fields.iter().map(|(fid, _)| schema.field_name(*fid).unwrap_or("?").to_owned()).collect();
     names.sort();
     names
 }

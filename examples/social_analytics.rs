@@ -42,7 +42,10 @@ fn main() -> Result<(), AdmError> {
     }
     let open = sizes[0].1 as f64;
     let inferred = sizes[1].1 as f64;
-    println!("\ncompacted storage is {:.1}x smaller than schema-less (compressed)", open / inferred);
+    println!(
+        "\ncompacted storage is {:.1}x smaller than schema-less (compressed)",
+        open / inferred
+    );
     Ok(())
 }
 

@@ -23,11 +23,7 @@ fn make_dataset(format: StorageFormat, compression: CompressionScheme) -> Datase
 /// on, for every storage format.
 #[test]
 fn ingest_crash_recover_query_all_formats() {
-    for format in [
-        StorageFormat::Open,
-        StorageFormat::Inferred,
-        StorageFormat::VectorUncompacted,
-    ] {
+    for format in [StorageFormat::Open, StorageFormat::Inferred, StorageFormat::VectorUncompacted] {
         let mut ds = make_dataset(format, CompressionScheme::Snappy);
         let mut gen = TwitterGen::new(11);
         let records: Vec<Value> = (0..400).map(|_| gen.next_record()).collect();
@@ -172,8 +168,10 @@ fn heterogeneous_partitions_query_correctly() {
     // for odd ids; salary only exists for ids divisible by 3 (the Fig 15
     // heterogeneity scenario).
     for i in 0..400i64 {
-        let age = if i % 2 == 0 { format!("{}", 20 + i % 40) } else { format!("\"{}y\"", 20 + i % 40) };
-        let salary = if i % 3 == 0 { format!(", \"salary\": {}", 50_000 + i) } else { String::new() };
+        let age =
+            if i % 2 == 0 { format!("{}", 20 + i % 40) } else { format!("\"{}y\"", 20 + i % 40) };
+        let salary =
+            if i % 3 == 0 { format!(", \"salary\": {}", 50_000 + i) } else { String::new() };
         let r = parse(&format!(r#"{{"id": {i}, "name": "e{}", "age": {age}{salary}}}"#, i % 7))
             .unwrap();
         cluster.insert(&r).unwrap();

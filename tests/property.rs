@@ -44,9 +44,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
     })
 }
 
-fn arb_object_from(
-    inner: impl Strategy<Value = Value> + 'static,
-) -> impl Strategy<Value = Value> {
+fn arb_object_from(inner: impl Strategy<Value = Value> + 'static) -> impl Strategy<Value = Value> {
     proptest::collection::btree_map("[a-z]{1,8}", inner, 0..6)
         .prop_map(|m| Value::Object(m.into_iter().collect()))
 }

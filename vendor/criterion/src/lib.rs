@@ -1,0 +1,157 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment for this repository cannot reach crates.io, so this
+//! shim provides the slice of criterion the `tc_bench` benches use:
+//! [`Criterion`], [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size`/`bench_function`/`finish`, [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — wall-clock mean over `sample_size`
+//! samples after a short warm-up — but the reporting format (name, time per
+//! iteration) is stable enough to eyeball regressions. Anything fancier
+//! belongs in the real criterion once the environment has network access.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; filtering/flags are not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+
+    pub fn final_summary(self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warmed_up: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up per benchmark (primes caches/allocator),
+        // matching real criterion — not one per sample.
+        if !self.warmed_up {
+            black_box(routine());
+            self.warmed_up = true;
+        }
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher { samples: Vec::with_capacity(sample_size), warmed_up: false };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    if bencher.samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort();
+    let mean: Duration = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let median = sorted[sorted.len() / 2];
+    println!("{name:<40} time: [mean {:>12?}  median {:>12?}  n={}]", mean, median, sorted.len());
+}
+
+/// Mirrors `criterion_group!(name, target, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!(group, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0usize;
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("inner", |b| {
+            calls += 1;
+            b.iter(|| black_box(2 * 2))
+        });
+        group.finish();
+        assert_eq!(calls, 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Offline, API-compatible subset of the `parking_lot` crate, backed by
+//! `std::sync`.
+//!
+//! The build environment for this repository cannot reach crates.io. The
+//! workspace only relies on parking_lot's *interface* (infallible `lock()` /
+//! `read()` / `write()` with no poison `Result`s), not its performance
+//! characteristics, so delegating to the standard library is sufficient.
+//! A lock poisoned by a panicking holder panics on the next acquisition,
+//! which matches parking_lot's practical behavior for this workspace: its
+//! real locks ignore poisoning, but every panic in these tests is fatal to
+//! the test anyway.
+
+use std::sync::{self, LockResult};
+
+/// Mirror of `parking_lot::Mutex` with infallible [`Mutex::lock`].
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        unpoison(self.0.lock())
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.0.try_lock().ok()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison_ref(self.0.get_mut())
+    }
+}
+
+/// Mirror of `parking_lot::RwLock` with infallible [`RwLock::read`] /
+/// [`RwLock::write`].
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        unpoison(self.0.read())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        unpoison(self.0.write())
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        self.0.try_read().ok()
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        self.0.try_write().ok()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison_ref(self.0.get_mut())
+    }
+}
+
+fn unpoison<G>(result: LockResult<G>) -> G {
+    result.unwrap_or_else(|_| panic!("lock poisoned by a panicking holder"))
+}
+
+fn unpoison_ref<G>(result: LockResult<G>) -> G {
+    unpoison(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_round_trips() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_shared_and_exclusive() {
+        let l = Arc::new(RwLock::new(0usize));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                thread::spawn(move || {
+                    for _ in 0..100 {
+                        *l.write() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 400);
+    }
+}

@@ -1,0 +1,622 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this vendored shim implements the slice of proptest the workspace's
+//! property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, and `boxed`
+//! * [`arbitrary::any`] for primitives and byte arrays
+//! * integer/float range strategies, tuple strategies, [`strategy::Just`]
+//! * string strategies from a regex-lite pattern (`"[a-z]{1,8}"` style)
+//! * [`collection::vec`] and [`collection::btree_map`]
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`], and
+//!   [`prop_assert_eq!`] macros, plus `ProptestConfig::with_cases`
+//!
+//! Design deltas vs upstream, chosen for an offline test harness:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs via
+//!   the standard assert messages; `cases` inputs are tried per test.
+//! * **Deterministic seeding.** Each `proptest!` test derives its RNG seed
+//!   from its own function name (FNV-1a), so failures reproduce exactly
+//!   across runs and machines — the offline stand-in for proptest's
+//!   persisted failure files.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::sync::Arc;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking phase:
+    /// a strategy simply produces a fresh value from the test RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Recursive strategies: generates either a value from `self` (the
+        /// leaf strategy) or from `recurse` applied to the strategy itself,
+        /// nesting at most `depth` levels.
+        ///
+        /// `desired_size` and `expected_branch_size` are accepted for API
+        /// compatibility; depth alone bounds recursion here.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let branch = recurse(strat).boxed();
+                // 1:2 leaf-to-branch odds at every level keeps expected tree
+                // size finite while still exercising deep nesting.
+                strat = Union::new(vec![(1, leaf.clone()), (2, branch)]).boxed();
+            }
+            strat
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_new_value(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Weighted choice between strategies (the engine behind `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<T: 'static> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rand::Rng::gen_range(rng, 0..self.total_weight);
+            for (weight, arm) in &self.arms {
+                if pick < *weight as u64 {
+                    return arm.new_value(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// String-literal strategies: `"[a-z]{1,8}"` generates matching strings.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy, via [`any`].
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn new_value(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    macro_rules! arbitrary_via_rand {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rand::Rng::gen(rng)
+                }
+            }
+        )*};
+    }
+    arbitrary_via_rand!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rand::Rng::gen(rng)
+        }
+    }
+
+    // Floats: cover zero, exact small integers, and uniform continuous
+    // values at two scales. Always finite — the workspace's roundtrip
+    // properties are stated over finite numerics (upstream proptest's
+    // `any::<f64>()` similarly defaults to non-NaN coverage).
+    macro_rules! arbitrary_float {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    match rand::Rng::gen_range(rng, 0u32..8) {
+                        0 => 0.0,
+                        1 | 2 => rand::Rng::gen_range(rng, -1_000i64..1_000) as $t,
+                        3 | 4 | 5 => rand::Rng::gen_range(rng, -1.0 as $t..1.0),
+                        _ => rand::Rng::gen_range(rng, -1.0e6 as $t..1.0e6),
+                    }
+                }
+            }
+        )*};
+    }
+    arbitrary_float!(f32, f64);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted element-count specifications (a subset of upstream's).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max_inclusive: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_inclusive: n }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(rng, self.min..=self.max_inclusive)
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            // Duplicate keys collapse, so the result can come in under the
+            // requested minimum — the same best-effort upstream makes when
+            // the key domain is small.
+            let len = self.size.pick(rng);
+            (0..len).map(|_| (self.key.new_value(rng), self.value.new_value(rng))).collect()
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// Generate a string matching a regex-lite pattern: sequences of literal
+    /// characters or `[...]` classes (with `a-z` ranges), each optionally
+    /// quantified by `{n}`, `{m,n}`, `?`, `*`, or `+`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse(pattern);
+        let mut out = String::new();
+        for (chars, min, max) in &atoms {
+            let count = rand::Rng::gen_range(rng, *min..=*max);
+            for _ in 0..count {
+                let idx = rand::Rng::gen_range(rng, 0..chars.len());
+                out.push(chars[idx]);
+            }
+        }
+        out
+    }
+
+    /// Each atom is (candidate characters, min repeats, max repeats).
+    fn parse(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+        let mut atoms = Vec::new();
+        let mut it = pattern.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = it
+                            .next()
+                            .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                                let start = prev.take().unwrap();
+                                let end = it.next().unwrap();
+                                assert!(
+                                    start <= end,
+                                    "bad range {start}-{end} in pattern {pattern:?}"
+                                );
+                                // `start` was already pushed as a literal;
+                                // extend with the rest of the range.
+                                set.extend(
+                                    ((start as u32 + 1)..=(end as u32)).filter_map(char::from_u32),
+                                );
+                            }
+                            '\\' => {
+                                let esc = it.next().expect("dangling escape");
+                                set.push(esc);
+                                prev = Some(esc);
+                            }
+                            other => {
+                                set.push(other);
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                    set
+                }
+                '\\' => vec![it.next().expect("dangling escape")],
+                other => vec![other],
+            };
+            let (min, max) = match it.peek() {
+                Some('{') => {
+                    it.next();
+                    let mut spec = String::new();
+                    for c in it.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad {m,n} quantifier"),
+                            hi.trim().parse().expect("bad {m,n} quantifier"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad {n} quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    it.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    it.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    it.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "bad quantifier in pattern {pattern:?}");
+            atoms.push((chars, min, max));
+        }
+        atoms
+    }
+}
+
+pub mod test_runner {
+    /// The RNG handed to strategies. Deterministic; see crate docs.
+    pub type TestRng = rand::rngs::StdRng;
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Seed derivation: FNV-1a over the test's function name, so each test
+    /// gets an independent but fully reproducible stream.
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        <TestRng as rand::SeedableRng>::seed_from_u64(seed)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// The test-defining macro. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+            // Strategies are built once per test, as in upstream proptest —
+            // not once per case (prop_recursive trees are pricey to build).
+            let __strategies = ($($strat,)+);
+            for __case in 0..__config.cases {
+                let ($($arg,)+) = {
+                    let ($(ref $arg,)+) = __strategies;
+                    ($($crate::strategy::Strategy::new_value($arg, &mut __rng),)+)
+                };
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps(x in 0i32..10, s in "[a-z]{1,4}") {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn collections(v in crate::collection::vec(any::<u8>(), 0..16),
+                       m in crate::collection::btree_map("[a-z]{1,2}", any::<bool>(), 0..6)) {
+            prop_assert!(v.len() < 16);
+            prop_assert!(m.len() < 6);
+        }
+    }
+
+    #[test]
+    fn oneof_weights_and_recursion() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i32),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i32..100).prop_map(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::test_runner::rng_for("recursion");
+        for _ in 0..200 {
+            let t = strat.new_value(&mut rng);
+            assert!(depth(&t) <= 4 + 1, "depth bound violated: {t:?}");
+        }
+        let union = prop_oneof![3 => Just(1u8), 1 => Just(2u8)];
+        let mut ones = 0;
+        for _ in 0..400 {
+            if union.new_value(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        assert!(ones > 200, "weighting looks wrong: {ones}/400");
+    }
+}

@@ -1,0 +1,291 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this vendored shim provides exactly the surface the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic 64-bit PRNG (xoshiro256++ seeded via
+//!   SplitMix64, the same construction the real `rand` documents for seeding)
+//! * [`SeedableRng::seed_from_u64`]
+//! * [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`], [`Rng::fill_bytes`]
+//!
+//! Statistical quality matches xoshiro256++; the streams are *not* bit-equal
+//! to upstream `rand 0.8`, which is fine for this workspace: every consumer
+//! seeds explicitly and only relies on determinism within one binary.
+
+use core::ops::{Range, RangeInclusive};
+
+/// Core RNG abstraction: a source of uniformly-distributed 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+/// An RNG that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the full value domain via
+/// [`Rng::gen`]. Mirrors `rand::distributions::Standard` coverage for the
+/// primitives this workspace draws.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)`, using the top 53 bits as the real crate does.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)`, using 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Map a uniform 64-bit word onto `[0, s)` with one widening multiply
+/// (Lemire reduction, no division; bias is at most s/2^64 — negligible for
+/// the workload-generation use here).
+fn lemire(word: u64, s: u64) -> u64 {
+    ((word as u128 * s as u128) >> 64) as u64
+}
+
+// Span arithmetic runs in the same-width *unsigned* counterpart `$u`: the
+// bit-pattern cast makes `end - start` wrap to the true span even for signed
+// ranges wider than `$t::MAX` (e.g. `i64::MIN..0`), where computing in the
+// signed domain would overflow or sign-extend garbage.
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                let offset = lemire(rng.next_u64(), span);
+                ((self.start as $u).wrapping_add(offset as $u)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                let offset = match span.checked_add(1) {
+                    Some(s) => lemire(rng.next_u64(), s),
+                    // Span covers the whole 64-bit domain: every word is valid.
+                    None => rng.next_u64(),
+                };
+                ((start as $u).wrapping_add(offset as $u)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = <$t as Standard>::sample(rng);
+                // The two roundings in start + unit*(end-start) can land on
+                // `end` itself for unrepresentable endpoints; clamp to keep
+                // the half-open contract.
+                let v = self.start + unit * (self.end - self.start);
+                v.clamp(self.start, self.end.next_down())
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "gen_range: empty range");
+                let unit = <$t as Standard>::sample(rng);
+                (start + unit * (end - start)).clamp(start, end)
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// The user-facing RNG extension trait.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        <f64 as Standard>::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator, seeded through SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors
+            // (and used by rand's seed_from_u64).
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-3i64..17);
+            assert!((-3..17).contains(&v));
+            let u = rng.gen_range(0usize..=5);
+            assert!(u <= 5);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_signed_spans_wider_than_i64_max() {
+        // Regression: spans wider than i64::MAX used to sign-extend through
+        // the wide cast, yielding out-of-range values (i64::MIN..0 returned
+        // non-negatives) or overflowing on the full inclusive domain.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(rng.gen_range(i64::MIN..0) < 0);
+            let v = rng.gen_range(i64::MIN..=i64::MAX); // must not panic
+            let _ = v;
+            let w = rng.gen_range(0u64..=u64::MAX); // full unsigned domain
+            let _ = w;
+            let b = rng.gen_range(i8::MIN..=i8::MAX);
+            let _ = b;
+            assert!(rng.gen_range(i64::MIN..i64::MAX) < i64::MAX);
+        }
+        // The full-domain paths actually cover the domain (statistically:
+        // both halves show up quickly).
+        let mut neg = false;
+        let mut pos = false;
+        for _ in 0..64 {
+            let v = rng.gen_range(i64::MIN..=i64::MAX);
+            neg |= v < 0;
+            pos |= v >= 0;
+        }
+        assert!(neg && pos, "full i64 domain should hit both signs");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}
