@@ -27,7 +27,7 @@ fn bloom_ablation(n: u64) {
     for (bits, label) in [(10usize, "bloom 10 bits/key"), (0, "no bloom")] {
         let device = Arc::new(Device::new(DeviceProfile::SATA_SSD));
         let cache = Arc::new(BufferCache::new(64)); // small: misses hit the device
-        let mut tree = LsmTree::new(
+        let tree = LsmTree::new(
             Arc::clone(&device),
             cache,
             Arc::new(NoopHook),
@@ -110,7 +110,7 @@ fn merge_policy_ablation(n: usize) {
     ] {
         let device = Arc::new(Device::new(DeviceProfile::SATA_SSD));
         let cache = Arc::new(BufferCache::new(1024));
-        let mut tree = LsmTree::new(
+        let tree = LsmTree::new(
             Arc::clone(&device),
             cache,
             Arc::new(NoopHook),

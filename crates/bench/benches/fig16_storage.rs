@@ -35,7 +35,7 @@ fn measure<G: Generator>(
                 ..Default::default()
             };
             let mut gen = make_gen();
-            let (mut cluster, _) = ingest(&mut gen, n, &cfg, Some(closed.clone()));
+            let (cluster, _) = ingest(&mut gen, n, &cfg, Some(closed.clone()));
             cluster.merge_all();
             out.push((format!("{fmt_name}/{scheme_name}"), disk_size(&cluster)));
         }

@@ -24,7 +24,7 @@ fn run(fmt: StorageFormat, scheme: CompressionScheme, n: usize, updates: bool) -
         primary_key_index: true, // the paper's suggested pk index ([28,29])
         ..Default::default()
     };
-    let mut cluster = Cluster::create_dataset(
+    let cluster = Cluster::create_dataset(
         cfg.cluster_config(),
         cfg.dataset_config("tweets", Some(twitter_closed_type())),
     );

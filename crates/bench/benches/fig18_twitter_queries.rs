@@ -41,7 +41,7 @@ fn main() {
                 let cfg =
                     ExpConfig { format: fmt, compression: scheme, device, ..Default::default() };
                 let mut gen = TwitterGen::new(1);
-                let (mut cluster, _) = ingest(&mut gen, n, &cfg, Some(twitter_closed_type()));
+                let (cluster, _) = ingest(&mut gen, n, &cfg, Some(twitter_closed_type()));
                 cluster.merge_all();
                 let cells: Vec<String> = queries
                     .iter()

@@ -52,7 +52,7 @@ fn main() {
                 let cfg =
                     ExpConfig { format: fmt, compression: scheme, device, ..Default::default() };
                 let mut gen = SensorsGen::new(1);
-                let (mut cluster, _) = ingest(&mut gen, n, &cfg, Some(sensors_closed_type()));
+                let (cluster, _) = ingest(&mut gen, n, &cfg, Some(sensors_closed_type()));
                 cluster.merge_all();
                 let cells: Vec<String> = queries
                     .iter()

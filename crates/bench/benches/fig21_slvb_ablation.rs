@@ -29,7 +29,7 @@ fn measure<G: Generator>(
     .map(|(fmt, name)| {
         let cfg = ExpConfig { format: fmt, device: DeviceProfile::RAM, ..Default::default() };
         let mut gen = make_gen();
-        let (mut cluster, _) = ingest(&mut gen, n, &cfg, Some(closed.clone()));
+        let (cluster, _) = ingest(&mut gen, n, &cfg, Some(closed.clone()));
         cluster.merge_all();
         (name, disk_size(&cluster))
     })

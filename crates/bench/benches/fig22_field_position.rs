@@ -58,7 +58,7 @@ fn main() {
     for (fmt, name) in formats {
         let cfg = ExpConfig { format: fmt, device: DeviceProfile::SATA_SSD, ..Default::default() };
         let mut gen = WideGen::new(1);
-        let (mut cluster, _) = ingest(&mut gen, n_large, &cfg, Some(wide_closed_type()));
+        let (cluster, _) = ingest(&mut gen, n_large, &cfg, Some(wide_closed_type()));
         cluster.merge_all();
         let cells: Vec<String> = probes
             .iter()
@@ -88,7 +88,7 @@ fn main() {
                 ..Default::default()
             };
             let mut gen = WideGen::new(1);
-            let (mut cluster, _) = ingest(&mut gen, n_small, &cfg, Some(wide_closed_type()));
+            let (cluster, _) = ingest(&mut gen, n_small, &cfg, Some(wide_closed_type()));
             cluster.merge_all();
             let cells: Vec<String> = probes
                 .iter()

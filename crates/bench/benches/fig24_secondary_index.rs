@@ -46,7 +46,7 @@ fn main() {
                 secondary_index_on: Some("timestamp_ms".to_string()),
                 ..Default::default()
             };
-            let mut cluster = Cluster::create_dataset(
+            let cluster = Cluster::create_dataset(
                 cfg.cluster_config(),
                 cfg.dataset_config("tweets", Some(twitter_closed_type())),
             );

@@ -37,7 +37,7 @@ fn main() {
             };
             let mut gen = TwitterGen::new(1);
             let n = per_node * nodes;
-            let (mut cluster, report) = ingest(&mut gen, n, &cfg, Some(twitter_closed_type()));
+            let (cluster, report) = ingest(&mut gen, n, &cfg, Some(twitter_closed_type()));
             cluster.merge_all();
             row(
                 &format!("{nodes}/{fmt_name}"),

@@ -42,7 +42,7 @@ fn main() {
                 ..Default::default()
             };
             let mut gen = TwitterGen::new(1);
-            let (mut cluster, _) =
+            let (cluster, _) =
                 ingest(&mut gen, per_node * nodes, &cfg, Some(twitter_closed_type()));
             cluster.merge_all();
             let mut broadcast = 0u64;

@@ -86,7 +86,7 @@ pub fn ingest<G: Generator>(
     cfg: &ExpConfig,
     closed: Option<ObjectType>,
 ) -> (Cluster, FeedReport) {
-    let mut cluster =
+    let cluster =
         Cluster::create_dataset(cfg.cluster_config(), cfg.dataset_config(gen.name(), closed));
     let records: Vec<Value> = (0..n).map(|_| gen.next_record()).collect();
     let report = cluster.feed(records, FeedMode::Insert).expect("feed");

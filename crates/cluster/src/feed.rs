@@ -39,8 +39,11 @@ impl FeedReport {
 
 impl Cluster {
     /// Ingest a stream through the feed. Records are routed by primary-key
-    /// hash and applied partition-parallel.
-    pub fn feed<I>(&mut self, records: I, mode: FeedMode) -> Result<FeedReport, AdmError>
+    /// hash and applied by N genuinely parallel partition threads — each
+    /// partition has exactly one writer (its feed pipeline), while its
+    /// background maintenance worker (if configured) flushes and merges
+    /// concurrently and readers keep full access.
+    pub fn feed<I>(&self, records: I, mode: FeedMode) -> Result<FeedReport, AdmError>
     where
         I: IntoIterator<Item = Value>,
     {
@@ -61,27 +64,23 @@ impl Cluster {
         let snaps = self.io_snapshots();
         let start = Instant::now();
         // One worker per partition, mirroring per-partition feed pipelines.
-        let per = self.config.partitions_per_node;
         let results: Vec<Result<(), AdmError>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n_parts);
-            for (idx, (node, batch)) in self
-                .nodes
-                .iter_mut()
-                .flat_map(|n| n.partitions.iter_mut())
+            let handles: Vec<_> = self
+                .partitions()
+                .into_iter()
                 .zip(per_partition)
-                .enumerate()
-            {
-                let _ = idx / per;
-                handles.push(scope.spawn(move || {
-                    for record in &batch {
-                        match mode {
-                            FeedMode::Insert => node.insert(record)?,
-                            FeedMode::Upsert => node.upsert(record)?,
+                .map(|(partition, batch)| {
+                    scope.spawn(move || {
+                        for record in &batch {
+                            match mode {
+                                FeedMode::Insert => partition.insert(record)?,
+                                FeedMode::Upsert => partition.upsert(record)?,
+                            }
                         }
-                    }
-                    Ok(())
-                }));
-            }
+                        Ok(())
+                    })
+                })
+                .collect();
             handles.into_iter().map(|h| h.join().expect("feed worker panicked")).collect()
         });
         for r in results {
@@ -125,7 +124,7 @@ mod tests {
 
     #[test]
     fn insert_feed_lands_everything() {
-        let mut c = cluster(StorageFormat::Inferred);
+        let c = cluster(StorageFormat::Inferred);
         let mut gen = TwitterGen::new(4);
         let records: Vec<_> = (0..300).map(|_| gen.next_record()).collect();
         let report = c.feed(records, FeedMode::Insert).unwrap();
@@ -137,8 +136,59 @@ mod tests {
     }
 
     #[test]
+    fn background_feed_matches_synchronous_feed() {
+        // The same stream through sync-flush and background-flush clusters
+        // must land identically; the background writers must never stall on
+        // flush work.
+        let records: Vec<_> = {
+            let mut gen = TwitterGen::new(11);
+            (0..400).map(|_| gen.next_record()).collect()
+        };
+        let config = |background: bool| {
+            DatasetConfig::new("Tweets", "id")
+                .with_format(StorageFormat::Inferred)
+                .with_memtable_budget(32 * 1024)
+                .with_merge_policy(tc_lsm::MergePolicy::Prefix {
+                    max_mergeable_size: 8 * 1024 * 1024,
+                    max_tolerable_components: 4,
+                })
+                .with_background_maintenance(background)
+        };
+        let topo = || ClusterConfig {
+            nodes: 1,
+            partitions_per_node: 4,
+            device: DeviceProfile::RAM,
+            cache_budget_per_node: 4 * 1024 * 1024,
+        };
+        let sync = Cluster::create_dataset(topo(), config(false));
+        sync.feed(records.clone(), FeedMode::Insert).unwrap();
+        sync.flush_all();
+
+        let bg = Cluster::create_dataset(topo(), config(true));
+        bg.feed(records, FeedMode::Insert).unwrap();
+        bg.await_quiescent();
+        // Captured BEFORE flush_all: these must come from budget-triggered
+        // worker flushes, not the explicit flush below.
+        for p in bg.partitions() {
+            assert_eq!(p.lsm_stats().writer_stall_nanos, 0, "background writers never stall");
+            assert!(p.lsm_stats().flushes > 0, "budget flushes ran on the workers");
+        }
+        bg.flush_all();
+
+        for c in [&sync, &bg] {
+            let res =
+                c.query(&twitter_q1(QueryOptions::default()), &ExecOptions::default()).unwrap();
+            assert_eq!(single_i64(&res.rows), Some(400));
+        }
+        // Same records per partition regardless of flush scheduling.
+        let counts =
+            |c: &Cluster| -> Vec<u64> { c.partitions().iter().map(|p| p.ingested()).collect() };
+        assert_eq!(counts(&sync), counts(&bg));
+    }
+
+    #[test]
     fn upsert_feed_with_50_percent_updates() {
-        let mut c = cluster(StorageFormat::Inferred);
+        let c = cluster(StorageFormat::Inferred);
         let mut gen = TwitterGen::new(6);
         let originals: Vec<_> = (0..200).map(|_| gen.next_record()).collect();
         c.feed(originals.clone(), FeedMode::Insert).unwrap();

@@ -107,17 +107,14 @@ impl Cluster {
         (hash_u64(pk as u64) % self.num_partitions() as u64) as usize
     }
 
-    fn partition_mut(&mut self, idx: usize) -> &mut Dataset {
+    /// The partition at a global index.
+    pub fn partition(&self, idx: usize) -> &Dataset {
         let per = self.config.partitions_per_node;
-        &mut self.nodes[idx / per].partitions[idx % per]
+        &self.nodes[idx / per].partitions[idx % per]
     }
 
     fn pk_of(&self, record: &Value) -> Result<i64, AdmError> {
-        let field = {
-            let per = self.config.partitions_per_node;
-            let _ = per;
-            &self.nodes[0].partitions[0].config().primary_key
-        };
+        let field = &self.nodes[0].partitions[0].config().primary_key;
         record
             .get_field(field)
             .and_then(Value::as_i64)
@@ -125,28 +122,23 @@ impl Cluster {
     }
 
     /// Route one record to its partition.
-    pub fn insert(&mut self, record: &Value) -> Result<(), AdmError> {
+    pub fn insert(&self, record: &Value) -> Result<(), AdmError> {
         let pk = self.pk_of(record)?;
-        let p = self.partition_of(pk);
-        self.partition_mut(p).insert(record)
+        self.partition(self.partition_of(pk)).insert(record)
     }
 
-    pub fn upsert(&mut self, record: &Value) -> Result<(), AdmError> {
+    pub fn upsert(&self, record: &Value) -> Result<(), AdmError> {
         let pk = self.pk_of(record)?;
-        let p = self.partition_of(pk);
-        self.partition_mut(p).upsert(record)
+        self.partition(self.partition_of(pk)).upsert(record)
     }
 
-    pub fn delete(&mut self, pk: i64) -> Result<bool, AdmError> {
-        let p = self.partition_of(pk);
-        self.partition_mut(p).delete(pk)
+    pub fn delete(&self, pk: i64) -> Result<bool, AdmError> {
+        self.partition(self.partition_of(pk)).delete(pk)
     }
 
     /// Point lookup.
     pub fn get(&self, pk: i64) -> Result<Option<Value>, AdmError> {
-        let p = self.partition_of(pk);
-        let per = self.config.partitions_per_node;
-        self.nodes[p / per].partitions[p % per].get(pk)
+        self.partition(self.partition_of(pk)).get(pk)
     }
 
     /// All partitions, in global order.
@@ -159,21 +151,24 @@ impl Cluster {
         execute(&self.partitions(), q, opts)
     }
 
-    /// Flush every partition (and its auxiliary indexes).
-    pub fn flush_all(&mut self) {
-        for node in &mut self.nodes {
-            for p in &mut node.partitions {
-                p.flush();
-            }
+    /// Flush every partition (and its auxiliary indexes) synchronously.
+    pub fn flush_all(&self) {
+        for p in self.partitions() {
+            p.flush();
+        }
+    }
+
+    /// Block until every partition's background maintenance has drained.
+    pub fn await_quiescent(&self) {
+        for p in self.partitions() {
+            p.await_quiescent();
         }
     }
 
     /// Merge every partition down to one component.
-    pub fn merge_all(&mut self) {
-        for node in &mut self.nodes {
-            for p in &mut node.partitions {
-                p.force_full_merge();
-            }
+    pub fn merge_all(&self) {
+        for p in self.partitions() {
+            p.force_full_merge();
         }
     }
 
@@ -233,7 +228,7 @@ mod tests {
 
     #[test]
     fn hash_partitioning_spreads_and_routes() {
-        let mut c = small_cluster(2);
+        let c = small_cluster(2);
         let mut gen = TwitterGen::new(1);
         for _ in 0..200 {
             c.insert(&gen.next_record()).unwrap();
@@ -251,7 +246,7 @@ mod tests {
 
     #[test]
     fn queries_span_all_partitions() {
-        let mut c = small_cluster(3);
+        let c = small_cluster(3);
         let mut gen = TwitterGen::new(2);
         for _ in 0..150 {
             c.insert(&gen.next_record()).unwrap();
@@ -267,7 +262,7 @@ mod tests {
 
     #[test]
     fn per_partition_schemas_are_independent() {
-        let mut c = small_cluster(2);
+        let c = small_cluster(2);
         // A field that lands (by pk hash) on one specific partition only.
         let lone = parse(r#"{"id": 12345, "only_here": true}"#).unwrap();
         let p_target = c.partition_of(12345);
@@ -293,7 +288,7 @@ mod tests {
 
     #[test]
     fn deletes_and_upserts_route() {
-        let mut c = small_cluster(1);
+        let c = small_cluster(1);
         for i in 0..50 {
             c.insert(&parse(&format!(r#"{{"id": {i}, "v": 1}}"#)).unwrap()).unwrap();
         }
@@ -311,7 +306,7 @@ mod tests {
         let counts: Vec<i64> = [1usize, 2, 4]
             .into_iter()
             .map(|nodes| {
-                let mut c = small_cluster(nodes);
+                let c = small_cluster(nodes);
                 let mut gen = TwitterGen::new(9);
                 for _ in 0..120 {
                     c.insert(&gen.next_record()).unwrap();

@@ -1,11 +1,18 @@
-//! The tuple compactor as an LSM component hook (paper §3.1).
+//! The tuple compactor as an LSM component hook (paper §3.1), plus the
+//! background maintenance worker that drives flushes and the merge policy
+//! off the write path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 use tc_adm::{ObjectType, Value};
 use tc_schema::Schema;
 use tc_vector::infer_and_compact;
 
-use tc_lsm::ComponentHook;
+use tc_lsm::{ComponentHook, LsmTree};
 
 /// The tuple compactor: shared between a dataset's LSM tree (as its flush /
 /// merge hook) and its query path (which snapshots the schema dictionary).
@@ -15,6 +22,16 @@ pub struct TupleCompactor {
     /// The partition's in-memory schema. Flush inference, anti-schema
     /// processing, and query-time snapshots synchronize on this lock only.
     schema: Mutex<Schema>,
+    /// Cached `Arc` snapshot of the field-name dictionary, keyed by
+    /// (load generation, dictionary length). The dictionary is append-only
+    /// between `load_schema` calls, so the pair identifies its content; the
+    /// point-lookup hot path then pays an `Arc` clone instead of a deep
+    /// dictionary copy. Lock order: `schema` before `dict_cache` (the only
+    /// nesting of the two).
+    dict_cache: Mutex<(u64, usize, std::sync::Arc<tc_schema::FieldNameDictionary>)>,
+    /// Bumped by `load_schema` (recovery), which may shrink/replace the
+    /// dictionary without changing its length.
+    generation: std::sync::atomic::AtomicU64,
     /// The dataset's declared type (to skip declared fields during
     /// anti-schema processing).
     declared: ObjectType,
@@ -22,7 +39,12 @@ pub struct TupleCompactor {
 
 impl TupleCompactor {
     pub fn new(declared: ObjectType) -> Self {
-        TupleCompactor { schema: Mutex::new(Schema::new()), declared }
+        TupleCompactor {
+            schema: Mutex::new(Schema::new()),
+            dict_cache: Mutex::new((0, 0, std::sync::Arc::new(Default::default()))),
+            generation: std::sync::atomic::AtomicU64::new(0),
+            declared,
+        }
     }
 
     /// Snapshot the current in-memory schema (query startup / schema
@@ -31,10 +53,27 @@ impl TupleCompactor {
         self.schema.lock().clone()
     }
 
+    /// Snapshot only the field-name dictionary — the part decoders need.
+    /// Callers on the read path (which may hold the tree's state read
+    /// lock) usually pay just an `Arc` clone: the deep copy happens only
+    /// when the dictionary actually grew since the last snapshot.
+    pub fn dict_snapshot(&self) -> std::sync::Arc<tc_schema::FieldNameDictionary> {
+        let schema = self.schema.lock();
+        let generation = self.generation.load(Ordering::Acquire);
+        let len = schema.dict().len();
+        let mut cache = self.dict_cache.lock();
+        if cache.0 != generation || cache.1 != len {
+            *cache = (generation, len, std::sync::Arc::new(schema.dict().clone()));
+        }
+        std::sync::Arc::clone(&cache.2)
+    }
+
     /// Replace the in-memory schema (recovery reloads the newest valid
     /// component's schema — §3.1.2).
     pub fn load_schema(&self, schema: Schema) {
-        *self.schema.lock() = schema;
+        let mut guard = self.schema.lock();
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        *guard = schema;
     }
 
     /// Total live schema nodes (observability/tests).
@@ -83,6 +122,163 @@ impl ComponentHook for TupleCompactor {
     /// newest; restated here for clarity.)
     fn merge_metadata(&self, inputs: &[Option<&[u8]>]) -> Option<Vec<u8>> {
         inputs.iter().rev().find_map(|m| m.map(<[u8]>::to_vec))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Background maintenance: flush scheduling + merge-policy driver
+// ---------------------------------------------------------------------
+
+enum Job {
+    /// Flush the tree, then evaluate the merge policy (paper §2.2: merges
+    /// are scheduled after flushes change the component list).
+    FlushThenMerge,
+    Shutdown,
+}
+
+/// Outstanding-work gauge: counts queued + in-flight jobs so
+/// [`MaintenanceWorker::await_quiescent`] can block until the pipeline
+/// drains. (std `Condvar` — the vendored `parking_lot` shim has none.)
+#[derive(Default)]
+struct Gauge {
+    outstanding: StdMutex<usize>,
+    drained: Condvar,
+}
+
+impl Gauge {
+    fn add(&self) {
+        *self.outstanding.lock().expect("gauge lock") += 1;
+    }
+
+    fn done(&self) {
+        let mut n = self.outstanding.lock().expect("gauge lock");
+        *n -= 1;
+        if *n == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut n = self.outstanding.lock().expect("gauge lock");
+        while *n > 0 {
+            n = self.drained.wait(n).expect("gauge lock");
+        }
+    }
+}
+
+/// A per-partition background maintenance worker: one thread that executes
+/// flushes and drives the merge policy for an [`LsmTree`], decoupling both
+/// from the writer ("Breaking Down Memory Walls"-style flush scheduling;
+/// the tuple compactor's schema commits keep their existing lock discipline
+/// because the tree's flush path already serializes them).
+///
+/// Scheduling is level-triggered and deduplicated: `schedule_flush` is a
+/// no-op while a flush is already queued (the `queued` latch clears when
+/// the worker *starts* the flush, so writes landing mid-flush re-arm it).
+pub struct MaintenanceWorker {
+    tx: Sender<Job>,
+    gauge: Arc<Gauge>,
+    queued: Arc<AtomicBool>,
+    /// Set when the flush/merge pipeline panicked; the worker stays alive
+    /// settling jobs (so no awaiter hangs) but stops touching the tree,
+    /// and `schedule_flush` starts refusing work so callers can tell the
+    /// pipeline is dead.
+    poisoned: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MaintenanceWorker {
+    /// Spawn the worker thread for `tree`.
+    pub fn spawn(tree: Arc<LsmTree>) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let gauge = Arc::new(Gauge::default());
+        let queued = Arc::new(AtomicBool::new(false));
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let worker_gauge = Arc::clone(&gauge);
+        let worker_queued = Arc::clone(&queued);
+        let worker_poisoned = Arc::clone(&poisoned);
+        let handle = std::thread::Builder::new()
+            .name("tc-maintenance".into())
+            .spawn(move || {
+                // Once the pipeline panics (e.g. a hook on a malformed
+                // record), the worker turns *poisoned*: it stays alive and
+                // keeps settling the gauge — so no `await_quiescent` ever
+                // hangs and no send ever panics a writer — but it stops
+                // touching the tree, and `schedule_flush` starts refusing.
+                // The tree itself also refuses to freeze over the frozen
+                // memtable a panicked flush left behind, so a direct flush
+                // attempt fails loudly rather than silently dropping data.
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        Job::FlushThenMerge => {
+                            // Clear the latch *before* flushing: a write
+                            // racing the flush can queue the next one.
+                            worker_queued.store(false, Ordering::SeqCst);
+                            if !worker_poisoned.load(Ordering::SeqCst)
+                                && std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    tree.flush();
+                                    tree.maybe_merge();
+                                }))
+                                .is_err()
+                            {
+                                worker_poisoned.store(true, Ordering::SeqCst);
+                            }
+                            worker_gauge.done();
+                        }
+                        Job::Shutdown => {
+                            worker_gauge.done();
+                            break;
+                        }
+                    }
+                }
+            })
+            .expect("spawn maintenance worker");
+        MaintenanceWorker { tx, gauge, queued, poisoned, handle: Some(handle) }
+    }
+
+    /// Queue a flush (followed by a merge-policy pass) unless one is
+    /// already pending. Returns whether a job was enqueued; false also
+    /// means the pipeline cannot make progress (flush already queued,
+    /// worker poisoned, or worker gone) — callers polling for quiescence
+    /// must not retry on false, or they would spin against a dead pipeline.
+    pub fn schedule_flush(&self) -> bool {
+        if self.poisoned.load(Ordering::SeqCst) {
+            return false;
+        }
+        if self.queued.compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst).is_err() {
+            return false;
+        }
+        self.gauge.add();
+        if self.tx.send(Job::FlushThenMerge).is_err() {
+            self.queued.store(false, Ordering::SeqCst);
+            self.gauge.done();
+            return false;
+        }
+        true
+    }
+
+    /// Block until every queued job has completed.
+    pub fn await_quiescent(&self) {
+        self.gauge.wait_zero();
+    }
+
+    /// Did the flush/merge pipeline panic? A poisoned worker settles jobs
+    /// without touching the tree, so pollers must stop re-arming — the
+    /// memtable will never drain.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for MaintenanceWorker {
+    fn drop(&mut self) {
+        self.gauge.add();
+        if self.tx.send(Job::Shutdown).is_err() {
+            self.gauge.done(); // worker already gone
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -150,6 +346,131 @@ mod tests {
         let old = b"old".to_vec();
         let new = b"new".to_vec();
         assert_eq!(c.merge_metadata(&[Some(&old), Some(&new)]), Some(b"new".to_vec()));
+    }
+
+    #[test]
+    fn maintenance_worker_flushes_and_merges_off_thread() {
+        use tc_lsm::entry::encode_u64_key;
+        use tc_lsm::{LsmOptions, MergePolicy, NoopHook};
+        use tc_storage::device::{Device, DeviceProfile};
+        use tc_storage::BufferCache;
+
+        let tree = Arc::new(LsmTree::new(
+            Arc::new(Device::new(DeviceProfile::RAM)),
+            Arc::new(BufferCache::new(256)),
+            Arc::new(NoopHook),
+            LsmOptions {
+                memtable_budget: 1024,
+                auto_flush: false,
+                merge_policy: MergePolicy::Constant { max_components: 2 },
+                ..Default::default()
+            },
+        ));
+        let worker = MaintenanceWorker::spawn(Arc::clone(&tree));
+        for round in 0..3u64 {
+            for i in 0..50u64 {
+                tree.insert(encode_u64_key(round * 100 + i), vec![0u8; 32]);
+            }
+            assert!(worker.schedule_flush());
+            worker.await_quiescent();
+        }
+        let stats = tree.stats();
+        assert_eq!(stats.flushes, 3);
+        assert!(stats.merges > 0, "constant policy fires from the worker");
+        assert_eq!(stats.writer_stall_nanos, 0, "no inline maintenance on the writer");
+        assert_eq!(tree.count(), 150);
+        drop(worker); // shuts the thread down cleanly
+    }
+
+    #[test]
+    fn panicking_pipeline_never_wedges_awaiters() {
+        use tc_lsm::entry::encode_u64_key;
+        use tc_lsm::{LsmOptions, MergePolicy};
+        use tc_storage::device::{Device, DeviceProfile};
+        use tc_storage::BufferCache;
+
+        struct PanicHook;
+        impl ComponentHook for PanicHook {
+            fn on_flush_record(&self, _payload: &[u8]) -> Vec<u8> {
+                panic!("malformed record reached the hook");
+            }
+        }
+        let tree = Arc::new(LsmTree::new(
+            Arc::new(Device::new(DeviceProfile::RAM)),
+            Arc::new(BufferCache::new(64)),
+            Arc::new(PanicHook),
+            LsmOptions {
+                auto_flush: false,
+                merge_policy: MergePolicy::NoMerge,
+                ..Default::default()
+            },
+        ));
+        let worker = MaintenanceWorker::spawn(Arc::clone(&tree));
+        tree.insert(encode_u64_key(1), b"x".to_vec());
+        assert!(worker.schedule_flush());
+        // The flush panics on the worker; the gauge must still settle so
+        // this returns instead of hanging forever.
+        worker.await_quiescent();
+        // The poisoned worker refuses further work (so pollers like
+        // Dataset::await_quiescent stop instead of spinning forever).
+        assert!(!worker.schedule_flush(), "poisoned worker refuses new flushes");
+        worker.await_quiescent();
+        drop(worker); // clean shutdown still works
+    }
+
+    #[test]
+    fn schedule_flush_deduplicates_while_pending() {
+        use std::sync::mpsc::{channel, Receiver, Sender};
+        use tc_lsm::entry::encode_u64_key;
+        use tc_lsm::{LsmOptions, MergePolicy};
+        use tc_storage::device::{Device, DeviceProfile};
+        use tc_storage::BufferCache;
+
+        // A gate hook: signals when the worker enters a flush, then blocks
+        // until the test releases it — pins the worker inside job 1
+        // deterministically (no wall-clock sleeps) while the test hammers
+        // the schedule latch.
+        struct GateHook {
+            entered: StdMutex<Sender<()>>,
+            release: StdMutex<Receiver<()>>,
+        }
+        impl ComponentHook for GateHook {
+            fn on_flush_record(&self, payload: &[u8]) -> Vec<u8> {
+                self.entered.lock().unwrap().send(()).unwrap();
+                self.release.lock().unwrap().recv().unwrap();
+                payload.to_vec()
+            }
+        }
+        let (entered_tx, entered_rx) = channel();
+        let (release_tx, release_rx) = channel();
+        let tree = Arc::new(LsmTree::new(
+            Arc::new(Device::new(DeviceProfile::RAM)),
+            Arc::new(BufferCache::new(64)),
+            Arc::new(GateHook {
+                entered: StdMutex::new(entered_tx),
+                release: StdMutex::new(release_rx),
+            }),
+            LsmOptions {
+                auto_flush: false,
+                merge_policy: MergePolicy::NoMerge,
+                ..Default::default()
+            },
+        ));
+        let worker = MaintenanceWorker::spawn(Arc::clone(&tree));
+        tree.insert(encode_u64_key(1), b"x".to_vec());
+        assert!(worker.schedule_flush(), "job 1 accepted");
+        entered_rx.recv().unwrap(); // job 1 started (latch cleared) and is now gated
+        tree.insert(encode_u64_key(2), b"y".to_vec());
+        assert!(worker.schedule_flush(), "latch re-arms once job 1 starts");
+        // While job 2 sits queued behind the gated job 1, every repeat must
+        // dedupe.
+        let repeats: Vec<bool> = (0..8).map(|_| worker.schedule_flush()).collect();
+        assert!(repeats.iter().all(|accepted| !accepted), "queued flush dedupes repeats");
+        release_tx.send(()).unwrap(); // job 1's record
+        entered_rx.recv().unwrap(); // job 2 reached the hook
+        release_tx.send(()).unwrap(); // job 2's record
+        worker.await_quiescent();
+        assert_eq!(tree.stats().flushes, 2, "both distinct jobs flushed");
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub struct DatasetConfig {
     pub secondary_index_on: Option<String>,
     /// Bloom filter budget for point lookups.
     pub bloom_bits_per_key: usize,
+    /// Run flushes and the merge policy on a background maintenance worker
+    /// instead of inline on the writing thread. Writers then never stall on
+    /// flush/merge work; readers keep full access throughout (the paper's
+    /// "free" piggybacked compaction actually leaves the write path).
+    pub background_maintenance: bool,
 }
 
 impl DatasetConfig {
@@ -90,6 +95,7 @@ impl DatasetConfig {
             primary_key_index: false,
             secondary_index_on: None,
             bloom_bits_per_key: 10,
+            background_maintenance: false,
         }
     }
 
@@ -138,6 +144,11 @@ impl DatasetConfig {
         self.wal_enabled = enabled;
         self
     }
+
+    pub fn with_background_maintenance(mut self, enabled: bool) -> Self {
+        self.background_maintenance = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -159,11 +170,13 @@ mod tests {
             .with_format(StorageFormat::Open)
             .with_compression(CompressionScheme::Snappy)
             .with_primary_key_index(true)
-            .with_secondary_index("timestamp_ms");
+            .with_secondary_index("timestamp_ms")
+            .with_background_maintenance(true);
         assert_eq!(c.format, StorageFormat::Open);
         assert_eq!(c.compression, CompressionScheme::Snappy);
         assert!(c.primary_key_index);
         assert_eq!(c.secondary_index_on.as_deref(), Some("timestamp_ms"));
+        assert!(c.background_maintenance);
     }
 
     #[test]

@@ -5,30 +5,66 @@
 //! a keys-only primary-key index (upsert fast path, §3.2.2) and a secondary
 //! index (Fig 24), all sharing the partition's device and the node's buffer
 //! cache. Cross-partition distribution lives in `tc-cluster`.
+//!
+//! # Threading model
+//!
+//! Every method takes `&self`; a `Dataset` can be shared across threads
+//! behind an `Arc`. The supported concurrency is **one logical writer per
+//! partition** (`insert`/`upsert`/`delete` — feeds already route each
+//! partition's records to one thread) plus any number of concurrent
+//! readers (`get`/`scan_*`/queries) and, with
+//! [`DatasetConfig::background_maintenance`], a maintenance worker running
+//! flushes and merges off the write path. Readers always observe
+//! consistent snapshots: [`Dataset::snapshot_scan`] captures the scan
+//! sources *and* the schema-dictionary decoder in one locked section of
+//! the primary tree, so a record is never materialized against a
+//! dictionary that predates (or post-dates a prune of) its codes.
+//!
+//! Consistency scope: the snapshot guarantee covers the **primary index**.
+//! Auxiliary indexes (primary-key index, secondary index) are separate LSM
+//! trees updated around — not atomically with — the primary write, so a
+//! reader racing the writer may see a secondary posting before its record
+//! lands (the follow-up primary lookup then skips it) or briefly miss a
+//! just-reinserted posting during an upsert. This matches AsterixDB's
+//! non-transactional secondary-index reads; `secondary_range` filters
+//! through primary lookups, so it returns live records only — it never
+//! fabricates rows, it can only exhibit read skew under concurrent writes.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use tc_adm::{AdmError, Value};
 use tc_lsm::entry::{encode_i64_key, Key};
+use tc_lsm::iter::MergedScan;
 use tc_lsm::secondary::{PrimaryKeyIndex, SecondaryIndex};
 use tc_lsm::{ComponentHook, LsmOptions, LsmTree, NoopHook};
 use tc_schema::Schema;
 use tc_storage::device::Device;
 use tc_storage::BufferCache;
 
-use crate::compactor::TupleCompactor;
+use crate::compactor::{MaintenanceWorker, TupleCompactor};
 use crate::config::{DatasetConfig, StorageFormat};
 use crate::decoder::RecordDecoder;
+
+/// Writers stall once the active memtable exceeds this multiple of its
+/// budget while background maintenance is catching up (bounded memory
+/// under saturation; see `maybe_schedule_maintenance`).
+pub const BACKPRESSURE_OVERHANG_FACTOR: usize = 4;
 
 /// A dataset partition.
 pub struct Dataset {
     config: DatasetConfig,
-    primary: LsmTree,
+    primary: Arc<LsmTree>,
     pk_index: Option<PrimaryKeyIndex>,
     secondary: Option<SecondaryIndex>,
     /// Present iff `config.format == Inferred`.
     compactor: Option<Arc<TupleCompactor>>,
-    ingested: u64,
+    /// Present iff `config.background_maintenance`.
+    maintenance: Option<MaintenanceWorker>,
+    /// Dictionary-less decoder built once at creation; `decoder()` stamps
+    /// the current dictionary snapshot onto it with `Arc` clones only.
+    decoder_template: RecordDecoder,
+    ingested: AtomicU64,
 }
 
 impl Dataset {
@@ -40,6 +76,9 @@ impl Dataset {
             merge_policy: config.merge_policy,
             bloom_bits_per_key: config.bloom_bits_per_key,
             wal_enabled: config.wal_enabled,
+            // With a background worker, the writer never flushes inline;
+            // the scheduler below reacts to the budget instead.
+            auto_flush: !config.background_maintenance,
         };
         let compactor = match config.format {
             StorageFormat::Inferred => Some(Arc::new(TupleCompactor::new(config.datatype.clone()))),
@@ -49,11 +88,15 @@ impl Dataset {
             Some(c) => Arc::clone(c) as Arc<dyn ComponentHook>,
             None => Arc::new(NoopHook),
         };
-        let primary = LsmTree::new(Arc::clone(&device), Arc::clone(&cache), hook, opts.clone());
-        // Index trees use small memtables and no compression (keys only).
+        let primary =
+            Arc::new(LsmTree::new(Arc::clone(&device), Arc::clone(&cache), hook, opts.clone()));
+        // Index trees use small memtables and no compression (keys only);
+        // they always flush inline (their flushes are tiny and only the
+        // writing thread touches them).
         let index_opts = LsmOptions {
             compression: tc_compress::CompressionScheme::None,
             memtable_budget: (config.memtable_budget / 8).max(64 * 1024),
+            auto_flush: true,
             ..opts
         };
         let pk_index = config.primary_key_index.then(|| {
@@ -63,7 +106,19 @@ impl Dataset {
             .secondary_index_on
             .is_some()
             .then(|| SecondaryIndex::new(Arc::clone(&device), Arc::clone(&cache), index_opts, 8));
-        Dataset { config, primary, pk_index, secondary, compactor, ingested: 0 }
+        let maintenance =
+            config.background_maintenance.then(|| MaintenanceWorker::spawn(Arc::clone(&primary)));
+        let decoder_template = RecordDecoder::new(config.format, config.datatype.clone(), None);
+        Dataset {
+            config,
+            primary,
+            pk_index,
+            secondary,
+            compactor,
+            maintenance,
+            decoder_template,
+            ingested: AtomicU64::new(0),
+        }
     }
 
     pub fn config(&self) -> &DatasetConfig {
@@ -76,7 +131,7 @@ impl Dataset {
 
     /// Records ingested (inserts + upserts).
     pub fn ingested(&self) -> u64 {
-        self.ingested
+        self.ingested.load(Ordering::Relaxed)
     }
 
     // -----------------------------------------------------------------
@@ -120,96 +175,97 @@ impl Dataset {
     // -----------------------------------------------------------------
 
     /// Insert a new record (no existence check — data feeds with fresh keys).
-    pub fn insert(&mut self, record: &Value) -> Result<(), AdmError> {
+    pub fn insert(&self, record: &Value) -> Result<(), AdmError> {
         let (_, key) = self.primary_key_of(record)?;
         let bytes = self.encode_record(record)?;
         if let Some(sec) = self.secondary_key_of(record) {
-            self.secondary.as_mut().expect("secondary configured").insert(&sec, &key);
+            self.secondary.as_ref().expect("secondary configured").insert(&sec, &key);
         }
-        if let Some(pki) = self.pk_index.as_mut() {
+        if let Some(pki) = self.pk_index.as_ref() {
             pki.insert(&key);
         }
-        self.primary.insert(key, bytes);
-        self.ingested += 1;
+        let over_budget = self.primary.insert(key, bytes);
+        self.ingested.fetch_add(1, Ordering::Relaxed);
+        self.maybe_schedule_maintenance(over_budget);
         Ok(())
     }
 
     /// Upsert: delete-then-insert (§3.2.2). The existence check goes
     /// through the primary-key index when configured, so brand-new keys
     /// skip the primary-index point lookup ([28, 29]).
-    pub fn upsert(&mut self, record: &Value) -> Result<(), AdmError> {
+    pub fn upsert(&self, record: &Value) -> Result<(), AdmError> {
         let (_, key) = self.primary_key_of(record)?;
         let may_exist = match &self.pk_index {
             Some(pki) => pki.contains(&key),
             None => true,
         };
         if may_exist {
-            if let Some((source, old)) = self.lookup_versioned(&key) {
-                self.delete_found(&key, &old, source == tc_lsm::tree::LookupSource::Disk)?;
+            if let Some(old) = self.lookup_live(&key) {
+                // The insert below re-checks the budget and schedules.
+                let _ = self.delete_found(&key, &old)?;
             }
         }
         self.insert(record)
     }
 
     /// Delete by primary key. Returns whether a record existed.
-    pub fn delete(&mut self, pk: i64) -> Result<bool, AdmError> {
+    pub fn delete(&self, pk: i64) -> Result<bool, AdmError> {
         let key = encode_i64_key(pk);
-        match self.lookup_versioned(&key) {
+        match self.lookup_live(&key) {
             None => Ok(false),
-            Some((source, old)) => {
-                self.delete_found(&key, &old, source == tc_lsm::tree::LookupSource::Disk)?;
+            Some(old) => {
+                let over_budget = self.delete_found(&key, &old)?;
+                self.maybe_schedule_maintenance(over_budget);
                 Ok(true)
             }
         }
     }
 
-    /// Live-record lookup that reports whether the found version is on disk
-    /// (⇒ it was counted by a flush) or memtable-only (⇒ never observed).
-    fn lookup_versioned(&self, key: &[u8]) -> Option<(tc_lsm::tree::LookupSource, Vec<u8>)> {
-        match self.primary.get_entry_with_source(key)? {
-            (tc_lsm::EntryKind::Record, payload, source) => Some((source, payload)),
-            (tc_lsm::EntryKind::AntiMatter, _, _) => None,
+    /// Live-record lookup (any source; deleted keys report as absent).
+    fn lookup_live(&self, key: &[u8]) -> Option<Vec<u8>> {
+        match self.primary.get_entry(key)? {
+            (tc_lsm::EntryKind::Record, payload) => Some(payload),
+            (tc_lsm::EntryKind::AntiMatter, _) => None,
         }
     }
 
     /// Having point-looked-up the old record bytes, enqueue the anti-matter
     /// entry (with anti-schema for inferred datasets) and fix the indexes.
-    /// `counted` says whether the old version reached disk: only counted
-    /// versions carry anti-schemas (their flush observed them — §3.2.2);
-    /// decrementing for a memtable-only version would corrupt the counters.
-    fn delete_found(&mut self, key: &Key, old_bytes: &[u8], counted: bool) -> Result<(), AdmError> {
-        // The anti-schema is only needed (and the decode only paid) when the
-        // compactor maintains a schema, or when a secondary index needs the
-        // old secondary key.
-        let needs_value = (self.compactor.is_some() && counted) || self.secondary.is_some();
+    /// Whether the anti-schema actually reaches the hook is decided by the
+    /// tree at apply time (`delete_versioned`): only versions a flush
+    /// observed carry decrements (§3.2.2) — and with background flushes the
+    /// "was it observed?" answer can change between our lookup and the
+    /// apply, so it must be resolved under the tree's lock, not here.
+    fn delete_found(&self, key: &Key, old_bytes: &[u8]) -> Result<bool, AdmError> {
+        // The decode is paid whenever the compactor maintains a schema or a
+        // secondary index needs the old secondary key. For a memtable-only
+        // version the tree will discard the attachment — that (rare:
+        // same-window re-update) wasted encode is the deliberate price of
+        // making the counted decision raceless under the tree's lock; a
+        // caller-side "skip if unflushed" check is exactly the race
+        // delete_versioned exists to close.
+        let needs_value = self.compactor.is_some() || self.secondary.is_some();
         let attachment = if needs_value {
             let old = self.decoder().materialize(old_bytes)?;
             if let Some(sec) = self.secondary_key_of(&old) {
-                self.secondary.as_mut().expect("secondary configured").delete(&sec, key);
+                self.secondary.as_ref().expect("secondary configured").delete(&sec, key);
             }
             // Anti-schema: the old record re-encoded uncompacted; the
             // compactor walks it to decrement counters at flush (§3.2.2).
-            if counted {
-                self.compactor
-                    .as_ref()
-                    .map(|_| tc_vector::encode(&old, Some(&self.config.datatype)))
-            } else {
-                None
-            }
+            self.compactor.as_ref().map(|_| tc_vector::encode(&old, Some(&self.config.datatype)))
         } else {
             None
         };
-        if let Some(pki) = self.pk_index.as_mut() {
+        if let Some(pki) = self.pk_index.as_ref() {
             pki.delete(key);
         }
-        self.primary.delete(key.clone(), attachment);
-        Ok(())
+        Ok(self.primary.delete_versioned(key.clone(), attachment))
     }
 
     /// Bulk-load pre-sorted-or-not records into a single component (§4.3).
     /// The dataset must be empty; the WAL is bypassed, like AsterixDB's
     /// load statement.
-    pub fn bulk_load<I>(&mut self, records: I) -> Result<u64, AdmError>
+    pub fn bulk_load<I>(&self, records: I) -> Result<u64, AdmError>
     where
         I: IntoIterator<Item = Value>,
     {
@@ -221,7 +277,7 @@ impl Dataset {
         }
         keyed.sort_by(|a, b| a.0.cmp(&b.0));
         let n = keyed.len() as u64;
-        if let Some(sec_idx) = self.secondary.as_mut() {
+        if let Some(sec_idx) = self.secondary.as_ref() {
             for (key, _, sec) in &keyed {
                 if let Some(sec) = sec {
                     sec_idx.insert(sec, key);
@@ -229,14 +285,14 @@ impl Dataset {
             }
             sec_idx.flush();
         }
-        if let Some(pki) = self.pk_index.as_mut() {
+        if let Some(pki) = self.pk_index.as_ref() {
             for (key, _, _) in &keyed {
                 pki.insert(key);
             }
             pki.flush();
         }
         self.primary.bulk_load(keyed.into_iter().map(|(k, b, _)| (k, b)));
-        self.ingested += n;
+        self.ingested.fetch_add(n, Ordering::Relaxed);
         Ok(n)
     }
 
@@ -244,24 +300,50 @@ impl Dataset {
     // Lookup / scan
     // -----------------------------------------------------------------
 
-    fn lookup_raw(&self, key: &[u8]) -> Option<Vec<u8>> {
-        self.primary.get(key)
-    }
-
     /// Point lookup by primary key.
     pub fn get(&self, pk: i64) -> Result<Option<Value>, AdmError> {
-        match self.lookup_raw(&encode_i64_key(pk)) {
+        let key = encode_i64_key(pk);
+        let (decoder, lookup) = self.snapshot_lookup(std::slice::from_ref(&key));
+        match lookup.into_iter().next().flatten() {
+            Some(bytes) => Ok(Some(decoder.materialize(&bytes)?)),
             None => Ok(None),
-            Some(bytes) => Ok(Some(self.decoder().materialize(&bytes)?)),
         }
+    }
+
+    /// Resolve point lookups against one consistent snapshot: the decoder,
+    /// the in-memory hits, and the component list are captured in a single
+    /// read view of the primary tree — a concurrent flush can neither
+    /// install records whose dictionary codes the decoder lacks nor prune
+    /// codes a returned record needs (see the module docs). Disk probes run
+    /// after the view drops, against the captured (`Arc`-retained)
+    /// components, so writers are never blocked on page reads.
+    fn snapshot_lookup(&self, keys: &[Key]) -> (RecordDecoder, Vec<Option<Vec<u8>>>) {
+        let (decoder, mem_hits, components) = {
+            let view = self.primary.read_view();
+            let mem_hits: Vec<_> = keys.iter().map(|k| view.mem_entry(k)).collect();
+            (self.decoder(), mem_hits, view.components())
+        };
+        let resolved = keys
+            .iter()
+            .zip(mem_hits)
+            .map(|(key, mem_hit)| {
+                let entry = mem_hit
+                    .or_else(|| LsmTree::probe_components(&components, self.primary.cache(), key));
+                match entry {
+                    Some((tc_lsm::EntryKind::Record, bytes)) => Some(bytes),
+                    _ => None, // absent or anti-matter
+                }
+            })
+            .collect();
+        (decoder, resolved)
     }
 
     /// A decoder snapshot for this partition's current state. For inferred
     /// datasets this carries the schema dictionary — the unit the schema
     /// broadcast ships between nodes at query start (§3.4.1).
     pub fn decoder(&self) -> RecordDecoder {
-        let dict = self.compactor.as_ref().map(|c| c.schema_snapshot().dict().clone());
-        RecordDecoder::new(self.config.format, self.config.datatype.clone(), dict)
+        let dict = self.compactor.as_ref().map(|c| c.dict_snapshot());
+        self.decoder_template.with_dict(dict)
     }
 
     /// The partition's current in-memory schema (inferred datasets).
@@ -269,15 +351,31 @@ impl Dataset {
         self.compactor.as_ref().map(|c| c.schema_snapshot())
     }
 
-    /// Raw scan of live records (key, stored bytes).
-    pub fn scan_raw(&self) -> tc_lsm::iter::MergedScan<'_> {
-        self.primary.scan()
+    /// A scan snapshot *paired with* the decoder that matches it, captured
+    /// atomically with respect to flush installs — the right way to read
+    /// records while background maintenance runs (queries use this). Only
+    /// the in-memory copies and the decoder capture happen under the
+    /// tree's read lock; the scan's block-priming IO runs after release.
+    pub fn snapshot_scan(&self) -> (RecordDecoder, MergedScan) {
+        let (decoder, frozen, active, components) = {
+            let view = self.primary.read_view();
+            let (frozen, active) = view.mem_parts(None);
+            (self.decoder(), frozen, active, view.components())
+        };
+        let scan = tc_lsm::iter::scan_from_tree_parts(
+            frozen.as_deref(),
+            active,
+            &components,
+            self.primary.cache(),
+            None,
+            None,
+        );
+        (decoder, scan)
     }
 
     /// Materialized scan (tests/examples; queries stream raw + decoder).
     pub fn scan_values(&self) -> Result<Vec<Value>, AdmError> {
-        let decoder = self.decoder();
-        let mut scan = self.primary.scan();
+        let (decoder, mut scan) = self.snapshot_scan();
         let mut out = Vec::new();
         while let Some((_, _, bytes)) = scan.next() {
             out.push(decoder.materialize(&bytes)?);
@@ -287,19 +385,20 @@ impl Dataset {
 
     /// Secondary-index range query: primary keys with secondary value in
     /// `[lo, hi)`, then point lookups into the primary index (Fig 24's
-    /// access path).
+    /// access path). The primary lookups and their decoder come from one
+    /// snapshot (`snapshot_lookup`), so records landing in components
+    /// flushed *after* the postings were read cannot be materialized
+    /// against a stale dictionary.
     pub fn secondary_range(&self, lo: i64, hi: i64) -> Result<Vec<Value>, AdmError> {
         let sec = self
             .secondary
             .as_ref()
             .ok_or_else(|| AdmError::type_check("no secondary index configured".to_string()))?;
         let pks = sec.range(&encode_i64_key(lo), &encode_i64_key(hi));
-        let decoder = self.decoder();
+        let (decoder, lookups) = self.snapshot_lookup(&pks);
         let mut out = Vec::with_capacity(pks.len());
-        for pk in pks {
-            if let Some(bytes) = self.lookup_raw(&pk) {
-                out.push(decoder.materialize(&bytes)?);
-            }
+        for bytes in lookups.into_iter().flatten() {
+            out.push(decoder.materialize(&bytes)?);
         }
         Ok(out)
     }
@@ -308,19 +407,110 @@ impl Dataset {
     // Lifecycle
     // -----------------------------------------------------------------
 
-    /// Flush the in-memory component (and index memtables).
-    pub fn flush(&mut self) {
+    /// If a background worker owns maintenance, wake it when the primary
+    /// memtable runs over budget (deduplicated while a flush is pending).
+    /// `over_budget` comes from the write that just happened (computed
+    /// under the tree's lock), so the hot path never re-locks to poll.
+    /// A poisoned pipeline fails the write path loudly: with `auto_flush`
+    /// off nothing else would ever drain the memtable, and silent
+    /// unbounded growth is strictly worse than a panic.
+    fn maybe_schedule_maintenance(&self, over_budget: bool) {
+        if let Some(worker) = &self.maintenance {
+            self.assert_pipeline_alive(worker);
+            if over_budget {
+                worker.schedule_flush();
+                // Backpressure: a decoupled flush pipeline must not let the
+                // memtable diverge when ingest outpaces the worker ("Breaking
+                // Down Memory Walls" stalls writers for exactly this reason).
+                // Past the overhang cap, stall until the pending flush
+                // *freezes* (the freeze empties the active memtable, so
+                // waiting for the full build/merge would over-stall) —
+                // honestly accounted as backpressure. The cap leaves room
+                // for a few memtable generations so transient bursts
+                // overlap with in-flight builds instead of stalling.
+                let cap = BACKPRESSURE_OVERHANG_FACTOR * self.config.memtable_budget;
+                if self.primary.memtable_bytes() >= cap {
+                    let start = std::time::Instant::now();
+                    while self.primary.memtable_bytes() >= cap && !worker.is_poisoned() {
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    }
+                    self.primary.note_backpressure_stall(start.elapsed().as_nanos() as u64);
+                }
+            }
+        }
+    }
+
+    /// The loud-failure policy, shared by every path that depends on the
+    /// background pipeline: a poisoned worker can never drain the memtable,
+    /// so pretending to accept work would silently lose durability.
+    fn assert_pipeline_alive(&self, worker: &MaintenanceWorker) {
+        assert!(
+            !worker.is_poisoned(),
+            "background maintenance pipeline panicked; dataset '{}' cannot flush",
+            self.config.name
+        );
+    }
+
+    /// Flush the in-memory component (and index memtables) synchronously on
+    /// this thread. With background maintenance enabled this still runs
+    /// inline — flushes serialize inside the tree, so racing the worker is
+    /// safe (one of the two finds an empty memtable and no-ops).
+    pub fn flush(&self) {
         self.primary.flush();
-        if let Some(pki) = self.pk_index.as_mut() {
+        if let Some(pki) = self.pk_index.as_ref() {
             pki.flush();
         }
-        if let Some(sec) = self.secondary.as_mut() {
+        if let Some(sec) = self.secondary.as_ref() {
             sec.flush();
         }
     }
 
+    /// Queue a *primary-tree* flush (and a merge-policy pass) on the
+    /// background worker and return immediately. Auxiliary index trees are
+    /// not covered — they flush inline on their own budgets; call
+    /// [`Dataset::flush`] for the everything-durable semantics. Without
+    /// background maintenance this falls back to a full synchronous flush.
+    /// Panics if the maintenance pipeline has panicked (same loud-failure
+    /// policy as the write path — a silently dropped flush request would
+    /// leave callers believing their data durable).
+    pub fn flush_async(&self) {
+        match &self.maintenance {
+            Some(worker) => {
+                self.assert_pipeline_alive(worker);
+                worker.schedule_flush();
+            }
+            None => self.flush(),
+        }
+    }
+
+    /// Block until background maintenance has drained: no queued or
+    /// in-flight flush/merge jobs, and the memtable back under budget (a
+    /// writer racing the last flush may have re-filled it). No-op without a
+    /// background worker.
+    pub fn await_quiescent(&self) {
+        if let Some(worker) = &self.maintenance {
+            loop {
+                worker.await_quiescent();
+                // Re-arm while the memtable is still over budget (a writer
+                // racing the last flush may have re-filled it). A refused
+                // schedule is NOT a reason to stop — it usually means a
+                // job is already queued (e.g. the racing writer armed it
+                // between our wait and this check), and the next wait
+                // settles it.
+                if !self.primary.needs_flush() {
+                    break;
+                }
+                // Over budget with a dead pipeline: the postcondition can
+                // never hold — fail loudly (same policy as the write path)
+                // instead of returning with un-drainable data in memory.
+                self.assert_pipeline_alive(worker);
+                worker.schedule_flush();
+            }
+        }
+    }
+
     /// Merge every on-disk component into one.
-    pub fn force_full_merge(&mut self) {
+    pub fn force_full_merge(&self) {
         self.primary.force_full_merge();
     }
 
@@ -344,9 +534,25 @@ impl Dataset {
         self.primary.stats()
     }
 
+    /// Total time the writing thread spent blocked on maintenance across
+    /// *all* of the partition's trees: inline flush/merge work (primary in
+    /// sync mode; auxiliary index trees always) plus background-mode
+    /// backpressure waits (the honest Fig 17 writer-stall number;
+    /// `lsm_stats()` covers the primary only).
+    pub fn writer_stall_nanos(&self) -> u64 {
+        let p = self.primary.stats();
+        p.writer_stall_nanos
+            + p.backpressure_stall_nanos
+            + self.pk_index.as_ref().map_or(0, |i| i.stats().writer_stall_nanos)
+            + self.secondary.as_ref().map_or(0, |i| i.stats().writer_stall_nanos)
+    }
+
     /// Crash: lose in-memory state (memtables and, for inferred datasets,
-    /// the in-memory schema).
-    pub fn simulate_crash(&mut self) {
+    /// the in-memory schema). Background maintenance is quiesced first — a
+    /// worker mid-flush would otherwise install its component *after* the
+    /// "crash", which no real failure can do.
+    pub fn simulate_crash(&self) {
+        self.await_quiescent();
         self.primary.simulate_crash();
         if let Some(c) = &self.compactor {
             c.load_schema(Schema::new());
@@ -355,7 +561,7 @@ impl Dataset {
 
     /// Recovery (§3.1.2): drop invalid components, reload the newest valid
     /// component's schema, replay the WAL into the in-memory component.
-    pub fn recover(&mut self) -> (usize, usize) {
+    pub fn recover(&self) -> (usize, usize) {
         let (removed, replayed) = self.primary.recover();
         if let Some(c) = &self.compactor {
             let schema = self
@@ -407,7 +613,7 @@ mod tests {
             StorageFormat::Inferred,
             StorageFormat::VectorUncompacted,
         ] {
-            let mut ds = if format == StorageFormat::Closed {
+            let ds = if format == StorageFormat::Closed {
                 let dt = ObjectType::closed(vec![
                     FieldDef {
                         name: "id".into(),
@@ -460,7 +666,7 @@ mod tests {
             kind: TypeKind::Scalar(TypeTag::Int64),
             optional: false,
         }]);
-        let mut ds = make(
+        let ds = make(
             DatasetConfig::new("Strict", "id").with_format(StorageFormat::Closed).with_datatype(dt),
         );
         assert!(ds.insert(&parse(r#"{"id": 1}"#).unwrap()).is_ok());
@@ -469,7 +675,7 @@ mod tests {
 
     #[test]
     fn inferred_schema_evolves_across_flushes() {
-        let mut ds = small(StorageFormat::Inferred);
+        let ds = small(StorageFormat::Inferred);
         // Fig 9 scenario.
         ds.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
         ds.insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
@@ -501,7 +707,7 @@ mod tests {
             [StorageFormat::Open, StorageFormat::Inferred, StorageFormat::VectorUncompacted]
                 .into_iter()
                 .map(|f| {
-                    let mut ds = make(
+                    let ds = make(
                         DatasetConfig::new("Employee", "id")
                             .with_format(f)
                             .with_page_size(4096)
@@ -526,7 +732,7 @@ mod tests {
 
     #[test]
     fn delete_updates_schema_and_hides_record() {
-        let mut ds = small(StorageFormat::Inferred);
+        let ds = small(StorageFormat::Inferred);
         ds.insert(&parse(r#"{"id": 0, "name": "Kim", "weird": [1, 2]}"#).unwrap()).unwrap();
         ds.insert(&parse(r#"{"id": 1, "name": "John"}"#).unwrap()).unwrap();
         ds.flush();
@@ -543,7 +749,7 @@ mod tests {
 
     #[test]
     fn upsert_existing_and_new_keys() {
-        let mut ds = make(
+        let ds = make(
             DatasetConfig::new("Employee", "id")
                 .with_format(StorageFormat::Inferred)
                 .with_primary_key_index(true)
@@ -566,7 +772,7 @@ mod tests {
 
     #[test]
     fn crash_recovery_restores_data_and_schema() {
-        let mut ds = small(StorageFormat::Inferred);
+        let ds = small(StorageFormat::Inferred);
         ds.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
         ds.insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
         ds.flush(); // C0 valid, schema persisted
@@ -590,7 +796,7 @@ mod tests {
 
     #[test]
     fn secondary_index_range_lookup() {
-        let mut ds = make(
+        let ds = make(
             DatasetConfig::new("Tweets", "id")
                 .with_format(StorageFormat::Inferred)
                 .with_secondary_index("timestamp_ms")
@@ -618,7 +824,7 @@ mod tests {
 
     #[test]
     fn bulk_load_single_component() {
-        let mut ds = small(StorageFormat::Inferred);
+        let ds = small(StorageFormat::Inferred);
         let records: Vec<Value> = (0..300).rev().map(employee).collect(); // unsorted input
         ds.bulk_load(records).unwrap();
         assert_eq!(ds.primary().components().len(), 1);
@@ -633,7 +839,7 @@ mod tests {
         // §3.2.2: delete and upsert carry the old record's anti-schema;
         // processing it at flush *decrements* the counters of shared nodes
         // (rather than dropping them) and prunes only zero-counted ones.
-        let mut ds = small(StorageFormat::Inferred);
+        let ds = small(StorageFormat::Inferred);
         ds.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
         ds.insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
         ds.insert(&parse(r#"{"id": 2, "name": "Ann", "salary": 9}"#).unwrap()).unwrap();
@@ -669,7 +875,7 @@ mod tests {
     fn merge_keeps_newest_superset_schema() {
         // §3.1.1: a merged component adopts the *newest* input schema, which
         // by construction is a superset of every older input's schema.
-        let mut ds = small(StorageFormat::Inferred);
+        let ds = small(StorageFormat::Inferred);
         ds.insert(&parse(r#"{"id": 0, "a": 1}"#).unwrap()).unwrap();
         ds.flush();
         let first = Schema::deserialize(&ds.primary().newest_metadata().unwrap()).unwrap();
@@ -701,7 +907,7 @@ mod tests {
             [tc_compress::CompressionScheme::None, tc_compress::CompressionScheme::Snappy]
                 .into_iter()
                 .map(|scheme| {
-                    let mut ds = make(
+                    let ds = make(
                         DatasetConfig::new("T", "id")
                             .with_format(StorageFormat::Open)
                             .with_compression(scheme)
@@ -716,5 +922,81 @@ mod tests {
                 })
                 .collect();
         assert!(sizes[1] < sizes[0], "snappy {} should beat uncompressed {}", sizes[1], sizes[0]);
+    }
+
+    #[test]
+    fn background_maintenance_flushes_without_writer_stall() {
+        let ds = make(
+            DatasetConfig::new("Employee", "id")
+                .with_format(StorageFormat::Inferred)
+                .with_memtable_budget(8 * 1024)
+                .with_merge_policy(tc_lsm::MergePolicy::Prefix {
+                    max_mergeable_size: 16 * 1024 * 1024,
+                    max_tolerable_components: 3,
+                })
+                .with_background_maintenance(true),
+        );
+        for i in 0..800 {
+            ds.insert(&employee(i)).unwrap();
+        }
+        ds.await_quiescent();
+        let stats = ds.lsm_stats();
+        assert!(stats.flushes > 0, "budget-triggered background flushes happened");
+        assert_eq!(stats.writer_stall_nanos, 0, "the writer never flushed inline");
+        assert!(ds.primary().components().len() <= 4, "background merges kept up");
+        ds.flush();
+        assert_eq!(ds.scan_values().unwrap().len(), 800);
+        for i in (0..800).step_by(131) {
+            assert_eq!(ds.get(i).unwrap().unwrap(), employee(i));
+        }
+    }
+
+    #[test]
+    fn backpressure_bounds_memtable_overhang() {
+        // With background maintenance, a writer outrunning the worker must
+        // stall at the overhang cap instead of growing the memtable without
+        // bound: after every insert returns, the active memtable is at most
+        // the capped overhang plus one record of slack.
+        let budget = 4 * 1024;
+        let ds = make(
+            DatasetConfig::new("Employee", "id")
+                .with_format(StorageFormat::Inferred)
+                .with_memtable_budget(budget)
+                .with_merge_policy(tc_lsm::MergePolicy::NoMerge)
+                .with_background_maintenance(true),
+        );
+        let slack = 1024;
+        for i in 0..500 {
+            ds.insert(&employee(i)).unwrap();
+            assert!(
+                ds.primary().memtable_bytes() < BACKPRESSURE_OVERHANG_FACTOR * budget + slack,
+                "memtable must never diverge past the backpressure cap"
+            );
+        }
+        ds.await_quiescent();
+        ds.flush();
+        assert_eq!(ds.scan_values().unwrap().len(), 500);
+        assert_eq!(ds.lsm_stats().writer_stall_nanos, 0, "no inline flushes — only backpressure");
+    }
+
+    #[test]
+    fn flush_async_then_await_quiescent_installs_component() {
+        let ds = make(
+            DatasetConfig::new("Employee", "id")
+                .with_format(StorageFormat::Inferred)
+                .with_merge_policy(tc_lsm::MergePolicy::NoMerge)
+                .with_background_maintenance(true),
+        );
+        for i in 0..50 {
+            ds.insert(&employee(i)).unwrap();
+        }
+        assert_eq!(ds.primary().components().len(), 0);
+        ds.flush_async();
+        ds.await_quiescent();
+        assert_eq!(ds.primary().components().len(), 1);
+        assert_eq!(ds.lsm_stats().flushes, 1);
+        // The schema committed with the flush, on the worker thread.
+        let s = ds.schema_snapshot().unwrap();
+        assert_eq!(s.record_count(), 50);
     }
 }

@@ -31,19 +31,22 @@ impl RecordDecoder {
     pub fn new(
         format: StorageFormat,
         declared: ObjectType,
-        dict: Option<FieldNameDictionary>,
+        dict: Option<Arc<FieldNameDictionary>>,
     ) -> Self {
         let declared_kind = Arc::new(TypeKind::Object(declared.clone()));
-        RecordDecoder {
-            format,
-            declared: Arc::new(declared),
-            declared_kind,
-            dict: dict.map(Arc::new),
-        }
+        RecordDecoder { format, declared: Arc::new(declared), declared_kind, dict }
     }
 
     pub fn format(&self) -> StorageFormat {
         self.format
+    }
+
+    /// A copy of this decoder with a different dictionary snapshot — `Arc`
+    /// clones only. Datasets keep one template decoder and stamp the
+    /// current dictionary onto it per lookup, so the hot path never
+    /// deep-clones the declared type.
+    pub fn with_dict(&self, dict: Option<Arc<FieldNameDictionary>>) -> Self {
+        RecordDecoder { dict, ..self.clone() }
     }
 
     pub fn declared(&self) -> &ObjectType {
@@ -124,7 +127,8 @@ mod tests {
 
         let adm = RecordDecoder::new(StorageFormat::Open, t.clone(), None);
         let slvb = RecordDecoder::new(StorageFormat::VectorUncompacted, t.clone(), None);
-        let inf = RecordDecoder::new(StorageFormat::Inferred, t, Some(schema.dict().clone()));
+        let inf =
+            RecordDecoder::new(StorageFormat::Inferred, t, Some(Arc::new(schema.dict().clone())));
 
         assert_eq!(adm.materialize(&adm_bytes).unwrap(), v);
         assert_eq!(slvb.materialize(&raw).unwrap(), v);

@@ -27,7 +27,7 @@ pub mod config;
 pub mod dataset;
 pub mod decoder;
 
-pub use compactor::TupleCompactor;
+pub use compactor::{MaintenanceWorker, TupleCompactor};
 pub use config::{DatasetConfig, StorageFormat};
 pub use dataset::Dataset;
 pub use decoder::RecordDecoder;

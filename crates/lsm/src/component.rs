@@ -173,8 +173,11 @@ impl DiskComponent {
     }
 
     /// Iterate entries in key order, starting at the first key ≥ `start`
-    /// (or from the beginning).
-    pub fn scan<'a>(&'a self, cache: &'a BufferCache, start: Option<&[u8]>) -> ComponentScan<'a> {
+    /// (or from the beginning). The scan *owns* its component and cache
+    /// handles, so it stays valid while concurrent flushes/merges replace
+    /// the tree's component list — the merged-out component is simply kept
+    /// alive by this scan's `Arc` until it finishes (snapshot semantics).
+    pub fn scan(self: &Arc<Self>, cache: &Arc<BufferCache>, start: Option<&[u8]>) -> ComponentScan {
         let block_idx = match start {
             None => 0,
             Some(key) => match self.index.binary_search_by(|b| b.first_key.as_slice().cmp(key)) {
@@ -184,8 +187,8 @@ impl DiskComponent {
             },
         };
         ComponentScan {
-            component: self,
-            cache,
+            component: Arc::clone(self),
+            cache: Arc::clone(cache),
             block_idx,
             block: Vec::new(),
             pos: 0,
@@ -196,9 +199,9 @@ impl DiskComponent {
 }
 
 /// Streaming scan over a component's leaf blocks.
-pub struct ComponentScan<'a> {
-    component: &'a DiskComponent,
-    cache: &'a BufferCache,
+pub struct ComponentScan {
+    component: Arc<DiskComponent>,
+    cache: Arc<BufferCache>,
     block_idx: usize,
     block: Vec<u8>,
     pos: usize,
@@ -206,14 +209,14 @@ pub struct ComponentScan<'a> {
     skip_until: Option<Key>,
 }
 
-impl ComponentScan<'_> {
+impl ComponentScan {
     /// Next entry: (key, kind, payload).
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(Key, EntryKind, Vec<u8>)> {
         loop {
             if !self.loaded {
                 let block_ref = self.component.index.get(self.block_idx)?;
-                self.block = self.component.read_block(self.cache, block_ref);
+                self.block = self.component.read_block(&self.cache, block_ref);
                 self.pos = 0;
                 self.loaded = true;
             }
@@ -372,7 +375,7 @@ mod tests {
     use super::*;
     use tc_storage::device::DeviceProfile;
 
-    fn build(n: u64, page_size: usize) -> (DiskComponent, BufferCache) {
+    fn build(n: u64, page_size: usize) -> (Arc<DiskComponent>, Arc<BufferCache>) {
         let device = Arc::new(Device::new(DeviceProfile::RAM));
         let mut b =
             ComponentBuilder::new(device, page_size, CompressionScheme::None, n as usize, 10);
@@ -382,7 +385,7 @@ mod tests {
             b.push(&key, EntryKind::Record, payload.as_bytes());
         }
         let c = b.finish(ComponentId::flushed(0), Some(b"schema".to_vec()), true);
-        (c, BufferCache::new(128))
+        (Arc::new(c), Arc::new(BufferCache::new(128)))
     }
 
     #[test]

@@ -1,9 +1,16 @@
-//! K-way merged scans across the in-memory component and on-disk
+//! K-way merged scans across the in-memory component(s) and on-disk
 //! components, with newest-wins semantics and anti-matter annihilation
 //! (paper §2.2, Fig 4b).
+//!
+//! A [`MergedScan`] *owns* its inputs: memtable contents are snapshotted at
+//! construction and disk components are retained via `Arc`. Once built, the
+//! scan is independent of the tree's locks — concurrent flushes and merges
+//! may replace the component list without invalidating an in-flight scan,
+//! which simply keeps reading its consistent snapshot.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use tc_storage::BufferCache;
 
@@ -11,14 +18,52 @@ use crate::component::{ComponentScan, DiskComponent};
 use crate::entry::{EntryKind, Key};
 use crate::memtable::{MemEntry, Memtable};
 
-/// One input to the merge. Rank encodes recency: higher = newer; the
-/// memtable is always newest.
-enum SourceIter<'a> {
-    Mem(std::vec::IntoIter<(Key, EntryKind, Vec<u8>)>),
-    Disk(ComponentScan<'a>),
+/// Copy a memtable's entries from `start` onward into an owned snapshot
+/// (the cheap, in-memory part of scan construction — safe under a lock).
+pub fn snapshot_memtable(mem: &Memtable, start: Option<&[u8]>) -> Vec<(Key, EntryKind, Vec<u8>)> {
+    mem.range(
+        match start {
+            Some(s) => std::ops::Bound::Included(s),
+            None => std::ops::Bound::Unbounded,
+        },
+        std::ops::Bound::Unbounded,
+    )
+    .map(|(k, e)| match e {
+        MemEntry::Record(p) => (k.clone(), EntryKind::Record, p.clone()),
+        MemEntry::AntiMatter(_) => (k.clone(), EntryKind::AntiMatter, Vec::new()),
+    })
+    .collect()
 }
 
-impl SourceIter<'_> {
+/// Assemble a live-records scan from parts captured under a tree read view:
+/// the retained frozen memtable (snapshotted here, outside the lock), the
+/// already-copied active snapshot, and the retained components. Encodes the
+/// ordering invariant in ONE place: frozen ranks above every component and
+/// below the active memtable.
+pub fn scan_from_tree_parts(
+    frozen: Option<&Memtable>,
+    active_snapshot: Vec<(Key, EntryKind, Vec<u8>)>,
+    components: &[Arc<DiskComponent>],
+    cache: &Arc<BufferCache>,
+    start: Option<&[u8]>,
+    end: Option<&[u8]>,
+) -> MergedScan {
+    let mut mems = Vec::with_capacity(2);
+    if let Some(frozen) = frozen {
+        mems.push(snapshot_memtable(frozen, start));
+    }
+    mems.push(active_snapshot);
+    MergedScan::from_parts(mems, components, cache, start, end, false)
+}
+
+/// One input to the merge. Rank encodes recency: higher = newer; memtables
+/// are always newer than every disk component.
+enum SourceIter {
+    Mem(std::vec::IntoIter<(Key, EntryKind, Vec<u8>)>),
+    Disk(ComponentScan),
+}
+
+impl SourceIter {
     fn next(&mut self) -> Option<(Key, EntryKind, Vec<u8>)> {
         match self {
             SourceIter::Mem(it) => it.next(),
@@ -53,28 +98,49 @@ impl Ord for HeapItem {
     }
 }
 
-/// Merged iterator over an LSM tree's sources.
-pub struct MergedScan<'a> {
+/// Merged iterator over an LSM tree's sources (self-contained snapshot).
+pub struct MergedScan {
     heap: BinaryHeap<HeapItem>,
-    sources: Vec<SourceIter<'a>>,
+    sources: Vec<SourceIter>,
     /// Emit anti-matter entries (used by merge); reads skip them.
     include_antimatter: bool,
     /// Exclusive upper bound.
     end: Option<Key>,
 }
 
-impl<'a> MergedScan<'a> {
-    /// Build a scan. `components` are ordered oldest → newest; `mem` (if
-    /// given) is newest of all. `start` is inclusive, `end` exclusive.
+impl MergedScan {
+    /// Build a scan. `components` are ordered oldest → newest; `mems` (if
+    /// any) are ordered oldest → newest too and are newer than every
+    /// component — with a background flush in flight this is `[frozen,
+    /// active]`. `start` is inclusive, `end` exclusive.
     pub fn new(
-        mem: Option<&Memtable>,
-        components: &'a [std::sync::Arc<DiskComponent>],
-        cache: &'a BufferCache,
+        mems: &[&Memtable],
+        components: &[Arc<DiskComponent>],
+        cache: &Arc<BufferCache>,
         start: Option<&[u8]>,
         end: Option<&[u8]>,
         include_antimatter: bool,
     ) -> Self {
-        let mut sources: Vec<SourceIter<'a>> = Vec::with_capacity(components.len() + 1);
+        let snapshots = mems.iter().map(|m| snapshot_memtable(m, start)).collect();
+        Self::from_parts(snapshots, components, cache, start, end, include_antimatter)
+    }
+
+    /// Build a scan from pre-captured memtable snapshots (oldest → newest,
+    /// newer than every component). This is the constructor for callers
+    /// that snapshot under a lock: heap priming reads (and possibly
+    /// decompresses) one block per overlapping component, so it must run
+    /// *after* any tree lock is released — only the cheap
+    /// [`snapshot_memtable`] copies belong inside the critical section.
+    pub fn from_parts(
+        mem_snapshots: Vec<Vec<(Key, EntryKind, Vec<u8>)>>,
+        components: &[Arc<DiskComponent>],
+        cache: &Arc<BufferCache>,
+        start: Option<&[u8]>,
+        end: Option<&[u8]>,
+        include_antimatter: bool,
+    ) -> Self {
+        let mut sources: Vec<SourceIter> =
+            Vec::with_capacity(components.len() + mem_snapshots.len());
         for c in components {
             // Key-range filter: skip components outside [start, end).
             if !c.overlaps(start, end) {
@@ -82,20 +148,7 @@ impl<'a> MergedScan<'a> {
             }
             sources.push(SourceIter::Disk(c.scan(cache, start)));
         }
-        if let Some(mem) = mem {
-            let snapshot: Vec<(Key, EntryKind, Vec<u8>)> = mem
-                .range(
-                    match start {
-                        Some(s) => std::ops::Bound::Included(s),
-                        None => std::ops::Bound::Unbounded,
-                    },
-                    std::ops::Bound::Unbounded,
-                )
-                .map(|(k, e)| match e {
-                    MemEntry::Record(p) => (k.clone(), EntryKind::Record, p.clone()),
-                    MemEntry::AntiMatter(_) => (k.clone(), EntryKind::AntiMatter, Vec::new()),
-                })
-                .collect();
+        for snapshot in mem_snapshots {
             sources.push(SourceIter::Mem(snapshot.into_iter()));
         }
         let mut scan = MergedScan {
@@ -162,7 +215,7 @@ mod tests {
         Arc::new(b.finish(ComponentId::flushed(seq), None, true))
     }
 
-    fn collect(scan: &mut MergedScan<'_>) -> Vec<(u64, EntryKind, String)> {
+    fn collect(scan: &mut MergedScan) -> Vec<(u64, EntryKind, String)> {
         let mut out = Vec::new();
         while let Some((k, kind, p)) = scan.next() {
             out.push((
@@ -180,8 +233,8 @@ mod tests {
         let c0 = component(0, &[(1, Record, "old1"), (2, Record, "old2"), (3, Record, "old3")]);
         let c1 = component(1, &[(2, Record, "new2")]);
         let comps = vec![c0, c1];
-        let cache = BufferCache::new(16);
-        let mut scan = MergedScan::new(None, &comps, &cache, None, None, false);
+        let cache = Arc::new(BufferCache::new(16));
+        let mut scan = MergedScan::new(&[], &comps, &cache, None, None, false);
         assert_eq!(
             collect(&mut scan),
             vec![
@@ -200,11 +253,11 @@ mod tests {
         let c0 = component(0, &[(0, Record, "Kim"), (1, Record, "John")]);
         let c1 = component(1, &[(0, AntiMatter, ""), (2, Record, "Bob")]);
         let comps = vec![c0, c1];
-        let cache = BufferCache::new(16);
-        let mut scan = MergedScan::new(None, &comps, &cache, None, None, false);
+        let cache = Arc::new(BufferCache::new(16));
+        let mut scan = MergedScan::new(&[], &comps, &cache, None, None, false);
         assert_eq!(collect(&mut scan), vec![(1, Record, "John".into()), (2, Record, "Bob".into())]);
         // A merge-mode scan still sees the anti-matter entry.
-        let mut scan = MergedScan::new(None, &comps, &cache, None, None, true);
+        let mut scan = MergedScan::new(&[], &comps, &cache, None, None, true);
         let all = collect(&mut scan);
         assert_eq!(all.len(), 3);
         assert_eq!(all[0], (0, AntiMatter, "".into()));
@@ -218,12 +271,50 @@ mod tests {
         let mut mem = Memtable::new();
         mem.put(1u64.to_be_bytes().to_vec(), MemEntry::Record(b"mem".to_vec()));
         mem.put(3u64.to_be_bytes().to_vec(), MemEntry::AntiMatter(None));
-        let cache = BufferCache::new(16);
-        let mut scan = MergedScan::new(Some(&mem), &comps, &cache, None, None, false);
+        let cache = Arc::new(BufferCache::new(16));
+        let mut scan = MergedScan::new(&[&mem], &comps, &cache, None, None, false);
         assert_eq!(
             collect(&mut scan),
             vec![(1, Record, "mem".into()), (2, Record, "stays".into())]
         );
+    }
+
+    #[test]
+    fn frozen_memtable_ranks_between_disk_and_active() {
+        use EntryKind::*;
+        // Disk has k=1 "disk"; the frozen (mid-flush) memtable overwrote it
+        // with "frozen"; the active memtable overwrote that with "active".
+        // The scan must pick the active version; with the active one absent,
+        // the frozen one must beat the disk one.
+        let c0 = component(0, &[(1, Record, "disk"), (2, Record, "disk2")]);
+        let comps = vec![c0];
+        let mut frozen = Memtable::new();
+        frozen.put(1u64.to_be_bytes().to_vec(), MemEntry::Record(b"frozen".to_vec()));
+        frozen.put(2u64.to_be_bytes().to_vec(), MemEntry::Record(b"frozen2".to_vec()));
+        let mut active = Memtable::new();
+        active.put(1u64.to_be_bytes().to_vec(), MemEntry::Record(b"active".to_vec()));
+        let cache = Arc::new(BufferCache::new(16));
+        let mut scan = MergedScan::new(&[&frozen, &active], &comps, &cache, None, None, false);
+        assert_eq!(
+            collect(&mut scan),
+            vec![(1, Record, "active".into()), (2, Record, "frozen2".into())]
+        );
+    }
+
+    #[test]
+    fn scan_survives_component_list_replacement() {
+        use EntryKind::*;
+        // Snapshot semantics: dropping the caller's Arcs (as a concurrent
+        // merge would) must not invalidate a running scan.
+        let c0 = component(0, &[(1, Record, "a"), (2, Record, "b"), (3, Record, "c")]);
+        let cache = Arc::new(BufferCache::new(16));
+        let mut comps = vec![c0];
+        let mut scan = MergedScan::new(&[], &comps, &cache, None, None, false);
+        assert_eq!(scan.next().unwrap().0, 1u64.to_be_bytes().to_vec());
+        comps.clear(); // the tree swapped its list; the scan holds its own Arc
+        assert_eq!(scan.next().unwrap().0, 2u64.to_be_bytes().to_vec());
+        assert_eq!(scan.next().unwrap().0, 3u64.to_be_bytes().to_vec());
+        assert!(scan.next().is_none());
     }
 
     #[test]
@@ -232,10 +323,10 @@ mod tests {
         let entries: Vec<(u64, EntryKind, &str)> = (0..20).map(|i| (i, Record, "v")).collect();
         let c0 = component(0, &entries);
         let comps = vec![c0];
-        let cache = BufferCache::new(16);
+        let cache = Arc::new(BufferCache::new(16));
         let start = 5u64.to_be_bytes();
         let end = 9u64.to_be_bytes();
-        let mut scan = MergedScan::new(None, &comps, &cache, Some(&start), Some(&end), false);
+        let mut scan = MergedScan::new(&[], &comps, &cache, Some(&start), Some(&end), false);
         let got: Vec<u64> = collect(&mut scan).into_iter().map(|(k, _, _)| k).collect();
         assert_eq!(got, vec![5, 6, 7, 8]);
     }
@@ -248,11 +339,11 @@ mod tests {
         let c_old = component(0, &(0..10).map(|i| (i, Record, "old")).collect::<Vec<_>>());
         let c_new = component(1, &(100..110).map(|i| (i, Record, "new")).collect::<Vec<_>>());
         let comps = vec![c_old, c_new];
-        let cache = BufferCache::new(16);
+        let cache = Arc::new(BufferCache::new(16));
         let start = 100u64.to_be_bytes();
         let end = 105u64.to_be_bytes();
         let misses_before = cache.misses();
-        let mut scan = MergedScan::new(None, &comps, &cache, Some(&start), Some(&end), false);
+        let mut scan = MergedScan::new(&[], &comps, &cache, Some(&start), Some(&end), false);
         let got: Vec<u64> = collect(&mut scan).into_iter().map(|(k, _, _)| k).collect();
         assert_eq!(got, vec![100, 101, 102, 103, 104]);
         // Only the new component's block was fetched.
@@ -266,8 +357,8 @@ mod tests {
         let c1 = component(1, &[(7, AntiMatter, "")]);
         let c2 = component(2, &[(7, Record, "v2")]);
         let comps = vec![c0, c1, c2];
-        let cache = BufferCache::new(16);
-        let mut scan = MergedScan::new(None, &comps, &cache, None, None, false);
+        let cache = Arc::new(BufferCache::new(16));
+        let mut scan = MergedScan::new(&[], &comps, &cache, None, None, false);
         assert_eq!(collect(&mut scan), vec![(7, Record, "v2".into())]);
     }
 }

@@ -38,12 +38,12 @@ impl SecondaryIndex {
         }
     }
 
-    pub fn insert(&mut self, secondary: &[u8], primary: &[u8]) {
+    pub fn insert(&self, secondary: &[u8], primary: &[u8]) {
         debug_assert_eq!(secondary.len(), self.secondary_width);
         self.tree.insert(encode_composite_key(secondary, primary), Vec::new());
     }
 
-    pub fn delete(&mut self, secondary: &[u8], primary: &[u8]) {
+    pub fn delete(&self, secondary: &[u8], primary: &[u8]) {
         self.tree.delete(encode_composite_key(secondary, primary), None);
     }
 
@@ -58,12 +58,16 @@ impl SecondaryIndex {
         out
     }
 
-    pub fn flush(&mut self) {
+    pub fn flush(&self) {
         self.tree.flush();
     }
 
     pub fn disk_bytes(&self) -> u64 {
         self.tree.disk_bytes()
+    }
+
+    pub fn stats(&self) -> crate::tree::LsmStats {
+        self.tree.stats()
     }
 
     pub fn tree(&self) -> &LsmTree {
@@ -81,11 +85,11 @@ impl PrimaryKeyIndex {
         PrimaryKeyIndex { tree: LsmTree::new(device, cache, Arc::new(NoopHook), opts) }
     }
 
-    pub fn insert(&mut self, key: &[u8]) {
+    pub fn insert(&self, key: &[u8]) {
         self.tree.insert(key.to_vec(), Vec::new());
     }
 
-    pub fn delete(&mut self, key: &[u8]) {
+    pub fn delete(&self, key: &[u8]) {
         self.tree.delete(key.to_vec(), None);
     }
 
@@ -95,12 +99,16 @@ impl PrimaryKeyIndex {
         self.tree.contains(key)
     }
 
-    pub fn flush(&mut self) {
+    pub fn flush(&self) {
         self.tree.flush();
     }
 
     pub fn disk_bytes(&self) -> u64 {
         self.tree.disk_bytes()
+    }
+
+    pub fn stats(&self) -> crate::tree::LsmStats {
+        self.tree.stats()
     }
 }
 
@@ -117,7 +125,7 @@ mod tests {
     #[test]
     fn range_query_returns_primary_keys_in_order() {
         let (d, c) = parts();
-        let mut idx = SecondaryIndex::new(d, c, LsmOptions::default(), 8);
+        let idx = SecondaryIndex::new(d, c, LsmOptions::default(), 8);
         // timestamps 100..200 map to pk = ts - 100
         for ts in 100i64..200 {
             idx.insert(&encode_i64_key(ts), &encode_u64_key((ts - 100) as u64));
@@ -131,7 +139,7 @@ mod tests {
     #[test]
     fn duplicate_secondary_keys_keep_all_primaries() {
         let (d, c) = parts();
-        let mut idx = SecondaryIndex::new(d, c, LsmOptions::default(), 8);
+        let idx = SecondaryIndex::new(d, c, LsmOptions::default(), 8);
         for pk in 0u64..5 {
             idx.insert(&encode_i64_key(42), &encode_u64_key(pk));
         }
@@ -142,7 +150,7 @@ mod tests {
     #[test]
     fn delete_removes_one_posting() {
         let (d, c) = parts();
-        let mut idx = SecondaryIndex::new(d, c, LsmOptions::default(), 8);
+        let idx = SecondaryIndex::new(d, c, LsmOptions::default(), 8);
         idx.insert(&encode_i64_key(1), &encode_u64_key(10));
         idx.insert(&encode_i64_key(1), &encode_u64_key(11));
         idx.delete(&encode_i64_key(1), &encode_u64_key(10));
@@ -154,7 +162,7 @@ mod tests {
     #[test]
     fn primary_key_index_existence() {
         let (d, c) = parts();
-        let mut pki = PrimaryKeyIndex::new(d, c, LsmOptions::default());
+        let pki = PrimaryKeyIndex::new(d, c, LsmOptions::default());
         for i in 0..100u64 {
             pki.insert(&encode_u64_key(i));
         }

@@ -1,9 +1,44 @@
 //! The LSM tree: in-memory component + on-disk components + WAL, with the
 //! flush/merge lifecycle the tuple compactor piggybacks on (paper §2.2,
 //! §3.1).
+//!
+//! # Threading model
+//!
+//! The tree is internally synchronized so one writer, any number of
+//! readers, and background flush/merge workers can share it through `&self`
+//! (`Arc<LsmTree>`):
+//!
+//! * **`state: RwLock<TreeState>`** guards the mutable topology: the active
+//!   memtable, the frozen memtable (mid-flush), the on-disk component list,
+//!   and the displaced anti-schema queue. Writers take it briefly per
+//!   operation; readers take it briefly to build an owned snapshot
+//!   ([`MergedScan`] / cloned `Arc` component lists) and then read without
+//!   any lock. Flush *freeze* and flush/merge *install* are the only other
+//!   write acquisitions — both O(1) pointer swaps.
+//! * **`flush_lock: Mutex<()>`** serializes flushes. A flush freezes the
+//!   memtable (rotating the WAL in the same critical section, so the active
+//!   WAL segment always covers exactly the active memtable), builds the
+//!   component with no state lock held (this is where the compactor hook
+//!   runs, guarded by its own schema mutex), then installs the component
+//!   and clears the frozen memtable in one write-lock section — a reader
+//!   snapshot can never see the flushed data twice or lose it.
+//! * **`merge_lock: Mutex<()>`** serializes merges. A merge snapshots its
+//!   input components, builds the merged component lock-free, and splices
+//!   it in *by identity* (`Arc::ptr_eq`), so concurrent flush appends don't
+//!   invalidate its indices. In-flight scans keep their `Arc`s to the old
+//!   components (snapshot semantics).
+//!
+//! Schema commits keep the paper's discipline (§3.1.1): flush mutates the
+//! in-memory schema under the compactor's own mutex before the component
+//! becomes visible; merge picks a metadata blob from its inputs and never
+//! touches the in-memory schema, so flushes and merges need no mutual
+//! synchronization beyond the component-list swap.
 
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
+use std::time::Instant;
 
+use parking_lot::{Mutex, RwLock};
 use tc_compress::CompressionScheme;
 use tc_storage::device::Device;
 use tc_storage::BufferCache;
@@ -27,6 +62,11 @@ pub struct LsmOptions {
     pub bloom_bits_per_key: usize,
     /// Disable to model bulk-load (no transaction log, §4.3).
     pub wal_enabled: bool,
+    /// Flush (and run the merge policy) inline on the writing thread when
+    /// the memtable exceeds its budget. Disable when a background
+    /// maintenance worker drives flushes instead — writers then never stall
+    /// on flush work (the scheduler watches [`LsmTree::needs_flush`]).
+    pub auto_flush: bool,
 }
 
 impl Default for LsmOptions {
@@ -41,18 +81,9 @@ impl Default for LsmOptions {
             },
             bloom_bits_per_key: 10,
             wal_enabled: true,
+            auto_flush: true,
         }
     }
-}
-
-/// Where a point lookup found its entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LookupSource {
-    /// The in-memory component — this version has not been flushed (and,
-    /// for inferred datasets, not observed by the schema).
-    Memtable,
-    /// An on-disk component — this version was counted at its flush.
-    Disk,
 }
 
 /// Lifecycle statistics (ingestion experiments report these).
@@ -62,27 +93,122 @@ pub struct LsmStats {
     pub merges: u64,
     pub entries_flushed: u64,
     pub entries_merged: u64,
+    /// Nanoseconds the *writing* thread spent blocked in budget-triggered
+    /// inline flush/merge work (`auto_flush`). Structurally zero when a
+    /// background worker owns maintenance — the Fig 17 writer-stall metric.
+    pub writer_stall_nanos: u64,
+    /// Nanoseconds the writing thread spent blocked on *backpressure*:
+    /// with background maintenance, writers stall only when ingest outruns
+    /// the flush pipeline past the overhang cap (see the dataset's
+    /// scheduler). Reported separately from inline stall so "the writer
+    /// never flushes inline" stays a checkable invariant.
+    pub backpressure_stall_nanos: u64,
 }
 
-/// A single-partition LSM tree. Not internally synchronized — each data
-/// partition owns one tree and runs its operations serially (the paper's
-/// partitions are independent; cross-partition parallelism lives above).
-pub struct LsmTree {
-    opts: LsmOptions,
-    device: Arc<Device>,
-    cache: Arc<BufferCache>,
-    hook: Arc<dyn ComponentHook>,
+#[derive(Debug, Default)]
+struct StatsCells {
+    flushes: AtomicU64,
+    merges: AtomicU64,
+    entries_flushed: AtomicU64,
+    entries_merged: AtomicU64,
+    writer_stall_nanos: AtomicU64,
+    backpressure_stall_nanos: AtomicU64,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> LsmStats {
+        LsmStats {
+            flushes: self.flushes.load(AtomicOrdering::Relaxed),
+            merges: self.merges.load(AtomicOrdering::Relaxed),
+            entries_flushed: self.entries_flushed.load(AtomicOrdering::Relaxed),
+            entries_merged: self.entries_merged.load(AtomicOrdering::Relaxed),
+            writer_stall_nanos: self.writer_stall_nanos.load(AtomicOrdering::Relaxed),
+            backpressure_stall_nanos: self.backpressure_stall_nanos.load(AtomicOrdering::Relaxed),
+        }
+    }
+}
+
+/// The lock-guarded mutable topology (see the module docs).
+struct TreeState {
+    /// The active in-memory component.
     mem: Memtable,
+    /// The immutable in-memory component a flush is currently writing out.
+    /// Readers merge it between `mem` and the disk components; it clears
+    /// in the same critical section that installs the flushed component.
+    frozen: Option<Arc<Memtable>>,
     /// Oldest → newest.
     disk: Vec<Arc<DiskComponent>>,
-    wal: Wal,
-    next_seq: u64,
-    stats: LsmStats,
     /// Anti-schema attachments whose anti-matter entries were displaced by
     /// newer same-key writes in the memtable. Their *old, flushed* record
     /// versions were counted by earlier flushes, so the next flush must
     /// still hand them to the hook (§3.2.2 upsert path).
     pending_anti: Vec<Vec<u8>>,
+    next_seq: u64,
+}
+
+/// A single-partition LSM tree, internally synchronized: one writer, many
+/// readers, and background flush/merge may run concurrently through
+/// `&self`. Cross-partition parallelism still lives above (partitions are
+/// independent, §2.2); *within* a partition the ingestion order is the
+/// caller's responsibility (one logical writer per partition).
+pub struct LsmTree {
+    opts: LsmOptions,
+    device: Arc<Device>,
+    cache: Arc<BufferCache>,
+    hook: Arc<dyn ComponentHook>,
+    state: RwLock<TreeState>,
+    wal: Wal,
+    /// Serializes flushes (freeze → build → install).
+    flush_lock: Mutex<()>,
+    /// Serializes merges (decide → build → splice-by-identity).
+    merge_lock: Mutex<()>,
+    stats: StatsCells,
+}
+
+/// A consistent read view of the tree, holding the state read lock.
+///
+/// While a view is alive, freezes and component installs are blocked, so
+/// everything obtained through it — memtable lookups, component lists,
+/// scans, *and any external state that must agree with them* (the dataset
+/// captures its schema-dictionary snapshot through one of these) — refers
+/// to the same instant. Drop it promptly; scans and cloned component lists
+/// stay valid after the drop (they own their snapshot).
+pub struct ReadView<'a> {
+    guard: parking_lot::RwLockReadGuard<'a, TreeState>,
+}
+
+impl ReadView<'_> {
+    /// Point lookup in the in-memory components only (active, then frozen).
+    pub fn mem_entry(&self, key: &[u8]) -> Option<(EntryKind, Vec<u8>)> {
+        let hit = self
+            .guard
+            .mem
+            .get(key)
+            .or_else(|| self.guard.frozen.as_deref().and_then(|f| f.get(key)));
+        hit.map(|entry| match entry {
+            MemEntry::Record(p) => (EntryKind::Record, p.clone()),
+            MemEntry::AntiMatter(_) => (EntryKind::AntiMatter, Vec::new()),
+        })
+    }
+
+    /// The disk components (oldest → newest) as owned handles.
+    pub fn components(&self) -> Vec<Arc<DiskComponent>> {
+        self.guard.disk.clone()
+    }
+
+    /// The in-memory scan inputs: a retained handle to the (immutable)
+    /// frozen memtable and an owned copy of the active memtable from
+    /// `start` onward. The active copy is the only per-entry work that
+    /// belongs under the lock — the frozen memtable is immutable behind its
+    /// `Arc`, so it is snapshotted (and the [`MergedScan`], whose heap
+    /// priming reads disk blocks, is built) *after* the view drops — see
+    /// [`LsmTree::scan_range`].
+    pub fn mem_parts(
+        &self,
+        start: Option<&[u8]>,
+    ) -> (Option<Arc<Memtable>>, Vec<(Key, EntryKind, Vec<u8>)>) {
+        (self.guard.frozen.clone(), crate::iter::snapshot_memtable(&self.guard.mem, start))
+    }
 }
 
 impl LsmTree {
@@ -98,21 +224,44 @@ impl LsmTree {
             device,
             cache,
             hook,
-            mem: Memtable::new(),
-            disk: Vec::new(),
+            state: RwLock::new(TreeState {
+                mem: Memtable::new(),
+                frozen: None,
+                disk: Vec::new(),
+                pending_anti: Vec::new(),
+                next_seq: 0,
+            }),
             wal,
-            next_seq: 0,
-            stats: LsmStats::default(),
-            pending_anti: Vec::new(),
+            flush_lock: Mutex::new(()),
+            merge_lock: Mutex::new(()),
+            stats: StatsCells::default(),
         }
     }
 
-    /// Apply an entry to the memtable, preserving any displaced
-    /// anti-schema attachment.
-    fn apply(&mut self, key: Key, entry: MemEntry) {
-        if let Some(MemEntry::AntiMatter(Some(att))) = self.mem.put(key, entry) {
-            self.pending_anti.push(att);
+    /// Apply an entry to the active memtable under an already-held state
+    /// lock, preserving any displaced anti-schema attachment (§3.2.2: the
+    /// old, flushed version of an upserted record still needs its
+    /// decrement). Every mutation path — live writes, conditional deletes,
+    /// WAL replay — must go through this so the displacement rule can
+    /// never diverge between them.
+    fn apply_locked(st: &mut TreeState, key: Key, entry: MemEntry) {
+        if let Some(MemEntry::AntiMatter(Some(att))) = st.mem.put(key, entry) {
+            st.pending_anti.push(att);
         }
+    }
+
+    /// Log and apply an entry to the active memtable. One critical
+    /// section, so the WAL order always matches the memtable state it
+    /// covers. Returns whether the memtable ran over budget — measured
+    /// under the lock already held, so the write hot path never re-locks
+    /// just to check.
+    fn log_and_apply(&self, key: Key, entry: MemEntry) -> bool {
+        let mut st = self.state.write();
+        if self.opts.wal_enabled {
+            self.wal.log(&key, &entry);
+        }
+        Self::apply_locked(&mut st, key, entry);
+        st.mem.bytes() >= self.opts.memtable_budget
     }
 
     pub fn options(&self) -> &LsmOptions {
@@ -120,7 +269,7 @@ impl LsmTree {
     }
 
     pub fn stats(&self) -> LsmStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     pub fn device(&self) -> &Arc<Device> {
@@ -131,17 +280,43 @@ impl LsmTree {
         &self.cache
     }
 
-    pub fn components(&self) -> &[Arc<DiskComponent>] {
-        &self.disk
+    /// A consistent read view (see [`ReadView`]).
+    pub fn read_view(&self) -> ReadView<'_> {
+        ReadView { guard: self.state.read() }
     }
 
+    /// Snapshot of the on-disk components, oldest → newest.
+    pub fn components(&self) -> Vec<Arc<DiskComponent>> {
+        self.state.read().disk.clone()
+    }
+
+    /// Entries in memory (active + frozen) not yet installed on disk.
     pub fn memtable_len(&self) -> usize {
-        self.mem.len()
+        let st = self.state.read();
+        st.mem.len() + st.frozen.as_deref().map_or(0, Memtable::len)
+    }
+
+    /// Active memtable footprint in bytes.
+    pub fn memtable_bytes(&self) -> usize {
+        self.state.read().mem.bytes()
+    }
+
+    /// Is the active memtable over budget? Background maintenance
+    /// schedulers poll this instead of flushing inline.
+    pub fn needs_flush(&self) -> bool {
+        self.memtable_bytes() >= self.opts.memtable_budget
+    }
+
+    /// Account time the writer spent blocked on maintenance backpressure —
+    /// external flush schedulers call this when they stall the writer, so
+    /// the cost is visible without polluting the inline-flush stall metric.
+    pub fn note_backpressure_stall(&self, nanos: u64) {
+        self.stats.backpressure_stall_nanos.fetch_add(nanos, AtomicOrdering::Relaxed);
     }
 
     /// Total on-disk footprint across components.
     pub fn disk_bytes(&self) -> u64 {
-        self.disk.iter().map(|c| c.disk_bytes()).sum()
+        self.components().iter().map(|c| c.disk_bytes()).sum()
     }
 
     /// Total live records (scan-count; O(n)).
@@ -158,71 +333,133 @@ impl LsmTree {
     // Writes
     // -----------------------------------------------------------------
 
-    /// Insert (or overwrite) a record.
-    pub fn insert(&mut self, key: Key, payload: Vec<u8>) {
-        let entry = MemEntry::Record(payload);
-        if self.opts.wal_enabled {
-            self.wal.log(&key, &entry);
-        }
-        self.apply(key, entry);
-        self.maybe_flush();
+    /// Insert (or overwrite) a record. Returns whether the memtable is
+    /// over budget after the write — already computed under the write
+    /// lock, so external flush schedulers don't re-lock to poll
+    /// [`LsmTree::needs_flush`] on the hot path.
+    pub fn insert(&self, key: Key, payload: Vec<u8>) -> bool {
+        let over_budget = self.log_and_apply(key, MemEntry::Record(payload));
+        self.maybe_flush(over_budget);
+        over_budget
     }
 
     /// Delete by key: inserts an anti-matter entry. `attachment` is the
     /// hook payload (the anti-schema, §3.2.2), processed and discarded at
-    /// flush.
-    pub fn delete(&mut self, key: Key, attachment: Option<Vec<u8>>) {
-        let entry = MemEntry::AntiMatter(attachment);
-        if self.opts.wal_enabled {
-            self.wal.log(&key, &entry);
-        }
-        self.apply(key, entry);
-        self.maybe_flush();
+    /// flush. Returns the over-budget flag, like [`LsmTree::insert`].
+    pub fn delete(&self, key: Key, attachment: Option<Vec<u8>>) -> bool {
+        let over_budget = self.log_and_apply(key, MemEntry::AntiMatter(attachment));
+        self.maybe_flush(over_budget);
+        over_budget
     }
 
-    fn maybe_flush(&mut self) {
-        if self.mem.bytes() >= self.opts.memtable_budget {
-            self.flush();
-            self.maybe_merge();
+    /// Delete with a *conditional* anti-schema: attach it only if the
+    /// version being replaced was (or is being) counted by a flush.
+    ///
+    /// The caller cannot decide this from a prior lookup: between its
+    /// lookup and this apply, a background flush may freeze the memtable,
+    /// moving a "never observed" in-memory version into a component whose
+    /// flush *does* count it (§3.2.2) — skipping the decrement would then
+    /// leak schema counts. So the decision is made here, atomically under
+    /// the state lock: a live record still in the *active* memtable was
+    /// never observed by any flush (no attachment); anything older lives in
+    /// the frozen memtable or on disk, where a flush has counted or is
+    /// committed to counting it (attachment rides along, and the flush
+    /// ordering guarantees the decrement lands after the count).
+    pub fn delete_versioned(&self, key: Key, attachment_if_counted: Option<Vec<u8>>) -> bool {
+        let over_budget = {
+            let mut st = self.state.write();
+            let counted = !matches!(st.mem.get(&key), Some(MemEntry::Record(_)));
+            let entry = MemEntry::AntiMatter(if counted { attachment_if_counted } else { None });
+            if self.opts.wal_enabled {
+                self.wal.log(&key, &entry);
+            }
+            Self::apply_locked(&mut st, key, entry);
+            st.mem.bytes() >= self.opts.memtable_budget
+        };
+        self.maybe_flush(over_budget);
+        over_budget
+    }
+
+    fn maybe_flush(&self, over_budget: bool) {
+        if !self.opts.auto_flush || !over_budget {
+            return;
         }
+        // Inline maintenance stalls the writer — that stall is the metric
+        // the background pipeline exists to remove (Fig 17).
+        let start = Instant::now();
+        self.flush();
+        self.maybe_merge();
+        self.stats
+            .writer_stall_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, AtomicOrdering::Relaxed);
     }
 
     /// Flush the in-memory component to a new on-disk component, running
     /// every record through the hook (where the tuple compactor infers and
-    /// compacts — §3.1.1).
-    pub fn flush(&mut self) {
-        if self.mem.is_empty() {
-            return;
-        }
+    /// compacts — §3.1.1). Safe to call from any thread; concurrent calls
+    /// serialize, and a call that finds an empty memtable is a no-op.
+    pub fn flush(&self) {
         self.flush_inner(true);
     }
 
     /// Failure injection: perform a flush but "crash" before the validity
-    /// bit is set (and before the WAL is truncated). The in-memory component
-    /// is lost, exactly as in a real crash (§3.1.2).
-    pub fn flush_crashing_before_validity(&mut self) {
-        if self.mem.is_empty() {
-            return;
-        }
+    /// bit is set (and before the frozen WAL segment is discarded). The
+    /// frozen in-memory component is lost, exactly as in a real crash
+    /// (§3.1.2); writes that raced the flush stay in the active memtable
+    /// and the active WAL segment.
+    pub fn flush_crashing_before_validity(&self) {
         self.flush_inner(false);
     }
 
-    fn flush_inner(&mut self, complete: bool) {
-        let entries = self.mem.take();
+    fn flush_inner(&self, complete: bool) {
+        let _flush = self.flush_lock.lock();
+        // Freeze: swap the memtable out and rotate the WAL in one write-lock
+        // section, so the active segment covers exactly the new (empty)
+        // memtable. Readers from here on merge the frozen memtable.
+        let (frozen, anti, seq) = {
+            let mut st = self.state.write();
+            // A hard assert, not a debug_assert — and checked *before* the
+            // empty-memtable early return, so a leftover frozen memtable
+            // can never be silently ignored: if a previous flush panicked
+            // mid-build (hook failure), its frozen memtable is still here
+            // and proceeding would either no-op over stuck records or
+            // overwrite them, dropping data *and* (via rotate + the
+            // eventual discard_frozen) their WAL coverage. Failing loudly
+            // is the only safe option — and it must not depend on mutex
+            // poisoning, which the real parking_lot (the planned vendor
+            // swap-back) doesn't do.
+            assert!(st.frozen.is_none(), "a previous flush aborted mid-build; refusing to flush");
+            if st.mem.is_empty() {
+                return;
+            }
+            if self.opts.wal_enabled {
+                self.wal.rotate();
+            }
+            let frozen = Arc::new(std::mem::take(&mut st.mem));
+            st.frozen = Some(Arc::clone(&frozen));
+            let anti = std::mem::take(&mut st.pending_anti);
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            (frozen, anti, seq)
+        };
+
+        // Build — the slow part — with no state lock held. The hook's
+        // schema mutations synchronize on the compactor's own mutex.
+        //
         // Anti-schemas displaced by in-memory overwrites still decrement
         // the schema for their flushed old versions.
-        for att in self.pending_anti.drain(..) {
+        for att in anti {
             self.hook.on_flush_antimatter(Some(&att));
         }
         let mut builder = ComponentBuilder::new(
             Arc::clone(&self.device),
             self.opts.page_size,
             self.opts.compression,
-            entries.len(),
+            frozen.len(),
             self.opts.bloom_bits_per_key,
         );
         let mut count = 0u64;
-        for (key, entry) in &entries {
+        for (key, entry) in frozen.iter() {
             match entry {
                 MemEntry::Record(payload) => {
                     let transformed = self.hook.on_flush_record(payload);
@@ -235,48 +472,73 @@ impl LsmTree {
             }
             count += 1;
         }
-        let id = ComponentId::flushed(self.next_seq);
-        self.next_seq += 1;
+        let id = ComponentId::flushed(seq);
         let metadata = self.hook.flush_metadata();
         let component = builder.finish(id, metadata, false);
+
         if complete {
             component.set_valid();
-            self.disk.push(Arc::new(component));
-            if self.opts.wal_enabled {
-                self.wal.reset();
+            // Install + unfreeze atomically: a reader snapshot sees the
+            // flushed data exactly once (frozen memtable before, disk
+            // component after — never both, never neither).
+            {
+                let mut st = self.state.write();
+                st.disk.push(Arc::new(component));
+                st.frozen = None;
             }
-            self.stats.flushes += 1;
-            self.stats.entries_flushed += count;
+            if self.opts.wal_enabled {
+                self.wal.discard_frozen();
+            }
+            self.stats.flushes.fetch_add(1, AtomicOrdering::Relaxed);
+            self.stats.entries_flushed.fetch_add(count, AtomicOrdering::Relaxed);
         } else {
-            // Crash: the invalid component is on disk; the WAL survives;
-            // the in-memory component is gone.
-            self.disk.push(Arc::new(component));
+            // Crash: the invalid component is on disk; the frozen WAL
+            // segment survives; the frozen in-memory component is gone.
+            let mut st = self.state.write();
+            st.disk.push(Arc::new(component));
+            st.frozen = None;
         }
     }
 
     /// Run the merge policy; merge at most once.
-    pub fn maybe_merge(&mut self) {
-        if let Some(range) = self.opts.merge_policy.decide(&self.disk) {
-            self.merge(range);
+    pub fn maybe_merge(&self) {
+        let guard = self.merge_lock.lock();
+        let disk = self.state.read().disk.clone();
+        if let Some(range) = self.opts.merge_policy.decide(&disk) {
+            self.merge_locked(&disk[range.clone()], range.start == 0, guard);
         }
     }
 
     /// Merge all on-disk components into one (bench/maintenance helper).
-    pub fn force_full_merge(&mut self) {
-        if self.disk.len() >= 2 {
-            self.merge(0..self.disk.len());
+    pub fn force_full_merge(&self) {
+        let guard = self.merge_lock.lock();
+        let disk = self.state.read().disk.clone();
+        if disk.len() >= 2 {
+            self.merge_locked(&disk, true, guard);
         }
     }
 
-    /// Merge the adjacent component range (oldest..newest indexes).
-    /// Annihilated records are garbage-collected; anti-matter survives only
-    /// if older components remain outside the merge (§2.2). The merged
-    /// component's metadata is chosen by the hook — the paper's rule keeps
-    /// the newest schema without touching in-memory state (§3.1.1).
-    pub fn merge(&mut self, range: std::ops::Range<usize>) {
-        assert!(range.end <= self.disk.len() && range.len() >= 2, "bad merge range");
+    /// Merge the adjacent component range (oldest..newest indexes as of
+    /// this call). Annihilated records are garbage-collected; anti-matter
+    /// survives only if older components remain outside the merge (§2.2).
+    pub fn merge(&self, range: std::ops::Range<usize>) {
+        let guard = self.merge_lock.lock();
+        let disk = self.state.read().disk.clone();
+        assert!(range.end <= disk.len() && range.len() >= 2, "bad merge range");
         let includes_oldest = range.start == 0;
-        let inputs = &self.disk[range.clone()];
+        self.merge_locked(&disk[range], includes_oldest, guard);
+    }
+
+    /// The merge body. The caller passes the merge-lock guard to prove the
+    /// critical section; the merged component's metadata is chosen by the
+    /// hook — the paper's rule keeps the newest schema without touching
+    /// in-memory state (§3.1.1).
+    fn merge_locked(
+        &self,
+        inputs: &[Arc<DiskComponent>],
+        includes_oldest: bool,
+        _guard: parking_lot::MutexGuard<'_, ()>,
+    ) {
         let blobs: Vec<Option<&[u8]>> = inputs.iter().map(|c| c.metadata()).collect();
         let metadata = self.hook.merge_metadata(&blobs);
         let expected: usize = inputs.iter().map(|c| c.num_entries() as usize).sum();
@@ -290,7 +552,7 @@ impl LsmTree {
         );
         let mut count = 0u64;
         {
-            let mut scan = MergedScan::new(None, inputs, &self.cache, None, None, true);
+            let mut scan = MergedScan::new(&[], inputs, &self.cache, None, None, true);
             while let Some((key, kind, payload)) = scan.next() {
                 match kind {
                     EntryKind::AntiMatter if includes_oldest => continue,
@@ -301,25 +563,47 @@ impl LsmTree {
                 }
             }
         }
-        let id = ComponentId::merged(inputs[0].id(), inputs[range.len() - 1].id());
+        let id = ComponentId::merged(inputs[0].id(), inputs[inputs.len() - 1].id());
         let merged = builder.finish(id, metadata, false);
         merged.set_valid();
-        // Swap in the merged component; old ones become garbage (deleted
-        // after the merge completes, §2.2).
-        self.disk.splice(range, [Arc::new(merged)]);
-        self.stats.merges += 1;
-        self.stats.entries_merged += count;
+        // Swap in the merged component *by identity*: a concurrent flush
+        // may have appended components while we built, so positions (not
+        // membership — flushes only append, and merges serialize) may have
+        // shifted. Old inputs become garbage once in-flight scans drop
+        // their Arcs (deleted after the merge completes, §2.2).
+        {
+            let mut st = self.state.write();
+            let start = st
+                .disk
+                .iter()
+                .position(|c| Arc::ptr_eq(c, &inputs[0]))
+                .expect("merge inputs disappeared from the component list");
+            debug_assert!(
+                inputs.iter().enumerate().all(|(i, c)| Arc::ptr_eq(&st.disk[start + i], c)),
+                "merge inputs must remain contiguous"
+            );
+            st.disk.splice(start..start + inputs.len(), [Arc::new(merged)]);
+        }
+        self.stats.merges.fetch_add(1, AtomicOrdering::Relaxed);
+        self.stats.entries_merged.fetch_add(count, AtomicOrdering::Relaxed);
     }
 
     /// Bulk-load a pre-sorted stream into a single component (paper §4.3:
     /// loading sorts records and builds one B+-tree bottom-up; the tuple
     /// compactor infers and compacts during the build). The tree must be
     /// empty.
-    pub fn bulk_load<I>(&mut self, sorted: I)
+    pub fn bulk_load<I>(&self, sorted: I)
     where
         I: IntoIterator<Item = (Key, Vec<u8>)>,
     {
-        assert!(self.disk.is_empty() && self.mem.is_empty(), "bulk_load requires an empty tree");
+        let _flush = self.flush_lock.lock();
+        {
+            let st = self.state.read();
+            assert!(
+                st.disk.is_empty() && st.mem.is_empty() && st.frozen.is_none(),
+                "bulk_load requires an empty tree"
+            );
+        }
         let mut builder = ComponentBuilder::new(
             Arc::clone(&self.device),
             self.opts.page_size,
@@ -333,13 +617,21 @@ impl LsmTree {
             builder.push(&key, EntryKind::Record, &transformed);
             count += 1;
         }
-        let id = ComponentId::flushed(self.next_seq);
-        self.next_seq += 1;
-        let component = builder.finish(id, self.hook.flush_metadata(), false);
+        let metadata = self.hook.flush_metadata();
+        // Reserve the sequence under the lock; build the component (the
+        // slow device write) without it, so concurrent readers never block
+        // on the load.
+        let seq = {
+            let mut st = self.state.write();
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            seq
+        };
+        let component = builder.finish(ComponentId::flushed(seq), metadata, false);
         component.set_valid();
-        self.disk.push(Arc::new(component));
-        self.stats.flushes += 1;
-        self.stats.entries_flushed += count;
+        self.state.write().disk.push(Arc::new(component));
+        self.stats.flushes.fetch_add(1, AtomicOrdering::Relaxed);
+        self.stats.entries_flushed.fetch_add(count, AtomicOrdering::Relaxed);
     }
 
     // -----------------------------------------------------------------
@@ -347,30 +639,34 @@ impl LsmTree {
     // -----------------------------------------------------------------
 
     /// Point lookup returning the entry kind (deleted keys report their
-    /// anti-matter).
+    /// anti-matter). Note: the lookup deliberately does *not* report where
+    /// the entry was found — with background flushes, "memtable vs disk" can
+    /// change between a lookup and a subsequent write, so the counted/
+    /// uncounted decision for anti-schemas is made atomically inside
+    /// [`LsmTree::delete_versioned`] instead.
     pub fn get_entry(&self, key: &[u8]) -> Option<(EntryKind, Vec<u8>)> {
-        self.get_entry_with_source(key).map(|(k, p, _)| (k, p))
+        // Memtables are checked under the read lock (cheap map probes); the
+        // component list is cloned so the disk probes — which may fault
+        // pages in — run without blocking writers.
+        let components = {
+            let view = self.read_view();
+            if let Some(hit) = view.mem_entry(key) {
+                return Some(hit);
+            }
+            view.components()
+        };
+        Self::probe_components(&components, &self.cache, key)
     }
 
-    /// Point lookup that also reports *where* the entry was found. The
-    /// tuple compactor needs this: only versions that reached disk were
-    /// counted by a flush, so only those get anti-schemas on delete/upsert
-    /// (§3.2.2); an in-memory version was never observed.
-    pub fn get_entry_with_source(&self, key: &[u8]) -> Option<(EntryKind, Vec<u8>, LookupSource)> {
-        if let Some(entry) = self.mem.get(key) {
-            return Some(match entry {
-                MemEntry::Record(p) => (EntryKind::Record, p.clone(), LookupSource::Memtable),
-                MemEntry::AntiMatter(_) => {
-                    (EntryKind::AntiMatter, Vec::new(), LookupSource::Memtable)
-                }
-            });
-        }
-        for c in self.disk.iter().rev() {
-            if let Some((kind, payload)) = c.get(&self.cache, key) {
-                return Some((kind, payload, LookupSource::Disk));
-            }
-        }
-        None
+    /// Probe an owned component snapshot newest → oldest — the shared
+    /// post-view resolution step for point lookups (used here and by the
+    /// dataset's snapshot lookups, so the probe order can never diverge).
+    pub fn probe_components(
+        components: &[Arc<DiskComponent>],
+        cache: &BufferCache,
+        key: &[u8],
+    ) -> Option<(EntryKind, Vec<u8>)> {
+        components.iter().rev().find_map(|c| c.get(cache, key))
     }
 
     /// Point lookup for a live record.
@@ -386,44 +682,87 @@ impl LsmTree {
         matches!(self.get_entry(key), Some((EntryKind::Record, _)))
     }
 
-    /// Full scan of live records.
-    pub fn scan(&self) -> MergedScan<'_> {
-        MergedScan::new(Some(&self.mem), &self.disk, &self.cache, None, None, false)
+    /// Full scan of live records (an owned, consistent snapshot).
+    pub fn scan(&self) -> MergedScan {
+        self.scan_range(None, None)
     }
 
     /// Range scan of live records, `start` inclusive, `end` exclusive.
-    pub fn scan_range(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> MergedScan<'_> {
-        MergedScan::new(Some(&self.mem), &self.disk, &self.cache, start, end, false)
+    /// The read lock is held only for the active-memtable copy; the frozen
+    /// snapshot and the scan — with its block-priming IO — are assembled
+    /// after release.
+    pub fn scan_range(&self, start: Option<&[u8]>, end: Option<&[u8]>) -> MergedScan {
+        let (frozen, active, components) = {
+            let view = self.read_view();
+            let (frozen, active) = view.mem_parts(start);
+            (frozen, active, view.components())
+        };
+        crate::iter::scan_from_tree_parts(
+            frozen.as_deref(),
+            active,
+            &components,
+            &self.cache,
+            start,
+            end,
+        )
     }
 
     // -----------------------------------------------------------------
     // Crash & recovery (§3.1.2)
     // -----------------------------------------------------------------
 
-    /// Simulate a process crash: the in-memory component vanishes; disk
-    /// components and the WAL survive as they are.
-    pub fn simulate_crash(&mut self) {
-        self.mem = Memtable::new();
-        self.pending_anti.clear();
+    /// Simulate a process crash: the in-memory components vanish; disk
+    /// components and the WAL survive as they are. Callers must quiesce
+    /// background maintenance first (a worker mid-build would otherwise
+    /// "survive" the crash and install its component afterwards).
+    pub fn simulate_crash(&self) {
+        let mut st = self.state.write();
+        st.mem = Memtable::new();
+        st.frozen = None;
+        st.pending_anti.clear();
     }
 
     /// Recovery: discard invalid components (unset validity bit), then
-    /// replay the WAL into a fresh in-memory component. Returns the number
-    /// of (removed_components, replayed_operations). After recovery the
-    /// caller may flush normally — the compactor hook "operates normally"
-    /// on the restored component (§3.1.2).
-    pub fn recover(&mut self) -> (usize, usize) {
-        let before = self.disk.len();
-        self.disk.retain(|c| c.is_valid());
-        let removed = before - self.disk.len();
+    /// replay the WAL (frozen segment first) into a fresh in-memory
+    /// component. Returns the number of (removed_components,
+    /// replayed_operations). After recovery the caller may flush normally —
+    /// the compactor hook "operates normally" on the restored component
+    /// (§3.1.2).
+    pub fn recover(&self) -> (usize, usize) {
+        let _flush = self.flush_lock.lock();
+        let _merge = self.merge_lock.lock();
+        let mut st = self.state.write();
+        let before = st.disk.len();
+        st.disk.retain(|c| c.is_valid());
+        let removed = before - st.disk.len();
         // Reset the sequence to follow the newest surviving component.
-        self.next_seq = self.disk.last().map(|c| c.id().max + 1).unwrap_or(0);
+        st.next_seq = st.disk.last().map(|c| c.id().max + 1).unwrap_or(0);
         let ops = self.wal.replay();
         let replayed = ops.len();
         for (key, entry) in ops {
+            // Anti-matter attachments re-make the `delete_versioned`
+            // counted/uncounted decision against the *rebuilt* memtable.
+            // The live decision can be voided by the crash: "counted"
+            // meant the old version sat in the frozen memtable or on
+            // disk, but if its covering flush never set the validity bit,
+            // that version's insert is right here in the replayed WAL —
+            // it was never durably counted, and letting its anti-schema
+            // decrement the (recovered) schema would corrupt shared
+            // counters. A Record present in the rebuilt memtable is
+            // exactly that evidence, so the attachment is dropped;
+            // conversely, no Record present means the old version's WAL
+            // coverage was discarded by a *completed* flush, and the
+            // decrement stands.
+            let entry = match entry {
+                MemEntry::AntiMatter(att) => {
+                    let counted = !matches!(st.mem.get(&key), Some(MemEntry::Record(_)));
+                    MemEntry::AntiMatter(if counted { att } else { None })
+                }
+                entry => entry,
+            };
             // Same displacement rule as live writes, so replayed upserts
             // rebuild the pending anti-schema list too.
-            self.apply(key, entry);
+            Self::apply_locked(&mut st, key, entry);
         }
         (removed, replayed)
     }
@@ -431,7 +770,7 @@ impl LsmTree {
     /// The newest component's metadata blob (the schema the recovery
     /// manager reloads, §3.1.2).
     pub fn newest_metadata(&self) -> Option<Vec<u8>> {
-        self.disk.iter().rev().find_map(|c| c.metadata().map(<[u8]>::to_vec))
+        self.state.read().disk.iter().rev().find_map(|c| c.metadata().map(<[u8]>::to_vec))
     }
 
     /// Test/benchmark access to the WAL.
@@ -464,11 +803,12 @@ mod tests {
 
     #[test]
     fn insert_get_across_flushes() {
-        let mut t = small_tree();
+        let t = small_tree();
         for i in 0..200u64 {
             t.insert(encode_u64_key(i), format!("v{i}").into_bytes());
         }
         assert!(t.stats().flushes > 0, "budget should have forced flushes");
+        assert!(t.stats().writer_stall_nanos > 0, "inline flushes stall the writer");
         for i in (0..200u64).step_by(17) {
             assert_eq!(t.get(&encode_u64_key(i)), Some(format!("v{i}").into_bytes()));
         }
@@ -478,7 +818,7 @@ mod tests {
 
     #[test]
     fn delete_hides_record_across_components() {
-        let mut t = small_tree();
+        let t = small_tree();
         t.insert(encode_u64_key(1), b"one".to_vec());
         t.flush();
         t.delete(encode_u64_key(1), None);
@@ -490,7 +830,7 @@ mod tests {
 
     #[test]
     fn merge_annihilates_and_garbage_collects() {
-        let mut t = small_tree();
+        let t = small_tree();
         t.insert(encode_u64_key(0), b"Kim".to_vec());
         t.insert(encode_u64_key(1), b"John".to_vec());
         t.flush(); // C0
@@ -511,7 +851,7 @@ mod tests {
 
     #[test]
     fn partial_merge_preserves_antimatter() {
-        let mut t = small_tree();
+        let t = small_tree();
         t.insert(encode_u64_key(7), b"v".to_vec());
         t.flush(); // C0 holds the record
         t.delete(encode_u64_key(7), None);
@@ -529,7 +869,7 @@ mod tests {
 
     #[test]
     fn upsert_last_write_wins() {
-        let mut t = small_tree();
+        let t = small_tree();
         t.insert(encode_u64_key(5), b"a".to_vec());
         t.flush();
         t.delete(encode_u64_key(5), None);
@@ -543,7 +883,7 @@ mod tests {
 
     #[test]
     fn scan_merges_mem_and_disk() {
-        let mut t = small_tree();
+        let t = small_tree();
         t.insert(encode_u64_key(2), b"disk".to_vec());
         t.flush();
         t.insert(encode_u64_key(1), b"mem".to_vec());
@@ -558,7 +898,7 @@ mod tests {
 
     #[test]
     fn crash_recovery_replays_wal() {
-        let mut t = small_tree();
+        let t = small_tree();
         t.insert(encode_u64_key(1), b"flushed".to_vec());
         t.flush();
         t.insert(encode_u64_key(2), b"unflushed".to_vec());
@@ -575,7 +915,7 @@ mod tests {
 
     #[test]
     fn crash_mid_flush_discards_invalid_component() {
-        let mut t = small_tree();
+        let t = small_tree();
         t.insert(encode_u64_key(1), b"a".to_vec());
         t.flush(); // C0 valid
         t.insert(encode_u64_key(2), b"b".to_vec());
@@ -593,7 +933,7 @@ mod tests {
 
     #[test]
     fn torn_wal_tail_loses_only_last_op() {
-        let mut t = small_tree();
+        let t = small_tree();
         t.insert(encode_u64_key(1), b"a".to_vec());
         t.insert(encode_u64_key(2), b"b".to_vec());
         t.wal().tear_tail(3);
@@ -606,7 +946,7 @@ mod tests {
 
     #[test]
     fn merge_policy_fires_during_ingestion() {
-        let mut t = tree(LsmOptions {
+        let t = tree(LsmOptions {
             page_size: 512,
             memtable_budget: 2 * 1024,
             merge_policy: MergePolicy::Prefix {
@@ -625,7 +965,7 @@ mod tests {
 
     #[test]
     fn bulk_load_builds_single_component() {
-        let mut t = small_tree();
+        let t = small_tree();
         t.bulk_load((0..1000u64).map(|i| (encode_u64_key(i), format!("v{i}").into_bytes())));
         assert_eq!(t.components().len(), 1);
         assert_eq!(t.count(), 1000);
@@ -642,7 +982,7 @@ mod tests {
         }
         let device = Arc::new(Device::new(DeviceProfile::RAM));
         let cache = Arc::new(BufferCache::new(64));
-        let mut t = LsmTree::new(
+        let t = LsmTree::new(
             device,
             cache,
             Arc::new(BlobHook),
@@ -654,5 +994,154 @@ mod tests {
         t.flush();
         t.force_full_merge();
         assert_eq!(t.newest_metadata(), Some(b"schema".to_vec()));
+    }
+
+    #[test]
+    fn delete_versioned_attaches_only_for_observed_versions() {
+        struct CountingHook(std::sync::atomic::AtomicU64);
+        impl ComponentHook for CountingHook {
+            fn on_flush_antimatter(&self, attachment: Option<&[u8]>) {
+                if attachment.is_some() {
+                    self.0.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+            }
+        }
+        let hook = Arc::new(CountingHook(AtomicU64::new(0)));
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        let cache = Arc::new(BufferCache::new(64));
+        let t = LsmTree::new(
+            device,
+            cache,
+            Arc::clone(&hook) as Arc<dyn ComponentHook>,
+            LsmOptions { merge_policy: MergePolicy::NoMerge, ..Default::default() },
+        );
+        // Version still in the active memtable: never observed → the
+        // attachment must be dropped.
+        t.insert(encode_u64_key(1), b"v1".to_vec());
+        t.delete_versioned(encode_u64_key(1), Some(b"anti".to_vec()));
+        t.flush();
+        assert_eq!(hook.0.load(AtomicOrdering::Relaxed), 0, "unobserved version: no decrement");
+        // Version on disk: observed → the attachment reaches the hook.
+        t.insert(encode_u64_key(2), b"v1".to_vec());
+        t.flush();
+        t.delete_versioned(encode_u64_key(2), Some(b"anti".to_vec()));
+        t.flush();
+        assert_eq!(hook.0.load(AtomicOrdering::Relaxed), 1, "observed version: one decrement");
+    }
+
+    #[test]
+    fn replay_strips_attachment_when_covering_flush_crashed() {
+        // A delete decided "counted" because its old version sat in the
+        // frozen memtable — but the covering flush crashed before the
+        // validity bit, so the count never became durable. Recovery must
+        // strip the (retroactively wrong) anti-schema so the hook never
+        // decrements for a version that was never durably counted.
+        struct CountingHook(AtomicU64);
+        impl ComponentHook for CountingHook {
+            fn on_flush_antimatter(&self, attachment: Option<&[u8]>) {
+                if attachment.is_some() {
+                    self.0.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+            }
+        }
+        let hook = Arc::new(CountingHook(AtomicU64::new(0)));
+        let t = LsmTree::new(
+            Arc::new(Device::new(DeviceProfile::RAM)),
+            Arc::new(BufferCache::new(64)),
+            Arc::clone(&hook) as Arc<dyn ComponentHook>,
+            LsmOptions { merge_policy: MergePolicy::NoMerge, ..Default::default() },
+        );
+        t.insert(encode_u64_key(1), b"v1".to_vec());
+        t.flush_crashing_before_validity(); // v1's count never durable; WAL keeps its insert
+        t.delete_versioned(encode_u64_key(1), Some(b"anti".to_vec())); // sees no active record → "counted"
+        t.simulate_crash();
+        let (removed, replayed) = t.recover();
+        assert_eq!(removed, 1);
+        assert_eq!(replayed, 2, "insert + anti-matter both replay");
+        t.flush();
+        assert_eq!(
+            hook.0.load(AtomicOrdering::Relaxed),
+            0,
+            "the never-durably-counted version must not be decremented"
+        );
+        assert_eq!(t.get(&encode_u64_key(1)), None, "the delete itself still holds");
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes_and_flushes() {
+        // Shared-reader smoke test at the tree level: one writer inserts
+        // and flushes; readers continuously get/scan. Every observed state
+        // must be a prefix-consistent snapshot (values match their keys; no
+        // torn payloads; counts never exceed what was written).
+        let t = Arc::new(tree(LsmOptions {
+            page_size: 512,
+            memtable_budget: 2 * 1024,
+            merge_policy: MergePolicy::Prefix {
+                max_mergeable_size: 1024 * 1024,
+                max_tolerable_components: 3,
+            },
+            ..Default::default()
+        }));
+        const N: u64 = 1500;
+        std::thread::scope(|scope| {
+            let writer = Arc::clone(&t);
+            scope.spawn(move || {
+                for i in 0..N {
+                    writer.insert(encode_u64_key(i), format!("payload-{i}").into_bytes());
+                }
+            });
+            for _ in 0..3 {
+                let reader = Arc::clone(&t);
+                scope.spawn(move || {
+                    for round in 0..40u64 {
+                        // Point gets: value must always match its key.
+                        for i in (0..N).step_by(97) {
+                            if let Some(p) = reader.get(&encode_u64_key(i)) {
+                                assert_eq!(p, format!("payload-{i}").into_bytes());
+                            }
+                        }
+                        // Scans: sorted unique keys, consistent payloads.
+                        let mut scan = reader.scan();
+                        let mut prev: Option<u64> = None;
+                        let mut seen = 0u64;
+                        while let Some((k, _, p)) = scan.next() {
+                            let key = crate::entry::decode_u64_key(&k).unwrap();
+                            if let Some(prev) = prev {
+                                assert!(key > prev, "scan keys must ascend");
+                            }
+                            prev = Some(key);
+                            assert_eq!(p, format!("payload-{key}").into_bytes());
+                            seen += 1;
+                        }
+                        assert!(seen <= N);
+                        let _ = round;
+                    }
+                });
+            }
+        });
+        assert_eq!(t.count(), N);
+    }
+
+    #[test]
+    fn flush_from_background_thread_keeps_readers_consistent() {
+        let t = Arc::new(small_tree());
+        for i in 0..300u64 {
+            t.insert(encode_u64_key(i), format!("v{i}").into_bytes());
+        }
+        std::thread::scope(|scope| {
+            let flusher = Arc::clone(&t);
+            scope.spawn(move || {
+                flusher.flush();
+                flusher.force_full_merge();
+            });
+            let reader = Arc::clone(&t);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    assert_eq!(reader.count(), 300, "no reader may see torn state");
+                }
+            });
+        });
+        assert_eq!(t.memtable_len(), 0);
+        assert_eq!(t.count(), 300);
     }
 }

@@ -6,9 +6,19 @@
 //! disk. Recovery replays the log to rebuild the lost in-memory component
 //! (§3.1.2). Anti-matter log records carry their hook attachment so a
 //! replayed flush can still process anti-schemas.
+//!
+//! The log is segmented to support *background* flushes: when the in-memory
+//! component is frozen for flushing, the active segment is rotated into the
+//! frozen segment (a rename — no data is rewritten), and new writes land in
+//! a fresh active segment. When the flush installs its VALID component, only
+//! the frozen segment is discarded; operations logged while the flush was
+//! running stay covered. A crash between rotation and install leaves both
+//! segments, and replay walks frozen-then-active, restoring exactly the
+//! un-flushed suffix.
 
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use tc_storage::device::Device;
 use tc_storage::file::FileStore;
 use tc_util::varint;
@@ -21,15 +31,20 @@ const OP_INSERT: u8 = 0;
 const OP_ANTIMATTER: u8 = 1;
 const OP_ANTIMATTER_WITH_ATTACHMENT: u8 = 2;
 
-/// An append-only log of memtable operations.
+/// A two-segment append-only log of memtable operations.
 #[derive(Debug)]
 pub struct Wal {
-    file: FileStore,
+    /// Records covering the active in-memory component.
+    active: FileStore,
+    /// Records covering the frozen component currently being flushed
+    /// (empty whenever no flush is in flight). Held in memory directly:
+    /// rotation models a file rename, so it charges no device IO.
+    frozen: Mutex<Vec<u8>>,
 }
 
 impl Wal {
     pub fn new(device: Arc<Device>) -> Self {
-        Wal { file: FileStore::new(device) }
+        Wal { active: FileStore::new(device), frozen: Mutex::new(Vec::new()) }
     }
 
     /// Append one operation. In a no-force design this is the only write
@@ -61,27 +76,58 @@ impl Wal {
         let mut framed = Vec::with_capacity(rec.len() + 5);
         varint::write_u64(&mut framed, rec.len() as u64);
         framed.extend_from_slice(&rec);
-        self.file.append(&framed);
+        self.active.append(&framed);
     }
 
-    /// Truncate after a successful flush (the flushed component's log
-    /// records are no longer needed — §2.2).
+    /// Rotate the active segment into the frozen segment — called under the
+    /// tree's state write lock when the in-memory component is frozen for a
+    /// flush, so the active segment always covers exactly the active
+    /// memtable. Appends to (rather than replaces) the frozen segment:
+    /// after a recovery both segments may hold records, and order must be
+    /// preserved (frozen is always older than active).
+    pub fn rotate(&self) {
+        let mut frozen = self.frozen.lock();
+        if frozen.is_empty() {
+            // Common case: a pure buffer handoff, O(1) — rotation runs
+            // inside the tree's freeze critical section and must not stall
+            // writers/readers on a copy.
+            *frozen = self.active.take_all();
+        } else {
+            // Post-recovery case only (both segments held records and no
+            // flush has completed since): append to preserve order.
+            let bytes = self.active.take_all();
+            frozen.extend_from_slice(&bytes);
+        }
+    }
+
+    /// Drop the frozen segment after its component became VALID on disk
+    /// (§2.2: a flushed component's log records are no longer needed).
+    pub fn discard_frozen(&self) {
+        self.frozen.lock().clear();
+    }
+
+    /// Truncate *both* segments. Test/maintenance helper only — a
+    /// production flush must use [`Wal::discard_frozen`] instead, because
+    /// resetting the active segment too would strip coverage from writes
+    /// that raced the flush.
     pub fn reset(&self) {
-        self.file.truncate(0);
+        self.frozen.lock().clear();
+        self.active.truncate(0);
     }
 
     pub fn byte_len(&self) -> u64 {
-        self.file.len()
+        self.frozen.lock().len() as u64 + self.active.len()
     }
 
-    /// Replay all intact records; a torn tail (truncated frame) stops the
-    /// replay silently, mirroring crash-recovery semantics.
+    /// Replay all intact records, frozen segment first (it is strictly
+    /// older); a torn tail (truncated frame) stops the replay silently,
+    /// mirroring crash-recovery semantics.
     pub fn replay(&self) -> Vec<(Key, MemEntry)> {
-        let len = self.file.len() as usize;
-        if len == 0 {
-            return Vec::new();
+        let mut buf = self.frozen.lock().clone();
+        let active_len = self.active.len() as usize;
+        if active_len > 0 {
+            buf.extend_from_slice(&self.active.read(0, active_len));
         }
-        let buf = self.file.read(0, len);
         let mut out = Vec::new();
         let mut pos = 0usize;
         while pos < buf.len() {
@@ -104,10 +150,11 @@ impl Wal {
         out
     }
 
-    /// Corrupt the tail (test helper for torn-write simulation).
+    /// Corrupt the tail of the active segment (test helper for torn-write
+    /// simulation).
     pub fn tear_tail(&self, bytes: u64) {
-        let len = self.file.len();
-        self.file.truncate(len.saturating_sub(bytes));
+        let len = self.active.len();
+        self.active.truncate(len.saturating_sub(bytes));
     }
 }
 
@@ -182,5 +229,51 @@ mod tests {
     #[test]
     fn empty_wal_replays_nothing() {
         assert!(wal().replay().is_empty());
+    }
+
+    #[test]
+    fn rotation_splits_coverage_between_segments() {
+        let w = wal();
+        w.log(b"old", &MemEntry::Record(b"a".to_vec()));
+        w.rotate(); // freeze for flush
+        w.log(b"new", &MemEntry::Record(b"b".to_vec()));
+        // Crash before install: both segments replay, old first.
+        let ops = w.replay();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].0, b"old".to_vec());
+        assert_eq!(ops[1].0, b"new".to_vec());
+        // Install completes: only the frozen segment is discarded.
+        w.discard_frozen();
+        let ops = w.replay();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].0, b"new".to_vec());
+    }
+
+    #[test]
+    fn rotation_onto_nonempty_frozen_preserves_order() {
+        // After recovery both segments hold records; the next rotation must
+        // append the (newer) active records after the existing frozen ones.
+        let w = wal();
+        w.log(b"k1", &MemEntry::Record(b"a".to_vec()));
+        w.rotate();
+        w.log(b"k2", &MemEntry::Record(b"b".to_vec()));
+        w.rotate(); // frozen now holds k1 then k2
+        let ops = w.replay();
+        assert_eq!(
+            ops.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            vec![b"k1".to_vec(), b"k2".to_vec()]
+        );
+    }
+
+    #[test]
+    fn tear_tail_affects_active_segment_only() {
+        let w = wal();
+        w.log(b"flushed", &MemEntry::Record(b"x".to_vec()));
+        w.rotate();
+        w.log(b"torn", &MemEntry::Record(b"y-longer-payload".to_vec()));
+        w.tear_tail(4);
+        let ops = w.replay();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].0, b"flushed".to_vec());
     }
 }

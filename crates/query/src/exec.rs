@@ -167,11 +167,13 @@ fn run_partition(
     local_ops: &[Op],
     blocking: Option<&Op>,
 ) -> Result<(LocalOutput, u64, u64), AdmError> {
-    let decoder = ds.decoder();
+    // Decoder and scan are captured atomically: with background flushes
+    // running, a decoder taken separately could miss dictionary codes the
+    // scan's records need (or carry prunes ahead of the snapshot).
+    let (decoder, mut iter) = ds.snapshot_scan();
     let mut rows: Vec<Row> = Vec::new();
     let mut scanned = 0u64;
     let mut bytes = 0u64;
-    let mut iter = ds.scan_raw();
     while let Some((_, _, payload)) = iter.next() {
         scanned += 1;
         bytes += payload.len() as u64;

@@ -852,7 +852,7 @@ mod tests {
     use tuple_compactor::{Dataset, DatasetConfig, StorageFormat};
 
     fn load<G: Generator>(gen: &mut G, n: usize) -> Dataset {
-        let mut ds = Dataset::new(
+        let ds = Dataset::new(
             DatasetConfig::new(gen.name(), "id").with_format(StorageFormat::Inferred),
             Arc::new(Device::new(DeviceProfile::RAM)),
             Arc::new(BufferCache::new(4096)),

@@ -56,6 +56,13 @@ impl FileStore {
         self.data.write().truncate(len as usize);
     }
 
+    /// Detach the entire contents, leaving the file empty. Charges no
+    /// device IO — this models a file *rename* (the WAL rotates its active
+    /// segment out by renaming it, not by rewriting the data).
+    pub fn take_all(&self) -> Vec<u8> {
+        std::mem::take(&mut *self.data.write())
+    }
+
     pub fn device(&self) -> &Arc<Device> {
         &self.device
     }
@@ -87,6 +94,18 @@ mod tests {
         f.truncate(4);
         assert_eq!(f.len(), 4);
         assert_eq!(f.read(0, 4), b"0123");
+    }
+
+    #[test]
+    fn take_all_detaches_without_io_charge() {
+        let d = Arc::new(Device::new(DeviceProfile::SATA_SSD));
+        let f = FileStore::new(Arc::clone(&d));
+        f.append(b"log-segment");
+        let read_before = d.bytes_read();
+        let bytes = f.take_all();
+        assert_eq!(bytes, b"log-segment");
+        assert!(f.is_empty());
+        assert_eq!(d.bytes_read(), read_before, "rename charges no read IO");
     }
 
     #[test]

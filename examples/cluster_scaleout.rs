@@ -12,7 +12,7 @@ use tc_query::paper_queries as q;
 
 fn main() -> Result<(), AdmError> {
     for nodes in [1usize, 2, 4] {
-        let mut cluster = Cluster::create_dataset(
+        let cluster = Cluster::create_dataset(
             ClusterConfig {
                 nodes,
                 partitions_per_node: 2,

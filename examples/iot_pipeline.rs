@@ -24,7 +24,7 @@ fn main() -> Result<(), AdmError> {
             .with_secondary_index("report_time");
         let device = Arc::new(Device::new(DeviceProfile::NVME_SSD));
         let cache = Arc::new(BufferCache::new(8192));
-        let mut ds = Dataset::new(config, device, cache);
+        let ds = Dataset::new(config, device, cache);
         let mut gen = SensorsGen::new(7);
         for _ in 0..n {
             ds.insert(&gen.next_record()).expect("insert");

@@ -43,7 +43,7 @@ fn main() -> Result<(), AdmError> {
     let config = DatasetConfig::new("Employee", "id").with_format(StorageFormat::Inferred);
     let device = Arc::new(Device::new(DeviceProfile::NVME_SSD));
     let cache = Arc::new(BufferCache::new(4096));
-    let mut employee = Dataset::new(config, device, cache);
+    let employee = Dataset::new(config, device, cache);
 
     // ---- first flush (Fig 9a) ----
     employee.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#)?)?;

@@ -30,7 +30,7 @@ fn main() -> Result<(), AdmError> {
         .with_primary_key_index(true);
     let device = Arc::new(Device::new(DeviceProfile::NVME_SSD));
     let cache = Arc::new(BufferCache::new(2048));
-    let mut events = Dataset::new(config, device, cache);
+    let events = Dataset::new(config, device, cache);
 
     // Era 1: events carry a numeric `temperature`.
     for i in 0..100 {

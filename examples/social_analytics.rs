@@ -17,7 +17,7 @@ fn main() -> Result<(), AdmError> {
     // ---- storage comparison (Fig 16a in miniature) ----
     let mut sizes = Vec::new();
     for format in [StorageFormat::Open, StorageFormat::Inferred] {
-        let mut cluster = Cluster::create_dataset(
+        let cluster = Cluster::create_dataset(
             ClusterConfig::default(),
             DatasetConfig::new("Tweets", "id")
                 .with_format(format)

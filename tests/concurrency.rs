@@ -1,0 +1,436 @@
+//! Concurrency stress suite: multi-threaded ingestion with concurrent
+//! readers while background flush/merge pipelines run.
+//!
+//! What "correct" means here:
+//!
+//! * **No torn records** — every record a reader materializes decodes
+//!   cleanly and is internally consistent (its payload matches its key).
+//! * **No resurrection** — once a reader observes a deleted-forever key as
+//!   absent, no later read may see it again (anti-matter never un-happens).
+//! * **Snapshot sanity** — scans return strictly ascending unique keys.
+//! * **Oracle equivalence** — after quiescing, the concurrent run's final
+//!   state equals a single-threaded synchronous run of the same operations.
+//!
+//! Every test runs under a watchdog: a deadlock fails fast with a panic
+//! instead of hanging the suite (CI also wraps the binary in `timeout`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use asterix_tc::prelude::*;
+
+// ---------------------------------------------------------------------
+// Watchdog: fail fast instead of hanging on a deadlock
+// ---------------------------------------------------------------------
+
+fn with_watchdog<F: FnOnce() + Send + 'static>(limit: Duration, name: &str, body: F) {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::Builder::new()
+        .name(format!("stress-{name}"))
+        .spawn(move || {
+            body();
+            let _ = tx.send(());
+        })
+        .expect("spawn stress body");
+    match rx.recv_timeout(limit) {
+        // Completed — or panicked (sender dropped mid-unwind): join either
+        // way so a real assertion failure propagates with its own message
+        // instead of being misreported as a deadlock.
+        Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{name}: exceeded {limit:?} — possible deadlock in the flush/merge pipeline")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload helpers
+// ---------------------------------------------------------------------
+
+fn record(pk: i64, version: u64) -> Value {
+    parse(&format!(
+        r#"{{"id": {pk}, "version": {version}, "name": "user-{pk}", "nested": {{"score": {}, "tags": ["a", "b"]}}}}"#,
+        pk % 97
+    ))
+    .unwrap()
+}
+
+fn stress_config(background: bool) -> DatasetConfig {
+    DatasetConfig::new("Stress", "id")
+        .with_format(StorageFormat::Inferred)
+        .with_memtable_budget(8 * 1024) // tiny: constant flush pressure
+        .with_merge_policy(MergePolicy::Prefix {
+            max_mergeable_size: 16 * 1024 * 1024,
+            max_tolerable_components: 3,
+        })
+        .with_background_maintenance(background)
+}
+
+fn make_dataset(background: bool) -> Dataset {
+    Dataset::new(
+        stress_config(background),
+        Arc::new(Device::new(DeviceProfile::RAM)),
+        Arc::new(BufferCache::new(4096)),
+    )
+}
+
+/// Check one materialized record for internal consistency ("not torn").
+fn assert_untorn(v: &Value) {
+    let pk = v.get_field("id").and_then(Value::as_i64).expect("record must carry its id");
+    assert_eq!(
+        v.get_field("name").and_then(Value::as_str),
+        Some(format!("user-{pk}")).as_deref(),
+        "payload must match its key — torn record?"
+    );
+    let nested = v.get_field("nested").expect("nested object present");
+    assert_eq!(nested.get_field("score").and_then(Value::as_i64), Some(pk % 97));
+}
+
+// ---------------------------------------------------------------------
+// 1. Readers vs. one writer with background flush/merge
+// ---------------------------------------------------------------------
+
+#[test]
+fn concurrent_reads_during_background_ingest() {
+    with_watchdog(Duration::from_secs(120), "reads-during-ingest", || {
+        const PRELOADED: i64 = 400; // keys 0..400 inserted up front
+        const DELETED: i64 = 200; // keys 0..200 deleted during the run, never reinserted
+        const UPSERTED: i64 = 300; // keys 300..400 upserted during the run
+        const FRESH: i64 = 1200; // keys 1000..2200 inserted during the run
+        let ds = Arc::new(make_dataset(true));
+        for pk in 0..PRELOADED {
+            ds.insert(&record(pk, 0)).unwrap();
+        }
+        ds.flush();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let scan_rounds = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            // The single writer: fresh inserts, upserts of stable keys, and
+            // deletes of the doomed range, interleaved.
+            let writer_ds = Arc::clone(&ds);
+            let writer_stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut deleted = 0i64;
+                for i in 0..FRESH {
+                    writer_ds.insert(&record(1000 + i, 1)).unwrap();
+                    if i % 3 == 0 && deleted < DELETED {
+                        assert!(writer_ds.delete(deleted).unwrap(), "doomed key existed");
+                        deleted += 1;
+                    }
+                    if i % 7 == 0 {
+                        // Upserts churn schema counters under the readers.
+                        writer_ds
+                            .upsert(&record(UPSERTED + (i % (PRELOADED - UPSERTED)), 2))
+                            .unwrap();
+                    }
+                }
+                assert_eq!(deleted, DELETED);
+                writer_stop.store(true, Ordering::SeqCst);
+            });
+
+            // Readers: point gets + full scans, each validating snapshots.
+            for r in 0..3i64 {
+                let reader_ds = Arc::clone(&ds);
+                let reader_stop = Arc::clone(&stop);
+                let rounds = Arc::clone(&scan_rounds);
+                scope.spawn(move || {
+                    // Keys this reader has seen dead stay dead (deletes are
+                    // never followed by reinsertions for 0..DELETED).
+                    let mut seen_dead = vec![false; DELETED as usize];
+                    while !reader_stop.load(Ordering::SeqCst) {
+                        for pk in ((r * 13)..PRELOADED).step_by(29) {
+                            match reader_ds.get(pk).unwrap() {
+                                Some(v) => {
+                                    assert_untorn(&v);
+                                    assert!(
+                                        pk >= DELETED || !seen_dead[pk as usize],
+                                        "key {pk} resurrected after observed deletion"
+                                    );
+                                }
+                                None => {
+                                    // Deleted keys may (and eventually do)
+                                    // read absent; upserted keys may read
+                                    // absent transiently mid-upsert
+                                    // (delete-then-insert is not atomic —
+                                    // documented read skew). Untouched
+                                    // keys must never disappear.
+                                    assert!(
+                                        pk < DELETED || pk >= UPSERTED,
+                                        "untouched key {pk} must stay live"
+                                    );
+                                    if pk < DELETED {
+                                        seen_dead[pk as usize] = true;
+                                    }
+                                }
+                            }
+                        }
+                        let values = reader_ds.scan_values().unwrap();
+                        let mut prev = i64::MIN;
+                        for v in &values {
+                            assert_untorn(v);
+                            let pk = v.get_field("id").unwrap().as_i64().unwrap();
+                            assert!(pk > prev, "scan keys must be strictly ascending");
+                            prev = pk;
+                            if pk < DELETED {
+                                assert!(
+                                    !seen_dead[pk as usize],
+                                    "scan resurrected key {pk} after observed deletion"
+                                );
+                            }
+                        }
+                        rounds.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert!(
+            scan_rounds.load(Ordering::Relaxed) >= 3,
+            "readers must have made progress while the writer ran"
+        );
+
+        // Quiesce and compare against a synchronous single-threaded oracle.
+        ds.await_quiescent();
+        ds.flush();
+        let stats = ds.lsm_stats();
+        assert!(stats.flushes > 0, "background flushes must have fired");
+        assert_eq!(stats.writer_stall_nanos, 0, "writer never flushed inline");
+
+        let oracle = make_dataset(false);
+        for pk in 0..PRELOADED {
+            oracle.insert(&record(pk, 0)).unwrap();
+        }
+        oracle.flush();
+        let mut deleted = 0i64;
+        for i in 0..FRESH {
+            oracle.insert(&record(1000 + i, 1)).unwrap();
+            if i % 3 == 0 && deleted < DELETED {
+                oracle.delete(deleted).unwrap();
+                deleted += 1;
+            }
+            if i % 7 == 0 {
+                oracle.upsert(&record(UPSERTED + (i % (PRELOADED - UPSERTED)), 2)).unwrap();
+            }
+        }
+        oracle.flush();
+
+        let got = ds.scan_values().unwrap();
+        let expected = oracle.scan_values().unwrap();
+        assert_eq!(got.len(), expected.len(), "concurrent run must match the oracle's cardinality");
+        assert_eq!(got, expected, "concurrent run must equal the single-threaded oracle");
+        // Schema record counts agree too (anti-schemas processed exactly once).
+        assert_eq!(
+            ds.schema_snapshot().unwrap().record_count(),
+            oracle.schema_snapshot().unwrap().record_count()
+        );
+    });
+}
+
+// ---------------------------------------------------------------------
+// 2. Parallel feed partitions with background maintenance vs. oracle
+// ---------------------------------------------------------------------
+
+#[test]
+fn parallel_feed_with_background_flush_matches_oracle() {
+    with_watchdog(Duration::from_secs(120), "parallel-feed", || {
+        const N: i64 = 1500;
+        let topo = ClusterConfig {
+            nodes: 2,
+            partitions_per_node: 2,
+            device: DeviceProfile::RAM,
+            cache_budget_per_node: 4 * 1024 * 1024,
+        };
+        let records: Vec<Value> = (0..N).map(|pk| record(pk, 0)).collect();
+
+        let bg = Cluster::create_dataset(topo.clone(), stress_config(true));
+        bg.feed(records.clone(), FeedMode::Insert).unwrap();
+        // Upsert half the keys through the feed while maintenance churns.
+        let updates: Vec<Value> = (0..N / 2).map(|pk| record(pk * 2, 1)).collect();
+        bg.feed(updates.clone(), FeedMode::Upsert).unwrap();
+        bg.await_quiescent();
+        bg.flush_all();
+
+        let sync = Cluster::create_dataset(topo, stress_config(false));
+        sync.feed(records, FeedMode::Insert).unwrap();
+        sync.feed(updates, FeedMode::Upsert).unwrap();
+        sync.flush_all();
+
+        for (p_bg, p_sync) in bg.partitions().iter().zip(sync.partitions()) {
+            assert_eq!(p_bg.ingested(), p_sync.ingested());
+            assert_eq!(
+                p_bg.scan_values().unwrap(),
+                p_sync.scan_values().unwrap(),
+                "each partition must match its synchronous twin"
+            );
+            assert_eq!(p_bg.lsm_stats().writer_stall_nanos, 0);
+        }
+        for pk in (0..N).step_by(67) {
+            let v = bg.get(pk).unwrap().unwrap();
+            assert_untorn(&v);
+            let expected_version = if pk % 2 == 0 && pk < N { 1 } else { 0 };
+            assert_eq!(v.get_field("version").unwrap().as_i64(), Some(expected_version));
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// 3. Crash while a background flush is in flight (threaded extension of
+//    the lsm-level `flush_crashing_before_validity` coverage)
+// ---------------------------------------------------------------------
+
+#[test]
+fn crash_during_threaded_flush_replays_unflushed_suffix() {
+    with_watchdog(Duration::from_secs(60), "crash-mid-flush", || {
+        let ds = Arc::new(make_dataset(false));
+        // C0: a durable component.
+        ds.insert(&record(1, 0)).unwrap();
+        ds.flush();
+        // These land in the memtable → frozen by the crashing flush.
+        ds.insert(&record(2, 0)).unwrap();
+        ds.insert(&record(3, 0)).unwrap();
+
+        // The flush runs on another thread and "crashes" before setting the
+        // validity bit; meanwhile the writer keeps appending — its writes go
+        // to the rotated (active) WAL segment.
+        let flusher = Arc::clone(&ds);
+        let crashing = std::thread::spawn(move || {
+            flusher.primary().flush_crashing_before_validity();
+        });
+        crashing.join().unwrap();
+        ds.insert(&record(4, 0)).unwrap(); // post-freeze write, active WAL only
+
+        assert_eq!(ds.primary().components().len(), 2, "invalid component is on disk");
+
+        // Process crash: all in-memory state vanishes; recovery drops the
+        // invalid component and replays BOTH WAL segments — the frozen one
+        // (covering the crashed flush) and the active one (covering the
+        // post-freeze write).
+        ds.simulate_crash();
+        let (removed, replayed) = ds.recover();
+        assert_eq!(removed, 1, "invalid component discarded");
+        assert_eq!(replayed, 3, "exactly the un-flushed suffix: keys 2, 3, 4");
+        for pk in 1..=4 {
+            let v = ds.get(pk).unwrap().unwrap_or_else(|| panic!("key {pk} lost in recovery"));
+            assert_untorn(&v);
+        }
+        assert_eq!(ds.scan_values().unwrap().len(), 4);
+
+        // Normal operation resumes: the restored memtable flushes as C1.
+        ds.flush();
+        assert_eq!(ds.primary().components().last().unwrap().id().to_string(), "C1");
+        assert_eq!(ds.scan_values().unwrap().len(), 4);
+    });
+}
+
+#[test]
+fn crash_after_background_flush_loses_nothing() {
+    with_watchdog(Duration::from_secs(60), "crash-after-bg-flush", || {
+        // A *completed* background flush must be durable: crash right after
+        // quiescing and nothing replays from the WAL except post-flush writes.
+        let ds = make_dataset(true);
+        for pk in 0..300 {
+            ds.insert(&record(pk, 0)).unwrap();
+        }
+        ds.flush_async();
+        ds.await_quiescent();
+        let flushed_components = ds.primary().components().len();
+        assert!(flushed_components >= 1);
+        ds.insert(&record(9000, 0)).unwrap(); // not flushed
+
+        ds.simulate_crash();
+        let (removed, replayed) = ds.recover();
+        assert_eq!(removed, 0, "background-flushed components are valid");
+        assert!(
+            replayed >= 1,
+            "the un-flushed suffix (at least key 9000) replays from the active segment"
+        );
+        assert!(ds.get(9000).unwrap().is_some());
+        assert_eq!(ds.scan_values().unwrap().len(), 301);
+    });
+}
+
+// ---------------------------------------------------------------------
+// 4. Concurrent scans vs. merges: snapshots survive component swaps
+// ---------------------------------------------------------------------
+
+#[test]
+fn scans_stay_consistent_across_concurrent_merges() {
+    with_watchdog(Duration::from_secs(60), "scans-vs-merges", || {
+        let ds = Arc::new(make_dataset(false));
+        const N: i64 = 600;
+        for pk in 0..N {
+            ds.insert(&record(pk, 0)).unwrap();
+            if pk % 100 == 99 {
+                ds.flush();
+            }
+        }
+        ds.flush();
+        assert!(ds.primary().components().len() >= 2, "need components to merge");
+
+        std::thread::scope(|scope| {
+            let merger = Arc::clone(&ds);
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    merger.force_full_merge();
+                }
+            });
+            for _ in 0..3 {
+                let reader = Arc::clone(&ds);
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        let values = reader.scan_values().unwrap();
+                        assert_eq!(values.len(), N as usize, "merge must never drop/double rows");
+                        for v in values.iter().step_by(53) {
+                            assert_untorn(v);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(ds.primary().components().len(), 1);
+        assert_eq!(ds.scan_values().unwrap().len(), N as usize);
+    });
+}
+
+// ---------------------------------------------------------------------
+// 5. Repeated short runs: shake out interleavings (the suite is also run
+//    20× in CI; this in-test loop catches cheap orderings every run)
+// ---------------------------------------------------------------------
+
+#[test]
+fn repeated_short_stress_rounds() {
+    with_watchdog(Duration::from_secs(120), "repeated-rounds", || {
+        for round in 0..8 {
+            let ds = Arc::new(make_dataset(true));
+            let base = round * 10_000;
+            std::thread::scope(|scope| {
+                let writer = Arc::clone(&ds);
+                scope.spawn(move || {
+                    for i in 0..250 {
+                        writer.insert(&record(base + i, 0)).unwrap();
+                        if i % 5 == 4 {
+                            writer.delete(base + i - 2).unwrap();
+                        }
+                    }
+                });
+                let reader = Arc::clone(&ds);
+                scope.spawn(move || {
+                    for _ in 0..15 {
+                        for v in reader.scan_values().unwrap() {
+                            assert_untorn(&v);
+                        }
+                    }
+                });
+            });
+            ds.await_quiescent();
+            ds.flush();
+            // 250 inserts, 50 deletes.
+            assert_eq!(ds.scan_values().unwrap().len(), 200, "round {round}");
+        }
+    });
+}

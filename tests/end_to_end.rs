@@ -24,7 +24,7 @@ fn make_dataset(format: StorageFormat, compression: CompressionScheme) -> Datase
 #[test]
 fn ingest_crash_recover_query_all_formats() {
     for format in [StorageFormat::Open, StorageFormat::Inferred, StorageFormat::VectorUncompacted] {
-        let mut ds = make_dataset(format, CompressionScheme::Snappy);
+        let ds = make_dataset(format, CompressionScheme::Snappy);
         let mut gen = TwitterGen::new(11);
         let records: Vec<Value> = (0..400).map(|_| gen.next_record()).collect();
         for r in &records[..300] {
@@ -118,7 +118,7 @@ fn paper_queries_are_format_invariant() {
 /// Heavy update churn: schema counters stay consistent with reality.
 #[test]
 fn update_churn_keeps_schema_consistent() {
-    let mut ds = make_dataset(StorageFormat::Inferred, CompressionScheme::None);
+    let ds = make_dataset(StorageFormat::Inferred, CompressionScheme::None);
     let mut gen = TwitterGen::new(31);
     let originals: Vec<Value> = (0..200).map(|_| gen.next_record()).collect();
     for r in &originals {
@@ -155,7 +155,7 @@ fn update_churn_keeps_schema_consistent() {
 /// produce correct global answers.
 #[test]
 fn heterogeneous_partitions_query_correctly() {
-    let mut cluster = Cluster::create_dataset(
+    let cluster = Cluster::create_dataset(
         ClusterConfig {
             nodes: 2,
             partitions_per_node: 2,
@@ -206,12 +206,12 @@ fn heterogeneous_partitions_query_correctly() {
 fn bulk_load_matches_feed() {
     let mut gen = WosGen::new(44);
     let records: Vec<Value> = (0..150).map(|_| gen.next_record()).collect();
-    let mut fed = make_dataset(StorageFormat::Inferred, CompressionScheme::None);
+    let fed = make_dataset(StorageFormat::Inferred, CompressionScheme::None);
     for r in &records {
         fed.insert(r).unwrap();
     }
     fed.flush();
-    let mut loaded = make_dataset(StorageFormat::Inferred, CompressionScheme::None);
+    let loaded = make_dataset(StorageFormat::Inferred, CompressionScheme::None);
     loaded.bulk_load(records.clone()).unwrap();
     let a = fed.scan_values().unwrap();
     let b = loaded.scan_values().unwrap();
