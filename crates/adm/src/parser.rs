@@ -379,9 +379,8 @@ impl<'a> Parser<'a> {
         let mut args = Vec::new();
         loop {
             self.skip_ws();
-            match self.parse_number()? {
-                v => args.push(v.as_f64().expect("numeric literal")),
-            }
+            let v = self.parse_number()?;
+            args.push(v.as_f64().expect("numeric literal"));
             if self.eat(b',') {
                 continue;
             }
@@ -411,7 +410,7 @@ pub fn parse_date(s: &str) -> Option<i32> {
 fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
     let y = if m <= 2 { y - 1 } else { y };
     let era = if y >= 0 { y } else { y - 399 } / 400;
-    let yoe = (y - era * 400) as i64;
+    let yoe = y - era * 400;
     let mp = ((m as i64) + 9) % 12;
     let doy = (153 * mp + 2) / 5 + (d as i64) - 1;
     let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;

@@ -57,7 +57,7 @@ fn main() {
                         .zip(per_part)
                     {
                         scope.spawn(move || {
-                            part.bulk_load(batch).expect("bulk load");
+                            part.writer().bulk_load(batch).expect("bulk load");
                         });
                     }
                 });

@@ -125,7 +125,7 @@ pub fn run_query_cold(cluster: &Cluster, q: &Query, parallel: bool) -> (QueryRes
 pub fn measure_query_cold(cluster: &Cluster, q: &Query, parallel: bool, reps: usize) -> Measured {
     let mut totals: Vec<Measured> =
         (0..reps.max(1)).map(|_| run_query_cold(cluster, q, parallel).1).collect();
-    totals.sort_by(|a, b| a.total().cmp(&b.total()));
+    totals.sort_by_key(|a| a.total());
     totals[totals.len() / 2]
 }
 
@@ -134,7 +134,7 @@ pub fn measure_query_warm(cluster: &Cluster, q: &Query, parallel: bool, reps: us
     let _ = cluster.query(q, &ExecOptions { parallel }).expect("warmup");
     let mut totals: Vec<Measured> =
         (0..reps.max(1)).map(|_| run_query_warm(cluster, q, parallel).1).collect();
-    totals.sort_by(|a, b| a.total().cmp(&b.total()));
+    totals.sort_by_key(|a| a.total());
     totals[totals.len() / 2]
 }
 

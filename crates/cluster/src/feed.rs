@@ -71,10 +71,13 @@ impl Cluster {
                 .zip(per_partition)
                 .map(|(partition, batch)| {
                     scope.spawn(move || {
+                        // One token per partition for the whole batch: the
+                        // feed thread *is* the partition's logical writer.
+                        let mut writer = partition.writer();
                         for record in &batch {
                             match mode {
-                                FeedMode::Insert => partition.insert(record)?,
-                                FeedMode::Upsert => partition.upsert(record)?,
+                                FeedMode::Insert => writer.insert(record)?,
+                                FeedMode::Upsert => writer.upsert(record)?,
                             }
                         }
                         Ok(())

@@ -121,19 +121,22 @@ impl Cluster {
             .ok_or_else(|| AdmError::type_check("record lacks integer primary key".to_string()))
     }
 
-    /// Route one record to its partition.
+    /// Route one record to its partition. Claims the partition's
+    /// [`tuple_compactor::WriterToken`] for the single call; a concurrent
+    /// [`Cluster::feed`] holding a partition's token for a batch makes
+    /// this panic — one logical writer per partition.
     pub fn insert(&self, record: &Value) -> Result<(), AdmError> {
         let pk = self.pk_of(record)?;
-        self.partition(self.partition_of(pk)).insert(record)
+        self.partition(self.partition_of(pk)).writer().insert(record)
     }
 
     pub fn upsert(&self, record: &Value) -> Result<(), AdmError> {
         let pk = self.pk_of(record)?;
-        self.partition(self.partition_of(pk)).upsert(record)
+        self.partition(self.partition_of(pk)).writer().upsert(record)
     }
 
     pub fn delete(&self, pk: i64) -> Result<bool, AdmError> {
-        self.partition(self.partition_of(pk)).delete(pk)
+        self.partition(self.partition_of(pk)).writer().delete(pk)
     }
 
     /// Point lookup.

@@ -7,9 +7,9 @@ use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 
-use parking_lot::Mutex;
 use tc_adm::{ObjectType, Value};
 use tc_schema::Schema;
+use tc_util::sync::{ranks, OrderedMutex};
 use tc_vector::infer_and_compact;
 
 use tc_lsm::{ComponentHook, LsmTree};
@@ -21,14 +21,14 @@ use tc_lsm::{ComponentHook, LsmTree};
 pub struct TupleCompactor {
     /// The partition's in-memory schema. Flush inference, anti-schema
     /// processing, and query-time snapshots synchronize on this lock only.
-    schema: Mutex<Schema>,
+    schema: OrderedMutex<Schema>,
     /// Cached `Arc` snapshot of the field-name dictionary, keyed by
     /// (load generation, dictionary length). The dictionary is append-only
     /// between `load_schema` calls, so the pair identifies its content; the
     /// point-lookup hot path then pays an `Arc` clone instead of a deep
     /// dictionary copy. Lock order: `schema` before `dict_cache` (the only
     /// nesting of the two).
-    dict_cache: Mutex<(u64, usize, std::sync::Arc<tc_schema::FieldNameDictionary>)>,
+    dict_cache: OrderedMutex<(u64, usize, std::sync::Arc<tc_schema::FieldNameDictionary>)>,
     /// Bumped by `load_schema` (recovery), which may shrink/replace the
     /// dictionary without changing its length.
     generation: std::sync::atomic::AtomicU64,
@@ -40,8 +40,11 @@ pub struct TupleCompactor {
 impl TupleCompactor {
     pub fn new(declared: ObjectType) -> Self {
         TupleCompactor {
-            schema: Mutex::new(Schema::new()),
-            dict_cache: Mutex::new((0, 0, std::sync::Arc::new(Default::default()))),
+            schema: OrderedMutex::new(ranks::COMPACTOR_SCHEMA, Schema::new()),
+            dict_cache: OrderedMutex::new(
+                ranks::DICT_CACHE,
+                (0, 0, std::sync::Arc::new(Default::default())),
+            ),
             generation: std::sync::atomic::AtomicU64::new(0),
             declared,
         }
@@ -146,12 +149,20 @@ struct Gauge {
 }
 
 impl Gauge {
+    /// A plain counter can't be corrupted by a panicking holder, so poison
+    /// here is noise, not damage: take the guard back rather than
+    /// compounding a worker panic (already surfaced via `poisoned`) with a
+    /// gauge panic on an unrelated thread.
+    fn count(&self) -> std::sync::MutexGuard<'_, usize> {
+        self.outstanding.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn add(&self) {
-        *self.outstanding.lock().expect("gauge lock") += 1;
+        *self.count() += 1;
     }
 
     fn done(&self) {
-        let mut n = self.outstanding.lock().expect("gauge lock");
+        let mut n = self.count();
         *n -= 1;
         if *n == 0 {
             self.drained.notify_all();
@@ -159,9 +170,9 @@ impl Gauge {
     }
 
     fn wait_zero(&self) {
-        let mut n = self.outstanding.lock().expect("gauge lock");
+        let mut n = self.count();
         while *n > 0 {
-            n = self.drained.wait(n).expect("gauge lock");
+            n = self.drained.wait(n).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }

@@ -10,8 +10,12 @@
 //!
 //! Every method takes `&self`; a `Dataset` can be shared across threads
 //! behind an `Arc`. The supported concurrency is **one logical writer per
-//! partition** (`insert`/`upsert`/`delete` — feeds already route each
-//! partition's records to one thread) plus any number of concurrent
+//! partition**, enforced at compile time: the write entry points
+//! (`insert`/`upsert`/`delete`/`bulk_load`) live on [`WriterToken`], a
+//! non-`Clone`, `!Sync` capability handed out by [`Dataset::writer`] to at
+//! most one holder at a time (feeds route each partition's records to one
+//! thread, which claims the partition's token for the batch). Alongside
+//! the writer run any number of concurrent
 //! readers (`get`/`scan_*`/queries) and, with
 //! [`DatasetConfig::background_maintenance`], a maintenance worker running
 //! flushes and merges off the write path. Readers always observe
@@ -30,7 +34,9 @@
 //! through primary lookups, so it returns live records only — it never
 //! fabricates rows, it can only exhibit read skew under concurrent writes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use tc_adm::{AdmError, Value};
@@ -65,6 +71,65 @@ pub struct Dataset {
     /// the current dictionary snapshot onto it with `Arc` clones only.
     decoder_template: RecordDecoder,
     ingested: AtomicU64,
+    /// Set while a [`WriterToken`] is live; `writer()` claims it with a CAS.
+    writer_claimed: AtomicBool,
+}
+
+/// The exclusive write capability for one dataset partition.
+///
+/// PR 2 documented "one logical writer per partition" as prose; this token
+/// makes it a compile-time property. It is deliberately neither `Clone` nor
+/// `Sync` (the `Cell` marker), and [`Dataset::writer`] hands out at most one
+/// at a time, so two threads can never hold write access to the same
+/// partition simultaneously. Reads, flushes, merges, and recovery stay on
+/// `Dataset` (`&self`): they are internally synchronized and safe to run
+/// concurrently with the writer.
+///
+/// Dropping the token releases the claim.
+pub struct WriterToken<'a> {
+    ds: &'a Dataset,
+    /// `Cell` makes the token `!Sync` (it can move between threads, but
+    /// two threads can never share one by reference).
+    _not_sync: PhantomData<Cell<()>>,
+}
+
+impl<'a> WriterToken<'a> {
+    /// The partition this token writes to (for reads mid-batch).
+    pub fn dataset(&self) -> &'a Dataset {
+        self.ds
+    }
+
+    /// Insert a new record (no existence check — data feeds with fresh keys).
+    pub fn insert(&mut self, record: &Value) -> Result<(), AdmError> {
+        self.ds.insert_unchecked(record)
+    }
+
+    /// Upsert: delete-then-insert (§3.2.2). The existence check goes
+    /// through the primary-key index when configured, so brand-new keys
+    /// skip the primary-index point lookup ([28, 29]).
+    pub fn upsert(&mut self, record: &Value) -> Result<(), AdmError> {
+        self.ds.upsert_unchecked(record)
+    }
+
+    /// Delete by primary key. Returns whether a record existed.
+    pub fn delete(&mut self, pk: i64) -> Result<bool, AdmError> {
+        self.ds.delete_unchecked(pk)
+    }
+
+    /// Bulk-load records into a single component (§4.3). The dataset must
+    /// be empty; the WAL is bypassed, like AsterixDB's load statement.
+    pub fn bulk_load<I>(&mut self, records: I) -> Result<u64, AdmError>
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        self.ds.bulk_load_unchecked(records)
+    }
+}
+
+impl Drop for WriterToken<'_> {
+    fn drop(&mut self) {
+        self.ds.writer_claimed.store(false, Ordering::Release);
+    }
 }
 
 impl Dataset {
@@ -118,6 +183,7 @@ impl Dataset {
             maintenance,
             decoder_template,
             ingested: AtomicU64::new(0),
+            writer_claimed: AtomicBool::new(false),
         }
     }
 
@@ -174,8 +240,29 @@ impl Dataset {
     // Ingestion
     // -----------------------------------------------------------------
 
-    /// Insert a new record (no existence check — data feeds with fresh keys).
-    pub fn insert(&self, record: &Value) -> Result<(), AdmError> {
+    /// Claim this partition's [`WriterToken`].
+    ///
+    /// # Panics
+    /// If a token is already live — a second writer is a concurrency bug,
+    /// per the loud-failure policy, not a condition to retry.
+    pub fn writer(&self) -> WriterToken<'_> {
+        self.try_writer().unwrap_or_else(|| {
+            panic!(
+                "dataset '{}' already has a live WriterToken (one logical writer per partition)",
+                self.name()
+            )
+        })
+    }
+
+    /// Claim this partition's [`WriterToken`], or `None` if one is live.
+    pub fn try_writer(&self) -> Option<WriterToken<'_>> {
+        self.writer_claimed
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+            .then_some(WriterToken { ds: self, _not_sync: PhantomData })
+    }
+
+    fn insert_unchecked(&self, record: &Value) -> Result<(), AdmError> {
         let (_, key) = self.primary_key_of(record)?;
         let bytes = self.encode_record(record)?;
         if let Some(sec) = self.secondary_key_of(record) {
@@ -190,10 +277,7 @@ impl Dataset {
         Ok(())
     }
 
-    /// Upsert: delete-then-insert (§3.2.2). The existence check goes
-    /// through the primary-key index when configured, so brand-new keys
-    /// skip the primary-index point lookup ([28, 29]).
-    pub fn upsert(&self, record: &Value) -> Result<(), AdmError> {
+    fn upsert_unchecked(&self, record: &Value) -> Result<(), AdmError> {
         let (_, key) = self.primary_key_of(record)?;
         let may_exist = match &self.pk_index {
             Some(pki) => pki.contains(&key),
@@ -205,11 +289,10 @@ impl Dataset {
                 let _ = self.delete_found(&key, &old)?;
             }
         }
-        self.insert(record)
+        self.insert_unchecked(record)
     }
 
-    /// Delete by primary key. Returns whether a record existed.
-    pub fn delete(&self, pk: i64) -> Result<bool, AdmError> {
+    fn delete_unchecked(&self, pk: i64) -> Result<bool, AdmError> {
         let key = encode_i64_key(pk);
         match self.lookup_live(&key) {
             None => Ok(false),
@@ -262,10 +345,7 @@ impl Dataset {
         Ok(self.primary.delete_versioned(key.clone(), attachment))
     }
 
-    /// Bulk-load pre-sorted-or-not records into a single component (§4.3).
-    /// The dataset must be empty; the WAL is bypassed, like AsterixDB's
-    /// load statement.
-    pub fn bulk_load<I>(&self, records: I) -> Result<u64, AdmError>
+    fn bulk_load_unchecked<I>(&self, records: I) -> Result<u64, AdmError>
     where
         I: IntoIterator<Item = Value>,
     {
@@ -647,7 +727,7 @@ mod tests {
                 small(format)
             };
             for i in 0..100 {
-                ds.insert(&employee(i)).unwrap();
+                ds.writer().insert(&employee(i)).unwrap();
             }
             ds.flush();
             for i in (0..100).step_by(13) {
@@ -669,19 +749,19 @@ mod tests {
         let ds = make(
             DatasetConfig::new("Strict", "id").with_format(StorageFormat::Closed).with_datatype(dt),
         );
-        assert!(ds.insert(&parse(r#"{"id": 1}"#).unwrap()).is_ok());
-        assert!(ds.insert(&parse(r#"{"id": 2, "extra": true}"#).unwrap()).is_err());
+        assert!(ds.writer().insert(&parse(r#"{"id": 1}"#).unwrap()).is_ok());
+        assert!(ds.writer().insert(&parse(r#"{"id": 2, "extra": true}"#).unwrap()).is_err());
     }
 
     #[test]
     fn inferred_schema_evolves_across_flushes() {
         let ds = small(StorageFormat::Inferred);
         // Fig 9 scenario.
-        ds.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
-        ds.insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
+        ds.writer().insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
+        ds.writer().insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
         ds.flush();
-        ds.insert(&parse(r#"{"id": 2, "name": "Ann"}"#).unwrap()).unwrap();
-        ds.insert(&parse(r#"{"id": 3, "name": "Bob", "age": "old"}"#).unwrap()).unwrap();
+        ds.writer().insert(&parse(r#"{"id": 2, "name": "Ann"}"#).unwrap()).unwrap();
+        ds.writer().insert(&parse(r#"{"id": 3, "name": "Bob", "age": "old"}"#).unwrap()).unwrap();
         ds.flush();
         let s = ds.schema_snapshot().unwrap();
         let (_, age) = s.lookup_field(s.root(), "age").unwrap();
@@ -715,7 +795,7 @@ mod tests {
                             .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
                     );
                     for i in 0..2000 {
-                        ds.insert(&employee(i)).unwrap();
+                        ds.writer().insert(&employee(i)).unwrap();
                     }
                     ds.flush();
                     ds.force_full_merge();
@@ -733,11 +813,13 @@ mod tests {
     #[test]
     fn delete_updates_schema_and_hides_record() {
         let ds = small(StorageFormat::Inferred);
-        ds.insert(&parse(r#"{"id": 0, "name": "Kim", "weird": [1, 2]}"#).unwrap()).unwrap();
-        ds.insert(&parse(r#"{"id": 1, "name": "John"}"#).unwrap()).unwrap();
+        ds.writer()
+            .insert(&parse(r#"{"id": 0, "name": "Kim", "weird": [1, 2]}"#).unwrap())
+            .unwrap();
+        ds.writer().insert(&parse(r#"{"id": 1, "name": "John"}"#).unwrap()).unwrap();
         ds.flush();
-        assert!(ds.delete(0).unwrap());
-        assert!(!ds.delete(99).unwrap(), "absent key");
+        assert!(ds.writer().delete(0).unwrap());
+        assert!(!ds.writer().delete(99).unwrap(), "absent key");
         ds.flush(); // anti-schema processed here
         assert_eq!(ds.get(0).unwrap(), None);
         let s = ds.schema_snapshot().unwrap();
@@ -756,12 +838,12 @@ mod tests {
                 .with_memtable_budget(8 * 1024)
                 .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
         );
-        ds.insert(&parse(r#"{"id": 0, "old_field": 1}"#).unwrap()).unwrap();
+        ds.writer().insert(&parse(r#"{"id": 0, "old_field": 1}"#).unwrap()).unwrap();
         ds.flush();
         // Upsert changes the structure entirely.
-        ds.upsert(&parse(r#"{"id": 0, "new_field": "x"}"#).unwrap()).unwrap();
+        ds.writer().upsert(&parse(r#"{"id": 0, "new_field": "x"}"#).unwrap()).unwrap();
         // Upsert of a brand-new key takes the pk-index fast path.
-        ds.upsert(&parse(r#"{"id": 5, "new_field": "y"}"#).unwrap()).unwrap();
+        ds.writer().upsert(&parse(r#"{"id": 5, "new_field": "y"}"#).unwrap()).unwrap();
         ds.flush();
         let s = ds.schema_snapshot().unwrap();
         assert!(s.lookup_field(s.root(), "old_field").is_none(), "anti-schema pruned it");
@@ -773,11 +855,11 @@ mod tests {
     #[test]
     fn crash_recovery_restores_data_and_schema() {
         let ds = small(StorageFormat::Inferred);
-        ds.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
-        ds.insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
+        ds.writer().insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
+        ds.writer().insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
         ds.flush(); // C0 valid, schema persisted
-        ds.insert(&parse(r#"{"id": 2, "name": "Ann"}"#).unwrap()).unwrap();
-        ds.insert(&parse(r#"{"id": 3, "name": "Bob", "age": "old"}"#).unwrap()).unwrap();
+        ds.writer().insert(&parse(r#"{"id": 2, "name": "Ann"}"#).unwrap()).unwrap();
+        ds.writer().insert(&parse(r#"{"id": 3, "name": "Bob", "age": "old"}"#).unwrap()).unwrap();
         ds.simulate_crash();
         let (removed, replayed) = ds.recover();
         assert_eq!(removed, 0);
@@ -804,11 +886,15 @@ mod tests {
                 .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
         );
         for i in 0..200 {
-            ds.insert(
-                &parse(&format!(r#"{{"id": {i}, "timestamp_ms": {}, "text": "t{i}"}}"#, 1000 + i))
+            ds.writer()
+                .insert(
+                    &parse(&format!(
+                        r#"{{"id": {i}, "timestamp_ms": {}, "text": "t{i}"}}"#,
+                        1000 + i
+                    ))
                     .unwrap(),
-            )
-            .unwrap();
+                )
+                .unwrap();
         }
         ds.flush();
         let hits = ds.secondary_range(1050, 1060).unwrap();
@@ -817,7 +903,7 @@ mod tests {
             |v| (1050..1060).contains(&v.get_field("timestamp_ms").unwrap().as_i64().unwrap())
         ));
         // Delete keeps the index consistent.
-        ds.delete(55).unwrap();
+        ds.writer().delete(55).unwrap();
         let hits = ds.secondary_range(1050, 1060).unwrap();
         assert_eq!(hits.len(), 9);
     }
@@ -826,7 +912,7 @@ mod tests {
     fn bulk_load_single_component() {
         let ds = small(StorageFormat::Inferred);
         let records: Vec<Value> = (0..300).rev().map(employee).collect(); // unsorted input
-        ds.bulk_load(records).unwrap();
+        ds.writer().bulk_load(records).unwrap();
         assert_eq!(ds.primary().components().len(), 1);
         assert_eq!(ds.scan_values().unwrap().len(), 300);
         assert_eq!(ds.get(123).unwrap().unwrap(), employee(123));
@@ -840,9 +926,9 @@ mod tests {
         // processing it at flush *decrements* the counters of shared nodes
         // (rather than dropping them) and prunes only zero-counted ones.
         let ds = small(StorageFormat::Inferred);
-        ds.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
-        ds.insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
-        ds.insert(&parse(r#"{"id": 2, "name": "Ann", "salary": 9}"#).unwrap()).unwrap();
+        ds.writer().insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
+        ds.writer().insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
+        ds.writer().insert(&parse(r#"{"id": 2, "name": "Ann", "salary": 9}"#).unwrap()).unwrap();
         ds.flush();
         let s = ds.schema_snapshot().unwrap();
         let (_, name) = s.lookup_field(s.root(), "name").unwrap();
@@ -852,10 +938,10 @@ mod tests {
         assert_eq!(s.record_count(), 3);
 
         // Delete: the anti-schema decrements `name` 3→2 and `age` 2→1.
-        assert!(ds.delete(0).unwrap());
+        assert!(ds.writer().delete(0).unwrap());
         // Upsert: old record 2's anti-schema decrements `name` and removes
         // `salary` entirely; the new image re-adds `name` and adds `bonus`.
-        ds.upsert(&parse(r#"{"id": 2, "name": "Ann", "bonus": 1}"#).unwrap()).unwrap();
+        ds.writer().upsert(&parse(r#"{"id": 2, "name": "Ann", "bonus": 1}"#).unwrap()).unwrap();
         let before_flush = ds.schema_snapshot().unwrap();
         assert_eq!(before_flush.record_count(), 3, "anti-schemas apply at flush, not at ingest");
         ds.flush();
@@ -876,10 +962,10 @@ mod tests {
         // §3.1.1: a merged component adopts the *newest* input schema, which
         // by construction is a superset of every older input's schema.
         let ds = small(StorageFormat::Inferred);
-        ds.insert(&parse(r#"{"id": 0, "a": 1}"#).unwrap()).unwrap();
+        ds.writer().insert(&parse(r#"{"id": 0, "a": 1}"#).unwrap()).unwrap();
         ds.flush();
         let first = Schema::deserialize(&ds.primary().newest_metadata().unwrap()).unwrap();
-        ds.insert(&parse(r#"{"id": 1, "a": 2, "b": "x"}"#).unwrap()).unwrap();
+        ds.writer().insert(&parse(r#"{"id": 1, "a": 2, "b": "x"}"#).unwrap()).unwrap();
         ds.flush();
         assert_eq!(ds.primary().components().len(), 2);
 
@@ -915,7 +1001,7 @@ mod tests {
                             .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
                     );
                     for i in 0..500 {
-                        ds.insert(&employee(i)).unwrap();
+                        ds.writer().insert(&employee(i)).unwrap();
                     }
                     ds.flush();
                     ds.disk_bytes()
@@ -937,7 +1023,7 @@ mod tests {
                 .with_background_maintenance(true),
         );
         for i in 0..800 {
-            ds.insert(&employee(i)).unwrap();
+            ds.writer().insert(&employee(i)).unwrap();
         }
         ds.await_quiescent();
         let stats = ds.lsm_stats();
@@ -967,7 +1053,7 @@ mod tests {
         );
         let slack = 1024;
         for i in 0..500 {
-            ds.insert(&employee(i)).unwrap();
+            ds.writer().insert(&employee(i)).unwrap();
             assert!(
                 ds.primary().memtable_bytes() < BACKPRESSURE_OVERHANG_FACTOR * budget + slack,
                 "memtable must never diverge past the backpressure cap"
@@ -988,7 +1074,7 @@ mod tests {
                 .with_background_maintenance(true),
         );
         for i in 0..50 {
-            ds.insert(&employee(i)).unwrap();
+            ds.writer().insert(&employee(i)).unwrap();
         }
         assert_eq!(ds.primary().components().len(), 0);
         ds.flush_async();
@@ -998,5 +1084,25 @@ mod tests {
         // The schema committed with the flush, on the worker thread.
         let s = ds.schema_snapshot().unwrap();
         assert_eq!(s.record_count(), 50);
+    }
+
+    #[test]
+    fn writer_token_is_exclusive() {
+        let ds = small(StorageFormat::Inferred);
+        let mut w = ds.writer();
+        assert!(ds.try_writer().is_none(), "token is live; no second claim");
+        w.insert(&employee(1)).unwrap();
+        drop(w);
+        // The claim releases on drop, so a new writer can take over.
+        ds.writer().insert(&employee(2)).unwrap();
+        assert_eq!(ds.ingested(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a live WriterToken")]
+    fn second_writer_claim_panics() {
+        let ds = small(StorageFormat::Inferred);
+        let _live = ds.writer();
+        let _second = ds.writer();
     }
 }

@@ -29,5 +29,5 @@ pub mod decoder;
 
 pub use compactor::{MaintenanceWorker, TupleCompactor};
 pub use config::{DatasetConfig, StorageFormat};
-pub use dataset::Dataset;
+pub use dataset::{Dataset, WriterToken};
 pub use decoder::RecordDecoder;

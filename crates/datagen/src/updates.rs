@@ -80,7 +80,7 @@ impl Updater {
                 let value = match self.rng.gen_range(0..3) {
                     0 => Value::Int64(self.rng.gen()),
                     1 => Value::string(format!("v{}", self.counter)),
-                    _ => Value::Boolean(self.counter % 2 == 0),
+                    _ => Value::Boolean(self.counter.is_multiple_of(2)),
                 };
                 fields.retain(|(n, _)| *n != name);
                 fields.push((name, value));

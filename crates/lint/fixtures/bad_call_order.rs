@@ -1,0 +1,20 @@
+//! Seeded violation: interprocedural inversion through a declared summary.
+//! `flush` is declared in [summaries] to acquire `flush_lock` (rank 0);
+//! calling it while holding `schema` (rank 3) inverts the order without any
+//! direct nested acquisition in this function. Expected finding:
+//! `lock-order-call`.
+
+use std::sync::Mutex;
+
+pub struct Compactor {
+    schema: Mutex<Vec<u64>>,
+    tree: Tree,
+}
+
+impl Compactor {
+    pub fn rebuild(&self) {
+        let guard = self.schema.lock();
+        self.tree.flush(); // BAD: flush may take flush_lock/state (ranks 0/2)
+        drop(guard);
+    }
+}

@@ -1,0 +1,18 @@
+//! Seeded violation: direct lock-order inversion. `state` (rank 2) is held
+//! while `flush_lock` (rank 0) is acquired — the declared order says
+//! flush_lock must come first. Expected finding: `lock-order`.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct Tree {
+    state: RwLock<Vec<u64>>,
+    flush_lock: Mutex<()>,
+}
+
+impl Tree {
+    pub fn inverted(&self) {
+        let st = self.state.write();
+        let _flush = self.flush_lock.lock(); // BAD: rank 0 under rank 2
+        drop(st);
+    }
+}

@@ -1,0 +1,54 @@
+//! Control fixture: disciplined code that must produce NO findings —
+//! ascending lock order, temporaries released before blocking calls, `&self`
+//! write APIs, explicit poison handling, guards dropped before I/O.
+
+use std::sync::{Mutex, PoisonError, RwLock};
+
+pub struct Tree {
+    flush_lock: Mutex<()>,
+    state: RwLock<Vec<u64>>,
+    store: PageStore,
+}
+
+impl Tree {
+    /// Ascending acquisition (rank 0, then rank 2) is fine.
+    pub fn flush(&self) {
+        let _flush = self.flush_lock.lock();
+        let snapshot = {
+            let st = self.state.write();
+            st.clone()
+        };
+        // Blocking work happens after the state guard dropped.
+        for page in snapshot {
+            self.store.read_page(page);
+        }
+    }
+
+    /// Chained temporary: the guard dies at the end of the statement, so
+    /// the blocking call below runs unguarded.
+    pub fn first_page(&self) -> Vec<u8> {
+        let first = self.state.read().first().copied();
+        match first {
+            Some(id) => self.store.read_page(id),
+            None => Vec::new(),
+        }
+    }
+
+    /// `&self` write API, as the contract requires.
+    pub fn insert(&self, key: u64) {
+        let mut st = self.state.write();
+        st.push(key);
+    }
+}
+
+pub struct Gauge {
+    outstanding: Mutex<usize>, // declared unranked: leaf lock, never nests
+}
+
+impl Gauge {
+    /// Explicit poison policy instead of unwrap.
+    pub fn add(&self) {
+        let mut n = self.outstanding.lock().unwrap_or_else(PoisonError::into_inner);
+        *n += 1;
+    }
+}

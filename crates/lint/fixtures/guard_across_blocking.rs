@@ -1,0 +1,18 @@
+//! Seeded violation: the hot `state` guard is held across a blocking call
+//! (`read_page` faults pages in from the device). Expected finding:
+//! `guard-across-blocking`.
+
+use std::sync::RwLock;
+
+pub struct Tree {
+    state: RwLock<Vec<u64>>,
+    store: PageStore,
+}
+
+impl Tree {
+    pub fn lookup(&self, id: u64) -> Vec<u8> {
+        let view = self.state.read();
+        let first = view[0];
+        self.store.read_page(first + id) // BAD: device IO under `state`
+    }
+}

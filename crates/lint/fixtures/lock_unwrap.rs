@@ -1,0 +1,23 @@
+//! Seeded violations: `.unwrap()`/`.expect()` on lock and channel results
+//! in library code. Poisoning and disconnects need an explicit policy.
+//! Expected findings: `unwrap-on-sync` (three sites).
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Pipeline {
+    frozen: Mutex<Vec<u8>>,
+    tx: Sender<u64>,
+}
+
+impl Pipeline {
+    pub fn push(&self, job: u64) {
+        let mut buf = self.frozen.lock().unwrap(); // BAD
+        buf.push(job as u8);
+        self.tx.send(job).expect("worker alive"); // BAD
+    }
+
+    pub fn len(&self) -> usize {
+        self.frozen.lock().expect("not poisoned").len() // BAD
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded violation: a declared shared-reference API taking `&mut self`.
+//! `LsmTree::insert` is part of the concurrent-writer surface — exclusivity
+//! comes from the WriterToken, never from `&mut`. Expected finding:
+//! `mut-self-api`.
+
+pub struct LsmTree {
+    entries: Vec<(u64, Vec<u8>)>,
+}
+
+impl LsmTree {
+    pub fn insert(&mut self, key: u64, payload: Vec<u8>) {
+        // BAD: `&mut self` on a declared &self API
+        self.entries.push((key, payload));
+    }
+}

@@ -1,0 +1,19 @@
+//! Seeded violation: a function whose [summaries] declaration has drifted
+//! from its body. `discard_frozen` is declared to acquire only `frozen`,
+//! but this version also takes `state`. Expected finding: `summary-drift`.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct Wal {
+    state: RwLock<u64>,
+    frozen: Mutex<Vec<u8>>,
+}
+
+impl Wal {
+    pub fn discard_frozen(&self) {
+        let st = self.state.read(); // BAD: not covered by the declared summary
+        if *st > 0 {
+            self.frozen.lock().clear();
+        }
+    }
+}

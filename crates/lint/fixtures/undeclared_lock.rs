@@ -1,0 +1,18 @@
+//! Seeded violation: a lock field that is not registered in lint.toml —
+//! neither ranked in [order] nor listed as unranked. Every lock must be
+//! declared so the order stays total over the fields that exist. Expected
+//! finding: `undeclared-lock`.
+
+use std::sync::Mutex;
+
+pub struct Sneaky {
+    secret: Mutex<u64>,
+}
+
+impl Sneaky {
+    pub fn bump(&self) -> u64 {
+        let mut g = self.secret.lock(); // BAD: `secret` is not declared
+        *g += 1;
+        *g
+    }
+}

@@ -1,0 +1,233 @@
+//! A minimal Rust lexer: just enough fidelity for source-level concurrency
+//! analysis. Comments (line, nested block), string/char/byte/raw-string
+//! literals, lifetimes, identifiers, numbers; all remaining punctuation is
+//! emitted as single characters (`->` is two tokens — the analyzer's
+//! pattern matching accounts for that).
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Lifetime,
+    Str,
+    Char,
+    Num,
+    P(char),
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is(&self, c: char) -> bool {
+        self.tok == Tok::P(c)
+    }
+}
+
+fn ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comments nest in Rust.
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                out.push(Token { tok: Tok::Str, line });
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'\x'` and `'a'` are chars;
+                // `'a` (no closing quote after one ident) is a lifetime.
+                if b.get(i + 1) == Some(&b'\\') {
+                    i += 2; // skip the escape lead-in
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    out.push(Token { tok: Tok::Char, line });
+                } else if b.get(i + 1).copied().is_some_and(ident_start)
+                    && b.get(i + 2) != Some(&b'\'')
+                {
+                    i += 1;
+                    while i < b.len() && ident_cont(b[i]) {
+                        i += 1;
+                    }
+                    out.push(Token { tok: Tok::Lifetime, line });
+                } else {
+                    // 'x' or an exotic single char.
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                    out.push(Token { tok: Tok::Char, line });
+                }
+            }
+            c if ident_start(c) => {
+                let start = i;
+                while i < b.len() && ident_cont(b[i]) {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                // Raw/byte string prefixes: r"", r#""#, b"", br#""#.
+                let is_str_prefix = matches!(word, "r" | "b" | "br" | "rb");
+                if is_str_prefix && matches!(b.get(i), Some(&b'"') | Some(&b'#')) {
+                    let mut hashes = 0usize;
+                    let mut j = i;
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') {
+                        // Raw string: scan for `"` followed by `hashes` #s.
+                        j += 1;
+                        if word.starts_with('r') || word.ends_with('r') || hashes > 0 {
+                            'raw: while j < b.len() {
+                                if b[j] == b'\n' {
+                                    line += 1;
+                                }
+                                if b[j] == b'"' {
+                                    let mut k = 0usize;
+                                    while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                                        k += 1;
+                                    }
+                                    if k == hashes {
+                                        j += 1 + hashes;
+                                        break 'raw;
+                                    }
+                                }
+                                j += 1;
+                            }
+                            i = j;
+                        } else {
+                            // b"..." — plain escapes.
+                            i = skip_string(b, j - 1, &mut line);
+                        }
+                        out.push(Token { tok: Tok::Str, line });
+                        continue;
+                    }
+                }
+                out.push(Token { tok: Tok::Ident(word.to_string()), line });
+            }
+            c if c.is_ascii_digit() => {
+                while i < b.len()
+                    && (ident_cont(b[i])
+                        || (b[i] == b'.'
+                            && b.get(i + 1).copied().is_some_and(|d| d.is_ascii_digit())))
+                {
+                    i += 1;
+                }
+                out.push(Token { tok: Tok::Num, line });
+            }
+            _ => {
+                out.push(Token { tok: Tok::P(c as char), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `i` points at the opening quote; returns the index after the closing one.
+fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter_map(|t| t.ident().map(str::to_string)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r##"
+            // let fake = self.state.write();
+            /* nested /* let deeper = x.lock(); */ still comment */
+            let real = "self.state.write()";
+            let raw = r#"x.lock()"#;
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "real", "let", "raw"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

@@ -1,0 +1,90 @@
+//! tc-lint: a concurrency-contract analyzer for the tuple-compactor
+//! workspace. PR 2 documented the lock discipline in prose; this crate turns
+//! it into machine-checked invariants, driven by the declarations in
+//! `lint.toml` at the repository root:
+//!
+//! 1. **Lock ordering** — locks nest only in the declared order, checked
+//!    directly inside each function and across calls via `[summaries]`.
+//! 2. **No guard across blocking calls** — hot guards (the LSM `state`)
+//!    must be released before device I/O or pipeline waits.
+//! 3. **API contracts** — write entry points on `LsmTree`/`Dataset`/
+//!    `Cluster` stay `&self`, and library code never unwraps lock/channel
+//!    results.
+//!
+//! The analyzer is deliberately self-contained (hand-rolled lexer, no
+//! `syn`): it must build in a hermetic workspace and lex only as much Rust
+//! as the rules need. Its dynamic twin is `tc_util::sync`, whose
+//! debug-asserted `OrderedMutex`/`OrderedRwLock` enforce the same `[order]`
+//! table at runtime.
+
+pub mod config;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+pub use config::Config;
+pub use rules::Finding;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Analyze one source file against the config. `label` is used in findings.
+pub fn analyze_source(label: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let fns = model::extract(src, cfg);
+    rules::check_file(label, &fns, cfg)
+}
+
+/// Walk the configured roots under `root` and analyze every library source
+/// file. Returns findings sorted by path and line.
+pub fn run(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    for r in &cfg.roots {
+        collect_rs(&root.join(r), root, cfg, &mut files)?;
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for f in &files {
+        let src = fs::read_to_string(root.join(f)).map_err(|e| format!("{}: {e}", f.display()))?;
+        findings.extend(analyze_source(&f.display().to_string(), &src, cfg));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+/// Load `lint.toml` from `root` and run the full check.
+pub fn run_default(root: &Path) -> Result<Vec<Finding>, String> {
+    let cfg_path = root.join("lint.toml");
+    let text = fs::read_to_string(&cfg_path).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+    let cfg = Config::parse(&text).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+    run(root, &cfg)
+}
+
+/// Recursively collect `.rs` files that live under a `src/` directory and
+/// are not excluded. Paths recorded relative to `root`.
+fn collect_rs(dir: &Path, root: &Path, cfg: &Config, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(()), // a configured root may be absent
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if cfg.exclude.iter().any(|x| rel_str.contains(x.as_str())) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, root, cfg, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") && in_src_dir(&rel_str) {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Library code lives under a `src/` path component; `tests/`, `benches/`,
+/// and `examples/` trees are exercised code, not contract-bearing code.
+fn in_src_dir(rel: &str) -> bool {
+    rel.split('/').any(|c| c == "src")
+}

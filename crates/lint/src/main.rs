@@ -1,0 +1,83 @@
+//! CLI for the concurrency-contract analyzer.
+//!
+//! ```text
+//! cargo run -p tc-lint -- check [--root DIR] [--config FILE]
+//! ```
+//!
+//! Exits 0 when the workspace satisfies every contract in `lint.toml`,
+//! 1 when findings exist, 2 on usage/config errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" if cmd.is_none() => cmd = Some("check"),
+            "--root" if i + 1 < args.len() => {
+                i += 1;
+                root = PathBuf::from(&args[i]);
+            }
+            "--config" if i + 1 < args.len() => {
+                i += 1;
+                config = Some(PathBuf::from(&args[i]));
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("tc-lint: unknown argument `{other}`\n");
+                print_usage();
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if cmd != Some("check") {
+        print_usage();
+        return ExitCode::from(2);
+    }
+
+    let result = match config {
+        Some(cfg_path) => std::fs::read_to_string(&cfg_path)
+            .map_err(|e| format!("{}: {e}", cfg_path.display()))
+            .and_then(|text| {
+                tc_lint::Config::parse(&text).map_err(|e| format!("{}: {e}", cfg_path.display()))
+            })
+            .and_then(|cfg| tc_lint::run(&root, &cfg)),
+        None => tc_lint::run_default(&root),
+    };
+
+    match result {
+        Ok(findings) if findings.is_empty() => {
+            println!("tc-lint: all concurrency contracts hold");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("tc-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("tc-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: tc-lint check [--root DIR] [--config FILE]\n\n\
+         Checks the workspace against the concurrency contracts declared in\n\
+         lint.toml: lock ordering, guards across blocking calls, &self write\n\
+         APIs, and unwraps on sync/channel results."
+    );
+}

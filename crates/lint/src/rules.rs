@@ -1,0 +1,215 @@
+//! The four rule engines. Each consumes the per-function models extracted
+//! by [`crate::model`] and the contracts declared in `lint.toml`, and emits
+//! findings. Rule IDs:
+//!
+//! - `lock-order` — a lock acquired while a same- or higher-ranked lock is
+//!   held (direct, intraprocedural).
+//! - `lock-order-call` — a call to a function whose declared `[summaries]`
+//!   entry may acquire a lock ranked at or below one currently held.
+//! - `summary-drift` — a function's body acquires locks (or calls
+//!   summarized functions) not covered by its own declared summary.
+//! - `undeclared-lock` — a `self.<field>.lock()/read()/write()` on a field
+//!   missing from both `[order]` and `[order].unranked`.
+//! - `guard-across-blocking` — a hot guard held across a blocking call.
+//! - `mut-self-api` — a declared write-API method taking `&mut self`.
+//! - `unwrap-on-sync` — `.unwrap()`/`.expect()` on a lock or channel result
+//!   in non-test library code.
+
+use crate::config::Config;
+use crate::model::FnModel;
+use std::fmt;
+
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+pub fn check_file(file: &str, fns: &[FnModel], cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in fns {
+        check_lock_order(file, f, cfg, &mut out);
+        check_call_order(file, f, cfg, &mut out);
+        check_summary_drift(file, f, cfg, &mut out);
+        check_undeclared(file, f, &mut out);
+        check_blocking(file, f, cfg, &mut out);
+        check_api(file, f, cfg, &mut out);
+        check_unwraps(file, f, &mut out);
+    }
+    out
+}
+
+/// Rule 1a: direct acquisition order. Acquiring rank R while holding rank
+/// >= R violates the declared partial order (equal rank = re-entrancy).
+fn check_lock_order(file: &str, f: &FnModel, cfg: &Config, out: &mut Vec<Finding>) {
+    for acq in &f.acquisitions {
+        let Some(new_rank) = cfg.rank(&acq.lock) else { continue };
+        for held in &acq.held {
+            let Some(held_rank) = cfg.rank(&held.lock) else { continue };
+            if held_rank >= new_rank {
+                let why = if held_rank == new_rank {
+                    "same rank: re-entrant acquisition can self-deadlock"
+                } else {
+                    "declared order is violated"
+                };
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: acq.line,
+                    rule: "lock-order",
+                    message: format!(
+                        "fn `{}` acquires `{}` (rank {}) while holding `{}` (rank {}, taken at line {}): {}; see [order] in lint.toml",
+                        f.name, acq.lock, new_rank, held.lock, held_rank, held.line, why
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 1b: interprocedural order through declared summaries. Calling a
+/// function that may acquire rank <= a held rank is an inversion-by-call.
+fn check_call_order(file: &str, f: &FnModel, cfg: &Config, out: &mut Vec<Finding>) {
+    for call in &f.calls {
+        let Some(summary) = cfg.summary(&call.name) else { continue };
+        for may in summary {
+            let Some(may_rank) = cfg.rank(may) else { continue };
+            for held in &call.held {
+                let Some(held_rank) = cfg.rank(&held.lock) else { continue };
+                if held_rank >= may_rank {
+                    out.push(Finding {
+                        file: file.to_string(),
+                        line: call.line,
+                        rule: "lock-order-call",
+                        message: format!(
+                            "fn `{}` calls `{}` (declared to acquire `{}`, rank {}) while holding `{}` (rank {}, taken at line {}); see [summaries] in lint.toml",
+                            f.name, call.name, may, may_rank, held.lock, held_rank, held.line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Rule 1c: declared summaries must stay in sync with the code. If a
+/// summarized function directly acquires a lock — or calls another
+/// summarized function whose set isn't a subset of its own — the
+/// declaration has drifted.
+fn check_summary_drift(file: &str, f: &FnModel, cfg: &Config, out: &mut Vec<Finding>) {
+    let Some(own) = cfg.summary(&f.name) else { return };
+    for acq in &f.acquisitions {
+        if cfg.rank(&acq.lock).is_some() && !own.contains(&acq.lock) {
+            out.push(Finding {
+                file: file.to_string(),
+                line: acq.line,
+                rule: "summary-drift",
+                message: format!(
+                    "fn `{}` acquires `{}` but its [summaries] entry omits it; update lint.toml",
+                    f.name, acq.lock
+                ),
+            });
+        }
+    }
+    for call in &f.calls {
+        if call.name == f.name {
+            continue; // self-recursion adds nothing
+        }
+        let Some(callee) = cfg.summary(&call.name) else { continue };
+        for l in callee {
+            if cfg.rank(l).is_some() && !own.iter().any(|o| o == l) {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: call.line,
+                    rule: "summary-drift",
+                    message: format!(
+                        "fn `{}` calls `{}` which may acquire `{}`, but `{}`'s [summaries] entry omits it; update lint.toml",
+                        f.name, call.name, l, f.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 1d: completeness — every lock field on `self` must be registered in
+/// lint.toml, either ranked in `[order]` or listed as `unranked`.
+fn check_undeclared(file: &str, f: &FnModel, out: &mut Vec<Finding>) {
+    for acq in &f.acquisitions {
+        if acq.self_rooted && !acq.declared {
+            out.push(Finding {
+                file: file.to_string(),
+                line: acq.line,
+                rule: "undeclared-lock",
+                message: format!(
+                    "fn `{}` acquires lock field `{}` which is not declared in lint.toml; add it to [order] locks (ranked) or [order] unranked (leaf lock that never nests)",
+                    f.name, acq.lock
+                ),
+            });
+        }
+    }
+}
+
+/// Rule 2: hot guards (e.g. the tree `state`) must not be held across
+/// blocking calls — device I/O, channel waits, flush/merge pipelines.
+fn check_blocking(file: &str, f: &FnModel, cfg: &Config, out: &mut Vec<Finding>) {
+    for call in &f.calls {
+        if !cfg.blocking.iter().any(|b| b == &call.name) {
+            continue;
+        }
+        for held in &call.held {
+            if cfg.hot.iter().any(|h| h == &held.lock) {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: call.line,
+                    rule: "guard-across-blocking",
+                    message: format!(
+                        "fn `{}` calls blocking `{}` while holding hot lock `{}` (taken at line {}); release the guard first — see [blocking] in lint.toml",
+                        f.name, call.name, held.lock, held.line
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 3a: declared write APIs stay `&self` — interior mutability plus the
+/// WriterToken carry the exclusivity, not `&mut`.
+fn check_api(file: &str, f: &FnModel, cfg: &Config, out: &mut Vec<Finding>) {
+    let Some(ty) = f.impl_type.as_deref() else { return };
+    let Some(methods) = cfg.api_methods(ty) else { return };
+    if f.mut_self && methods.iter().any(|m| m == &f.name) {
+        out.push(Finding {
+            file: file.to_string(),
+            line: f.line,
+            rule: "mut-self-api",
+            message: format!(
+                "`{}::{}` takes `&mut self` but is declared a shared-reference API in [api]; concurrent readers must stay able to call it",
+                ty, f.name
+            ),
+        });
+    }
+}
+
+/// Rule 3b: no `.unwrap()` / `.expect()` on lock or channel results in
+/// library code — poisoning and disconnects need an explicit policy.
+fn check_unwraps(file: &str, f: &FnModel, out: &mut Vec<Finding>) {
+    for u in &f.unwraps {
+        out.push(Finding {
+            file: file.to_string(),
+            line: u.line,
+            rule: "unwrap-on-sync",
+            message: format!(
+                "fn `{}` calls `.{}()` on a `{}` result; handle poisoning/disconnect explicitly (e.g. PoisonError::into_inner) — see [unwrap] in lint.toml",
+                f.name, u.wrapper, u.method
+            ),
+        });
+    }
+}

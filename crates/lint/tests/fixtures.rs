@@ -1,0 +1,102 @@
+//! End-to-end analyzer tests against the real `lint.toml`:
+//! every seeded fixture violation must be flagged with the right rule, the
+//! clean fixture must stay silent, and the actual workspace must pass.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // crates/lint -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+fn config() -> tc_lint::Config {
+    let text = std::fs::read_to_string(repo_root().join("lint.toml")).unwrap();
+    tc_lint::Config::parse(&text).unwrap()
+}
+
+fn analyze_fixture(name: &str) -> Vec<tc_lint::Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    let src = std::fs::read_to_string(&path).unwrap();
+    tc_lint::analyze_source(name, &src, &config())
+}
+
+fn rules(findings: &[tc_lint::Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn flags_direct_lock_order_inversion() {
+    let findings = analyze_fixture("bad_lock_order.rs");
+    assert!(
+        rules(&findings).contains(&"lock-order"),
+        "expected a lock-order finding, got: {findings:?}"
+    );
+}
+
+#[test]
+fn flags_inversion_through_declared_summary() {
+    let findings = analyze_fixture("bad_call_order.rs");
+    assert!(
+        rules(&findings).contains(&"lock-order-call"),
+        "expected a lock-order-call finding, got: {findings:?}"
+    );
+}
+
+#[test]
+fn flags_hot_guard_held_across_blocking_call() {
+    let findings = analyze_fixture("guard_across_blocking.rs");
+    assert!(
+        rules(&findings).contains(&"guard-across-blocking"),
+        "expected a guard-across-blocking finding, got: {findings:?}"
+    );
+}
+
+#[test]
+fn flags_mut_self_on_declared_shared_api() {
+    let findings = analyze_fixture("mut_self_write_api.rs");
+    assert!(
+        rules(&findings).contains(&"mut-self-api"),
+        "expected a mut-self-api finding, got: {findings:?}"
+    );
+}
+
+#[test]
+fn flags_unwrap_on_lock_and_channel_results() {
+    let findings = analyze_fixture("lock_unwrap.rs");
+    let n = rules(&findings).iter().filter(|r| **r == "unwrap-on-sync").count();
+    assert_eq!(n, 3, "expected three unwrap-on-sync findings, got: {findings:?}");
+}
+
+#[test]
+fn flags_undeclared_lock_field() {
+    let findings = analyze_fixture("undeclared_lock.rs");
+    assert!(
+        rules(&findings).contains(&"undeclared-lock"),
+        "expected an undeclared-lock finding, got: {findings:?}"
+    );
+}
+
+#[test]
+fn flags_summary_drift() {
+    let findings = analyze_fixture("summary_drift.rs");
+    assert!(
+        rules(&findings).contains(&"summary-drift"),
+        "expected a summary-drift finding, got: {findings:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let findings = analyze_fixture("clean.rs");
+    assert!(findings.is_empty(), "clean fixture must pass, got: {findings:?}");
+}
+
+#[test]
+fn workspace_satisfies_all_contracts() {
+    let findings = tc_lint::run_default(&repo_root()).unwrap();
+    assert!(
+        findings.is_empty(),
+        "the workspace must satisfy lint.toml; findings:\n{}",
+        findings.iter().map(|f| format!("  {f}\n")).collect::<String>()
+    );
+}

@@ -28,7 +28,7 @@ impl BloomFilter {
     fn probes(&self, key: &[u8]) -> impl Iterator<Item = u64> + '_ {
         let h = hash_bytes(key);
         let h1 = h;
-        let h2 = (h >> 32) | (h << 32) | 1; // odd ⇒ full cycle
+        let h2 = h.rotate_left(32) | 1; // odd ⇒ full cycle
         (0..self.num_hashes as u64)
             .map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits)
     }

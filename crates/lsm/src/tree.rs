@@ -38,10 +38,10 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{Mutex, RwLock};
 use tc_compress::CompressionScheme;
 use tc_storage::device::Device;
 use tc_storage::BufferCache;
+use tc_util::sync::{ranks, OrderedMutex, OrderedRwLock, OrderedRwLockReadGuard};
 
 use crate::component::{ComponentBuilder, ComponentId, DiskComponent};
 use crate::entry::{EntryKind, Key};
@@ -156,12 +156,12 @@ pub struct LsmTree {
     device: Arc<Device>,
     cache: Arc<BufferCache>,
     hook: Arc<dyn ComponentHook>,
-    state: RwLock<TreeState>,
+    state: OrderedRwLock<TreeState>,
     wal: Wal,
     /// Serializes flushes (freeze → build → install).
-    flush_lock: Mutex<()>,
+    flush_lock: OrderedMutex<()>,
     /// Serializes merges (decide → build → splice-by-identity).
-    merge_lock: Mutex<()>,
+    merge_lock: OrderedMutex<()>,
     stats: StatsCells,
 }
 
@@ -174,8 +174,13 @@ pub struct LsmTree {
 /// to the same instant. Drop it promptly; scans and cloned component lists
 /// stay valid after the drop (they own their snapshot).
 pub struct ReadView<'a> {
-    guard: parking_lot::RwLockReadGuard<'a, TreeState>,
+    guard: OrderedRwLockReadGuard<'a, TreeState>,
 }
+
+/// In-memory scan inputs from [`ReadView::mem_parts`]: the retained frozen
+/// memtable (if a flush is in progress) and an owned copy of the active
+/// memtable entries.
+pub type MemParts = (Option<Arc<Memtable>>, Vec<(Key, EntryKind, Vec<u8>)>);
 
 impl ReadView<'_> {
     /// Point lookup in the in-memory components only (active, then frozen).
@@ -203,10 +208,7 @@ impl ReadView<'_> {
     /// `Arc`, so it is snapshotted (and the [`MergedScan`], whose heap
     /// priming reads disk blocks, is built) *after* the view drops — see
     /// [`LsmTree::scan_range`].
-    pub fn mem_parts(
-        &self,
-        start: Option<&[u8]>,
-    ) -> (Option<Arc<Memtable>>, Vec<(Key, EntryKind, Vec<u8>)>) {
+    pub fn mem_parts(&self, start: Option<&[u8]>) -> MemParts {
         (self.guard.frozen.clone(), crate::iter::snapshot_memtable(&self.guard.mem, start))
     }
 }
@@ -224,16 +226,19 @@ impl LsmTree {
             device,
             cache,
             hook,
-            state: RwLock::new(TreeState {
-                mem: Memtable::new(),
-                frozen: None,
-                disk: Vec::new(),
-                pending_anti: Vec::new(),
-                next_seq: 0,
-            }),
+            state: OrderedRwLock::new(
+                ranks::TREE_STATE,
+                TreeState {
+                    mem: Memtable::new(),
+                    frozen: None,
+                    disk: Vec::new(),
+                    pending_anti: Vec::new(),
+                    next_seq: 0,
+                },
+            ),
             wal,
-            flush_lock: Mutex::new(()),
-            merge_lock: Mutex::new(()),
+            flush_lock: OrderedMutex::new(ranks::FLUSH_LOCK, ()),
+            merge_lock: OrderedMutex::new(ranks::MERGE_LOCK, ()),
             stats: StatsCells::default(),
         }
     }
@@ -537,7 +542,7 @@ impl LsmTree {
         &self,
         inputs: &[Arc<DiskComponent>],
         includes_oldest: bool,
-        _guard: parking_lot::MutexGuard<'_, ()>,
+        _guard: tc_util::sync::OrderedMutexGuard<'_, ()>,
     ) {
         let blobs: Vec<Option<&[u8]>> = inputs.iter().map(|c| c.metadata()).collect();
         let metadata = self.hook.merge_metadata(&blobs);

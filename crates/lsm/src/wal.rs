@@ -18,9 +18,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use tc_storage::device::Device;
 use tc_storage::file::FileStore;
+use tc_util::sync::{ranks, OrderedMutex};
 use tc_util::varint;
 
 use crate::entry::Key;
@@ -39,12 +39,15 @@ pub struct Wal {
     /// Records covering the frozen component currently being flushed
     /// (empty whenever no flush is in flight). Held in memory directly:
     /// rotation models a file rename, so it charges no device IO.
-    frozen: Mutex<Vec<u8>>,
+    frozen: OrderedMutex<Vec<u8>>,
 }
 
 impl Wal {
     pub fn new(device: Arc<Device>) -> Self {
-        Wal { active: FileStore::new(device), frozen: Mutex::new(Vec::new()) }
+        Wal {
+            active: FileStore::new(device),
+            frozen: OrderedMutex::new(ranks::WAL_FROZEN, Vec::new()),
+        }
     }
 
     /// Append one operation. In a no-force design this is the only write

@@ -188,7 +188,6 @@ fn run_partition(
         }
         rows.push(row);
     }
-    let mut rows = rows;
     for op in local_ops {
         rows = apply_op(rows, op);
     }
@@ -362,7 +361,7 @@ mod tests {
                 i % 5
             ))
             .unwrap();
-            out[(i as usize) % partitions].insert(&r).unwrap();
+            out[(i as usize) % partitions].writer().insert(&r).unwrap();
         }
         for ds in &mut out {
             ds.flush();

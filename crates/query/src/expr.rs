@@ -217,7 +217,7 @@ fn eval_func(func: &Func, args: &[Expr], row: &[Value]) -> Value {
         Func::ArrayContains => {
             let needle = arg(1);
             match arg(0).as_items() {
-                Some(items) => Value::Boolean(items.iter().any(|v| *v == needle)),
+                Some(items) => Value::Boolean(items.contains(&needle)),
                 None => Value::Boolean(false),
             }
         }

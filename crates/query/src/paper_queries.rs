@@ -334,7 +334,7 @@ mod tests {
             .collect();
         for i in 0..n {
             let r = gen.next_record();
-            parts[i % 2].insert(&r).unwrap();
+            parts[i % 2].writer().insert(&r).unwrap();
         }
         for p in &mut parts {
             p.flush();

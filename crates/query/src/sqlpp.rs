@@ -857,9 +857,11 @@ mod tests {
             Arc::new(Device::new(DeviceProfile::RAM)),
             Arc::new(BufferCache::new(4096)),
         );
+        let mut w = ds.writer();
         for _ in 0..n {
-            ds.insert(&gen.next_record()).unwrap();
+            w.insert(&gen.next_record()).unwrap();
         }
+        drop(w);
         ds.flush();
         ds
     }

@@ -9,8 +9,8 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use tc_util::hash::FxHashMap;
+use tc_util::sync::{ranks, OrderedMutex};
 
 use crate::page_store::{PageId, PageStore};
 
@@ -38,14 +38,14 @@ struct Inner {
 #[derive(Debug)]
 pub struct BufferCache {
     capacity: usize,
-    inner: Mutex<Inner>,
+    inner: OrderedMutex<Inner>,
 }
 
 impl BufferCache {
     /// `capacity` is in pages.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache needs at least one frame");
-        BufferCache { capacity, inner: Mutex::new(Inner::default()) }
+        BufferCache { capacity, inner: OrderedMutex::new(ranks::CACHE_INNER, Inner::default()) }
     }
 
     /// Capacity for a byte budget at a page size (how the experiments size
@@ -137,7 +137,7 @@ mod tests {
     fn store_with_pages(n: u8, device: Arc<Device>) -> PageStore {
         let store = PageStore::new(device, 64, CompressionScheme::None);
         for i in 0..n {
-            store.write_page(&vec![i; 64]);
+            store.write_page(&[i; 64]);
         }
         store
     }

@@ -7,20 +7,20 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use tc_util::sync::{ranks, OrderedRwLock};
 
 use crate::device::Device;
 
 /// An append-only file charging IO to a device.
 #[derive(Debug)]
 pub struct FileStore {
-    data: RwLock<Vec<u8>>,
+    data: OrderedRwLock<Vec<u8>>,
     device: Arc<Device>,
 }
 
 impl FileStore {
     pub fn new(device: Arc<Device>) -> Self {
-        FileStore { data: RwLock::new(Vec::new()), device }
+        FileStore { data: OrderedRwLock::new(ranks::FILE_DATA, Vec::new()), device }
     }
 
     /// Append bytes; returns the offset they were written at.

@@ -85,7 +85,7 @@ impl Laf {
 
     /// Parse a serialized LAF.
     pub fn deserialize(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() % LAF_ENTRY_BYTES != 0 {
+        if !bytes.len().is_multiple_of(LAF_ENTRY_BYTES) {
             return None;
         }
         let entries = bytes

@@ -8,8 +8,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use tc_compress::CompressionScheme;
+use tc_util::sync::{ranks, OrderedRwLock};
 
 use crate::device::Device;
 use crate::file::FileStore;
@@ -28,7 +28,7 @@ pub struct PageStore {
     page_size: usize,
     scheme: CompressionScheme,
     data: FileStore,
-    laf: RwLock<Laf>,
+    laf: OrderedRwLock<Laf>,
     pages: AtomicU64,
 }
 
@@ -39,7 +39,7 @@ impl PageStore {
             page_size,
             scheme,
             data: FileStore::new(device),
-            laf: RwLock::new(Laf::new()),
+            laf: OrderedRwLock::new(ranks::PAGE_LAF, Laf::new()),
             pages: AtomicU64::new(0),
         }
     }

@@ -9,9 +9,12 @@
 //!   format's bit-packed length and field-name-ID vectors.
 //! * [`hash`] — an Fx-style 64-bit hasher (fast, non-cryptographic) used for
 //!   hash partitioning and bloom filters.
+//! * [`sync`] — rank-ordered lock wrappers that assert the declared lock
+//!   order (`lint.toml`) at runtime in debug builds.
 
 pub mod bits;
 pub mod hash;
+pub mod sync;
 pub mod varint;
 
 /// Number of bits required to represent `v` (at least 1, so that zero-valued

@@ -141,12 +141,12 @@ fn walk(
             Item::Eov => return Err(AdmError::corrupt("EOV inside container")),
             Item::Scalar { value, name } => {
                 for &(p, s, _) in active {
-                    if step_matches(&ctx.paths[p][s], container_tag, &name, item_index, ctx)? {
-                        if s + 1 == ctx.paths[p].len() {
-                            ctx.collect(p, value.clone());
-                        }
-                        // A scalar can't satisfy deeper steps: missing.
+                    if step_matches(&ctx.paths[p][s], container_tag, &name, item_index, ctx)?
+                        && s + 1 == ctx.paths[p].len()
+                    {
+                        ctx.collect(p, value.clone());
                     }
+                    // A scalar can't satisfy deeper steps: missing.
                 }
                 item_index += 1;
             }

@@ -213,7 +213,7 @@ mod tests {
         let back = decode(&compacted, Some(&t), Some(schema.dict())).unwrap();
         assert_eq!(back, v);
         // "name" appears at two levels but once in the dictionary (Fig 10c).
-        assert_eq!(schema.dict().find("name").is_some(), true);
+        assert!(schema.dict().find("name").is_some());
         assert_eq!(schema.dict().len(), 6);
     }
 

@@ -40,7 +40,7 @@ impl Sections {
         let fieldname_bits =
             1 + effective_width(self.field_entries.iter().map(|e| e.payload).max().unwrap_or(0));
         // Field entries pack flag in the top bit of each entry.
-        let fieldname_bits = fieldname_bits.min(33).max(2);
+        let fieldname_bits = fieldname_bits.clamp(2, 33);
 
         let mut varlen_len_packed = BitWriter::new();
         for &len in &self.varlen_lengths {

@@ -236,6 +236,7 @@ impl<'a> VectorReader<'a> {
     }
 
     /// Pull the next event.
+    #[allow(clippy::should_implement_trait)] // fallible pull-parser, not an Iterator
     pub fn next(&mut self) -> Result<Item<'a>, AdmError> {
         if self.finished {
             return Ok(Item::Eov);

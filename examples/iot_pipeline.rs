@@ -26,9 +26,11 @@ fn main() -> Result<(), AdmError> {
         let cache = Arc::new(BufferCache::new(8192));
         let ds = Dataset::new(config, device, cache);
         let mut gen = SensorsGen::new(7);
+        let mut writer = ds.writer();
         for _ in 0..n {
-            ds.insert(&gen.next_record()).expect("insert");
+            writer.insert(&gen.next_record()).expect("insert");
         }
+        drop(writer);
         ds.flush();
         ds.force_full_merge();
         ds

@@ -44,17 +44,19 @@ fn main() -> Result<(), AdmError> {
     let device = Arc::new(Device::new(DeviceProfile::NVME_SSD));
     let cache = Arc::new(BufferCache::new(4096));
     let employee = Dataset::new(config, device, cache);
+    // One logical writer per partition, enforced by the token.
+    let mut writer = employee.writer();
 
     // ---- first flush (Fig 9a) ----
-    employee.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#)?)?;
-    employee.insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#)?)?;
+    writer.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#)?)?;
+    writer.insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#)?)?;
     employee.flush();
     println!("flushed C0: 2 records, schema inferred during the flush");
     print_schema(&employee, "after first flush (paper S0)");
 
     // ---- second flush: age changes type (Fig 9b) ----
-    employee.insert(&parse(r#"{"id": 2, "name": "Ann"}"#)?)?;
-    employee.insert(&parse(r#"{"id": 3, "name": "Bob", "age": "old"}"#)?)?;
+    writer.insert(&parse(r#"{"id": 2, "name": "Ann"}"#)?)?;
+    writer.insert(&parse(r#"{"id": 3, "name": "Bob", "age": "old"}"#)?)?;
     employee.flush();
     println!("\nflushed C1: 'age' seen as string → promoted to a union");
     print_schema(&employee, "after second flush (paper S1)");
@@ -71,7 +73,7 @@ fn main() -> Result<(), AdmError> {
     }
 
     // ---- delete: anti-matter + anti-schema shrink the schema (Fig 11) ----
-    employee.delete(3)?;
+    writer.delete(3)?;
     employee.flush();
     print_schema(&employee, "after deleting id 3 (union collapses back to int)");
 

@@ -31,10 +31,11 @@ fn main() -> Result<(), AdmError> {
     let device = Arc::new(Device::new(DeviceProfile::NVME_SSD));
     let cache = Arc::new(BufferCache::new(2048));
     let events = Dataset::new(config, device, cache);
+    let mut writer = events.writer();
 
     // Era 1: events carry a numeric `temperature`.
     for i in 0..100 {
-        events.insert(&parse(&format!(
+        writer.insert(&parse(&format!(
             r#"{{"id": {i}, "source": "probe-{}", "temperature": {}}}"#,
             i % 4,
             15 + i % 20
@@ -46,7 +47,7 @@ fn main() -> Result<(), AdmError> {
     // Era 2: the producer starts sending `temperature` as a string and adds
     // a `unit` field. No DDL, no downtime — the schema grows a union.
     for i in 100..200 {
-        events.insert(&parse(&format!(
+        writer.insert(&parse(&format!(
             r#"{{"id": {i}, "source": "probe-{}", "temperature": "{}C", "unit": "celsius"}}"#,
             i % 4,
             15 + i % 20
@@ -58,7 +59,7 @@ fn main() -> Result<(), AdmError> {
     // Era 3: the era-2 records are re-keyed by an upsert back to numeric;
     // the anti-schemas decrement the string branch away.
     for i in 100..200 {
-        events.upsert(&parse(&format!(
+        writer.upsert(&parse(&format!(
             r#"{{"id": {i}, "source": "probe-{}", "temperature": {}, "unit": "celsius"}}"#,
             i % 4,
             15 + i % 20
@@ -74,8 +75,9 @@ fn main() -> Result<(), AdmError> {
 
     // Crash mid-stream: unflushed records live only in the WAL.
     for i in 200..250 {
-        events.insert(&parse(&format!(r#"{{"id": {i}, "burst": true}}"#))?)?;
+        writer.insert(&parse(&format!(r#"{{"id": {i}, "burst": true}}"#))?)?;
     }
+    drop(writer);
     println!("\n-- crash! --");
     events.simulate_crash();
     let (removed, replayed) = events.recover();

@@ -17,10 +17,13 @@
 //!     .with_format(StorageFormat::Inferred);
 //! let device = Arc::new(Device::new(DeviceProfile::NVME_SSD));
 //! let cache = Arc::new(BufferCache::new(1024));
-//! let mut employees = Dataset::new(config, device, cache);
+//! let employees = Dataset::new(config, device, cache);
 //!
-//! employees.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#)?)?;
-//! employees.insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#)?)?;
+//! // Writes go through the partition's exclusive WriterToken.
+//! let mut writer = employees.writer();
+//! writer.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#)?)?;
+//! writer.insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#)?)?;
+//! drop(writer);
 //! employees.flush(); // the tuple compactor infers + compacts here
 //!
 //! let schema = employees.schema_snapshot().unwrap();
@@ -69,5 +72,5 @@ pub mod prelude {
     pub use tc_query::plan::{Query, QueryOptions};
     pub use tc_storage::device::{Device, DeviceProfile};
     pub use tc_storage::BufferCache;
-    pub use tuple_compactor::{Dataset, DatasetConfig, StorageFormat, TupleCompactor};
+    pub use tuple_compactor::{Dataset, DatasetConfig, StorageFormat, TupleCompactor, WriterToken};
 }

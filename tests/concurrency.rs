@@ -103,8 +103,11 @@ fn concurrent_reads_during_background_ingest() {
         const UPSERTED: i64 = 300; // keys 300..400 upserted during the run
         const FRESH: i64 = 1200; // keys 1000..2200 inserted during the run
         let ds = Arc::new(make_dataset(true));
-        for pk in 0..PRELOADED {
-            ds.insert(&record(pk, 0)).unwrap();
+        {
+            let mut w = ds.writer();
+            for pk in 0..PRELOADED {
+                w.insert(&record(pk, 0)).unwrap();
+            }
         }
         ds.flush();
 
@@ -116,18 +119,20 @@ fn concurrent_reads_during_background_ingest() {
             let writer_ds = Arc::clone(&ds);
             let writer_stop = Arc::clone(&stop);
             scope.spawn(move || {
+                // The writer thread claims the partition's token: a second
+                // claimant anywhere in this scope would panic, which is
+                // exactly the one-writer contract under test.
+                let mut w = writer_ds.writer();
                 let mut deleted = 0i64;
                 for i in 0..FRESH {
-                    writer_ds.insert(&record(1000 + i, 1)).unwrap();
+                    w.insert(&record(1000 + i, 1)).unwrap();
                     if i % 3 == 0 && deleted < DELETED {
-                        assert!(writer_ds.delete(deleted).unwrap(), "doomed key existed");
+                        assert!(w.delete(deleted).unwrap(), "doomed key existed");
                         deleted += 1;
                     }
                     if i % 7 == 0 {
                         // Upserts churn schema counters under the readers.
-                        writer_ds
-                            .upsert(&record(UPSERTED + (i % (PRELOADED - UPSERTED)), 2))
-                            .unwrap();
+                        w.upsert(&record(UPSERTED + (i % (PRELOADED - UPSERTED)), 2)).unwrap();
                     }
                 }
                 assert_eq!(deleted, DELETED);
@@ -161,7 +166,7 @@ fn concurrent_reads_during_background_ingest() {
                                     // documented read skew). Untouched
                                     // keys must never disappear.
                                     assert!(
-                                        pk < DELETED || pk >= UPSERTED,
+                                        !(DELETED..UPSERTED).contains(&pk),
                                         "untouched key {pk} must stay live"
                                     );
                                     if pk < DELETED {
@@ -202,19 +207,20 @@ fn concurrent_reads_during_background_ingest() {
         assert_eq!(stats.writer_stall_nanos, 0, "writer never flushed inline");
 
         let oracle = make_dataset(false);
+        let mut ow = oracle.writer();
         for pk in 0..PRELOADED {
-            oracle.insert(&record(pk, 0)).unwrap();
+            ow.insert(&record(pk, 0)).unwrap();
         }
         oracle.flush();
         let mut deleted = 0i64;
         for i in 0..FRESH {
-            oracle.insert(&record(1000 + i, 1)).unwrap();
+            ow.insert(&record(1000 + i, 1)).unwrap();
             if i % 3 == 0 && deleted < DELETED {
-                oracle.delete(deleted).unwrap();
+                ow.delete(deleted).unwrap();
                 deleted += 1;
             }
             if i % 7 == 0 {
-                oracle.upsert(&record(UPSERTED + (i % (PRELOADED - UPSERTED)), 2)).unwrap();
+                ow.upsert(&record(UPSERTED + (i % (PRELOADED - UPSERTED)), 2)).unwrap();
             }
         }
         oracle.flush();
@@ -287,12 +293,13 @@ fn parallel_feed_with_background_flush_matches_oracle() {
 fn crash_during_threaded_flush_replays_unflushed_suffix() {
     with_watchdog(Duration::from_secs(60), "crash-mid-flush", || {
         let ds = Arc::new(make_dataset(false));
+        let mut w = ds.writer();
         // C0: a durable component.
-        ds.insert(&record(1, 0)).unwrap();
+        w.insert(&record(1, 0)).unwrap();
         ds.flush();
         // These land in the memtable → frozen by the crashing flush.
-        ds.insert(&record(2, 0)).unwrap();
-        ds.insert(&record(3, 0)).unwrap();
+        w.insert(&record(2, 0)).unwrap();
+        w.insert(&record(3, 0)).unwrap();
 
         // The flush runs on another thread and "crashes" before setting the
         // validity bit; meanwhile the writer keeps appending — its writes go
@@ -302,7 +309,8 @@ fn crash_during_threaded_flush_replays_unflushed_suffix() {
             flusher.primary().flush_crashing_before_validity();
         });
         crashing.join().unwrap();
-        ds.insert(&record(4, 0)).unwrap(); // post-freeze write, active WAL only
+        w.insert(&record(4, 0)).unwrap(); // post-freeze write, active WAL only
+        drop(w);
 
         assert_eq!(ds.primary().components().len(), 2, "invalid component is on disk");
 
@@ -333,14 +341,16 @@ fn crash_after_background_flush_loses_nothing() {
         // A *completed* background flush must be durable: crash right after
         // quiescing and nothing replays from the WAL except post-flush writes.
         let ds = make_dataset(true);
+        let mut w = ds.writer();
         for pk in 0..300 {
-            ds.insert(&record(pk, 0)).unwrap();
+            w.insert(&record(pk, 0)).unwrap();
         }
         ds.flush_async();
         ds.await_quiescent();
         let flushed_components = ds.primary().components().len();
         assert!(flushed_components >= 1);
-        ds.insert(&record(9000, 0)).unwrap(); // not flushed
+        w.insert(&record(9000, 0)).unwrap(); // not flushed
+        drop(w);
 
         ds.simulate_crash();
         let (removed, replayed) = ds.recover();
@@ -363,12 +373,14 @@ fn scans_stay_consistent_across_concurrent_merges() {
     with_watchdog(Duration::from_secs(60), "scans-vs-merges", || {
         let ds = Arc::new(make_dataset(false));
         const N: i64 = 600;
+        let mut w = ds.writer();
         for pk in 0..N {
-            ds.insert(&record(pk, 0)).unwrap();
+            w.insert(&record(pk, 0)).unwrap();
             if pk % 100 == 99 {
                 ds.flush();
             }
         }
+        drop(w);
         ds.flush();
         assert!(ds.primary().components().len() >= 2, "need components to merge");
 
@@ -411,10 +423,11 @@ fn repeated_short_stress_rounds() {
             std::thread::scope(|scope| {
                 let writer = Arc::clone(&ds);
                 scope.spawn(move || {
+                    let mut w = writer.writer();
                     for i in 0..250 {
-                        writer.insert(&record(base + i, 0)).unwrap();
+                        w.insert(&record(base + i, 0)).unwrap();
                         if i % 5 == 4 {
-                            writer.delete(base + i - 2).unwrap();
+                            w.delete(base + i - 2).unwrap();
                         }
                     }
                 });

@@ -27,21 +27,23 @@ fn ingest_crash_recover_query_all_formats() {
         let ds = make_dataset(format, CompressionScheme::Snappy);
         let mut gen = TwitterGen::new(11);
         let records: Vec<Value> = (0..400).map(|_| gen.next_record()).collect();
+        let mut w = ds.writer();
         for r in &records[..300] {
-            ds.insert(r).unwrap();
+            w.insert(r).unwrap();
         }
         ds.flush();
         ds.force_full_merge();
         // Unflushed tail + a delete + an upsert, then crash.
         for r in &records[300..] {
-            ds.insert(r).unwrap();
+            w.insert(r).unwrap();
         }
-        ds.delete(5).unwrap();
+        w.delete(5).unwrap();
         let mut upd = records[6].clone();
         if let Value::Object(fields) = &mut upd {
             fields.push(("patched".to_string(), Value::Boolean(true)));
         }
-        ds.upsert(&upd).unwrap();
+        w.upsert(&upd).unwrap();
+        drop(w);
         ds.simulate_crash();
         let (_, replayed) = ds.recover();
         assert!(replayed > 0, "{format:?}: WAL replay expected");
@@ -67,20 +69,23 @@ fn paper_queries_are_format_invariant() {
     let mut reference: Option<QSet> = None;
     for format in [StorageFormat::Open, StorageFormat::Inferred] {
         for compression in [CompressionScheme::None, CompressionScheme::Snappy] {
-            let mut tw = make_dataset(format, compression);
-            let mut wos = make_dataset(format, compression);
-            let mut sen = make_dataset(format, compression);
+            let tw = make_dataset(format, compression);
+            let wos = make_dataset(format, compression);
+            let sen = make_dataset(format, compression);
             let mut g1 = TwitterGen::new(21);
             let mut g2 = WosGen::new(22);
             let mut g3 = SensorsGen::new(23);
-            for _ in 0..200 {
-                tw.insert(&g1.next_record()).unwrap();
-                wos.insert(&g2.next_record()).unwrap();
+            {
+                let (mut tw_w, mut wos_w, mut sen_w) = (tw.writer(), wos.writer(), sen.writer());
+                for _ in 0..200 {
+                    tw_w.insert(&g1.next_record()).unwrap();
+                    wos_w.insert(&g2.next_record()).unwrap();
+                }
+                for _ in 0..50 {
+                    sen_w.insert(&g3.next_record()).unwrap();
+                }
             }
-            for _ in 0..50 {
-                sen.insert(&g3.next_record()).unwrap();
-            }
-            for ds in [&mut tw, &mut wos, &mut sen] {
+            for ds in [&tw, &wos, &sen] {
                 ds.flush();
             }
             for opts in [QueryOptions::default(), QueryOptions::unoptimized()] {
@@ -121,8 +126,9 @@ fn update_churn_keeps_schema_consistent() {
     let ds = make_dataset(StorageFormat::Inferred, CompressionScheme::None);
     let mut gen = TwitterGen::new(31);
     let originals: Vec<Value> = (0..200).map(|_| gen.next_record()).collect();
+    let mut w = ds.writer();
     for r in &originals {
-        ds.insert(r).unwrap();
+        w.insert(r).unwrap();
     }
     ds.flush();
     let mut up = Updater::new(32);
@@ -130,7 +136,7 @@ fn update_churn_keeps_schema_consistent() {
         let k = up.pick_key(200) as usize;
         let current = ds.get(k as i64).unwrap().unwrap();
         let (mutated, _) = up.mutate(&current, "id");
-        ds.upsert(&mutated).unwrap();
+        w.upsert(&mutated).unwrap();
     }
     ds.flush();
     ds.force_full_merge();
@@ -142,7 +148,7 @@ fn update_churn_keeps_schema_consistent() {
     assert_eq!(schema.record_count(), 200);
     // Delete everything: the schema shrinks back to (almost) nothing.
     for i in 0..200 {
-        ds.delete(i).unwrap();
+        w.delete(i).unwrap();
     }
     ds.flush();
     assert_eq!(ds.scan_values().unwrap().len(), 0);
@@ -207,12 +213,13 @@ fn bulk_load_matches_feed() {
     let mut gen = WosGen::new(44);
     let records: Vec<Value> = (0..150).map(|_| gen.next_record()).collect();
     let fed = make_dataset(StorageFormat::Inferred, CompressionScheme::None);
+    let mut fed_w = fed.writer();
     for r in &records {
-        fed.insert(r).unwrap();
+        fed_w.insert(r).unwrap();
     }
     fed.flush();
     let loaded = make_dataset(StorageFormat::Inferred, CompressionScheme::None);
-    loaded.bulk_load(records.clone()).unwrap();
+    loaded.writer().bulk_load(records.clone()).unwrap();
     let a = fed.scan_values().unwrap();
     let b = loaded.scan_values().unwrap();
     assert_eq!(a, b);

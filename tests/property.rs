@@ -215,19 +215,21 @@ proptest! {
         let sync = make(false);
         let awaited = make(true);
         let coalesced = make(true);
+        let (mut sync_w, mut awaited_w, mut coalesced_w) =
+            (sync.writer(), awaited.writer(), coalesced.writer());
 
         for op in &ops {
             match op {
                 LsmOp::Insert(k, v) | LsmOp::Upsert(k, v) => {
                     let record = parse(&format!(r#"{{"id": {k}, "v": {v}}}"#)).unwrap();
-                    sync.upsert(&record).unwrap();
-                    awaited.upsert(&record).unwrap();
-                    coalesced.upsert(&record).unwrap();
+                    sync_w.upsert(&record).unwrap();
+                    awaited_w.upsert(&record).unwrap();
+                    coalesced_w.upsert(&record).unwrap();
                 }
                 LsmOp::Delete(k) => {
-                    let a = sync.delete(*k as i64).unwrap();
-                    let b = awaited.delete(*k as i64).unwrap();
-                    let c = coalesced.delete(*k as i64).unwrap();
+                    let a = sync_w.delete(*k as i64).unwrap();
+                    let b = awaited_w.delete(*k as i64).unwrap();
+                    let c = coalesced_w.delete(*k as i64).unwrap();
                     prop_assert_eq!(a, b);
                     prop_assert_eq!(a, c);
                 }
@@ -283,17 +285,18 @@ proptest! {
         let device = Arc::new(Device::new(DeviceProfile::NVME_SSD));
         let cache = Arc::new(BufferCache::new(1024));
         let ds = Dataset::new(config, device, cache);
+        let mut writer = ds.writer();
         let mut model: std::collections::BTreeMap<i64, u16> = Default::default();
 
         for op in ops {
             match op {
                 LsmOp::Insert(k, v) | LsmOp::Upsert(k, v) => {
                     let record = parse(&format!(r#"{{"id": {k}, "v": {v}}}"#)).unwrap();
-                    ds.upsert(&record).unwrap();
+                    writer.upsert(&record).unwrap();
                     model.insert(k as i64, v);
                 }
                 LsmOp::Delete(k) => {
-                    let existed = ds.delete(k as i64).unwrap();
+                    let existed = writer.delete(k as i64).unwrap();
                     let model_existed = model.remove(&(k as i64)).is_some();
                     prop_assert_eq!(existed, model_existed);
                 }

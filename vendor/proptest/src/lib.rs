@@ -260,7 +260,7 @@ pub mod arbitrary {
                     match rand::Rng::gen_range(rng, 0u32..8) {
                         0 => 0.0,
                         1 | 2 => rand::Rng::gen_range(rng, -1_000i64..1_000) as $t,
-                        3 | 4 | 5 => rand::Rng::gen_range(rng, -1.0 as $t..1.0),
+                        3..=5 => rand::Rng::gen_range(rng, -1.0 as $t..1.0),
                         _ => rand::Rng::gen_range(rng, -1.0e6 as $t..1.0e6),
                     }
                 }
