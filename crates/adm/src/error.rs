@@ -13,6 +13,9 @@ pub enum AdmError {
     Corrupt(String),
     /// A requested field/path does not exist.
     NoSuchField(String),
+    /// Query execution failed for a non-data reason (e.g. a partition
+    /// worker panicked). The query fails; the process does not.
+    Execution(String),
 }
 
 impl AdmError {
@@ -22,6 +25,10 @@ impl AdmError {
 
     pub fn type_check(msg: impl Into<String>) -> Self {
         AdmError::TypeCheck(msg.into())
+    }
+
+    pub fn execution(msg: impl Into<String>) -> Self {
+        AdmError::Execution(msg.into())
     }
 }
 
@@ -34,6 +41,7 @@ impl fmt::Display for AdmError {
             AdmError::TypeCheck(m) => write!(f, "type check failed: {m}"),
             AdmError::Corrupt(m) => write!(f, "corrupt record: {m}"),
             AdmError::NoSuchField(m) => write!(f, "no such field: {m}"),
+            AdmError::Execution(m) => write!(f, "query execution failed: {m}"),
         }
     }
 }

@@ -4,12 +4,18 @@
 //! record's vectors and intermediates carry whole reading objects. Shape:
 //! Q2/Q3 roughly double without the optimization; Q4 *improves* un-op
 //! (delaying accesses past the selective filter wins — §4.4.4).
+//!
+//! "Inferred (row engine)" keeps the plan rewrites but swaps the batched
+//! scan pipeline for the row-at-a-time fallback, isolating the engine's
+//! contribution from the optimizer's.
 
 use tc_bench::support::{
-    banner, fmt_dur, header, ingest, measure_query_cold, row, scale, sensors_closed_type, ExpConfig,
+    banner, fmt_dur, header, ingest, measure_query_cold_opts, row, scale, sensors_closed_type,
+    ExpConfig,
 };
 use tc_compress::CompressionScheme;
 use tc_datagen::sensors::SensorsGen;
+use tc_query::exec::{Engine, ExecOptions};
 use tc_query::paper_queries as q;
 use tc_query::plan::{Query, QueryOptions};
 use tc_storage::device::DeviceProfile;
@@ -41,21 +47,33 @@ fn main() {
         for (scheme, scheme_name) in
             [(CompressionScheme::None, "uncompressed"), (CompressionScheme::Snappy, "compressed")]
         {
-            let configs: [(&str, StorageFormat, QueryOptions); 3] = [
-                ("closed", StorageFormat::Closed, QueryOptions::default()),
-                ("inferred", StorageFormat::Inferred, QueryOptions::default()),
-                ("inferred (un-op)", StorageFormat::Inferred, QueryOptions::unoptimized()),
+            let configs: [(&str, StorageFormat, QueryOptions, Engine); 4] = [
+                ("closed", StorageFormat::Closed, QueryOptions::default(), Engine::Batched),
+                ("inferred", StorageFormat::Inferred, QueryOptions::default(), Engine::Batched),
+                (
+                    "inferred (row engine)",
+                    StorageFormat::Inferred,
+                    QueryOptions::default(),
+                    Engine::Row,
+                ),
+                (
+                    "inferred (un-op)",
+                    StorageFormat::Inferred,
+                    QueryOptions::unoptimized(),
+                    Engine::Batched,
+                ),
             ];
-            for (label, fmt, opts) in configs {
+            for (label, fmt, opts, engine) in configs {
                 let cfg =
                     ExpConfig { format: fmt, compression: scheme, device, ..Default::default() };
                 let mut gen = SensorsGen::new(1);
                 let (cluster, _) = ingest(&mut gen, n, &cfg, Some(sensors_closed_type()));
                 cluster.merge_all();
+                let exec = ExecOptions::with_engine(engine);
                 let cells: Vec<String> = queries(opts)
                     .iter()
                     .map(|query| {
-                        let m = measure_query_cold(&cluster, query, true, 3);
+                        let m = measure_query_cold_opts(&cluster, query, &exec, 3);
                         fmt_dur(m.total())
                     })
                     .collect();

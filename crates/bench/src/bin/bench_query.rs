@@ -1,0 +1,203 @@
+//! Query bench runner: the batched pushdown pipeline vs. the row-at-a-time
+//! fallback, recorded to `BENCH_query.json`.
+//!
+//! Three claims, each asserted before the JSON is written:
+//!
+//! 1. **Lazy decode wins on selective scans** (the Fig 23 Q4 shape). With
+//!    the range predicate pushed into `ScanSpec::filter`, the batched
+//!    engine decodes only `report_time` before applying the selection
+//!    vector; `sensor_id` and the wide `readings` array are fetched for
+//!    survivors only. The row engine decodes every path of every record.
+//! 2. **LIMIT stops the scan early.** A `Project → Limit(k)` plan pushes
+//!    `k` into the scan, so each partition pulls at most `k` records —
+//!    `rows_scanned` stays far below the dataset size on both engines.
+//! 3. **The engines agree.** Every sensors paper query returns identical
+//!    rows under batched and row execution, serial and parallel.
+//!
+//! Usage: `cargo run --release -p tc_bench --bin bench_query` (honors
+//! `TC_SCALE`; writes `BENCH_query.json` into the current directory).
+
+use std::time::Duration;
+
+use tc_bench::support::{ingest, measure_query_cold_opts, run_query_cold_opts, scale, ExpConfig};
+use tc_cluster::Cluster;
+use tc_datagen::sensors::SensorsGen;
+use tc_query::exec::{Engine, ExecOptions};
+use tc_query::expr::Expr;
+use tc_query::paper_queries as q;
+use tc_query::plan::{AccessStrategy, Op, Query, QueryOptions, ScanSpec};
+
+const DAY_START: i64 = 1_556_496_000_000;
+/// ~3 survivors out of the whole dataset (the paper's 0.001%-class
+/// selectivity for Q4).
+const Q4_WINDOW_MS: i64 = 3 * 60_000;
+
+struct Cell {
+    query: &'static str,
+    engine: &'static str,
+    total: Duration,
+    wall: Duration,
+    io: Duration,
+    rows_scanned: u64,
+    rows_returned: usize,
+}
+
+fn engine_name(e: Engine) -> &'static str {
+    match e {
+        Engine::Batched => "batched",
+        Engine::Row => "row",
+    }
+}
+
+fn measure(cluster: &Cluster, name: &'static str, query: &Query, engine: Engine) -> Cell {
+    let exec = ExecOptions::with_engine(engine);
+    let (res, _) = run_query_cold_opts(cluster, query, &exec);
+    let m = measure_query_cold_opts(cluster, query, &exec, 5);
+    Cell {
+        query: name,
+        engine: engine_name(engine),
+        total: m.total(),
+        wall: m.wall,
+        io: m.io,
+        rows_scanned: res.stats.rows_scanned,
+        rows_returned: res.rows.len(),
+    }
+}
+
+/// `Project → Limit(k)`: cardinality-preserving local ops, so the limit is
+/// pushed into the scan as a per-partition early-stop hint.
+fn limit_probe(k: usize) -> Query {
+    Query {
+        scan: ScanSpec::all_early(
+            vec![tc_adm::path::parse_path("sensor_id")],
+            AccessStrategy::Consolidated,
+        ),
+        ops: vec![Op::Project(vec![Expr::col(0)]), Op::Limit(k)],
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    (d.as_secs_f64() * 1e3 * 1000.0).round() / 1000.0
+}
+
+fn json_cell(c: &Cell) -> String {
+    format!(
+        "    {{\"query\": \"{}\", \"engine\": \"{}\", \"total_ms\": {}, \"wall_ms\": {}, \
+         \"io_ms\": {}, \"rows_scanned\": {}, \"rows_returned\": {}}}",
+        c.query,
+        c.engine,
+        ms(c.total),
+        ms(c.wall),
+        ms(c.io),
+        c.rows_scanned,
+        c.rows_returned
+    )
+}
+
+fn main() {
+    let n = 1500 * scale();
+    let cfg = ExpConfig::default();
+    let mut gen = SensorsGen::new(1);
+    let (cluster, _) = ingest(&mut gen, n, &cfg, None);
+    cluster.merge_all();
+
+    let opts = QueryOptions::default();
+    let scanfilter = q::sensors_q4_scanfilter(opts, DAY_START, DAY_START + Q4_WINDOW_MS);
+    let limit = limit_probe(10);
+
+    let mut cells = Vec::new();
+    for engine in [Engine::Batched, Engine::Row] {
+        cells.push(measure(&cluster, "sensors_q4_scanfilter", &scanfilter, engine));
+        cells.push(measure(&cluster, "limit10_project", &limit, engine));
+    }
+
+    println!(
+        "{:<24} {:>10} {:>12} {:>14} {:>10}",
+        "query", "engine", "total", "rows_scanned", "rows"
+    );
+    for c in &cells {
+        println!(
+            "{:<24} {:>10} {:>10.2}ms {:>14} {:>10}",
+            c.query,
+            c.engine,
+            ms(c.total),
+            c.rows_scanned,
+            c.rows_returned
+        );
+    }
+
+    // Claim 1: lazy decode beats decode-everything on the selective scan.
+    let batched =
+        cells.iter().find(|c| c.query == "sensors_q4_scanfilter" && c.engine == "batched").unwrap();
+    let row =
+        cells.iter().find(|c| c.query == "sensors_q4_scanfilter" && c.engine == "row").unwrap();
+    assert_eq!(
+        batched.rows_returned, row.rows_returned,
+        "engines must agree on the headline query"
+    );
+    assert_eq!(batched.rows_scanned, row.rows_scanned, "no filter-hint asymmetry on this plan");
+    let speedup = row.total.as_secs_f64() / batched.total.as_secs_f64().max(1e-9);
+    println!("\nscanfilter speedup (row / batched): {speedup:.2}x");
+    assert!(
+        batched.total < row.total,
+        "batched+lazy ({:?}) must beat row-at-a-time ({:?}) on the selective scan",
+        batched.total,
+        row.total
+    );
+
+    // Claim 2: the pushed-down LIMIT stops the scan early on both engines.
+    for engine in ["batched", "row"] {
+        let c = cells.iter().find(|c| c.query == "limit10_project" && c.engine == engine).unwrap();
+        assert_eq!(c.rows_returned, 10);
+        assert!(
+            c.rows_scanned < (n as u64) / 10,
+            "{engine}: LIMIT hint must stop the scan early (scanned {} of {n})",
+            c.rows_scanned
+        );
+    }
+
+    // Claim 3: the full sensors suite agrees across engine × parallelism.
+    let suite: [(&str, Query); 5] = [
+        ("sensors_q1", q::sensors_q1(opts)),
+        ("sensors_q2", q::sensors_q2(opts)),
+        ("sensors_q3", q::sensors_q3(opts)),
+        ("sensors_q4", q::sensors_q4(opts, DAY_START)),
+        (
+            "sensors_q4_scanfilter",
+            q::sensors_q4_scanfilter(opts, DAY_START, DAY_START + Q4_WINDOW_MS),
+        ),
+    ];
+    for (name, query) in &suite {
+        let reference = cluster
+            .query(
+                query,
+                &ExecOptions { engine: Engine::Row, parallel: false, ..Default::default() },
+            )
+            .expect("reference")
+            .rows;
+        for engine in [Engine::Batched, Engine::Row] {
+            for parallel in [false, true] {
+                let got = cluster
+                    .query(query, &ExecOptions { engine, parallel, ..Default::default() })
+                    .expect("suite query")
+                    .rows;
+                assert_eq!(reference, got, "{name}: {engine:?}/parallel={parallel} diverged");
+            }
+        }
+    }
+    println!("sensors suite: {} queries agree across engine x parallelism", suite.len());
+
+    let json = format!(
+        "{{\n  \"experiment\": \"fig23_query_smoke\",\n  \"description\": \"Batched pushdown \
+         pipeline vs row-at-a-time fallback on the Fig 23 Q4 scan-filter shape, plus LIMIT \
+         pushdown early-stop\",\n  \"records\": {n},\n  \"topology\": {{\"nodes\": 1, \
+         \"partitions_per_node\": 2, \"device\": \"nvme\"}},\n  \
+         \"scanfilter_speedup_row_over_batched\": {:.3},\n  \"agreement_queries\": {},\n  \
+         \"cells\": [\n{}\n  ]\n}}\n",
+        speedup,
+        suite.len(),
+        cells.iter().map(json_cell).collect::<Vec<_>>().join(",\n")
+    );
+    std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
+    println!("\nwrote BENCH_query.json");
+}

@@ -111,10 +111,19 @@ impl Measured {
 
 /// Run a query cold (caches dropped) and measure.
 pub fn run_query_cold(cluster: &Cluster, q: &Query, parallel: bool) -> (QueryResult, Measured) {
+    run_query_cold_opts(cluster, q, &ExecOptions::with_parallel(parallel))
+}
+
+/// [`run_query_cold`] with full execution options (engine ablations).
+pub fn run_query_cold_opts(
+    cluster: &Cluster,
+    q: &Query,
+    opts: &ExecOptions,
+) -> (QueryResult, Measured) {
     cluster.clear_caches();
     let snaps = cluster.io_snapshots();
     let start = Instant::now();
-    let res = cluster.query(q, &ExecOptions { parallel }).expect("query");
+    let res = cluster.query(q, opts).expect("query");
     let wall = start.elapsed();
     let io = cluster.max_io_time_since(&snaps);
     (res, Measured { wall, io })
@@ -123,15 +132,26 @@ pub fn run_query_cold(cluster: &Cluster, q: &Query, parallel: bool) -> (QueryRes
 /// Median of `reps` cold runs (the paper runs each query six times and
 /// averages the stable tail; medians resist the same noise at bench scale).
 pub fn measure_query_cold(cluster: &Cluster, q: &Query, parallel: bool, reps: usize) -> Measured {
+    measure_query_cold_opts(cluster, q, &ExecOptions::with_parallel(parallel), reps)
+}
+
+/// [`measure_query_cold`] with full execution options.
+pub fn measure_query_cold_opts(
+    cluster: &Cluster,
+    q: &Query,
+    opts: &ExecOptions,
+    reps: usize,
+) -> Measured {
     let mut totals: Vec<Measured> =
-        (0..reps.max(1)).map(|_| run_query_cold(cluster, q, parallel).1).collect();
+        (0..reps.max(1)).map(|_| run_query_cold_opts(cluster, q, opts).1).collect();
     totals.sort_by_key(|a| a.total());
     totals[totals.len() / 2]
 }
 
 /// Median of `reps` warm runs.
 pub fn measure_query_warm(cluster: &Cluster, q: &Query, parallel: bool, reps: usize) -> Measured {
-    let _ = cluster.query(q, &ExecOptions { parallel }).expect("warmup");
+    let opts = ExecOptions::with_parallel(parallel);
+    let _ = cluster.query(q, &opts).expect("warmup");
     let mut totals: Vec<Measured> =
         (0..reps.max(1)).map(|_| run_query_warm(cluster, q, parallel).1).collect();
     totals.sort_by_key(|a| a.total());
@@ -140,10 +160,11 @@ pub fn measure_query_warm(cluster: &Cluster, q: &Query, parallel: bool, reps: us
 
 /// Run a query warm (second run, caches populated).
 pub fn run_query_warm(cluster: &Cluster, q: &Query, parallel: bool) -> (QueryResult, Measured) {
-    let _ = cluster.query(q, &ExecOptions { parallel }).expect("warmup");
+    let opts = ExecOptions::with_parallel(parallel);
+    let _ = cluster.query(q, &opts).expect("warmup");
     let snaps = cluster.io_snapshots();
     let start = Instant::now();
-    let res = cluster.query(q, &ExecOptions { parallel }).expect("query");
+    let res = cluster.query(q, &opts).expect("query");
     let wall = start.elapsed();
     let io = cluster.max_io_time_since(&snaps);
     (res, Measured { wall, io })

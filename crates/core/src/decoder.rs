@@ -89,10 +89,73 @@ impl RecordDecoder {
         Ok(self.get_values(bytes, std::slice::from_ref(path))?.remove(0))
     }
 
+    /// A reusable evaluator for a *fixed* path set, the batched engine's
+    /// scan primitive: [`PathBatch::append`] evaluates every path against
+    /// one stored record and pushes one value per path into caller-owned
+    /// column buffers. For vector formats the per-record scratch (path
+    /// accumulators, active-path seeds) is allocated once here and reused
+    /// across the whole batch; ADM formats navigate per record as
+    /// [`get_values`](Self::get_values) does.
+    pub fn batch(&self, paths: &[Path]) -> PathBatch {
+        let backend = match self.format {
+            StorageFormat::Open | StorageFormat::Closed => BatchBackend::Adm,
+            StorageFormat::Inferred | StorageFormat::VectorUncompacted => {
+                BatchBackend::Vector(tc_vector::BatchPathEvaluator::new(paths))
+            }
+        };
+        PathBatch { decoder: self.clone(), paths: paths.to_vec(), backend }
+    }
+
     /// Evaluate paths against an already-materialized value (exchange
     /// outputs, grouped rows).
     pub fn eval_on_value(value: &Value, path: &Path) -> Value {
         eval_path(value, path)
+    }
+}
+
+enum BatchBackend {
+    /// ADM formats: a fresh cursor per record (offset-table navigation has
+    /// no cross-record scratch worth keeping).
+    Adm,
+    /// Vector formats: one linear scan per record through a reusable
+    /// `getValues` evaluator.
+    Vector(tc_vector::BatchPathEvaluator),
+}
+
+/// Batch path evaluation over one dataset's stored records — see
+/// [`RecordDecoder::batch`].
+pub struct PathBatch {
+    decoder: RecordDecoder,
+    paths: Vec<Path>,
+    backend: BatchBackend,
+}
+
+impl PathBatch {
+    /// Number of values appended per record (= number of paths).
+    pub fn width(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Evaluate every path against `bytes`, appending one value per path to
+    /// the corresponding column. `columns.len()` must equal
+    /// [`width`](Self::width).
+    pub fn append(&mut self, bytes: &[u8], columns: &mut [Vec<Value>]) -> Result<(), AdmError> {
+        debug_assert_eq!(columns.len(), self.paths.len());
+        match &mut self.backend {
+            BatchBackend::Adm => {
+                let cursor = AdmCursor::new(bytes, Some(&self.decoder.declared_kind));
+                for (p, col) in self.paths.iter().zip(columns.iter_mut()) {
+                    col.push(cursor.get_path(p)?);
+                }
+                Ok(())
+            }
+            BatchBackend::Vector(eval) => eval.eval_into(
+                bytes,
+                Some(&self.decoder.declared),
+                self.decoder.dict.as_deref(),
+                columns,
+            ),
+        }
     }
 }
 
@@ -142,6 +205,41 @@ mod tests {
         assert_eq!(adm.get_values(&adm_bytes, &paths).unwrap(), expected);
         assert_eq!(slvb.get_values(&raw, &paths).unwrap(), expected);
         assert_eq!(inf.get_values(&compacted, &paths).unwrap(), expected);
+    }
+
+    #[test]
+    fn batch_append_matches_get_values() {
+        let v = sample();
+        let t = pk_type();
+        let adm_bytes = tc_adm::adm_format::encode_record(&v, Some(&t)).unwrap();
+        let raw = tc_vector::encode(&v, Some(&t));
+        let mut schema = Schema::new();
+        let compacted = tc_vector::infer_and_compact(&raw, &mut schema).unwrap();
+
+        let paths: Vec<Path> =
+            ["name", "deps[*].n", "nope"].iter().map(|s| parse_path(s)).collect();
+        let cases: [(RecordDecoder, &[u8]); 3] = [
+            (RecordDecoder::new(StorageFormat::Open, t.clone(), None), &adm_bytes),
+            (RecordDecoder::new(StorageFormat::VectorUncompacted, t.clone(), None), &raw),
+            (
+                RecordDecoder::new(
+                    StorageFormat::Inferred,
+                    t,
+                    Some(Arc::new(schema.dict().clone())),
+                ),
+                &compacted,
+            ),
+        ];
+        for (d, bytes) in cases {
+            let mut batch = d.batch(&paths);
+            let mut cols: Vec<Vec<Value>> = vec![Vec::new(); batch.width()];
+            batch.append(bytes, &mut cols).unwrap();
+            batch.append(bytes, &mut cols).unwrap();
+            let expected = d.get_values(bytes, &paths).unwrap();
+            for (col, want) in cols.iter().zip(&expected) {
+                assert_eq!(col, &vec![want.clone(); 2], "{:?}", d.format());
+            }
+        }
     }
 
     #[test]

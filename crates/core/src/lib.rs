@@ -30,4 +30,4 @@ pub mod decoder;
 pub use compactor::{MaintenanceWorker, TupleCompactor};
 pub use config::{DatasetConfig, StorageFormat};
 pub use dataset::{Dataset, WriterToken};
-pub use decoder::RecordDecoder;
+pub use decoder::{PathBatch, RecordDecoder};

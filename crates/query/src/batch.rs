@@ -1,0 +1,410 @@
+//! The batched scan pipeline: scan → filter → project over chunks of
+//! records.
+//!
+//! Instead of materializing every scanned record into a full row before any
+//! operator sees it, the batched engine pulls ~4K payloads at a time and
+//! runs the scan in four columnar phases:
+//!
+//! 1. **Eager decode** — only the early columns the scan filter actually
+//!    reads are evaluated, one [`PathBatch`] drive per payload, into
+//!    reusable column buffers.
+//! 2. **Filter** — the predicate is split at top-level `AND`s and each
+//!    conjunct refines a selection vector. Conjuncts of the shape
+//!    `col <op> const` over homogeneous `Int64`/`Double` columns run as
+//!    tight typed loops; everything else falls back to expression
+//!    evaluation over a reused scratch row (no per-row allocation either
+//!    way).
+//! 3. **Lazy decode** — the remaining early columns plus every late path
+//!    are evaluated only for selection-vector survivors, so a filtered-out
+//!    record never pays for the columns it would have needed.
+//! 4. **Emit** — surviving rows are assembled by *moving* values out of the
+//!    column buffers.
+//!
+//! A `LIMIT` hint (when the plan allows one — see
+//! [`crate::exec`]) stops the pull loop as soon as enough rows survive,
+//! instead of draining the snapshot.
+
+use std::mem;
+
+use tc_adm::path::Path;
+use tc_adm::{AdmError, Value};
+use tc_lsm::iter::MergedScan;
+use tuple_compactor::{PathBatch, RecordDecoder};
+
+use crate::exec::Row;
+use crate::expr::{CmpOp, Expr};
+use crate::plan::{AccessStrategy, ScanSpec};
+
+/// Records per scan chunk (the batched engine's unit of work).
+pub const DEFAULT_BATCH_SIZE: usize = 4096;
+
+/// Run one partition's scan in batches. Returns the surviving rows;
+/// `scanned`/`bytes` count every record pulled from the snapshot.
+pub(crate) fn scan_batched(
+    decoder: &RecordDecoder,
+    iter: &mut MergedScan,
+    scan: &ScanSpec,
+    limit_hint: Option<usize>,
+    batch_size: usize,
+    scanned: &mut u64,
+    bytes: &mut u64,
+) -> Result<Vec<Row>, AdmError> {
+    let batch_size = batch_size.max(1);
+    let mut scanner = BatchScanner::new(decoder, scan);
+    let mut rows: Vec<Row> = Vec::new();
+    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(batch_size);
+    loop {
+        // With no scan filter every pulled record survives, so a LIMIT hint
+        // caps the pull itself; with a filter we can only cap post-filter.
+        let want = match (limit_hint, scan.filter.is_some()) {
+            (Some(k), false) => batch_size.min(k.saturating_sub(rows.len())),
+            _ => batch_size,
+        };
+        payloads.clear();
+        while payloads.len() < want {
+            match iter.next() {
+                Some((_, _, payload)) => {
+                    *scanned += 1;
+                    *bytes += payload.len() as u64;
+                    payloads.push(payload);
+                }
+                None => break,
+            }
+        }
+        if payloads.is_empty() {
+            break;
+        }
+        let exhausted = payloads.len() < want;
+        scanner.process_batch(&payloads, &mut rows)?;
+        if let Some(k) = limit_hint {
+            if rows.len() >= k {
+                rows.truncate(k);
+                break;
+            }
+        }
+        if exhausted {
+            break;
+        }
+    }
+    Ok(rows)
+}
+
+/// Which buffer group an output column is materialized in.
+#[derive(Clone, Copy)]
+enum Group {
+    /// Decoded for every record in the batch (filter inputs).
+    Eager,
+    /// Decoded only for selection-vector survivors.
+    Lazy,
+}
+
+/// Per-partition batch state: column-set decoders, the selection vector,
+/// and scratch buffers, all reused across batches.
+struct BatchScanner<'a> {
+    /// Filter conjuncts (empty when the scan has no filter).
+    conjuncts: Vec<&'a Expr>,
+    eager: ColumnSet,
+    lazy: ColumnSet,
+    /// Output column → (group, slot within the group), in row order.
+    slots: Vec<(Group, usize)>,
+    /// Early column index → eager slot, for filter evaluation.
+    eager_of_early: Vec<Option<usize>>,
+    sel: Vec<u32>,
+    /// Reused row image for the generic (non-typed) filter fallback; width
+    /// = early columns, only filter-referenced slots are ever written.
+    scratch_row: Vec<Value>,
+}
+
+impl<'a> BatchScanner<'a> {
+    fn new(decoder: &RecordDecoder, scan: &'a ScanSpec) -> BatchScanner<'a> {
+        let conjuncts = match &scan.filter {
+            Some(pred) => split_conjuncts(pred),
+            None => Vec::new(),
+        };
+        // Early columns the filter reads are decoded eagerly; everything
+        // else (remaining early + all late) waits for the selection vector.
+        let eager_early: Vec<usize> = match &scan.filter {
+            Some(pred) => {
+                let mut cols = pred.referenced_cols();
+                cols.retain(|&c| c < scan.paths.len());
+                cols
+            }
+            None => (0..scan.paths.len()).collect(),
+        };
+        let mut eager_of_early: Vec<Option<usize>> = vec![None; scan.paths.len()];
+        for (slot, &c) in eager_early.iter().enumerate() {
+            eager_of_early[c] = Some(slot);
+        }
+        let mut slots: Vec<(Group, usize)> = Vec::with_capacity(scan.width());
+        let mut lazy_paths: Vec<Path> = Vec::new();
+        for (i, p) in scan.paths.iter().enumerate() {
+            match eager_of_early[i] {
+                Some(slot) => slots.push((Group::Eager, slot)),
+                None => {
+                    slots.push((Group::Lazy, lazy_paths.len()));
+                    lazy_paths.push(p.clone());
+                }
+            }
+        }
+        for p in &scan.late_paths {
+            slots.push((Group::Lazy, lazy_paths.len()));
+            lazy_paths.push(p.clone());
+        }
+        let eager_paths: Vec<Path> = eager_early.iter().map(|&c| scan.paths[c].clone()).collect();
+        BatchScanner {
+            conjuncts,
+            eager: ColumnSet::new(decoder, &eager_paths, scan.access),
+            lazy: ColumnSet::new(decoder, &lazy_paths, scan.access),
+            slots,
+            eager_of_early,
+            sel: Vec::new(),
+            scratch_row: vec![Value::Missing; scan.paths.len()],
+        }
+    }
+
+    fn process_batch(&mut self, payloads: &[Vec<u8>], rows: &mut Vec<Row>) -> Result<(), AdmError> {
+        let n = payloads.len();
+        self.eager.clear();
+        self.lazy.clear();
+        for p in payloads {
+            self.eager.append(p)?;
+        }
+
+        self.sel.clear();
+        self.sel.extend(0..n as u32);
+        self.apply_filter();
+
+        for &r in &self.sel {
+            self.lazy.append(&payloads[r as usize])?;
+        }
+
+        let width = self.slots.len();
+        rows.reserve(self.sel.len());
+        for (pos, &r) in self.sel.iter().enumerate() {
+            let mut row: Row = Vec::with_capacity(width);
+            for &(group, slot) in &self.slots {
+                let v = match group {
+                    Group::Eager => {
+                        mem::replace(&mut self.eager.cols[slot][r as usize], Value::Missing)
+                    }
+                    Group::Lazy => mem::replace(&mut self.lazy.cols[slot][pos], Value::Missing),
+                };
+                row.push(v);
+            }
+            rows.push(row);
+        }
+        Ok(())
+    }
+
+    /// Refine the selection vector with every filter conjunct: typed
+    /// column-vs-constant loops first (they prune cheapest), then one pass
+    /// for the generic leftovers.
+    fn apply_filter(&mut self) {
+        if self.conjuncts.is_empty() {
+            return;
+        }
+        let mut generic: Vec<&Expr> = Vec::new();
+        for &conjunct in &self.conjuncts {
+            if self.sel.is_empty() {
+                return;
+            }
+            match typed_cmp(conjunct, &self.eager_of_early) {
+                Some((slot, op, konst)) => {
+                    let col = &self.eager.cols[slot];
+                    if !refine_typed(&mut self.sel, col, op, konst) {
+                        generic.push(conjunct);
+                    }
+                }
+                None => generic.push(conjunct),
+            }
+        }
+        if generic.is_empty() || self.sel.is_empty() {
+            return;
+        }
+        let scratch = &mut self.scratch_row;
+        let cols = &self.eager.cols;
+        let eager_of_early = &self.eager_of_early;
+        self.sel.retain(|&r| {
+            for (early, slot) in eager_of_early.iter().enumerate() {
+                if let Some(slot) = slot {
+                    scratch[early] = cols[*slot][r as usize].clone();
+                }
+            }
+            generic.iter().all(|c| c.eval_bool(scratch))
+        });
+    }
+}
+
+/// A group of columns decoded together, honoring the plan's
+/// [`AccessStrategy`]: consolidated = one `getValues` drive per record,
+/// per-path = one drive per path (the Fig 23 "un-op" configuration).
+struct ColumnSet {
+    parts: Vec<PathBatch>,
+    cols: Vec<Vec<Value>>,
+}
+
+impl ColumnSet {
+    fn new(decoder: &RecordDecoder, paths: &[Path], access: AccessStrategy) -> ColumnSet {
+        let parts: Vec<PathBatch> = if paths.is_empty() {
+            Vec::new()
+        } else {
+            match access {
+                AccessStrategy::Consolidated => vec![decoder.batch(paths)],
+                AccessStrategy::PerPath => {
+                    paths.iter().map(|p| decoder.batch(std::slice::from_ref(p))).collect()
+                }
+            }
+        };
+        ColumnSet { parts, cols: vec![Vec::new(); paths.len()] }
+    }
+
+    fn clear(&mut self) {
+        for c in &mut self.cols {
+            c.clear();
+        }
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), AdmError> {
+        let mut cols = self.cols.as_mut_slice();
+        for part in &mut self.parts {
+            let (head, rest) = cols.split_at_mut(part.width());
+            part.append(bytes, head)?;
+            cols = rest;
+        }
+        Ok(())
+    }
+}
+
+/// Split a predicate at top-level `AND`s.
+fn split_conjuncts(pred: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn rec<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+        match e {
+            Expr::And(a, b) => {
+                rec(a, out);
+                rec(b, out);
+            }
+            _ => out.push(e),
+        }
+    }
+    rec(pred, &mut out);
+    out
+}
+
+/// Recognize `col <op> const` (either orientation) over an eagerly decoded
+/// column. Returns the eager slot, the op normalized to column-on-the-left,
+/// and the constant.
+fn typed_cmp<'e>(
+    conjunct: &'e Expr,
+    eager_of_early: &[Option<usize>],
+) -> Option<(usize, CmpOp, &'e Value)> {
+    let Expr::Cmp { op, lhs, rhs } = conjunct else {
+        return None;
+    };
+    let (col, konst, op) = match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::Col(i), Expr::Const(c)) => (*i, c, *op),
+        (Expr::Const(c), Expr::Col(i)) => (*i, c, flip(*op)),
+        _ => return None,
+    };
+    let slot = *eager_of_early.get(col)?;
+    slot.map(|s| (s, op, konst))
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq | CmpOp::Ne => op,
+    }
+}
+
+/// Typed fast path: homogeneous `Int64` (or `Double`) column against a
+/// same-typed constant runs as a primitive comparison loop. Returns false
+/// when the column/constant isn't uniformly typed — the caller falls back
+/// to generic evaluation, preserving SQL++ mixed-type semantics exactly.
+fn refine_typed(sel: &mut Vec<u32>, col: &[Value], op: CmpOp, konst: &Value) -> bool {
+    match konst {
+        Value::Int64(k) => {
+            if !sel.iter().all(|&r| matches!(col[r as usize], Value::Int64(_))) {
+                return false;
+            }
+            let k = *k;
+            sel.retain(|&r| match col[r as usize] {
+                Value::Int64(x) => cmp_prim(op, x, k),
+                _ => false,
+            });
+            true
+        }
+        Value::Double(k) if !k.is_nan() => {
+            if !sel.iter().all(|&r| matches!(col[r as usize], Value::Double(x) if !x.is_nan())) {
+                return false;
+            }
+            let k = *k;
+            sel.retain(|&r| match col[r as usize] {
+                Value::Double(x) => cmp_prim(op, x, k),
+                _ => false,
+            });
+            true
+        }
+        _ => false,
+    }
+}
+
+fn cmp_prim<T: PartialOrd>(op: CmpOp, x: T, k: T) -> bool {
+    match op {
+        CmpOp::Eq => x == k,
+        CmpOp::Ne => x != k,
+        CmpOp::Lt => x < k,
+        CmpOp::Le => x <= k,
+        CmpOp::Gt => x > k,
+        CmpOp::Ge => x >= k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_split_is_top_level_only() {
+        let e = Expr::and(
+            Expr::eq(Expr::col(0), Expr::lit(1i64)),
+            Expr::and(
+                Expr::Or(
+                    Box::new(Expr::eq(Expr::col(1), Expr::lit(2i64))),
+                    Box::new(Expr::eq(Expr::col(2), Expr::lit(3i64))),
+                ),
+                Expr::eq(Expr::col(3), Expr::lit(4i64)),
+            ),
+        );
+        assert_eq!(split_conjuncts(&e).len(), 3);
+    }
+
+    #[test]
+    fn typed_refine_matches_expr_semantics() {
+        let col = vec![Value::Int64(1), Value::Int64(5), Value::Int64(9)];
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let mut sel: Vec<u32> = (0..col.len() as u32).collect();
+            assert!(refine_typed(&mut sel, &col, op, &Value::Int64(5)));
+            let pred = Expr::cmp(op, Expr::col(0), Expr::lit(5i64));
+            let expected: Vec<u32> = (0..col.len() as u32)
+                .filter(|&r| pred.eval_bool(std::slice::from_ref(&col[r as usize])))
+                .collect();
+            assert_eq!(sel, expected, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_typed_column_declines_fast_path() {
+        let col = vec![Value::Int64(1), Value::Null, Value::Int64(9)];
+        let mut sel: Vec<u32> = vec![0, 1, 2];
+        assert!(!refine_typed(&mut sel, &col, CmpOp::Lt, &Value::Int64(5)));
+        assert_eq!(sel, vec![0, 1, 2], "declined refine must not touch sel");
+        // But a selection that already excludes the nulls qualifies.
+        let mut sel: Vec<u32> = vec![0, 2];
+        assert!(refine_typed(&mut sel, &col, CmpOp::Lt, &Value::Int64(5)));
+        assert_eq!(sel, vec![0]);
+    }
+}

@@ -17,11 +17,26 @@ use tc_util::hash::FxHashMap;
 use tuple_compactor::{Dataset, RecordDecoder};
 
 use crate::agg::{Agg, AggState};
+use crate::batch;
 use crate::expr::Expr;
 use crate::plan::{AccessStrategy, Op, Query, ScanSpec};
 
 /// A row of values.
 pub type Row = Vec<Value>;
+
+/// How a partition's scan pipeline is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Chunked scan → filter → project over column buffers with a
+    /// selection vector and lazy decode (see [`crate::batch`]). Operators
+    /// past the scan still see rows — the batched/row split lives entirely
+    /// inside the scan, which is where the paper's pushdown applies.
+    Batched,
+    /// One full row per record before the filter runs — the pre-batching
+    /// baseline, kept as the reference the batched engine is tested
+    /// against.
+    Row,
+}
 
 /// Execution options.
 #[derive(Debug, Clone, Copy)]
@@ -30,11 +45,31 @@ pub struct ExecOptions {
     /// parallelism); otherwise serially on the caller thread (Fig 22b's
     /// 1-core configuration).
     pub parallel: bool,
+    /// Scan pipeline implementation.
+    pub engine: Engine,
+    /// Records per chunk for [`Engine::Batched`].
+    pub batch_size: usize,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { parallel: true }
+        ExecOptions {
+            parallel: true,
+            engine: Engine::Batched,
+            batch_size: batch::DEFAULT_BATCH_SIZE,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Serial or parallel, other options at their defaults.
+    pub fn with_parallel(parallel: bool) -> Self {
+        ExecOptions { parallel, ..Default::default() }
+    }
+
+    /// Pick the scan engine, other options at their defaults.
+    pub fn with_engine(engine: Engine) -> Self {
+        ExecOptions { engine, ..Default::default() }
     }
 }
 
@@ -76,11 +111,16 @@ pub fn execute(
         }
     }
 
-    // Split the pipeline at the first blocking operator.
+    // Split the pipeline at the first operator that needs a global view.
+    // `Limit` belongs here too: each partition can truncate locally as an
+    // optimization, but only the coordinator sees the union, so the limit
+    // must be re-applied globally (k rows total, not k per partition).
     let split = query
         .ops
         .iter()
-        .position(|op| matches!(op, Op::GroupBy { .. } | Op::OrderBy { .. } | Op::Distinct(_)))
+        .position(|op| {
+            matches!(op, Op::GroupBy { .. } | Op::OrderBy { .. } | Op::Distinct(_) | Op::Limit(_))
+        })
         .unwrap_or(query.ops.len());
     let local_ops = &query.ops[..split];
     let blocking = query.ops.get(split);
@@ -93,12 +133,17 @@ pub fn execute(
         std::thread::scope(|scope| {
             let handles: Vec<_> = partitions
                 .iter()
-                .map(|ds| scope.spawn(move || run_partition(ds, &query.scan, local_ops, blocking)))
+                .map(|ds| {
+                    scope.spawn(move || run_partition(ds, &query.scan, local_ops, blocking, opts))
+                })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("partition thread panicked")).collect()
+            handles.into_iter().map(|h| join_partition(h.join())).collect()
         })
     } else {
-        partitions.iter().map(|ds| run_partition(ds, &query.scan, local_ops, blocking)).collect()
+        partitions
+            .iter()
+            .map(|ds| run_partition(ds, &query.scan, local_ops, blocking, opts))
+            .collect()
     };
 
     let mut grouped: FxHashMap<Vec<OrdValue>, (Row, Vec<AggState>)> = FxHashMap::default();
@@ -145,6 +190,11 @@ pub fn execute(
                     .collect()
             }
         }
+        // The local stage already projected Distinct's expressions (and
+        // deduped within each partition); re-evaluating them here against
+        // the projected rows would be wrong for anything but identity
+        // columns. The coordinator only finishes the dedupe.
+        Some(Op::Distinct(_)) => dedupe_rows(rows),
         Some(op) => apply_op(rows, op),
         None => rows,
     };
@@ -153,6 +203,31 @@ pub fn execute(
     }
     stats.rows_output = rows.len() as u64;
     Ok(QueryResult { rows, stats })
+}
+
+/// Convert a partition thread's outcome into the query's result: a panic
+/// fails the query with an [`AdmError`], not the process.
+fn join_partition<T>(joined: std::thread::Result<Result<T, AdmError>>) -> Result<T, AdmError> {
+    match joined {
+        Ok(res) => res,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            Err(AdmError::execution(format!("partition thread panicked: {msg}")))
+        }
+    }
+}
+
+/// Dedupe already-projected rows by whole-row equality, keeping first-seen
+/// order.
+fn dedupe_rows(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen: std::collections::HashSet<Vec<OrdValue>> = Default::default();
+    rows.into_iter()
+        .filter(|row| seen.insert(row.iter().cloned().map(OrdValue).collect()))
+        .collect()
 }
 
 enum LocalOutput {
@@ -166,28 +241,27 @@ fn run_partition(
     scan: &ScanSpec,
     local_ops: &[Op],
     blocking: Option<&Op>,
+    opts: &ExecOptions,
 ) -> Result<(LocalOutput, u64, u64), AdmError> {
     // Decoder and scan are captured atomically: with background flushes
     // running, a decoder taken separately could miss dictionary codes the
     // scan's records need (or carry prunes ahead of the snapshot).
     let (decoder, mut iter) = ds.snapshot_scan();
-    let mut rows: Vec<Row> = Vec::new();
+    let limit_hint = scan_limit_hint(local_ops, blocking);
     let mut scanned = 0u64;
     let mut bytes = 0u64;
-    while let Some((_, _, payload)) = iter.next() {
-        scanned += 1;
-        bytes += payload.len() as u64;
-        let mut row = extract(&decoder, &payload, &scan.paths, scan.access)?;
-        if let Some(pred) = &scan.filter {
-            if !pred.eval_bool(&row) {
-                continue;
-            }
-        }
-        if !scan.late_paths.is_empty() {
-            row.extend(extract(&decoder, &payload, &scan.late_paths, scan.access)?);
-        }
-        rows.push(row);
-    }
+    let mut rows = match opts.engine {
+        Engine::Batched => batch::scan_batched(
+            &decoder,
+            &mut iter,
+            scan,
+            limit_hint,
+            opts.batch_size,
+            &mut scanned,
+            &mut bytes,
+        )?,
+        Engine::Row => scan_rows(&decoder, &mut iter, scan, limit_hint, &mut scanned, &mut bytes)?,
+    };
     for op in local_ops {
         rows = apply_op(rows, op);
     }
@@ -203,9 +277,58 @@ fn run_partition(
             // Local dedupe shrinks the exchange; global dedupe finishes.
             LocalOutput::Rows(apply_op(rows, &Op::Distinct(exprs.clone())))
         }
+        Some(Op::Limit(k)) => {
+            // Local truncation shrinks the exchange; the coordinator
+            // re-applies the limit over the union.
+            let mut rows = rows;
+            rows.truncate(*k);
+            LocalOutput::Rows(rows)
+        }
         _ => LocalOutput::Rows(rows),
     };
     Ok((out, scanned, bytes))
+}
+
+/// Can the scan stop after `k` surviving records? Only when the pending
+/// blocking operator is a plain `Limit` and nothing between the scan and it
+/// changes the row *count* — projections keep 1:1 cardinality, but a
+/// post-scan filter or unnest would make an early stop undercount.
+fn scan_limit_hint(local_ops: &[Op], blocking: Option<&Op>) -> Option<usize> {
+    match blocking {
+        Some(Op::Limit(k)) if local_ops.iter().all(|op| matches!(op, Op::Project(_))) => Some(*k),
+        _ => None,
+    }
+}
+
+/// The row-at-a-time scan: materialize every early column per record, then
+/// filter, then late columns for survivors.
+fn scan_rows(
+    decoder: &RecordDecoder,
+    iter: &mut tc_lsm::iter::MergedScan,
+    scan: &ScanSpec,
+    limit_hint: Option<usize>,
+    scanned: &mut u64,
+    bytes: &mut u64,
+) -> Result<Vec<Row>, AdmError> {
+    let mut rows: Vec<Row> = Vec::new();
+    while let Some((_, _, payload)) = iter.next() {
+        *scanned += 1;
+        *bytes += payload.len() as u64;
+        let mut row = extract(decoder, &payload, &scan.paths, scan.access)?;
+        if let Some(pred) = &scan.filter {
+            if !pred.eval_bool(&row) {
+                continue;
+            }
+        }
+        if !scan.late_paths.is_empty() {
+            row.extend(extract(decoder, &payload, &scan.late_paths, scan.access)?);
+        }
+        rows.push(row);
+        if limit_hint.is_some_and(|k| rows.len() >= k) {
+            break;
+        }
+    }
+    Ok(rows)
 }
 
 /// Evaluate scan paths against one record's stored bytes.
@@ -468,8 +591,8 @@ mod tests {
                 Op::OrderBy { keys: vec![(Expr::col(0), false)], limit: None },
             ],
         };
-        let par = execute(&refs(&ds), &q, &ExecOptions { parallel: true }).unwrap();
-        let ser = execute(&refs(&ds), &q, &ExecOptions { parallel: false }).unwrap();
+        let par = execute(&refs(&ds), &q, &ExecOptions::with_parallel(true)).unwrap();
+        let ser = execute(&refs(&ds), &q, &ExecOptions::with_parallel(false)).unwrap();
         assert_eq!(par.rows, ser.rows);
     }
 
@@ -505,6 +628,159 @@ mod tests {
         };
         let res = execute(&refs(&ds), &q, &ExecOptions::default()).unwrap();
         assert_eq!(res.rows, vec![vec![Value::Int64(10)]]);
+    }
+
+    #[test]
+    fn limit_is_global_across_partitions() {
+        // Regression: LIMIT k used to truncate per-partition only, so
+        // LIMIT 10 over 4 partitions returned up to 40 rows.
+        let ds = partitioned_dataset(StorageFormat::Inferred, 4, 100);
+        let q = Query {
+            scan: ScanSpec::all_early(vec![parse_path("id")], AccessStrategy::Consolidated),
+            ops: vec![Op::Limit(10)],
+        };
+        for engine in [Engine::Batched, Engine::Row] {
+            let res = execute(&refs(&ds), &q, &ExecOptions::with_engine(engine)).unwrap();
+            assert_eq!(res.rows.len(), 10, "{engine:?}");
+            // The LIMIT hint reaches the scan: no partition drains its
+            // snapshot past what the limit can need.
+            assert!(
+                res.stats.rows_scanned <= 40,
+                "{engine:?}: scanned {} rows for LIMIT 10 over 4 partitions",
+                res.stats.rows_scanned
+            );
+        }
+    }
+
+    #[test]
+    fn limit_hint_blocked_by_post_scan_filter() {
+        // An ops-level filter between scan and LIMIT kills the hint (an
+        // early stop would undercount), but the limit itself must still be
+        // global.
+        let ds = partitioned_dataset(StorageFormat::Inferred, 3, 90);
+        let q = Query {
+            scan: ScanSpec::all_early(
+                vec![parse_path("id"), parse_path("grp")],
+                AccessStrategy::Consolidated,
+            ),
+            ops: vec![
+                Op::Filter(Expr::eq(Expr::col(1), Expr::lit("g0"))),
+                Op::Project(vec![Expr::col(0)]),
+                Op::Limit(7),
+            ],
+        };
+        for engine in [Engine::Batched, Engine::Row] {
+            let res = execute(&refs(&ds), &q, &ExecOptions::with_engine(engine)).unwrap();
+            assert_eq!(res.rows.len(), 7, "{engine:?}");
+            assert_eq!(res.stats.rows_scanned, 90, "{engine:?}: hint must not apply");
+        }
+    }
+
+    #[test]
+    fn distinct_of_computed_exprs_across_partitions() {
+        // Regression: the coordinator used to re-evaluate Distinct's
+        // expressions against rows the local stage had already projected —
+        // here `tags[0].text` applied to a string, collapsing everything
+        // into one Missing row.
+        let ds = partitioned_dataset(StorageFormat::Inferred, 3, 30);
+        let q = Query {
+            scan: ScanSpec::all_early(vec![parse_path("tags[0]")], AccessStrategy::Consolidated),
+            ops: vec![
+                Op::Distinct(vec![Expr::path(0, "text")]),
+                Op::OrderBy { keys: vec![(Expr::col(0), false)], limit: None },
+            ],
+        };
+        for engine in [Engine::Batched, Engine::Row] {
+            let res = execute(&refs(&ds), &q, &ExecOptions::with_engine(engine)).unwrap();
+            let texts: Vec<&str> = res.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+            assert_eq!(texts, vec!["t0", "t1", "t2", "t3", "t4"], "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn partition_panic_becomes_query_error() {
+        let joined = std::thread::spawn(|| -> Result<(), AdmError> {
+            panic!("boom in partition");
+        })
+        .join();
+        let err = join_partition(joined).unwrap_err();
+        match err {
+            AdmError::Execution(msg) => assert!(msg.contains("boom in partition"), "{msg}"),
+            other => panic!("expected Execution error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batched_and_row_engines_agree_on_scan_shapes() {
+        // Exercise every scan shape the batched pipeline special-cases:
+        // typed vs generic filter conjuncts, lazy early columns, late
+        // paths, per-path access, empty paths, and batch-boundary effects
+        // (batch_size smaller than the partition).
+        let plans = [
+            // Typed i64 conjunct + lazily decoded non-filter column.
+            Query {
+                scan: ScanSpec {
+                    paths: vec![parse_path("id"), parse_path("tags")],
+                    filter: Some(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(23i64))),
+                    late_paths: vec![parse_path("grp")],
+                    access: AccessStrategy::Consolidated,
+                },
+                ops: vec![],
+            },
+            // Generic (string) conjunct AND typed conjunct, per-path access.
+            Query {
+                scan: ScanSpec {
+                    paths: vec![parse_path("grp"), parse_path("score")],
+                    filter: Some(Expr::and(
+                        Expr::eq(Expr::col(0), Expr::lit("g1")),
+                        Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit(4i64)),
+                    )),
+                    late_paths: vec![],
+                    access: AccessStrategy::PerPath,
+                },
+                ops: vec![Op::Project(vec![Expr::col(1), Expr::col(0)])],
+            },
+            // No filter, whole-record path, unnest + group-by downstream.
+            Query {
+                scan: ScanSpec::all_early(
+                    vec![Vec::new(), parse_path("tags")],
+                    AccessStrategy::Consolidated,
+                ),
+                ops: vec![
+                    Op::Unnest(Expr::col(1)),
+                    Op::GroupBy {
+                        keys: vec![Expr::path(2, "text")],
+                        aggs: vec![Agg::count_star()],
+                    },
+                    Op::OrderBy { keys: vec![(Expr::col(0), false)], limit: None },
+                ],
+            },
+            // Filter referencing a path expr (not a plain column) — fully
+            // generic, with the filter column itself also projected.
+            Query {
+                scan: ScanSpec {
+                    paths: vec![parse_path("tags[0]"), parse_path("id")],
+                    filter: Some(Expr::eq(Expr::path(0, "text"), Expr::lit("t2"))),
+                    late_paths: vec![],
+                    access: AccessStrategy::Consolidated,
+                },
+                ops: vec![Op::OrderBy { keys: vec![(Expr::col(1), false)], limit: None }],
+            },
+        ];
+        for format in [StorageFormat::Open, StorageFormat::Inferred] {
+            let ds = partitioned_dataset(format, 3, 67);
+            for (i, q) in plans.iter().enumerate() {
+                let batched = execute(
+                    &refs(&ds),
+                    q,
+                    &ExecOptions { batch_size: 7, ..ExecOptions::with_engine(Engine::Batched) },
+                )
+                .unwrap();
+                let row = execute(&refs(&ds), q, &ExecOptions::with_engine(Engine::Row)).unwrap();
+                assert_eq!(batched.rows, row.rows, "plan {i} on {format:?}");
+                assert_eq!(batched.stats.rows_scanned, row.stats.rows_scanned, "plan {i}");
+            }
+        }
     }
 
     #[test]

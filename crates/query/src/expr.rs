@@ -150,6 +150,38 @@ impl Expr {
     pub fn eval_bool(&self, row: &[Value]) -> bool {
         self.eval(row).as_bool() == Some(true)
     }
+
+    /// Column indices this expression reads, sorted and deduplicated. The
+    /// batched scan uses this to decode only the columns a filter touches
+    /// before the selection vector is known.
+    pub fn referenced_cols(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.collect_cols(&mut cols);
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    fn collect_cols(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) | Expr::Path { col: i, .. } => out.push(*i),
+            Expr::Const(_) => {}
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.collect_cols(out);
+                rhs.collect_cols(out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_cols(out);
+                b.collect_cols(out);
+            }
+            Expr::Not(e) => e.collect_cols(out),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.collect_cols(out);
+                }
+            }
+        }
+    }
 }
 
 /// Value equality with cross-type numeric promotion.

@@ -14,16 +14,19 @@
 //! * [`exec`] — the executor: per-partition pipelines (optionally on
 //!   threads), a coordinator merging blocking operators, and the **schema
 //!   broadcast** accounting for queries with non-local exchanges (§3.4.1);
+//! * [`batch`] — the batched scan: chunked scan → filter → project with
+//!   column buffers, a selection vector, and lazy decode;
 //! * [`paper_queries`] — builders for Twitter Q1–Q4, WoS Q1–Q4, Sensors
 //!   Q1–Q4, and the Fig 22 field-position probes.
 
 pub mod agg;
+pub mod batch;
 pub mod exec;
 pub mod expr;
 pub mod paper_queries;
 pub mod plan;
 pub mod sqlpp;
 
-pub use exec::{execute, ExecOptions, ExecStats, QueryResult};
+pub use exec::{execute, Engine, ExecOptions, ExecStats, QueryResult};
 pub use expr::{CmpOp, Expr, Func};
 pub use plan::{AccessStrategy, Op, Query, QueryOptions, ScanSpec};

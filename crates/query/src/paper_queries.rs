@@ -287,6 +287,36 @@ pub fn sensors_q4(opts: QueryOptions, day_start: i64) -> Query {
     sensors_q4_range(opts, day_start, day_start + 24 * 60 * 60 * 1000)
 }
 
+/// Q4 with the range predicate pushed into the scan itself: all accesses
+/// stay early (as in the optimized plan) but the filter becomes
+/// `ScanSpec::filter`, so the batched engine decodes only `report_time`
+/// before the selection vector is known and fetches `sensor_id`/readings
+/// for survivors only. Same answers as [`sensors_q4_range`]; this is the
+/// plan shape where batched-vs-row is the whole story (BENCH_query's
+/// headline comparison).
+pub fn sensors_q4_scanfilter(opts: QueryOptions, day_start: i64, day_end: i64) -> Query {
+    let range = Expr::and(
+        Expr::cmp(CmpOp::Ge, Expr::col(2), Expr::lit(day_start)),
+        Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit(day_end)),
+    );
+    Query {
+        scan: ScanSpec {
+            paths: vec![parse_path("sensor_id"), readings_path(opts), parse_path("report_time")],
+            filter: Some(range),
+            late_paths: vec![],
+            access: opts.access(),
+        },
+        ops: vec![
+            Op::Unnest(Expr::col(1)),
+            Op::GroupBy {
+                keys: vec![Expr::col(0)],
+                aggs: vec![Agg::of(AggFn::Avg, temp_expr(opts, 3))],
+            },
+            Op::OrderBy { keys: vec![(Expr::col(1), true)], limit: Some(10) },
+        ],
+    }
+}
+
 // ---------------------------------------------------------------------
 // Fig 22: field-position probes
 // ---------------------------------------------------------------------
@@ -342,9 +372,21 @@ mod tests {
         parts
     }
 
+    /// Execute under every engine × parallelism combination, assert they
+    /// all return identical rows, and hand back one copy. Every paper-query
+    /// test therefore doubles as a batched-vs-row equivalence check.
     fn run(parts: &[Dataset], q: &Query) -> Vec<Vec<Value>> {
+        use crate::exec::Engine;
         let refs: Vec<&Dataset> = parts.iter().collect();
-        execute(&refs, q, &ExecOptions::default()).unwrap().rows
+        let reference = execute(&refs, q, &ExecOptions::default()).unwrap().rows;
+        for engine in [Engine::Batched, Engine::Row] {
+            for parallel in [false, true] {
+                let opts = ExecOptions { engine, parallel, ..Default::default() };
+                let rows = execute(&refs, q, &opts).unwrap().rows;
+                assert_eq!(reference, rows, "{engine:?}/parallel={parallel}");
+            }
+        }
+        reference
     }
 
     /// Every query must return identical results across storage formats and
@@ -422,11 +464,13 @@ mod tests {
         for format in [StorageFormat::Open, StorageFormat::Inferred] {
             let parts = load(&mut SensorsGen::new(5), 40, format);
             for opts in [QueryOptions::default(), QueryOptions::unoptimized()] {
+                let day_end = day_start + 24 * 60 * 60 * 1000;
                 let results = vec![
                     run(&parts, &sensors_q1(opts)),
                     run(&parts, &sensors_q2(opts)),
                     run(&parts, &sensors_q3(opts)),
                     run(&parts, &sensors_q4(opts, day_start)),
+                    run(&parts, &sensors_q4_scanfilter(opts, day_start, day_end)),
                 ];
                 match &reference {
                     None => reference = Some(results),
@@ -443,6 +487,7 @@ mod tests {
         assert!(min < max);
         assert!(r[2].len() <= 10 && !r[2].is_empty());
         assert!(!r[3].is_empty(), "day filter keeps some reports");
+        assert_eq!(r[3], r[4], "scan-filter Q4 answers match the ops-filter plan");
     }
 
     #[test]

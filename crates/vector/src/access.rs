@@ -23,63 +23,123 @@ pub fn get_values(
     declared: Option<&ObjectType>,
     dict: Option<&FieldNameDictionary>,
 ) -> Result<Vec<Value>, AdmError> {
-    let mut out: Vec<Acc> = paths
-        .iter()
-        .map(|p| Acc {
-            collected: Vec::new(),
-            has_wildcard: p.iter().any(|s| matches!(s, PathStep::Wildcard)),
-            resolved: false,
-        })
-        .collect();
+    let mut eval = BatchPathEvaluator::new(paths);
+    eval.eval_record(buf, declared, dict)?;
+    Ok(eval.accs.iter_mut().map(Acc::take_value).collect())
+}
 
-    // Empty paths mean "the whole record".
-    let whole: Vec<usize> =
-        paths.iter().enumerate().filter(|(_, p)| p.is_empty()).map(|(i, _)| i).collect();
-    if !whole.is_empty() {
-        let v = crate::reader::decode(buf, declared, dict)?;
-        for &i in &whole {
-            out[i].collected.push(v.clone());
-            out[i].resolved = true;
-        }
-    }
+/// A `getValues` evaluator for a *fixed* path set, reusable across many
+/// records. The per-path accumulators, the wildcard flags, and the active-
+/// path template survive between records, so evaluating a batch of payloads
+/// allocates nothing per record beyond the matched values themselves. This
+/// is the batched query engine's scan primitive: one evaluator per column
+/// set, driven once per payload, appending into caller-owned column buffers.
+pub struct BatchPathEvaluator {
+    paths: Vec<Path>,
+    /// Indices of empty paths ("the whole record").
+    whole: Vec<usize>,
+    /// `(path, next-step, wildcards-crossed)` seeds for the root walk.
+    active: Vec<(usize, usize, u8)>,
+    accs: Vec<Acc>,
+}
 
-    let mut pending = out.iter().filter(|a| !a.resolved && !a.has_wildcard).count();
-    let any_wildcard = out.iter().any(|a| a.has_wildcard && !a.resolved);
-
-    if pending > 0 || any_wildcard {
-        let mut reader = VectorReader::new(buf)?;
-        match reader.next()? {
-            Item::Begin { tag: TypeTag::Object, .. } => {}
-            _ => return Err(AdmError::corrupt("record root must be an object")),
-        }
+impl BatchPathEvaluator {
+    pub fn new(paths: &[Path]) -> Self {
+        let accs = paths
+            .iter()
+            .map(|p| Acc {
+                collected: Vec::new(),
+                has_wildcard: p.iter().any(|s| matches!(s, PathStep::Wildcard)),
+                resolved: false,
+            })
+            .collect();
+        let whole: Vec<usize> =
+            paths.iter().enumerate().filter(|(_, p)| p.is_empty()).map(|(i, _)| i).collect();
         let active: Vec<(usize, usize, u8)> = paths
             .iter()
             .enumerate()
             .filter(|(_, p)| !p.is_empty())
             .map(|(i, _)| (i, 0usize, 0u8))
             .collect();
-        let mut ctx = Ctx { paths, declared, dict, out: &mut out, pending };
-        walk(&mut reader, TypeTag::Object, &active, &mut ctx)?;
-        pending = ctx.pending;
-        let _ = pending;
+        BatchPathEvaluator { paths: paths.to_vec(), whole, active, accs }
     }
 
-    Ok(out
-        .into_iter()
-        .map(|a| {
-            if a.has_wildcard {
-                Value::Array(a.collected.into_iter().filter(|v| !v.is_missing()).collect())
-            } else {
-                a.collected.into_iter().next().unwrap_or(Value::Missing)
+    /// Number of paths (= values produced per record).
+    pub fn width(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Evaluate every path against one record, appending one value per path
+    /// to the corresponding column buffer. `columns.len()` must equal
+    /// [`width`](Self::width).
+    pub fn eval_into(
+        &mut self,
+        buf: &[u8],
+        declared: Option<&ObjectType>,
+        dict: Option<&FieldNameDictionary>,
+        columns: &mut [Vec<Value>],
+    ) -> Result<(), AdmError> {
+        debug_assert_eq!(columns.len(), self.paths.len());
+        self.eval_record(buf, declared, dict)?;
+        for (acc, col) in self.accs.iter_mut().zip(columns.iter_mut()) {
+            col.push(acc.take_value());
+        }
+        Ok(())
+    }
+
+    /// One linear scan of `buf`, leaving the results in `self.accs`.
+    fn eval_record(
+        &mut self,
+        buf: &[u8],
+        declared: Option<&ObjectType>,
+        dict: Option<&FieldNameDictionary>,
+    ) -> Result<(), AdmError> {
+        for acc in &mut self.accs {
+            acc.collected.clear();
+            acc.resolved = false;
+        }
+
+        // Empty paths mean "the whole record".
+        if !self.whole.is_empty() {
+            let v = crate::reader::decode(buf, declared, dict)?;
+            for &i in &self.whole {
+                self.accs[i].collected.push(v.clone());
+                self.accs[i].resolved = true;
             }
-        })
-        .collect())
+        }
+
+        let pending = self.accs.iter().filter(|a| !a.resolved && !a.has_wildcard).count();
+        let any_wildcard = self.accs.iter().any(|a| a.has_wildcard && !a.resolved);
+
+        if pending > 0 || any_wildcard {
+            let mut reader = VectorReader::new(buf)?;
+            match reader.next()? {
+                Item::Begin { tag: TypeTag::Object, .. } => {}
+                _ => return Err(AdmError::corrupt("record root must be an object")),
+            }
+            let BatchPathEvaluator { paths, active, accs, .. } = self;
+            let mut ctx = Ctx { paths: paths.as_slice(), declared, dict, out: accs, pending };
+            walk(&mut reader, TypeTag::Object, active.as_slice(), &mut ctx)?;
+        }
+        Ok(())
+    }
 }
 
 struct Acc {
     collected: Vec<Value>,
     has_wildcard: bool,
     resolved: bool,
+}
+
+impl Acc {
+    /// Drain the accumulator into the record's value for this path.
+    fn take_value(&mut self) -> Value {
+        if self.has_wildcard {
+            Value::Array(self.collected.drain(..).filter(|v| !v.is_missing()).collect())
+        } else {
+            self.collected.drain(..).next().unwrap_or(Value::Missing)
+        }
+    }
 }
 
 struct Ctx<'p, 'o> {
@@ -280,6 +340,35 @@ mod tests {
         let fields: Vec<String> = (0..50).map(|i| format!(r#""f{i:02}": {i}"#)).collect();
         let src = format!("{{{}}}", fields.join(", "));
         check_paths(&src, &["f00", "f49", "f25"]);
+    }
+
+    #[test]
+    fn batch_evaluator_matches_per_record_calls() {
+        // Heterogeneous records through one reused evaluator: the scratch
+        // state from one payload must never leak into the next.
+        let srcs = [
+            r#"{"id": 1, "a": 10, "deps": [{"n": "Bob"}, {"n": "Carol"}]}"#,
+            r#"{"id": 2, "deps": []}"#,
+            r#"{"id": 3, "a": "str", "deps": [{"m": 0}]}"#,
+            r#"{"id": 4}"#,
+        ];
+        let mut paths: Vec<Path> =
+            ["a", "deps[*].n", "deps[0].n"].iter().map(|t| parse_path(t)).collect();
+        paths.insert(2, Vec::new()); // empty path = whole record
+        let mut eval = BatchPathEvaluator::new(&paths);
+        let mut cols: Vec<Vec<Value>> = vec![Vec::new(); eval.width()];
+        let mut expected: Vec<Vec<Value>> = vec![Vec::new(); paths.len()];
+        for src in srcs {
+            let v = parse(src).unwrap();
+            let raw = encode(&v, None);
+            eval.eval_into(&raw, None, None, &mut cols).unwrap();
+            for (v, col) in
+                get_values(&raw, &paths, None, None).unwrap().into_iter().zip(&mut expected)
+            {
+                col.push(v);
+            }
+        }
+        assert_eq!(cols, expected);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod encode;
 pub mod header;
 pub mod reader;
 
-pub use access::get_values;
+pub use access::{get_values, BatchPathEvaluator};
 pub use compact::infer_and_compact;
 pub use encode::encode;
 pub use header::Header;

@@ -89,8 +89,13 @@ fn paper_queries_are_format_invariant() {
                 ds.flush();
             }
             for opts in [QueryOptions::default(), QueryOptions::unoptimized()] {
-                for parallel in [false, true] {
-                    let exec = ExecOptions { parallel };
+                for (parallel, engine) in [
+                    (false, Engine::Batched),
+                    (true, Engine::Batched),
+                    (false, Engine::Row),
+                    (true, Engine::Row),
+                ] {
+                    let exec = ExecOptions { parallel, engine, ..Default::default() };
                     let run = |ds: &Dataset, query: &Query| {
                         tc_query::exec::execute(&[ds], query, &exec).unwrap().rows
                     };
@@ -111,7 +116,7 @@ fn paper_queries_are_format_invariant() {
                         None => reference = Some(results),
                         Some(r) => assert_eq!(
                             *r, results,
-                            "{format:?}/{compression:?}/{opts:?}/parallel={parallel}"
+                            "{format:?}/{compression:?}/{opts:?}/parallel={parallel}/{engine:?}"
                         ),
                     }
                 }

@@ -1,0 +1,222 @@
+//! Property test: the batched scan engine and the row-at-a-time engine are
+//! observationally identical — same rows, same order, same scan counters —
+//! across random data, random plan shapes, random partitioning, and random
+//! batch sizes (including sizes that split partitions mid-batch). Serial
+//! and parallel execution are held to the same standard.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use asterix_tc::prelude::*;
+use tc_query::agg::{Agg, AggFn};
+use tc_query::exec::{execute, ExecOptions};
+use tc_query::{AccessStrategy, CmpOp, Expr, Op, Query, ScanSpec};
+
+/// One generated record; `id` is assigned sequentially at insert time so
+/// primary keys never collide.
+#[derive(Debug, Clone)]
+struct Rec {
+    a: Option<Value>,
+    b: Option<String>,
+    c: Vec<i64>,
+    e: Option<i64>,
+}
+
+impl Rec {
+    fn to_value(&self, id: i64) -> Value {
+        let mut fields = vec![("id".to_string(), Value::Int64(id))];
+        if let Some(a) = &self.a {
+            fields.push(("a".to_string(), a.clone()));
+        }
+        if let Some(b) = &self.b {
+            fields.push(("b".to_string(), Value::string(b.as_str())));
+        }
+        fields.push((
+            "c".to_string(),
+            Value::Array(self.c.iter().map(|&v| Value::Int64(v)).collect()),
+        ));
+        if let Some(e) = self.e {
+            fields.push(("d".to_string(), Value::Object(vec![("e".to_string(), Value::Int64(e))])));
+        }
+        Value::Object(fields)
+    }
+}
+
+/// `proptest::option::of` replacement for the vendored shim.
+fn opt<S>(s: S) -> BoxedStrategy<Option<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Clone + 'static,
+{
+    prop_oneof![Just(None), s.prop_map(Some)].boxed()
+}
+
+fn arb_rec() -> impl Strategy<Value = Rec> {
+    (
+        opt(prop_oneof![
+            (0i64..25).prop_map(Value::Int64),
+            "[a-c]{1,3}".prop_map(Value::String),
+            Just(Value::Null),
+        ]),
+        opt("[rgb]"),
+        proptest::collection::vec(0i64..10, 0..4),
+        opt(0i64..5),
+    )
+        .prop_map(|(a, b, c, e)| Rec { a, b, c, e })
+}
+
+/// Parameterized plan templates covering the batched engine's code paths:
+/// typed and generic scan-filter conjuncts, lazy early columns, late paths,
+/// per-path access, projections with LIMIT, computed DISTINCT, order-by,
+/// two-phase group-by, and unnest.
+#[derive(Debug, Clone)]
+enum Shape {
+    FilterTyped { lt: i64, late: bool, per_path: bool },
+    FilterGeneric { needle: String, typed_too: Option<i64> },
+    ProjectLimit { k: usize },
+    DistinctExpr,
+    OrderBy { desc: bool, limit: Option<usize> },
+    GroupBy,
+    Unnest,
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (0i64..30, any::<bool>(), any::<bool>())
+            .prop_map(|(lt, late, per_path)| Shape::FilterTyped { lt, late, per_path }),
+        ("[rgb]", opt(0i64..25))
+            .prop_map(|(needle, typed_too)| Shape::FilterGeneric { needle, typed_too }),
+        (0usize..40).prop_map(|k| Shape::ProjectLimit { k }),
+        Just(Shape::DistinctExpr),
+        (any::<bool>(), opt(1usize..10)).prop_map(|(desc, limit)| Shape::OrderBy { desc, limit }),
+        Just(Shape::GroupBy),
+        Just(Shape::Unnest),
+    ]
+}
+
+fn build_query(shape: &Shape) -> Query {
+    let path = tc_adm::path::parse_path;
+    match shape {
+        Shape::FilterTyped { lt, late, per_path } => Query {
+            scan: ScanSpec {
+                paths: vec![path("id"), path("a")],
+                filter: Some(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(*lt))),
+                late_paths: if *late { vec![path("b")] } else { vec![] },
+                access: if *per_path {
+                    AccessStrategy::PerPath
+                } else {
+                    AccessStrategy::Consolidated
+                },
+            },
+            ops: vec![],
+        },
+        Shape::FilterGeneric { needle, typed_too } => {
+            let eq_b = Expr::eq(Expr::col(0), Expr::lit(needle.as_str()));
+            let filter = match typed_too {
+                // Mixed conjuncts: one generic (string eq), one typed (i64),
+                // exercising both refinement paths on the same batch.
+                Some(lt) => Expr::and(eq_b, Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::lit(*lt))),
+                None => eq_b,
+            };
+            Query {
+                scan: ScanSpec {
+                    paths: vec![path("b"), path("a"), path("id")],
+                    filter: Some(filter),
+                    late_paths: vec![],
+                    access: AccessStrategy::Consolidated,
+                },
+                ops: vec![],
+            }
+        }
+        Shape::ProjectLimit { k } => Query {
+            scan: ScanSpec::all_early(vec![path("id"), path("a")], AccessStrategy::Consolidated),
+            ops: vec![Op::Project(vec![Expr::col(1), Expr::col(0)]), Op::Limit(*k)],
+        },
+        Shape::DistinctExpr => Query {
+            scan: ScanSpec::all_early(vec![path("d")], AccessStrategy::Consolidated),
+            ops: vec![
+                Op::Distinct(vec![Expr::path(0, "e")]),
+                Op::OrderBy { keys: vec![(Expr::col(0), false)], limit: None },
+            ],
+        },
+        Shape::OrderBy { desc, limit } => Query {
+            scan: ScanSpec::all_early(vec![path("id"), path("b")], AccessStrategy::Consolidated),
+            ops: vec![Op::OrderBy { keys: vec![(Expr::col(0), *desc)], limit: *limit }],
+        },
+        Shape::GroupBy => Query {
+            scan: ScanSpec::all_early(vec![path("b"), path("a")], AccessStrategy::Consolidated),
+            ops: vec![
+                Op::GroupBy {
+                    keys: vec![Expr::col(0)],
+                    aggs: vec![Agg::count_star(), Agg::of(AggFn::Sum, Expr::col(1))],
+                },
+                Op::OrderBy { keys: vec![(Expr::col(0), false)], limit: None },
+            ],
+        },
+        Shape::Unnest => Query {
+            scan: ScanSpec::all_early(vec![path("c")], AccessStrategy::Consolidated),
+            ops: vec![
+                Op::Unnest(Expr::col(0)),
+                Op::GroupBy { keys: vec![Expr::col(1)], aggs: vec![Agg::count_star()] },
+                Op::OrderBy { keys: vec![(Expr::col(0), false)], limit: None },
+            ],
+        },
+    }
+}
+
+fn load(recs: &[Rec], partitions: usize, format: StorageFormat) -> Vec<Dataset> {
+    let cache = Arc::new(BufferCache::new(4096));
+    let out: Vec<Dataset> = (0..partitions)
+        .map(|_| {
+            Dataset::new(
+                DatasetConfig::new("P", "id")
+                    .with_format(format)
+                    .with_memtable_budget(16 * 1024)
+                    .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
+                Arc::new(Device::new(DeviceProfile::RAM)),
+                Arc::clone(&cache),
+            )
+        })
+        .collect();
+    for (i, rec) in recs.iter().enumerate() {
+        out[i % partitions].writer().insert(&rec.to_value(i as i64)).unwrap();
+    }
+    for ds in &out {
+        ds.flush();
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_row_serial_parallel_all_agree(
+        recs in proptest::collection::vec(arb_rec(), 0..80),
+        partitions in 1usize..4,
+        shape in arb_shape(),
+        batch_size in 1usize..64,
+        inferred in any::<bool>(),
+    ) {
+        let format = if inferred { StorageFormat::Inferred } else { StorageFormat::Open };
+        let ds = load(&recs, partitions, format);
+        let refs: Vec<&Dataset> = ds.iter().collect();
+        let q = build_query(&shape);
+
+        let reference = execute(&refs, &q, &ExecOptions {
+            engine: Engine::Row,
+            parallel: false,
+            ..Default::default()
+        }).unwrap();
+        for engine in [Engine::Batched, Engine::Row] {
+            for parallel in [false, true] {
+                let opts = ExecOptions { engine, parallel, batch_size };
+                let got = execute(&refs, &q, &opts).unwrap();
+                prop_assert_eq!(&reference.rows, &got.rows,
+                    "{:?}/parallel={} on {:?} (batch={})", engine, parallel, shape, batch_size);
+                prop_assert_eq!(reference.stats.rows_scanned, got.stats.rows_scanned,
+                    "scan counters: {:?}/parallel={} on {:?}", engine, parallel, shape);
+            }
+        }
+    }
+}
