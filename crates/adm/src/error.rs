@@ -16,6 +16,12 @@ pub enum AdmError {
     /// Query execution failed for a non-data reason (e.g. a partition
     /// worker panicked). The query fails; the process does not.
     Execution(String),
+    /// A storage-layer fault surfaced through the data path: a failed
+    /// device operation (`transient: true` means a bounded retry may
+    /// succeed) or detected on-disk corruption (`transient: false`). The
+    /// operation fails with this typed error; the process never panics on
+    /// rotten bytes.
+    Storage { message: String, transient: bool },
 }
 
 impl AdmError {
@@ -30,6 +36,16 @@ impl AdmError {
     pub fn execution(msg: impl Into<String>) -> Self {
         AdmError::Execution(msg.into())
     }
+
+    pub fn storage(msg: impl Into<String>, transient: bool) -> Self {
+        AdmError::Storage { message: msg.into(), transient }
+    }
+
+    /// True for storage faults where a bounded retry with backoff may
+    /// succeed (feeds use this to retry per-record inserts).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, AdmError::Storage { transient: true, .. })
+    }
 }
 
 impl fmt::Display for AdmError {
@@ -42,6 +58,10 @@ impl fmt::Display for AdmError {
             AdmError::Corrupt(m) => write!(f, "corrupt record: {m}"),
             AdmError::NoSuchField(m) => write!(f, "no such field: {m}"),
             AdmError::Execution(m) => write!(f, "query execution failed: {m}"),
+            AdmError::Storage { message, transient } => {
+                let class = if *transient { "transient" } else { "permanent" };
+                write!(f, "storage fault ({class}): {message}")
+            }
         }
     }
 }

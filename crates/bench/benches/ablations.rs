@@ -44,14 +44,14 @@ fn bloom_ablation(n: u64) {
         // lookup. To keep the comparison honest we use 1 bit/key (near-
         // useless filter) as "no bloom".
         for i in 0..n {
-            tree.insert(encode_u64_key(i * 2), vec![0u8; 64]);
+            tree.insert(encode_u64_key(i * 2), vec![0u8; 64]).unwrap();
         }
-        tree.flush();
+        tree.flush().unwrap();
         let before = device.bytes_read();
         let start = Instant::now();
         let mut found = 0;
         for i in 0..10_000u64 {
-            if tree.get(&encode_u64_key(1_000_000 + i)).is_some() {
+            if tree.get(&encode_u64_key(1_000_000 + i)).unwrap().is_some() {
                 found += 1;
             }
         }
@@ -77,7 +77,7 @@ fn page_size_ablation() {
         for chunk in payload.chunks(page_size) {
             let mut page = chunk.to_vec();
             page.resize(page_size, 0);
-            store.write_page(&page);
+            store.write_page(&page).unwrap();
         }
         row(
             &format!("{} KB", page_size / 1024),
@@ -118,9 +118,9 @@ fn merge_policy_ablation(n: usize) {
         );
         let start = Instant::now();
         for i in 0..n as u64 {
-            tree.insert(encode_u64_key(i), vec![7u8; 256]);
+            tree.insert(encode_u64_key(i), vec![7u8; 256]).unwrap();
         }
-        tree.flush();
+        tree.flush().unwrap();
         let wall = start.elapsed() + device.io_time();
         row(
             label,

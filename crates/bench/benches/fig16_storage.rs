@@ -36,7 +36,7 @@ fn measure<G: Generator>(
             };
             let mut gen = make_gen();
             let (cluster, _) = ingest(&mut gen, n, &cfg, Some(closed.clone()));
-            cluster.merge_all();
+            cluster.merge_all().unwrap();
             out.push((format!("{fmt_name}/{scheme_name}"), disk_size(&cluster)));
         }
     }

@@ -51,7 +51,7 @@ fn run(fmt: StorageFormat, scheme: CompressionScheme, n: usize, updates: bool) -
         let r = cluster.feed(batch, FeedMode::Upsert).expect("upsert feed");
         total += r.total();
     }
-    cluster.flush_all();
+    cluster.flush_all().unwrap();
     total
 }
 

@@ -42,7 +42,7 @@ fn main() {
                     ExpConfig { format: fmt, compression: scheme, device, ..Default::default() };
                 let mut gen = TwitterGen::new(1);
                 let (cluster, _) = ingest(&mut gen, n, &cfg, Some(twitter_closed_type()));
-                cluster.merge_all();
+                cluster.merge_all().unwrap();
                 let cells: Vec<String> = queries
                     .iter()
                     .map(|query| {

@@ -53,7 +53,7 @@ fn main() {
                     ExpConfig { format: fmt, compression: scheme, device, ..Default::default() };
                 let mut gen = SensorsGen::new(1);
                 let (cluster, _) = ingest(&mut gen, n, &cfg, Some(sensors_closed_type()));
-                cluster.merge_all();
+                cluster.merge_all().unwrap();
                 let cells: Vec<String> = queries
                     .iter()
                     .map(|query| {

@@ -30,7 +30,7 @@ fn measure<G: Generator>(
         let cfg = ExpConfig { format: fmt, device: DeviceProfile::RAM, ..Default::default() };
         let mut gen = make_gen();
         let (cluster, _) = ingest(&mut gen, n, &cfg, Some(closed.clone()));
-        cluster.merge_all();
+        cluster.merge_all().unwrap();
         (name, disk_size(&cluster))
     })
     .collect()

@@ -59,7 +59,7 @@ fn main() {
         let cfg = ExpConfig { format: fmt, device: DeviceProfile::SATA_SSD, ..Default::default() };
         let mut gen = WideGen::new(1);
         let (cluster, _) = ingest(&mut gen, n_large, &cfg, Some(wide_closed_type()));
-        cluster.merge_all();
+        cluster.merge_all().unwrap();
         let cells: Vec<String> = probes
             .iter()
             .map(|q| {
@@ -89,7 +89,7 @@ fn main() {
             };
             let mut gen = WideGen::new(1);
             let (cluster, _) = ingest(&mut gen, n_small, &cfg, Some(wide_closed_type()));
-            cluster.merge_all();
+            cluster.merge_all().unwrap();
             let cells: Vec<String> = probes
                 .iter()
                 .map(|q| {

@@ -68,7 +68,7 @@ fn main() {
                     ExpConfig { format: fmt, compression: scheme, device, ..Default::default() };
                 let mut gen = SensorsGen::new(1);
                 let (cluster, _) = ingest(&mut gen, n, &cfg, Some(sensors_closed_type()));
-                cluster.merge_all();
+                cluster.merge_all().unwrap();
                 let exec = ExecOptions::with_engine(engine);
                 let cells: Vec<String> = queries(opts)
                     .iter()

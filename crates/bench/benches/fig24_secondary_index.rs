@@ -57,7 +57,7 @@ fn main() {
             let ts_max =
                 records.last().unwrap().get_field("timestamp_ms").unwrap().as_i64().unwrap();
             cluster.feed(records, FeedMode::Insert).expect("feed");
-            cluster.flush_all();
+            cluster.flush_all().unwrap();
             let span = (ts_max - ts_min) as f64;
             let cells: Vec<String> = selectivities
                 .iter()

@@ -38,7 +38,7 @@ fn main() {
             let mut gen = TwitterGen::new(1);
             let n = per_node * nodes;
             let (cluster, report) = ingest(&mut gen, n, &cfg, Some(twitter_closed_type()));
-            cluster.merge_all();
+            cluster.merge_all().unwrap();
             row(
                 &format!("{nodes}/{fmt_name}"),
                 &[n.to_string(), fmt_bytes(cluster.total_disk_bytes()), fmt_dur(report.total())],

@@ -44,7 +44,7 @@ fn main() {
             let mut gen = TwitterGen::new(1);
             let (cluster, _) =
                 ingest(&mut gen, per_node * nodes, &cfg, Some(twitter_closed_type()));
-            cluster.merge_all();
+            cluster.merge_all().unwrap();
             let mut broadcast = 0u64;
             let cells: Vec<String> = queries
                 .iter()

@@ -45,6 +45,14 @@ struct Cell {
     primary_stall: Duration,
     flushes: u64,
     merges: u64,
+    /// Fault-path counters, summed across partitions. All structurally
+    /// zero in a clean bench run — printed so a regression that starts
+    /// injecting faults (or tripping checksums) in production paths is
+    /// impossible to miss in the perf trajectory.
+    faults_injected: u64,
+    checksum_failures: u64,
+    transient_retries: u64,
+    quarantined_components: u64,
 }
 
 fn dataset_config(background: bool) -> DatasetConfig {
@@ -83,14 +91,27 @@ fn max_primary_stall(c: &Cluster) -> Duration {
     )
 }
 
+/// Sum the fault-path counters across all partitions.
+fn fault_counters(c: &Cluster) -> (u64, u64, u64, u64) {
+    c.partitions().iter().map(|p| p.lsm_stats()).fold((0, 0, 0, 0), |acc, s| {
+        (
+            acc.0 + s.faults_injected,
+            acc.1 + s.checksum_failures,
+            acc.2 + s.transient_retries,
+            acc.3 + s.quarantined_components,
+        )
+    })
+}
+
 fn run_insert(background: bool, records: &[Value]) -> Cell {
     let c = cluster(background);
     let report = c.feed(records.to_vec(), FeedMode::Insert).expect("insert feed");
     c.await_quiescent();
-    c.flush_all();
+    c.flush_all().unwrap();
     let stats: Vec<_> = c.partitions().iter().map(|p| p.lsm_stats()).collect();
     let ingested: u64 = c.partitions().iter().map(|p| p.ingested()).sum();
     assert_eq!(ingested, records.len() as u64, "no records may be lost");
+    let (faults, cksum, retries, quarantined) = fault_counters(&c);
     Cell {
         feed: "fig17a_insert",
         mode: if background { "background" } else { "sync" },
@@ -102,6 +123,10 @@ fn run_insert(background: bool, records: &[Value]) -> Cell {
         primary_stall: max_primary_stall(&c),
         flushes: stats.iter().map(|s| s.flushes).sum(),
         merges: stats.iter().map(|s| s.merges).sum(),
+        faults_injected: faults,
+        checksum_failures: cksum,
+        transient_retries: retries,
+        quarantined_components: quarantined,
     }
 }
 
@@ -111,7 +136,8 @@ fn run_upsert(background: bool, originals: &[Value], updates: &[Value]) -> Cell 
     c.await_quiescent();
     let report = c.feed(updates.to_vec(), FeedMode::Upsert).expect("upsert feed");
     c.await_quiescent();
-    c.flush_all();
+    c.flush_all().unwrap();
+    let (faults, cksum, retries, quarantined) = fault_counters(&c);
     Cell {
         feed: "fig17b_upsert50",
         mode: if background { "background" } else { "sync" },
@@ -123,7 +149,54 @@ fn run_upsert(background: bool, originals: &[Value], updates: &[Value]) -> Cell 
         primary_stall: max_primary_stall(&c),
         flushes: c.partitions().iter().map(|p| p.lsm_stats().flushes).sum(),
         merges: c.partitions().iter().map(|p| p.lsm_stats().merges).sum(),
+        faults_injected: faults,
+        checksum_failures: cksum,
+        transient_retries: retries,
+        quarantined_components: quarantined,
     }
+}
+
+/// Zero-fault checksum overhead A/B: the identical ingest → flush → merge
+/// → full-scan pipeline with end-to-end integrity (WAL CRCs + page/footer
+/// checksums) on vs. off, on a RAM device so the measurement is pure CPU.
+/// Returns (on, off) wall times, best of `rounds`.
+fn integrity_ab(records: &[Value], rounds: usize) -> (Duration, Duration) {
+    use tc_query::exec::ExecOptions;
+    use tc_query::paper_queries::{single_i64, twitter_q1};
+    use tc_query::plan::QueryOptions;
+
+    let run = |integrity: bool| -> Duration {
+        let c = Cluster::create_dataset(
+            ClusterConfig {
+                nodes: 1,
+                partitions_per_node: 2,
+                device: DeviceProfile::RAM,
+                cache_budget_per_node: 32 * 1024 * 1024,
+            },
+            dataset_config(false).with_integrity_checks(integrity),
+        );
+        let start = std::time::Instant::now();
+        c.feed(records.to_vec(), FeedMode::Insert).expect("integrity A/B feed");
+        c.flush_all().unwrap();
+        c.merge_all().unwrap();
+        c.clear_caches();
+        let res = c.query(&twitter_q1(QueryOptions::default()), &ExecOptions::default()).unwrap();
+        assert_eq!(single_i64(&res.rows), Some(records.len() as i64));
+        let el = start.elapsed();
+        if std::env::var("TC_DEBUG_VOLUME").is_ok() {
+            let (r, w): (u64, u64) = c
+                .nodes()
+                .iter()
+                .flat_map(|n| n.devices.iter())
+                .fold((0, 0), |acc, d| (acc.0 + d.bytes_read(), acc.1 + d.bytes_written()));
+            eprintln!("integrity={integrity}: read {}MB written {}MB", r >> 20, w >> 20);
+        }
+        el
+    };
+    let best = |integrity: bool| (0..rounds).map(|_| run(integrity)).min().unwrap();
+    let off = best(false); // cold-start order: off first, on second
+    let on = best(true);
+    (on, off)
 }
 
 fn ms(d: Duration) -> f64 {
@@ -134,7 +207,9 @@ fn json_cell(c: &Cell) -> String {
     format!(
         "    {{\"feed\": \"{}\", \"mode\": \"{}\", \"records\": {}, \"total_ms\": {}, \
          \"wall_ms\": {}, \"io_ms\": {}, \"writer_stall_ms\": {}, \
-         \"primary_stall_ms\": {}, \"flushes\": {}, \"merges\": {}}}",
+         \"primary_stall_ms\": {}, \"flushes\": {}, \"merges\": {}, \
+         \"faults_injected\": {}, \"checksum_failures\": {}, \
+         \"transient_retries\": {}, \"quarantined_components\": {}}}",
         c.feed,
         c.mode,
         c.records,
@@ -144,7 +219,11 @@ fn json_cell(c: &Cell) -> String {
         ms(c.writer_stall),
         ms(c.primary_stall),
         c.flushes,
-        c.merges
+        c.merges,
+        c.faults_injected,
+        c.checksum_failures,
+        c.transient_retries,
+        c.quarantined_components
     )
 }
 
@@ -210,11 +289,32 @@ fn main() {
         );
     }
 
+    // Zero-fault integrity overhead: the whole checksummed-I/O layer (WAL
+    // record CRCs, page + footer + LAF checksums) must cost under 5% on the
+    // clean path. A small absolute slack absorbs scheduler noise at smoke
+    // scale.
+    let (on, off) = integrity_ab(&originals, 3);
+    let overhead_pct =
+        if off.is_zero() { 0.0 } else { (on.as_secs_f64() / off.as_secs_f64() - 1.0) * 100.0 };
+    println!(
+        "\nintegrity A/B: on {:.2}ms / off {:.2}ms ({overhead_pct:+.2}% overhead)",
+        ms(on),
+        ms(off)
+    );
+    assert!(
+        on <= off + off / 20 + Duration::from_millis(15),
+        "checksum overhead must stay under 5% (+noise): on {on:?} vs off {off:?}"
+    );
+
     let json = format!(
         "{{\n  \"experiment\": \"fig17_ingest_smoke\",\n  \"description\": \"Fig 17a/17b feeds, \
          synchronous vs background flush scheduling\",\n  \"records_per_feed\": {n},\n  \
          \"topology\": {{\"nodes\": 1, \"partitions_per_node\": 2, \"device\": \"nvme\"}},\n  \
+         \"integrity_ab\": {{\"on_ms\": {}, \"off_ms\": {}, \"overhead_pct\": {:.2}}},\n  \
          \"cells\": [\n{}\n  ]\n}}\n",
+        ms(on),
+        ms(off),
+        overhead_pct,
         cells.iter().map(json_cell).collect::<Vec<_>>().join(",\n")
     );
     std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");

@@ -99,7 +99,7 @@ fn main() {
     let cfg = ExpConfig::default();
     let mut gen = SensorsGen::new(1);
     let (cluster, _) = ingest(&mut gen, n, &cfg, None);
-    cluster.merge_all();
+    cluster.merge_all().unwrap();
 
     let opts = QueryOptions::default();
     let scanfilter = q::sensors_q4_scanfilter(opts, DAY_START, DAY_START + Q4_WINDOW_MS);

@@ -90,7 +90,7 @@ pub fn ingest<G: Generator>(
         Cluster::create_dataset(cfg.cluster_config(), cfg.dataset_config(gen.name(), closed));
     let records: Vec<Value> = (0..n).map(|_| gen.next_record()).collect();
     let report = cluster.feed(records, FeedMode::Insert).expect("feed");
-    cluster.flush_all();
+    cluster.flush_all().unwrap();
     (cluster, report)
 }
 

@@ -10,6 +10,7 @@
 use std::time::{Duration, Instant};
 
 use tc_adm::{AdmError, Value};
+use tuple_compactor::WriterToken;
 
 use crate::Cluster;
 
@@ -34,6 +35,42 @@ impl FeedReport {
     /// The experiment's reported ingestion time: CPU + IO stall.
     pub fn total(&self) -> Duration {
         self.wall + self.io
+    }
+}
+
+/// Attempts per record before a transient storage fault fails the feed.
+const MAX_INSERT_ATTEMPTS: u32 = 3;
+
+/// Capped exponential backoff between per-record retries: 2ms, 4ms, ...
+/// capped at 16ms. Blocking — runs on a feed partition thread only.
+fn backoff_sleep(attempt: u32) {
+    std::thread::sleep(Duration::from_millis(1u64 << attempt.min(4)));
+}
+
+/// Apply one record, retrying transient storage faults with capped backoff.
+/// A primary insert that errored was not applied (the WAL append fails
+/// before the memtable changes), so the retry cannot double-apply; a
+/// repeated keys-only index insert is idempotent. Permanent faults and
+/// corruption fail the feed immediately.
+fn apply_with_retry(
+    writer: &mut WriterToken<'_>,
+    record: &Value,
+    mode: FeedMode,
+) -> Result<(), AdmError> {
+    let mut attempt = 0u32;
+    loop {
+        let res = match mode {
+            FeedMode::Insert => writer.insert(record),
+            FeedMode::Upsert => writer.upsert(record),
+        };
+        match res {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_transient() && attempt + 1 < MAX_INSERT_ATTEMPTS => {
+                attempt += 1;
+                backoff_sleep(attempt);
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -75,10 +112,7 @@ impl Cluster {
                         // feed thread *is* the partition's logical writer.
                         let mut writer = partition.writer();
                         for record in &batch {
-                            match mode {
-                                FeedMode::Insert => writer.insert(record)?,
-                                FeedMode::Upsert => writer.upsert(record)?,
-                            }
+                            apply_with_retry(&mut writer, record, mode)?;
                         }
                         Ok(())
                     })
@@ -133,7 +167,7 @@ mod tests {
         let report = c.feed(records, FeedMode::Insert).unwrap();
         assert_eq!(report.records, 300);
         assert!(report.io > Duration::ZERO, "writes charge IO");
-        c.flush_all();
+        c.flush_all().unwrap();
         let res = c.query(&twitter_q1(QueryOptions::default()), &ExecOptions::default()).unwrap();
         assert_eq!(single_i64(&res.rows), Some(300));
     }
@@ -165,7 +199,7 @@ mod tests {
         };
         let sync = Cluster::create_dataset(topo(), config(false));
         sync.feed(records.clone(), FeedMode::Insert).unwrap();
-        sync.flush_all();
+        sync.flush_all().unwrap();
 
         let bg = Cluster::create_dataset(topo(), config(true));
         bg.feed(records, FeedMode::Insert).unwrap();
@@ -176,7 +210,7 @@ mod tests {
             assert_eq!(p.lsm_stats().writer_stall_nanos, 0, "background writers never stall");
             assert!(p.lsm_stats().flushes > 0, "budget flushes ran on the workers");
         }
-        bg.flush_all();
+        bg.flush_all().unwrap();
 
         for c in [&sync, &bg] {
             let res =
@@ -187,6 +221,34 @@ mod tests {
         let counts =
             |c: &Cluster| -> Vec<u64> { c.partitions().iter().map(|p| p.ingested()).collect() };
         assert_eq!(counts(&sync), counts(&bg));
+    }
+
+    #[test]
+    fn feed_rides_out_transient_fault_storm() {
+        use tc_storage::FaultPlan;
+
+        let c = cluster(StorageFormat::Inferred);
+        // 1% of device operations fail transiently on every device; the
+        // per-record retry with capped backoff must absorb all of it.
+        for (i, node) in c.nodes().iter().enumerate() {
+            for (j, d) in node.devices.iter().enumerate() {
+                d.set_fault_plan(
+                    FaultPlan::new(100 + (i * 8 + j) as u64).with_transient_rate_permille(10),
+                );
+            }
+        }
+        let mut gen = TwitterGen::new(21);
+        let records: Vec<_> = (0..300).map(|_| gen.next_record()).collect();
+        let report = c.feed(records, FeedMode::Insert).unwrap();
+        assert_eq!(report.records, 300);
+        for node in c.nodes() {
+            for d in &node.devices {
+                d.clear_fault_plan();
+            }
+        }
+        c.flush_all().unwrap();
+        let res = c.query(&twitter_q1(QueryOptions::default()), &ExecOptions::default()).unwrap();
+        assert_eq!(single_i64(&res.rows), Some(300), "no acked write lost to the storm");
     }
 
     #[test]
@@ -205,7 +267,7 @@ mod tests {
             .collect();
         let report = c.feed(updates, FeedMode::Upsert).unwrap();
         assert_eq!(report.records, 100);
-        c.flush_all();
+        c.flush_all().unwrap();
         let res = c.query(&twitter_q1(QueryOptions::default()), &ExecOptions::default()).unwrap();
         assert_eq!(single_i64(&res.rows), Some(200), "upserts never add keys");
     }

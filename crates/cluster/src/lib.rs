@@ -155,10 +155,11 @@ impl Cluster {
     }
 
     /// Flush every partition (and its auxiliary indexes) synchronously.
-    pub fn flush_all(&self) {
+    pub fn flush_all(&self) -> Result<(), AdmError> {
         for p in self.partitions() {
-            p.flush();
+            p.flush()?;
         }
+        Ok(())
     }
 
     /// Block until every partition's background maintenance has drained.
@@ -169,10 +170,11 @@ impl Cluster {
     }
 
     /// Merge every partition down to one component.
-    pub fn merge_all(&self) {
+    pub fn merge_all(&self) -> Result<(), AdmError> {
         for p in self.partitions() {
-            p.force_full_merge();
+            p.force_full_merge()?;
         }
+        Ok(())
     }
 
     /// Total primary-index bytes on disk (Fig 16 / Fig 25a metric).
@@ -236,7 +238,7 @@ mod tests {
         for _ in 0..200 {
             c.insert(&gen.next_record()).unwrap();
         }
-        c.flush_all();
+        c.flush_all().unwrap();
         let sizes: Vec<u64> = c.partitions().iter().map(|p| p.ingested()).collect();
         assert_eq!(sizes.iter().sum::<u64>(), 200);
         assert!(sizes.iter().all(|&s| s > 20), "reasonable spread: {sizes:?}");
@@ -254,7 +256,7 @@ mod tests {
         for _ in 0..150 {
             c.insert(&gen.next_record()).unwrap();
         }
-        c.flush_all();
+        c.flush_all().unwrap();
         let res = c.query(&twitter_q1(QueryOptions::default()), &ExecOptions::default()).unwrap();
         assert_eq!(single_i64(&res.rows), Some(150));
         assert_eq!(res.stats.partitions, 6);
@@ -275,7 +277,7 @@ mod tests {
                 c.insert(&parse(&format!(r#"{{"id": {i}, "common": 1}}"#)).unwrap()).unwrap();
             }
         }
-        c.flush_all();
+        c.flush_all().unwrap();
         let partitions = c.partitions();
         let with_field: Vec<usize> = partitions
             .iter()
@@ -297,7 +299,7 @@ mod tests {
         }
         assert!(c.delete(7).unwrap());
         c.upsert(&parse(r#"{"id": 8, "v": 2}"#).unwrap()).unwrap();
-        c.flush_all();
+        c.flush_all().unwrap();
         assert_eq!(c.get(7).unwrap(), None);
         assert_eq!(c.get(8).unwrap().unwrap().get_field("v").unwrap().as_i64(), Some(2));
         let res = c.query(&twitter_q1(QueryOptions::default()), &ExecOptions::default()).unwrap();
@@ -314,7 +316,7 @@ mod tests {
                 for _ in 0..120 {
                     c.insert(&gen.next_record()).unwrap();
                 }
-                c.flush_all();
+                c.flush_all().unwrap();
                 let res =
                     c.query(&twitter_q1(QueryOptions::default()), &ExecOptions::default()).unwrap();
                 single_i64(&res.rows).unwrap()

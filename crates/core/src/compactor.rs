@@ -32,6 +32,12 @@ pub struct TupleCompactor {
     /// Bumped by `load_schema` (recovery), which may shrink/replace the
     /// dictionary without changing its length.
     generation: std::sync::atomic::AtomicU64,
+    /// Schema snapshot taken at `begin_flush`, restored by `abort_flush`
+    /// when the flush fails on a storage fault — so a retried flush
+    /// re-infers the same frozen entries against the same starting schema
+    /// instead of double-counting them. Unranked leaf lock: held only with
+    /// nothing, or directly inside `schema`.
+    flush_backup: StdMutex<Option<Schema>>,
     /// The dataset's declared type (to skip declared fields during
     /// anti-schema processing).
     declared: ObjectType,
@@ -46,6 +52,7 @@ impl TupleCompactor {
                 (0, 0, std::sync::Arc::new(Default::default())),
             ),
             generation: std::sync::atomic::AtomicU64::new(0),
+            flush_backup: StdMutex::new(None),
             declared,
         }
     }
@@ -90,6 +97,29 @@ impl TupleCompactor {
 }
 
 impl ComponentHook for TupleCompactor {
+    /// Snapshot the schema before any frozen entry is processed: if the
+    /// flush later fails on a storage fault, `abort_flush` rolls back to
+    /// this point so the retry does not double-evolve the schema.
+    fn begin_flush(&self) {
+        let snapshot = self.schema.lock().clone();
+        *self.flush_backup.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some(snapshot);
+    }
+
+    /// A flush attempt failed after `begin_flush`: restore the snapshot and
+    /// bump the generation so cached dictionary snapshots are invalidated
+    /// (the dictionary may have grown during the aborted attempt and a
+    /// restore can shrink it without changing its length).
+    fn abort_flush(&self) {
+        let snapshot =
+            self.flush_backup.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        if let Some(schema) = snapshot {
+            let mut guard = self.schema.lock();
+            self.generation.fetch_add(1, Ordering::AcqRel);
+            *guard = schema;
+        }
+    }
+
     /// Flush-time transformation: one pass infers the schema and strips
     /// field names (§3.3.2).
     fn on_flush_record(&self, payload: &[u8]) -> Vec<u8> {
@@ -137,6 +167,41 @@ enum Job {
     /// are scheduled after flushes change the component list).
     FlushThenMerge,
     Shutdown,
+}
+
+/// Maximum attempts per maintenance round before a transient fault is
+/// treated like a permanent one for this round (the round gives up and the
+/// next over-budget write reschedules it).
+const MAX_MAINTENANCE_ATTEMPTS: u32 = 3;
+
+/// Capped exponential backoff between retries of a transiently-failed
+/// maintenance round: 1ms, 2ms, 4ms, ... capped at 16ms. Blocking — only
+/// ever called on the maintenance worker thread, never on a writer.
+fn backoff_sleep(attempt: u32) {
+    let ms = 1u64 << attempt.min(4);
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+}
+
+/// One maintenance round: flush, then evaluate the merge policy. Transient
+/// storage faults are retried with capped backoff; permanent faults and
+/// corruption give the round up (the tree has already counted them in
+/// `maintenance_errors` and left itself exactly as before the attempt, so
+/// the next over-budget write simply reschedules). Storage errors never
+/// poison the worker — only panics do.
+fn run_round(tree: &LsmTree) {
+    let mut attempt = 0u32;
+    loop {
+        let outcome = tree.flush().and_then(|()| tree.maybe_merge());
+        match outcome {
+            Ok(()) => return,
+            Err(e) if e.is_transient() && attempt + 1 < MAX_MAINTENANCE_ATTEMPTS => {
+                tree.note_retry();
+                backoff_sleep(attempt);
+                attempt += 1;
+            }
+            Err(_) => return,
+        }
+    }
 }
 
 /// Outstanding-work gauge: counts queued + in-flight jobs so
@@ -227,8 +292,7 @@ impl MaintenanceWorker {
                             worker_queued.store(false, Ordering::SeqCst);
                             if !worker_poisoned.load(Ordering::SeqCst)
                                 && std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    tree.flush();
-                                    tree.maybe_merge();
+                                    run_round(&tree);
                                 }))
                                 .is_err()
                             {
@@ -380,7 +444,7 @@ mod tests {
         let worker = MaintenanceWorker::spawn(Arc::clone(&tree));
         for round in 0..3u64 {
             for i in 0..50u64 {
-                tree.insert(encode_u64_key(round * 100 + i), vec![0u8; 32]);
+                tree.insert(encode_u64_key(round * 100 + i), vec![0u8; 32]).unwrap();
             }
             assert!(worker.schedule_flush());
             worker.await_quiescent();
@@ -417,7 +481,7 @@ mod tests {
             },
         ));
         let worker = MaintenanceWorker::spawn(Arc::clone(&tree));
-        tree.insert(encode_u64_key(1), b"x".to_vec());
+        tree.insert(encode_u64_key(1), b"x".to_vec()).unwrap();
         assert!(worker.schedule_flush());
         // The flush panics on the worker; the gauge must still settle so
         // this returns instead of hanging forever.
@@ -468,10 +532,10 @@ mod tests {
             },
         ));
         let worker = MaintenanceWorker::spawn(Arc::clone(&tree));
-        tree.insert(encode_u64_key(1), b"x".to_vec());
+        tree.insert(encode_u64_key(1), b"x".to_vec()).unwrap();
         assert!(worker.schedule_flush(), "job 1 accepted");
         entered_rx.recv().unwrap(); // job 1 started (latch cleared) and is now gated
-        tree.insert(encode_u64_key(2), b"y".to_vec());
+        tree.insert(encode_u64_key(2), b"y".to_vec()).unwrap();
         assert!(worker.schedule_flush(), "latch re-arms once job 1 starts");
         // While job 2 sits queued behind the gated job 1, every repeat must
         // dedupe.
@@ -482,6 +546,68 @@ mod tests {
         release_tx.send(()).unwrap(); // job 2's record
         worker.await_quiescent();
         assert_eq!(tree.stats().flushes, 2, "both distinct jobs flushed");
+    }
+
+    #[test]
+    fn abort_flush_restores_schema_snapshot() {
+        let c = TupleCompactor::new(pk_type());
+        let r1 = raw(&c, r#"{"id": 0, "name": "Kim"}"#);
+        c.begin_flush();
+        c.on_flush_record(&r1);
+        let r2 = raw(&c, r#"{"id": 1, "age": 26}"#);
+        c.on_flush_record(&r2);
+        {
+            let s = c.schema_snapshot();
+            assert_eq!(s.record_count(), 2);
+        }
+        // The flush fails on a storage fault: the schema rolls back to the
+        // pre-flush snapshot so the retried flush re-infers from scratch.
+        c.abort_flush();
+        let s = c.schema_snapshot();
+        assert_eq!(s.record_count(), 0, "aborted flush leaves the schema untouched");
+        assert!(s.lookup_field(s.root(), "name").is_none());
+        // The retry then replays the same records without double-counting.
+        c.begin_flush();
+        c.on_flush_record(&r1);
+        c.on_flush_record(&r2);
+        let s = c.schema_snapshot();
+        assert_eq!(s.record_count(), 2);
+    }
+
+    #[test]
+    fn worker_retries_transient_fault_without_poisoning() {
+        use tc_lsm::entry::encode_u64_key;
+        use tc_lsm::{LsmOptions, MergePolicy, NoopHook};
+        use tc_storage::device::{Device, DeviceProfile};
+        use tc_storage::{BufferCache, FaultKind, FaultPlan, IoOp};
+
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        let tree = Arc::new(LsmTree::new(
+            Arc::clone(&device),
+            Arc::new(BufferCache::new(256)),
+            Arc::new(NoopHook),
+            LsmOptions {
+                auto_flush: false,
+                merge_policy: MergePolicy::NoMerge,
+                ..Default::default()
+            },
+        ));
+        let worker = MaintenanceWorker::spawn(Arc::clone(&tree));
+        for i in 0..20u64 {
+            tree.insert(encode_u64_key(i), vec![7u8; 16]).unwrap();
+        }
+        // The first write of the flush fails transiently; the worker's
+        // capped backoff retries the round and the resumable flush
+        // completes on the second attempt.
+        device.set_fault_plan(FaultPlan::new(11).fail_nth(IoOp::Write, 1, FaultKind::Transient));
+        assert!(worker.schedule_flush());
+        worker.await_quiescent();
+        device.clear_fault_plan();
+        assert!(!worker.is_poisoned(), "storage faults never poison the worker");
+        let stats = tree.stats();
+        assert_eq!(stats.flushes, 1, "retried round completed the flush");
+        assert!(stats.transient_retries >= 1, "retry was counted");
+        assert_eq!(tree.count(), 20);
     }
 
     #[test]

@@ -66,6 +66,10 @@ pub struct DatasetConfig {
     /// flush/merge work; readers keep full access throughout (the paper's
     /// "free" piggybacked compaction actually leaves the write path).
     pub background_maintenance: bool,
+    /// Verify per-page checksums on every component read (and stamp them on
+    /// every write). On by default; disable only to measure the checksum
+    /// overhead itself (`bench_ingest` does an A/B run).
+    pub integrity: bool,
 }
 
 impl DatasetConfig {
@@ -96,6 +100,7 @@ impl DatasetConfig {
             secondary_index_on: None,
             bloom_bits_per_key: 10,
             background_maintenance: false,
+            integrity: true,
         }
     }
 
@@ -149,6 +154,11 @@ impl DatasetConfig {
         self.background_maintenance = enabled;
         self
     }
+
+    pub fn with_integrity_checks(mut self, enabled: bool) -> Self {
+        self.integrity = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -171,12 +181,14 @@ mod tests {
             .with_compression(CompressionScheme::Snappy)
             .with_primary_key_index(true)
             .with_secondary_index("timestamp_ms")
-            .with_background_maintenance(true);
+            .with_background_maintenance(true)
+            .with_integrity_checks(false);
         assert_eq!(c.format, StorageFormat::Open);
         assert_eq!(c.compression, CompressionScheme::Snappy);
         assert!(c.primary_key_index);
         assert_eq!(c.secondary_index_on.as_deref(), Some("timestamp_ms"));
         assert!(c.background_maintenance);
+        assert!(!c.integrity);
     }
 
     #[test]

@@ -46,16 +46,26 @@ use tc_lsm::secondary::{PrimaryKeyIndex, SecondaryIndex};
 use tc_lsm::{ComponentHook, LsmOptions, LsmTree, NoopHook};
 use tc_schema::Schema;
 use tc_storage::device::Device;
-use tc_storage::BufferCache;
+use tc_storage::{BufferCache, StorageError};
 
 use crate::compactor::{MaintenanceWorker, TupleCompactor};
 use crate::config::{DatasetConfig, StorageFormat};
 use crate::decoder::RecordDecoder;
 
+/// A decoder plus per-key payload hits captured from one consistent
+/// snapshot (see `Dataset::snapshot_lookup`).
+type SnapshotLookup = (RecordDecoder, Vec<Option<Vec<u8>>>);
+
 /// Writers stall once the active memtable exceeds this multiple of its
 /// budget while background maintenance is catching up (bounded memory
 /// under saturation; see `maybe_schedule_maintenance`).
 pub const BACKPRESSURE_OVERHANG_FACTOR: usize = 4;
+
+/// Map a storage fault onto the data-path error type, preserving the
+/// transient/permanent split so feeds can decide whether to retry.
+fn storage_err(e: StorageError) -> AdmError {
+    AdmError::storage(e.to_string(), e.is_transient())
+}
 
 /// A dataset partition.
 pub struct Dataset {
@@ -141,6 +151,7 @@ impl Dataset {
             merge_policy: config.merge_policy,
             bloom_bits_per_key: config.bloom_bits_per_key,
             wal_enabled: config.wal_enabled,
+            integrity: config.integrity,
             // With a background worker, the writer never flushes inline;
             // the scheduler below reacts to the budget instead.
             auto_flush: !config.background_maintenance,
@@ -266,12 +277,16 @@ impl Dataset {
         let (_, key) = self.primary_key_of(record)?;
         let bytes = self.encode_record(record)?;
         if let Some(sec) = self.secondary_key_of(record) {
-            self.secondary.as_ref().expect("secondary configured").insert(&sec, &key);
+            self.secondary
+                .as_ref()
+                .expect("secondary configured")
+                .insert(&sec, &key)
+                .map_err(storage_err)?;
         }
         if let Some(pki) = self.pk_index.as_ref() {
-            pki.insert(&key);
+            pki.insert(&key).map_err(storage_err)?;
         }
-        let over_budget = self.primary.insert(key, bytes);
+        let over_budget = self.primary.insert(key, bytes).map_err(storage_err)?;
         self.ingested.fetch_add(1, Ordering::Relaxed);
         self.maybe_schedule_maintenance(over_budget);
         Ok(())
@@ -280,21 +295,50 @@ impl Dataset {
     fn upsert_unchecked(&self, record: &Value) -> Result<(), AdmError> {
         let (_, key) = self.primary_key_of(record)?;
         let may_exist = match &self.pk_index {
-            Some(pki) => pki.contains(&key),
+            Some(pki) => pki.contains(&key).map_err(storage_err)?,
             None => true,
         };
-        if may_exist {
-            if let Some(old) = self.lookup_live(&key) {
-                // The insert below re-checks the budget and schedules.
-                let _ = self.delete_found(&key, &old)?;
+        let old = if may_exist { self.lookup_live(&key)? } else { None };
+        let Some(old_bytes) = old else {
+            return self.insert_unchecked(record);
+        };
+        // Replacing a live record: fix the secondary index, compute the old
+        // version's anti-schema, and run the swap through the tree's atomic
+        // replace — ONE WAL record, so a crash can never replay the delete
+        // half without the insert half (which would lose the durably-acked
+        // old version). The primary-key index is untouched: the key stays
+        // present throughout.
+        let needs_value = self.compactor.is_some() || self.secondary.is_some();
+        let attachment = if needs_value {
+            let old = self.decoder().materialize(&old_bytes)?;
+            if let Some(sec) = self.secondary_key_of(&old) {
+                self.secondary
+                    .as_ref()
+                    .expect("secondary configured")
+                    .delete(&sec, &key)
+                    .map_err(storage_err)?;
             }
+            self.compactor.as_ref().map(|_| tc_vector::encode(&old, Some(&self.config.datatype)))
+        } else {
+            None
+        };
+        if let Some(sec) = self.secondary_key_of(record) {
+            self.secondary
+                .as_ref()
+                .expect("secondary configured")
+                .insert(&sec, &key)
+                .map_err(storage_err)?;
         }
-        self.insert_unchecked(record)
+        let bytes = self.encode_record(record)?;
+        let over_budget = self.primary.replace(key, bytes, attachment).map_err(storage_err)?;
+        self.ingested.fetch_add(1, Ordering::Relaxed);
+        self.maybe_schedule_maintenance(over_budget);
+        Ok(())
     }
 
     fn delete_unchecked(&self, pk: i64) -> Result<bool, AdmError> {
         let key = encode_i64_key(pk);
-        match self.lookup_live(&key) {
+        match self.lookup_live(&key)? {
             None => Ok(false),
             Some(old) => {
                 let over_budget = self.delete_found(&key, &old)?;
@@ -305,10 +349,10 @@ impl Dataset {
     }
 
     /// Live-record lookup (any source; deleted keys report as absent).
-    fn lookup_live(&self, key: &[u8]) -> Option<Vec<u8>> {
-        match self.primary.get_entry(key)? {
-            (tc_lsm::EntryKind::Record, payload) => Some(payload),
-            (tc_lsm::EntryKind::AntiMatter, _) => None,
+    fn lookup_live(&self, key: &[u8]) -> Result<Option<Vec<u8>>, AdmError> {
+        match self.primary.get_entry(key).map_err(storage_err)? {
+            Some((tc_lsm::EntryKind::Record, payload)) => Ok(Some(payload)),
+            _ => Ok(None),
         }
     }
 
@@ -331,7 +375,11 @@ impl Dataset {
         let attachment = if needs_value {
             let old = self.decoder().materialize(old_bytes)?;
             if let Some(sec) = self.secondary_key_of(&old) {
-                self.secondary.as_ref().expect("secondary configured").delete(&sec, key);
+                self.secondary
+                    .as_ref()
+                    .expect("secondary configured")
+                    .delete(&sec, key)
+                    .map_err(storage_err)?;
             }
             // Anti-schema: the old record re-encoded uncompacted; the
             // compactor walks it to decrement counters at flush (§3.2.2).
@@ -340,9 +388,9 @@ impl Dataset {
             None
         };
         if let Some(pki) = self.pk_index.as_ref() {
-            pki.delete(key);
+            pki.delete(key).map_err(storage_err)?;
         }
-        Ok(self.primary.delete_versioned(key.clone(), attachment))
+        self.primary.delete_versioned(key.clone(), attachment).map_err(storage_err)
     }
 
     fn bulk_load_unchecked<I>(&self, records: I) -> Result<u64, AdmError>
@@ -360,18 +408,18 @@ impl Dataset {
         if let Some(sec_idx) = self.secondary.as_ref() {
             for (key, _, sec) in &keyed {
                 if let Some(sec) = sec {
-                    sec_idx.insert(sec, key);
+                    sec_idx.insert(sec, key).map_err(storage_err)?;
                 }
             }
-            sec_idx.flush();
+            sec_idx.flush().map_err(storage_err)?;
         }
         if let Some(pki) = self.pk_index.as_ref() {
             for (key, _, _) in &keyed {
-                pki.insert(key);
+                pki.insert(key).map_err(storage_err)?;
             }
-            pki.flush();
+            pki.flush().map_err(storage_err)?;
         }
-        self.primary.bulk_load(keyed.into_iter().map(|(k, b, _)| (k, b)));
+        self.primary.bulk_load(keyed.into_iter().map(|(k, b, _)| (k, b))).map_err(storage_err)?;
         self.ingested.fetch_add(n, Ordering::Relaxed);
         Ok(n)
     }
@@ -380,10 +428,12 @@ impl Dataset {
     // Lookup / scan
     // -----------------------------------------------------------------
 
-    /// Point lookup by primary key.
+    /// Point lookup by primary key. A quarantined or corrupt component
+    /// fails the lookup with a typed [`AdmError::Storage`] — skipping it
+    /// could resurrect a deleted key, so point reads never degrade.
     pub fn get(&self, pk: i64) -> Result<Option<Value>, AdmError> {
         let key = encode_i64_key(pk);
-        let (decoder, lookup) = self.snapshot_lookup(std::slice::from_ref(&key));
+        let (decoder, lookup) = self.snapshot_lookup(std::slice::from_ref(&key))?;
         match lookup.into_iter().next().flatten() {
             Some(bytes) => Ok(Some(decoder.materialize(&bytes)?)),
             None => Ok(None),
@@ -397,25 +447,25 @@ impl Dataset {
     /// codes a returned record needs (see the module docs). Disk probes run
     /// after the view drops, against the captured (`Arc`-retained)
     /// components, so writers are never blocked on page reads.
-    fn snapshot_lookup(&self, keys: &[Key]) -> (RecordDecoder, Vec<Option<Vec<u8>>>) {
+    fn snapshot_lookup(&self, keys: &[Key]) -> Result<SnapshotLookup, AdmError> {
         let (decoder, mem_hits, components) = {
             let view = self.primary.read_view();
             let mem_hits: Vec<_> = keys.iter().map(|k| view.mem_entry(k)).collect();
             (self.decoder(), mem_hits, view.components())
         };
-        let resolved = keys
-            .iter()
-            .zip(mem_hits)
-            .map(|(key, mem_hit)| {
-                let entry = mem_hit
-                    .or_else(|| LsmTree::probe_components(&components, self.primary.cache(), key));
-                match entry {
-                    Some((tc_lsm::EntryKind::Record, bytes)) => Some(bytes),
-                    _ => None, // absent or anti-matter
-                }
-            })
-            .collect();
-        (decoder, resolved)
+        let mut resolved = Vec::with_capacity(keys.len());
+        for (key, mem_hit) in keys.iter().zip(mem_hits) {
+            let entry = match mem_hit {
+                hit @ Some(_) => hit,
+                None => LsmTree::probe_components(&components, self.primary.cache(), key)
+                    .map_err(storage_err)?,
+            };
+            resolved.push(match entry {
+                Some((tc_lsm::EntryKind::Record, bytes)) => Some(bytes),
+                _ => None, // absent or anti-matter
+            });
+        }
+        Ok((decoder, resolved))
     }
 
     /// A decoder snapshot for this partition's current state. For inferred
@@ -454,11 +504,17 @@ impl Dataset {
     }
 
     /// Materialized scan (tests/examples; queries stream raw + decoder).
+    /// Fails with a typed error if any component degraded mid-scan — the
+    /// permissive "return what survived" policy lives in the query layer
+    /// (`ExecOptions::corruption_policy`), not here.
     pub fn scan_values(&self) -> Result<Vec<Value>, AdmError> {
         let (decoder, mut scan) = self.snapshot_scan();
         let mut out = Vec::new();
         while let Some((_, _, bytes)) = scan.next() {
             out.push(decoder.materialize(&bytes)?);
+        }
+        if let Some(e) = scan.health().first_error() {
+            return Err(storage_err(e.clone()));
         }
         Ok(out)
     }
@@ -475,7 +531,7 @@ impl Dataset {
             .as_ref()
             .ok_or_else(|| AdmError::type_check("no secondary index configured".to_string()))?;
         let pks = sec.range(&encode_i64_key(lo), &encode_i64_key(hi));
-        let (decoder, lookups) = self.snapshot_lookup(&pks);
+        let (decoder, lookups) = self.snapshot_lookup(&pks)?;
         let mut out = Vec::with_capacity(pks.len());
         for bytes in lookups.into_iter().flatten() {
             out.push(decoder.materialize(&bytes)?);
@@ -535,14 +591,15 @@ impl Dataset {
     /// this thread. With background maintenance enabled this still runs
     /// inline — flushes serialize inside the tree, so racing the worker is
     /// safe (one of the two finds an empty memtable and no-ops).
-    pub fn flush(&self) {
-        self.primary.flush();
+    pub fn flush(&self) -> Result<(), AdmError> {
+        self.primary.flush().map_err(storage_err)?;
         if let Some(pki) = self.pk_index.as_ref() {
-            pki.flush();
+            pki.flush().map_err(storage_err)?;
         }
         if let Some(sec) = self.secondary.as_ref() {
-            sec.flush();
+            sec.flush().map_err(storage_err)?;
         }
+        Ok(())
     }
 
     /// Queue a *primary-tree* flush (and a merge-policy pass) on the
@@ -553,11 +610,12 @@ impl Dataset {
     /// Panics if the maintenance pipeline has panicked (same loud-failure
     /// policy as the write path — a silently dropped flush request would
     /// leave callers believing their data durable).
-    pub fn flush_async(&self) {
+    pub fn flush_async(&self) -> Result<(), AdmError> {
         match &self.maintenance {
             Some(worker) => {
                 self.assert_pipeline_alive(worker);
                 worker.schedule_flush();
+                Ok(())
             }
             None => self.flush(),
         }
@@ -590,8 +648,8 @@ impl Dataset {
     }
 
     /// Merge every on-disk component into one.
-    pub fn force_full_merge(&self) {
-        self.primary.force_full_merge();
+    pub fn force_full_merge(&self) -> Result<(), AdmError> {
+        self.primary.force_full_merge().map_err(storage_err)
     }
 
     /// Primary-index on-disk footprint in bytes (Fig 16's metric).
@@ -641,8 +699,10 @@ impl Dataset {
 
     /// Recovery (§3.1.2): drop invalid components, reload the newest valid
     /// component's schema, replay the WAL into the in-memory component.
-    pub fn recover(&self) -> (usize, usize) {
-        let (removed, replayed) = self.primary.recover();
+    /// WAL records with bad checksums truncate the replay at the first
+    /// invalid record (a torn or rotten tail loses only unacked writes).
+    pub fn recover(&self) -> Result<(usize, usize), AdmError> {
+        let (removed, replayed) = self.primary.recover().map_err(storage_err)?;
         if let Some(c) = &self.compactor {
             let schema = self
                 .primary
@@ -651,7 +711,7 @@ impl Dataset {
                 .unwrap_or_default();
             c.load_schema(schema);
         }
-        (removed, replayed)
+        Ok((removed, replayed))
     }
 }
 
@@ -729,7 +789,7 @@ mod tests {
             for i in 0..100 {
                 ds.writer().insert(&employee(i)).unwrap();
             }
-            ds.flush();
+            ds.flush().unwrap();
             for i in (0..100).step_by(13) {
                 let got = ds.get(i).unwrap().unwrap();
                 assert_eq!(got, employee(i), "format {format:?}, id {i}");
@@ -759,10 +819,10 @@ mod tests {
         // Fig 9 scenario.
         ds.writer().insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
         ds.writer().insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
-        ds.flush();
+        ds.flush().unwrap();
         ds.writer().insert(&parse(r#"{"id": 2, "name": "Ann"}"#).unwrap()).unwrap();
         ds.writer().insert(&parse(r#"{"id": 3, "name": "Bob", "age": "old"}"#).unwrap()).unwrap();
-        ds.flush();
+        ds.flush().unwrap();
         let s = ds.schema_snapshot().unwrap();
         let (_, age) = s.lookup_field(s.root(), "age").unwrap();
         assert!(s.node(age).matches_tag(TypeTag::Int64));
@@ -777,7 +837,7 @@ mod tests {
             parse(r#"{"id": 3, "name": "Bob", "age": "old"}"#).unwrap()
         );
         // Merge keeps the newest schema and everything stays readable.
-        ds.force_full_merge();
+        ds.force_full_merge().unwrap();
         assert_eq!(ds.scan_values().unwrap().len(), 4);
     }
 
@@ -797,8 +857,8 @@ mod tests {
                     for i in 0..2000 {
                         ds.writer().insert(&employee(i)).unwrap();
                     }
-                    ds.flush();
-                    ds.force_full_merge();
+                    ds.flush().unwrap();
+                    ds.force_full_merge().unwrap();
                     (f, ds.disk_bytes())
                 })
                 .collect();
@@ -817,15 +877,15 @@ mod tests {
             .insert(&parse(r#"{"id": 0, "name": "Kim", "weird": [1, 2]}"#).unwrap())
             .unwrap();
         ds.writer().insert(&parse(r#"{"id": 1, "name": "John"}"#).unwrap()).unwrap();
-        ds.flush();
+        ds.flush().unwrap();
         assert!(ds.writer().delete(0).unwrap());
         assert!(!ds.writer().delete(99).unwrap(), "absent key");
-        ds.flush(); // anti-schema processed here
+        ds.flush().unwrap(); // anti-schema processed here
         assert_eq!(ds.get(0).unwrap(), None);
         let s = ds.schema_snapshot().unwrap();
         assert!(s.lookup_field(s.root(), "weird").is_none(), "weird pruned");
         assert!(s.lookup_field(s.root(), "name").is_some());
-        ds.force_full_merge();
+        ds.force_full_merge().unwrap();
         assert_eq!(ds.scan_values().unwrap().len(), 1);
     }
 
@@ -839,12 +899,12 @@ mod tests {
                 .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
         );
         ds.writer().insert(&parse(r#"{"id": 0, "old_field": 1}"#).unwrap()).unwrap();
-        ds.flush();
+        ds.flush().unwrap();
         // Upsert changes the structure entirely.
         ds.writer().upsert(&parse(r#"{"id": 0, "new_field": "x"}"#).unwrap()).unwrap();
         // Upsert of a brand-new key takes the pk-index fast path.
         ds.writer().upsert(&parse(r#"{"id": 5, "new_field": "y"}"#).unwrap()).unwrap();
-        ds.flush();
+        ds.flush().unwrap();
         let s = ds.schema_snapshot().unwrap();
         assert!(s.lookup_field(s.root(), "old_field").is_none(), "anti-schema pruned it");
         assert!(s.lookup_field(s.root(), "new_field").is_some());
@@ -857,11 +917,11 @@ mod tests {
         let ds = small(StorageFormat::Inferred);
         ds.writer().insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
         ds.writer().insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
-        ds.flush(); // C0 valid, schema persisted
+        ds.flush().unwrap(); // C0 valid, schema persisted
         ds.writer().insert(&parse(r#"{"id": 2, "name": "Ann"}"#).unwrap()).unwrap();
         ds.writer().insert(&parse(r#"{"id": 3, "name": "Bob", "age": "old"}"#).unwrap()).unwrap();
         ds.simulate_crash();
-        let (removed, replayed) = ds.recover();
+        let (removed, replayed) = ds.recover().unwrap();
         assert_eq!(removed, 0);
         assert_eq!(replayed, 2);
         // The recovered in-memory schema is C0's (age: int only) until the
@@ -869,7 +929,7 @@ mod tests {
         let s = ds.schema_snapshot().unwrap();
         let (_, age) = s.lookup_field(s.root(), "age").unwrap();
         assert_eq!(s.node(age).type_tag(), Some(TypeTag::Int64));
-        ds.flush();
+        ds.flush().unwrap();
         let s = ds.schema_snapshot().unwrap();
         let (_, age) = s.lookup_field(s.root(), "age").unwrap();
         assert!(s.node(age).matches_tag(TypeTag::String), "union after re-flush");
@@ -896,7 +956,7 @@ mod tests {
                 )
                 .unwrap();
         }
-        ds.flush();
+        ds.flush().unwrap();
         let hits = ds.secondary_range(1050, 1060).unwrap();
         assert_eq!(hits.len(), 10);
         assert!(hits.iter().all(
@@ -929,7 +989,7 @@ mod tests {
         ds.writer().insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#).unwrap()).unwrap();
         ds.writer().insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#).unwrap()).unwrap();
         ds.writer().insert(&parse(r#"{"id": 2, "name": "Ann", "salary": 9}"#).unwrap()).unwrap();
-        ds.flush();
+        ds.flush().unwrap();
         let s = ds.schema_snapshot().unwrap();
         let (_, name) = s.lookup_field(s.root(), "name").unwrap();
         let (_, age) = s.lookup_field(s.root(), "age").unwrap();
@@ -944,7 +1004,7 @@ mod tests {
         ds.writer().upsert(&parse(r#"{"id": 2, "name": "Ann", "bonus": 1}"#).unwrap()).unwrap();
         let before_flush = ds.schema_snapshot().unwrap();
         assert_eq!(before_flush.record_count(), 3, "anti-schemas apply at flush, not at ingest");
-        ds.flush();
+        ds.flush().unwrap();
 
         let s = ds.schema_snapshot().unwrap();
         let (_, name) = s.lookup_field(s.root(), "name").unwrap();
@@ -963,13 +1023,13 @@ mod tests {
         // by construction is a superset of every older input's schema.
         let ds = small(StorageFormat::Inferred);
         ds.writer().insert(&parse(r#"{"id": 0, "a": 1}"#).unwrap()).unwrap();
-        ds.flush();
+        ds.flush().unwrap();
         let first = Schema::deserialize(&ds.primary().newest_metadata().unwrap()).unwrap();
         ds.writer().insert(&parse(r#"{"id": 1, "a": 2, "b": "x"}"#).unwrap()).unwrap();
-        ds.flush();
+        ds.flush().unwrap();
         assert_eq!(ds.primary().components().len(), 2);
 
-        ds.force_full_merge();
+        ds.force_full_merge().unwrap();
         assert_eq!(ds.primary().components().len(), 1);
         let merged = Schema::deserialize(&ds.primary().newest_metadata().unwrap()).unwrap();
         assert!(merged.is_superset_of(&first), "newest input covers the older");
@@ -1003,7 +1063,7 @@ mod tests {
                     for i in 0..500 {
                         ds.writer().insert(&employee(i)).unwrap();
                     }
-                    ds.flush();
+                    ds.flush().unwrap();
                     ds.disk_bytes()
                 })
                 .collect();
@@ -1030,7 +1090,7 @@ mod tests {
         assert!(stats.flushes > 0, "budget-triggered background flushes happened");
         assert_eq!(stats.writer_stall_nanos, 0, "the writer never flushed inline");
         assert!(ds.primary().components().len() <= 4, "background merges kept up");
-        ds.flush();
+        ds.flush().unwrap();
         assert_eq!(ds.scan_values().unwrap().len(), 800);
         for i in (0..800).step_by(131) {
             assert_eq!(ds.get(i).unwrap().unwrap(), employee(i));
@@ -1060,7 +1120,7 @@ mod tests {
             );
         }
         ds.await_quiescent();
-        ds.flush();
+        ds.flush().unwrap();
         assert_eq!(ds.scan_values().unwrap().len(), 500);
         assert_eq!(ds.lsm_stats().writer_stall_nanos, 0, "no inline flushes — only backpressure");
     }
@@ -1077,7 +1137,7 @@ mod tests {
             ds.writer().insert(&employee(i)).unwrap();
         }
         assert_eq!(ds.primary().components().len(), 0);
-        ds.flush_async();
+        ds.flush_async().unwrap();
         ds.await_quiescent();
         assert_eq!(ds.primary().components().len(), 1);
         assert_eq!(ds.lsm_stats().flushes, 1);

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use tc_compress::CompressionScheme;
 use tc_storage::device::Device;
+use tc_storage::error::StorageError;
 use tc_storage::page_store::{PageStore, PageWriter};
 use tc_storage::BufferCache;
 use tc_util::varint;
@@ -72,6 +73,11 @@ pub struct DiskComponent {
     /// produced this component completed. Recovery removes invalid
     /// components.
     valid: AtomicBool,
+    /// Set once a read detected corruption in this component (a failed page
+    /// checksum or an undecodable block). Quarantined components are
+    /// immutable and stay on disk, but queries either skip them (degrade
+    /// policy) or fail with a typed error — they are never silently decoded.
+    quarantined: AtomicBool,
     num_entries: u64,
     num_antimatter: u64,
 }
@@ -88,6 +94,16 @@ impl DiskComponent {
     /// Set the validity bit (the final step of flush/merge).
     pub fn set_valid(&self) {
         self.valid.store(true, Ordering::Release);
+    }
+
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Acquire)
+    }
+
+    /// Mark the component as corrupt. Idempotent; called by any reader that
+    /// hits a checksum failure or undecodable block inside it.
+    pub fn quarantine(&self) {
+        self.quarantined.store(true, Ordering::Release);
     }
 
     pub fn metadata(&self) -> Option<&[u8]> {
@@ -136,40 +152,63 @@ impl DiskComponent {
         true
     }
 
-    /// Point lookup through the bloom filter and block index.
-    pub fn get(&self, cache: &BufferCache, key: &[u8]) -> Option<(EntryKind, Vec<u8>)> {
+    /// Point lookup through the bloom filter and block index. A checksum
+    /// failure or undecodable block quarantines the component and surfaces
+    /// as a typed error — never as a silent miss or garbage payload.
+    pub fn get(
+        &self,
+        cache: &BufferCache,
+        key: &[u8],
+    ) -> Result<Option<(EntryKind, Vec<u8>)>, StorageError> {
         if self.index.is_empty() || !self.bloom.contains(key) {
-            return None;
+            return Ok(None);
         }
         // Last block whose first_key <= key.
         let idx = match self.index.binary_search_by(|b| b.first_key.as_slice().cmp(key)) {
             Ok(i) => i,
-            Err(0) => return None,
+            Err(0) => return Ok(None),
             Err(i) => i - 1,
         };
-        let block = self.read_block(cache, &self.index[idx]);
+        let block = self.read_block(cache, &self.index[idx])?;
         let mut pos = 0usize;
         while pos < block.len() {
-            let (k, kind, payload, n) = read_entry(&block[pos..])?;
+            let Some((k, kind, payload, n)) = read_entry(&block[pos..]) else {
+                return Err(self.corrupt_block(idx));
+            };
             match k.cmp(key) {
-                std::cmp::Ordering::Equal => return Some((kind, payload.to_vec())),
-                std::cmp::Ordering::Greater => return None,
+                std::cmp::Ordering::Equal => return Ok(Some((kind, payload.to_vec()))),
+                std::cmp::Ordering::Greater => return Ok(None),
                 std::cmp::Ordering::Less => pos += n,
             }
         }
-        None
+        Ok(None)
     }
 
-    fn read_block(&self, cache: &BufferCache, block: &BlockRef) -> Vec<u8> {
+    /// Build the typed error for an undecodable block and quarantine the
+    /// component (the page checksum passed, so this is a writer-side bug or
+    /// in-memory damage — either way the component can't be trusted).
+    fn corrupt_block(&self, block_idx: usize) -> StorageError {
+        self.quarantine();
+        StorageError::corruption(
+            "component block",
+            format!("undecodable entry in block {block_idx} of component {}", self.id),
+        )
+    }
+
+    fn read_block(&self, cache: &BufferCache, block: &BlockRef) -> Result<Vec<u8>, StorageError> {
         let page_size = self.store.page_size();
         let num_pages = (block.byte_len as usize).div_ceil(page_size);
         let mut out = Vec::with_capacity(block.byte_len as usize);
         for p in 0..num_pages {
-            let page = cache.read(&self.store, block.start_page + p as u64);
+            let page = cache.read(&self.store, block.start_page + p as u64).inspect_err(|e| {
+                if e.is_corruption() {
+                    self.quarantine();
+                }
+            })?;
             let take = (block.byte_len as usize - out.len()).min(page_size);
             out.extend_from_slice(&page[..take]);
         }
-        out
+        Ok(out)
     }
 
     /// Iterate entries in key order, starting at the first key ≥ `start`
@@ -193,10 +232,15 @@ impl DiskComponent {
             block: Vec::new(),
             pos: 0,
             loaded: false,
+            failed: false,
             skip_until: start.map(|s| s.to_vec()),
         }
     }
 }
+
+/// One scanned entry: `(key, kind, payload)`, or the corruption error that
+/// ended the scan.
+pub type ScanItem = Result<(Key, EntryKind, Vec<u8>), StorageError>;
 
 /// Streaming scan over a component's leaf blocks.
 pub struct ComponentScan {
@@ -206,17 +250,34 @@ pub struct ComponentScan {
     block: Vec<u8>,
     pos: usize,
     loaded: bool,
+    failed: bool,
     skip_until: Option<Key>,
 }
 
 impl ComponentScan {
-    /// Next entry: (key, kind, payload).
+    /// The component this scan reads (for quarantine/health reporting).
+    pub fn component(&self) -> &Arc<DiskComponent> {
+        &self.component
+    }
+
+    /// Next entry: `(key, kind, payload)`, or `Some(Err(_))` if the
+    /// underlying component turned out to be corrupt (the component is
+    /// quarantined and the scan yields nothing further).
     #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> Option<(Key, EntryKind, Vec<u8>)> {
+    pub fn next(&mut self) -> Option<ScanItem> {
         loop {
+            if self.failed {
+                return None;
+            }
             if !self.loaded {
                 let block_ref = self.component.index.get(self.block_idx)?;
-                self.block = self.component.read_block(&self.cache, block_ref);
+                match self.component.read_block(&self.cache, block_ref) {
+                    Ok(block) => self.block = block,
+                    Err(e) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                }
                 self.pos = 0;
                 self.loaded = true;
             }
@@ -225,8 +286,10 @@ impl ComponentScan {
                 self.loaded = false;
                 continue;
             }
-            let (k, kind, payload, n) =
-                read_entry(&self.block[self.pos..]).expect("component blocks are well-formed");
+            let Some((k, kind, payload, n)) = read_entry(&self.block[self.pos..]) else {
+                self.failed = true;
+                return Some(Err(self.component.corrupt_block(self.block_idx)));
+            };
             self.pos += n;
             if let Some(skip) = &self.skip_until {
                 if k < skip.as_slice() {
@@ -234,7 +297,7 @@ impl ComponentScan {
                 }
             }
             self.skip_until = None;
-            return Some((k.to_vec(), kind, payload.to_vec()));
+            return Some(Ok((k.to_vec(), kind, payload.to_vec())));
         }
     }
 }
@@ -277,8 +340,22 @@ impl ComponentBuilder {
         }
     }
 
-    /// Append one entry. Keys must arrive in strictly ascending order.
-    pub fn push(&mut self, key: &[u8], kind: EntryKind, payload: &[u8]) {
+    /// Toggle per-page CRC footers on the component's store (see
+    /// [`PageStore::with_integrity`]). Defaults to on.
+    pub fn with_integrity(mut self, on: bool) -> Self {
+        self.store = self.store.with_integrity(on);
+        self
+    }
+
+    /// Append one entry. Keys must arrive in strictly ascending order. A
+    /// write fault aborts the build (the half-written store is simply
+    /// dropped — components only become visible after `finish`).
+    pub fn push(
+        &mut self,
+        key: &[u8],
+        kind: EntryKind,
+        payload: &[u8],
+    ) -> Result<(), StorageError> {
         if let Some(last) = &self.last_key {
             assert!(key > last.as_slice(), "component entries must be strictly ascending");
         }
@@ -293,18 +370,19 @@ impl ComponentBuilder {
         }
         write_entry(&mut self.buf, key, kind, payload);
         if self.buf.len() >= self.page_size {
-            self.flush_block();
+            self.flush_block()?;
         }
+        Ok(())
     }
 
-    fn flush_block(&mut self) {
+    fn flush_block(&mut self) -> Result<(), StorageError> {
         if self.buf.is_empty() {
-            return;
+            return Ok(());
         }
         let byte_len = self.buf.len() as u32;
         let mut writer = PageWriter::new(&self.store);
-        writer.append(&self.buf);
-        let pages = writer.finish();
+        writer.append(&self.buf)?;
+        let pages = writer.finish()?;
         let start_page = pages[0];
         debug_assert_eq!(start_page, self.next_page);
         self.next_page += pages.len() as u64;
@@ -314,6 +392,7 @@ impl ComponentBuilder {
             byte_len,
         });
         self.buf.clear();
+        Ok(())
     }
 
     /// Finish the component. `valid=false` simulates a crash between data
@@ -323,8 +402,8 @@ impl ComponentBuilder {
         id: ComponentId,
         metadata: Option<Vec<u8>>,
         valid: bool,
-    ) -> DiskComponent {
-        self.flush_block();
+    ) -> Result<DiskComponent, StorageError> {
+        self.flush_block()?;
         // Persist index, bloom, and metadata after the leaves, so the
         // component's on-disk footprint is complete.
         let mut tail = Vec::new();
@@ -351,8 +430,8 @@ impl ComponentBuilder {
         tail.extend_from_slice(&id.max.to_le_bytes());
         tail.extend_from_slice(&self.num_entries.to_le_bytes());
         let mut writer = PageWriter::new(&self.store);
-        writer.append(&tail);
-        writer.finish();
+        writer.append(&tail)?;
+        writer.finish()?;
 
         let c = DiskComponent {
             id,
@@ -362,11 +441,12 @@ impl ComponentBuilder {
             metadata,
             max_key: self.last_key,
             valid: AtomicBool::new(valid),
+            quarantined: AtomicBool::new(false),
             num_entries: self.num_entries,
             num_antimatter: self.num_antimatter,
         };
         debug_assert!(valid || !c.is_valid());
-        c
+        Ok(c)
     }
 }
 
@@ -382,9 +462,9 @@ mod tests {
         for i in 0..n {
             let key = (i * 2).to_be_bytes(); // even keys only
             let payload = format!("value-{i}");
-            b.push(&key, EntryKind::Record, payload.as_bytes());
+            b.push(&key, EntryKind::Record, payload.as_bytes()).unwrap();
         }
-        let c = b.finish(ComponentId::flushed(0), Some(b"schema".to_vec()), true);
+        let c = b.finish(ComponentId::flushed(0), Some(b"schema".to_vec()), true).unwrap();
         (Arc::new(c), Arc::new(BufferCache::new(128)))
     }
 
@@ -392,16 +472,16 @@ mod tests {
     fn point_lookup_hits_and_misses() {
         let (c, cache) = build(500, 256);
         for i in [0u64, 1, 250, 499] {
-            let (kind, payload) = c.get(&cache, &(i * 2).to_be_bytes()).unwrap();
+            let (kind, payload) = c.get(&cache, &(i * 2).to_be_bytes()).unwrap().unwrap();
             assert_eq!(kind, EntryKind::Record);
             assert_eq!(payload, format!("value-{i}").into_bytes());
         }
         // Odd keys are absent.
         for i in [1u64, 501, 999] {
-            assert!(c.get(&cache, &i.to_be_bytes()).is_none());
+            assert!(c.get(&cache, &i.to_be_bytes()).unwrap().is_none());
         }
         // Key below the first.
-        assert!(c.get(&cache, &[0u8; 1]).is_none());
+        assert!(c.get(&cache, &[0u8; 1]).unwrap().is_none());
     }
 
     #[test]
@@ -410,7 +490,8 @@ mod tests {
         let mut scan = c.scan(&cache, None);
         let mut prev: Option<Key> = None;
         let mut count = 0;
-        while let Some((k, kind, _)) = scan.next() {
+        while let Some(item) = scan.next() {
+            let (k, kind, _) = item.unwrap();
             assert_eq!(kind, EntryKind::Record);
             if let Some(p) = &prev {
                 assert!(k > *p);
@@ -427,7 +508,7 @@ mod tests {
         // Start between keys 100 (i=50) and 102 (i=51).
         let start = 101u64.to_be_bytes();
         let mut scan = c.scan(&cache, Some(&start));
-        let (k, _, _) = scan.next().unwrap();
+        let (k, _, _) = scan.next().unwrap().unwrap();
         assert_eq!(u64::from_be_bytes(k[..8].try_into().unwrap()), 102);
         let mut rest = 1;
         while scan.next().is_some() {
@@ -441,23 +522,23 @@ mod tests {
         let device = Arc::new(Device::new(DeviceProfile::RAM));
         let mut b = ComponentBuilder::new(device, 64, CompressionScheme::None, 4, 10);
         let big = vec![7u8; 500];
-        b.push(b"a", EntryKind::Record, &big);
-        b.push(b"b", EntryKind::Record, b"small");
-        let c = b.finish(ComponentId::flushed(1), None, true);
+        b.push(b"a", EntryKind::Record, &big).unwrap();
+        b.push(b"b", EntryKind::Record, b"small").unwrap();
+        let c = b.finish(ComponentId::flushed(1), None, true).unwrap();
         let cache = BufferCache::new(64);
-        assert_eq!(c.get(&cache, b"a").unwrap().1, big);
-        assert_eq!(c.get(&cache, b"b").unwrap().1, b"small".to_vec());
+        assert_eq!(c.get(&cache, b"a").unwrap().unwrap().1, big);
+        assert_eq!(c.get(&cache, b"b").unwrap().unwrap().1, b"small".to_vec());
     }
 
     #[test]
     fn antimatter_entries_roundtrip() {
         let device = Arc::new(Device::new(DeviceProfile::RAM));
         let mut b = ComponentBuilder::new(device, 128, CompressionScheme::None, 2, 10);
-        b.push(b"dead", EntryKind::AntiMatter, &[]);
-        b.push(b"live", EntryKind::Record, b"x");
-        let c = b.finish(ComponentId::flushed(2), None, true);
+        b.push(b"dead", EntryKind::AntiMatter, &[]).unwrap();
+        b.push(b"live", EntryKind::Record, b"x").unwrap();
+        let c = b.finish(ComponentId::flushed(2), None, true).unwrap();
         let cache = BufferCache::new(8);
-        assert_eq!(c.get(&cache, b"dead").unwrap().0, EntryKind::AntiMatter);
+        assert_eq!(c.get(&cache, b"dead").unwrap().unwrap().0, EntryKind::AntiMatter);
         assert_eq!(c.num_antimatter(), 1);
         assert_eq!(c.num_entries(), 2);
     }
@@ -466,8 +547,8 @@ mod tests {
     fn validity_bit_lifecycle() {
         let device = Arc::new(Device::new(DeviceProfile::RAM));
         let mut b = ComponentBuilder::new(device, 128, CompressionScheme::None, 1, 10);
-        b.push(b"k", EntryKind::Record, b"v");
-        let c = b.finish(ComponentId::flushed(3), None, false);
+        b.push(b"k", EntryKind::Record, b"v").unwrap();
+        let c = b.finish(ComponentId::flushed(3), None, false).unwrap();
         assert!(!c.is_valid(), "INVALID until the operation completes");
         c.set_valid();
         assert!(c.is_valid());
@@ -478,8 +559,63 @@ mod tests {
     fn out_of_order_push_panics() {
         let device = Arc::new(Device::new(DeviceProfile::RAM));
         let mut b = ComponentBuilder::new(device, 128, CompressionScheme::None, 2, 10);
-        b.push(b"b", EntryKind::Record, b"");
-        b.push(b"a", EntryKind::Record, b"");
+        b.push(b"b", EntryKind::Record, b"").unwrap();
+        b.push(b"a", EntryKind::Record, b"").unwrap();
+    }
+
+    #[test]
+    fn flipped_bit_quarantines_component_on_lookup() {
+        use tc_storage::fault::FaultPlan;
+        // Corrupt the very first data page while the component is built: the
+        // build succeeds (bit flips are silent at write time), but any read
+        // that touches the page must detect it, return a typed corruption
+        // error, and quarantine the component — never decode garbage.
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        device.set_fault_plan(FaultPlan::new(7).flip_bit_in_nth_write(1));
+        let mut b = ComponentBuilder::new(Arc::clone(&device), 64, CompressionScheme::None, 32, 10);
+        for i in 0..32u64 {
+            b.push(&i.to_be_bytes(), EntryKind::Record, b"payload").unwrap();
+        }
+        let c = Arc::new(b.finish(ComponentId::flushed(0), None, true).unwrap());
+        device.clear_fault_plan();
+        assert!(!c.is_quarantined());
+        let cache = BufferCache::new(16);
+        let err = c.get(&cache, &0u64.to_be_bytes()).unwrap_err();
+        assert!(err.is_corruption(), "got {err}");
+        assert!(c.is_quarantined());
+        assert!(device.checksum_failures() >= 1);
+    }
+
+    #[test]
+    fn flipped_bit_stops_scan_with_error() {
+        use tc_storage::fault::FaultPlan;
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        // Flip a bit in a LATER data page: the scan yields the first
+        // block's entries, then surfaces the corruption and ends.
+        device.set_fault_plan(FaultPlan::new(9).flip_bit_in_nth_write(4));
+        let mut b = ComponentBuilder::new(Arc::clone(&device), 64, CompressionScheme::None, 64, 10);
+        for i in 0..64u64 {
+            b.push(&i.to_be_bytes(), EntryKind::Record, b"payload").unwrap();
+        }
+        let c = Arc::new(b.finish(ComponentId::flushed(0), None, true).unwrap());
+        device.clear_fault_plan();
+        let cache = Arc::new(BufferCache::new(16));
+        let mut scan = c.scan(&cache, None);
+        let mut clean = 0usize;
+        let mut saw_error = false;
+        while let Some(item) = scan.next() {
+            match item {
+                Ok(_) => clean += 1,
+                Err(e) => {
+                    assert!(e.is_corruption());
+                    saw_error = true;
+                }
+            }
+        }
+        assert!(saw_error, "scan must surface the corrupt page");
+        assert!(clean >= 1, "entries before the damage still stream");
+        assert!(clean < 64, "entries after the damage must not appear");
+        assert!(c.is_quarantined());
     }
 
     #[test]

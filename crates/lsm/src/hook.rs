@@ -8,6 +8,18 @@
 /// Observer/transformer of component lifecycle events. One hook instance is
 /// shared by all operations of one LSM tree (one dataset partition).
 pub trait ComponentHook: Send + Sync {
+    /// Called when a flush attempt starts, before any entry is processed.
+    /// A stateful hook (the tuple compactor mutates its in-memory schema
+    /// while processing records) snapshots the state it may need to restore
+    /// if the flush fails on a storage fault.
+    fn begin_flush(&self) {}
+
+    /// Called when a flush attempt fails after `begin_flush`. The hook must
+    /// restore the state snapshotted there, so a retried flush re-processes
+    /// the same frozen entries against the same starting schema instead of
+    /// double-evolving it.
+    fn abort_flush(&self) {}
+
     /// Transform a record payload as it is flushed from the in-memory
     /// component to disk. The tuple compactor infers schema and compacts
     /// here; the default is identity.

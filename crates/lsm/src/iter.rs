@@ -12,11 +12,46 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use tc_storage::error::StorageError;
 use tc_storage::BufferCache;
 
-use crate::component::{ComponentScan, DiskComponent};
+use crate::component::{ComponentId, ComponentScan, DiskComponent};
 use crate::entry::{EntryKind, Key};
 use crate::memtable::{MemEntry, Memtable};
+
+/// Degradation record for a merged scan: the components that could not be
+/// read — already quarantined at scan start, or quarantined mid-scan when a
+/// page checksum failed — together with the error each one produced.
+///
+/// A scan with non-empty health still terminates normally, but its results
+/// cover only the healthy sources; the query layer decides (per its
+/// corruption policy) whether to surface partial results or fail the query
+/// with the first recorded error.
+#[derive(Debug, Default)]
+pub struct ScanHealth {
+    degraded: Vec<(ComponentId, StorageError)>,
+}
+
+impl ScanHealth {
+    pub fn is_clean(&self) -> bool {
+        self.degraded.is_empty()
+    }
+
+    /// Components dropped from the scan, oldest first.
+    pub fn degraded(&self) -> &[(ComponentId, StorageError)] {
+        &self.degraded
+    }
+
+    /// The first error encountered (what a fail-policy query reports).
+    pub fn first_error(&self) -> Option<&StorageError> {
+        self.degraded.first().map(|(_, e)| e)
+    }
+
+    /// Fold another health record into this one (cross-partition queries).
+    pub fn absorb(&mut self, other: ScanHealth) {
+        self.degraded.extend(other.degraded);
+    }
+}
 
 /// Copy a memtable's entries from `start` onward into an owned snapshot
 /// (the cheap, in-memory part of scan construction — safe under a lock).
@@ -63,15 +98,6 @@ enum SourceIter {
     Disk(ComponentScan),
 }
 
-impl SourceIter {
-    fn next(&mut self) -> Option<(Key, EntryKind, Vec<u8>)> {
-        match self {
-            SourceIter::Mem(it) => it.next(),
-            SourceIter::Disk(scan) => scan.next(),
-        }
-    }
-}
-
 struct HeapItem {
     key: Key,
     kind: EntryKind,
@@ -106,6 +132,8 @@ pub struct MergedScan {
     include_antimatter: bool,
     /// Exclusive upper bound.
     end: Option<Key>,
+    /// Components dropped because they were (or became) corrupt.
+    health: ScanHealth,
 }
 
 impl MergedScan {
@@ -141,9 +169,22 @@ impl MergedScan {
     ) -> Self {
         let mut sources: Vec<SourceIter> =
             Vec::with_capacity(components.len() + mem_snapshots.len());
+        let mut health = ScanHealth::default();
         for c in components {
             // Key-range filter: skip components outside [start, end).
             if !c.overlaps(start, end) {
+                continue;
+            }
+            // A component already known corrupt is excluded up front; the
+            // query layer sees it in the scan's health record.
+            if c.is_quarantined() {
+                health.degraded.push((
+                    c.id(),
+                    StorageError::corruption(
+                        "component",
+                        format!("component {} is quarantined", c.id()),
+                    ),
+                ));
                 continue;
             }
             sources.push(SourceIter::Disk(c.scan(cache, start)));
@@ -156,6 +197,7 @@ impl MergedScan {
             sources,
             include_antimatter,
             end: end.map(|e| e.to_vec()),
+            health,
         };
         for rank in 0..scan.sources.len() {
             scan.advance(rank);
@@ -164,9 +206,37 @@ impl MergedScan {
     }
 
     fn advance(&mut self, rank: usize) {
-        if let Some((key, kind, payload)) = self.sources[rank].next() {
-            self.heap.push(HeapItem { key, kind, payload, rank });
+        match &mut self.sources[rank] {
+            SourceIter::Mem(it) => {
+                if let Some((key, kind, payload)) = it.next() {
+                    self.heap.push(HeapItem { key, kind, payload, rank });
+                }
+            }
+            SourceIter::Disk(scan) => match scan.next() {
+                Some(Ok((key, kind, payload))) => {
+                    self.heap.push(HeapItem { key, kind, payload, rank });
+                }
+                Some(Err(e)) => {
+                    // The component went corrupt mid-scan: it is quarantined
+                    // (ComponentScan did that), the source yields nothing
+                    // further, and the degradation is recorded for the query
+                    // layer's policy decision.
+                    self.health.degraded.push((scan.component().id(), e));
+                }
+                None => {}
+            },
         }
+    }
+
+    /// Degradation record: which components this scan had to drop.
+    pub fn health(&self) -> &ScanHealth {
+        &self.health
+    }
+
+    /// Take ownership of the health record (for absorbing into an
+    /// aggregated, cross-partition report).
+    pub fn take_health(&mut self) -> ScanHealth {
+        std::mem::take(&mut self.health)
     }
 
     /// Next live entry: `(key, kind, payload)`. With
@@ -210,9 +280,9 @@ mod tests {
         let device = Arc::new(Device::new(DeviceProfile::RAM));
         let mut b = ComponentBuilder::new(device, 256, CompressionScheme::None, entries.len(), 10);
         for (k, kind, v) in entries {
-            b.push(&k.to_be_bytes(), *kind, v.as_bytes());
+            b.push(&k.to_be_bytes(), *kind, v.as_bytes()).unwrap();
         }
-        Arc::new(b.finish(ComponentId::flushed(seq), None, true))
+        Arc::new(b.finish(ComponentId::flushed(seq), None, true).unwrap())
     }
 
     fn collect(scan: &mut MergedScan) -> Vec<(u64, EntryKind, String)> {
@@ -348,6 +418,52 @@ mod tests {
         assert_eq!(got, vec![100, 101, 102, 103, 104]);
         // Only the new component's block was fetched.
         assert_eq!(cache.misses() - misses_before, 1);
+    }
+
+    #[test]
+    fn quarantined_component_is_skipped_and_reported() {
+        use EntryKind::*;
+        let c0 = component(0, &[(1, Record, "a")]);
+        let c1 = component(1, &[(2, Record, "b")]);
+        c0.quarantine();
+        let comps = vec![c0, c1];
+        let cache = Arc::new(BufferCache::new(16));
+        let mut scan = MergedScan::new(&[], &comps, &cache, None, None, false);
+        assert_eq!(collect(&mut scan), vec![(2, Record, "b".into())]);
+        assert!(!scan.health().is_clean());
+        assert_eq!(scan.health().degraded().len(), 1);
+        assert_eq!(scan.health().degraded()[0].0, ComponentId::flushed(0));
+        let health = scan.take_health();
+        assert!(health.first_error().unwrap().is_corruption());
+        assert!(scan.health().is_clean(), "take_health leaves a clean record");
+    }
+
+    #[test]
+    fn mid_scan_corruption_degrades_without_panicking() {
+        use tc_storage::fault::FaultPlan;
+        use EntryKind::*;
+        // Build one healthy component and one whose later pages are rotten.
+        let healthy = component(1, &[(1000, Record, "ok1"), (1001, Record, "ok2")]);
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        device.set_fault_plan(FaultPlan::new(21).flip_bit_in_nth_write(4));
+        let mut b = ComponentBuilder::new(Arc::clone(&device), 64, CompressionScheme::None, 64, 10);
+        for i in 0..64u64 {
+            b.push(&i.to_be_bytes(), Record, b"payload").unwrap();
+        }
+        let rotten = Arc::new(b.finish(ComponentId::flushed(0), None, true).unwrap());
+        device.clear_fault_plan();
+        let comps = vec![rotten.clone(), healthy];
+        let cache = Arc::new(BufferCache::new(32));
+        let mut scan = MergedScan::new(&[], &comps, &cache, None, None, false);
+        let got = collect(&mut scan);
+        // The healthy component's rows always survive; the rotten one
+        // contributes only entries before the damage.
+        assert!(got.iter().any(|(k, _, _)| *k == 1000));
+        assert!(got.iter().any(|(k, _, _)| *k == 1001));
+        assert!(got.len() < 2 + 64, "rows after the corrupt page must be gone");
+        assert!(!scan.health().is_clean());
+        assert_eq!(scan.health().degraded()[0].0, ComponentId::flushed(0));
+        assert!(rotten.is_quarantined());
     }
 
     #[test]

@@ -77,9 +77,9 @@ mod tests {
         let mut b = ComponentBuilder::new(device, 1024, CompressionScheme::None, kb, 10);
         for i in 0..kb {
             let key = ((seq << 32) + i as u64).to_be_bytes();
-            b.push(&key, EntryKind::Record, &[0u8; 1024]);
+            b.push(&key, EntryKind::Record, &[0u8; 1024]).unwrap();
         }
-        Arc::new(b.finish(ComponentId::flushed(seq), None, true))
+        Arc::new(b.finish(ComponentId::flushed(seq), None, true).unwrap())
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::sync::Arc;
 
 use tc_storage::device::Device;
+use tc_storage::error::StorageError;
 use tc_storage::BufferCache;
 
 use crate::entry::{encode_composite_key, Key};
@@ -38,13 +39,13 @@ impl SecondaryIndex {
         }
     }
 
-    pub fn insert(&self, secondary: &[u8], primary: &[u8]) {
+    pub fn insert(&self, secondary: &[u8], primary: &[u8]) -> Result<(), StorageError> {
         debug_assert_eq!(secondary.len(), self.secondary_width);
-        self.tree.insert(encode_composite_key(secondary, primary), Vec::new());
+        self.tree.insert(encode_composite_key(secondary, primary), Vec::new()).map(|_| ())
     }
 
-    pub fn delete(&self, secondary: &[u8], primary: &[u8]) {
-        self.tree.delete(encode_composite_key(secondary, primary), None);
+    pub fn delete(&self, secondary: &[u8], primary: &[u8]) -> Result<(), StorageError> {
+        self.tree.delete(encode_composite_key(secondary, primary), None).map(|_| ())
     }
 
     /// Primary keys whose secondary key lies in `[start, end)`.
@@ -58,8 +59,8 @@ impl SecondaryIndex {
         out
     }
 
-    pub fn flush(&self) {
-        self.tree.flush();
+    pub fn flush(&self) -> Result<(), StorageError> {
+        self.tree.flush()
     }
 
     pub fn disk_bytes(&self) -> u64 {
@@ -85,22 +86,22 @@ impl PrimaryKeyIndex {
         PrimaryKeyIndex { tree: LsmTree::new(device, cache, Arc::new(NoopHook), opts) }
     }
 
-    pub fn insert(&self, key: &[u8]) {
-        self.tree.insert(key.to_vec(), Vec::new());
+    pub fn insert(&self, key: &[u8]) -> Result<(), StorageError> {
+        self.tree.insert(key.to_vec(), Vec::new()).map(|_| ())
     }
 
-    pub fn delete(&self, key: &[u8]) {
-        self.tree.delete(key.to_vec(), None);
+    pub fn delete(&self, key: &[u8]) -> Result<(), StorageError> {
+        self.tree.delete(key.to_vec(), None).map(|_| ())
     }
 
     /// Does the key exist? (Bloom filters make the common "new key" case
     /// cheap — §3.2.2.)
-    pub fn contains(&self, key: &[u8]) -> bool {
+    pub fn contains(&self, key: &[u8]) -> Result<bool, StorageError> {
         self.tree.contains(key)
     }
 
-    pub fn flush(&self) {
-        self.tree.flush();
+    pub fn flush(&self) -> Result<(), StorageError> {
+        self.tree.flush()
     }
 
     pub fn disk_bytes(&self) -> u64 {
@@ -128,9 +129,9 @@ mod tests {
         let idx = SecondaryIndex::new(d, c, LsmOptions::default(), 8);
         // timestamps 100..200 map to pk = ts - 100
         for ts in 100i64..200 {
-            idx.insert(&encode_i64_key(ts), &encode_u64_key((ts - 100) as u64));
+            idx.insert(&encode_i64_key(ts), &encode_u64_key((ts - 100) as u64)).unwrap();
         }
-        idx.flush();
+        idx.flush().unwrap();
         let pks = idx.range(&encode_i64_key(150), &encode_i64_key(160));
         let got: Vec<u64> = pks.iter().map(|k| crate::entry::decode_u64_key(k).unwrap()).collect();
         assert_eq!(got, (50..60).collect::<Vec<u64>>());
@@ -141,7 +142,7 @@ mod tests {
         let (d, c) = parts();
         let idx = SecondaryIndex::new(d, c, LsmOptions::default(), 8);
         for pk in 0u64..5 {
-            idx.insert(&encode_i64_key(42), &encode_u64_key(pk));
+            idx.insert(&encode_i64_key(42), &encode_u64_key(pk)).unwrap();
         }
         let pks = idx.range(&encode_i64_key(42), &encode_i64_key(43));
         assert_eq!(pks.len(), 5);
@@ -151,9 +152,9 @@ mod tests {
     fn delete_removes_one_posting() {
         let (d, c) = parts();
         let idx = SecondaryIndex::new(d, c, LsmOptions::default(), 8);
-        idx.insert(&encode_i64_key(1), &encode_u64_key(10));
-        idx.insert(&encode_i64_key(1), &encode_u64_key(11));
-        idx.delete(&encode_i64_key(1), &encode_u64_key(10));
+        idx.insert(&encode_i64_key(1), &encode_u64_key(10)).unwrap();
+        idx.insert(&encode_i64_key(1), &encode_u64_key(11)).unwrap();
+        idx.delete(&encode_i64_key(1), &encode_u64_key(10)).unwrap();
         let pks = idx.range(&encode_i64_key(1), &encode_i64_key(2));
         assert_eq!(pks.len(), 1);
         assert_eq!(crate::entry::decode_u64_key(&pks[0]), Some(11));
@@ -164,12 +165,12 @@ mod tests {
         let (d, c) = parts();
         let pki = PrimaryKeyIndex::new(d, c, LsmOptions::default());
         for i in 0..100u64 {
-            pki.insert(&encode_u64_key(i));
+            pki.insert(&encode_u64_key(i)).unwrap();
         }
-        pki.flush();
-        assert!(pki.contains(&encode_u64_key(50)));
-        assert!(!pki.contains(&encode_u64_key(500)));
-        pki.delete(&encode_u64_key(50));
-        assert!(!pki.contains(&encode_u64_key(50)));
+        pki.flush().unwrap();
+        assert!(pki.contains(&encode_u64_key(50)).unwrap());
+        assert!(!pki.contains(&encode_u64_key(500)).unwrap());
+        pki.delete(&encode_u64_key(50)).unwrap();
+        assert!(!pki.contains(&encode_u64_key(50)).unwrap());
     }
 }

@@ -40,6 +40,7 @@ use std::time::Instant;
 
 use tc_compress::CompressionScheme;
 use tc_storage::device::Device;
+use tc_storage::error::StorageError;
 use tc_storage::BufferCache;
 use tc_util::sync::{ranks, OrderedMutex, OrderedRwLock, OrderedRwLockReadGuard};
 
@@ -67,6 +68,10 @@ pub struct LsmOptions {
     /// maintenance worker drives flushes instead — writers then never stall
     /// on flush work (the scheduler watches [`LsmTree::needs_flush`]).
     pub auto_flush: bool,
+    /// Store a CRC-32 footer with every component data page and verify it
+    /// on read. On by default; disable only to measure the checksum
+    /// overhead (bench A/B) — without it, injected bit flips go undetected.
+    pub integrity: bool,
 }
 
 impl Default for LsmOptions {
@@ -82,6 +87,7 @@ impl Default for LsmOptions {
             bloom_bits_per_key: 10,
             wal_enabled: true,
             auto_flush: true,
+            integrity: true,
         }
     }
 }
@@ -103,6 +109,20 @@ pub struct LsmStats {
     /// scheduler). Reported separately from inline stall so "the writer
     /// never flushes inline" stays a checkable invariant.
     pub backpressure_stall_nanos: u64,
+    /// Faults the device's injection plan fired (always 0 in production —
+    /// nonzero only while a [`tc_storage::fault::FaultPlan`] is armed).
+    pub faults_injected: u64,
+    /// Checksum verifications that failed on read (WAL records, data
+    /// pages, or the LAF). Detected corruption, never decoded rows.
+    pub checksum_failures: u64,
+    /// Operations retried after a transient storage fault (writers and
+    /// maintenance workers report their retries here).
+    pub transient_retries: u64,
+    /// Flush/merge rounds abandoned on a storage fault. The tree was left
+    /// exactly as before each failed round; the work is re-triggered later.
+    pub maintenance_errors: u64,
+    /// Disk components currently quarantined as corrupt.
+    pub quarantined_components: u64,
 }
 
 #[derive(Debug, Default)]
@@ -113,6 +133,8 @@ struct StatsCells {
     entries_merged: AtomicU64,
     writer_stall_nanos: AtomicU64,
     backpressure_stall_nanos: AtomicU64,
+    transient_retries: AtomicU64,
+    maintenance_errors: AtomicU64,
 }
 
 impl StatsCells {
@@ -124,6 +146,11 @@ impl StatsCells {
             entries_merged: self.entries_merged.load(AtomicOrdering::Relaxed),
             writer_stall_nanos: self.writer_stall_nanos.load(AtomicOrdering::Relaxed),
             backpressure_stall_nanos: self.backpressure_stall_nanos.load(AtomicOrdering::Relaxed),
+            transient_retries: self.transient_retries.load(AtomicOrdering::Relaxed),
+            maintenance_errors: self.maintenance_errors.load(AtomicOrdering::Relaxed),
+            faults_injected: 0,
+            checksum_failures: 0,
+            quarantined_components: 0,
         }
     }
 }
@@ -143,6 +170,17 @@ struct TreeState {
     /// versions were counted by earlier flushes, so the next flush must
     /// still hand them to the hook (§3.2.2 upsert path).
     pending_anti: Vec<Vec<u8>>,
+    /// Inputs saved at freeze time so a flush that fails on a storage fault
+    /// can be *resumed*: the retry re-processes the same frozen memtable
+    /// with the same displaced anti-schemas and the same component
+    /// sequence, without re-freezing (the WAL was already rotated).
+    frozen_anti: Vec<Vec<u8>>,
+    frozen_seq: u64,
+    /// True only when a flush aborted *cleanly* on a storage error (hook
+    /// state rolled back via `abort_flush`). A frozen memtable without this
+    /// flag means a mid-build panic — retrying would double-apply hook
+    /// mutations, so that case still fails loudly.
+    frozen_resumable: bool,
     next_seq: u64,
 }
 
@@ -233,6 +271,9 @@ impl LsmTree {
                     frozen: None,
                     disk: Vec::new(),
                     pending_anti: Vec::new(),
+                    frozen_anti: Vec::new(),
+                    frozen_seq: 0,
+                    frozen_resumable: false,
                     next_seq: 0,
                 },
             ),
@@ -259,22 +300,38 @@ impl LsmTree {
     /// section, so the WAL order always matches the memtable state it
     /// covers. Returns whether the memtable ran over budget — measured
     /// under the lock already held, so the write hot path never re-locks
-    /// just to check.
-    fn log_and_apply(&self, key: Key, entry: MemEntry) -> bool {
+    /// just to check. A failed WAL append means the operation was NOT
+    /// applied and must not be acknowledged: the memtable is untouched, so
+    /// the caller may simply retry (transient faults) or give up.
+    fn log_and_apply(&self, key: Key, entry: MemEntry) -> Result<bool, StorageError> {
         let mut st = self.state.write();
         if self.opts.wal_enabled {
-            self.wal.log(&key, &entry);
+            self.wal.log(&key, &entry)?;
         }
         Self::apply_locked(&mut st, key, entry);
-        st.mem.bytes() >= self.opts.memtable_budget
+        Ok(st.mem.bytes() >= self.opts.memtable_budget)
     }
 
     pub fn options(&self) -> &LsmOptions {
         &self.opts
     }
 
+    /// Lifecycle + fault statistics. The fault counters live on the shared
+    /// device (they cover WAL, page, and LAF I/O alike); quarantine is
+    /// recomputed from the current component list.
     pub fn stats(&self) -> LsmStats {
-        self.stats.snapshot()
+        let mut s = self.stats.snapshot();
+        s.faults_injected = self.device.faults_injected();
+        s.checksum_failures = self.device.checksum_failures();
+        s.quarantined_components =
+            self.state.read().disk.iter().filter(|c| c.is_quarantined()).count() as u64;
+        s
+    }
+
+    /// Record one transient-fault retry (writers and maintenance workers
+    /// call this so the storm's cost shows up in [`LsmStats`]).
+    pub fn note_retry(&self) {
+        self.stats.transient_retries.fetch_add(1, AtomicOrdering::Relaxed);
     }
 
     pub fn device(&self) -> &Arc<Device> {
@@ -341,20 +398,21 @@ impl LsmTree {
     /// Insert (or overwrite) a record. Returns whether the memtable is
     /// over budget after the write — already computed under the write
     /// lock, so external flush schedulers don't re-lock to poll
-    /// [`LsmTree::needs_flush`] on the hot path.
-    pub fn insert(&self, key: Key, payload: Vec<u8>) -> bool {
-        let over_budget = self.log_and_apply(key, MemEntry::Record(payload));
+    /// [`LsmTree::needs_flush`] on the hot path. `Err` means the WAL append
+    /// failed and the write was NOT applied (safe to retry).
+    pub fn insert(&self, key: Key, payload: Vec<u8>) -> Result<bool, StorageError> {
+        let over_budget = self.log_and_apply(key, MemEntry::Record(payload))?;
         self.maybe_flush(over_budget);
-        over_budget
+        Ok(over_budget)
     }
 
     /// Delete by key: inserts an anti-matter entry. `attachment` is the
     /// hook payload (the anti-schema, §3.2.2), processed and discarded at
     /// flush. Returns the over-budget flag, like [`LsmTree::insert`].
-    pub fn delete(&self, key: Key, attachment: Option<Vec<u8>>) -> bool {
-        let over_budget = self.log_and_apply(key, MemEntry::AntiMatter(attachment));
+    pub fn delete(&self, key: Key, attachment: Option<Vec<u8>>) -> Result<bool, StorageError> {
+        let over_budget = self.log_and_apply(key, MemEntry::AntiMatter(attachment))?;
         self.maybe_flush(over_budget);
-        over_budget
+        Ok(over_budget)
     }
 
     /// Delete with a *conditional* anti-schema: attach it only if the
@@ -370,19 +428,57 @@ impl LsmTree {
     /// the frozen memtable or on disk, where a flush has counted or is
     /// committed to counting it (attachment rides along, and the flush
     /// ordering guarantees the decrement lands after the count).
-    pub fn delete_versioned(&self, key: Key, attachment_if_counted: Option<Vec<u8>>) -> bool {
+    pub fn delete_versioned(
+        &self,
+        key: Key,
+        attachment_if_counted: Option<Vec<u8>>,
+    ) -> Result<bool, StorageError> {
         let over_budget = {
             let mut st = self.state.write();
             let counted = !matches!(st.mem.get(&key), Some(MemEntry::Record(_)));
             let entry = MemEntry::AntiMatter(if counted { attachment_if_counted } else { None });
             if self.opts.wal_enabled {
-                self.wal.log(&key, &entry);
+                self.wal.log(&key, &entry)?;
             }
             Self::apply_locked(&mut st, key, entry);
             st.mem.bytes() >= self.opts.memtable_budget
         };
         self.maybe_flush(over_budget);
-        over_budget
+        Ok(over_budget)
+    }
+
+    /// Atomic upsert: replace the key's record and (conditionally) attach
+    /// the displaced version's anti-schema, through ONE WAL record. The
+    /// separate delete-then-insert sequence logs two records, and a crash
+    /// between them replays the delete without the insert — losing the old,
+    /// durably-acknowledged version of an upsert that was never acked.
+    /// Here a crash replays both halves or neither.
+    ///
+    /// The "was the old version counted?" decision follows
+    /// [`LsmTree::delete_versioned`], made under the same state lock.
+    pub fn replace(
+        &self,
+        key: Key,
+        payload: Vec<u8>,
+        attachment_if_counted: Option<Vec<u8>>,
+    ) -> Result<bool, StorageError> {
+        let over_budget = {
+            let mut st = self.state.write();
+            let counted = !matches!(st.mem.get(&key), Some(MemEntry::Record(_)));
+            let anti = if counted { attachment_if_counted } else { None };
+            if self.opts.wal_enabled {
+                self.wal.log_replace(&key, &payload, anti.as_deref())?;
+            }
+            // Same two applications the live delete+insert pair performs:
+            // the anti-matter (displacing any previous entry), then the
+            // record (displacing the anti-matter, which parks `anti` on the
+            // pending anti-schema list for the next flush).
+            Self::apply_locked(&mut st, key.clone(), MemEntry::AntiMatter(anti));
+            Self::apply_locked(&mut st, key, MemEntry::Record(payload));
+            st.mem.bytes() >= self.opts.memtable_budget
+        };
+        self.maybe_flush(over_budget);
+        Ok(over_budget)
     }
 
     fn maybe_flush(&self, over_budget: bool) {
@@ -390,10 +486,14 @@ impl LsmTree {
             return;
         }
         // Inline maintenance stalls the writer — that stall is the metric
-        // the background pipeline exists to remove (Fig 17).
+        // the background pipeline exists to remove (Fig 17). A maintenance
+        // failure here does NOT fail the (already-acknowledged) write: the
+        // tree is left as before, the error is counted, and the next
+        // over-budget write re-triggers the flush.
         let start = Instant::now();
-        self.flush();
-        self.maybe_merge();
+        if self.flush().is_ok() {
+            let _ = self.maybe_merge();
+        }
         self.stats
             .writer_stall_nanos
             .fetch_add(start.elapsed().as_nanos() as u64, AtomicOrdering::Relaxed);
@@ -403,8 +503,13 @@ impl LsmTree {
     /// every record through the hook (where the tuple compactor infers and
     /// compacts — §3.1.1). Safe to call from any thread; concurrent calls
     /// serialize, and a call that finds an empty memtable is a no-op.
-    pub fn flush(&self) {
-        self.flush_inner(true);
+    ///
+    /// On a storage fault the flush aborts *cleanly*: the frozen memtable,
+    /// its WAL coverage, and the hook's schema (rolled back through
+    /// [`ComponentHook::abort_flush`]) are all exactly as before the build,
+    /// and the next `flush` call resumes from the same frozen state.
+    pub fn flush(&self) -> Result<(), StorageError> {
+        self.flush_inner(true)
     }
 
     /// Failure injection: perform a flush but "crash" before the validity
@@ -413,73 +518,99 @@ impl LsmTree {
     /// (§3.1.2); writes that raced the flush stay in the active memtable
     /// and the active WAL segment.
     pub fn flush_crashing_before_validity(&self) {
-        self.flush_inner(false);
+        let _ = self.flush_inner(false);
     }
 
-    fn flush_inner(&self, complete: bool) {
+    fn flush_inner(&self, complete: bool) -> Result<(), StorageError> {
         let _flush = self.flush_lock.lock();
         // Freeze: swap the memtable out and rotate the WAL in one write-lock
         // section, so the active segment covers exactly the new (empty)
         // memtable. Readers from here on merge the frozen memtable.
         let (frozen, anti, seq) = {
             let mut st = self.state.write();
-            // A hard assert, not a debug_assert — and checked *before* the
-            // empty-memtable early return, so a leftover frozen memtable
-            // can never be silently ignored: if a previous flush panicked
-            // mid-build (hook failure), its frozen memtable is still here
-            // and proceeding would either no-op over stuck records or
-            // overwrite them, dropping data *and* (via rotate + the
-            // eventual discard_frozen) their WAL coverage. Failing loudly
-            // is the only safe option — and it must not depend on mutex
-            // poisoning, which the real parking_lot (the planned vendor
-            // swap-back) doesn't do.
-            assert!(st.frozen.is_none(), "a previous flush aborted mid-build; refusing to flush");
-            if st.mem.is_empty() {
-                return;
+            if let Some(frozen) = &st.frozen {
+                // A leftover frozen memtable is either a cleanly-aborted
+                // flush (storage fault, hook rolled back) — resumed here
+                // with the freeze inputs saved at freeze time — or the
+                // residue of a mid-build panic, where retrying would
+                // double-apply hook mutations and must fail loudly. The
+                // check is a hard assert, not mutex poisoning, because the
+                // real parking_lot (the planned vendor swap-back) doesn't
+                // poison.
+                assert!(
+                    st.frozen_resumable,
+                    "a previous flush aborted mid-build; refusing to flush"
+                );
+                (Arc::clone(frozen), st.frozen_anti.clone(), st.frozen_seq)
+            } else {
+                if st.mem.is_empty() {
+                    return Ok(());
+                }
+                if self.opts.wal_enabled {
+                    // A failed rotation leaves the WAL segments — and
+                    // everything else — untouched; nothing was frozen yet.
+                    self.wal.rotate()?;
+                }
+                let frozen = Arc::new(std::mem::take(&mut st.mem));
+                st.frozen = Some(Arc::clone(&frozen));
+                let anti = std::mem::take(&mut st.pending_anti);
+                st.frozen_anti = anti.clone();
+                let seq = st.next_seq;
+                st.frozen_seq = seq;
+                st.frozen_resumable = false;
+                st.next_seq += 1;
+                (frozen, anti, seq)
             }
-            if self.opts.wal_enabled {
-                self.wal.rotate();
-            }
-            let frozen = Arc::new(std::mem::take(&mut st.mem));
-            st.frozen = Some(Arc::clone(&frozen));
-            let anti = std::mem::take(&mut st.pending_anti);
-            let seq = st.next_seq;
-            st.next_seq += 1;
-            (frozen, anti, seq)
         };
 
         // Build — the slow part — with no state lock held. The hook's
-        // schema mutations synchronize on the compactor's own mutex.
+        // schema mutations synchronize on the compactor's own mutex;
+        // `begin_flush` snapshots whatever `abort_flush` must restore.
         //
         // Anti-schemas displaced by in-memory overwrites still decrement
         // the schema for their flushed old versions.
-        for att in anti {
-            self.hook.on_flush_antimatter(Some(&att));
-        }
-        let mut builder = ComponentBuilder::new(
-            Arc::clone(&self.device),
-            self.opts.page_size,
-            self.opts.compression,
-            frozen.len(),
-            self.opts.bloom_bits_per_key,
-        );
-        let mut count = 0u64;
-        for (key, entry) in frozen.iter() {
-            match entry {
-                MemEntry::Record(payload) => {
-                    let transformed = self.hook.on_flush_record(payload);
-                    builder.push(key, EntryKind::Record, &transformed);
-                }
-                MemEntry::AntiMatter(att) => {
-                    self.hook.on_flush_antimatter(att.as_deref());
-                    builder.push(key, EntryKind::AntiMatter, &[]);
+        self.hook.begin_flush();
+        let build = (|| {
+            for att in &anti {
+                self.hook.on_flush_antimatter(Some(att));
+            }
+            let mut builder = ComponentBuilder::new(
+                Arc::clone(&self.device),
+                self.opts.page_size,
+                self.opts.compression,
+                frozen.len(),
+                self.opts.bloom_bits_per_key,
+            )
+            .with_integrity(self.opts.integrity);
+            for (key, entry) in frozen.iter() {
+                match entry {
+                    MemEntry::Record(payload) => {
+                        let transformed = self.hook.on_flush_record(payload);
+                        builder.push(key, EntryKind::Record, &transformed)?;
+                    }
+                    MemEntry::AntiMatter(att) => {
+                        self.hook.on_flush_antimatter(att.as_deref());
+                        builder.push(key, EntryKind::AntiMatter, &[])?;
+                    }
                 }
             }
-            count += 1;
-        }
-        let id = ComponentId::flushed(seq);
-        let metadata = self.hook.flush_metadata();
-        let component = builder.finish(id, metadata, false);
+            let metadata = self.hook.flush_metadata();
+            builder.finish(ComponentId::flushed(seq), metadata, false)
+        })();
+        let component = match build {
+            Ok(c) => c,
+            Err(e) => {
+                // Abort cleanly: roll the hook back, keep the frozen
+                // memtable (and its WAL coverage) for a later resume, and
+                // drop the half-written store on the floor — it was never
+                // visible. The tree reads exactly as before this attempt.
+                self.hook.abort_flush();
+                self.state.write().frozen_resumable = true;
+                self.stats.maintenance_errors.fetch_add(1, AtomicOrdering::Relaxed);
+                return Err(e);
+            }
+        };
+        let count = frozen.len() as u64;
 
         if complete {
             component.set_valid();
@@ -490,6 +621,8 @@ impl LsmTree {
                 let mut st = self.state.write();
                 st.disk.push(Arc::new(component));
                 st.frozen = None;
+                st.frozen_anti.clear();
+                st.frozen_resumable = false;
             }
             if self.opts.wal_enabled {
                 self.wal.discard_frozen();
@@ -502,48 +635,69 @@ impl LsmTree {
             let mut st = self.state.write();
             st.disk.push(Arc::new(component));
             st.frozen = None;
+            st.frozen_anti.clear();
+            st.frozen_resumable = false;
         }
+        Ok(())
     }
 
-    /// Run the merge policy; merge at most once.
-    pub fn maybe_merge(&self) {
+    /// Run the merge policy; merge at most once. A storage fault abandons
+    /// the round with the tree untouched (the half-built component is
+    /// dropped, inputs stay installed); the policy re-fires later.
+    pub fn maybe_merge(&self) -> Result<(), StorageError> {
         let guard = self.merge_lock.lock();
         let disk = self.state.read().disk.clone();
         if let Some(range) = self.opts.merge_policy.decide(&disk) {
-            self.merge_locked(&disk[range.clone()], range.start == 0, guard);
+            self.merge_locked(&disk[range.clone()], range.start == 0, guard)?;
         }
+        Ok(())
     }
 
     /// Merge all on-disk components into one (bench/maintenance helper).
-    pub fn force_full_merge(&self) {
+    pub fn force_full_merge(&self) -> Result<(), StorageError> {
         let guard = self.merge_lock.lock();
         let disk = self.state.read().disk.clone();
         if disk.len() >= 2 {
-            self.merge_locked(&disk, true, guard);
+            self.merge_locked(&disk, true, guard)?;
         }
+        Ok(())
+    }
+
+    /// Failure injection: run a full merge but "crash" before the validity
+    /// bit is set — the merged component lands on disk INVALID and the
+    /// inputs are NOT spliced out, exactly the on-disk picture a crash
+    /// between merge-write and install leaves behind. Recovery must drop
+    /// the half-merged component and keep serving from the inputs.
+    pub fn force_full_merge_crashing_before_validity(&self) -> Result<(), StorageError> {
+        let _guard = self.merge_lock.lock();
+        let disk = self.state.read().disk.clone();
+        if disk.len() < 2 {
+            return Ok(());
+        }
+        let (merged, _) = self.build_merged(&disk, true)?;
+        self.state.write().disk.push(Arc::new(merged));
+        Ok(())
     }
 
     /// Merge the adjacent component range (oldest..newest indexes as of
     /// this call). Annihilated records are garbage-collected; anti-matter
     /// survives only if older components remain outside the merge (§2.2).
-    pub fn merge(&self, range: std::ops::Range<usize>) {
+    pub fn merge(&self, range: std::ops::Range<usize>) -> Result<(), StorageError> {
         let guard = self.merge_lock.lock();
         let disk = self.state.read().disk.clone();
         assert!(range.end <= disk.len() && range.len() >= 2, "bad merge range");
         let includes_oldest = range.start == 0;
-        self.merge_locked(&disk[range], includes_oldest, guard);
+        self.merge_locked(&disk[range], includes_oldest, guard)
     }
 
-    /// The merge body. The caller passes the merge-lock guard to prove the
-    /// critical section; the merged component's metadata is chosen by the
-    /// hook — the paper's rule keeps the newest schema without touching
-    /// in-memory state (§3.1.1).
-    fn merge_locked(
+    /// Build the merged component (INVALID; the caller decides whether it
+    /// completes). Pure build: touches no tree state, so a fault here
+    /// leaves nothing to clean up.
+    fn build_merged(
         &self,
         inputs: &[Arc<DiskComponent>],
         includes_oldest: bool,
-        _guard: tc_util::sync::OrderedMutexGuard<'_, ()>,
-    ) {
+    ) -> Result<(DiskComponent, u64), StorageError> {
         let blobs: Vec<Option<&[u8]>> = inputs.iter().map(|c| c.metadata()).collect();
         let metadata = self.hook.merge_metadata(&blobs);
         let expected: usize = inputs.iter().map(|c| c.num_entries() as usize).sum();
@@ -554,7 +708,8 @@ impl LsmTree {
             self.opts.compression,
             expected,
             self.opts.bloom_bits_per_key,
-        );
+        )
+        .with_integrity(self.opts.integrity);
         let mut count = 0u64;
         {
             let mut scan = MergedScan::new(&[], inputs, &self.cache, None, None, true);
@@ -562,14 +717,36 @@ impl LsmTree {
                 match kind {
                     EntryKind::AntiMatter if includes_oldest => continue,
                     kind => {
-                        builder.push(&key, kind, &payload);
+                        builder.push(&key, kind, &payload)?;
                         count += 1;
                     }
                 }
             }
+            // A merge must never write a component that silently lost
+            // rows to a corrupt input: surface the first error instead.
+            if let Some((_, e)) = scan.take_health().degraded().first() {
+                return Err(e.clone());
+            }
         }
         let id = ComponentId::merged(inputs[0].id(), inputs[inputs.len() - 1].id());
-        let merged = builder.finish(id, metadata, false);
+        let merged = builder.finish(id, metadata, false)?;
+        Ok((merged, count))
+    }
+
+    /// The merge body. The caller passes the merge-lock guard to prove the
+    /// critical section; the merged component's metadata is chosen by the
+    /// hook — the paper's rule keeps the newest schema without touching
+    /// in-memory state (§3.1.1). On a fault nothing installs: the inputs
+    /// remain the live components and the error is counted.
+    fn merge_locked(
+        &self,
+        inputs: &[Arc<DiskComponent>],
+        includes_oldest: bool,
+        _guard: tc_util::sync::OrderedMutexGuard<'_, ()>,
+    ) -> Result<(), StorageError> {
+        let (merged, count) = self.build_merged(inputs, includes_oldest).inspect_err(|_| {
+            self.stats.maintenance_errors.fetch_add(1, AtomicOrdering::Relaxed);
+        })?;
         merged.set_valid();
         // Swap in the merged component *by identity*: a concurrent flush
         // may have appended components while we built, so positions (not
@@ -591,13 +768,14 @@ impl LsmTree {
         }
         self.stats.merges.fetch_add(1, AtomicOrdering::Relaxed);
         self.stats.entries_merged.fetch_add(count, AtomicOrdering::Relaxed);
+        Ok(())
     }
 
     /// Bulk-load a pre-sorted stream into a single component (paper §4.3:
     /// loading sorts records and builds one B+-tree bottom-up; the tuple
     /// compactor infers and compacts during the build). The tree must be
     /// empty.
-    pub fn bulk_load<I>(&self, sorted: I)
+    pub fn bulk_load<I>(&self, sorted: I) -> Result<(), StorageError>
     where
         I: IntoIterator<Item = (Key, Vec<u8>)>,
     {
@@ -615,11 +793,12 @@ impl LsmTree {
             self.opts.compression,
             1024,
             self.opts.bloom_bits_per_key,
-        );
+        )
+        .with_integrity(self.opts.integrity);
         let mut count = 0u64;
         for (key, payload) in sorted {
             let transformed = self.hook.on_flush_record(&payload);
-            builder.push(&key, EntryKind::Record, &transformed);
+            builder.push(&key, EntryKind::Record, &transformed)?;
             count += 1;
         }
         let metadata = self.hook.flush_metadata();
@@ -632,11 +811,12 @@ impl LsmTree {
             st.next_seq += 1;
             seq
         };
-        let component = builder.finish(ComponentId::flushed(seq), metadata, false);
+        let component = builder.finish(ComponentId::flushed(seq), metadata, false)?;
         component.set_valid();
         self.state.write().disk.push(Arc::new(component));
         self.stats.flushes.fetch_add(1, AtomicOrdering::Relaxed);
         self.stats.entries_flushed.fetch_add(count, AtomicOrdering::Relaxed);
+        Ok(())
     }
 
     // -----------------------------------------------------------------
@@ -649,14 +829,14 @@ impl LsmTree {
     /// change between a lookup and a subsequent write, so the counted/
     /// uncounted decision for anti-schemas is made atomically inside
     /// [`LsmTree::delete_versioned`] instead.
-    pub fn get_entry(&self, key: &[u8]) -> Option<(EntryKind, Vec<u8>)> {
+    pub fn get_entry(&self, key: &[u8]) -> Result<Option<(EntryKind, Vec<u8>)>, StorageError> {
         // Memtables are checked under the read lock (cheap map probes); the
         // component list is cloned so the disk probes — which may fault
         // pages in — run without blocking writers.
         let components = {
             let view = self.read_view();
             if let Some(hit) = view.mem_entry(key) {
-                return Some(hit);
+                return Ok(Some(hit));
             }
             view.components()
         };
@@ -666,25 +846,40 @@ impl LsmTree {
     /// Probe an owned component snapshot newest → oldest — the shared
     /// post-view resolution step for point lookups (used here and by the
     /// dataset's snapshot lookups, so the probe order can never diverge).
+    /// A quarantined component fails the lookup with a typed error:
+    /// skipping it could resurrect a deleted key or return a stale version,
+    /// so point lookups never degrade (range scans do, with health
+    /// reporting — see [`crate::iter::ScanHealth`]).
     pub fn probe_components(
         components: &[Arc<DiskComponent>],
         cache: &BufferCache,
         key: &[u8],
-    ) -> Option<(EntryKind, Vec<u8>)> {
-        components.iter().rev().find_map(|c| c.get(cache, key))
+    ) -> Result<Option<(EntryKind, Vec<u8>)>, StorageError> {
+        for c in components.iter().rev() {
+            if c.is_quarantined() {
+                return Err(StorageError::corruption(
+                    "component",
+                    format!("component {} is quarantined", c.id()),
+                ));
+            }
+            if let Some(hit) = c.get(cache, key)? {
+                return Ok(Some(hit));
+            }
+        }
+        Ok(None)
     }
 
     /// Point lookup for a live record.
-    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
-        match self.get_entry(key)? {
-            (EntryKind::Record, p) => Some(p),
-            (EntryKind::AntiMatter, _) => None,
-        }
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StorageError> {
+        Ok(match self.get_entry(key)? {
+            Some((EntryKind::Record, p)) => Some(p),
+            _ => None,
+        })
     }
 
     /// Does the key exist (live)? Used by the primary-key index fast path.
-    pub fn contains(&self, key: &[u8]) -> bool {
-        matches!(self.get_entry(key), Some((EntryKind::Record, _)))
+    pub fn contains(&self, key: &[u8]) -> Result<bool, StorageError> {
+        Ok(matches!(self.get_entry(key)?, Some((EntryKind::Record, _))))
     }
 
     /// Full scan of live records (an owned, consistent snapshot).
@@ -725,6 +920,8 @@ impl LsmTree {
         st.mem = Memtable::new();
         st.frozen = None;
         st.pending_anti.clear();
+        st.frozen_anti.clear();
+        st.frozen_resumable = false;
     }
 
     /// Recovery: discard invalid components (unset validity bit), then
@@ -733,7 +930,7 @@ impl LsmTree {
     /// replayed_operations). After recovery the caller may flush normally —
     /// the compactor hook "operates normally" on the restored component
     /// (§3.1.2).
-    pub fn recover(&self) -> (usize, usize) {
+    pub fn recover(&self) -> Result<(usize, usize), StorageError> {
         let _flush = self.flush_lock.lock();
         let _merge = self.merge_lock.lock();
         let mut st = self.state.write();
@@ -742,7 +939,7 @@ impl LsmTree {
         let removed = before - st.disk.len();
         // Reset the sequence to follow the newest surviving component.
         st.next_seq = st.disk.last().map(|c| c.id().max + 1).unwrap_or(0);
-        let ops = self.wal.replay();
+        let ops = self.wal.replay()?;
         let replayed = ops.len();
         for (key, entry) in ops {
             // Anti-matter attachments re-make the `delete_versioned`
@@ -769,7 +966,7 @@ impl LsmTree {
             // rebuild the pending anti-schema list too.
             Self::apply_locked(&mut st, key, entry);
         }
-        (removed, replayed)
+        Ok((removed, replayed))
     }
 
     /// The newest component's metadata blob (the schema the recovery
@@ -810,89 +1007,89 @@ mod tests {
     fn insert_get_across_flushes() {
         let t = small_tree();
         for i in 0..200u64 {
-            t.insert(encode_u64_key(i), format!("v{i}").into_bytes());
+            t.insert(encode_u64_key(i), format!("v{i}").into_bytes()).unwrap();
         }
         assert!(t.stats().flushes > 0, "budget should have forced flushes");
         assert!(t.stats().writer_stall_nanos > 0, "inline flushes stall the writer");
         for i in (0..200u64).step_by(17) {
-            assert_eq!(t.get(&encode_u64_key(i)), Some(format!("v{i}").into_bytes()));
+            assert_eq!(t.get(&encode_u64_key(i)).unwrap(), Some(format!("v{i}").into_bytes()));
         }
-        assert_eq!(t.get(&encode_u64_key(999)), None);
+        assert_eq!(t.get(&encode_u64_key(999)).unwrap(), None);
         assert_eq!(t.count(), 200);
     }
 
     #[test]
     fn delete_hides_record_across_components() {
         let t = small_tree();
-        t.insert(encode_u64_key(1), b"one".to_vec());
-        t.flush();
-        t.delete(encode_u64_key(1), None);
-        assert_eq!(t.get(&encode_u64_key(1)), None);
-        t.flush();
-        assert_eq!(t.get(&encode_u64_key(1)), None);
+        t.insert(encode_u64_key(1), b"one".to_vec()).unwrap();
+        t.flush().unwrap();
+        t.delete(encode_u64_key(1), None).unwrap();
+        assert_eq!(t.get(&encode_u64_key(1)).unwrap(), None);
+        t.flush().unwrap();
+        assert_eq!(t.get(&encode_u64_key(1)).unwrap(), None);
         assert_eq!(t.count(), 0);
     }
 
     #[test]
     fn merge_annihilates_and_garbage_collects() {
         let t = small_tree();
-        t.insert(encode_u64_key(0), b"Kim".to_vec());
-        t.insert(encode_u64_key(1), b"John".to_vec());
-        t.flush(); // C0
-        t.delete(encode_u64_key(0), None);
-        t.insert(encode_u64_key(2), b"Bob".to_vec());
-        t.flush(); // C1
+        t.insert(encode_u64_key(0), b"Kim".to_vec()).unwrap();
+        t.insert(encode_u64_key(1), b"John".to_vec()).unwrap();
+        t.flush().unwrap(); // C0
+        t.delete(encode_u64_key(0), None).unwrap();
+        t.insert(encode_u64_key(2), b"Bob".to_vec()).unwrap();
+        t.flush().unwrap(); // C1
         assert_eq!(t.components().len(), 2);
-        t.force_full_merge();
+        t.force_full_merge().unwrap();
         assert_eq!(t.components().len(), 1);
         let merged = &t.components()[0];
         assert_eq!(merged.id().to_string(), "[C0,C1]");
         // Kim and the anti-matter annihilated: 2 live entries, 0 anti.
         assert_eq!(merged.num_entries(), 2);
         assert_eq!(merged.num_antimatter(), 0);
-        assert_eq!(t.get(&encode_u64_key(0)), None);
-        assert_eq!(t.get(&encode_u64_key(1)), Some(b"John".to_vec()));
+        assert_eq!(t.get(&encode_u64_key(0)).unwrap(), None);
+        assert_eq!(t.get(&encode_u64_key(1)).unwrap(), Some(b"John".to_vec()));
     }
 
     #[test]
     fn partial_merge_preserves_antimatter() {
         let t = small_tree();
-        t.insert(encode_u64_key(7), b"v".to_vec());
-        t.flush(); // C0 holds the record
-        t.delete(encode_u64_key(7), None);
-        t.flush(); // C1 holds anti-matter
-        t.insert(encode_u64_key(8), b"w".to_vec());
-        t.flush(); // C2
+        t.insert(encode_u64_key(7), b"v".to_vec()).unwrap();
+        t.flush().unwrap(); // C0 holds the record
+        t.delete(encode_u64_key(7), None).unwrap();
+        t.flush().unwrap(); // C1 holds anti-matter
+        t.insert(encode_u64_key(8), b"w".to_vec()).unwrap();
+        t.flush().unwrap(); // C2
 
         // Merge C1..C2 only: the anti-matter must survive, because C0 still
         // holds the record it kills.
-        t.merge(1..3);
+        t.merge(1..3).unwrap();
         assert_eq!(t.components().len(), 2);
         assert_eq!(t.components()[1].num_antimatter(), 1);
-        assert_eq!(t.get(&encode_u64_key(7)), None, "record must stay dead");
+        assert_eq!(t.get(&encode_u64_key(7)).unwrap(), None, "record must stay dead");
     }
 
     #[test]
     fn upsert_last_write_wins() {
         let t = small_tree();
-        t.insert(encode_u64_key(5), b"a".to_vec());
-        t.flush();
-        t.delete(encode_u64_key(5), None);
-        t.insert(encode_u64_key(5), b"b".to_vec());
-        assert_eq!(t.get(&encode_u64_key(5)), Some(b"b".to_vec()));
-        t.flush();
-        t.force_full_merge();
-        assert_eq!(t.get(&encode_u64_key(5)), Some(b"b".to_vec()));
+        t.insert(encode_u64_key(5), b"a".to_vec()).unwrap();
+        t.flush().unwrap();
+        t.delete(encode_u64_key(5), None).unwrap();
+        t.insert(encode_u64_key(5), b"b".to_vec()).unwrap();
+        assert_eq!(t.get(&encode_u64_key(5)).unwrap(), Some(b"b".to_vec()));
+        t.flush().unwrap();
+        t.force_full_merge().unwrap();
+        assert_eq!(t.get(&encode_u64_key(5)).unwrap(), Some(b"b".to_vec()));
         assert_eq!(t.count(), 1);
     }
 
     #[test]
     fn scan_merges_mem_and_disk() {
         let t = small_tree();
-        t.insert(encode_u64_key(2), b"disk".to_vec());
-        t.flush();
-        t.insert(encode_u64_key(1), b"mem".to_vec());
-        t.insert(encode_u64_key(2), b"mem-override".to_vec());
+        t.insert(encode_u64_key(2), b"disk".to_vec()).unwrap();
+        t.flush().unwrap();
+        t.insert(encode_u64_key(1), b"mem".to_vec()).unwrap();
+        t.insert(encode_u64_key(2), b"mem-override".to_vec()).unwrap();
         let mut scan = t.scan();
         let mut got = Vec::new();
         while let Some((k, _, p)) = scan.next() {
@@ -904,49 +1101,49 @@ mod tests {
     #[test]
     fn crash_recovery_replays_wal() {
         let t = small_tree();
-        t.insert(encode_u64_key(1), b"flushed".to_vec());
-        t.flush();
-        t.insert(encode_u64_key(2), b"unflushed".to_vec());
-        t.delete(encode_u64_key(1), Some(b"anti-schema".to_vec()));
+        t.insert(encode_u64_key(1), b"flushed".to_vec()).unwrap();
+        t.flush().unwrap();
+        t.insert(encode_u64_key(2), b"unflushed".to_vec()).unwrap();
+        t.delete(encode_u64_key(1), Some(b"anti-schema".to_vec())).unwrap();
         t.simulate_crash();
-        assert_eq!(t.get(&encode_u64_key(2)), None, "memtable lost");
-        assert_eq!(t.get(&encode_u64_key(1)), Some(b"flushed".to_vec()));
-        let (removed, replayed) = t.recover();
+        assert_eq!(t.get(&encode_u64_key(2)).unwrap(), None, "memtable lost");
+        assert_eq!(t.get(&encode_u64_key(1)).unwrap(), Some(b"flushed".to_vec()));
+        let (removed, replayed) = t.recover().unwrap();
         assert_eq!(removed, 0);
         assert_eq!(replayed, 2);
-        assert_eq!(t.get(&encode_u64_key(2)), Some(b"unflushed".to_vec()));
-        assert_eq!(t.get(&encode_u64_key(1)), None, "delete replayed");
+        assert_eq!(t.get(&encode_u64_key(2)).unwrap(), Some(b"unflushed".to_vec()));
+        assert_eq!(t.get(&encode_u64_key(1)).unwrap(), None, "delete replayed");
     }
 
     #[test]
     fn crash_mid_flush_discards_invalid_component() {
         let t = small_tree();
-        t.insert(encode_u64_key(1), b"a".to_vec());
-        t.flush(); // C0 valid
-        t.insert(encode_u64_key(2), b"b".to_vec());
+        t.insert(encode_u64_key(1), b"a".to_vec()).unwrap();
+        t.flush().unwrap(); // C0 valid
+        t.insert(encode_u64_key(2), b"b".to_vec()).unwrap();
         t.flush_crashing_before_validity(); // C1 invalid, WAL intact
         assert_eq!(t.components().len(), 2);
         t.simulate_crash();
-        let (removed, replayed) = t.recover();
+        let (removed, replayed) = t.recover().unwrap();
         assert_eq!(removed, 1, "invalid C1 removed");
         assert_eq!(replayed, 1, "WAL replays the lost insert");
-        assert_eq!(t.get(&encode_u64_key(2)), Some(b"b".to_vec()));
+        assert_eq!(t.get(&encode_u64_key(2)).unwrap(), Some(b"b".to_vec()));
         // Re-flush: the restored component becomes the new C1 (§3.1.2).
-        t.flush();
+        t.flush().unwrap();
         assert_eq!(t.components().last().unwrap().id().to_string(), "C1");
     }
 
     #[test]
     fn torn_wal_tail_loses_only_last_op() {
         let t = small_tree();
-        t.insert(encode_u64_key(1), b"a".to_vec());
-        t.insert(encode_u64_key(2), b"b".to_vec());
+        t.insert(encode_u64_key(1), b"a".to_vec()).unwrap();
+        t.insert(encode_u64_key(2), b"b".to_vec()).unwrap();
         t.wal().tear_tail(3);
         t.simulate_crash();
-        let (_, replayed) = t.recover();
+        let (_, replayed) = t.recover().unwrap();
         assert_eq!(replayed, 1);
-        assert_eq!(t.get(&encode_u64_key(1)), Some(b"a".to_vec()));
-        assert_eq!(t.get(&encode_u64_key(2)), None);
+        assert_eq!(t.get(&encode_u64_key(1)).unwrap(), Some(b"a".to_vec()));
+        assert_eq!(t.get(&encode_u64_key(2)).unwrap(), None);
     }
 
     #[test]
@@ -961,7 +1158,7 @@ mod tests {
             ..Default::default()
         });
         for i in 0..2000u64 {
-            t.insert(encode_u64_key(i), vec![0u8; 64]);
+            t.insert(encode_u64_key(i), vec![0u8; 64]).unwrap();
         }
         assert!(t.stats().merges > 0, "prefix policy should have merged");
         assert!(t.components().len() <= 4);
@@ -971,10 +1168,11 @@ mod tests {
     #[test]
     fn bulk_load_builds_single_component() {
         let t = small_tree();
-        t.bulk_load((0..1000u64).map(|i| (encode_u64_key(i), format!("v{i}").into_bytes())));
+        t.bulk_load((0..1000u64).map(|i| (encode_u64_key(i), format!("v{i}").into_bytes())))
+            .unwrap();
         assert_eq!(t.components().len(), 1);
         assert_eq!(t.count(), 1000);
-        assert_eq!(t.get(&encode_u64_key(500)), Some(b"v500".to_vec()));
+        assert_eq!(t.get(&encode_u64_key(500)).unwrap(), Some(b"v500".to_vec()));
     }
 
     #[test]
@@ -993,11 +1191,11 @@ mod tests {
             Arc::new(BlobHook),
             LsmOptions { merge_policy: MergePolicy::NoMerge, ..Default::default() },
         );
-        t.insert(encode_u64_key(1), b"a".to_vec());
-        t.flush();
-        t.insert(encode_u64_key(2), b"b".to_vec());
-        t.flush();
-        t.force_full_merge();
+        t.insert(encode_u64_key(1), b"a".to_vec()).unwrap();
+        t.flush().unwrap();
+        t.insert(encode_u64_key(2), b"b".to_vec()).unwrap();
+        t.flush().unwrap();
+        t.force_full_merge().unwrap();
         assert_eq!(t.newest_metadata(), Some(b"schema".to_vec()));
     }
 
@@ -1022,15 +1220,15 @@ mod tests {
         );
         // Version still in the active memtable: never observed → the
         // attachment must be dropped.
-        t.insert(encode_u64_key(1), b"v1".to_vec());
-        t.delete_versioned(encode_u64_key(1), Some(b"anti".to_vec()));
-        t.flush();
+        t.insert(encode_u64_key(1), b"v1".to_vec()).unwrap();
+        t.delete_versioned(encode_u64_key(1), Some(b"anti".to_vec())).unwrap();
+        t.flush().unwrap();
         assert_eq!(hook.0.load(AtomicOrdering::Relaxed), 0, "unobserved version: no decrement");
         // Version on disk: observed → the attachment reaches the hook.
-        t.insert(encode_u64_key(2), b"v1".to_vec());
-        t.flush();
-        t.delete_versioned(encode_u64_key(2), Some(b"anti".to_vec()));
-        t.flush();
+        t.insert(encode_u64_key(2), b"v1".to_vec()).unwrap();
+        t.flush().unwrap();
+        t.delete_versioned(encode_u64_key(2), Some(b"anti".to_vec())).unwrap();
+        t.flush().unwrap();
         assert_eq!(hook.0.load(AtomicOrdering::Relaxed), 1, "observed version: one decrement");
     }
 
@@ -1056,20 +1254,20 @@ mod tests {
             Arc::clone(&hook) as Arc<dyn ComponentHook>,
             LsmOptions { merge_policy: MergePolicy::NoMerge, ..Default::default() },
         );
-        t.insert(encode_u64_key(1), b"v1".to_vec());
+        t.insert(encode_u64_key(1), b"v1".to_vec()).unwrap();
         t.flush_crashing_before_validity(); // v1's count never durable; WAL keeps its insert
-        t.delete_versioned(encode_u64_key(1), Some(b"anti".to_vec())); // sees no active record → "counted"
+        t.delete_versioned(encode_u64_key(1), Some(b"anti".to_vec())).unwrap(); // sees no active record → "counted"
         t.simulate_crash();
-        let (removed, replayed) = t.recover();
+        let (removed, replayed) = t.recover().unwrap();
         assert_eq!(removed, 1);
         assert_eq!(replayed, 2, "insert + anti-matter both replay");
-        t.flush();
+        t.flush().unwrap();
         assert_eq!(
             hook.0.load(AtomicOrdering::Relaxed),
             0,
             "the never-durably-counted version must not be decremented"
         );
-        assert_eq!(t.get(&encode_u64_key(1)), None, "the delete itself still holds");
+        assert_eq!(t.get(&encode_u64_key(1)).unwrap(), None, "the delete itself still holds");
     }
 
     #[test]
@@ -1092,7 +1290,7 @@ mod tests {
             let writer = Arc::clone(&t);
             scope.spawn(move || {
                 for i in 0..N {
-                    writer.insert(encode_u64_key(i), format!("payload-{i}").into_bytes());
+                    writer.insert(encode_u64_key(i), format!("payload-{i}").into_bytes()).unwrap();
                 }
             });
             for _ in 0..3 {
@@ -1101,7 +1299,7 @@ mod tests {
                     for round in 0..40u64 {
                         // Point gets: value must always match its key.
                         for i in (0..N).step_by(97) {
-                            if let Some(p) = reader.get(&encode_u64_key(i)) {
+                            if let Some(p) = reader.get(&encode_u64_key(i)).unwrap() {
                                 assert_eq!(p, format!("payload-{i}").into_bytes());
                             }
                         }
@@ -1131,13 +1329,13 @@ mod tests {
     fn flush_from_background_thread_keeps_readers_consistent() {
         let t = Arc::new(small_tree());
         for i in 0..300u64 {
-            t.insert(encode_u64_key(i), format!("v{i}").into_bytes());
+            t.insert(encode_u64_key(i), format!("v{i}").into_bytes()).unwrap();
         }
         std::thread::scope(|scope| {
             let flusher = Arc::clone(&t);
             scope.spawn(move || {
-                flusher.flush();
-                flusher.force_full_merge();
+                flusher.flush().unwrap();
+                flusher.force_full_merge().unwrap();
             });
             let reader = Arc::clone(&t);
             scope.spawn(move || {

@@ -38,6 +38,21 @@ pub enum Engine {
     Row,
 }
 
+/// What a query does when a scan source proves corrupt — a component
+/// already quarantined by an earlier read, or a checksum failure caught
+/// mid-scan (which quarantines the component as a side effect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorruptionPolicy {
+    /// Fail the query with a typed [`AdmError::Storage`]. The default: a
+    /// partial answer is never silently presented as a complete one.
+    #[default]
+    Fail,
+    /// Return the rows that survived and report how many components were
+    /// skipped or cut short in [`ExecStats::quarantined_components`] —
+    /// graceful degradation for callers that prefer partial availability.
+    Degrade,
+}
+
 /// Execution options.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
@@ -49,6 +64,8 @@ pub struct ExecOptions {
     pub engine: Engine,
     /// Records per chunk for [`Engine::Batched`].
     pub batch_size: usize,
+    /// Behavior when a scan source is corrupt.
+    pub corruption_policy: CorruptionPolicy,
 }
 
 impl Default for ExecOptions {
@@ -57,6 +74,7 @@ impl Default for ExecOptions {
             parallel: true,
             engine: Engine::Batched,
             batch_size: batch::DEFAULT_BATCH_SIZE,
+            corruption_policy: CorruptionPolicy::default(),
         }
     }
 }
@@ -71,6 +89,11 @@ impl ExecOptions {
     pub fn with_engine(engine: Engine) -> Self {
         ExecOptions { engine, ..Default::default() }
     }
+
+    /// Pick the corruption policy, other options at their defaults.
+    pub fn with_corruption_policy(policy: CorruptionPolicy) -> Self {
+        ExecOptions { corruption_policy: policy, ..Default::default() }
+    }
 }
 
 /// Counters the experiments report.
@@ -82,6 +105,11 @@ pub struct ExecStats {
     /// Schema bytes shipped for queries with a non-local exchange (§3.4.1).
     pub broadcast_bytes: u64,
     pub partitions: usize,
+    /// Components skipped (pre-quarantined) or cut short (mid-scan checksum
+    /// failure) across all partitions. Non-zero only under
+    /// [`CorruptionPolicy::Degrade`] — the `Fail` policy turns the first
+    /// one into an error instead.
+    pub quarantined_components: u64,
 }
 
 /// Rows + stats.
@@ -127,7 +155,7 @@ pub fn execute(
     let global_ops = if split < query.ops.len() { &query.ops[split + 1..] } else { &[][..] };
 
     // ---- local stage, one pipeline per partition ----
-    let locals: Vec<Result<(LocalOutput, u64, u64), AdmError>> = if opts.parallel
+    let locals: Vec<Result<(LocalOutput, u64, u64, u64), AdmError>> = if opts.parallel
         && partitions.len() > 1
     {
         std::thread::scope(|scope| {
@@ -149,9 +177,10 @@ pub fn execute(
     let mut grouped: FxHashMap<Vec<OrdValue>, (Row, Vec<AggState>)> = FxHashMap::default();
     let mut rows: Vec<Row> = Vec::new();
     for local in locals {
-        let (out, scanned, bytes) = local?;
+        let (out, scanned, bytes, quarantined) = local?;
         stats.rows_scanned += scanned;
         stats.bytes_scanned += bytes;
+        stats.quarantined_components += quarantined;
         match out {
             LocalOutput::Rows(mut r) => rows.append(&mut r),
             LocalOutput::Grouped(partials) => {
@@ -242,7 +271,7 @@ fn run_partition(
     local_ops: &[Op],
     blocking: Option<&Op>,
     opts: &ExecOptions,
-) -> Result<(LocalOutput, u64, u64), AdmError> {
+) -> Result<(LocalOutput, u64, u64, u64), AdmError> {
     // Decoder and scan are captured atomically: with background flushes
     // running, a decoder taken separately could miss dictionary codes the
     // scan's records need (or carry prunes ahead of the snapshot).
@@ -262,6 +291,16 @@ fn run_partition(
         )?,
         Engine::Row => scan_rows(&decoder, &mut iter, scan, limit_hint, &mut scanned, &mut bytes)?,
     };
+    // Post-scan health check: the merged scan degrades (skips quarantined
+    // components, stops a source at the first checksum failure) instead of
+    // panicking; whether that degradation is acceptable is the query's
+    // policy decision, made here.
+    let health = iter.take_health();
+    let quarantined = health.degraded().len() as u64;
+    if quarantined > 0 && opts.corruption_policy == CorruptionPolicy::Fail {
+        let e = health.first_error().expect("degraded scan records its error");
+        return Err(AdmError::storage(e.to_string(), e.is_transient()));
+    }
     for op in local_ops {
         rows = apply_op(rows, op);
     }
@@ -286,7 +325,7 @@ fn run_partition(
         }
         _ => LocalOutput::Rows(rows),
     };
-    Ok((out, scanned, bytes))
+    Ok((out, scanned, bytes, quarantined))
 }
 
 /// Can the scan stop after `k` surviving records? Only when the pending
@@ -487,7 +526,7 @@ mod tests {
             out[(i as usize) % partitions].writer().insert(&r).unwrap();
         }
         for ds in &mut out {
-            ds.flush();
+            ds.flush().unwrap();
         }
         out
     }
@@ -780,6 +819,69 @@ mod tests {
                 assert_eq!(batched.rows, row.rows, "plan {i} on {format:?}");
                 assert_eq!(batched.stats.rows_scanned, row.stats.rows_scanned, "plan {i}");
             }
+        }
+    }
+
+    #[test]
+    fn corruption_policy_fail_and_degrade() {
+        use tc_storage::FaultPlan;
+
+        // Two single-partition datasets sharing nothing: corrupt one
+        // component in the first by flipping a bit in its first page write.
+        let device = Arc::new(Device::new(DeviceProfile::RAM));
+        let ds = Dataset::new(
+            DatasetConfig::new("T", "id")
+                .with_format(StorageFormat::Inferred)
+                .with_memtable_budget(32 * 1024)
+                .with_merge_policy(tc_lsm::MergePolicy::NoMerge),
+            Arc::clone(&device),
+            Arc::new(BufferCache::new(4096)),
+        );
+        for i in 0..40 {
+            ds.writer()
+                .insert(&parse(&format!(r#"{{"id": {i}, "grp": "g{}"}}"#, i % 3)).unwrap())
+                .unwrap();
+        }
+        ds.flush().unwrap(); // clean component
+        for i in 40..80 {
+            ds.writer()
+                .insert(&parse(&format!(r#"{{"id": {i}, "grp": "g{}"}}"#, i % 3)).unwrap())
+                .unwrap();
+        }
+        device.set_fault_plan(FaultPlan::new(3).flip_bit_in_nth_write(1));
+        ds.flush().unwrap(); // second component stored with a flipped bit
+        device.clear_fault_plan();
+
+        let q = Query {
+            scan: ScanSpec::all_early(vec![parse_path("id")], AccessStrategy::Consolidated),
+            ops: vec![],
+        };
+        for engine in [Engine::Batched, Engine::Row] {
+            // Default policy: the corrupt component fails the query with a
+            // typed error — never a panic, never a silently partial answer.
+            let err =
+                execute(&[&ds], &q, &ExecOptions { engine, ..ExecOptions::default() }).unwrap_err();
+            assert!(
+                matches!(err, AdmError::Storage { transient: false, .. }),
+                "{engine:?}: {err:?}"
+            );
+            // Degrade: rows from healthy components survive; the stats
+            // report the quarantined component.
+            let res = execute(
+                &[&ds],
+                &q,
+                &ExecOptions {
+                    engine,
+                    ..ExecOptions::with_corruption_policy(CorruptionPolicy::Degrade)
+                },
+            )
+            .unwrap();
+            assert!(res.stats.quarantined_components >= 1, "{engine:?}");
+            assert!(
+                res.rows.len() >= 40 && res.rows.len() < 80,
+                "{engine:?}: healthy component survives, rotten one is cut ({} rows)",
+                res.rows.len()
+            );
         }
     }
 

@@ -367,7 +367,7 @@ mod tests {
             parts[i % 2].writer().insert(&r).unwrap();
         }
         for p in &mut parts {
-            p.flush();
+            p.flush().unwrap();
         }
         parts
     }

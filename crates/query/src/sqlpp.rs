@@ -862,7 +862,7 @@ mod tests {
             w.insert(&gen.next_record()).unwrap();
         }
         drop(w);
-        ds.flush();
+        ds.flush().unwrap();
         ds
     }
 

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use tc_util::hash::FxHashMap;
 use tc_util::sync::{ranks, OrderedMutex};
 
+use crate::error::StorageError;
 use crate::page_store::{PageId, PageStore};
 
 /// Cache key: (store id, page id).
@@ -55,24 +56,25 @@ impl BufferCache {
     }
 
     /// Read a page through the cache. Misses fetch from the store (charging
-    /// device IO); hits are free.
-    pub fn read(&self, store: &PageStore, page: PageId) -> Arc<Vec<u8>> {
+    /// device IO); hits are free. Fetch failures — injected faults or
+    /// checksum mismatches — propagate to the caller and cache nothing.
+    pub fn read(&self, store: &PageStore, page: PageId) -> Result<Arc<Vec<u8>>, StorageError> {
         let key = (store.id(), page);
         {
             let mut inner = self.inner.lock();
             if let Some(&slot) = inner.map.get(&key) {
                 inner.hits += 1;
                 inner.frames[slot].referenced = true;
-                return Arc::clone(&inner.frames[slot].data);
+                return Ok(Arc::clone(&inner.frames[slot].data));
             }
             inner.misses += 1;
         }
         // Fetch outside the lock: concurrent misses may duplicate work but
         // stay correct (pages are immutable).
-        let data = Arc::new(store.read_page(page));
+        let data = Arc::new(store.read_page(page)?);
         let mut inner = self.inner.lock();
         if inner.map.contains_key(&key) {
-            return data;
+            return Ok(data);
         }
         if inner.frames.len() < self.capacity {
             let slot = inner.frames.len();
@@ -95,7 +97,7 @@ impl BufferCache {
             inner.frames[slot] = Frame { key, data: Arc::clone(&data), referenced: true };
             inner.map.insert(key, slot);
         }
-        data
+        Ok(data)
     }
 
     /// Drop every cached page (simulates a cold cache between runs).
@@ -134,10 +136,12 @@ mod tests {
     use crate::device::{Device, DeviceProfile};
     use tc_compress::CompressionScheme;
 
+    use crate::page_store::PAGE_CRC_BYTES;
+
     fn store_with_pages(n: u8, device: Arc<Device>) -> PageStore {
         let store = PageStore::new(device, 64, CompressionScheme::None);
         for i in 0..n {
-            store.write_page(&[i; 64]);
+            store.write_page(&[i; 64]).unwrap();
         }
         store
     }
@@ -146,13 +150,14 @@ mod tests {
     fn hit_avoids_device_io() {
         let d = Arc::new(Device::new(DeviceProfile::SATA_SSD));
         let store = store_with_pages(4, Arc::clone(&d));
+        let stride = (64 + PAGE_CRC_BYTES) as u64;
         let written = d.bytes_written();
-        assert_eq!(written, 4 * 64);
+        assert_eq!(written, 4 * stride);
         let cache = BufferCache::new(8);
-        cache.read(&store, 0);
+        cache.read(&store, 0).unwrap();
         let after_miss = d.bytes_read();
-        assert_eq!(after_miss, 64);
-        let page = cache.read(&store, 0);
+        assert_eq!(after_miss, stride);
+        let page = cache.read(&store, 0).unwrap();
         assert_eq!(d.bytes_read(), after_miss, "hit must not touch the device");
         assert_eq!(page[0], 0);
         assert_eq!(cache.hits(), 1);
@@ -165,12 +170,12 @@ mod tests {
         let store = store_with_pages(10, Arc::clone(&d));
         let cache = BufferCache::new(3);
         for i in 0..10 {
-            cache.read(&store, i);
+            cache.read(&store, i).unwrap();
         }
         assert_eq!(cache.len(), 3);
         // All pages still readable (refetched on miss).
         for i in 0..10u64 {
-            assert_eq!(cache.read(&store, i)[0], i as u8);
+            assert_eq!(cache.read(&store, i).unwrap()[0], i as u8);
         }
     }
 
@@ -179,16 +184,16 @@ mod tests {
         let d = Arc::new(Device::new(DeviceProfile::RAM));
         let store = store_with_pages(4, Arc::clone(&d));
         let cache = BufferCache::new(2);
-        cache.read(&store, 0); // frame0 = p0 (ref)
-        cache.read(&store, 1); // frame1 = p1 (ref)
+        cache.read(&store, 0).unwrap(); // frame0 = p0 (ref)
+        cache.read(&store, 1).unwrap(); // frame1 = p1 (ref)
 
         // Miss: the sweep clears both ref bits, wraps, and evicts frame0.
-        cache.read(&store, 2); // frames: [p2 (ref), p1 (unref)]
+        cache.read(&store, 2).unwrap(); // frames: [p2 (ref), p1 (unref)]
 
         // Next miss must take the unreferenced frame (p1), not p2.
-        cache.read(&store, 0); // frames: [p2 (ref), p0 (ref)]
+        cache.read(&store, 0).unwrap(); // frames: [p2 (ref), p0 (ref)]
         let misses_before = cache.misses();
-        cache.read(&store, 2);
+        cache.read(&store, 2).unwrap();
         assert_eq!(cache.misses(), misses_before, "page 2 should have survived");
     }
 
@@ -197,10 +202,10 @@ mod tests {
         let d = Arc::new(Device::new(DeviceProfile::RAM));
         let s1 = store_with_pages(2, Arc::clone(&d));
         let s2 = PageStore::new(Arc::clone(&d), 64, CompressionScheme::None);
-        s2.write_page(&[0xaa; 64]);
+        s2.write_page(&[0xaa; 64]).unwrap();
         let cache = BufferCache::new(8);
-        assert_eq!(cache.read(&s1, 0)[0], 0);
-        assert_eq!(cache.read(&s2, 0)[0], 0xaa);
+        assert_eq!(cache.read(&s1, 0).unwrap()[0], 0);
+        assert_eq!(cache.read(&s2, 0).unwrap()[0], 0xaa);
     }
 
     #[test]
@@ -208,10 +213,10 @@ mod tests {
         let d = Arc::new(Device::new(DeviceProfile::SATA_SSD));
         let store = store_with_pages(1, Arc::clone(&d));
         let cache = BufferCache::new(2);
-        cache.read(&store, 0);
+        cache.read(&store, 0).unwrap();
         let reads = d.bytes_read();
         cache.clear();
-        cache.read(&store, 0);
+        cache.read(&store, 0).unwrap();
         assert!(d.bytes_read() > reads);
     }
 

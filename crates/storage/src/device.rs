@@ -9,8 +9,13 @@
 //! simulated stall time to measured CPU time (`total = cpu + bytes/bandwidth`,
 //! modelling the engine's synchronous page IO).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
+
+use tc_util::sync::{ranks, OrderedMutex};
+
+use crate::error::{IoOp, StorageError};
+use crate::fault::{FaultPlan, WriteMutation};
 
 /// Static description of a device's sequential throughput.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +50,15 @@ pub struct Device {
     bytes_written: AtomicU64,
     read_ops: AtomicU64,
     write_ops: AtomicU64,
+    /// Installed fault-injection plan, if any. Consulted (and released)
+    /// before taking the file `data` lock — rank 850 sits between `laf`
+    /// and `data` in the declared order.
+    fault: OrderedMutex<Option<FaultPlan>>,
+    /// Fast-path flag: when no plan is installed, fault consultation is a
+    /// single relaxed load, so the zero-fault overhead is unmeasurable.
+    fault_armed: AtomicBool,
+    faults_injected: AtomicU64,
+    checksum_failures: AtomicU64,
 }
 
 impl Device {
@@ -55,7 +69,80 @@ impl Device {
             bytes_written: AtomicU64::new(0),
             read_ops: AtomicU64::new(0),
             write_ops: AtomicU64::new(0),
+            fault: OrderedMutex::new(ranks::DEVICE_FAULT, None),
+            fault_armed: AtomicBool::new(false),
+            faults_injected: AtomicU64::new(0),
+            checksum_failures: AtomicU64::new(0),
         }
+    }
+
+    /// Install (replacing any previous) a fault plan. Every subsequent I/O
+    /// operation on files backed by this device consults it.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.fault.lock() = Some(plan);
+        self.fault_armed.store(true, Ordering::Release);
+    }
+
+    /// Remove the installed fault plan, returning it (its operation counters
+    /// are how the crash-point sweep calibrates itself).
+    pub fn clear_fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_armed.store(false, Ordering::Release);
+        self.fault.lock().take()
+    }
+
+    /// Total I/O operations the installed plan has observed (0 without one).
+    pub fn fault_ops_seen(&self) -> u64 {
+        self.fault.lock().as_ref().map_or(0, FaultPlan::ops_seen)
+    }
+
+    fn consult(&self, op: IoOp) -> Result<WriteMutation, StorageError> {
+        if !self.fault_armed.load(Ordering::Acquire) {
+            return Ok(WriteMutation::Clean);
+        }
+        let mut guard = self.fault.lock();
+        let Some(plan) = guard.as_mut() else {
+            return Ok(WriteMutation::Clean);
+        };
+        let outcome = plan.on_op(op);
+        if !matches!(outcome, Ok(WriteMutation::Clean)) {
+            self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    /// Consult the fault plan for a read. Called before the actual read.
+    #[inline]
+    pub fn fault_read(&self) -> Result<(), StorageError> {
+        self.consult(IoOp::Read).map(|_| ())
+    }
+
+    /// Consult the fault plan for a rotation (segment rename).
+    #[inline]
+    pub fn fault_rotate(&self) -> Result<(), StorageError> {
+        self.consult(IoOp::Rotate).map(|_| ())
+    }
+
+    /// Consult the fault plan for a write; the returned mutation tells the
+    /// file store how to (mis)handle the buffer.
+    #[inline]
+    pub fn fault_write(&self) -> Result<WriteMutation, StorageError> {
+        self.consult(IoOp::Write)
+    }
+
+    /// Record a checksum verification failure observed by a reader of this
+    /// device (page footer, WAL record, or LAF mismatch).
+    pub fn note_checksum_failure(&self) {
+        self.checksum_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Faults injected so far (scripted failures + mutations, random storms).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.load(Ordering::Relaxed)
+    }
+
+    /// Checksum verification failures detected by readers so far.
+    pub fn checksum_failures(&self) -> u64 {
+        self.checksum_failures.load(Ordering::Relaxed)
     }
 
     pub fn profile(&self) -> DeviceProfile {
@@ -174,6 +261,24 @@ mod tests {
         d.record_read(550_000_000);
         let t = d.io_time_since(&snap);
         assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fault_plan_lifecycle_and_counters() {
+        use crate::fault::FaultKind;
+        let d = Device::new(DeviceProfile::RAM);
+        // Unarmed: consults are free and clean.
+        assert_eq!(d.fault_read(), Ok(()));
+        assert_eq!(d.fault_ops_seen(), 0);
+        d.set_fault_plan(FaultPlan::new(9).fail_nth(IoOp::Read, 2, FaultKind::Transient));
+        assert_eq!(d.fault_read(), Ok(()));
+        assert_eq!(d.fault_read(), Err(StorageError::Transient { op: IoOp::Read }));
+        assert_eq!(d.faults_injected(), 1);
+        let plan = d.clear_fault_plan().expect("plan was installed");
+        assert_eq!(plan.ops_seen(), 2);
+        assert_eq!(d.fault_read(), Ok(()), "cleared plan no longer fires");
+        d.note_checksum_failure();
+        assert_eq!(d.checksum_failures(), 1);
     }
 
     #[test]

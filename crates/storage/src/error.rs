@@ -1,0 +1,105 @@
+//! Typed storage failures.
+//!
+//! Every raw I/O operation in the storage stack (file append/read, page
+//! read/write, WAL rotation) returns `Result<_, StorageError>` instead of
+//! panicking. Faults split into *transient* (the caller may retry with
+//! backoff — a maintenance worker does exactly that) and *permanent*
+//! (retrying cannot help: the device refused the operation, the requested
+//! range was never written, or a checksum proved the bytes rotten).
+
+use std::fmt;
+
+/// The I/O operation class a fault applies to. `Rotate` covers the WAL's
+/// segment rotation (modeled as a file rename via `FileStore::take_all`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    Read,
+    Write,
+    Rotate,
+}
+
+impl IoOp {
+    pub fn name(self) -> &'static str {
+        match self {
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+            IoOp::Rotate => "rotate",
+        }
+    }
+}
+
+/// A storage-layer failure. `Transient`/`Permanent` come from the fault
+/// injector (or, in a real deployment, the OS); `OutOfRange` and
+/// `Corruption` are detected by the engine itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A read past the end of a file. The engine only reads offsets it
+    /// wrote, so this indicates a truncated/rotten file, not a logic bug to
+    /// panic over.
+    OutOfRange { offset: u64, len: usize, file_len: u64 },
+    /// A checksum mismatch or undecodable structure: the bytes read back are
+    /// provably not the bytes written.
+    Corruption { what: &'static str, detail: String },
+    /// The device failed this operation but a retry may succeed.
+    Transient { op: IoOp },
+    /// The device failed this operation and retries will keep failing.
+    Permanent { op: IoOp },
+}
+
+impl StorageError {
+    pub fn corruption(what: &'static str, detail: impl Into<String>) -> Self {
+        StorageError::Corruption { what, detail: detail.into() }
+    }
+
+    /// True if a bounded retry with backoff is worth attempting.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Transient { .. })
+    }
+
+    /// True if the error proves on-device corruption (as opposed to a failed
+    /// operation): quarantine territory.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, StorageError::Corruption { .. } | StorageError::OutOfRange { .. })
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::OutOfRange { offset, len, file_len } => {
+                write!(f, "read of {len} bytes at offset {offset} exceeds file length {file_len}")
+            }
+            StorageError::Corruption { what, detail } => {
+                write!(f, "corruption detected in {what}: {detail}")
+            }
+            StorageError::Transient { op } => {
+                write!(f, "transient {} failure (retry may succeed)", op.name())
+            }
+            StorageError::Permanent { op } => write!(f, "permanent {} failure", op.name()),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(StorageError::Transient { op: IoOp::Write }.is_transient());
+        assert!(!StorageError::Permanent { op: IoOp::Write }.is_transient());
+        assert!(StorageError::corruption("page", "crc mismatch").is_corruption());
+        assert!(StorageError::OutOfRange { offset: 9, len: 4, file_len: 10 }.is_corruption());
+        assert!(!StorageError::Transient { op: IoOp::Read }.is_corruption());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::OutOfRange { offset: 100, len: 8, file_len: 64 };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains('8') && s.contains("64"), "{s}");
+        assert!(StorageError::Transient { op: IoOp::Rotate }.to_string().contains("rotate"));
+    }
+}

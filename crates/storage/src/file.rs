@@ -3,13 +3,20 @@
 //! LSM on-disk components are written once and never modified (paper §2.2),
 //! so the only file operations the engine needs are append and random read.
 //! Files are backed by memory (the simulator's "disk") and charge their IO
-//! against the partition's [`Device`].
+//! against the partition's [`Device`]. Every operation consults the device's
+//! fault plan first and returns a typed [`StorageError`] instead of
+//! panicking: reads can fail or run off the end of a truncated file, appends
+//! can fail cleanly, tear (a prefix lands, then the operation fails — a
+//! crash mid-append), or be silently bit-flipped (caught later by the
+//! checksum layer above).
 
 use std::sync::Arc;
 
 use tc_util::sync::{ranks, OrderedRwLock};
 
 use crate::device::Device;
+use crate::error::StorageError;
+use crate::fault::WriteMutation;
 
 /// An append-only file charging IO to a device.
 #[derive(Debug)]
@@ -23,23 +30,54 @@ impl FileStore {
         FileStore { data: OrderedRwLock::new(ranks::FILE_DATA, Vec::new()), device }
     }
 
-    /// Append bytes; returns the offset they were written at.
-    pub fn append(&self, bytes: &[u8]) -> u64 {
+    /// Append bytes; returns the offset they were written at. A torn write
+    /// stores a prefix and fails; a bit-flip mutation stores corrupted bytes
+    /// and *succeeds* (the fault model for silent media corruption).
+    pub fn append(&self, bytes: &[u8]) -> Result<u64, StorageError> {
+        // Fault consultation acquires (and releases) rank `fault` before the
+        // `data` lock below.
+        let mutation = self.device.fault_write()?;
         let mut data = self.data.write();
         let offset = data.len() as u64;
-        data.extend_from_slice(bytes);
+        match mutation {
+            WriteMutation::Clean => data.extend_from_slice(bytes),
+            WriteMutation::FlipBit { bit_seed } => {
+                data.extend_from_slice(bytes);
+                if !bytes.is_empty() {
+                    let bit = (bit_seed % (bytes.len() as u64 * 8)) as usize;
+                    let idx = offset as usize + bit / 8;
+                    data[idx] ^= 1 << (bit % 8);
+                }
+            }
+            WriteMutation::Tear { keep_seed } => {
+                let keep =
+                    if bytes.is_empty() { 0 } else { (keep_seed % bytes.len() as u64) as usize };
+                data.extend_from_slice(&bytes[..keep]);
+                drop(data);
+                self.device.record_write(keep as u64);
+                return Err(StorageError::Permanent { op: crate::error::IoOp::Write });
+            }
+        }
+        drop(data);
         self.device.record_write(bytes.len() as u64);
-        offset
+        Ok(offset)
     }
 
-    /// Read `len` bytes at `offset`. Panics on out-of-range reads — the
-    /// engine only reads offsets it wrote, so a violation is a logic bug.
-    pub fn read(&self, offset: u64, len: usize) -> Vec<u8> {
+    /// Read `len` bytes at `offset`. Out-of-range reads return a typed
+    /// error: the engine only reads offsets it wrote, so a violation means
+    /// the file was truncated or its directory structures are rotten.
+    pub fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>, StorageError> {
+        self.device.fault_read()?;
         let data = self.data.read();
         let start = offset as usize;
-        let out = data[start..start + len].to_vec();
+        let end = match start.checked_add(len) {
+            Some(end) if end <= data.len() => end,
+            _ => return Err(StorageError::OutOfRange { offset, len, file_len: data.len() as u64 }),
+        };
+        let out = data[start..end].to_vec();
+        drop(data);
         self.device.record_read(len as u64);
-        out
+        Ok(out)
     }
 
     /// Current file length in bytes.
@@ -58,9 +96,11 @@ impl FileStore {
 
     /// Detach the entire contents, leaving the file empty. Charges no
     /// device IO — this models a file *rename* (the WAL rotates its active
-    /// segment out by renaming it, not by rewriting the data).
-    pub fn take_all(&self) -> Vec<u8> {
-        std::mem::take(&mut *self.data.write())
+    /// segment out by renaming it, not by rewriting the data) — but it is
+    /// still an I/O operation the fault plan can fail (rotate class).
+    pub fn take_all(&self) -> Result<Vec<u8>, StorageError> {
+        self.device.fault_rotate()?;
+        Ok(std::mem::take(&mut *self.data.write()))
     }
 
     pub fn device(&self) -> &Arc<Device> {
@@ -72,6 +112,8 @@ impl FileStore {
 mod tests {
     use super::*;
     use crate::device::DeviceProfile;
+    use crate::error::IoOp;
+    use crate::fault::{FaultKind, FaultPlan};
 
     fn file() -> FileStore {
         FileStore::new(Arc::new(Device::new(DeviceProfile::RAM)))
@@ -80,29 +122,41 @@ mod tests {
     #[test]
     fn append_returns_sequential_offsets() {
         let f = file();
-        assert_eq!(f.append(b"abc"), 0);
-        assert_eq!(f.append(b"defg"), 3);
+        assert_eq!(f.append(b"abc").unwrap(), 0);
+        assert_eq!(f.append(b"defg").unwrap(), 3);
         assert_eq!(f.len(), 7);
-        assert_eq!(f.read(0, 3), b"abc");
-        assert_eq!(f.read(3, 4), b"defg");
+        assert_eq!(f.read(0, 3).unwrap(), b"abc");
+        assert_eq!(f.read(3, 4).unwrap(), b"defg");
+    }
+
+    #[test]
+    fn out_of_range_read_is_a_typed_error_not_a_panic() {
+        let f = file();
+        f.append(b"0123456789").unwrap();
+        assert_eq!(f.read(8, 4), Err(StorageError::OutOfRange { offset: 8, len: 4, file_len: 10 }));
+        assert_eq!(
+            f.read(u64::MAX, usize::MAX),
+            Err(StorageError::OutOfRange { offset: u64::MAX, len: usize::MAX, file_len: 10 })
+        );
+        assert_eq!(f.read(10, 0).unwrap(), b"", "reading zero bytes at EOF is fine");
     }
 
     #[test]
     fn truncate_drops_tail() {
         let f = file();
-        f.append(b"0123456789");
+        f.append(b"0123456789").unwrap();
         f.truncate(4);
         assert_eq!(f.len(), 4);
-        assert_eq!(f.read(0, 4), b"0123");
+        assert_eq!(f.read(0, 4).unwrap(), b"0123");
     }
 
     #[test]
     fn take_all_detaches_without_io_charge() {
         let d = Arc::new(Device::new(DeviceProfile::SATA_SSD));
         let f = FileStore::new(Arc::clone(&d));
-        f.append(b"log-segment");
+        f.append(b"log-segment").unwrap();
         let read_before = d.bytes_read();
-        let bytes = f.take_all();
+        let bytes = f.take_all().unwrap();
         assert_eq!(bytes, b"log-segment");
         assert!(f.is_empty());
         assert_eq!(d.bytes_read(), read_before, "rename charges no read IO");
@@ -112,9 +166,47 @@ mod tests {
     fn io_is_charged() {
         let d = Arc::new(Device::new(DeviceProfile::SATA_SSD));
         let f = FileStore::new(Arc::clone(&d));
-        f.append(&[0u8; 1000]);
-        f.read(0, 500);
+        f.append(&[0u8; 1000]).unwrap();
+        f.read(0, 500).unwrap();
         assert_eq!(d.bytes_written(), 1000);
         assert_eq!(d.bytes_read(), 500);
+    }
+
+    #[test]
+    fn injected_read_fault_surfaces_and_clears() {
+        let d = Arc::new(Device::new(DeviceProfile::RAM));
+        let f = FileStore::new(Arc::clone(&d));
+        f.append(b"payload").unwrap();
+        d.set_fault_plan(FaultPlan::new(5).fail_nth(IoOp::Read, 1, FaultKind::Transient));
+        assert_eq!(f.read(0, 7), Err(StorageError::Transient { op: IoOp::Read }));
+        assert_eq!(f.read(0, 7).unwrap(), b"payload", "one-shot fault; retry succeeds");
+        d.clear_fault_plan();
+    }
+
+    #[test]
+    fn torn_append_stores_prefix_and_fails() {
+        let d = Arc::new(Device::new(DeviceProfile::RAM));
+        let f = FileStore::new(Arc::clone(&d));
+        d.set_fault_plan(FaultPlan::new(11).tear_nth_write(1));
+        let err = f.append(b"0123456789").unwrap_err();
+        assert_eq!(err, StorageError::Permanent { op: IoOp::Write });
+        assert!(f.len() < 10, "only a prefix landed: {}", f.len());
+        d.clear_fault_plan();
+        // The file keeps working; later appends land after the torn prefix.
+        let torn = f.len();
+        assert_eq!(f.append(b"xy").unwrap(), torn);
+    }
+
+    #[test]
+    fn bit_flip_write_succeeds_with_corrupted_bytes() {
+        let d = Arc::new(Device::new(DeviceProfile::RAM));
+        let f = FileStore::new(Arc::clone(&d));
+        d.set_fault_plan(FaultPlan::new(23).flip_bit_in_nth_write(1));
+        let payload = vec![0u8; 64];
+        f.append(&payload).unwrap();
+        d.clear_fault_plan();
+        let back = f.read(0, 64).unwrap();
+        let flipped: u32 = back.iter().zip(&payload).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit differs");
     }
 }

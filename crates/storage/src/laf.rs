@@ -7,6 +7,8 @@
 //! `offset` from the data file (Fig 6). A 128 KB LAF page holds 10,922
 //! entries, so LAFs stay small and cacheable.
 
+use tc_util::crc;
+
 /// One LAF entry: where a compressed page lives and how long it is.
 /// Serialized as 12 bytes, matching the paper's implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,21 +76,27 @@ impl Laf {
         self.entries.len().div_ceil(per_page.max(1))
     }
 
-    /// Serialize all entries (LAF persistence in component metadata).
+    /// Serialize all entries followed by a CRC-32 footer (LAF persistence in
+    /// component metadata). A rotten LAF must never send readers to wrong
+    /// offsets, so the whole table is covered by one checksum.
     pub fn serialize(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.byte_len());
+        let mut out = Vec::with_capacity(self.byte_len() + 4);
         for e in &self.entries {
             out.extend_from_slice(&e.to_bytes());
         }
+        let sum = crc::crc32(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
         out
     }
 
-    /// Parse a serialized LAF.
+    /// Parse a serialized LAF, verifying its CRC-32 footer. Returns `None`
+    /// on truncation, length mismatch, or checksum failure.
     pub fn deserialize(bytes: &[u8]) -> Option<Self> {
-        if !bytes.len().is_multiple_of(LAF_ENTRY_BYTES) {
+        let body = crc::verify_crc32(bytes)?;
+        if !body.len().is_multiple_of(LAF_ENTRY_BYTES) {
             return None;
         }
-        let entries = bytes
+        let entries = body
             .chunks_exact(LAF_ENTRY_BYTES)
             .map(|c| LafEntry::from_bytes(c.try_into().expect("12")))
             .collect();
@@ -138,6 +146,21 @@ mod tests {
             assert_eq!(back.get(i), laf.get(i));
         }
         assert!(Laf::deserialize(&bytes[..5]).is_none());
+    }
+
+    #[test]
+    fn deserialize_detects_any_flipped_bit() {
+        let mut laf = Laf::new();
+        for i in 0..3u64 {
+            laf.push(LafEntry { offset: i * 512, length: 512 });
+        }
+        let bytes = laf.serialize();
+        assert_eq!(bytes.len(), 3 * LAF_ENTRY_BYTES + 4, "entries plus CRC footer");
+        for bit in 0..bytes.len() * 8 {
+            let mut corrupt = bytes.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            assert!(Laf::deserialize(&corrupt).is_none(), "bit={bit}");
+        }
     }
 
     #[test]

@@ -1,22 +1,34 @@
 //! A fixed-size-page file with optional page-level compression.
 //!
-//! Uncompressed stores address page *i* at byte `i × page_size` directly.
+//! Uncompressed stores address page *i* at byte `i × stride` directly.
 //! Compressed stores write variable-size compressed images back-to-back and
 //! record each page's `(offset, length)` in a [`Laf`] (paper §2.4). Either
 //! way the caller sees fixed-size pages.
+//!
+//! With integrity checking on (the default), every stored page carries a
+//! 4-byte CRC-32 footer over exactly the bytes on "disk" (the raw page, or
+//! the compressed image), verified on every read. A flipped device bit
+//! therefore surfaces as a typed [`StorageError::Corruption`] instead of
+//! decoded garbage. The footer is part of the stored stride, so IO
+//! accounting charges it in both directions.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use tc_compress::CompressionScheme;
+use tc_util::crc;
 use tc_util::sync::{ranks, OrderedRwLock};
 
 use crate::device::Device;
+use crate::error::StorageError;
 use crate::file::FileStore;
 use crate::laf::{Laf, LafEntry};
 
 /// Identifies a page within one store.
 pub type PageId = u64;
+
+/// Bytes of the per-page CRC-32 footer when integrity checking is on.
+pub const PAGE_CRC_BYTES: usize = 4;
 
 static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -27,6 +39,8 @@ pub struct PageStore {
     id: u64,
     page_size: usize,
     scheme: CompressionScheme,
+    /// Append a CRC-32 footer to every stored page and verify it on read.
+    integrity: bool,
     data: FileStore,
     laf: OrderedRwLock<Laf>,
     pages: AtomicU64,
@@ -38,10 +52,19 @@ impl PageStore {
             id: NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed),
             page_size,
             scheme,
+            integrity: true,
             data: FileStore::new(device),
             laf: OrderedRwLock::new(ranks::PAGE_LAF, Laf::new()),
             pages: AtomicU64::new(0),
         }
+    }
+
+    /// Toggle per-page checksum footers (on by default). Only meaningful
+    /// before the first write; exists so benchmarks can measure the
+    /// zero-fault overhead of integrity checking.
+    pub fn with_integrity(mut self, on: bool) -> Self {
+        self.integrity = on;
+        self
     }
 
     pub fn id(&self) -> u64 {
@@ -56,35 +79,85 @@ impl PageStore {
         self.scheme
     }
 
+    /// On-device bytes per uncompressed page (page plus optional footer).
+    fn stride(&self) -> usize {
+        self.page_size + if self.integrity { PAGE_CRC_BYTES } else { 0 }
+    }
+
     /// Append a page. `page` must be exactly `page_size` bytes (the engine
     /// zero-pads partially filled trailing pages, like any slotted layout).
-    pub fn write_page(&self, page: &[u8]) -> PageId {
+    /// On error nothing usable was stored and the store should be abandoned
+    /// by its builder — page ids are not reissued.
+    pub fn write_page(&self, page: &[u8]) -> Result<PageId, StorageError> {
         assert_eq!(page.len(), self.page_size, "page must be exactly page_size");
         let id = self.pages.fetch_add(1, Ordering::Relaxed);
         if self.scheme.is_none() {
-            let offset = self.data.append(page);
-            debug_assert_eq!(offset, id * self.page_size as u64);
+            let offset = if self.integrity {
+                let mut framed = Vec::with_capacity(self.stride());
+                framed.extend_from_slice(page);
+                crc::append_crc32(&mut framed, page);
+                self.data.append(&framed)?
+            } else {
+                self.data.append(page)?
+            };
+            debug_assert_eq!(offset, id * self.stride() as u64);
         } else {
-            let compressed = self.scheme.compress(page);
-            let offset = self.data.append(&compressed);
-            self.laf.write().push(LafEntry { offset, length: compressed.len() as u32 });
+            let mut stored = self.scheme.compress(page);
+            if self.integrity {
+                let sum = crc::crc32(&stored);
+                stored.extend_from_slice(&sum.to_le_bytes());
+            }
+            let offset = self.data.append(&stored)?;
+            self.laf.write().push(LafEntry { offset, length: stored.len() as u32 });
         }
-        id
+        Ok(id)
     }
 
-    /// Read a page back to its fixed size, decompressing if needed.
-    /// IO is charged for the *stored* (compressed) bytes.
-    pub fn read_page(&self, id: PageId) -> Vec<u8> {
+    /// Read a page back to its fixed size, verifying its checksum footer and
+    /// decompressing if needed. IO is charged for the *stored* bytes.
+    pub fn read_page(&self, id: PageId) -> Result<Vec<u8>, StorageError> {
         if self.scheme.is_none() {
-            self.data.read(id * self.page_size as u64, self.page_size)
+            let stride = self.stride();
+            let mut raw = self.data.read(id * stride as u64, stride)?;
+            if !self.integrity {
+                return Ok(raw);
+            }
+            if crc::verify_crc32(&raw).is_none() {
+                return Err(self.checksum_failure(id));
+            }
+            // Drop the footer in place — no second copy of the page.
+            raw.truncate(self.page_size);
+            Ok(raw)
         } else {
-            let entry =
-                self.laf.read().get(id as usize).unwrap_or_else(|| panic!("page {id} not in LAF"));
-            let compressed = self.data.read(entry.offset, entry.length as usize);
-            let page = self.scheme.decompress(&compressed).expect("stored page must decompress");
-            assert_eq!(page.len(), self.page_size, "decompressed page has wrong size");
-            page
+            let entry = self.laf.read().get(id as usize).ok_or_else(|| {
+                StorageError::corruption(
+                    "page store",
+                    format!("page {id} missing from the LAF of store {}", self.id),
+                )
+            })?;
+            let stored = self.data.read(entry.offset, entry.length as usize)?;
+            let compressed = if self.integrity {
+                match crc::verify_crc32(&stored) {
+                    Some(body) => body,
+                    None => return Err(self.checksum_failure(id)),
+                }
+            } else {
+                &stored[..]
+            };
+            let page = self.scheme.decompress(compressed).map_err(|_| self.checksum_failure(id))?;
+            if page.len() != self.page_size {
+                return Err(self.checksum_failure(id));
+            }
+            Ok(page)
         }
+    }
+
+    fn checksum_failure(&self, page: PageId) -> StorageError {
+        self.device().note_checksum_failure();
+        StorageError::corruption(
+            "data page",
+            format!("checksum mismatch on page {page} of store {}", self.id),
+        )
     }
 
     /// Number of data pages written.
@@ -92,7 +165,8 @@ impl PageStore {
         self.pages.load(Ordering::Relaxed)
     }
 
-    /// Bytes of page data on "disk" (compressed size if compressed).
+    /// Bytes of page data on "disk" (compressed size if compressed,
+    /// including checksum footers).
     pub fn data_bytes(&self) -> u64 {
         self.data.len()
     }
@@ -134,11 +208,12 @@ impl<'a> PageWriter<'a> {
     }
 
     /// Append a record. Returns `(page_index, offset_in_page)` of its start,
-    /// where `page_index` counts pages this writer has produced.
-    pub fn append(&mut self, record: &[u8]) -> (u64, u32) {
+    /// where `page_index` counts pages this writer has produced. On error
+    /// the component under construction must be abandoned.
+    pub fn append(&mut self, record: &[u8]) -> Result<(u64, u32), StorageError> {
         let page_size = self.store.page_size();
         if !self.buf.is_empty() && self.buf.len() + record.len() > page_size {
-            self.flush_page();
+            self.flush_page()?;
         }
         let pos = (self.pages_written.len() as u64, self.buf.len() as u32);
         let mut rest = record;
@@ -150,28 +225,29 @@ impl<'a> PageWriter<'a> {
             }
             let (head, tail) = rest.split_at(space);
             self.buf.extend_from_slice(head);
-            self.flush_page();
+            self.flush_page()?;
             rest = tail;
         }
         if self.buf.len() == page_size {
-            self.flush_page();
+            self.flush_page()?;
         }
-        pos
+        Ok(pos)
     }
 
-    fn flush_page(&mut self) {
+    fn flush_page(&mut self) -> Result<(), StorageError> {
         self.buf.resize(self.store.page_size(), 0);
-        let id = self.store.write_page(&self.buf);
+        let id = self.store.write_page(&self.buf)?;
         self.pages_written.push(id);
         self.buf.clear();
+        Ok(())
     }
 
     /// Flush any partial page and return the ids of all pages written.
-    pub fn finish(mut self) -> Vec<PageId> {
+    pub fn finish(mut self) -> Result<Vec<PageId>, StorageError> {
         if !self.buf.is_empty() {
-            self.flush_page();
+            self.flush_page()?;
         }
-        self.pages_written
+        Ok(self.pages_written)
     }
 }
 
@@ -179,6 +255,7 @@ impl<'a> PageWriter<'a> {
 mod tests {
     use super::*;
     use crate::device::DeviceProfile;
+    use crate::fault::FaultPlan;
 
     fn ram() -> Arc<Device> {
         Arc::new(Device::new(DeviceProfile::RAM))
@@ -189,13 +266,22 @@ mod tests {
         let store = PageStore::new(ram(), 64, CompressionScheme::None);
         let a = vec![1u8; 64];
         let b = vec![2u8; 64];
-        let pa = store.write_page(&a);
-        let pb = store.write_page(&b);
-        assert_eq!(store.read_page(pa), a);
-        assert_eq!(store.read_page(pb), b);
+        let pa = store.write_page(&a).unwrap();
+        let pb = store.write_page(&b).unwrap();
+        assert_eq!(store.read_page(pa).unwrap(), a);
+        assert_eq!(store.read_page(pb).unwrap(), b);
         assert_eq!(store.num_pages(), 2);
-        assert_eq!(store.data_bytes(), 128);
+        assert_eq!(store.data_bytes(), 2 * (64 + PAGE_CRC_BYTES) as u64);
         assert_eq!(store.laf_bytes(), 0);
+    }
+
+    #[test]
+    fn integrity_off_stores_bare_pages() {
+        let store = PageStore::new(ram(), 64, CompressionScheme::None).with_integrity(false);
+        let a = vec![9u8; 64];
+        let id = store.write_page(&a).unwrap();
+        assert_eq!(store.read_page(id).unwrap(), a);
+        assert_eq!(store.data_bytes(), 64);
     }
 
     #[test]
@@ -203,8 +289,8 @@ mod tests {
         let store = PageStore::new(ram(), 4096, CompressionScheme::Snappy);
         let page: Vec<u8> =
             b"repetitive page content ".iter().copied().cycle().take(4096).collect();
-        let id = store.write_page(&page);
-        assert_eq!(store.read_page(id), page);
+        let id = store.write_page(&page).unwrap();
+        assert_eq!(store.read_page(id).unwrap(), page);
         assert!(store.data_bytes() < 4096 / 2, "data bytes: {}", store.data_bytes());
         assert!(store.laf_bytes() >= 4096, "LAF occupies whole pages");
     }
@@ -220,33 +306,66 @@ mod tests {
                 p
             })
             .collect();
-        let ids: Vec<_> = pages.iter().map(|p| store.write_page(p)).collect();
+        let ids: Vec<_> = pages.iter().map(|p| store.write_page(p).unwrap()).collect();
         // Read back out of order.
         for (&id, page) in ids.iter().zip(&pages).rev() {
-            assert_eq!(store.read_page(id), *page);
+            assert_eq!(store.read_page(id).unwrap(), *page);
         }
+    }
+
+    #[test]
+    fn missing_laf_entry_is_a_typed_error() {
+        let store = PageStore::new(ram(), 64, CompressionScheme::Snappy);
+        let err = store.read_page(0).unwrap_err();
+        assert!(matches!(err, StorageError::Corruption { .. }), "{err}");
     }
 
     #[test]
     #[should_panic(expected = "page must be exactly page_size")]
     fn wrong_page_size_panics() {
         let store = PageStore::new(ram(), 64, CompressionScheme::None);
-        store.write_page(&[0u8; 63]);
+        let _ = store.write_page(&[0u8; 63]);
+    }
+
+    #[test]
+    fn flipped_bit_is_detected_uncompressed() {
+        let d = ram();
+        let store = PageStore::new(Arc::clone(&d), 128, CompressionScheme::None);
+        d.set_fault_plan(FaultPlan::new(77).flip_bit_in_nth_write(1));
+        let page = vec![0x5au8; 128];
+        let id = store.write_page(&page).unwrap();
+        d.clear_fault_plan();
+        let err = store.read_page(id).unwrap_err();
+        assert!(matches!(err, StorageError::Corruption { .. }), "{err}");
+        assert_eq!(d.checksum_failures(), 1);
+    }
+
+    #[test]
+    fn flipped_bit_is_detected_compressed() {
+        let d = ram();
+        let store = PageStore::new(Arc::clone(&d), 512, CompressionScheme::Snappy);
+        d.set_fault_plan(FaultPlan::new(78).flip_bit_in_nth_write(1));
+        let page: Vec<u8> = b"xyzzy ".iter().copied().cycle().take(512).collect();
+        let id = store.write_page(&page).unwrap();
+        d.clear_fault_plan();
+        let err = store.read_page(id).unwrap_err();
+        assert!(matches!(err, StorageError::Corruption { .. }), "{err}");
+        assert_eq!(d.checksum_failures(), 1);
     }
 
     #[test]
     fn page_writer_packs_records() {
         let store = PageStore::new(ram(), 32, CompressionScheme::None);
         let mut w = PageWriter::new(&store);
-        let (p0, o0) = w.append(&[1u8; 10]);
-        let (p1, o1) = w.append(&[2u8; 10]);
-        let (p2, o2) = w.append(&[3u8; 20]); // doesn't fit: new page
+        let (p0, o0) = w.append(&[1u8; 10]).unwrap();
+        let (p1, o1) = w.append(&[2u8; 10]).unwrap();
+        let (p2, o2) = w.append(&[3u8; 20]).unwrap(); // doesn't fit: new page
         assert_eq!((p0, o0), (0, 0));
         assert_eq!((p1, o1), (0, 10));
         assert_eq!((p2, o2), (1, 0));
-        let pages = w.finish();
+        let pages = w.finish().unwrap();
         assert_eq!(pages.len(), 2);
-        let page0 = store.read_page(pages[0]);
+        let page0 = store.read_page(pages[0]).unwrap();
         assert_eq!(&page0[..10], &[1u8; 10]);
         assert_eq!(&page0[10..20], &[2u8; 10]);
         assert_eq!(&page0[20..], &[0u8; 12]); // zero padding
@@ -257,13 +376,13 @@ mod tests {
         let store = PageStore::new(ram(), 16, CompressionScheme::None);
         let mut w = PageWriter::new(&store);
         let big = vec![7u8; 40]; // 2.5 pages
-        let (p, o) = w.append(&big);
+        let (p, o) = w.append(&big).unwrap();
         assert_eq!((p, o), (0, 0));
-        let pages = w.finish();
+        let pages = w.finish().unwrap();
         assert_eq!(pages.len(), 3);
         let mut all = Vec::new();
         for id in pages {
-            all.extend_from_slice(&store.read_page(id));
+            all.extend_from_slice(&store.read_page(id).unwrap());
         }
         assert_eq!(&all[..40], &big[..]);
     }
@@ -273,10 +392,10 @@ mod tests {
         let d = Arc::new(Device::new(DeviceProfile::SATA_SSD));
         let store = PageStore::new(Arc::clone(&d), 4096, CompressionScheme::Snappy);
         let page: Vec<u8> = b"abc".iter().copied().cycle().take(4096).collect();
-        let id = store.write_page(&page);
+        let id = store.write_page(&page).unwrap();
         let written = d.bytes_written();
         assert!(written < 4096, "compressed write should charge compressed bytes");
-        store.read_page(id);
+        store.read_page(id).unwrap();
         assert_eq!(d.bytes_read(), written, "read charges stored size");
     }
 }

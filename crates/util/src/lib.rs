@@ -11,8 +11,11 @@
 //!   hash partitioning and bloom filters.
 //! * [`sync`] — rank-ordered lock wrappers that assert the declared lock
 //!   order (`lint.toml`) at runtime in debug builds.
+//! * [`crc`] — CRC-32 checksums backing the end-to-end integrity footers on
+//!   WAL records, component pages, and the LAF.
 
 pub mod bits;
+pub mod crc;
 pub mod hash;
 pub mod sync;
 pub mod varint;

@@ -50,6 +50,10 @@ pub mod ranks {
     pub const CACHE_INNER: LockRank = LockRank { order: 700, name: "inner" };
     /// `PageStore::laf` — the lookaside-file page directory.
     pub const PAGE_LAF: LockRank = LockRank { order: 800, name: "laf" };
+    /// `Device::fault` — the installed fault-injection plan. Consulted (and
+    /// released) immediately before every raw device I/O, so it ranks just
+    /// above the file data lock.
+    pub const DEVICE_FAULT: LockRank = LockRank { order: 850, name: "fault" };
     /// `FileStore::data` — raw simulated-device file contents.
     pub const FILE_DATA: LockRank = LockRank { order: 900, name: "data" };
 }

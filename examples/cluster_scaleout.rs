@@ -27,7 +27,7 @@ fn main() -> Result<(), AdmError> {
         let mut gen = TwitterGen::new(3);
         let records: Vec<Value> = (0..n).map(|_| gen.next_record()).collect();
         let report = cluster.feed(records, FeedMode::Insert)?;
-        cluster.flush_all();
+        cluster.flush_all().unwrap();
 
         // Each partition inferred its own schema, independently.
         let node_counts: Vec<usize> = cluster

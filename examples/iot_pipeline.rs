@@ -31,8 +31,8 @@ fn main() -> Result<(), AdmError> {
             writer.insert(&gen.next_record()).expect("insert");
         }
         drop(writer);
-        ds.flush();
-        ds.force_full_merge();
+        ds.flush().unwrap();
+        ds.force_full_merge().unwrap();
         ds
     };
 

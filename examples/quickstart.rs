@@ -50,19 +50,19 @@ fn main() -> Result<(), AdmError> {
     // ---- first flush (Fig 9a) ----
     writer.insert(&parse(r#"{"id": 0, "name": "Kim", "age": 26}"#)?)?;
     writer.insert(&parse(r#"{"id": 1, "name": "John", "age": 22}"#)?)?;
-    employee.flush();
+    employee.flush().unwrap();
     println!("flushed C0: 2 records, schema inferred during the flush");
     print_schema(&employee, "after first flush (paper S0)");
 
     // ---- second flush: age changes type (Fig 9b) ----
     writer.insert(&parse(r#"{"id": 2, "name": "Ann"}"#)?)?;
     writer.insert(&parse(r#"{"id": 3, "name": "Bob", "age": "old"}"#)?)?;
-    employee.flush();
+    employee.flush().unwrap();
     println!("\nflushed C1: 'age' seen as string → promoted to a union");
     print_schema(&employee, "after second flush (paper S1)");
 
     // ---- merge: the newest schema covers both components (Fig 9c) ----
-    employee.force_full_merge();
+    employee.force_full_merge().unwrap();
     println!("\nmerged [C0,C1]: kept the newest schema, no re-inference");
     println!("components: {}", employee.primary().components().len());
 
@@ -74,7 +74,7 @@ fn main() -> Result<(), AdmError> {
 
     // ---- delete: anti-matter + anti-schema shrink the schema (Fig 11) ----
     writer.delete(3)?;
-    employee.flush();
+    employee.flush().unwrap();
     print_schema(&employee, "after deleting id 3 (union collapses back to int)");
 
     println!("\non-disk size: {} bytes", employee.disk_bytes());

@@ -41,7 +41,7 @@ fn main() -> Result<(), AdmError> {
             15 + i % 20
         ))?)?;
     }
-    events.flush();
+    events.flush().unwrap();
     println!("era 1 fields: {:?}", schema_fields(&events));
 
     // Era 2: the producer starts sending `temperature` as a string and adds
@@ -53,7 +53,7 @@ fn main() -> Result<(), AdmError> {
             15 + i % 20
         ))?)?;
     }
-    events.flush();
+    events.flush().unwrap();
     println!("era 2 fields: {:?}", schema_fields(&events));
 
     // Era 3: the era-2 records are re-keyed by an upsert back to numeric;
@@ -65,7 +65,7 @@ fn main() -> Result<(), AdmError> {
             15 + i % 20
         ))?)?;
     }
-    events.flush();
+    events.flush().unwrap();
     let schema = events.schema_snapshot().unwrap();
     let (_, temp) = schema.lookup_field(schema.root(), "temperature").unwrap();
     println!(
@@ -80,9 +80,9 @@ fn main() -> Result<(), AdmError> {
     drop(writer);
     println!("\n-- crash! --");
     events.simulate_crash();
-    let (removed, replayed) = events.recover();
+    let (removed, replayed) = events.recover().unwrap();
     println!("recovery: {removed} invalid components removed, {replayed} WAL ops replayed");
-    events.flush();
+    events.flush().unwrap();
     println!("post-recovery fields: {:?}", schema_fields(&events));
     println!("record count: {}", events.scan_values()?.len());
     assert_eq!(events.scan_values()?.len(), 250);

@@ -26,8 +26,8 @@ fn main() -> Result<(), AdmError> {
         let mut gen = TwitterGen::new(42);
         let records: Vec<Value> = (0..n).map(|_| gen.next_record()).collect();
         let report = cluster.feed(records, FeedMode::Insert)?;
-        cluster.flush_all();
-        cluster.merge_all();
+        cluster.flush_all().unwrap();
+        cluster.merge_all().unwrap();
         println!(
             "{:>9}: {:>10} bytes on disk, ingested in {:?} (+{:?} simulated IO)",
             format.name(),

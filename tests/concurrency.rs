@@ -109,7 +109,7 @@ fn concurrent_reads_during_background_ingest() {
                 w.insert(&record(pk, 0)).unwrap();
             }
         }
-        ds.flush();
+        ds.flush().unwrap();
 
         let stop = Arc::new(AtomicBool::new(false));
         let scan_rounds = Arc::new(AtomicU64::new(0));
@@ -201,7 +201,7 @@ fn concurrent_reads_during_background_ingest() {
 
         // Quiesce and compare against a synchronous single-threaded oracle.
         ds.await_quiescent();
-        ds.flush();
+        ds.flush().unwrap();
         let stats = ds.lsm_stats();
         assert!(stats.flushes > 0, "background flushes must have fired");
         assert_eq!(stats.writer_stall_nanos, 0, "writer never flushed inline");
@@ -211,7 +211,7 @@ fn concurrent_reads_during_background_ingest() {
         for pk in 0..PRELOADED {
             ow.insert(&record(pk, 0)).unwrap();
         }
-        oracle.flush();
+        oracle.flush().unwrap();
         let mut deleted = 0i64;
         for i in 0..FRESH {
             ow.insert(&record(1000 + i, 1)).unwrap();
@@ -223,7 +223,7 @@ fn concurrent_reads_during_background_ingest() {
                 ow.upsert(&record(UPSERTED + (i % (PRELOADED - UPSERTED)), 2)).unwrap();
             }
         }
-        oracle.flush();
+        oracle.flush().unwrap();
 
         let got = ds.scan_values().unwrap();
         let expected = oracle.scan_values().unwrap();
@@ -259,12 +259,12 @@ fn parallel_feed_with_background_flush_matches_oracle() {
         let updates: Vec<Value> = (0..N / 2).map(|pk| record(pk * 2, 1)).collect();
         bg.feed(updates.clone(), FeedMode::Upsert).unwrap();
         bg.await_quiescent();
-        bg.flush_all();
+        bg.flush_all().unwrap();
 
         let sync = Cluster::create_dataset(topo, stress_config(false));
         sync.feed(records, FeedMode::Insert).unwrap();
         sync.feed(updates, FeedMode::Upsert).unwrap();
-        sync.flush_all();
+        sync.flush_all().unwrap();
 
         for (p_bg, p_sync) in bg.partitions().iter().zip(sync.partitions()) {
             assert_eq!(p_bg.ingested(), p_sync.ingested());
@@ -296,7 +296,7 @@ fn crash_during_threaded_flush_replays_unflushed_suffix() {
         let mut w = ds.writer();
         // C0: a durable component.
         w.insert(&record(1, 0)).unwrap();
-        ds.flush();
+        ds.flush().unwrap();
         // These land in the memtable → frozen by the crashing flush.
         w.insert(&record(2, 0)).unwrap();
         w.insert(&record(3, 0)).unwrap();
@@ -319,7 +319,7 @@ fn crash_during_threaded_flush_replays_unflushed_suffix() {
         // (covering the crashed flush) and the active one (covering the
         // post-freeze write).
         ds.simulate_crash();
-        let (removed, replayed) = ds.recover();
+        let (removed, replayed) = ds.recover().unwrap();
         assert_eq!(removed, 1, "invalid component discarded");
         assert_eq!(replayed, 3, "exactly the un-flushed suffix: keys 2, 3, 4");
         for pk in 1..=4 {
@@ -329,7 +329,7 @@ fn crash_during_threaded_flush_replays_unflushed_suffix() {
         assert_eq!(ds.scan_values().unwrap().len(), 4);
 
         // Normal operation resumes: the restored memtable flushes as C1.
-        ds.flush();
+        ds.flush().unwrap();
         assert_eq!(ds.primary().components().last().unwrap().id().to_string(), "C1");
         assert_eq!(ds.scan_values().unwrap().len(), 4);
     });
@@ -345,7 +345,7 @@ fn crash_after_background_flush_loses_nothing() {
         for pk in 0..300 {
             w.insert(&record(pk, 0)).unwrap();
         }
-        ds.flush_async();
+        ds.flush_async().unwrap();
         ds.await_quiescent();
         let flushed_components = ds.primary().components().len();
         assert!(flushed_components >= 1);
@@ -353,7 +353,7 @@ fn crash_after_background_flush_loses_nothing() {
         drop(w);
 
         ds.simulate_crash();
-        let (removed, replayed) = ds.recover();
+        let (removed, replayed) = ds.recover().unwrap();
         assert_eq!(removed, 0, "background-flushed components are valid");
         assert!(
             replayed >= 1,
@@ -377,18 +377,18 @@ fn scans_stay_consistent_across_concurrent_merges() {
         for pk in 0..N {
             w.insert(&record(pk, 0)).unwrap();
             if pk % 100 == 99 {
-                ds.flush();
+                ds.flush().unwrap();
             }
         }
         drop(w);
-        ds.flush();
+        ds.flush().unwrap();
         assert!(ds.primary().components().len() >= 2, "need components to merge");
 
         std::thread::scope(|scope| {
             let merger = Arc::clone(&ds);
             scope.spawn(move || {
                 for _ in 0..3 {
-                    merger.force_full_merge();
+                    merger.force_full_merge().unwrap();
                 }
             });
             for _ in 0..3 {
@@ -441,7 +441,7 @@ fn repeated_short_stress_rounds() {
                 });
             });
             ds.await_quiescent();
-            ds.flush();
+            ds.flush().unwrap();
             // 250 inserts, 50 deletes.
             assert_eq!(ds.scan_values().unwrap().len(), 200, "round {round}");
         }

@@ -31,8 +31,8 @@ fn ingest_crash_recover_query_all_formats() {
         for r in &records[..300] {
             w.insert(r).unwrap();
         }
-        ds.flush();
-        ds.force_full_merge();
+        ds.flush().unwrap();
+        ds.force_full_merge().unwrap();
         // Unflushed tail + a delete + an upsert, then crash.
         for r in &records[300..] {
             w.insert(r).unwrap();
@@ -45,9 +45,9 @@ fn ingest_crash_recover_query_all_formats() {
         w.upsert(&upd).unwrap();
         drop(w);
         ds.simulate_crash();
-        let (_, replayed) = ds.recover();
+        let (_, replayed) = ds.recover().unwrap();
         assert!(replayed > 0, "{format:?}: WAL replay expected");
-        ds.flush();
+        ds.flush().unwrap();
 
         assert_eq!(ds.get(5).unwrap(), None, "{format:?}: delete survived crash");
         let got = ds.get(6).unwrap().unwrap();
@@ -86,7 +86,7 @@ fn paper_queries_are_format_invariant() {
                 }
             }
             for ds in [&tw, &wos, &sen] {
-                ds.flush();
+                ds.flush().unwrap();
             }
             for opts in [QueryOptions::default(), QueryOptions::unoptimized()] {
                 for (parallel, engine) in [
@@ -135,7 +135,7 @@ fn update_churn_keeps_schema_consistent() {
     for r in &originals {
         w.insert(r).unwrap();
     }
-    ds.flush();
+    ds.flush().unwrap();
     let mut up = Updater::new(32);
     for _ in 0..400 {
         let k = up.pick_key(200) as usize;
@@ -143,8 +143,8 @@ fn update_churn_keeps_schema_consistent() {
         let (mutated, _) = up.mutate(&current, "id");
         w.upsert(&mutated).unwrap();
     }
-    ds.flush();
-    ds.force_full_merge();
+    ds.flush().unwrap();
+    ds.force_full_merge().unwrap();
     // Record count is unchanged; every record still decodes; the schema's
     // root counter equals the live record count.
     let values = ds.scan_values().unwrap();
@@ -155,7 +155,7 @@ fn update_churn_keeps_schema_consistent() {
     for i in 0..200 {
         w.delete(i).unwrap();
     }
-    ds.flush();
+    ds.flush().unwrap();
     assert_eq!(ds.scan_values().unwrap().len(), 0);
     let schema = ds.schema_snapshot().unwrap();
     assert_eq!(schema.record_count(), 0);
@@ -187,7 +187,7 @@ fn heterogeneous_partitions_query_correctly() {
             .unwrap();
         cluster.insert(&r).unwrap();
     }
-    cluster.flush_all();
+    cluster.flush_all().unwrap();
     // GROUP BY name over heterogeneous partitions.
     let query = Query {
         scan: tc_query::plan::ScanSpec::all_early(
@@ -222,7 +222,7 @@ fn bulk_load_matches_feed() {
     for r in &records {
         fed_w.insert(r).unwrap();
     }
-    fed.flush();
+    fed.flush().unwrap();
     let loaded = make_dataset(StorageFormat::Inferred, CompressionScheme::None);
     loaded.writer().bulk_load(records.clone()).unwrap();
     let a = fed.scan_values().unwrap();

@@ -1,0 +1,326 @@
+//! Fault-injection integration suite: the crash-point sweep harness, the
+//! transient fault storm, silent-corruption detection, and crash-mid-merge
+//! recovery.
+//!
+//! The central invariant, checked from every angle here: **an acknowledged
+//! write is never lost and a lost write is never acknowledged**. Writes are
+//! "acked" when the API returned `Ok`; everything after a crash point fails
+//! with a typed [`AdmError::Storage`], never a panic, and after
+//! `recover()` the dataset is exactly the oracle built from the acked
+//! prefix.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use asterix_tc::prelude::*;
+use tc_storage::FaultPlan;
+
+/// Workload scale knobs, small enough that the sweep (which replays the
+/// whole workload once per crash point) stays fast on a RAM device.
+const PHASE1: i64 = 50;
+const PHASE2: i64 = 80;
+const PHASE3: i64 = 100;
+
+fn record(id: i64, v: i64) -> Value {
+    parse(&format!(r#"{{"id": {id}, "v": {v}, "tag": "t{}"}}"#, v % 7)).unwrap()
+}
+
+fn make_dataset() -> (Dataset, Arc<Device>) {
+    let device = Arc::new(Device::new(DeviceProfile::RAM));
+    let cache = Arc::new(BufferCache::new(4096));
+    let ds = Dataset::new(
+        DatasetConfig::new("Faulty", "id")
+            .with_format(StorageFormat::Inferred)
+            .with_memtable_budget(8 * 1024)
+            .with_merge_policy(MergePolicy::NoMerge),
+        Arc::clone(&device),
+        cache,
+    );
+    (ds, device)
+}
+
+/// The sweep's fixed workload: ingest, flush, updates and deletes, flush,
+/// full merge, more ingest, a query, final flush. Every operation updates
+/// the oracle only if the dataset acknowledged it; the first storage error
+/// is "the crash" and ends the run (`false`). A clean, uninjected run
+/// returns `true`.
+fn run_workload(ds: &Dataset) -> (BTreeMap<i64, i64>, bool) {
+    let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
+    let mut w = ds.writer();
+    for i in 0..PHASE1 {
+        if w.insert(&record(i, i)).is_err() {
+            return (oracle, false);
+        }
+        oracle.insert(i, i);
+    }
+    drop(w);
+    if ds.flush().is_err() {
+        return (oracle, false);
+    }
+    let mut w = ds.writer();
+    for i in PHASE1..PHASE2 {
+        if i % 13 == 0 {
+            match w.delete(i - PHASE1) {
+                Ok(_) => {
+                    oracle.remove(&(i - PHASE1));
+                }
+                Err(_) => return (oracle, false),
+            }
+        } else if i % 10 == 0 {
+            if w.upsert(&record(i - PHASE1, i * 100)).is_err() {
+                return (oracle, false);
+            }
+            oracle.insert(i - PHASE1, i * 100);
+        } else {
+            if w.insert(&record(i, i)).is_err() {
+                return (oracle, false);
+            }
+            oracle.insert(i, i);
+        }
+    }
+    drop(w);
+    if ds.flush().is_err() || ds.force_full_merge().is_err() {
+        return (oracle, false);
+    }
+    let mut w = ds.writer();
+    for i in PHASE2..PHASE3 {
+        if w.insert(&record(i, i)).is_err() {
+            return (oracle, false);
+        }
+        oracle.insert(i, i);
+    }
+    drop(w);
+    // A query mid-workload: reads consume I/O operations too, so crash
+    // points land inside scans. Queries have no side effects; a typed
+    // error here does not end the "process", the next write does.
+    let _ = ds.scan_values();
+    if ds.flush().is_err() {
+        return (oracle, false);
+    }
+    (oracle, true)
+}
+
+/// Read back the full dataset as `id -> v`.
+fn contents(ds: &Dataset) -> BTreeMap<i64, i64> {
+    ds.scan_values()
+        .unwrap()
+        .into_iter()
+        .map(|rec| {
+            let id = rec.get_field("id").and_then(Value::as_i64).unwrap();
+            let v = rec.get_field("v").and_then(Value::as_i64).unwrap();
+            (id, v)
+        })
+        .collect()
+}
+
+/// The tentpole harness: run the workload once uninjected to count its I/O
+/// operations, then re-run it crashing at every Kth operation, recover, and
+/// require the survivors to equal the acked oracle exactly.
+#[test]
+fn crash_point_sweep_recovers_every_acked_write() {
+    // Calibrate: an empty plan injects nothing but counts operations.
+    let (ds, device) = make_dataset();
+    device.set_fault_plan(FaultPlan::new(0));
+    let (full_oracle, completed) = run_workload(&ds);
+    assert!(completed, "uninjected workload must complete");
+    let total_ops = device.clear_fault_plan().unwrap().ops_seen();
+    assert!(total_ops > 50, "workload too small to sweep ({total_ops} ops)");
+    assert_eq!(contents(&ds), full_oracle, "clean run matches its oracle");
+
+    // Sweep roughly 40 crash points across the run, always including the
+    // very first operation and one point past the end (= no crash).
+    let step = (total_ops / 40).max(1);
+    let mut crash_points: Vec<u64> = (1..=total_ops).step_by(step as usize).collect();
+    crash_points.push(total_ops + 1);
+    for k in crash_points {
+        let (ds, device) = make_dataset();
+        device.set_fault_plan(FaultPlan::new(k).with_crash_after_ops(k));
+        let (oracle, completed) = run_workload(&ds);
+        assert_eq!(
+            completed,
+            k > total_ops,
+            "crash at op {k}/{total_ops}: completion must match the crash point"
+        );
+        device.clear_fault_plan();
+        ds.simulate_crash();
+        let (_removed, _replayed) = ds.recover().unwrap_or_else(|e| {
+            panic!("recovery after crash at op {k} must succeed: {e}");
+        });
+        ds.flush().unwrap();
+        assert_eq!(
+            contents(&ds),
+            oracle,
+            "crash at op {k}/{total_ops}: recovered dataset != acked oracle"
+        );
+    }
+}
+
+/// Fault storm: 1% of all device operations fail transiently. Bounded
+/// per-write retries must land every acked write; nothing panics; the
+/// storm is visible in the stats counters. `TC_FAULT_SEED` reseeds the
+/// storm (the CI `faults` job loops this test over many seeds).
+#[test]
+fn fault_storm_loses_no_acked_writes() {
+    let seed: u64 =
+        std::env::var("TC_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xF0F0);
+    let (ds, device) = make_dataset();
+    device.set_fault_plan(FaultPlan::new(seed).with_transient_rate_permille(10));
+
+    let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
+    let mut w = ds.writer();
+    for i in 0..400i64 {
+        let mut attempts = 0;
+        loop {
+            match w.insert(&record(i, i)) {
+                Ok(()) => {
+                    oracle.insert(i, i);
+                    break;
+                }
+                Err(e) if e.is_transient() && attempts < 12 => attempts += 1,
+                Err(e) if e.is_transient() => break, // dropped, never acked
+                Err(e) => panic!("storm injects only transients, got: {e}"),
+            }
+        }
+    }
+    drop(w);
+    // Maintenance under the storm: keep asking until a round survives.
+    let mut flushed = false;
+    for _ in 0..50 {
+        if ds.flush().is_ok() {
+            flushed = true;
+            break;
+        }
+    }
+    assert!(flushed, "a 1% storm cannot starve flushes for 50 rounds");
+    device.clear_fault_plan();
+    ds.flush().unwrap();
+
+    assert!(device.faults_injected() > 0, "the storm must actually storm");
+    assert_eq!(contents(&ds), oracle, "an acked write was lost to the storm");
+    assert_eq!(oracle.len(), 400, "1% transients with 12 retries drop nothing");
+}
+
+/// Silent corruption sweep: flip one bit in each of the first N component
+/// writes (one fresh dataset per position). Every read must return either
+/// the exact correct data or a typed corruption error — flipped bits are
+/// never decoded into wrong rows, and at least one flip must be caught by
+/// a checksum.
+#[test]
+fn bit_flips_are_always_detected_never_decoded() {
+    let expected: BTreeMap<i64, i64> = (0..60).map(|i| (i, i)).collect();
+    let mut detections = 0u64;
+    for n in 1..=8u64 {
+        let (ds, device) = make_dataset();
+        let mut w = ds.writer();
+        for i in 0..60i64 {
+            w.insert(&record(i, i)).unwrap();
+        }
+        drop(w);
+        // Armed right before the flush, so write #n is component data (a
+        // page, the footer, or the length-and-offset file) — not the WAL.
+        device.set_fault_plan(FaultPlan::new(n).flip_bit_in_nth_write(n));
+        ds.flush().unwrap();
+        let fired = device.faults_injected() > 0;
+        device.clear_fault_plan();
+        if !fired {
+            continue; // flush used fewer than n writes
+        }
+        match ds.scan_values() {
+            Ok(rows) => {
+                let got: BTreeMap<i64, i64> = rows
+                    .into_iter()
+                    .map(|r| {
+                        (
+                            r.get_field("id").and_then(Value::as_i64).unwrap(),
+                            r.get_field("v").and_then(Value::as_i64).unwrap(),
+                        )
+                    })
+                    .collect();
+                assert_eq!(got, expected, "flip in write {n} decoded into wrong rows");
+            }
+            Err(AdmError::Storage { transient, .. }) => {
+                assert!(!transient, "corruption is permanent");
+                assert!(
+                    ds.lsm_stats().checksum_failures > 0,
+                    "typed corruption error without a checksum failure"
+                );
+                detections += 1;
+                // The degraded-read path: a permissive scan skips the
+                // quarantined component instead of failing.
+                use tc_query::exec::{execute, CorruptionPolicy, ExecOptions};
+                use tc_query::{AccessStrategy, Query, ScanSpec};
+                let q = Query {
+                    scan: ScanSpec::all_early(
+                        vec![tc_adm::path::parse_path("id")],
+                        AccessStrategy::Consolidated,
+                    ),
+                    ops: vec![],
+                };
+                let opts = ExecOptions::with_corruption_policy(CorruptionPolicy::Degrade);
+                let res = execute(&[&ds], &q, &opts).unwrap();
+                assert!(res.stats.quarantined_components >= 1);
+                assert!(res.rows.len() < 60, "quarantined rows must not be served");
+            }
+            Err(e) => panic!("flip in write {n}: unexpected error class: {e}"),
+        }
+    }
+    assert!(detections > 0, "no flip in the sweep was ever detected");
+}
+
+/// A WAL tail torn mid-append (the crash landed a prefix of the record):
+/// replay must stop at the torn record, losing only the unacked write.
+#[test]
+fn torn_wal_tail_truncates_to_last_acked_write() {
+    let (ds, device) = make_dataset();
+    let mut w = ds.writer();
+    for i in 0..30i64 {
+        w.insert(&record(i, i)).unwrap();
+    }
+    device.set_fault_plan(FaultPlan::new(5).tear_nth_write(1));
+    let torn = w.insert(&record(99, 99));
+    assert!(torn.is_err(), "a torn append must not be acknowledged");
+    drop(w);
+    device.clear_fault_plan();
+
+    ds.simulate_crash();
+    let (_, replayed) = ds.recover().unwrap();
+    assert_eq!(replayed, 30, "replay stops exactly at the torn record");
+    ds.flush().unwrap();
+    let got = contents(&ds);
+    assert_eq!(got.len(), 30);
+    assert!(!got.contains_key(&99), "the torn write must stay lost");
+}
+
+/// Crash between merge-write and install: the merged component is on disk
+/// without its validity bit and the inputs were never spliced out.
+/// Recovery drops the half-merged component and serves from the inputs.
+#[test]
+fn crash_mid_merge_keeps_inputs_drops_half_merged() {
+    let (ds, _device) = make_dataset();
+    for lo in [0i64, 40] {
+        let mut w = ds.writer();
+        for i in lo..lo + 40 {
+            w.insert(&record(i, i)).unwrap();
+        }
+        drop(w);
+        ds.flush().unwrap();
+    }
+    assert_eq!(ds.primary().components().len(), 2);
+
+    ds.primary().force_full_merge_crashing_before_validity().unwrap();
+    assert_eq!(ds.primary().components().len(), 3, "half-merged component on disk");
+
+    ds.simulate_crash();
+    let (removed, replayed) = ds.recover().unwrap();
+    assert_eq!(removed, 1, "exactly the invalid merged component is dropped");
+    assert_eq!(replayed, 0, "both inputs were durably flushed");
+    assert_eq!(ds.primary().components().len(), 2, "inputs survive recovery");
+
+    let expected: BTreeMap<i64, i64> = (0..80).map(|i| (i, i)).collect();
+    assert_eq!(contents(&ds), expected);
+
+    // And the re-run merge completes normally on the survivors.
+    ds.force_full_merge().unwrap();
+    assert_eq!(ds.primary().components().len(), 1);
+    assert_eq!(contents(&ds), expected);
+}

@@ -237,18 +237,18 @@ proptest! {
                     // All three structural ops act as flush points here
                     // (merge/crash need their own determinism and are
                     // covered by dataset_matches_model below).
-                    sync.flush();
-                    awaited.flush_async();
+                    sync.flush().unwrap();
+                    awaited.flush_async().unwrap();
                     awaited.await_quiescent();
-                    coalesced.flush_async(); // NOT awaited: jobs coalesce
+                    coalesced.flush_async().unwrap(); // NOT awaited: jobs coalesce
                 }
             }
         }
-        sync.flush();
-        awaited.flush_async();
+        sync.flush().unwrap();
+        awaited.flush_async().unwrap();
         awaited.await_quiescent();
         coalesced.await_quiescent();
-        coalesced.flush();
+        coalesced.flush().unwrap();
 
         // Lock-step execution: identical data AND identical lifecycle.
         prop_assert_eq!(awaited.scan_values().unwrap(), sync.scan_values().unwrap());
@@ -300,16 +300,16 @@ proptest! {
                     let model_existed = model.remove(&(k as i64)).is_some();
                     prop_assert_eq!(existed, model_existed);
                 }
-                LsmOp::Flush => ds.flush(),
+                LsmOp::Flush => ds.flush().unwrap(),
                 LsmOp::Merge => {
-                    ds.flush();
-                    ds.force_full_merge();
+                    ds.flush().unwrap();
+                    ds.force_full_merge().unwrap();
                 }
                 LsmOp::CrashRecover => {
                     // Crash is only lossless if everything is WAL-covered —
                     // which it is (WAL enabled by default).
                     ds.simulate_crash();
-                    ds.recover();
+                    ds.recover().unwrap();
                 }
             }
         }

@@ -182,7 +182,7 @@ fn load(recs: &[Rec], partitions: usize, format: StorageFormat) -> Vec<Dataset> 
         out[i % partitions].writer().insert(&rec.to_value(i as i64)).unwrap();
     }
     for ds in &out {
-        ds.flush();
+        ds.flush().unwrap();
     }
     out
 }
@@ -210,7 +210,7 @@ proptest! {
         }).unwrap();
         for engine in [Engine::Batched, Engine::Row] {
             for parallel in [false, true] {
-                let opts = ExecOptions { engine, parallel, batch_size };
+                let opts = ExecOptions { engine, parallel, batch_size, ..Default::default() };
                 let got = execute(&refs, &q, &opts).unwrap();
                 prop_assert_eq!(&reference.rows, &got.rows,
                     "{:?}/parallel={} on {:?} (batch={})", engine, parallel, shape, batch_size);
