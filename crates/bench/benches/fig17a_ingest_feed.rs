@@ -22,7 +22,7 @@ fn main() {
         "inferred ≤ open and ≤ closed; compression slightly slower; \
          SATA ≈ NVMe (log-write gated)",
     );
-    header("configuration", &["wall", "sim IO", "total", "flushes"]);
+    header("configuration", &["wall", "sim IO", "total", "flushes", "write amp"]);
     let mut totals = std::collections::HashMap::new();
     for (device, dev_name) in [(DeviceProfile::SATA_SSD, "sata"), (DeviceProfile::NVME_SSD, "nvme")]
     {
@@ -38,7 +38,13 @@ fn main() {
                     ExpConfig { format: fmt, compression: scheme, device, ..Default::default() };
                 let mut gen = TwitterGen::new(1);
                 let (cluster, report) = ingest(&mut gen, n, &cfg, Some(twitter_closed_type()));
-                let flushes: u64 = cluster.partitions().iter().map(|p| p.lsm_stats().flushes).sum();
+                let stats = cluster.lsm_stats();
+                let flushes: u64 = stats.iter().map(|s| s.flushes).sum();
+                // Cumulative write amplification under the default prefix
+                // policy (merge bytes on top of every flushed byte).
+                let flushed: u64 = stats.iter().map(|s| s.bytes_flushed).sum();
+                let merged: u64 = stats.iter().map(|s| s.bytes_merged).sum();
+                let write_amp = (flushed + merged) as f64 / flushed.max(1) as f64;
                 let label = format!("{dev_name}/{scheme_name}/{fmt_name}");
                 totals.insert(label.clone(), report.total());
                 row(
@@ -48,6 +54,7 @@ fn main() {
                         fmt_dur(report.io),
                         fmt_dur(report.total()),
                         flushes.to_string(),
+                        format!("{write_amp:.2}x"),
                     ],
                 );
             }

@@ -16,7 +16,7 @@ use tc_datagen::Generator;
 use tc_storage::device::DeviceProfile;
 use tuple_compactor::StorageFormat;
 
-fn run(fmt: StorageFormat, scheme: CompressionScheme, n: usize, updates: bool) -> Duration {
+fn run(fmt: StorageFormat, scheme: CompressionScheme, n: usize, updates: bool) -> (Duration, f64) {
     let cfg = ExpConfig {
         format: fmt,
         compression: scheme,
@@ -52,7 +52,12 @@ fn run(fmt: StorageFormat, scheme: CompressionScheme, n: usize, updates: bool) -
         total += r.total();
     }
     cluster.flush_all().unwrap();
-    total
+    // Cumulative write amplification across partitions: update churn makes
+    // the prefix policy rewrite overlapping versions during merges.
+    let stats = cluster.lsm_stats();
+    let flushed: u64 = stats.iter().map(|s| s.bytes_flushed).sum();
+    let merged: u64 = stats.iter().map(|s| s.bytes_merged).sum();
+    (total, (flushed + merged) as f64 / flushed.max(1) as f64)
 }
 
 fn main() {
@@ -63,7 +68,7 @@ fn main() {
         "open/closed per-op cost unchanged by updates; inferred pays ~25% \
          per op for anti-schema lookups but stays ≈ open and < closed",
     );
-    header("configuration", &["insert-only", "50% updates", "per-op overhead"]);
+    header("configuration", &["insert-only", "50% updates", "per-op overhead", "write amp"]);
     for (scheme, scheme_name) in
         [(CompressionScheme::None, "uncompressed"), (CompressionScheme::Snappy, "compressed")]
     {
@@ -72,8 +77,8 @@ fn main() {
             (StorageFormat::Closed, "closed"),
             (StorageFormat::Inferred, "inferred"),
         ] {
-            let base = run(fmt, scheme, n, false);
-            let upd = run(fmt, scheme, n, true);
+            let (base, _) = run(fmt, scheme, n, false);
+            let (upd, write_amp) = run(fmt, scheme, n, true);
             // Updates add 50% more operations; compare per-operation cost.
             let per_op_base = base.as_secs_f64() / n as f64;
             let per_op_upd = upd.as_secs_f64() / (n as f64 * 1.5);
@@ -83,6 +88,7 @@ fn main() {
                     fmt_dur(base),
                     fmt_dur(upd),
                     format!("{:+.0}%", (per_op_upd / per_op_base - 1.0) * 100.0),
+                    format!("{write_amp:.2}x"),
                 ],
             );
         }

@@ -21,7 +21,7 @@ fn main() {
         "size grows linearly with nodes; ingestion time ~flat; inferred \
          smallest/fastest at every scale",
     );
-    header("nodes/format", &["records", "total size", "ingest total"]);
+    header("nodes/format", &["records", "total size", "ingest total", "write amp"]);
     for nodes in [1usize, 2, 4, 8] {
         for (fmt, fmt_name) in [
             (StorageFormat::Open, "open"),
@@ -39,9 +39,21 @@ fn main() {
             let n = per_node * nodes;
             let (cluster, report) = ingest(&mut gen, n, &cfg, Some(twitter_closed_type()));
             cluster.merge_all().unwrap();
+            // Write amp should stay ~flat across scales: each partition sees
+            // data proportional to the node count, so merge work per flushed
+            // byte is scale-independent.
+            let stats = cluster.lsm_stats();
+            let flushed: u64 = stats.iter().map(|s| s.bytes_flushed).sum();
+            let merged: u64 = stats.iter().map(|s| s.bytes_merged).sum();
+            let write_amp = (flushed + merged) as f64 / flushed.max(1) as f64;
             row(
                 &format!("{nodes}/{fmt_name}"),
-                &[n.to_string(), fmt_bytes(cluster.total_disk_bytes()), fmt_dur(report.total())],
+                &[
+                    n.to_string(),
+                    fmt_bytes(cluster.total_disk_bytes()),
+                    fmt_dur(report.total()),
+                    format!("{write_amp:.2}x"),
+                ],
             );
         }
     }

@@ -20,13 +20,28 @@
 //!
 //! Usage: `cargo run --release -p tc_bench --bin bench_ingest` (honors
 //! `TC_SCALE`; writes `BENCH_ingest.json` into the current directory).
+//!
+//! Flags:
+//!
+//! * `--policy <name>` — run the Fig 17 feeds under a registry merge policy
+//!   (`prefix`, `constant`, `nomerge`, `leveled`, `tiered`, `lazy-leveled`,
+//!   `fifo`) instead of the default prefix configuration.
+//! * `--compaction [--policies a,b,...]` — run the compaction design-space
+//!   matrix instead: every selected policy × (append-heavy / update-heavy /
+//!   scan-heavy) workloads, reporting cumulative write amplification,
+//!   merges by trigger, per-level component counts, and cold full-scan
+//!   cost, written to `BENCH_compaction.json`.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tc_adm::Value;
 use tc_bench::support::scale;
 use tc_cluster::{Cluster, ClusterConfig, FeedMode};
 use tc_datagen::{twitter::TwitterGen, updates::Updater, Generator};
+use tc_lsm::{MergePolicy, MergeTrigger, NUM_MERGE_TRIGGERS, POLICY_NAMES};
+use tc_query::exec::ExecOptions;
+use tc_query::paper_queries::{single_i64, twitter_q1};
+use tc_query::plan::QueryOptions;
 use tc_storage::device::DeviceProfile;
 use tuple_compactor::DatasetConfig;
 
@@ -55,18 +70,19 @@ struct Cell {
     quarantined_components: u64,
 }
 
-fn dataset_config(background: bool) -> DatasetConfig {
+fn dataset_config(background: bool, policy: MergePolicy) -> DatasetConfig {
     DatasetConfig::new("Tweets", "id")
         .with_memtable_budget(256 * 1024)
         .with_primary_key_index(true)
-        .with_merge_policy(tc_lsm::MergePolicy::Prefix {
-            max_mergeable_size: 32 * 1024 * 1024,
-            max_tolerable_components: 5,
-        })
+        .with_merge_policy(policy)
         .with_background_maintenance(background)
 }
 
-fn cluster(background: bool) -> Cluster {
+fn default_policy() -> MergePolicy {
+    MergePolicy::Prefix { max_mergeable_size: 32 * 1024 * 1024, max_tolerable_components: 5 }
+}
+
+fn cluster(background: bool, policy: MergePolicy) -> Cluster {
     Cluster::create_dataset(
         ClusterConfig {
             nodes: 1,
@@ -74,7 +90,7 @@ fn cluster(background: bool) -> Cluster {
             device: DeviceProfile::NVME_SSD,
             cache_budget_per_node: 32 * 1024 * 1024,
         },
-        dataset_config(background),
+        dataset_config(background, policy),
     )
 }
 
@@ -103,8 +119,8 @@ fn fault_counters(c: &Cluster) -> (u64, u64, u64, u64) {
     })
 }
 
-fn run_insert(background: bool, records: &[Value]) -> Cell {
-    let c = cluster(background);
+fn run_insert(background: bool, policy: MergePolicy, records: &[Value]) -> Cell {
+    let c = cluster(background, policy);
     let report = c.feed(records.to_vec(), FeedMode::Insert).expect("insert feed");
     c.await_quiescent();
     c.flush_all().unwrap();
@@ -130,8 +146,13 @@ fn run_insert(background: bool, records: &[Value]) -> Cell {
     }
 }
 
-fn run_upsert(background: bool, originals: &[Value], updates: &[Value]) -> Cell {
-    let c = cluster(background);
+fn run_upsert(
+    background: bool,
+    policy: MergePolicy,
+    originals: &[Value],
+    updates: &[Value],
+) -> Cell {
+    let c = cluster(background, policy);
     c.feed(originals.to_vec(), FeedMode::Insert).expect("base feed");
     c.await_quiescent();
     let report = c.feed(updates.to_vec(), FeedMode::Upsert).expect("upsert feed");
@@ -160,11 +181,7 @@ fn run_upsert(background: bool, originals: &[Value], updates: &[Value]) -> Cell 
 /// → full-scan pipeline with end-to-end integrity (WAL CRCs + page/footer
 /// checksums) on vs. off, on a RAM device so the measurement is pure CPU.
 /// Returns (on, off) wall times, best of `rounds`.
-fn integrity_ab(records: &[Value], rounds: usize) -> (Duration, Duration) {
-    use tc_query::exec::ExecOptions;
-    use tc_query::paper_queries::{single_i64, twitter_q1};
-    use tc_query::plan::QueryOptions;
-
+fn integrity_ab(records: &[Value], policy: MergePolicy, rounds: usize) -> (Duration, Duration) {
     let run = |integrity: bool| -> Duration {
         let c = Cluster::create_dataset(
             ClusterConfig {
@@ -173,7 +190,7 @@ fn integrity_ab(records: &[Value], rounds: usize) -> (Duration, Duration) {
                 device: DeviceProfile::RAM,
                 cache_budget_per_node: 32 * 1024 * 1024,
             },
-            dataset_config(false).with_integrity_checks(integrity),
+            dataset_config(false, policy).with_integrity_checks(integrity),
         );
         let start = std::time::Instant::now();
         c.feed(records.to_vec(), FeedMode::Insert).expect("integrity A/B feed");
@@ -227,7 +244,259 @@ fn json_cell(c: &Cell) -> String {
     )
 }
 
+// -------------------------------------------------------------------
+// Compaction design-space matrix (`--compaction` → BENCH_compaction.json)
+// -------------------------------------------------------------------
+
+struct CompCell {
+    policy: &'static str,
+    workload: &'static str,
+    records: u64,
+    total: Duration,
+    /// Cold full-scan (count-star) wall time over the final tree shape.
+    scan: Duration,
+    write_amp: f64,
+    bytes_flushed: u64,
+    bytes_merged: u64,
+    flushes: u64,
+    merges: u64,
+    by_trigger: [u64; NUM_MERGE_TRIGGERS],
+    components: u64,
+    /// Per-level component counts, summed element-wise across partitions.
+    levels: Vec<u64>,
+    components_retired: u64,
+}
+
+/// Cold count-star scan: clear caches, run the full-scan count query, and
+/// check it returns exactly `expected` live records.
+fn cold_scan(c: &Cluster, expected: u64) -> Duration {
+    c.clear_caches();
+    let start = Instant::now();
+    let res = c.query(&twitter_q1(QueryOptions::default()), &ExecOptions::default()).unwrap();
+    let wall = start.elapsed();
+    assert_eq!(single_i64(&res.rows), Some(expected as i64), "scan lost or invented records");
+    wall
+}
+
+fn compaction_cell(policy: MergePolicy, workload: &'static str, n: usize) -> CompCell {
+    // Small memtable budget so every policy sees plenty of flushed runs at
+    // smoke scale; synchronous maintenance keeps runs deterministic.
+    let c = Cluster::create_dataset(
+        ClusterConfig {
+            nodes: 1,
+            partitions_per_node: 2,
+            device: DeviceProfile::NVME_SSD,
+            cache_budget_per_node: 32 * 1024 * 1024,
+        },
+        dataset_config(false, policy).with_memtable_budget(64 * 1024),
+    );
+    let mut gen = TwitterGen::new(41);
+    let start = Instant::now();
+    let live: u64 = match workload {
+        "append" => {
+            let records: Vec<Value> = (0..n).map(|_| gen.next_record()).collect();
+            c.feed(records, FeedMode::Insert).expect("append feed");
+            n as u64
+        }
+        "update" => {
+            // Insert half, then upsert the other half onto existing keys.
+            let originals: Vec<Value> = (0..n / 2).map(|_| gen.next_record()).collect();
+            let mut up = Updater::new(43);
+            let updates: Vec<Value> = (0..n / 2)
+                .map(|_| {
+                    let k = up.pick_key((n / 2) as i64) as usize;
+                    up.mutate(&originals[k], "id").0
+                })
+                .collect();
+            c.feed(originals, FeedMode::Insert).expect("update base feed");
+            c.feed(updates, FeedMode::Upsert).expect("update feed");
+            (n / 2) as u64
+        }
+        "scan" => {
+            // A quarter of the ingest volume with a cold full scan after
+            // every chunk — reads pay for fragmentation as it builds.
+            let m = (n / 4).max(4);
+            let chunk = (m / 4).max(1);
+            let mut fed = 0usize;
+            while fed < m {
+                let take = chunk.min(m - fed);
+                let records: Vec<Value> = (0..take).map(|_| gen.next_record()).collect();
+                c.feed(records, FeedMode::Insert).expect("scan feed");
+                c.flush_all().unwrap();
+                fed += take;
+                cold_scan(&c, fed as u64);
+            }
+            m as u64
+        }
+        other => panic!("unknown workload {other}"),
+    };
+    c.flush_all().unwrap();
+    let total = start.elapsed();
+    let scan = cold_scan(&c, live);
+
+    let stats = c.lsm_stats();
+    let bytes_flushed: u64 = stats.iter().map(|s| s.bytes_flushed).sum();
+    let bytes_merged: u64 = stats.iter().map(|s| s.bytes_merged).sum();
+    let mut by_trigger = [0u64; NUM_MERGE_TRIGGERS];
+    for s in &stats {
+        for (acc, v) in by_trigger.iter_mut().zip(s.merges_by_trigger) {
+            *acc += v;
+        }
+    }
+    let mut levels: Vec<u64> = Vec::new();
+    for p in c.partitions() {
+        for (i, count) in p.primary().level_counts().into_iter().enumerate() {
+            if i >= levels.len() {
+                levels.resize(i + 1, 0);
+            }
+            levels[i] += count;
+        }
+    }
+    CompCell {
+        policy: policy.name(),
+        workload,
+        records: live,
+        total,
+        scan,
+        write_amp: (bytes_flushed + bytes_merged) as f64 / bytes_flushed.max(1) as f64,
+        bytes_flushed,
+        bytes_merged,
+        flushes: stats.iter().map(|s| s.flushes).sum(),
+        merges: stats.iter().map(|s| s.merges).sum(),
+        by_trigger,
+        components: c.partitions().iter().map(|p| p.primary().components().len() as u64).sum(),
+        levels,
+        components_retired: stats.iter().map(|s| s.components_retired).sum(),
+    }
+}
+
+fn json_comp_cell(c: &CompCell) -> String {
+    let triggers = MergeTrigger::ALL
+        .iter()
+        .map(|t| format!("\"{}\": {}", t.label(), c.by_trigger[*t as usize]))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let levels = c.levels.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+    format!(
+        "    {{\"policy\": \"{}\", \"workload\": \"{}\", \"records\": {}, \"total_ms\": {}, \
+         \"scan_ms\": {}, \"write_amp\": {:.3}, \"bytes_flushed\": {}, \"bytes_merged\": {}, \
+         \"flushes\": {}, \"merges\": {}, \"merges_by_trigger\": {{{}}}, \"components\": {}, \
+         \"level_counts\": [{}], \"components_retired\": {}}}",
+        c.policy,
+        c.workload,
+        c.records,
+        ms(c.total),
+        ms(c.scan),
+        c.write_amp,
+        c.bytes_flushed,
+        c.bytes_merged,
+        c.flushes,
+        c.merges,
+        triggers,
+        c.components,
+        levels,
+        c.components_retired
+    )
+}
+
+fn run_compaction_matrix(policies: &[MergePolicy]) {
+    let n = 3000 * scale();
+    let workloads = ["append", "update", "scan"];
+    let mut cells = Vec::new();
+    println!(
+        "{:<14} {:<8} {:>9} {:>10} {:>9} {:>6} {:>7} {:>11}",
+        "policy", "workload", "total", "write_amp", "scan", "comps", "merges", "retired"
+    );
+    for &policy in policies {
+        for workload in workloads {
+            let cell = compaction_cell(policy, workload, n);
+            println!(
+                "{:<14} {:<8} {:>7.1}ms {:>10.3} {:>7.1}ms {:>6} {:>7} {:>11}",
+                cell.policy,
+                cell.workload,
+                ms(cell.total),
+                cell.write_amp,
+                ms(cell.scan),
+                cell.components,
+                cell.merges,
+                cell.components_retired
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Invariants over every cell: amplification is well-formed, every
+    // merge is attributed to a trigger, and nothing was silently lost
+    // (registry FIFO caps are unreachable, so even it retires nothing).
+    for cell in &cells {
+        assert!(cell.write_amp >= 1.0, "{}/{}: write_amp < 1", cell.policy, cell.workload);
+        assert_eq!(cell.by_trigger.iter().sum::<u64>(), cell.merges);
+        assert_eq!(cell.components_retired, 0, "registry policies must be lossless");
+        match cell.policy {
+            // Non-merging policies write every byte exactly once...
+            "nomerge" | "fifo" => {
+                assert_eq!(cell.bytes_merged, 0, "{}: must not merge", cell.policy)
+            }
+            // ...while merging policies show real rewrites on the
+            // append-heavy workload at this scale.
+            _ if cell.workload == "append" => {
+                assert!(cell.merges > 0, "{}: expected merges on append", cell.policy);
+                assert!(cell.write_amp > 1.0);
+            }
+            _ => {}
+        }
+    }
+
+    let names = policies.iter().map(|p| format!("\"{}\"", p.name())).collect::<Vec<_>>();
+    let json = format!(
+        "{{\n  \"experiment\": \"compaction_matrix\",\n  \"description\": \"write amplification \
+         vs scan cost across merge policies and workloads (sync maintenance, 64 KiB memtable)\",\n  \
+         \"records\": {n},\n  \"policies\": [{}],\n  \
+         \"topology\": {{\"nodes\": 1, \"partitions_per_node\": 2, \"device\": \"nvme\"}},\n  \
+         \"cells\": [\n{}\n  ]\n}}\n",
+        names.join(", "),
+        cells.iter().map(json_comp_cell).collect::<Vec<_>>().join(",\n")
+    );
+    std::fs::write("BENCH_compaction.json", &json).expect("write BENCH_compaction.json");
+    println!("\nwrote BENCH_compaction.json");
+}
+
+fn parse_policy(name: &str) -> MergePolicy {
+    MergePolicy::by_name(name)
+        .unwrap_or_else(|| panic!("unknown policy '{name}'; registry: {POLICY_NAMES:?}"))
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut policy = default_policy();
+    let mut compaction = false;
+    let mut policies = MergePolicy::matrix();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--policy" => {
+                i += 1;
+                policy = parse_policy(args.get(i).expect("--policy needs a name"));
+            }
+            "--policies" => {
+                i += 1;
+                policies = args
+                    .get(i)
+                    .expect("--policies needs a comma-separated list")
+                    .split(',')
+                    .map(parse_policy)
+                    .collect();
+            }
+            "--compaction" => compaction = true,
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    if compaction {
+        run_compaction_matrix(&policies);
+        return;
+    }
+
     let n = 4000 * scale();
     let originals: Vec<Value> = {
         let mut gen = TwitterGen::new(17);
@@ -246,8 +515,8 @@ fn main() {
 
     let mut cells = Vec::new();
     for background in [false, true] {
-        cells.push(run_insert(background, &originals));
-        cells.push(run_upsert(background, &originals, &updates));
+        cells.push(run_insert(background, policy, &originals));
+        cells.push(run_upsert(background, policy, &originals, &updates));
     }
 
     println!(
@@ -293,7 +562,7 @@ fn main() {
     // record CRCs, page + footer + LAF checksums) must cost under 5% on the
     // clean path. A small absolute slack absorbs scheduler noise at smoke
     // scale.
-    let (on, off) = integrity_ab(&originals, 3);
+    let (on, off) = integrity_ab(&originals, policy, 3);
     let overhead_pct =
         if off.is_zero() { 0.0 } else { (on.as_secs_f64() / off.as_secs_f64() - 1.0) * 100.0 };
     println!(
@@ -309,9 +578,11 @@ fn main() {
     let json = format!(
         "{{\n  \"experiment\": \"fig17_ingest_smoke\",\n  \"description\": \"Fig 17a/17b feeds, \
          synchronous vs background flush scheduling\",\n  \"records_per_feed\": {n},\n  \
+         \"policy\": \"{}\",\n  \
          \"topology\": {{\"nodes\": 1, \"partitions_per_node\": 2, \"device\": \"nvme\"}},\n  \
          \"integrity_ab\": {{\"on_ms\": {}, \"off_ms\": {}, \"overhead_pct\": {:.2}}},\n  \
          \"cells\": [\n{}\n  ]\n}}\n",
+        policy.name(),
         ms(on),
         ms(off),
         overhead_pct,

@@ -177,6 +177,32 @@ impl Cluster {
         Ok(())
     }
 
+    /// Crash every partition at once (a node failure takes all its
+    /// partitions' in-memory state together; see `Dataset::simulate_crash`).
+    pub fn simulate_crash_all(&self) {
+        for p in self.partitions() {
+            p.simulate_crash();
+        }
+    }
+
+    /// Recover every partition; returns the summed (removed components,
+    /// replayed WAL records) across all partitions and their index trees.
+    pub fn recover_all(&self) -> Result<(usize, usize), AdmError> {
+        let (mut removed, mut replayed) = (0, 0);
+        for p in self.partitions() {
+            let (r, w) = p.recover()?;
+            removed += r;
+            replayed += w;
+        }
+        Ok((removed, replayed))
+    }
+
+    /// Per-partition primary-tree stats (the bench aggregates these into
+    /// cluster-level write-amplification numbers).
+    pub fn lsm_stats(&self) -> Vec<tc_lsm::LsmStats> {
+        self.partitions().iter().map(|p| p.lsm_stats()).collect()
+    }
+
     /// Total primary-index bytes on disk (Fig 16 / Fig 25a metric).
     pub fn total_disk_bytes(&self) -> u64 {
         self.partitions().iter().map(|p| p.disk_bytes()).sum()

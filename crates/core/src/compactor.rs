@@ -457,6 +457,68 @@ mod tests {
         drop(worker); // shuts the thread down cleanly
     }
 
+    /// The worker's round drives the whole `CompactionDecision` space, not
+    /// just `Merge`: a tiered policy reorganizes runs into tiers from the
+    /// worker thread, and a FIFO policy's `Retire` decisions drop the
+    /// oldest runs from the worker thread — no inline maintenance either
+    /// way.
+    #[test]
+    fn maintenance_worker_drives_tiering_and_retirement() {
+        use tc_lsm::entry::encode_u64_key;
+        use tc_lsm::{LsmOptions, MergePolicy, NoopHook};
+        use tc_storage::device::{Device, DeviceProfile};
+        use tc_storage::BufferCache;
+
+        let spawn_tree = |policy| {
+            Arc::new(LsmTree::new(
+                Arc::new(Device::new(DeviceProfile::RAM)),
+                Arc::new(BufferCache::new(256)),
+                Arc::new(NoopHook),
+                LsmOptions {
+                    memtable_budget: 1024,
+                    auto_flush: false,
+                    merge_policy: policy,
+                    ..Default::default()
+                },
+            ))
+        };
+
+        let tiered =
+            spawn_tree(MergePolicy::Tiered { base_bytes: 4096, size_ratio: 4, min_tier_runs: 3 });
+        let worker = MaintenanceWorker::spawn(Arc::clone(&tiered));
+        for round in 0..6u64 {
+            for i in 0..40u64 {
+                tiered.insert(encode_u64_key(round * 100 + i), vec![0u8; 32]).unwrap();
+            }
+            assert!(worker.schedule_flush());
+            worker.await_quiescent();
+        }
+        let stats = tiered.stats();
+        assert!(stats.merges > 0, "tier promotions fire from the worker");
+        assert!(
+            stats.merges_by_trigger[tc_lsm::MergeTrigger::TierFull as usize] > 0,
+            "merges carry the tier-full trigger"
+        );
+        assert_eq!(stats.writer_stall_nanos, 0);
+        assert_eq!(tiered.count(), 240);
+        drop(worker);
+
+        let fifo = spawn_tree(MergePolicy::Fifo { max_components: 2, max_total_bytes: u64::MAX });
+        let worker = MaintenanceWorker::spawn(Arc::clone(&fifo));
+        for round in 0..5u64 {
+            for i in 0..40u64 {
+                fifo.insert(encode_u64_key(round * 100 + i), vec![0u8; 32]).unwrap();
+            }
+            assert!(worker.schedule_flush());
+            worker.await_quiescent();
+        }
+        let stats = fifo.stats();
+        assert_eq!(stats.merges, 0, "FIFO never merges");
+        assert!(stats.components_retired >= 3, "oldest runs retired from the worker");
+        assert!(fifo.components().len() <= 2, "count cap held");
+        drop(worker);
+    }
+
     #[test]
     fn panicking_pipeline_never_wedges_awaiters() {
         use tc_lsm::entry::encode_u64_key;

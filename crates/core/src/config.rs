@@ -130,6 +130,12 @@ impl DatasetConfig {
         self
     }
 
+    /// Select the compaction strategy. The registry spans the design space
+    /// of "Constructing and Analyzing the LSM Compaction Design Space":
+    /// `Prefix` (the paper's default), `Constant`, `NoMerge`, `Leveled`,
+    /// `Tiered`, `LazyLeveled`, and the lossy `Fifo` retirement policy.
+    /// `MergePolicy::by_name` resolves the same registry from strings
+    /// (CLI flags, stored configs).
     pub fn with_merge_policy(mut self, policy: MergePolicy) -> Self {
         self.merge_policy = policy;
         self
@@ -189,6 +195,19 @@ mod tests {
         assert_eq!(c.secondary_index_on.as_deref(), Some("timestamp_ms"));
         assert!(c.background_maintenance);
         assert!(!c.integrity);
+    }
+
+    /// Every name in the policy registry configures a dataset; the
+    /// configured policy keeps its name (string configs round-trip).
+    #[test]
+    fn merge_policy_registry_configures_datasets() {
+        for name in tc_lsm::POLICY_NAMES {
+            let policy = MergePolicy::by_name(name)
+                .unwrap_or_else(|| panic!("registry lists unknown policy {name}"));
+            let c = DatasetConfig::new("d", "id").with_merge_policy(policy);
+            assert_eq!(c.merge_policy.name(), name);
+        }
+        assert!(MergePolicy::by_name("compact-o-matic").is_none());
     }
 
     #[test]

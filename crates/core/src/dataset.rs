@@ -686,12 +686,20 @@ impl Dataset {
     }
 
     /// Crash: lose in-memory state (memtables and, for inferred datasets,
-    /// the in-memory schema). Background maintenance is quiesced first — a
-    /// worker mid-flush would otherwise install its component *after* the
+    /// the in-memory schema) across *every* tree in the partition — the
+    /// primary and both auxiliary index trees die together in a real
+    /// failure. Background maintenance is quiesced first — a worker
+    /// mid-flush would otherwise install its component *after* the
     /// "crash", which no real failure can do.
     pub fn simulate_crash(&self) {
         self.await_quiescent();
         self.primary.simulate_crash();
+        if let Some(pki) = &self.pk_index {
+            pki.tree().simulate_crash();
+        }
+        if let Some(sec) = &self.secondary {
+            sec.tree().simulate_crash();
+        }
         if let Some(c) = &self.compactor {
             c.load_schema(Schema::new());
         }
@@ -701,8 +709,21 @@ impl Dataset {
     /// component's schema, replay the WAL into the in-memory component.
     /// WAL records with bad checksums truncate the replay at the first
     /// invalid record (a torn or rotten tail loses only unacked writes).
+    /// The auxiliary index trees recover from their own WALs; the returned
+    /// (removed, replayed) counts sum all trees.
     pub fn recover(&self) -> Result<(usize, usize), AdmError> {
-        let (removed, replayed) = self.primary.recover().map_err(storage_err)?;
+        let (mut removed, mut replayed) = self.primary.recover().map_err(storage_err)?;
+        for tree in self
+            .pk_index
+            .as_ref()
+            .map(PrimaryKeyIndex::tree)
+            .into_iter()
+            .chain(self.secondary.as_ref().map(SecondaryIndex::tree))
+        {
+            let (r, p) = tree.recover().map_err(storage_err)?;
+            removed += r;
+            replayed += p;
+        }
         if let Some(c) = &self.compactor {
             let schema = self
                 .primary

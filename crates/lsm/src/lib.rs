@@ -34,5 +34,8 @@ pub mod wal;
 pub use component::{ComponentId, DiskComponent};
 pub use entry::{EntryKind, Key};
 pub use hook::{ComponentHook, NoopHook};
-pub use policy::MergePolicy;
-pub use tree::{LsmOptions, LsmTree};
+pub use policy::{
+    CompactionDecision, CompactionPolicy, MergePick, MergePolicy, MergeTrigger, RunMeta,
+    NUM_MERGE_TRIGGERS, POLICY_NAMES,
+};
+pub use tree::{LsmOptions, LsmStats, LsmTree};

@@ -1,23 +1,179 @@
-//! Merge policies (paper §2.2, [19, 29]).
+//! Merge policies (paper §2.2, [19, 29]) and the compaction design space.
 //!
 //! The paper's ingestion experiments use AsterixDB's default *prefix* merge
 //! policy with a maximum mergeable component size and a maximum tolerable
-//! component count (§4.3: 1 GB / 5 components). A constant policy and
-//! no-merge are provided for ablations.
+//! component count (§4.3: 1 GB / 5 components). Following "Constructing and
+//! Analyzing the LSM Compaction Design Space" (PAPERS.md), the policy is a
+//! real design space here, not a hardcoded strategy:
+//!
+//! * [`MergePolicy`] is the *spellable configuration* — a small `Copy` enum
+//!   that lives in `LsmOptions` / `DatasetConfig` and names a policy plus
+//!   its knobs.
+//! * [`CompactionPolicy`] is the *mechanism* — a trait whose `decide` maps
+//!   the current on-disk run list (as cheap [`RunMeta`] summaries, oldest →
+//!   newest) to a [`CompactionDecision`]: do nothing, merge a pick of runs,
+//!   or retire an oldest prefix (FIFO/TTL).
+//! * [`MergePolicy::build`] resolves configuration → mechanism, and the
+//!   name registry ([`MergePolicy::by_name`] / [`MergePolicy::matrix`])
+//!   makes the whole space selectable from a bench flag or iterable by a
+//!   test harness.
+//!
+//! Decisions are pure functions of the run list: same input, same pick
+//! (the policy-matrix tests rely on this determinism). Picks are index
+//! lists, not ranges — the tree accepts non-contiguous picks and validates
+//! the key-disjointness condition that makes them sound (see
+//! `LsmTree::merge_indices`). Every shipped policy emits contiguous picks.
+
+use std::sync::Arc;
 
 use crate::component::DiskComponent;
 
-/// When and what to merge.
+/// Cheap per-run summary a policy decides over. Built from the component
+/// list on every scheduling round; tests construct these directly instead
+/// of building real components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunMeta {
+    /// On-disk footprint in bytes (data + index + filter pages).
+    pub bytes: u64,
+    /// Total entries, anti-matter included.
+    pub entries: u64,
+}
+
+impl RunMeta {
+    pub fn new(bytes: u64, entries: u64) -> Self {
+        RunMeta { bytes, entries }
+    }
+
+    pub fn of(c: &DiskComponent) -> Self {
+        RunMeta { bytes: c.disk_bytes(), entries: c.num_entries() }
+    }
+}
+
+/// Why a merge fired — indexes the `merges_by_trigger` stats array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeTrigger {
+    /// Too many mergeable components accumulated (prefix/constant, and the
+    /// leveled L0 rule).
+    ComponentCount = 0,
+    /// A run grew into its older neighbor's size class (leveled invariant:
+    /// one run per level).
+    LevelOverflow = 1,
+    /// A size tier filled up to its run quota (tiered, and the lazy-leveled
+    /// L0 rule).
+    TierFull = 2,
+    /// Explicitly requested (`force_full_merge` / `merge`).
+    Manual = 3,
+}
+
+/// Number of [`MergeTrigger`] variants (length of `merges_by_trigger`).
+pub const NUM_MERGE_TRIGGERS: usize = 4;
+
+impl MergeTrigger {
+    pub const ALL: [MergeTrigger; NUM_MERGE_TRIGGERS] = [
+        MergeTrigger::ComponentCount,
+        MergeTrigger::LevelOverflow,
+        MergeTrigger::TierFull,
+        MergeTrigger::Manual,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            MergeTrigger::ComponentCount => "component_count",
+            MergeTrigger::LevelOverflow => "level_overflow",
+            MergeTrigger::TierFull => "tier_full",
+            MergeTrigger::Manual => "manual",
+        }
+    }
+}
+
+/// A set of runs to merge: strictly ascending indices (oldest → newest)
+/// into the run list the policy decided over, with at least two entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergePick {
+    pub indices: Vec<usize>,
+    pub trigger: MergeTrigger,
+}
+
+impl MergePick {
+    pub fn contiguous(range: std::ops::Range<usize>, trigger: MergeTrigger) -> Self {
+        MergePick { indices: range.collect(), trigger }
+    }
+
+    /// True when the indices form `0..k` — only then may a merge drop
+    /// anti-matter (nothing older survives to be resurrected).
+    pub fn includes_oldest(&self) -> bool {
+        self.is_contiguous() && self.indices.first() == Some(&0)
+    }
+
+    pub fn is_contiguous(&self) -> bool {
+        self.indices.windows(2).all(|w| w[1] == w[0] + 1)
+    }
+}
+
+/// What the policy wants done to the current run list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompactionDecision {
+    /// Nothing to do.
+    None,
+    /// Merge the picked runs into one.
+    Merge(MergePick),
+    /// Drop the oldest `n` runs without reading them (FIFO/TTL). Only an
+    /// oldest *prefix* may be retired: dropping a middle run could let
+    /// surviving anti-matter annihilate nothing while older record
+    /// versions resurrect.
+    Retire(usize),
+}
+
+/// The compaction mechanism: a pure scheduling function over run
+/// summaries. Implementations must be deterministic — the tree re-invokes
+/// `decide` until it returns [`CompactionDecision::None`].
+pub trait CompactionPolicy: Send + Sync + std::fmt::Debug {
+    fn name(&self) -> &'static str;
+
+    /// Decide over `runs` (oldest → newest). A returned merge pick must
+    /// have ≥ 2 strictly ascending in-bounds indices; a retire count must
+    /// be ≥ 1 and ≤ `runs.len()`.
+    fn decide(&self, runs: &[RunMeta]) -> CompactionDecision;
+
+    /// Level assignment per run (for the per-level component-count stats).
+    /// Policies without a level structure put everything at level 0.
+    fn levels(&self, runs: &[RunMeta]) -> Vec<u32> {
+        vec![0; runs.len()]
+    }
+}
+
+/// When and what to merge — the spellable configuration side of the
+/// design space. `build` resolves it to a [`CompactionPolicy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MergePolicy {
     /// Merge the run of newest components, each smaller than
     /// `max_mergeable_size`, once more than `max_tolerable_components` of
-    /// them accumulate.
+    /// them accumulate (AsterixDB's default, paper §4.3).
     Prefix { max_mergeable_size: u64, max_tolerable_components: usize },
-    /// Merge everything whenever more than `max_components` exist.
+    /// Merge everything whenever more than `max_components` exist — except
+    /// an oldest prefix of components that each outweigh everything newer
+    /// combined (rewriting a dominating giant for no count benefit is
+    /// quadratic-in-bytes work; see `constant_policy_caps_oversized`).
     Constant { max_components: usize },
     /// Never merge (bulk-load / ablation).
     NoMerge,
+    /// Size-ratio levels with one run per level below L0: flushed runs
+    /// collect in level 0 (≤ `base_bytes`); more than `level0_components`
+    /// of them merge down into the adjacent older run, and a run that
+    /// grows into its older neighbor's size class merges with it.
+    Leveled { level0_components: usize, base_bytes: u64, fanout: u64 },
+    /// Size-tiered runs: contiguous runs of the same size class (classes
+    /// grow by `size_ratio` from `base_bytes`) merge once `min_tier_runs`
+    /// of them accumulate, newest tier first.
+    Tiered { base_bytes: u64, size_ratio: u64, min_tier_runs: usize },
+    /// Lazy leveling: tiered at L0 (merge the newest suffix of base-class
+    /// runs once `tier_runs` accumulate), leveled below (one run per
+    /// level).
+    LazyLeveled { tier_runs: usize, base_bytes: u64, fanout: u64 },
+    /// FIFO/TTL: never merge; retire the oldest runs once more than
+    /// `max_components` runs or `max_total_bytes` bytes accumulate.
+    /// Deliberately lossy — retired data is gone.
+    Fifo { max_components: usize, max_total_bytes: u64 },
 }
 
 impl MergePolicy {
@@ -27,37 +183,332 @@ impl MergePolicy {
         MergePolicy::Prefix { max_mergeable_size, max_tolerable_components: 5 }
     }
 
-    /// Decide which adjacent components (indexes into `components`, ordered
-    /// oldest → newest) to merge. Returns a contiguous range.
-    pub fn decide(
-        &self,
-        components: &[std::sync::Arc<DiskComponent>],
-    ) -> Option<std::ops::Range<usize>> {
+    /// Registry name (also what `by_name` accepts).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MergePolicy::Prefix { .. } => "prefix",
+            MergePolicy::Constant { .. } => "constant",
+            MergePolicy::NoMerge => "nomerge",
+            MergePolicy::Leveled { .. } => "leveled",
+            MergePolicy::Tiered { .. } => "tiered",
+            MergePolicy::LazyLeveled { .. } => "lazy-leveled",
+            MergePolicy::Fifo { .. } => "fifo",
+        }
+    }
+
+    /// Look a policy up by registry name with bench-scale default knobs.
+    /// The FIFO entry's caps are unreachable — selecting it via the
+    /// registry gets TTL *semantics* without silently dropping data; set
+    /// real caps explicitly when loss is intended.
+    pub fn by_name(name: &str) -> Option<MergePolicy> {
+        const BASE: u64 = 256 * 1024;
+        Some(match name {
+            "prefix" => MergePolicy::Prefix {
+                max_mergeable_size: 32 * 1024 * 1024,
+                max_tolerable_components: 5,
+            },
+            "constant" => MergePolicy::Constant { max_components: 5 },
+            "nomerge" => MergePolicy::NoMerge,
+            "leveled" => MergePolicy::Leveled { level0_components: 4, base_bytes: BASE, fanout: 4 },
+            "tiered" => MergePolicy::Tiered { base_bytes: BASE, size_ratio: 4, min_tier_runs: 4 },
+            "lazy-leveled" => {
+                MergePolicy::LazyLeveled { tier_runs: 4, base_bytes: BASE, fanout: 4 }
+            }
+            "fifo" => MergePolicy::Fifo { max_components: usize::MAX, max_total_bytes: u64::MAX },
+            _ => return None,
+        })
+    }
+
+    /// Every registered policy with default knobs — the policy-matrix
+    /// tests and the compaction bench iterate this.
+    pub fn matrix() -> Vec<MergePolicy> {
+        POLICY_NAMES.iter().map(|n| MergePolicy::by_name(n).unwrap()).collect()
+    }
+
+    /// Resolve the configuration to its mechanism.
+    pub fn build(&self) -> Arc<dyn CompactionPolicy> {
         match *self {
-            MergePolicy::NoMerge => None,
-            MergePolicy::Constant { max_components } => {
-                if components.len() > max_components && components.len() >= 2 {
-                    Some(0..components.len())
-                } else {
-                    None
-                }
-            }
             MergePolicy::Prefix { max_mergeable_size, max_tolerable_components } => {
-                // Walk from the newest end, collecting small components.
-                let mut run = 0usize;
-                for c in components.iter().rev() {
-                    if c.disk_bytes() <= max_mergeable_size {
-                        run += 1;
-                    } else {
-                        break;
-                    }
-                }
-                if run > max_tolerable_components && run >= 2 {
-                    Some(components.len() - run..components.len())
-                } else {
-                    None
-                }
+                Arc::new(PrefixPolicy { max_mergeable_size, max_tolerable_components })
             }
+            MergePolicy::Constant { max_components } => Arc::new(ConstantPolicy { max_components }),
+            MergePolicy::NoMerge => Arc::new(NoMergePolicy),
+            MergePolicy::Leveled { level0_components, base_bytes, fanout } => {
+                Arc::new(LeveledPolicy {
+                    level0_components,
+                    classes: SizeClasses::new(base_bytes, fanout),
+                })
+            }
+            MergePolicy::Tiered { base_bytes, size_ratio, min_tier_runs } => {
+                Arc::new(TieredPolicy {
+                    min_tier_runs,
+                    classes: SizeClasses::new(base_bytes, size_ratio),
+                })
+            }
+            MergePolicy::LazyLeveled { tier_runs, base_bytes, fanout } => {
+                Arc::new(LazyLeveledPolicy {
+                    tier_runs,
+                    classes: SizeClasses::new(base_bytes, fanout),
+                })
+            }
+            MergePolicy::Fifo { max_components, max_total_bytes } => {
+                Arc::new(FifoPolicy { max_components, max_total_bytes })
+            }
+        }
+    }
+
+    /// Convenience: decide directly over a component list.
+    pub fn decide(&self, components: &[Arc<DiskComponent>]) -> CompactionDecision {
+        let runs: Vec<RunMeta> = components.iter().map(|c| RunMeta::of(c)).collect();
+        self.build().decide(&runs)
+    }
+}
+
+/// Registry names, in matrix order.
+pub const POLICY_NAMES: [&str; 7] =
+    ["prefix", "constant", "nomerge", "leveled", "tiered", "lazy-leveled", "fifo"];
+
+/// Geometric size classes: class 0 holds runs ≤ `base_bytes`, class *k*
+/// holds runs ≤ `base_bytes · ratio^k`.
+#[derive(Debug, Clone, Copy)]
+struct SizeClasses {
+    base_bytes: u64,
+    ratio: u64,
+}
+
+impl SizeClasses {
+    fn new(base_bytes: u64, ratio: u64) -> Self {
+        SizeClasses { base_bytes: base_bytes.max(1), ratio: ratio.max(2) }
+    }
+
+    fn class(&self, bytes: u64) -> u32 {
+        let mut cap = self.base_bytes;
+        let mut class = 0u32;
+        while bytes > cap {
+            class += 1;
+            cap = cap.saturating_mul(self.ratio);
+        }
+        class
+    }
+}
+
+#[derive(Debug)]
+struct PrefixPolicy {
+    max_mergeable_size: u64,
+    max_tolerable_components: usize,
+}
+
+impl CompactionPolicy for PrefixPolicy {
+    fn name(&self) -> &'static str {
+        "prefix"
+    }
+
+    fn decide(&self, runs: &[RunMeta]) -> CompactionDecision {
+        // Walk from the newest end, collecting small components.
+        let run = runs.iter().rev().take_while(|r| r.bytes <= self.max_mergeable_size).count();
+        if run > self.max_tolerable_components && run >= 2 {
+            CompactionDecision::Merge(MergePick::contiguous(
+                runs.len() - run..runs.len(),
+                MergeTrigger::ComponentCount,
+            ))
+        } else {
+            CompactionDecision::None
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ConstantPolicy {
+    max_components: usize,
+}
+
+impl CompactionPolicy for ConstantPolicy {
+    fn name(&self) -> &'static str {
+        "constant"
+    }
+
+    fn decide(&self, runs: &[RunMeta]) -> CompactionDecision {
+        // Skip an oldest prefix of runs that each outweigh everything newer
+        // combined: merging such a giant rewrites almost all its bytes to
+        // reduce the component count by at most the same amount as merging
+        // only the newer runs.
+        let mut start = 0usize;
+        while start < runs.len() {
+            let newer: u64 = runs[start + 1..].iter().map(|r| r.bytes).sum();
+            if runs[start].bytes > newer && newer > 0 {
+                start += 1;
+            } else {
+                break;
+            }
+        }
+        let n = runs.len() - start;
+        if n > self.max_components && n >= 2 {
+            CompactionDecision::Merge(MergePick::contiguous(
+                start..runs.len(),
+                MergeTrigger::ComponentCount,
+            ))
+        } else {
+            CompactionDecision::None
+        }
+    }
+}
+
+#[derive(Debug)]
+struct NoMergePolicy;
+
+impl CompactionPolicy for NoMergePolicy {
+    fn name(&self) -> &'static str {
+        "nomerge"
+    }
+
+    fn decide(&self, _runs: &[RunMeta]) -> CompactionDecision {
+        CompactionDecision::None
+    }
+}
+
+#[derive(Debug)]
+struct LeveledPolicy {
+    level0_components: usize,
+    classes: SizeClasses,
+}
+
+impl CompactionPolicy for LeveledPolicy {
+    fn name(&self) -> &'static str {
+        "leveled"
+    }
+
+    fn decide(&self, runs: &[RunMeta]) -> CompactionDecision {
+        // L0 rule: flushed runs collect in the base size class at the
+        // newest end; once more than `level0_components` accumulate, merge
+        // them down into the adjacent older run (classic L0 → L1 push).
+        let l0 = runs.iter().rev().take_while(|r| self.classes.class(r.bytes) == 0).count();
+        if l0 > self.level0_components && l0 >= 2 {
+            let start = (runs.len() - l0).saturating_sub(1);
+            return CompactionDecision::Merge(MergePick::contiguous(
+                start..runs.len(),
+                MergeTrigger::ComponentCount,
+            ));
+        }
+        // One run per level below L0: a newer run that has grown into (or
+        // past) its older neighbor's size class merges with it.
+        for i in (0..runs.len().saturating_sub(1)).rev() {
+            let newer = self.classes.class(runs[i + 1].bytes);
+            if newer > 0 && newer >= self.classes.class(runs[i].bytes) {
+                return CompactionDecision::Merge(MergePick::contiguous(
+                    i..i + 2,
+                    MergeTrigger::LevelOverflow,
+                ));
+            }
+        }
+        CompactionDecision::None
+    }
+
+    fn levels(&self, runs: &[RunMeta]) -> Vec<u32> {
+        runs.iter().map(|r| self.classes.class(r.bytes)).collect()
+    }
+}
+
+#[derive(Debug)]
+struct TieredPolicy {
+    min_tier_runs: usize,
+    classes: SizeClasses,
+}
+
+impl CompactionPolicy for TieredPolicy {
+    fn name(&self) -> &'static str {
+        "tiered"
+    }
+
+    fn decide(&self, runs: &[RunMeta]) -> CompactionDecision {
+        // Scan newest → oldest, grouping contiguous same-class runs; the
+        // newest full tier merges (into a run of the next class up).
+        let mut end = runs.len();
+        while end > 0 {
+            let class = self.classes.class(runs[end - 1].bytes);
+            let mut start = end - 1;
+            while start > 0 && self.classes.class(runs[start - 1].bytes) == class {
+                start -= 1;
+            }
+            if end - start >= self.min_tier_runs && end - start >= 2 {
+                return CompactionDecision::Merge(MergePick::contiguous(
+                    start..end,
+                    MergeTrigger::TierFull,
+                ));
+            }
+            end = start;
+        }
+        CompactionDecision::None
+    }
+
+    fn levels(&self, runs: &[RunMeta]) -> Vec<u32> {
+        runs.iter().map(|r| self.classes.class(r.bytes)).collect()
+    }
+}
+
+#[derive(Debug)]
+struct LazyLeveledPolicy {
+    tier_runs: usize,
+    classes: SizeClasses,
+}
+
+impl CompactionPolicy for LazyLeveledPolicy {
+    fn name(&self) -> &'static str {
+        "lazy-leveled"
+    }
+
+    fn decide(&self, runs: &[RunMeta]) -> CompactionDecision {
+        // Tiered at L0: merge the newest suffix of base-class runs once
+        // `tier_runs` accumulate (without pulling in the older run —
+        // that's the "lazy" part).
+        let l0 = runs.iter().rev().take_while(|r| self.classes.class(r.bytes) == 0).count();
+        if l0 >= self.tier_runs && l0 >= 2 {
+            return CompactionDecision::Merge(MergePick::contiguous(
+                runs.len() - l0..runs.len(),
+                MergeTrigger::TierFull,
+            ));
+        }
+        // Leveled below: one run per level.
+        for i in (0..runs.len().saturating_sub(1)).rev() {
+            let newer = self.classes.class(runs[i + 1].bytes);
+            if newer > 0 && newer >= self.classes.class(runs[i].bytes) {
+                return CompactionDecision::Merge(MergePick::contiguous(
+                    i..i + 2,
+                    MergeTrigger::LevelOverflow,
+                ));
+            }
+        }
+        CompactionDecision::None
+    }
+
+    fn levels(&self, runs: &[RunMeta]) -> Vec<u32> {
+        runs.iter().map(|r| self.classes.class(r.bytes)).collect()
+    }
+}
+
+#[derive(Debug)]
+struct FifoPolicy {
+    max_components: usize,
+    max_total_bytes: u64,
+}
+
+impl CompactionPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn decide(&self, runs: &[RunMeta]) -> CompactionDecision {
+        let mut count = runs.len();
+        let mut bytes: u64 = runs.iter().map(|r| r.bytes).sum();
+        let mut drop = 0usize;
+        while drop < runs.len() && (count > self.max_components || bytes > self.max_total_bytes) {
+            bytes -= runs[drop].bytes;
+            count -= 1;
+            drop += 1;
+        }
+        if drop > 0 {
+            CompactionDecision::Retire(drop)
+        } else {
+            CompactionDecision::None
         }
     }
 }
@@ -71,7 +522,9 @@ mod tests {
     use tc_compress::CompressionScheme;
     use tc_storage::device::{Device, DeviceProfile};
 
-    /// Build a component with approximately `kb` kilobytes of payload.
+    /// Build a real component with approximately `kb` kilobytes of payload
+    /// (exercises the `RunMeta::of` path; most tests below use bare
+    /// `RunMeta`s).
     fn comp(seq: u64, kb: usize) -> Arc<DiskComponent> {
         let device = Arc::new(Device::new(DeviceProfile::RAM));
         let mut b = ComponentBuilder::new(device, 1024, CompressionScheme::None, kb, 10);
@@ -82,39 +535,229 @@ mod tests {
         Arc::new(b.finish(ComponentId::flushed(seq), None, true).unwrap())
     }
 
+    /// `n` runs of `kb` kilobytes each.
+    fn runs(sizes_kb: &[u64]) -> Vec<RunMeta> {
+        sizes_kb.iter().map(|kb| RunMeta::new(kb * 1024, *kb)).collect()
+    }
+
+    fn merge_of(d: CompactionDecision) -> MergePick {
+        match d {
+            CompactionDecision::Merge(p) => p,
+            other => panic!("expected a merge, got {other:?}"),
+        }
+    }
+
     #[test]
     fn no_merge_never_fires() {
         let comps: Vec<_> = (0..10).map(|i| comp(i, 1)).collect();
-        assert_eq!(MergePolicy::NoMerge.decide(&comps), None);
+        assert_eq!(MergePolicy::NoMerge.decide(&comps), CompactionDecision::None);
     }
 
     #[test]
     fn constant_policy_merges_everything_over_threshold() {
-        let comps: Vec<_> = (0..4).map(|i| comp(i, 1)).collect();
         let p = MergePolicy::Constant { max_components: 4 };
-        assert_eq!(p.decide(&comps), None);
-        let comps: Vec<_> = (0..5).map(|i| comp(i, 1)).collect();
-        assert_eq!(p.decide(&comps), Some(0..5));
+        assert_eq!(p.build().decide(&runs(&[1; 4])), CompactionDecision::None);
+        assert_eq!(merge_of(p.build().decide(&runs(&[1; 5]))).indices, vec![0, 1, 2, 3, 4],);
     }
 
     #[test]
     fn prefix_policy_skips_large_components() {
         // One large old component + 6 small new ones: merge only the small
-        // run.
+        // run (verified through real components via `RunMeta::of`).
         let mut comps = vec![comp(0, 300)]; // ~300 KB
         for i in 1..7 {
             comps.push(comp(i, 1));
         }
         let p = MergePolicy::Prefix { max_mergeable_size: 100 * 1024, max_tolerable_components: 5 };
-        assert_eq!(p.decide(&comps), Some(1..7));
+        assert_eq!(merge_of(p.decide(&comps)).indices, vec![1, 2, 3, 4, 5, 6]);
     }
 
     #[test]
     fn prefix_policy_waits_for_tolerable_count() {
-        let comps: Vec<_> = (0..5).map(|i| comp(i, 1)).collect();
         let p = MergePolicy::Prefix { max_mergeable_size: 100 * 1024, max_tolerable_components: 5 };
-        assert_eq!(p.decide(&comps), None, "5 components are tolerable");
-        let comps: Vec<_> = (0..6).map(|i| comp(i, 1)).collect();
-        assert_eq!(p.decide(&comps), Some(0..6));
+        assert_eq!(p.build().decide(&runs(&[1; 5])), CompactionDecision::None, "5 are tolerable");
+        let pick = merge_of(p.build().decide(&runs(&[1; 6])));
+        assert_eq!(pick.indices, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(pick.trigger, MergeTrigger::ComponentCount);
+        assert!(pick.includes_oldest());
+    }
+
+    // ---- decide edge cases, per policy: empty and singleton lists ----
+
+    #[test]
+    fn empty_and_singleton_lists_never_fire() {
+        for policy in MergePolicy::matrix() {
+            let built = policy.build();
+            assert_eq!(built.decide(&[]), CompactionDecision::None, "{policy:?} on empty");
+            assert_eq!(
+                built.decide(&runs(&[10_000])),
+                CompactionDecision::None,
+                "{policy:?} on singleton"
+            );
+        }
+        // Even a FIFO whose caps a single run exceeds must not fire on a
+        // count cap of ≥ 1...
+        let fifo = MergePolicy::Fifo { max_components: 1, max_total_bytes: u64::MAX }.build();
+        assert_eq!(fifo.decide(&runs(&[5])), CompactionDecision::None);
+        // ...but a byte cap genuinely below the singleton retires it (TTL
+        // semantics: the data is expired, however little remains).
+        let fifo = MergePolicy::Fifo { max_components: usize::MAX, max_total_bytes: 1024 }.build();
+        assert_eq!(fifo.decide(&runs(&[5])), CompactionDecision::Retire(1));
+    }
+
+    // ---- exact threshold boundaries ----
+
+    #[test]
+    fn leveled_l0_threshold_boundary() {
+        let p = MergePolicy::Leveled { level0_components: 3, base_bytes: 64 * 1024, fanout: 4 };
+        // Three base-class runs: tolerable.
+        assert_eq!(p.build().decide(&runs(&[10, 10, 10])), CompactionDecision::None);
+        // Four: merge all of L0 (no older run to push into).
+        assert_eq!(merge_of(p.build().decide(&runs(&[10, 10, 10, 10]))).indices, vec![0, 1, 2, 3]);
+        // Four plus an older big run: the push-down includes the neighbor.
+        let pick = merge_of(p.build().decide(&runs(&[500, 10, 10, 10, 10])));
+        assert_eq!(pick.indices, vec![0, 1, 2, 3, 4]);
+        assert_eq!(pick.trigger, MergeTrigger::ComponentCount);
+    }
+
+    #[test]
+    fn leveled_level_overflow_fires_on_class_collision() {
+        let p = MergePolicy::Leveled { level0_components: 3, base_bytes: 64 * 1024, fanout: 4 };
+        // Classes: 64K base, 256K level 1, 1M level 2. A 200K run next to
+        // an older 250K run — both level 1 — violates one-run-per-level.
+        let pick = merge_of(p.build().decide(&runs(&[250, 200, 10])));
+        assert_eq!(pick.indices, vec![0, 1]);
+        assert_eq!(pick.trigger, MergeTrigger::LevelOverflow);
+        // Strictly decreasing classes oldest → newest is stable.
+        assert_eq!(p.build().decide(&runs(&[2000, 250, 10])), CompactionDecision::None);
+    }
+
+    #[test]
+    fn tiered_tier_boundary() {
+        let p = MergePolicy::Tiered { base_bytes: 64 * 1024, size_ratio: 4, min_tier_runs: 3 };
+        assert_eq!(p.build().decide(&runs(&[10, 10])), CompactionDecision::None);
+        let pick = merge_of(p.build().decide(&runs(&[10, 10, 10])));
+        assert_eq!(pick.indices, vec![0, 1, 2]);
+        assert_eq!(pick.trigger, MergeTrigger::TierFull);
+        // The newest full tier wins even when an older tier is also full.
+        let pick = merge_of(p.build().decide(&runs(&[200, 200, 200, 10, 10, 10])));
+        assert_eq!(pick.indices, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn tiered_merges_older_full_tier_when_newest_is_partial() {
+        let p = MergePolicy::Tiered { base_bytes: 64 * 1024, size_ratio: 4, min_tier_runs: 3 };
+        let pick = merge_of(p.build().decide(&runs(&[200, 200, 200, 10, 10])));
+        assert_eq!(pick.indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lazy_leveled_tiers_l0_and_levels_the_rest() {
+        let p = MergePolicy::LazyLeveled { tier_runs: 3, base_bytes: 64 * 1024, fanout: 4 };
+        // L0 tier fills: merge only the base-class suffix, not the older run.
+        let pick = merge_of(p.build().decide(&runs(&[500, 10, 10, 10])));
+        assert_eq!(pick.indices, vec![1, 2, 3]);
+        assert_eq!(pick.trigger, MergeTrigger::TierFull);
+        // Below L0, the leveled pair rule applies.
+        let pick = merge_of(p.build().decide(&runs(&[250, 200, 10])));
+        assert_eq!(pick.indices, vec![0, 1]);
+        assert_eq!(pick.trigger, MergeTrigger::LevelOverflow);
+    }
+
+    #[test]
+    fn fifo_count_and_byte_caps() {
+        let p = MergePolicy::Fifo { max_components: 3, max_total_bytes: u64::MAX }.build();
+        assert_eq!(p.decide(&runs(&[1, 1, 1])), CompactionDecision::None);
+        assert_eq!(p.decide(&runs(&[1, 1, 1, 1])), CompactionDecision::Retire(1));
+        assert_eq!(p.decide(&runs(&[1, 1, 1, 1, 1, 1])), CompactionDecision::Retire(3));
+        let p =
+            MergePolicy::Fifo { max_components: usize::MAX, max_total_bytes: 64 * 1024 }.build();
+        // 10 + 30 + 30 KB = 70 KB > 64 KB: dropping the oldest 10 KB run
+        // gets back under the cap.
+        assert_eq!(p.decide(&runs(&[10, 30, 30])), CompactionDecision::Retire(1));
+        // 10 + 30 + 40 KB = 80 KB: the oldest drop isn't enough, the 30 KB
+        // run goes too.
+        assert_eq!(p.decide(&runs(&[10, 30, 40])), CompactionDecision::Retire(2));
+    }
+
+    // ---- one oversized component mid-run ----
+
+    #[test]
+    fn oversized_component_mid_run() {
+        let sizes = runs(&[1, 1, 5000, 1, 1, 1, 1, 1, 1]);
+        // Prefix: the small-component run stops at the giant.
+        let p = MergePolicy::Prefix { max_mergeable_size: 100 * 1024, max_tolerable_components: 5 };
+        assert_eq!(merge_of(p.build().decide(&sizes)).indices, vec![3, 4, 5, 6, 7, 8]);
+        // Constant: a mid-run giant is *not* a dominating prefix — the
+        // documented semantics merge everything, giant included.
+        let p = MergePolicy::Constant { max_components: 5 };
+        assert_eq!(merge_of(p.build().decide(&sizes)).indices.len(), 9);
+        // Leveled: the giant is simply a higher level; L0 counting stops at
+        // it only positionally (it sits below the L0 suffix).
+        let p = MergePolicy::Leveled { level0_components: 5, base_bytes: 64 * 1024, fanout: 4 };
+        assert_eq!(merge_of(p.build().decide(&sizes)).indices, vec![2, 3, 4, 5, 6, 7, 8]);
+        // Tiered: the giant splits the base tier; only the newest
+        // contiguous group counts.
+        let p = MergePolicy::Tiered { base_bytes: 64 * 1024, size_ratio: 4, min_tier_runs: 4 };
+        assert_eq!(merge_of(p.build().decide(&sizes)).indices, vec![3, 4, 5, 6, 7, 8]);
+    }
+
+    // ---- satellite fix: Constant vs a dominating giant ----
+
+    #[test]
+    fn constant_policy_caps_oversized() {
+        // A 5 MB component followed by six 1 KB runs: the old behavior
+        // merged 0..7, rewriting 5 MB to collapse 6 KB. The giant now stays
+        // out of the pick.
+        let sizes = runs(&[5000, 1, 1, 1, 1, 1, 1]);
+        let p = MergePolicy::Constant { max_components: 5 };
+        let pick = merge_of(p.build().decide(&sizes));
+        assert_eq!(pick.indices, vec![1, 2, 3, 4, 5, 6]);
+        assert!(!pick.includes_oldest(), "the giant survives, so anti-matter must be kept");
+        // Two stacked giants are both skipped.
+        let sizes = runs(&[20_000, 5000, 1, 1, 1, 1, 1, 1]);
+        assert_eq!(merge_of(p.build().decide(&sizes)).indices, vec![2, 3, 4, 5, 6, 7]);
+        // A giant that no longer dominates (enough new data accumulated)
+        // is merged again — the cap is about proportion, not size.
+        let sizes = runs(&[5000, 2000, 2000, 2000, 1, 1]);
+        assert_eq!(merge_of(p.build().decide(&sizes)).indices.len(), 6);
+    }
+
+    // ---- determinism: same input, same pick ----
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let sizes = runs(&[900, 300, 300, 40, 10, 5, 5, 5, 5]);
+        for policy in MergePolicy::matrix() {
+            let built = policy.build();
+            let first = built.decide(&sizes);
+            for _ in 0..10 {
+                assert_eq!(built.decide(&sizes), first, "{policy:?} must be deterministic");
+            }
+            // Rebuilding the mechanism must not change the decision either.
+            assert_eq!(policy.build().decide(&sizes), first);
+        }
+    }
+
+    #[test]
+    fn registry_round_trips_names() {
+        for name in POLICY_NAMES {
+            let policy = MergePolicy::by_name(name).expect("registered");
+            assert_eq!(policy.name(), name);
+            assert_eq!(policy.build().name(), name);
+        }
+        assert_eq!(MergePolicy::by_name("bogus"), None);
+        assert_eq!(MergePolicy::matrix().len(), POLICY_NAMES.len());
+    }
+
+    #[test]
+    fn levels_report_size_classes() {
+        let p = MergePolicy::Leveled { level0_components: 3, base_bytes: 64 * 1024, fanout: 4 };
+        // Caps: 64 KB (L0), 256 KB (L1), 1 MB (L2), 4 MB (L3).
+        let levels = p.build().levels(&runs(&[2000, 200, 10]));
+        assert_eq!(levels, vec![3, 1, 0]);
+        // Policies without level structure put everything at level 0.
+        let levels = MergePolicy::NoMerge.build().levels(&runs(&[2000, 200, 10]));
+        assert_eq!(levels, vec![0, 0, 0]);
     }
 }

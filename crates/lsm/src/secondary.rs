@@ -111,6 +111,10 @@ impl PrimaryKeyIndex {
     pub fn stats(&self) -> crate::tree::LsmStats {
         self.tree.stats()
     }
+
+    pub fn tree(&self) -> &LsmTree {
+        &self.tree
+    }
 }
 
 #[cfg(test)]

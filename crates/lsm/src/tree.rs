@@ -49,7 +49,10 @@ use crate::entry::{EntryKind, Key};
 use crate::hook::ComponentHook;
 use crate::iter::MergedScan;
 use crate::memtable::{MemEntry, Memtable};
-use crate::policy::MergePolicy;
+use crate::policy::{
+    CompactionDecision, CompactionPolicy, MergePick, MergePolicy, MergeTrigger, RunMeta,
+    NUM_MERGE_TRIGGERS,
+};
 use crate::wal::Wal;
 
 /// Per-tree configuration.
@@ -123,6 +126,28 @@ pub struct LsmStats {
     pub maintenance_errors: u64,
     /// Disk components currently quarantined as corrupt.
     pub quarantined_components: u64,
+    /// Bytes of flushed components installed (the "first write" of every
+    /// ingested byte — the write-amplification denominator).
+    pub bytes_flushed: u64,
+    /// Bytes of merged components installed (every byte rewritten by
+    /// compaction counts again here).
+    pub bytes_merged: u64,
+    /// Completed merges per [`MergeTrigger`] (indexed by the trigger's
+    /// discriminant).
+    pub merges_by_trigger: [u64; NUM_MERGE_TRIGGERS],
+    /// Components dropped whole by a FIFO/TTL retire decision.
+    pub components_retired: u64,
+    /// Entries (records + anti-matter) in retired components.
+    pub entries_retired: u64,
+}
+
+impl LsmStats {
+    /// Cumulative write amplification: total component bytes written per
+    /// byte first flushed. 1.0 means no compaction rewrites (no-merge /
+    /// FIFO); leveled policies trend highest.
+    pub fn write_amplification(&self) -> f64 {
+        (self.bytes_flushed + self.bytes_merged) as f64 / self.bytes_flushed.max(1) as f64
+    }
 }
 
 #[derive(Debug, Default)]
@@ -135,10 +160,19 @@ struct StatsCells {
     backpressure_stall_nanos: AtomicU64,
     transient_retries: AtomicU64,
     maintenance_errors: AtomicU64,
+    bytes_flushed: AtomicU64,
+    bytes_merged: AtomicU64,
+    merges_by_trigger: [AtomicU64; NUM_MERGE_TRIGGERS],
+    components_retired: AtomicU64,
+    entries_retired: AtomicU64,
 }
 
 impl StatsCells {
     fn snapshot(&self) -> LsmStats {
+        let mut merges_by_trigger = [0u64; NUM_MERGE_TRIGGERS];
+        for (out, cell) in merges_by_trigger.iter_mut().zip(&self.merges_by_trigger) {
+            *out = cell.load(AtomicOrdering::Relaxed);
+        }
         LsmStats {
             flushes: self.flushes.load(AtomicOrdering::Relaxed),
             merges: self.merges.load(AtomicOrdering::Relaxed),
@@ -148,10 +182,24 @@ impl StatsCells {
             backpressure_stall_nanos: self.backpressure_stall_nanos.load(AtomicOrdering::Relaxed),
             transient_retries: self.transient_retries.load(AtomicOrdering::Relaxed),
             maintenance_errors: self.maintenance_errors.load(AtomicOrdering::Relaxed),
+            bytes_flushed: self.bytes_flushed.load(AtomicOrdering::Relaxed),
+            bytes_merged: self.bytes_merged.load(AtomicOrdering::Relaxed),
+            merges_by_trigger,
+            components_retired: self.components_retired.load(AtomicOrdering::Relaxed),
+            entries_retired: self.entries_retired.load(AtomicOrdering::Relaxed),
             faults_injected: 0,
             checksum_failures: 0,
             quarantined_components: 0,
         }
+    }
+}
+
+/// True when two components' key ranges cannot intersect (an empty
+/// component is disjoint from everything).
+fn key_disjoint(a: &DiskComponent, b: &DiskComponent) -> bool {
+    match (a.min_key(), a.max_key(), b.min_key(), b.max_key()) {
+        (Some(a_min), Some(a_max), Some(b_min), Some(b_max)) => a_max < b_min || b_max < a_min,
+        _ => true,
     }
 }
 
@@ -191,6 +239,8 @@ struct TreeState {
 /// caller's responsibility (one logical writer per partition).
 pub struct LsmTree {
     opts: LsmOptions,
+    /// The compaction mechanism resolved once from `opts.merge_policy`.
+    policy: Arc<dyn CompactionPolicy>,
     device: Arc<Device>,
     cache: Arc<BufferCache>,
     hook: Arc<dyn ComponentHook>,
@@ -260,6 +310,7 @@ impl LsmTree {
     ) -> Self {
         let wal = Wal::new(Arc::clone(&device));
         LsmTree {
+            policy: opts.merge_policy.build(),
             opts,
             device,
             cache,
@@ -614,6 +665,7 @@ impl LsmTree {
 
         if complete {
             component.set_valid();
+            let bytes = component.disk_bytes();
             // Install + unfreeze atomically: a reader snapshot sees the
             // flushed data exactly once (frozen memtable before, disk
             // component after — never both, never neither).
@@ -629,6 +681,7 @@ impl LsmTree {
             }
             self.stats.flushes.fetch_add(1, AtomicOrdering::Relaxed);
             self.stats.entries_flushed.fetch_add(count, AtomicOrdering::Relaxed);
+            self.stats.bytes_flushed.fetch_add(bytes, AtomicOrdering::Relaxed);
         } else {
             // Crash: the invalid component is on disk; the frozen WAL
             // segment survives; the frozen in-memory component is gone.
@@ -641,16 +694,88 @@ impl LsmTree {
         Ok(())
     }
 
-    /// Run the merge policy; merge at most once. A storage fault abandons
-    /// the round with the tree untouched (the half-built component is
-    /// dropped, inputs stay installed); the policy re-fires later.
+    /// Run the compaction policy to fixpoint: re-decide after every
+    /// completed merge/retire until the policy is satisfied, so cascading
+    /// policies (an L0 merge overflowing L1, a tier filling the next tier
+    /// up) settle in one scheduling round. Terminates because every
+    /// decision shrinks the component list the policy sees (merges take
+    /// ≥ 2 inputs, retires drop ≥ 1). A storage fault abandons the round
+    /// with the tree untouched (the half-built component is dropped,
+    /// inputs stay installed); the policy re-fires later.
     pub fn maybe_merge(&self) -> Result<(), StorageError> {
         let guard = self.merge_lock.lock();
-        let disk = self.state.read().disk.clone();
-        if let Some(range) = self.opts.merge_policy.decide(&disk) {
-            self.merge_locked(&disk[range.clone()], range.start == 0, guard)?;
+        loop {
+            let disk = self.state.read().disk.clone();
+            let runs: Vec<RunMeta> = disk.iter().map(|c| RunMeta::of(c)).collect();
+            match self.policy.decide(&runs) {
+                CompactionDecision::None => return Ok(()),
+                CompactionDecision::Merge(pick) => {
+                    let inputs = Self::gather_pick(&disk, &pick);
+                    self.merge_locked(&inputs, pick.includes_oldest(), pick.trigger, &guard)?;
+                }
+                CompactionDecision::Retire(n) => {
+                    assert!(n >= 1 && n <= disk.len(), "bad retire count from {:?}", self.policy);
+                    self.retire_locked(&disk[..n], &guard);
+                }
+            }
         }
-        Ok(())
+    }
+
+    /// Per-level component counts as assigned by the active policy (all
+    /// level 0 for policies without a level structure).
+    pub fn level_counts(&self) -> Vec<u64> {
+        let disk = self.state.read().disk.clone();
+        let runs: Vec<RunMeta> = disk.iter().map(|c| RunMeta::of(c)).collect();
+        let levels = self.policy.levels(&runs);
+        let mut counts = vec![0u64; levels.iter().map(|l| *l as usize + 1).max().unwrap_or(0)];
+        for level in levels {
+            counts[level as usize] += 1;
+        }
+        counts
+    }
+
+    /// Validate a pick's indices against the component snapshot and gather
+    /// the input handles. Non-contiguous picks are sound only when every
+    /// *unpicked* component inside the pick's index span is key-disjoint
+    /// from every picked component older than it — otherwise installing
+    /// the merged result at the newest picked slot would reorder that
+    /// component below versions that used to shadow it. Violations are
+    /// policy bugs and fail loudly, like a bad merge range.
+    fn gather_pick(disk: &[Arc<DiskComponent>], pick: &MergePick) -> Vec<Arc<DiskComponent>> {
+        let ix = &pick.indices;
+        assert!(
+            ix.len() >= 2 && ix.windows(2).all(|w| w[0] < w[1]) && *ix.last().unwrap() < disk.len(),
+            "bad merge pick {ix:?} for {} components",
+            disk.len()
+        );
+        if !pick.is_contiguous() {
+            let (oldest, newest) = (ix[0], *ix.last().unwrap());
+            for skipped in (oldest + 1..newest).filter(|j| !ix.contains(j)) {
+                for &picked in ix.iter().take_while(|&&i| i < skipped) {
+                    assert!(
+                        key_disjoint(&disk[skipped], &disk[picked]),
+                        "unsound non-contiguous pick {ix:?}: skipped component {} overlaps \
+                         picked older component {}",
+                        disk[skipped].id(),
+                        disk[picked].id()
+                    );
+                }
+            }
+        }
+        ix.iter().map(|&i| Arc::clone(&disk[i])).collect()
+    }
+
+    /// Merge an explicit, possibly non-contiguous pick of component
+    /// indices (oldest → newest, as of this call). The key-disjointness
+    /// soundness condition is validated (see [`Self::gather_pick`]);
+    /// anti-matter is garbage-collected only when the pick is a prefix
+    /// starting at the oldest component.
+    pub fn merge_indices(&self, indices: &[usize]) -> Result<(), StorageError> {
+        let guard = self.merge_lock.lock();
+        let disk = self.state.read().disk.clone();
+        let pick = MergePick { indices: indices.to_vec(), trigger: MergeTrigger::Manual };
+        let inputs = Self::gather_pick(&disk, &pick);
+        self.merge_locked(&inputs, pick.includes_oldest(), pick.trigger, &guard)
     }
 
     /// Merge all on-disk components into one (bench/maintenance helper).
@@ -658,7 +783,7 @@ impl LsmTree {
         let guard = self.merge_lock.lock();
         let disk = self.state.read().disk.clone();
         if disk.len() >= 2 {
-            self.merge_locked(&disk, true, guard)?;
+            self.merge_locked(&disk, true, MergeTrigger::Manual, &guard)?;
         }
         Ok(())
     }
@@ -687,7 +812,7 @@ impl LsmTree {
         let disk = self.state.read().disk.clone();
         assert!(range.end <= disk.len() && range.len() >= 2, "bad merge range");
         let includes_oldest = range.start == 0;
-        self.merge_locked(&disk[range], includes_oldest, guard)
+        self.merge_locked(&disk[range], includes_oldest, MergeTrigger::Manual, &guard)
     }
 
     /// Build the merged component (INVALID; the caller decides whether it
@@ -742,33 +867,65 @@ impl LsmTree {
         &self,
         inputs: &[Arc<DiskComponent>],
         includes_oldest: bool,
-        _guard: tc_util::sync::OrderedMutexGuard<'_, ()>,
+        trigger: MergeTrigger,
+        _guard: &tc_util::sync::OrderedMutexGuard<'_, ()>,
     ) -> Result<(), StorageError> {
         let (merged, count) = self.build_merged(inputs, includes_oldest).inspect_err(|_| {
             self.stats.maintenance_errors.fetch_add(1, AtomicOrdering::Relaxed);
         })?;
         merged.set_valid();
+        let merged_bytes = merged.disk_bytes();
         // Swap in the merged component *by identity*: a concurrent flush
         // may have appended components while we built, so positions (not
         // membership — flushes only append, and merges serialize) may have
-        // shifted. Old inputs become garbage once in-flight scans drop
-        // their Arcs (deleted after the merge completes, §2.2).
+        // shifted. The merged component takes the *newest* input's slot —
+        // for a non-contiguous pick, any component skipped inside the span
+        // is older than the result's newest versions, and the
+        // key-disjointness check proved it can't shadow the picked older
+        // ones. Old inputs become garbage once in-flight scans drop their
+        // Arcs (deleted after the merge completes, §2.2).
         {
             let mut st = self.state.write();
-            let start = st
+            let newest = inputs.last().expect("merge needs inputs");
+            let pos = st
                 .disk
                 .iter()
-                .position(|c| Arc::ptr_eq(c, &inputs[0]))
+                .position(|c| Arc::ptr_eq(c, newest))
                 .expect("merge inputs disappeared from the component list");
-            debug_assert!(
-                inputs.iter().enumerate().all(|(i, c)| Arc::ptr_eq(&st.disk[start + i], c)),
-                "merge inputs must remain contiguous"
-            );
-            st.disk.splice(start..start + inputs.len(), [Arc::new(merged)]);
+            st.disk[pos] = Arc::new(merged);
+            let rest = &inputs[..inputs.len() - 1];
+            st.disk.retain(|c| !rest.iter().any(|i| Arc::ptr_eq(c, i)));
         }
         self.stats.merges.fetch_add(1, AtomicOrdering::Relaxed);
         self.stats.entries_merged.fetch_add(count, AtomicOrdering::Relaxed);
+        self.stats.bytes_merged.fetch_add(merged_bytes, AtomicOrdering::Relaxed);
+        self.stats.merges_by_trigger[trigger as usize].fetch_add(1, AtomicOrdering::Relaxed);
         Ok(())
+    }
+
+    /// Drop an oldest prefix of components whole (FIFO/TTL). No data is
+    /// read or rewritten — the runs simply stop being served. Removal is
+    /// by identity for the same reason merges install by identity.
+    /// Deliberately lossy: live records in the retired runs are gone, and
+    /// anti-matter above them now annihilates nothing (which is exactly
+    /// the invariant that makes dropping only a *prefix* safe — nothing
+    /// older remains to resurrect).
+    fn retire_locked(
+        &self,
+        oldest: &[Arc<DiskComponent>],
+        _guard: &tc_util::sync::OrderedMutexGuard<'_, ()>,
+    ) {
+        {
+            let mut st = self.state.write();
+            debug_assert!(
+                oldest.iter().enumerate().all(|(i, c)| Arc::ptr_eq(&st.disk[i], c)),
+                "retire must drop the current oldest prefix"
+            );
+            st.disk.retain(|c| !oldest.iter().any(|o| Arc::ptr_eq(c, o)));
+        }
+        let entries: u64 = oldest.iter().map(|c| c.num_entries()).sum();
+        self.stats.components_retired.fetch_add(oldest.len() as u64, AtomicOrdering::Relaxed);
+        self.stats.entries_retired.fetch_add(entries, AtomicOrdering::Relaxed);
     }
 
     /// Bulk-load a pre-sorted stream into a single component (paper §4.3:
@@ -813,9 +970,11 @@ impl LsmTree {
         };
         let component = builder.finish(ComponentId::flushed(seq), metadata, false)?;
         component.set_valid();
+        let bytes = component.disk_bytes();
         self.state.write().disk.push(Arc::new(component));
         self.stats.flushes.fetch_add(1, AtomicOrdering::Relaxed);
         self.stats.entries_flushed.fetch_add(count, AtomicOrdering::Relaxed);
+        self.stats.bytes_flushed.fetch_add(bytes, AtomicOrdering::Relaxed);
         Ok(())
     }
 
@@ -1346,5 +1505,138 @@ mod tests {
         });
         assert_eq!(t.memtable_len(), 0);
         assert_eq!(t.count(), 300);
+    }
+
+    /// Two key-disjoint old components with a third, overlapping-with-
+    /// neither component between them: build C0 on keys 0..10, C1 on
+    /// 100..110, C2 on 200..210, then merge {C0, C2} skipping C1.
+    #[test]
+    fn non_contiguous_merge_of_disjoint_components() {
+        let t = small_tree();
+        for base in [0u64, 100, 200] {
+            for i in base..base + 10 {
+                t.insert(encode_u64_key(i), format!("v{i}").into_bytes()).unwrap();
+            }
+            t.flush().unwrap();
+        }
+        assert_eq!(t.components().len(), 3);
+        t.merge_indices(&[0, 2]).unwrap();
+        let comps = t.components();
+        assert_eq!(comps.len(), 2);
+        // The merged component took the newest input's slot.
+        assert_eq!(comps[1].id().to_string(), "[C0,C2]");
+        assert_eq!(comps[0].id().to_string(), "C1");
+        for i in (0..210u64).filter(|i| i % 100 < 10) {
+            assert_eq!(t.get(&encode_u64_key(i)).unwrap(), Some(format!("v{i}").into_bytes()));
+        }
+        assert_eq!(t.count(), 30);
+        // Non-prefix pick: anti-matter GC was off (prove via the stats —
+        // the merge rewrote exactly its inputs' entries).
+        assert_eq!(t.stats().entries_merged, 20);
+        assert_eq!(t.stats().merges_by_trigger[MergeTrigger::Manual as usize], 1);
+    }
+
+    /// A non-contiguous pick whose skipped component overlaps a picked
+    /// older one would let stale versions win — the tree refuses it.
+    #[test]
+    #[should_panic(expected = "unsound non-contiguous pick")]
+    fn non_contiguous_merge_rejects_overlapping_skip() {
+        let t = small_tree();
+        // C0: keys 0..10 (v-old), C1: keys 5..15 (newer versions of 5..10),
+        // C2: keys 300..310.
+        for i in 0..10u64 {
+            t.insert(encode_u64_key(i), b"old".to_vec()).unwrap();
+        }
+        t.flush().unwrap();
+        for i in 5..15u64 {
+            t.insert(encode_u64_key(i), b"new".to_vec()).unwrap();
+        }
+        t.flush().unwrap();
+        for i in 300..310u64 {
+            t.insert(encode_u64_key(i), b"x".to_vec()).unwrap();
+        }
+        t.flush().unwrap();
+        let _ = t.merge_indices(&[0, 2]);
+    }
+
+    #[test]
+    fn fifo_policy_retires_oldest_components() {
+        let t = tree(LsmOptions {
+            page_size: 512,
+            memtable_budget: 4 * 1024,
+            merge_policy: MergePolicy::Fifo { max_components: 2, max_total_bytes: u64::MAX },
+            ..Default::default()
+        });
+        for batch in 0..4u64 {
+            for i in batch * 10..batch * 10 + 10 {
+                t.insert(encode_u64_key(i), format!("v{i}").into_bytes()).unwrap();
+            }
+            t.flush().unwrap();
+            t.maybe_merge().unwrap();
+        }
+        let stats = t.stats();
+        assert_eq!(stats.merges, 0, "FIFO never merges");
+        assert_eq!(t.components().len(), 2, "count cap enforced");
+        assert_eq!(stats.components_retired, 2);
+        assert_eq!(stats.entries_retired, 20);
+        // The oldest batches are gone (lossy by design), the newest live.
+        assert_eq!(t.get(&encode_u64_key(0)).unwrap(), None);
+        assert_eq!(t.get(&encode_u64_key(15)).unwrap(), None);
+        assert_eq!(t.get(&encode_u64_key(25)).unwrap(), Some(b"v25".to_vec()));
+        assert_eq!(t.get(&encode_u64_key(39)).unwrap(), Some(b"v39".to_vec()));
+    }
+
+    #[test]
+    fn write_amplification_accounts_flushes_and_merges() {
+        let t = tree(LsmOptions {
+            page_size: 512,
+            memtable_budget: 4 * 1024,
+            merge_policy: MergePolicy::Constant { max_components: 2 },
+            ..Default::default()
+        });
+        for i in 0..300u64 {
+            t.insert(encode_u64_key(i), format!("payload-{i}").into_bytes()).unwrap();
+        }
+        t.flush().unwrap();
+        t.maybe_merge().unwrap();
+        let stats = t.stats();
+        assert!(stats.flushes > 0 && stats.merges > 0);
+        assert!(stats.bytes_flushed > 0, "every flush adds to the denominator");
+        assert!(stats.bytes_merged > 0, "every merge adds to the numerator");
+        assert!(stats.write_amplification() > 1.0);
+        let triggered: u64 = stats.merges_by_trigger.iter().sum();
+        assert_eq!(triggered, stats.merges, "every merge is attributed to a trigger");
+        // NoMerge baseline: amplification is exactly 1.
+        let t = small_tree();
+        for i in 0..100u64 {
+            t.insert(encode_u64_key(i), b"x".to_vec()).unwrap();
+        }
+        t.flush().unwrap();
+        let stats = t.stats();
+        assert_eq!(stats.bytes_merged, 0);
+        assert!((stats.write_amplification() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn level_counts_follow_the_policy_assignment() {
+        let t = tree(LsmOptions {
+            page_size: 512,
+            memtable_budget: 4 * 1024,
+            merge_policy: MergePolicy::Leveled {
+                level0_components: 8,
+                base_bytes: 2 * 1024,
+                fanout: 4,
+            },
+            ..Default::default()
+        });
+        assert!(t.level_counts().is_empty(), "no components, no levels");
+        for batch in 0..3u64 {
+            for i in batch * 5..batch * 5 + 5 {
+                t.insert(encode_u64_key(i), vec![b'x'; 100]).unwrap();
+            }
+            t.flush().unwrap();
+        }
+        let counts = t.level_counts();
+        assert_eq!(counts.iter().sum::<u64>(), t.components().len() as u64);
     }
 }

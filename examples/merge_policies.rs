@@ -1,0 +1,60 @@
+//! Merge policies: the compaction design space on one dataset.
+//!
+//! Ingests the same update-heavy stream under every policy in the
+//! `MergePolicy` registry and prints the trade each one makes: write
+//! amplification (bytes rewritten by merges, on top of the flushed bytes)
+//! against tree shape (component count — a proxy for scan cost). No policy
+//! wins both; that is the point of making compaction configurable.
+//!
+//! Run with: `cargo run --example merge_policies`
+
+use std::sync::Arc;
+
+use asterix_tc::prelude::*;
+
+fn run(policy: MergePolicy) -> Result<(), AdmError> {
+    let config = DatasetConfig::new("Events", "id")
+        .with_format(StorageFormat::Inferred)
+        .with_memtable_budget(16 * 1024)
+        .with_merge_policy(policy);
+    let device = Arc::new(Device::new(DeviceProfile::NVME_SSD));
+    let cache = Arc::new(BufferCache::new(4096));
+    let events = Dataset::new(config, device, cache);
+
+    let mut writer = events.writer();
+    for i in 0..2000i64 {
+        writer.upsert(&parse(&format!(
+            r#"{{"id": {}, "seq": {i}, "payload": "event body #{i}"}}"#,
+            // Every 4th write revisits an older key, so merges constantly
+            // reconcile overlapping versions.
+            if i % 4 == 3 { i / 2 } else { i }
+        ))?)?;
+    }
+    drop(writer);
+    events.flush()?;
+
+    let stats = events.lsm_stats();
+    let comps = events.primary().components().len();
+    println!(
+        "  {:<14} write amp {:>5.2}x   components {:>3}   merges {:>3}   levels {:?}",
+        policy.name(),
+        stats.write_amplification(),
+        comps,
+        stats.merges,
+        events.primary().level_counts(),
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), AdmError> {
+    println!("2000 upserts (25% updates), 16 KiB memtable, per policy:\n");
+    for policy in MergePolicy::matrix() {
+        run(policy)?;
+    }
+    println!(
+        "\nPolicies are interchangeable for correctness (proven by the \
+         policy-equivalence property test); pick by workload:\n\
+         low write amp for ingest-heavy, few components for scan-heavy."
+    );
+    Ok(())
+}

@@ -409,6 +409,55 @@ fn scans_stay_consistent_across_concurrent_merges() {
     });
 }
 
+/// Same shape as above, but the reorganization is policy-driven rather
+/// than a manual full merge: leveled and tiered policies issue
+/// non-contiguous picks (installed by `Arc` identity at the newest input's
+/// slot), and the background worker runs them to fixpoint while readers
+/// scan. No policy may drop, double, or tear a row.
+#[test]
+fn scans_stay_consistent_under_policy_driven_merges() {
+    for policy in [
+        MergePolicy::Leveled { level0_components: 3, base_bytes: 16 * 1024, fanout: 4 },
+        MergePolicy::Tiered { base_bytes: 16 * 1024, size_ratio: 4, min_tier_runs: 3 },
+    ] {
+        with_watchdog(Duration::from_secs(60), "scans-vs-policy-merges", move || {
+            let ds = Arc::new(Dataset::new(
+                stress_config(true).with_merge_policy(policy),
+                Arc::new(Device::new(DeviceProfile::RAM)),
+                Arc::new(BufferCache::new(4096)),
+            ));
+            const N: i64 = 600;
+            std::thread::scope(|scope| {
+                let writer = Arc::clone(&ds);
+                scope.spawn(move || {
+                    // The 8 KiB budget keeps flushes firing, so the worker
+                    // re-evaluates the policy throughout the ingest.
+                    let mut w = writer.writer();
+                    for pk in 0..N {
+                        w.insert(&record(pk, 0)).unwrap();
+                    }
+                });
+                for _ in 0..3 {
+                    let reader = Arc::clone(&ds);
+                    scope.spawn(move || {
+                        for _ in 0..25 {
+                            for v in reader.scan_values().unwrap().iter().step_by(29) {
+                                assert_untorn(v);
+                            }
+                        }
+                    });
+                }
+            });
+            ds.await_quiescent();
+            ds.flush().unwrap();
+            assert_eq!(ds.scan_values().unwrap().len(), N as usize, "policy dropped rows");
+            let stats = ds.lsm_stats();
+            assert!(stats.merges > 0, "{} never reorganized under stress", policy.name());
+            assert_eq!(stats.components_retired, 0, "merging policies are lossless");
+        });
+    }
+}
+
 // ---------------------------------------------------------------------
 // 5. Repeated short runs: shake out interleavings (the suite is also run
 //    20× in CI; this in-test loop catches cheap orderings every run)

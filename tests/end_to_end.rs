@@ -212,6 +212,77 @@ fn heterogeneous_partitions_query_correctly() {
     assert!(res.stats.broadcast_bytes > 0);
 }
 
+/// The full paper pipeline — partitioned ingest, schema inference, crash,
+/// recovery, global query — is merge-policy independent: a leveled and a
+/// lazy-leveled cluster answer exactly like the prefix default, while
+/// their trees actually reorganized (merges fired, component counts
+/// bounded).
+#[test]
+fn query_answers_are_merge_policy_independent() {
+    let make = |policy| {
+        let cluster = Cluster::create_dataset(
+            ClusterConfig {
+                nodes: 1,
+                partitions_per_node: 2,
+                device: DeviceProfile::NVME_SSD,
+                cache_budget_per_node: 8 * 1024 * 1024,
+            },
+            DatasetConfig::new("emps", "id")
+                .with_format(StorageFormat::Inferred)
+                .with_memtable_budget(8 * 1024)
+                .with_merge_policy(policy),
+        );
+        for i in 0..300i64 {
+            let r =
+                parse(&format!(r#"{{"id": {i}, "name": "e{}", "score": {i}}}"#, i % 7)).unwrap();
+            cluster.insert(&r).unwrap();
+        }
+        cluster.flush_all().unwrap();
+        cluster.simulate_crash_all();
+        cluster.recover_all().unwrap();
+        cluster
+    };
+    let query = Query {
+        scan: tc_query::plan::ScanSpec::all_early(
+            vec![tc_adm::path::parse_path("name")],
+            tc_query::plan::AccessStrategy::Consolidated,
+        ),
+        ops: vec![
+            tc_query::plan::Op::GroupBy {
+                keys: vec![tc_query::expr::Expr::col(0)],
+                aggs: vec![tc_query::agg::Agg::count_star()],
+            },
+            tc_query::plan::Op::OrderBy {
+                keys: vec![(tc_query::expr::Expr::col(0), false)],
+                limit: None,
+            },
+        ],
+    };
+    let reference = make(MergePolicy::paper_default(64 * 1024 * 1024));
+    let expected = reference.query(&query, &ExecOptions::default()).unwrap().rows;
+    for policy in [
+        MergePolicy::Leveled { level0_components: 3, base_bytes: 16 * 1024, fanout: 4 },
+        MergePolicy::LazyLeveled { tier_runs: 3, base_bytes: 16 * 1024, fanout: 4 },
+    ] {
+        let cluster = make(policy);
+        let rows = cluster.query(&query, &ExecOptions::default()).unwrap().rows;
+        assert_eq!(rows, expected, "{} changed query answers", policy.name());
+        let stats = cluster.lsm_stats();
+        assert!(
+            stats.iter().any(|s| s.merges > 0),
+            "{} never reorganized during ingest",
+            policy.name()
+        );
+        for p in cluster.partitions() {
+            assert!(
+                p.primary().components().len() <= 8,
+                "{} left an unbounded tree",
+                policy.name()
+            );
+        }
+    }
+}
+
 /// Bulk load equals feed ingestion, observably.
 #[test]
 fn bulk_load_matches_feed() {

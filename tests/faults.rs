@@ -155,6 +155,212 @@ fn crash_point_sweep_recovers_every_acked_write() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Cluster crash-point sweep, parameterized over the merge-policy matrix
+// ---------------------------------------------------------------------
+
+/// A cluster record. The secondary key `s` is a pure function of the
+/// primary key, so updates rewrite `v` but never move the record in the
+/// secondary index — a torn upsert can only *lose* a posting (completeness
+/// gap for its one key), never leave a wrong-valued one behind.
+fn cluster_record(id: i64, v: i64) -> Value {
+    parse(&format!(r#"{{"id": {id}, "v": {v}, "s": {}}}"#, id * 10)).unwrap()
+}
+
+/// 1 node × 2 partitions on RAM devices, with WAL, a primary-key index,
+/// and a secondary index — three LSM trees per partition, all governed by
+/// the merge policy under test. Synchronous maintenance: budget-triggered
+/// flushes run the policy inline, so crash points land inside
+/// policy-chosen merges too.
+fn make_cluster(policy: MergePolicy) -> Cluster {
+    Cluster::create_dataset(
+        ClusterConfig {
+            nodes: 1,
+            partitions_per_node: 2,
+            device: DeviceProfile::RAM,
+            ..Default::default()
+        },
+        DatasetConfig::new("Faulty", "id")
+            .with_format(StorageFormat::Inferred)
+            .with_memtable_budget(8 * 1024)
+            .with_merge_policy(policy)
+            .with_primary_key_index(true)
+            .with_secondary_index("s"),
+    )
+}
+
+/// The cluster sweep workload: hash-partitioned ingest, flushes, updates
+/// and deletes, a full merge, more ingest, a secondary-range read, final
+/// flush. Returns the acked oracle, whether the run completed, and the key
+/// of the one op torn by the crash (`None` on structural-op failures).
+fn run_cluster_workload(c: &Cluster) -> (BTreeMap<i64, i64>, bool, Option<i64>) {
+    let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
+    for i in 0..PHASE1 {
+        if c.insert(&cluster_record(i, i)).is_err() {
+            return (oracle, false, Some(i));
+        }
+        oracle.insert(i, i);
+    }
+    if c.flush_all().is_err() {
+        return (oracle, false, None);
+    }
+    for i in PHASE1..PHASE2 {
+        if i % 13 == 0 {
+            match c.delete(i - PHASE1) {
+                Ok(_) => {
+                    oracle.remove(&(i - PHASE1));
+                }
+                Err(_) => return (oracle, false, Some(i - PHASE1)),
+            }
+        } else if i % 10 == 0 {
+            if c.upsert(&cluster_record(i - PHASE1, i * 100)).is_err() {
+                return (oracle, false, Some(i - PHASE1));
+            }
+            oracle.insert(i - PHASE1, i * 100);
+        } else {
+            if c.insert(&cluster_record(i, i)).is_err() {
+                return (oracle, false, Some(i));
+            }
+            oracle.insert(i, i);
+        }
+    }
+    if c.flush_all().is_err() || c.merge_all().is_err() {
+        return (oracle, false, None);
+    }
+    for i in PHASE2..PHASE3 {
+        if c.insert(&cluster_record(i, i)).is_err() {
+            return (oracle, false, Some(i));
+        }
+        oracle.insert(i, i);
+    }
+    // Secondary-access-path read mid-workload: consumes I/O like any scan,
+    // has no side effects; the next write decides whether we crashed.
+    for p in c.partitions() {
+        let _ = p.secondary_range(0, i64::MAX);
+    }
+    // Sentinel writes covering every partition: each device performs at
+    // least one op AFTER the ignored reads, so a crash landing inside them
+    // still surfaces as a visible error before the run can "complete".
+    let mut covered = vec![false; c.num_partitions()];
+    let mut id = PHASE3;
+    while covered.iter().any(|done| !done) {
+        let p = c.partition_of(id);
+        if !covered[p] {
+            covered[p] = true;
+            if c.insert(&cluster_record(id, id)).is_err() {
+                return (oracle, false, Some(id));
+            }
+            oracle.insert(id, id);
+        }
+        id += 1;
+    }
+    if c.flush_all().is_err() {
+        return (oracle, false, None);
+    }
+    (oracle, true, None)
+}
+
+/// Union of all partitions' primary contents as `id -> v`.
+fn cluster_contents(c: &Cluster) -> BTreeMap<i64, i64> {
+    let mut all = BTreeMap::new();
+    for p in c.partitions() {
+        all.extend(contents(p));
+    }
+    all
+}
+
+/// Satellite sweep for the policy matrix: for every registry merge policy,
+/// crash the whole cluster (every partition device arms the same plan) at
+/// ~8 points across the run, recover all partitions, and require:
+/// primary contents == acked oracle exactly; every secondary posting sound
+/// (equal to the oracle); secondary completeness up to the single torn key.
+#[test]
+fn crash_point_sweep_cluster_covers_every_policy() {
+    for policy in MergePolicy::matrix() {
+        // Calibrate per policy: merge I/O differs, so op counts do too.
+        let c = make_cluster(policy);
+        for node in c.nodes() {
+            for d in &node.devices {
+                d.set_fault_plan(FaultPlan::new(0));
+            }
+        }
+        let (full_oracle, completed, _) = run_cluster_workload(&c);
+        assert!(completed, "[{}] uninjected workload must complete", policy.name());
+        let total_ops = c
+            .nodes()
+            .iter()
+            .flat_map(|n| &n.devices)
+            .map(|d| d.clear_fault_plan().unwrap().ops_seen())
+            .max()
+            .unwrap();
+        assert!(total_ops > 50, "[{}] workload too small ({total_ops} ops)", policy.name());
+        assert_eq!(cluster_contents(&c), full_oracle, "[{}] clean run", policy.name());
+
+        let step = (total_ops / 8).max(1);
+        let mut crash_points: Vec<u64> = (1..=total_ops).step_by(step as usize).collect();
+        crash_points.push(total_ops + 1);
+        for k in crash_points {
+            let c = make_cluster(policy);
+            for node in c.nodes() {
+                for d in &node.devices {
+                    d.set_fault_plan(FaultPlan::new(k).with_crash_after_ops(k));
+                }
+            }
+            let (oracle, completed, torn_key) = run_cluster_workload(&c);
+            // Op k itself still succeeds (the plan fails ops numbered > k),
+            // so the run completes exactly when k covers the whole op count.
+            assert_eq!(
+                completed,
+                k >= total_ops,
+                "[{}] crash at op {k}/{total_ops}: completion must match",
+                policy.name()
+            );
+            for node in c.nodes() {
+                for d in &node.devices {
+                    d.clear_fault_plan();
+                }
+            }
+            c.simulate_crash_all();
+            let (_removed, _replayed) = c.recover_all().unwrap_or_else(|e| {
+                panic!("[{}] recovery after crash at op {k} must succeed: {e}", policy.name());
+            });
+            c.flush_all().unwrap();
+            assert_eq!(
+                cluster_contents(&c),
+                oracle,
+                "[{}] crash at op {k}/{total_ops}: recovered cluster != acked oracle",
+                policy.name()
+            );
+            // Secondary access path after recovery. Soundness: every record
+            // served via the secondary index matches the oracle (dangling
+            // postings from a torn op can't materialize — the primary
+            // lookup misses). Completeness: at most the torn op's own key
+            // may have lost its posting.
+            let mut via_secondary = BTreeMap::new();
+            for p in c.partitions() {
+                for rec in p.secondary_range(0, i64::MAX).unwrap() {
+                    let id = rec.get_field("id").and_then(Value::as_i64).unwrap();
+                    let v = rec.get_field("v").and_then(Value::as_i64).unwrap();
+                    assert_eq!(
+                        oracle.get(&id),
+                        Some(&v),
+                        "[{}] crash at op {k}: secondary served a wrong record",
+                        policy.name()
+                    );
+                    via_secondary.insert(id, v);
+                }
+            }
+            let missing: Vec<i64> =
+                oracle.keys().filter(|id| !via_secondary.contains_key(id)).copied().collect();
+            assert!(
+                missing.is_empty() || missing == vec![torn_key.unwrap_or(i64::MIN)],
+                "[{}] crash at op {k}: secondary lost postings for {missing:?} (torn: {torn_key:?})",
+                policy.name()
+            );
+        }
+    }
+}
+
 /// Fault storm: 1% of all device operations fail transiently. Bounded
 /// per-write retries must land every acked write; nothing panics; the
 /// storm is visible in the stats counters. `TC_FAULT_SEED` reseeds the

@@ -334,3 +334,117 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Each case runs the workload 1 + |matrix| × 2 times, so a modest case
+    // count still exercises every policy against hundreds of workloads.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Merge policies are pure reorganization: for any random workload of
+    /// inserts / upserts / deletes with explicit flush points, every policy
+    /// in the registry matrix — run both synchronously and on the
+    /// background maintenance worker — produces exactly the same
+    /// `scan_values()` and schema record count as a no-merge reference.
+    /// After a final full merge, every variant collapses to one component
+    /// with zero anti-matter (deletes are fully garbage-collected), so
+    /// anti-matter semantics are policy-independent too.
+    #[test]
+    fn merge_policies_are_observationally_equivalent(
+        ops in proptest::collection::vec(arb_op(), 1..30)
+    ) {
+        fn run(policy: MergePolicy, background: bool, ops: &[LsmOp]) -> Dataset {
+            // Tiny budget: flushes fire often, so the policies under test
+            // actually get multi-component lists to reorganize.
+            let config = DatasetConfig::new("equiv", "id")
+                .with_format(StorageFormat::Inferred)
+                .with_memtable_budget(8 * 1024)
+                .with_merge_policy(policy)
+                .with_background_maintenance(background);
+            let device = Arc::new(Device::new(DeviceProfile::RAM));
+            let cache = Arc::new(BufferCache::new(1024));
+            let ds = Dataset::new(config, device, cache);
+            let mut writer = ds.writer();
+            for op in ops {
+                match op {
+                    LsmOp::Insert(k, v) | LsmOp::Upsert(k, v) => {
+                        let record =
+                            parse(&format!(r#"{{"id": {k}, "v": {v}}}"#)).unwrap();
+                        writer.upsert(&record).unwrap();
+                    }
+                    LsmOp::Delete(k) => {
+                        writer.delete(*k as i64).unwrap();
+                    }
+                    LsmOp::Flush | LsmOp::Merge | LsmOp::CrashRecover => {
+                        // Structural ops degrade to flush points: merging is
+                        // exactly what varies across the matrix, and
+                        // crash/recovery under policies is covered by the
+                        // fault sweep in tests/faults.rs.
+                        if background {
+                            ds.flush_async().unwrap();
+                        } else {
+                            ds.flush().unwrap();
+                        }
+                    }
+                }
+            }
+            drop(writer);
+            ds.await_quiescent();
+            ds.flush().unwrap();
+            ds
+        }
+
+        let reference = run(MergePolicy::NoMerge, false, &ops);
+        let expected = reference.scan_values().unwrap();
+        let expected_records =
+            reference.schema_snapshot().unwrap().record_count();
+
+        for policy in MergePolicy::matrix() {
+            for background in [false, true] {
+                let ds = run(policy, background, &ops);
+                prop_assert_eq!(
+                    &ds.scan_values().unwrap(),
+                    &expected,
+                    "policy {} (background={}) diverged",
+                    policy.name(),
+                    background
+                );
+                prop_assert_eq!(
+                    ds.schema_snapshot().unwrap().record_count(),
+                    expected_records,
+                    "policy {} (background={}) schema record count diverged",
+                    policy.name(),
+                    background
+                );
+                prop_assert_eq!(
+                    ds.lsm_stats().components_retired,
+                    0,
+                    "matrix policies must be lossless"
+                );
+                // Anti-matter semantics: a full merge converges to a single
+                // component with every delete resolved. (With fewer than two
+                // components the merge is a no-op, and a lone flushed
+                // component may legitimately carry tombstones.)
+                let before = ds.primary().components().len();
+                ds.force_full_merge().unwrap();
+                let comps = ds.primary().components();
+                let live: u64 =
+                    comps.iter().map(|c| c.num_entries() - c.num_antimatter()).sum();
+                prop_assert_eq!(
+                    live as usize,
+                    expected.len(),
+                    "live-entry accounting diverged under {}",
+                    policy.name()
+                );
+                if before >= 2 {
+                    prop_assert_eq!(comps.len(), 1);
+                    prop_assert_eq!(
+                        comps[0].num_antimatter(),
+                        0,
+                        "full merge under {} left anti-matter",
+                        policy.name()
+                    );
+                }
+            }
+        }
+    }
+}
