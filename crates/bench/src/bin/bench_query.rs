@@ -1,7 +1,8 @@
 //! Query bench runner: the batched pushdown pipeline vs. the row-at-a-time
-//! fallback, recorded to `BENCH_query.json`.
+//! fallback, and the AMAX columnar format vs. the vector format, recorded
+//! to `BENCH_query.json`.
 //!
-//! Three claims, each asserted before the JSON is written:
+//! Four claims, each asserted before the JSON is written:
 //!
 //! 1. **Lazy decode wins on selective scans** (the Fig 23 Q4 shape). With
 //!    the range predicate pushed into `ScanSpec::filter`, the batched
@@ -12,10 +13,18 @@
 //!    `k` into the scan, so each partition pulls at most `k` records —
 //!    `rows_scanned` stays far below the dataset size on both engines.
 //! 3. **The engines agree.** Every sensors paper query returns identical
-//!    rows under batched and row execution, serial and parallel.
+//!    rows under batched and row execution, serial and parallel, on every
+//!    storage format benched.
+//! 4. **The zero-pivot columnar scan wins big.** On a merged (at-rest)
+//!    `amax` partition the batched engine faults in only the column pages
+//!    the query touches, skips row groups via min/max stats, and never
+//!    pivots a record back into row form — ≥ 2× faster than the same scan
+//!    over the vector format.
 //!
-//! Usage: `cargo run --release -p tc_bench --bin bench_query` (honors
-//! `TC_SCALE`; writes `BENCH_query.json` into the current directory).
+//! Usage: `cargo run --release -p tc_bench --bin bench_query`
+//! (`--format vector|amax|both` selects the storage formats, default
+//! `both`; honors `TC_SCALE`; writes `BENCH_query.json` into the current
+//! directory).
 
 use std::time::Duration;
 
@@ -26,6 +35,7 @@ use tc_query::exec::{Engine, ExecOptions};
 use tc_query::expr::Expr;
 use tc_query::paper_queries as q;
 use tc_query::plan::{AccessStrategy, Op, Query, QueryOptions, ScanSpec};
+use tuple_compactor::StorageFormat;
 
 const DAY_START: i64 = 1_556_496_000_000;
 /// ~3 survivors out of the whole dataset (the paper's 0.001%-class
@@ -34,6 +44,7 @@ const Q4_WINDOW_MS: i64 = 3 * 60_000;
 
 struct Cell {
     query: &'static str,
+    format: &'static str,
     engine: &'static str,
     total: Duration,
     wall: Duration,
@@ -49,12 +60,19 @@ fn engine_name(e: Engine) -> &'static str {
     }
 }
 
-fn measure(cluster: &Cluster, name: &'static str, query: &Query, engine: Engine) -> Cell {
+fn measure(
+    cluster: &Cluster,
+    name: &'static str,
+    format: &'static str,
+    query: &Query,
+    engine: Engine,
+) -> Cell {
     let exec = ExecOptions::with_engine(engine);
     let (res, _) = run_query_cold_opts(cluster, query, &exec);
     let m = measure_query_cold_opts(cluster, query, &exec, 5);
     Cell {
         query: name,
+        format,
         engine: engine_name(engine),
         total: m.total(),
         wall: m.wall,
@@ -82,9 +100,10 @@ fn ms(d: Duration) -> f64 {
 
 fn json_cell(c: &Cell) -> String {
     format!(
-        "    {{\"query\": \"{}\", \"engine\": \"{}\", \"total_ms\": {}, \"wall_ms\": {}, \
-         \"io_ms\": {}, \"rows_scanned\": {}, \"rows_returned\": {}}}",
+        "    {{\"query\": \"{}\", \"format\": \"{}\", \"engine\": \"{}\", \"total_ms\": {}, \
+         \"wall_ms\": {}, \"io_ms\": {}, \"rows_scanned\": {}, \"rows_returned\": {}}}",
         c.query,
+        c.format,
         c.engine,
         ms(c.total),
         ms(c.wall),
@@ -94,31 +113,69 @@ fn json_cell(c: &Cell) -> String {
     )
 }
 
-fn main() {
-    let n = 1500 * scale();
-    let cfg = ExpConfig::default();
+/// `--format vector|amax|both` → the formats to bench, as
+/// (flag-name, storage format) pairs. `vector` is the paper's inferred
+/// vector format, `amax` the columnar successor.
+fn formats_from_args() -> Vec<(&'static str, StorageFormat)> {
+    let mut args = std::env::args().skip(1);
+    let mut choice = "both".to_string();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => choice = args.next().expect("--format needs a value"),
+            other => panic!("unknown argument {other} (expected --format vector|amax|both)"),
+        }
+    }
+    match choice.as_str() {
+        "vector" => vec![("vector", StorageFormat::Inferred)],
+        "amax" => vec![("amax", StorageFormat::Columnar)],
+        "both" => {
+            vec![("vector", StorageFormat::Inferred), ("amax", StorageFormat::Columnar)]
+        }
+        other => panic!("unknown --format {other} (expected vector|amax|both)"),
+    }
+}
+
+fn build_cluster(format: StorageFormat, n: usize) -> Cluster {
+    let cfg = ExpConfig { format, ..ExpConfig::default() };
     let mut gen = SensorsGen::new(1);
     let (cluster, _) = ingest(&mut gen, n, &cfg, None);
+    // Merge down to one component per partition: the resting state the
+    // columnar fast path requires (and a fair single-component baseline
+    // for the vector format).
     cluster.merge_all().unwrap();
+    cluster
+}
+
+fn main() {
+    // Enough records that each partition holds several 1024-row groups —
+    // the regime where the columnar min/max group skip has something to
+    // skip.
+    let n = 6000 * scale();
+    let formats = formats_from_args();
+    let clusters: Vec<(&'static str, Cluster)> =
+        formats.iter().map(|&(name, f)| (name, build_cluster(f, n))).collect();
 
     let opts = QueryOptions::default();
     let scanfilter = q::sensors_q4_scanfilter(opts, DAY_START, DAY_START + Q4_WINDOW_MS);
     let limit = limit_probe(10);
 
     let mut cells = Vec::new();
-    for engine in [Engine::Batched, Engine::Row] {
-        cells.push(measure(&cluster, "sensors_q4_scanfilter", &scanfilter, engine));
-        cells.push(measure(&cluster, "limit10_project", &limit, engine));
+    for (fname, cluster) in &clusters {
+        for engine in [Engine::Batched, Engine::Row] {
+            cells.push(measure(cluster, "sensors_q4_scanfilter", fname, &scanfilter, engine));
+            cells.push(measure(cluster, "limit10_project", fname, &limit, engine));
+        }
     }
 
     println!(
-        "{:<24} {:>10} {:>12} {:>14} {:>10}",
-        "query", "engine", "total", "rows_scanned", "rows"
+        "{:<24} {:>8} {:>10} {:>12} {:>14} {:>10}",
+        "query", "format", "engine", "total", "rows_scanned", "rows"
     );
     for c in &cells {
         println!(
-            "{:<24} {:>10} {:>10.2}ms {:>14} {:>10}",
+            "{:<24} {:>8} {:>10} {:>10.2}ms {:>14} {:>10}",
             c.query,
+            c.format,
             c.engine,
             ms(c.total),
             c.rows_scanned,
@@ -126,18 +183,21 @@ fn main() {
         );
     }
 
-    // Claim 1: lazy decode beats decode-everything on the selective scan.
-    let batched =
-        cells.iter().find(|c| c.query == "sensors_q4_scanfilter" && c.engine == "batched").unwrap();
-    let row =
-        cells.iter().find(|c| c.query == "sensors_q4_scanfilter" && c.engine == "row").unwrap();
+    let find = |query: &str, format: &str, engine: &str| {
+        cells.iter().find(|c| c.query == query && c.format == format && c.engine == engine)
+    };
+
+    // Claim 1: lazy decode beats decode-everything on the selective scan
+    // (within the vector format, where both engines pivot records).
+    let base = formats[0].0;
+    let batched = find("sensors_q4_scanfilter", base, "batched").unwrap();
+    let row = find("sensors_q4_scanfilter", base, "row").unwrap();
     assert_eq!(
         batched.rows_returned, row.rows_returned,
         "engines must agree on the headline query"
     );
-    assert_eq!(batched.rows_scanned, row.rows_scanned, "no filter-hint asymmetry on this plan");
     let speedup = row.total.as_secs_f64() / batched.total.as_secs_f64().max(1e-9);
-    println!("\nscanfilter speedup (row / batched): {speedup:.2}x");
+    println!("\nscanfilter speedup (row / batched, {base}): {speedup:.2}x");
     assert!(
         batched.total < row.total,
         "batched+lazy ({:?}) must beat row-at-a-time ({:?}) on the selective scan",
@@ -146,17 +206,20 @@ fn main() {
     );
 
     // Claim 2: the pushed-down LIMIT stops the scan early on both engines.
-    for engine in ["batched", "row"] {
-        let c = cells.iter().find(|c| c.query == "limit10_project" && c.engine == engine).unwrap();
-        assert_eq!(c.rows_returned, 10);
-        assert!(
-            c.rows_scanned < (n as u64) / 10,
-            "{engine}: LIMIT hint must stop the scan early (scanned {} of {n})",
-            c.rows_scanned
-        );
+    for (fname, _) in &clusters {
+        for engine in ["batched", "row"] {
+            let c = find("limit10_project", fname, engine).unwrap();
+            assert_eq!(c.rows_returned, 10);
+            assert!(
+                c.rows_scanned < (n as u64) / 10,
+                "{fname}/{engine}: LIMIT hint must stop the scan early (scanned {} of {n})",
+                c.rows_scanned
+            );
+        }
     }
 
-    // Claim 3: the full sensors suite agrees across engine × parallelism.
+    // Claim 3: the full sensors suite agrees across format × engine ×
+    // parallelism.
     let suite: [(&str, Query); 5] = [
         ("sensors_q1", q::sensors_q1(opts)),
         ("sensors_q2", q::sensors_q2(opts)),
@@ -167,34 +230,86 @@ fn main() {
             q::sensors_q4_scanfilter(opts, DAY_START, DAY_START + Q4_WINDOW_MS),
         ),
     ];
-    for (name, query) in &suite {
-        let reference = cluster
-            .query(
-                query,
-                &ExecOptions { engine: Engine::Row, parallel: false, ..Default::default() },
-            )
-            .expect("reference")
-            .rows;
-        for engine in [Engine::Batched, Engine::Row] {
-            for parallel in [false, true] {
-                let got = cluster
-                    .query(query, &ExecOptions { engine, parallel, ..Default::default() })
-                    .expect("suite query")
-                    .rows;
-                assert_eq!(reference, got, "{name}: {engine:?}/parallel={parallel} diverged");
+    for (fname, cluster) in &clusters {
+        for (name, query) in &suite {
+            let reference = cluster
+                .query(
+                    query,
+                    &ExecOptions { engine: Engine::Row, parallel: false, ..Default::default() },
+                )
+                .expect("reference")
+                .rows;
+            for engine in [Engine::Batched, Engine::Row] {
+                for parallel in [false, true] {
+                    let got = cluster
+                        .query(query, &ExecOptions { engine, parallel, ..Default::default() })
+                        .expect("suite query")
+                        .rows;
+                    assert_eq!(
+                        reference, got,
+                        "{fname}/{name}: {engine:?}/parallel={parallel} diverged"
+                    );
+                }
             }
         }
     }
-    println!("sensors suite: {} queries agree across engine x parallelism", suite.len());
+    println!(
+        "sensors suite: {} queries agree across {} format(s) x engine x parallelism",
+        suite.len(),
+        clusters.len()
+    );
+
+    // Claim 4: zero-pivot columnar scan ≥ 2× the vector scan on the
+    // scan-heavy Q4 shape (only when both formats ran).
+    let mut columnar_speedup = 0.0f64;
+    let both = find("sensors_q4_scanfilter", "vector", "batched").zip(find(
+        "sensors_q4_scanfilter",
+        "amax",
+        "batched",
+    ));
+    if let Some((vector, amax)) = both {
+        assert_eq!(vector.rows_returned, amax.rows_returned, "formats must agree on results");
+        columnar_speedup = vector.total.as_secs_f64() / amax.total.as_secs_f64().max(1e-9);
+        println!("columnar speedup (vector / amax, batched): {columnar_speedup:.2}x");
+        assert!(
+            columnar_speedup >= 2.0,
+            "zero-pivot scan must be ≥ 2x the vector scan (got {columnar_speedup:.2}x)"
+        );
+    }
+
+    // Columnar counters from the amax cluster (summed over partitions):
+    // proof the fast path actually ran, surfaced into the JSON.
+    let columnar_stats = clusters
+        .iter()
+        .find(|(f, _)| *f == "amax")
+        .map(|(_, cluster)| {
+            let mut agg = [0u64; 4];
+            for s in cluster.lsm_stats() {
+                agg[0] += s.columnar_pages_written;
+                agg[1] += s.pages_skipped_by_stats;
+                agg[2] += s.columns_faulted_in;
+                agg[3] += s.columnar_typed_filter_rows;
+            }
+            assert!(agg[0] > 0, "amax flush/merge must write column pages");
+            assert!(agg[3] > 0, "the typed filter loop must have run");
+            format!(
+                "{{\"columnar_pages_written\": {}, \"pages_skipped_by_stats\": {}, \
+                 \"columns_faulted_in\": {}, \"columnar_typed_filter_rows\": {}}}",
+                agg[0], agg[1], agg[2], agg[3]
+            )
+        })
+        .unwrap_or_else(|| "null".to_string());
 
     let json = format!(
         "{{\n  \"experiment\": \"fig23_query_smoke\",\n  \"description\": \"Batched pushdown \
-         pipeline vs row-at-a-time fallback on the Fig 23 Q4 scan-filter shape, plus LIMIT \
-         pushdown early-stop\",\n  \"records\": {n},\n  \"topology\": {{\"nodes\": 1, \
-         \"partitions_per_node\": 2, \"device\": \"nvme\"}},\n  \
-         \"scanfilter_speedup_row_over_batched\": {:.3},\n  \"agreement_queries\": {},\n  \
-         \"cells\": [\n{}\n  ]\n}}\n",
+         pipeline vs row-at-a-time fallback on the Fig 23 Q4 scan-filter shape, LIMIT pushdown \
+         early-stop, and the amax columnar format vs the vector format\",\n  \"records\": {n},\n  \
+         \"topology\": {{\"nodes\": 1, \"partitions_per_node\": 2, \"device\": \"nvme\"}},\n  \
+         \"scanfilter_speedup_row_over_batched\": {:.3},\n  \"columnar_speedup\": {:.3},\n  \
+         \"columnar_stats\": {},\n  \"agreement_queries\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
         speedup,
+        columnar_speedup,
+        columnar_stats,
         suite.len(),
         cells.iter().map(json_cell).collect::<Vec<_>>().join(",\n")
     );

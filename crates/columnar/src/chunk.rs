@@ -1,0 +1,524 @@
+//! The readable columnar chunk: column index, block formats, typed column
+//! decoding, and lossless row-group reconstruction.
+
+use std::sync::Arc;
+
+use tc_adm::datatype::ObjectType;
+use tc_adm::{TypeTag, Value};
+use tc_lsm::columnar::ColumnarChunk;
+use tc_lsm::entry::{EntryKind, Key};
+use tc_storage::buffer_cache::BufferCache;
+use tc_storage::error::StorageError;
+use tc_storage::page_store::{PageId, PageStore};
+use tc_util::varint;
+
+use crate::{ColumnStats, ColumnarCounters, DEF_NULL, DEF_PRESENT};
+
+/// Magic prefix of the serialized column index blob.
+pub const INDEX_MAGIC: &[u8; 4] = b"TCAX";
+
+/// A block's location: contiguous pages starting at `start`, `bytes` of
+/// payload (the trailing page is zero-padded). Blocks always begin on a
+/// fresh page so they can be faulted in independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRun {
+    pub start: PageId,
+    pub bytes: u32,
+}
+
+impl PageRun {
+    pub fn num_pages(&self, page_size: usize) -> u64 {
+        (self.bytes as usize).div_ceil(page_size).max(1) as u64
+    }
+}
+
+/// A typed column's identity: its leaf path (object field names from the
+/// root) and scalar type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSpec {
+    pub path: Vec<String>,
+    pub tag: TypeTag,
+}
+
+/// One column's slice of one row group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnChunkMeta {
+    pub run: PageRun,
+    /// Rows stored as explicit nulls (`DEF_NULL`).
+    pub null_count: u32,
+    /// Rows whose value at this path exists but *left* the column's type —
+    /// it lives in the residual. Nonzero spill disables stats-based group
+    /// skipping for predicates on this column (a spilled `2.0` can still
+    /// equal an int predicate's `2` under numeric promotion).
+    pub spilled: u32,
+    pub stats: ColumnStats,
+}
+
+/// One row group's layout and statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupMeta {
+    pub first_key: Key,
+    pub rows: u32,
+    pub keys: PageRun,
+    pub residual: PageRun,
+    /// Parallel to the chunk's column list.
+    pub cols: Vec<ColumnChunkMeta>,
+}
+
+/// A typed column decoded for one row group, row-aligned: `def[i]` says
+/// whether row `i` has a value, and the value arrays carry a filler at
+/// non-present rows so filter loops index directly without rank queries.
+#[derive(Debug, Clone)]
+pub struct DecodedColumn {
+    pub def: Vec<u8>,
+    pub values: ColumnValues,
+}
+
+/// Row-aligned value storage per column type — the typed buffers the
+/// zero-pivot filter loops run over.
+#[derive(Debug, Clone)]
+pub enum ColumnValues {
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Bool(Vec<bool>),
+    Str(Vec<String>),
+}
+
+impl DecodedColumn {
+    /// Row `i` as a `Value`: `Missing` when absent, `Null` when null.
+    pub fn value_at(&self, i: usize) -> Value {
+        match self.def[i] {
+            DEF_PRESENT => match &self.values {
+                ColumnValues::I64(v) => Value::Int64(v[i]),
+                ColumnValues::F64(v) => Value::Double(v[i]),
+                ColumnValues::Bool(v) => Value::Boolean(v[i]),
+                ColumnValues::Str(v) => Value::String(v[i].clone()),
+            },
+            DEF_NULL => Value::Null,
+            _ => Value::Missing,
+        }
+    }
+}
+
+/// The in-memory handle to a columnar component body. Holds the column
+/// index; all row data stays on the component's page store until a scan
+/// faults the referenced blocks in.
+#[derive(Debug)]
+pub struct ChunkReader {
+    declared: ObjectType,
+    counters: Arc<ColumnarCounters>,
+    columns: Vec<ColumnSpec>,
+    groups: Vec<GroupMeta>,
+}
+
+impl ChunkReader {
+    pub fn new(
+        declared: ObjectType,
+        counters: Arc<ColumnarCounters>,
+        columns: Vec<ColumnSpec>,
+        groups: Vec<GroupMeta>,
+    ) -> Self {
+        ChunkReader { declared, counters, columns, groups }
+    }
+
+    pub fn columns(&self) -> &[ColumnSpec] {
+        &self.columns
+    }
+
+    pub fn groups(&self) -> &[GroupMeta] {
+        &self.groups
+    }
+
+    pub fn counters(&self) -> &Arc<ColumnarCounters> {
+        &self.counters
+    }
+
+    /// Index of the typed column at exactly this path, if any.
+    pub fn find_column(&self, path: &[String]) -> Option<usize> {
+        self.columns.iter().position(|c| c.path == path)
+    }
+
+    /// Does any typed column live at `path` or strictly below it? A path
+    /// with a typed column underneath cannot be answered from the residual
+    /// alone (the typed values were carved out of it).
+    pub fn has_column_at_or_below(&self, path: &[String]) -> bool {
+        self.columns.iter().any(|c| c.path.len() >= path.len() && c.path[..path.len()] == *path)
+    }
+
+    /// Total pages across one group's blocks (keys + residual + every
+    /// column) — what a stats-based group skip avoids reading.
+    pub fn group_pages(&self, g: usize, page_size: usize) -> u64 {
+        let gm = &self.groups[g];
+        gm.keys.num_pages(page_size)
+            + gm.residual.num_pages(page_size)
+            + gm.cols.iter().map(|c| c.run.num_pages(page_size)).sum::<u64>()
+    }
+
+    fn read_run(
+        &self,
+        store: &PageStore,
+        cache: &BufferCache,
+        run: PageRun,
+    ) -> Result<Vec<u8>, StorageError> {
+        let page_size = store.page_size();
+        let mut out = Vec::with_capacity(run.bytes as usize);
+        for p in 0..run.num_pages(page_size) {
+            let page = cache.read(store, run.start + p)?;
+            let take = (run.bytes as usize - out.len()).min(page_size);
+            out.extend_from_slice(&page[..take]);
+        }
+        Ok(out)
+    }
+
+    fn corrupt(&self, what: &'static str, g: usize) -> StorageError {
+        StorageError::corruption("column block", format!("undecodable {what} in row group {g}"))
+    }
+
+    /// The group's `(key, kind)` pairs, in key order.
+    pub fn read_keys(
+        &self,
+        store: &PageStore,
+        cache: &BufferCache,
+        g: usize,
+    ) -> Result<Vec<(Key, EntryKind)>, StorageError> {
+        let gm = &self.groups[g];
+        let block = self.read_run(store, cache, gm.keys)?;
+        let mut out = Vec::with_capacity(gm.rows as usize);
+        let mut pos = 0usize;
+        for _ in 0..gm.rows {
+            let (klen, n) =
+                varint::read_u64(&block[pos..]).ok_or_else(|| self.corrupt("keys block", g))?;
+            pos += n;
+            let key = block
+                .get(pos..pos + klen as usize)
+                .ok_or_else(|| self.corrupt("keys block", g))?
+                .to_vec();
+            pos += klen as usize;
+            let kind = match block.get(pos) {
+                Some(0) => EntryKind::Record,
+                Some(1) => EntryKind::AntiMatter,
+                _ => return Err(self.corrupt("keys block", g)),
+            };
+            pos += 1;
+            out.push((key, kind));
+        }
+        Ok(out)
+    }
+
+    /// The group's residual rows (row-encoded leftovers; empty for
+    /// anti-matter rows).
+    pub fn read_residual(
+        &self,
+        store: &PageStore,
+        cache: &BufferCache,
+        g: usize,
+    ) -> Result<Vec<Vec<u8>>, StorageError> {
+        self.counters.columns_faulted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let gm = &self.groups[g];
+        let block = self.read_run(store, cache, gm.residual)?;
+        let mut out = Vec::with_capacity(gm.rows as usize);
+        let mut pos = 0usize;
+        for _ in 0..gm.rows {
+            let (len, n) =
+                varint::read_u64(&block[pos..]).ok_or_else(|| self.corrupt("residual block", g))?;
+            pos += n;
+            let bytes = block
+                .get(pos..pos + len as usize)
+                .ok_or_else(|| self.corrupt("residual block", g))?
+                .to_vec();
+            pos += len as usize;
+            out.push(bytes);
+        }
+        Ok(out)
+    }
+
+    /// Fault in and decode one typed column for one group.
+    pub fn read_column(
+        &self,
+        store: &PageStore,
+        cache: &BufferCache,
+        g: usize,
+        col: usize,
+    ) -> Result<DecodedColumn, StorageError> {
+        self.counters.columns_faulted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let gm = &self.groups[g];
+        let rows = gm.rows as usize;
+        let block = self.read_run(store, cache, gm.cols[col].run)?;
+        if block.len() < rows {
+            return Err(self.corrupt("column block", g));
+        }
+        let (def, mut body) = block.split_at(rows);
+        if def.iter().any(|&d| d > DEF_PRESENT) {
+            return Err(self.corrupt("column block", g));
+        }
+        let def = def.to_vec();
+        let err = || self.corrupt("column block", g);
+        let values = match self.columns[col].tag {
+            TypeTag::Int64 => {
+                let mut vals = vec![0i64; rows];
+                for (i, v) in vals.iter_mut().enumerate() {
+                    if def[i] == DEF_PRESENT {
+                        let raw: [u8; 8] = body.get(..8).ok_or_else(err)?.try_into().unwrap();
+                        *v = i64::from_le_bytes(raw);
+                        body = &body[8..];
+                    }
+                }
+                ColumnValues::I64(vals)
+            }
+            TypeTag::Double => {
+                let mut vals = vec![0f64; rows];
+                for (i, v) in vals.iter_mut().enumerate() {
+                    if def[i] == DEF_PRESENT {
+                        let raw: [u8; 8] = body.get(..8).ok_or_else(err)?.try_into().unwrap();
+                        *v = f64::from_le_bytes(raw);
+                        body = &body[8..];
+                    }
+                }
+                ColumnValues::F64(vals)
+            }
+            TypeTag::Boolean => {
+                let mut vals = vec![false; rows];
+                for (i, v) in vals.iter_mut().enumerate() {
+                    if def[i] == DEF_PRESENT {
+                        *v = *body.first().ok_or_else(err)? != 0;
+                        body = &body[1..];
+                    }
+                }
+                ColumnValues::Bool(vals)
+            }
+            TypeTag::String => {
+                let mut vals = vec![String::new(); rows];
+                for (i, v) in vals.iter_mut().enumerate() {
+                    if def[i] == DEF_PRESENT {
+                        let (len, n) = varint::read_u64(body).ok_or_else(err)?;
+                        let bytes = body.get(n..n + len as usize).ok_or_else(err)?;
+                        *v = String::from_utf8(bytes.to_vec()).map_err(|_| err())?;
+                        body = &body[n + len as usize..];
+                    }
+                }
+                ColumnValues::Str(vals)
+            }
+            other => {
+                return Err(StorageError::corruption(
+                    "column block",
+                    format!("column with non-columnar tag {other}"),
+                ));
+            }
+        };
+        Ok(DecodedColumn { def, values })
+    }
+}
+
+/// Insert `v` at `path`, creating intermediate objects as needed (they
+/// normally already exist: shredding leaves emptied objects in place).
+fn insert_at_path(target: &mut Value, path: &[String], v: Value) {
+    let Value::Object(fields) = target else { return };
+    let idx = match fields.iter().position(|(n, _)| n == &path[0]) {
+        Some(i) => i,
+        None => {
+            let init = if path.len() == 1 { v.clone() } else { Value::Object(Vec::new()) };
+            fields.push((path[0].clone(), init));
+            if path.len() == 1 {
+                return;
+            }
+            fields.len() - 1
+        }
+    };
+    if path.len() == 1 {
+        fields[idx].1 = v;
+    } else {
+        insert_at_path(&mut fields[idx].1, &path[1..], v);
+    }
+}
+
+impl ColumnarChunk for ChunkReader {
+    fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn group_first_key(&self, g: usize) -> &[u8] {
+        &self.groups[g].first_key
+    }
+
+    fn read_group_rows(
+        &self,
+        store: &PageStore,
+        cache: &BufferCache,
+        g: usize,
+    ) -> Result<Vec<(Key, EntryKind, Vec<u8>)>, StorageError> {
+        let keys = self.read_keys(store, cache, g)?;
+        let residuals = self.read_residual(store, cache, g)?;
+        if residuals.len() != keys.len() {
+            return Err(self.corrupt("group", g));
+        }
+        // Decode every record row's residual, then graft the typed columns
+        // back in. Anti-matter rows carry no payload.
+        let mut values: Vec<Option<Value>> = Vec::with_capacity(keys.len());
+        for ((_, kind), bytes) in keys.iter().zip(&residuals) {
+            if *kind == EntryKind::AntiMatter {
+                values.push(None);
+            } else {
+                let v = tc_vector::decode(bytes, None, None)
+                    .map_err(|e| StorageError::corruption("column block", e.to_string()))?;
+                values.push(Some(v));
+            }
+        }
+        for (c, spec) in self.columns.iter().enumerate() {
+            let col = self.read_column(store, cache, g, c)?;
+            for (i, slot) in values.iter_mut().enumerate() {
+                let Some(v) = slot else { continue };
+                match col.def[i] {
+                    DEF_PRESENT | DEF_NULL => insert_at_path(v, &spec.path, col.value_at(i)),
+                    _ => {}
+                }
+            }
+        }
+        Ok(keys
+            .into_iter()
+            .zip(values)
+            .map(|((key, kind), v)| {
+                let payload = match v {
+                    Some(v) => tc_vector::encode(&v, Some(&self.declared)),
+                    None => Vec::new(),
+                };
+                (key, kind, payload)
+            })
+            .collect())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Column index blob (de)serialization. The blob is written to the
+// component's store after the last row group, making the on-disk layout
+// self-contained; the live handle keeps the parsed form in memory.
+// ---------------------------------------------------------------------
+
+fn write_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    varint::write_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+fn read_bytes(buf: &[u8], pos: &mut usize) -> Option<Vec<u8>> {
+    let (len, n) = varint::read_u64(buf.get(*pos..)?)?;
+    *pos += n;
+    let b = buf.get(*pos..*pos + len as usize)?.to_vec();
+    *pos += len as usize;
+    Some(b)
+}
+
+fn write_run(out: &mut Vec<u8>, run: PageRun) {
+    varint::write_u64(out, run.start);
+    varint::write_u64(out, run.bytes as u64);
+}
+
+fn read_run(buf: &[u8], pos: &mut usize) -> Option<PageRun> {
+    let (start, n) = varint::read_u64(buf.get(*pos..)?)?;
+    *pos += n;
+    let (bytes, n) = varint::read_u64(buf.get(*pos..)?)?;
+    *pos += n;
+    Some(PageRun { start, bytes: u32::try_from(bytes).ok()? })
+}
+
+/// Serialize the column index.
+pub fn serialize_index(columns: &[ColumnSpec], groups: &[GroupMeta]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(INDEX_MAGIC);
+    varint::write_u64(&mut out, columns.len() as u64);
+    for c in columns {
+        varint::write_u64(&mut out, c.path.len() as u64);
+        for seg in &c.path {
+            write_bytes(&mut out, seg.as_bytes());
+        }
+        out.push(c.tag as u8);
+    }
+    varint::write_u64(&mut out, groups.len() as u64);
+    for g in groups {
+        write_bytes(&mut out, &g.first_key);
+        varint::write_u64(&mut out, g.rows as u64);
+        write_run(&mut out, g.keys);
+        write_run(&mut out, g.residual);
+        for c in &g.cols {
+            write_run(&mut out, c.run);
+            varint::write_u64(&mut out, c.null_count as u64);
+            varint::write_u64(&mut out, c.spilled as u64);
+            match c.stats {
+                ColumnStats::None => out.push(0),
+                ColumnStats::Int { min, max } => {
+                    out.push(1);
+                    out.extend_from_slice(&min.to_le_bytes());
+                    out.extend_from_slice(&max.to_le_bytes());
+                }
+                ColumnStats::Float { min, max } => {
+                    out.push(2);
+                    out.extend_from_slice(&min.to_le_bytes());
+                    out.extend_from_slice(&max.to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse a serialized column index (the inverse of [`serialize_index`]).
+pub fn deserialize_index(buf: &[u8]) -> Option<(Vec<ColumnSpec>, Vec<GroupMeta>)> {
+    if buf.get(..4)? != INDEX_MAGIC {
+        return None;
+    }
+    let mut pos = 4usize;
+    let read_u64 = |buf: &[u8], pos: &mut usize| -> Option<u64> {
+        let (v, n) = varint::read_u64(buf.get(*pos..)?)?;
+        *pos += n;
+        Some(v)
+    };
+    let ncols = read_u64(buf, &mut pos)? as usize;
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let segs = read_u64(buf, &mut pos)? as usize;
+        let mut path = Vec::with_capacity(segs);
+        for _ in 0..segs {
+            path.push(String::from_utf8(read_bytes(buf, &mut pos)?).ok()?);
+        }
+        let tag = TypeTag::from_u8(*buf.get(pos)?).ok()?;
+        pos += 1;
+        columns.push(ColumnSpec { path, tag });
+    }
+    let ngroups = read_u64(buf, &mut pos)? as usize;
+    let mut groups = Vec::with_capacity(ngroups);
+    for _ in 0..ngroups {
+        let first_key = read_bytes(buf, &mut pos)?;
+        let rows = u32::try_from(read_u64(buf, &mut pos)?).ok()?;
+        let keys = read_run(buf, &mut pos)?;
+        let residual = read_run(buf, &mut pos)?;
+        let mut cols = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let run = read_run(buf, &mut pos)?;
+            let null_count = u32::try_from(read_u64(buf, &mut pos)?).ok()?;
+            let spilled = u32::try_from(read_u64(buf, &mut pos)?).ok()?;
+            let kind = *buf.get(pos)?;
+            pos += 1;
+            let stats = match kind {
+                0 => ColumnStats::None,
+                1 => {
+                    let min = i64::from_le_bytes(buf.get(pos..pos + 8)?.try_into().ok()?);
+                    let max = i64::from_le_bytes(buf.get(pos + 8..pos + 16)?.try_into().ok()?);
+                    pos += 16;
+                    ColumnStats::Int { min, max }
+                }
+                2 => {
+                    let min = f64::from_le_bytes(buf.get(pos..pos + 8)?.try_into().ok()?);
+                    let max = f64::from_le_bytes(buf.get(pos + 8..pos + 16)?.try_into().ok()?);
+                    pos += 16;
+                    ColumnStats::Float { min, max }
+                }
+                _ => return None,
+            };
+            cols.push(ColumnChunkMeta { run, null_count, spilled, stats });
+        }
+        groups.push(GroupMeta { first_key, rows, keys, residual, cols });
+    }
+    Some((columns, groups))
+}

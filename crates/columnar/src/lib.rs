@@ -1,0 +1,102 @@
+//! AMAX-style columnar component layout.
+//!
+//! The successor paper to the tuple compactor ("Columnar Formats for
+//! Schemaless LSM-based Document Stores") observes that once a schema has
+//! been inferred, flushed LSM components can store *column pages* instead of
+//! row vectors and analytics scans stop paying for fields they never touch.
+//! This crate is that layout, driven by exactly the schema the tuple
+//! compactor already persists in each component's metadata blob:
+//!
+//! ```text
+//! component page store
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ row group 0:  [keys block][col a.b][col a.m][…][residual]    │
+//! │ row group 1:  [keys block][col a.b][col a.m][…][residual]    │
+//! │ …                                                            │
+//! │ [column index blob]  [generic component tail (bloom, id, …)] │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * Every eligible schema leaf path ([`tc_schema::leaf_columns`]) plus the
+//!   declared scalar root fields become a **typed column**: a per-row
+//!   definition byte (`0` absent, `1` null, `2` present) and a packed value
+//!   array (i64/f64 little-endian, bools, or length-prefixed strings).
+//! * Values that *leave* the schema — heterogeneous unions, collections,
+//!   exotic scalars, or a type-mismatched row — stay in the row-encoded
+//!   **residual column** (an uncompacted vector record of what remains),
+//!   so shred → reconstruct is lossless for arbitrary documents.
+//! * The **column index** maps each column to its page runs per row group,
+//!   with min/max stats, null counts, and spill counts; scans fault in only
+//!   the columns a query references and skip whole groups whose stats
+//!   cannot satisfy a pushed-down conjunct.
+//!
+//! All pages go through the component's own [`PageStore`], so PR 8's CRC
+//! footers, fault injection, and disk accounting apply to column pages
+//! exactly as to row blocks.
+
+pub mod chunk;
+pub mod writer;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use chunk::{ChunkReader, ColumnValues, DecodedColumn};
+pub use writer::AmaxCodec;
+
+/// How many rows a row group holds (the last group of a component may be
+/// shorter). Small enough that group min/max stats discriminate, large
+/// enough that column blocks amortize their page overhead.
+pub const DEFAULT_GROUP_ROWS: usize = 1024;
+
+/// Definition levels stored per row per column.
+pub const DEF_ABSENT: u8 = 0;
+pub const DEF_NULL: u8 = 1;
+pub const DEF_PRESENT: u8 = 2;
+
+/// Shared counters for the columnar satellite stats: the codec counts pages
+/// it writes; readers count column blocks faulted in, group pages skipped
+/// via min/max stats, and rows run through the typed filter loops. The
+/// dataset layer injects these into [`tc_lsm::LsmStats`] snapshots.
+#[derive(Debug, Default)]
+pub struct ColumnarCounters {
+    pub pages_written: AtomicU64,
+    pub pages_skipped: AtomicU64,
+    pub columns_faulted: AtomicU64,
+    pub typed_filter_rows: AtomicU64,
+}
+
+impl ColumnarCounters {
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written.load(Ordering::Relaxed)
+    }
+
+    pub fn pages_skipped(&self) -> u64 {
+        self.pages_skipped.load(Ordering::Relaxed)
+    }
+
+    pub fn columns_faulted(&self) -> u64 {
+        self.columns_faulted.load(Ordering::Relaxed)
+    }
+
+    pub fn typed_filter_rows(&self) -> u64 {
+        self.typed_filter_rows.load(Ordering::Relaxed)
+    }
+
+    pub fn note_pages_skipped(&self, n: u64) {
+        self.pages_skipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn note_typed_filter_rows(&self, n: u64) {
+        self.typed_filter_rows.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Per-group, per-column min/max statistics over *present* (`DEF_PRESENT`)
+/// values. `None` when the column holds no present value in the group, or
+/// when its type has no ordered stats worth keeping (bool/string) — page
+/// skipping needs numeric ranges, Fig 24-style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColumnStats {
+    None,
+    Int { min: i64, max: i64 },
+    Float { min: f64, max: f64 },
+}

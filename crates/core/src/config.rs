@@ -21,6 +21,12 @@ pub enum StorageFormat {
     /// Vector-based format *without* inference/compaction — the schema-less
     /// vector-based ("SL-VB") ablation of Fig 21.
     VectorUncompacted,
+    /// AMAX-style columnar layout (the successor paper's format): records
+    /// ingest as vector records and the tuple compactor infers their schema
+    /// exactly as for `Inferred`, but flush and merge shred them into typed
+    /// column pages (`tc_columnar`). Scans fault in only the columns they
+    /// touch and skip row groups via per-column min/max stats.
+    Columnar,
 }
 
 impl StorageFormat {
@@ -30,12 +36,25 @@ impl StorageFormat {
             StorageFormat::Closed => "closed",
             StorageFormat::Inferred => "inferred",
             StorageFormat::VectorUncompacted => "sl-vb",
+            StorageFormat::Columnar => "amax",
         }
     }
 
-    /// Does this format use the vector-based record layout?
+    /// Does this format use the vector-based record layout on the write
+    /// path? `Columnar` qualifies: records ingest (and reconstruct) as
+    /// vector records; only the on-disk component layout differs.
     pub fn is_vector(&self) -> bool {
-        matches!(self, StorageFormat::Inferred | StorageFormat::VectorUncompacted)
+        matches!(
+            self,
+            StorageFormat::Inferred | StorageFormat::VectorUncompacted | StorageFormat::Columnar
+        )
+    }
+
+    /// Does the tuple compactor run for this format? Schema inference
+    /// drives both compacted vector records (`Inferred`) and the columnar
+    /// shredder (`Columnar`).
+    pub fn is_inferred(&self) -> bool {
+        matches!(self, StorageFormat::Inferred | StorageFormat::Columnar)
     }
 }
 
@@ -214,7 +233,12 @@ mod tests {
     fn format_classification() {
         assert!(StorageFormat::Inferred.is_vector());
         assert!(StorageFormat::VectorUncompacted.is_vector());
+        assert!(StorageFormat::Columnar.is_vector());
         assert!(!StorageFormat::Open.is_vector());
+        assert!(StorageFormat::Inferred.is_inferred());
+        assert!(StorageFormat::Columnar.is_inferred());
+        assert!(!StorageFormat::VectorUncompacted.is_inferred());
         assert_eq!(StorageFormat::VectorUncompacted.name(), "sl-vb");
+        assert_eq!(StorageFormat::Columnar.name(), "amax");
     }
 }

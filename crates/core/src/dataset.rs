@@ -40,10 +40,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use tc_adm::{AdmError, Value};
+use tc_columnar::{AmaxCodec, ColumnarCounters};
+use tc_lsm::component::DiskComponent;
 use tc_lsm::entry::{encode_i64_key, Key};
 use tc_lsm::iter::MergedScan;
 use tc_lsm::secondary::{PrimaryKeyIndex, SecondaryIndex};
-use tc_lsm::{ComponentHook, LsmOptions, LsmTree, NoopHook};
+use tc_lsm::{ColumnarCodec, ComponentHook, LsmOptions, LsmTree, NoopHook};
 use tc_schema::Schema;
 use tc_storage::device::Device;
 use tc_storage::{BufferCache, StorageError};
@@ -73,8 +75,13 @@ pub struct Dataset {
     primary: Arc<LsmTree>,
     pk_index: Option<PrimaryKeyIndex>,
     secondary: Option<SecondaryIndex>,
-    /// Present iff `config.format == Inferred`.
+    /// Present iff the format runs schema inference (`Inferred`/`Columnar`).
     compactor: Option<Arc<TupleCompactor>>,
+    /// Columnar stats handle, present for every vector-family format (the
+    /// codec is installed eagerly so `migrate_format` can flip layouts at
+    /// runtime); the counters only move when components are written/read in
+    /// the columnar layout.
+    columnar_counters: Option<Arc<ColumnarCounters>>,
     /// Present iff `config.background_maintenance`.
     maintenance: Option<MaintenanceWorker>,
     /// Dictionary-less decoder built once at creation; `decoder()` stamps
@@ -144,6 +151,13 @@ impl Drop for WriterToken<'_> {
 
 impl Dataset {
     pub fn new(config: DatasetConfig, device: Arc<Device>, cache: Arc<BufferCache>) -> Self {
+        // The columnar codec is installed for every vector-family format
+        // (not just `Columnar`) so an inferred dataset can migrate layouts
+        // at runtime; whether flushes actually shred is the tree's
+        // `set_columnar` switch below.
+        let columnar_codec =
+            config.format.is_vector().then(|| Arc::new(AmaxCodec::new(config.datatype.clone())));
+        let columnar_counters = columnar_codec.as_ref().map(|c| Arc::clone(c.counters()));
         let opts = LsmOptions {
             page_size: config.page_size,
             compression: config.compression,
@@ -155,17 +169,21 @@ impl Dataset {
             // With a background worker, the writer never flushes inline;
             // the scheduler below reacts to the budget instead.
             auto_flush: !config.background_maintenance,
+            columnar: columnar_codec.map(|c| c as Arc<dyn ColumnarCodec>),
         };
-        let compactor = match config.format {
-            StorageFormat::Inferred => Some(Arc::new(TupleCompactor::new(config.datatype.clone()))),
-            _ => None,
-        };
+        let compactor = config
+            .format
+            .is_inferred()
+            .then(|| Arc::new(TupleCompactor::new(config.datatype.clone())));
         let hook: Arc<dyn ComponentHook> = match &compactor {
             Some(c) => Arc::clone(c) as Arc<dyn ComponentHook>,
             None => Arc::new(NoopHook),
         };
         let primary =
             Arc::new(LsmTree::new(Arc::clone(&device), Arc::clone(&cache), hook, opts.clone()));
+        if config.format == StorageFormat::Columnar {
+            primary.set_columnar(true);
+        }
         // Index trees use small memtables and no compression (keys only);
         // they always flush inline (their flushes are tiny and only the
         // writing thread touches them).
@@ -173,6 +191,7 @@ impl Dataset {
             compression: tc_compress::CompressionScheme::None,
             memtable_budget: (config.memtable_budget / 8).max(64 * 1024),
             auto_flush: true,
+            columnar: None, // keys-only trees have nothing to shred
             ..opts
         };
         let pk_index = config.primary_key_index.then(|| {
@@ -191,6 +210,7 @@ impl Dataset {
             pk_index,
             secondary,
             compactor,
+            columnar_counters,
             maintenance,
             decoder_template,
             ingested: AtomicU64::new(0),
@@ -235,9 +255,9 @@ impl Dataset {
             StorageFormat::Open | StorageFormat::Closed => {
                 tc_adm::adm_format::encode_record(record, Some(&self.config.datatype))
             }
-            StorageFormat::Inferred | StorageFormat::VectorUncompacted => {
-                Ok(tc_vector::encode(record, Some(&self.config.datatype)))
-            }
+            StorageFormat::Inferred
+            | StorageFormat::VectorUncompacted
+            | StorageFormat::Columnar => Ok(tc_vector::encode(record, Some(&self.config.datatype))),
         }
     }
 
@@ -669,7 +689,67 @@ impl Dataset {
     }
 
     pub fn lsm_stats(&self) -> tc_lsm::tree::LsmStats {
-        self.primary.stats()
+        let mut stats = self.primary.stats();
+        if let Some(c) = &self.columnar_counters {
+            stats.columnar_pages_written = c.pages_written();
+            stats.pages_skipped_by_stats = c.pages_skipped();
+            stats.columns_faulted_in = c.columns_faulted();
+            stats.columnar_typed_filter_rows = c.typed_filter_rows();
+        }
+        stats
+    }
+
+    /// The shared columnar stats handle (readers bump skip/fault counters
+    /// through it). Present for every vector-family format.
+    pub fn columnar_counters(&self) -> Option<&Arc<ColumnarCounters>> {
+        self.columnar_counters.as_ref()
+    }
+
+    /// Is the partition currently *writing* the columnar layout? (Initial
+    /// formats other than `Columnar` start false; see
+    /// [`Dataset::migrate_format`].)
+    pub fn columnar_layout(&self) -> bool {
+        self.primary.columnar_enabled()
+    }
+
+    /// Switch between the two schema-inferred storage layouts at runtime
+    /// (`Inferred` ⇄ `Columnar`). Existing components are untouched — they
+    /// keep serving reads in whatever layout they were written — but every
+    /// subsequent flush and merge writes the new layout, so one
+    /// [`Dataset::force_full_merge`] converges the whole partition. Errors
+    /// for non-inferred formats: the columnar shredder is driven by the
+    /// tuple compactor's schema.
+    pub fn migrate_format(&self, to: StorageFormat) -> Result<(), AdmError> {
+        if !(self.config.format.is_inferred() && to.is_inferred()) {
+            return Err(AdmError::type_check(format!(
+                "format migration supports inferred layouts only, not {} -> {}",
+                self.config.format.name(),
+                to.name()
+            )));
+        }
+        self.primary.set_columnar(to == StorageFormat::Columnar);
+        Ok(())
+    }
+
+    /// A consistent columnar snapshot, or `None` unless the partition's
+    /// *entire* contents live in exactly one valid columnar component (no
+    /// memtable entries, no in-flight flush, no antimatter). That is the
+    /// post-`force_full_merge` resting state of a `Columnar` dataset — the
+    /// only shape where a scan may stream one component's column pages
+    /// directly without LSM masking; anything else must go through
+    /// [`Dataset::snapshot_scan`].
+    pub fn snapshot_columnar(&self) -> Option<(RecordDecoder, Arc<DiskComponent>)> {
+        let (decoder, frozen, active, components) = {
+            let view = self.primary.read_view();
+            let (frozen, active) = view.mem_parts(None);
+            (self.decoder(), frozen, active, view.components())
+        };
+        if frozen.is_some() || !active.is_empty() || components.len() != 1 {
+            return None;
+        }
+        let c = &components[0];
+        (c.is_columnar() && !c.is_quarantined() && c.num_antimatter() == 0)
+            .then(|| (decoder, Arc::clone(c)))
     }
 
     /// Total time the writing thread spent blocked on maintenance across
@@ -773,6 +853,7 @@ mod tests {
             StorageFormat::Closed,
             StorageFormat::Inferred,
             StorageFormat::VectorUncompacted,
+            StorageFormat::Columnar,
         ] {
             let ds = if format == StorageFormat::Closed {
                 let dt = ObjectType::closed(vec![
@@ -818,6 +899,80 @@ mod tests {
             assert_eq!(ds.get(1000).unwrap(), None);
             assert_eq!(ds.scan_values().unwrap().len(), 100, "format {format:?}");
         }
+    }
+
+    #[test]
+    fn columnar_components_roundtrip_updates_and_deletes() {
+        let ds = small(StorageFormat::Columnar);
+        for i in 0..50 {
+            ds.writer().insert(&employee(i)).unwrap();
+        }
+        ds.flush().unwrap();
+        assert!(ds.columnar_layout());
+        assert!(ds.primary().components().iter().all(|c| c.is_columnar()));
+        // Point lookups, deletes and upserts all work through the
+        // reconstructed rows.
+        assert!(ds.writer().delete(7).unwrap());
+        ds.writer().upsert(&parse(r#"{"id": 9, "name": "new", "extra": [1]}"#).unwrap()).unwrap();
+        ds.flush().unwrap();
+        ds.force_full_merge().unwrap();
+        assert_eq!(ds.get(7).unwrap(), None);
+        assert_eq!(
+            ds.get(9).unwrap().unwrap(),
+            parse(r#"{"id": 9, "name": "new", "extra": [1]}"#).unwrap()
+        );
+        assert_eq!(ds.scan_values().unwrap().len(), 49);
+        let stats = ds.lsm_stats();
+        assert!(stats.columnar_pages_written > 0, "flushes shredded into column pages");
+        assert!(stats.columns_faulted_in > 0, "reads faulted columns in");
+        // After a full merge the partition is in the single-component
+        // columnar resting state.
+        assert!(ds.snapshot_columnar().is_some());
+    }
+
+    #[test]
+    fn migrate_format_converges_after_full_merge() {
+        // Satellite: a vector-seeded dataset converges to an all-columnar
+        // layout after one manual full merge.
+        let ds = small(StorageFormat::Inferred);
+        for i in 0..60 {
+            ds.writer().insert(&employee(i)).unwrap();
+        }
+        ds.flush().unwrap();
+        assert!(!ds.columnar_layout());
+        assert!(ds.primary().components().iter().all(|c| !c.is_columnar()));
+        assert!(ds.snapshot_columnar().is_none());
+
+        ds.migrate_format(StorageFormat::Columnar).unwrap();
+        // New flushes write columnar while old components stay row-based.
+        for i in 60..90 {
+            ds.writer().insert(&employee(i)).unwrap();
+        }
+        ds.flush().unwrap();
+        let comps = ds.primary().components();
+        assert!(comps.iter().any(|c| c.is_columnar()) && comps.iter().any(|c| !c.is_columnar()));
+
+        ds.force_full_merge().unwrap();
+        assert!(ds.primary().components().iter().all(|c| c.is_columnar()));
+        assert!(ds.snapshot_columnar().is_some(), "merge-embedded migration converged");
+        assert_eq!(ds.scan_values().unwrap().len(), 90);
+        for i in (0..90).step_by(11) {
+            assert_eq!(ds.get(i).unwrap().unwrap(), employee(i));
+        }
+        // And back: migration is symmetric. (A full merge of a single
+        // component is a no-op, so land a second one to force the rewrite.)
+        ds.migrate_format(StorageFormat::Inferred).unwrap();
+        for i in 90..95 {
+            ds.writer().insert(&employee(i)).unwrap();
+        }
+        ds.flush().unwrap();
+        ds.force_full_merge().unwrap();
+        assert!(ds.primary().components().iter().all(|c| !c.is_columnar()));
+        assert_eq!(ds.scan_values().unwrap().len(), 95);
+        // Non-inferred formats refuse.
+        assert!(small(StorageFormat::VectorUncompacted)
+            .migrate_format(StorageFormat::Columnar)
+            .is_err());
     }
 
     #[test]

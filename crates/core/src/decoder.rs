@@ -59,7 +59,9 @@ impl RecordDecoder {
             StorageFormat::Open | StorageFormat::Closed => {
                 tc_adm::adm_format::decode_record(bytes, Some(&self.declared))
             }
-            StorageFormat::Inferred | StorageFormat::VectorUncompacted => {
+            StorageFormat::Inferred
+            | StorageFormat::VectorUncompacted
+            | StorageFormat::Columnar => {
                 tc_vector::decode(bytes, Some(&self.declared), self.dict.as_deref())
             }
         }
@@ -77,7 +79,9 @@ impl RecordDecoder {
                 let cursor = AdmCursor::new(bytes, Some(&self.declared_kind));
                 paths.iter().map(|p| cursor.get_path(p)).collect()
             }
-            StorageFormat::Inferred | StorageFormat::VectorUncompacted => {
+            StorageFormat::Inferred
+            | StorageFormat::VectorUncompacted
+            | StorageFormat::Columnar => {
                 tc_vector::get_values(bytes, paths, Some(&self.declared), self.dict.as_deref())
             }
         }
@@ -99,7 +103,9 @@ impl RecordDecoder {
     pub fn batch(&self, paths: &[Path]) -> PathBatch {
         let backend = match self.format {
             StorageFormat::Open | StorageFormat::Closed => BatchBackend::Adm,
-            StorageFormat::Inferred | StorageFormat::VectorUncompacted => {
+            StorageFormat::Inferred
+            | StorageFormat::VectorUncompacted
+            | StorageFormat::Columnar => {
                 BatchBackend::Vector(tc_vector::BatchPathEvaluator::new(paths))
             }
         };

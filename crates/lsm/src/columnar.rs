@@ -1,0 +1,70 @@
+//! Pluggable columnar component bodies.
+//!
+//! The LSM engine is format-agnostic: payloads are byte strings. The AMAX
+//! columnar layout (successor paper, "Columnar Formats for Schemaless
+//! LSM-based Document Stores") needs to *interpret* those payloads during
+//! flush/merge — decode, shred into typed column pages, and reconstruct on
+//! scan — which only the format layer knows how to do. These two traits are
+//! the seam: `tc_columnar` implements them against the vector codec and the
+//! inferred schema; `tc_lsm` stays payload-blind and merely routes a
+//! component's entries through the codec when the tree is in columnar mode.
+//!
+//! Contract mirroring the row layout:
+//! * `build_chunk` writes every column page (and any index blob) through the
+//!   component's own `PageStore`, so `disk_bytes` and write-amplification
+//!   accounting stay honest and PR 8's per-page CRC footers apply unchanged.
+//! * Entries arrive strictly ascending by key; groups preserve that order,
+//!   so `group_first_key` supports the same binary-search positioning as row
+//!   blocks.
+//! * `read_group_rows` returns the rows *as they were given* (same key,
+//!   kind, payload bytes) — reconstruction must be lossless, which the
+//!   format-equivalence proptest enforces end to end.
+
+use tc_storage::buffer_cache::BufferCache;
+use tc_storage::error::StorageError;
+use tc_storage::page_store::PageStore;
+
+use crate::entry::{EntryKind, Key};
+
+/// Builds the columnar body of one disk component during flush/merge.
+pub trait ColumnarCodec: Send + Sync + std::fmt::Debug {
+    /// Shred `entries` (strictly ascending by key) into column pages written
+    /// through `store`, returning the in-memory chunk handle. `schema_blob`
+    /// is the component's metadata (the tuple compactor's serialized schema)
+    /// when available — it decides which leaf paths get typed columns.
+    fn build_chunk(
+        &self,
+        store: &PageStore,
+        entries: &[(Key, EntryKind, Vec<u8>)],
+        schema_blob: Option<&[u8]>,
+    ) -> Result<Box<dyn ColumnarChunk>, StorageError>;
+}
+
+/// The readable columnar body of one disk component: row groups of column
+/// page runs plus a column index. Scans either reconstruct full rows
+/// (`read_group_rows`, the format-agnostic path every existing iterator
+/// uses) or downcast via `as_any` to the concrete reader for typed,
+/// column-pruned access.
+pub trait ColumnarChunk: Send + Sync + std::fmt::Debug {
+    /// Number of row groups; groups are ordered, keys ascending across and
+    /// within groups.
+    fn num_groups(&self) -> usize;
+
+    /// Smallest key in group `g` (panics if out of range).
+    fn group_first_key(&self, g: usize) -> &[u8];
+
+    /// Reconstruct group `g`'s rows exactly as handed to `build_chunk`.
+    /// Corruption surfaces as the same typed `StorageError`s row blocks
+    /// produce, so quarantine and fail/degrade policies apply unchanged.
+    #[allow(clippy::type_complexity)]
+    fn read_group_rows(
+        &self,
+        store: &PageStore,
+        cache: &BufferCache,
+        g: usize,
+    ) -> Result<Vec<(Key, EntryKind, Vec<u8>)>, StorageError>;
+
+    /// Downcast hook for format-aware readers (typed column access,
+    /// min/max group stats).
+    fn as_any(&self) -> &dyn std::any::Any;
+}

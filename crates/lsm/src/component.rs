@@ -19,6 +19,7 @@ use tc_storage::BufferCache;
 use tc_util::varint;
 
 use crate::bloom::BloomFilter;
+use crate::columnar::{ColumnarChunk, ColumnarCodec};
 use crate::entry::{read_entry, write_entry, EntryKind, Key};
 
 /// Component identity: flushed components get `(n, n)`; a merge of
@@ -58,12 +59,24 @@ struct BlockRef {
     byte_len: u32,
 }
 
+/// How a component's entries are laid out on its page store.
+#[derive(Debug)]
+enum Body {
+    /// Row blocks: sorted entries packed into page-sized leaf blocks with a
+    /// (first key → block) index — the original layout.
+    Rows(Vec<BlockRef>),
+    /// Column pages: the AMAX layout, built and read through the pluggable
+    /// [`ColumnarChunk`]. Keys stay sorted across row groups, so scans and
+    /// point lookups position exactly like row blocks.
+    Columnar(Box<dyn ColumnarChunk>),
+}
+
 /// An immutable on-disk component.
 #[derive(Debug)]
 pub struct DiskComponent {
     id: ComponentId,
     store: PageStore,
-    index: Vec<BlockRef>,
+    body: Body,
     bloom: BloomFilter,
     /// Hook metadata blob (the persisted schema for inferred datasets).
     metadata: Option<Vec<u8>>,
@@ -124,7 +137,25 @@ impl DiskComponent {
     }
 
     pub fn min_key(&self) -> Option<&[u8]> {
-        self.index.first().map(|b| b.first_key.as_slice())
+        match &self.body {
+            Body::Rows(index) => index.first().map(|b| b.first_key.as_slice()),
+            Body::Columnar(chunk) => (chunk.num_groups() > 0).then(|| chunk.group_first_key(0)),
+        }
+    }
+
+    /// Is this component stored in the columnar (AMAX) layout?
+    pub fn is_columnar(&self) -> bool {
+        matches!(self.body, Body::Columnar(_))
+    }
+
+    /// Format-aware access to the columnar body (chunk + its page store) for
+    /// readers that want typed, column-pruned scans instead of row
+    /// reconstruction. `None` for row-format components.
+    pub fn columnar_view(&self) -> Option<(&dyn ColumnarChunk, &PageStore)> {
+        match &self.body {
+            Body::Rows(_) => None,
+            Body::Columnar(chunk) => Some((chunk.as_ref(), &self.store)),
+        }
     }
 
     pub fn max_key(&self) -> Option<&[u8]> {
@@ -160,28 +191,68 @@ impl DiskComponent {
         cache: &BufferCache,
         key: &[u8],
     ) -> Result<Option<(EntryKind, Vec<u8>)>, StorageError> {
-        if self.index.is_empty() || !self.bloom.contains(key) {
+        if !self.bloom.contains(key) {
             return Ok(None);
         }
-        // Last block whose first_key <= key.
-        let idx = match self.index.binary_search_by(|b| b.first_key.as_slice().cmp(key)) {
-            Ok(i) => i,
-            Err(0) => return Ok(None),
-            Err(i) => i - 1,
-        };
-        let block = self.read_block(cache, &self.index[idx])?;
-        let mut pos = 0usize;
-        while pos < block.len() {
-            let Some((k, kind, payload, n)) = read_entry(&block[pos..]) else {
-                return Err(self.corrupt_block(idx));
-            };
-            match k.cmp(key) {
-                std::cmp::Ordering::Equal => return Ok(Some((kind, payload.to_vec()))),
-                std::cmp::Ordering::Greater => return Ok(None),
-                std::cmp::Ordering::Less => pos += n,
+        match &self.body {
+            Body::Rows(index) => {
+                if index.is_empty() {
+                    return Ok(None);
+                }
+                // Last block whose first_key <= key.
+                let idx = match index.binary_search_by(|b| b.first_key.as_slice().cmp(key)) {
+                    Ok(i) => i,
+                    Err(0) => return Ok(None),
+                    Err(i) => i - 1,
+                };
+                let block = self.read_block(cache, &index[idx])?;
+                let mut pos = 0usize;
+                while pos < block.len() {
+                    let Some((k, kind, payload, n)) = read_entry(&block[pos..]) else {
+                        return Err(self.corrupt_block(idx));
+                    };
+                    match k.cmp(key) {
+                        std::cmp::Ordering::Equal => return Ok(Some((kind, payload.to_vec()))),
+                        std::cmp::Ordering::Greater => return Ok(None),
+                        std::cmp::Ordering::Less => pos += n,
+                    }
+                }
+                Ok(None)
+            }
+            Body::Columnar(chunk) => {
+                // Last group whose first_key <= key, then a linear probe of
+                // the reconstructed group (point lookups pay the columnar
+                // tax; analytics scans are what the layout is for).
+                let Some(g) = columnar_group_for(chunk.as_ref(), key) else {
+                    return Ok(None);
+                };
+                let rows = self.read_group(cache, chunk.as_ref(), g)?;
+                for (k, kind, payload) in rows {
+                    match k.as_slice().cmp(key) {
+                        std::cmp::Ordering::Equal => return Ok(Some((kind, payload))),
+                        std::cmp::Ordering::Greater => return Ok(None),
+                        std::cmp::Ordering::Less => {}
+                    }
+                }
+                Ok(None)
             }
         }
-        Ok(None)
+    }
+
+    /// Reconstruct one columnar row group, quarantining on corruption (the
+    /// same policy `read_block` applies to row blocks).
+    #[allow(clippy::type_complexity)]
+    fn read_group(
+        &self,
+        cache: &BufferCache,
+        chunk: &dyn ColumnarChunk,
+        g: usize,
+    ) -> Result<Vec<Entry>, StorageError> {
+        chunk.read_group_rows(&self.store, cache, g).inspect_err(|e| {
+            if e.is_corruption() {
+                self.quarantine();
+            }
+        })
     }
 
     /// Build the typed error for an undecodable block and quarantine the
@@ -217,41 +288,78 @@ impl DiskComponent {
     /// the tree's component list — the merged-out component is simply kept
     /// alive by this scan's `Arc` until it finishes (snapshot semantics).
     pub fn scan(self: &Arc<Self>, cache: &Arc<BufferCache>, start: Option<&[u8]>) -> ComponentScan {
-        let block_idx = match start {
-            None => 0,
-            Some(key) => match self.index.binary_search_by(|b| b.first_key.as_slice().cmp(key)) {
-                Ok(i) => i,
-                Err(0) => 0,
-                Err(i) => i - 1,
-            },
+        let body = match &self.body {
+            Body::Rows(index) => {
+                let block_idx = match start {
+                    None => 0,
+                    Some(key) => {
+                        match index.binary_search_by(|b| b.first_key.as_slice().cmp(key)) {
+                            Ok(i) => i,
+                            Err(0) => 0,
+                            Err(i) => i - 1,
+                        }
+                    }
+                };
+                ScanBody::Rows { block_idx, block: Vec::new(), pos: 0, loaded: false }
+            }
+            Body::Columnar(chunk) => {
+                let group_idx = match start {
+                    None => 0,
+                    Some(key) => columnar_group_for(chunk.as_ref(), key).unwrap_or(0),
+                };
+                ScanBody::Columnar { group_idx, rows: Vec::new().into_iter() }
+            }
         };
         ComponentScan {
             component: Arc::clone(self),
             cache: Arc::clone(cache),
-            block_idx,
-            block: Vec::new(),
-            pos: 0,
-            loaded: false,
+            body,
             failed: false,
             skip_until: start.map(|s| s.to_vec()),
         }
     }
 }
 
+/// Last group whose first key is ≤ `key` (where a matching key must live),
+/// or `None` if the component is empty or `key` precedes every group.
+fn columnar_group_for(chunk: &dyn ColumnarChunk, key: &[u8]) -> Option<usize> {
+    let n = chunk.num_groups();
+    if n == 0 || chunk.group_first_key(0) > key {
+        return None;
+    }
+    // Binary search: invariant first_key(lo) <= key < first_key(hi).
+    let (mut lo, mut hi) = (0usize, n);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if chunk.group_first_key(mid) <= key {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
 /// One scanned entry: `(key, kind, payload)`, or the corruption error that
 /// ended the scan.
-pub type ScanItem = Result<(Key, EntryKind, Vec<u8>), StorageError>;
+/// One materialized component entry: key, matter/anti-matter kind, payload.
+pub type Entry = (Key, EntryKind, Vec<u8>);
 
-/// Streaming scan over a component's leaf blocks.
+pub type ScanItem = Result<Entry, StorageError>;
+
+/// Streaming scan over a component's leaf blocks (or row groups).
 pub struct ComponentScan {
     component: Arc<DiskComponent>,
     cache: Arc<BufferCache>,
-    block_idx: usize,
-    block: Vec<u8>,
-    pos: usize,
-    loaded: bool,
+    body: ScanBody,
     failed: bool,
     skip_until: Option<Key>,
+}
+
+/// Per-layout cursor state of a [`ComponentScan`].
+enum ScanBody {
+    Rows { block_idx: usize, block: Vec<u8>, pos: usize, loaded: bool },
+    Columnar { group_idx: usize, rows: std::vec::IntoIter<Entry> },
 }
 
 impl ComponentScan {
@@ -269,35 +377,64 @@ impl ComponentScan {
             if self.failed {
                 return None;
             }
-            if !self.loaded {
-                let block_ref = self.component.index.get(self.block_idx)?;
-                match self.component.read_block(&self.cache, block_ref) {
-                    Ok(block) => self.block = block,
-                    Err(e) => {
-                        self.failed = true;
-                        return Some(Err(e));
+            let (key, kind, payload) = match &mut self.body {
+                ScanBody::Rows { block_idx, block, pos, loaded } => {
+                    if !*loaded {
+                        let Body::Rows(index) = &self.component.body else {
+                            unreachable!("rows cursor over columnar body")
+                        };
+                        let block_ref = index.get(*block_idx)?;
+                        match self.component.read_block(&self.cache, block_ref) {
+                            Ok(b) => *block = b,
+                            Err(e) => {
+                                self.failed = true;
+                                return Some(Err(e));
+                            }
+                        }
+                        *pos = 0;
+                        *loaded = true;
                     }
+                    if *pos >= block.len() {
+                        *block_idx += 1;
+                        *loaded = false;
+                        continue;
+                    }
+                    let Some((k, kind, payload, n)) = read_entry(&block[*pos..]) else {
+                        self.failed = true;
+                        return Some(Err(self.component.corrupt_block(*block_idx)));
+                    };
+                    *pos += n;
+                    (k.to_vec(), kind, payload.to_vec())
                 }
-                self.pos = 0;
-                self.loaded = true;
-            }
-            if self.pos >= self.block.len() {
-                self.block_idx += 1;
-                self.loaded = false;
-                continue;
-            }
-            let Some((k, kind, payload, n)) = read_entry(&self.block[self.pos..]) else {
-                self.failed = true;
-                return Some(Err(self.component.corrupt_block(self.block_idx)));
+                ScanBody::Columnar { group_idx, rows } => match rows.next() {
+                    Some(row) => row,
+                    None => {
+                        let Body::Columnar(chunk) = &self.component.body else {
+                            unreachable!("columnar cursor over rows body")
+                        };
+                        if *group_idx >= chunk.num_groups() {
+                            return None;
+                        }
+                        let g = *group_idx;
+                        *group_idx += 1;
+                        match self.component.read_group(&self.cache, chunk.as_ref(), g) {
+                            Ok(r) => *rows = r.into_iter(),
+                            Err(e) => {
+                                self.failed = true;
+                                return Some(Err(e));
+                            }
+                        }
+                        continue;
+                    }
+                },
             };
-            self.pos += n;
             if let Some(skip) = &self.skip_until {
-                if k < skip.as_slice() {
+                if key < *skip {
                     continue;
                 }
             }
             self.skip_until = None;
-            return Some(Ok((k.to_vec(), kind, payload.to_vec())));
+            return Some(Ok((key, kind, payload)));
         }
     }
 }
@@ -316,6 +453,9 @@ pub struct ComponentBuilder {
     num_antimatter: u64,
     last_key: Option<Key>,
     page_size: usize,
+    /// When set, entries are buffered and handed to the codec at `finish`
+    /// instead of being packed into row blocks (columnar mode).
+    columnar: Option<(Arc<dyn ColumnarCodec>, Vec<Entry>)>,
 }
 
 impl ComponentBuilder {
@@ -337,6 +477,7 @@ impl ComponentBuilder {
             num_antimatter: 0,
             last_key: None,
             page_size,
+            columnar: None,
         }
     }
 
@@ -344,6 +485,13 @@ impl ComponentBuilder {
     /// [`PageStore::with_integrity`]). Defaults to on.
     pub fn with_integrity(mut self, on: bool) -> Self {
         self.store = self.store.with_integrity(on);
+        self
+    }
+
+    /// Build this component in the columnar (AMAX) layout: entries are
+    /// buffered and shredded into column pages by `codec` at `finish`.
+    pub fn with_columnar(mut self, codec: Arc<dyn ColumnarCodec>) -> Self {
+        self.columnar = Some((codec, Vec::new()));
         self
     }
 
@@ -364,6 +512,10 @@ impl ComponentBuilder {
         self.num_entries += 1;
         if kind == EntryKind::AntiMatter {
             self.num_antimatter += 1;
+        }
+        if let Some((_, rows)) = &mut self.columnar {
+            rows.push((key.to_vec(), kind, payload.to_vec()));
+            return Ok(());
         }
         if self.pending_first_key.is_none() {
             self.pending_first_key = Some(key.to_vec());
@@ -403,12 +555,26 @@ impl ComponentBuilder {
         metadata: Option<Vec<u8>>,
         valid: bool,
     ) -> Result<DiskComponent, StorageError> {
-        self.flush_block()?;
+        let body = match self.columnar.take() {
+            Some((codec, rows)) => {
+                // The codec writes every column page (and its index blob)
+                // through this component's store, then hands back the chunk.
+                Body::Columnar(codec.build_chunk(&self.store, &rows, metadata.as_deref())?)
+            }
+            None => {
+                self.flush_block()?;
+                Body::Rows(std::mem::take(&mut self.index))
+            }
+        };
+        let row_index: &[BlockRef] = match &body {
+            Body::Rows(index) => index,
+            Body::Columnar(_) => &[],
+        };
         // Persist index, bloom, and metadata after the leaves, so the
         // component's on-disk footprint is complete.
         let mut tail = Vec::new();
-        varint::write_u64(&mut tail, self.index.len() as u64);
-        for b in &self.index {
+        varint::write_u64(&mut tail, row_index.len() as u64);
+        for b in row_index {
             varint::write_u64(&mut tail, b.first_key.len() as u64);
             tail.extend_from_slice(&b.first_key);
             varint::write_u64(&mut tail, b.start_page);
@@ -436,7 +602,7 @@ impl ComponentBuilder {
         let c = DiskComponent {
             id,
             store: self.store,
-            index: self.index,
+            body,
             bloom: self.bloom,
             metadata,
             max_key: self.last_key,

@@ -21,6 +21,7 @@
 //! §3.2.2).
 
 pub mod bloom;
+pub mod columnar;
 pub mod component;
 pub mod entry;
 pub mod hook;
@@ -31,6 +32,7 @@ pub mod secondary;
 pub mod tree;
 pub mod wal;
 
+pub use columnar::{ColumnarChunk, ColumnarCodec};
 pub use component::{ComponentId, DiskComponent};
 pub use entry::{EntryKind, Key};
 pub use hook::{ComponentHook, NoopHook};

@@ -34,7 +34,7 @@
 //! touches the in-memory schema, so flushes and merges need no mutual
 //! synchronization beyond the component-list swap.
 
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -44,6 +44,7 @@ use tc_storage::error::StorageError;
 use tc_storage::BufferCache;
 use tc_util::sync::{ranks, OrderedMutex, OrderedRwLock, OrderedRwLockReadGuard};
 
+use crate::columnar::ColumnarCodec;
 use crate::component::{ComponentBuilder, ComponentId, DiskComponent};
 use crate::entry::{EntryKind, Key};
 use crate::hook::ComponentHook;
@@ -75,6 +76,12 @@ pub struct LsmOptions {
     /// on read. On by default; disable only to measure the checksum
     /// overhead (bench A/B) — without it, injected bit flips go undetected.
     pub integrity: bool,
+    /// The codec that shreds flushed/merged entries into the columnar
+    /// (AMAX) layout. Installing a codec only *enables* the capability;
+    /// [`LsmTree::set_columnar`] decides whether new components actually
+    /// use it — which is how merge-embedded format migration flips a live
+    /// tree between layouts.
+    pub columnar: Option<Arc<dyn ColumnarCodec>>,
 }
 
 impl Default for LsmOptions {
@@ -91,6 +98,7 @@ impl Default for LsmOptions {
             wal_enabled: true,
             auto_flush: true,
             integrity: true,
+            columnar: None,
         }
     }
 }
@@ -139,6 +147,19 @@ pub struct LsmStats {
     pub components_retired: u64,
     /// Entries (records + anti-matter) in retired components.
     pub entries_retired: u64,
+    /// Column pages written by the columnar (AMAX) codec during
+    /// flush/merge. Tree-level snapshots leave the four columnar counters
+    /// at 0; the dataset layer injects them from the codec's counters.
+    pub columnar_pages_written: u64,
+    /// Row groups' column pages a columnar scan proved irrelevant from
+    /// min/max stats and never faulted in.
+    pub pages_skipped_by_stats: u64,
+    /// Column blocks a columnar scan actually read (the column-pruning
+    /// numerator: referenced columns only, not the whole component).
+    pub columns_faulted_in: u64,
+    /// Rows evaluated by the typed (no `Value` boxing) columnar filter
+    /// loops — proof the zero-pivot fast path fired.
+    pub columnar_typed_filter_rows: u64,
 }
 
 impl LsmStats {
@@ -190,6 +211,10 @@ impl StatsCells {
             faults_injected: 0,
             checksum_failures: 0,
             quarantined_components: 0,
+            columnar_pages_written: 0,
+            pages_skipped_by_stats: 0,
+            columns_faulted_in: 0,
+            columnar_typed_filter_rows: 0,
         }
     }
 }
@@ -251,6 +276,11 @@ pub struct LsmTree {
     /// Serializes merges (decide → build → splice-by-identity).
     merge_lock: OrderedMutex<()>,
     stats: StatsCells,
+    /// Emit new components in the columnar layout (requires
+    /// `opts.columnar`). An atomic, not more lock state: flush/merge read
+    /// it once when they create a builder, and flipping it mid-run only
+    /// decides which layout the *next* component gets.
+    columnar_on: AtomicBool,
 }
 
 /// A consistent read view of the tree, holding the state read lock.
@@ -332,7 +362,40 @@ impl LsmTree {
             flush_lock: OrderedMutex::new(ranks::FLUSH_LOCK, ()),
             merge_lock: OrderedMutex::new(ranks::MERGE_LOCK, ()),
             stats: StatsCells::default(),
+            columnar_on: AtomicBool::new(false),
         }
+    }
+
+    /// Choose the layout of components built from now on. A no-op request
+    /// to enable columnar without a codec in [`LsmOptions`] panics — that's
+    /// a wiring bug, not a runtime condition.
+    pub fn set_columnar(&self, on: bool) {
+        assert!(!on || self.opts.columnar.is_some(), "columnar mode requires a codec");
+        self.columnar_on.store(on, AtomicOrdering::Release);
+    }
+
+    /// Will the next flush/merge emit a columnar component?
+    pub fn columnar_enabled(&self) -> bool {
+        self.columnar_on.load(AtomicOrdering::Acquire)
+    }
+
+    /// A component builder honoring the tree's page/compression/integrity
+    /// options and its current layout choice — every flush, merge, and
+    /// bulk-load builder must come from here.
+    fn new_builder(&self, expected_keys: usize) -> ComponentBuilder {
+        let mut b = ComponentBuilder::new(
+            Arc::clone(&self.device),
+            self.opts.page_size,
+            self.opts.compression,
+            expected_keys,
+            self.opts.bloom_bits_per_key,
+        )
+        .with_integrity(self.opts.integrity);
+        if self.columnar_enabled() {
+            let codec = self.opts.columnar.as_ref().expect("set_columnar checked the codec");
+            b = b.with_columnar(Arc::clone(codec));
+        }
+        b
     }
 
     /// Apply an entry to the active memtable under an already-held state
@@ -625,14 +688,7 @@ impl LsmTree {
             for att in &anti {
                 self.hook.on_flush_antimatter(Some(att));
             }
-            let mut builder = ComponentBuilder::new(
-                Arc::clone(&self.device),
-                self.opts.page_size,
-                self.opts.compression,
-                frozen.len(),
-                self.opts.bloom_bits_per_key,
-            )
-            .with_integrity(self.opts.integrity);
+            let mut builder = self.new_builder(frozen.len());
             for (key, entry) in frozen.iter() {
                 match entry {
                     MemEntry::Record(payload) => {
@@ -827,14 +883,7 @@ impl LsmTree {
         let metadata = self.hook.merge_metadata(&blobs);
         let expected: usize = inputs.iter().map(|c| c.num_entries() as usize).sum();
 
-        let mut builder = ComponentBuilder::new(
-            Arc::clone(&self.device),
-            self.opts.page_size,
-            self.opts.compression,
-            expected,
-            self.opts.bloom_bits_per_key,
-        )
-        .with_integrity(self.opts.integrity);
+        let mut builder = self.new_builder(expected);
         let mut count = 0u64;
         {
             let mut scan = MergedScan::new(&[], inputs, &self.cache, None, None, true);
@@ -944,14 +993,7 @@ impl LsmTree {
                 "bulk_load requires an empty tree"
             );
         }
-        let mut builder = ComponentBuilder::new(
-            Arc::clone(&self.device),
-            self.opts.page_size,
-            self.opts.compression,
-            1024,
-            self.opts.bloom_bits_per_key,
-        )
-        .with_integrity(self.opts.integrity);
+        let mut builder = self.new_builder(1024);
         let mut count = 0u64;
         for (key, payload) in sorted {
             let transformed = self.hook.on_flush_record(&payload);

@@ -276,7 +276,7 @@ impl ColumnSet {
 }
 
 /// Split a predicate at top-level `AND`s.
-fn split_conjuncts(pred: &Expr) -> Vec<&Expr> {
+pub(crate) fn split_conjuncts(pred: &Expr) -> Vec<&Expr> {
     let mut out = Vec::new();
     fn rec<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
         match e {
@@ -291,21 +291,27 @@ fn split_conjuncts(pred: &Expr) -> Vec<&Expr> {
     out
 }
 
-/// Recognize `col <op> const` (either orientation) over an eagerly decoded
-/// column. Returns the eager slot, the op normalized to column-on-the-left,
-/// and the constant.
+/// Recognize `col <op> const` (either orientation). Returns the scan
+/// column index, the op normalized to column-on-the-left, and the
+/// constant. Shared with the columnar fast path, which maps the column
+/// index onto typed column buffers instead of eager slots.
+pub(crate) fn typed_cmp_on(conjunct: &Expr) -> Option<(usize, CmpOp, &Value)> {
+    let Expr::Cmp { op, lhs, rhs } = conjunct else {
+        return None;
+    };
+    match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::Col(i), Expr::Const(c)) => Some((*i, *op, c)),
+        (Expr::Const(c), Expr::Col(i)) => Some((*i, flip(*op), c)),
+        _ => None,
+    }
+}
+
+/// [`typed_cmp_on`] resolved to an eagerly decoded column's slot.
 fn typed_cmp<'e>(
     conjunct: &'e Expr,
     eager_of_early: &[Option<usize>],
 ) -> Option<(usize, CmpOp, &'e Value)> {
-    let Expr::Cmp { op, lhs, rhs } = conjunct else {
-        return None;
-    };
-    let (col, konst, op) = match (lhs.as_ref(), rhs.as_ref()) {
-        (Expr::Col(i), Expr::Const(c)) => (*i, c, *op),
-        (Expr::Const(c), Expr::Col(i)) => (*i, c, flip(*op)),
-        _ => return None,
-    };
+    let (col, op, konst) = typed_cmp_on(conjunct)?;
     let slot = *eager_of_early.get(col)?;
     slot.map(|s| (s, op, konst))
 }
@@ -352,7 +358,7 @@ fn refine_typed(sel: &mut Vec<u32>, col: &[Value], op: CmpOp, konst: &Value) -> 
     }
 }
 
-fn cmp_prim<T: PartialOrd>(op: CmpOp, x: T, k: T) -> bool {
+pub(crate) fn cmp_prim<T: PartialOrd>(op: CmpOp, x: T, k: T) -> bool {
     match op {
         CmpOp::Eq => x == k,
         CmpOp::Ne => x != k,

@@ -1,0 +1,436 @@
+//! The zero-pivot columnar scan.
+//!
+//! When a partition rests in the AMAX columnar layout (exactly one valid
+//! columnar component, nothing in memory — see
+//! [`tuple_compactor::Dataset::snapshot_columnar`]), the batched engine
+//! bypasses row reconstruction entirely: filter conjuncts over typed
+//! columns run as primitive loops straight over the decoded column
+//! buffers, row groups whose min/max stats cannot satisfy a conjunct are
+//! skipped without reading a single data page, and the residual column is
+//! decoded only for rows that survive the filter. No record is ever
+//! pivoted back into its row form — output values come from the typed
+//! buffers and targeted path evaluation over survivors' residuals.
+//!
+//! The fast path is conservative: any shape it cannot answer *exactly*
+//! like the generic scan (whole-record paths, paths crossing a typed
+//! column's prefix, partitions not at rest) returns `None` and the caller
+//! falls back to [`crate::batch::scan_batched`]. Per-group type spills
+//! likewise demote affected conjuncts to generic evaluation, so SQL++
+//! mixed-type semantics (`2 == 2.0`) survive schema drift.
+
+use tc_adm::path::{Path, PathStep};
+use tc_adm::{AdmError, TypeTag, Value};
+use tc_columnar::{ChunkReader, ColumnStats, ColumnValues, DecodedColumn, DEF_PRESENT};
+use tc_lsm::component::DiskComponent;
+use tc_storage::page_store::PageStore;
+use tc_storage::{BufferCache, StorageError};
+use tuple_compactor::Dataset;
+
+use crate::batch::{cmp_prim, split_conjuncts, typed_cmp_on};
+use crate::exec::Row;
+use crate::expr::{CmpOp, Expr};
+use crate::plan::ScanSpec;
+
+/// Where one scan output column comes from.
+#[derive(Clone, Copy)]
+enum Slot {
+    /// A typed column (index into the chunk's column list).
+    Typed(usize),
+    /// Evaluated against the row's residual record (index into the
+    /// residual path list).
+    Residual(usize),
+}
+
+/// A conjunct compiled to a primitive loop over one typed column. `expr`
+/// is the original conjunct, for groups where the loop must demote to
+/// generic evaluation (spills, NaN values).
+struct TypedPred<'e> {
+    col: usize,
+    op: CmpOp,
+    konst: &'e Value,
+    expr: &'e Expr,
+}
+
+/// Per-group lazily faulted blocks, shared by the filter and emit phases.
+struct GroupIo<'c> {
+    reader: &'c ChunkReader,
+    store: &'c PageStore,
+    cache: &'c BufferCache,
+    component: &'c DiskComponent,
+    g: usize,
+    cols: Vec<Option<DecodedColumn>>,
+    residuals: Option<Vec<Vec<u8>>>,
+    bytes_read: u64,
+}
+
+/// A non-transient storage fault inside the fast path: the component is
+/// already quarantined; the caller abandons the fast path so the generic
+/// scan's health machinery applies the query's corruption policy.
+struct Degraded;
+
+enum ScanFail {
+    Degraded,
+    Err(AdmError),
+}
+
+impl From<Degraded> for ScanFail {
+    fn from(_: Degraded) -> Self {
+        ScanFail::Degraded
+    }
+}
+
+impl<'c> GroupIo<'c> {
+    fn degrade(&self, e: StorageError) -> ScanFail {
+        if e.is_transient() {
+            ScanFail::Err(AdmError::storage(e.to_string(), true))
+        } else {
+            self.component.quarantine();
+            ScanFail::Degraded
+        }
+    }
+
+    /// Fault one typed column in (memoized for the group's lifetime).
+    fn column(&mut self, c: usize) -> Result<&DecodedColumn, ScanFail> {
+        if self.cols[c].is_none() {
+            match self.reader.read_column(self.store, self.cache, self.g, c) {
+                Ok(col) => {
+                    self.bytes_read += self.reader.groups()[self.g].cols[c].run.bytes as u64;
+                    self.cols[c] = Some(col);
+                }
+                Err(e) => return Err(self.degrade(e)),
+            }
+        }
+        Ok(self.cols[c].as_ref().expect("just faulted"))
+    }
+
+    /// Fault the group's residual rows in (memoized).
+    fn residual(&mut self) -> Result<&[Vec<u8>], ScanFail> {
+        if self.residuals.is_none() {
+            match self.reader.read_residual(self.store, self.cache, self.g) {
+                Ok(res) => {
+                    self.bytes_read += self.reader.groups()[self.g].residual.bytes as u64;
+                    self.residuals = Some(res);
+                }
+                Err(e) => return Err(self.degrade(e)),
+            }
+        }
+        Ok(self.residuals.as_ref().expect("just faulted"))
+    }
+
+    /// Evaluate `paths` against row `r`'s residual record.
+    fn residual_values(&mut self, r: u32, paths: &[Path]) -> Result<Vec<Value>, ScanFail> {
+        let bytes = &self.residual()?[r as usize];
+        tc_vector::get_values(bytes, paths, None, None).map_err(|_| {
+            self.component.quarantine();
+            ScanFail::Degraded
+        })
+    }
+
+    /// One row's value from typed column `c`, falling back to the residual
+    /// when the group recorded spills (the mismatched value lives there).
+    fn typed_value(&mut self, c: usize, r: u32) -> Result<Value, ScanFail> {
+        let spilled = self.reader.groups()[self.g].cols[c].spilled;
+        let v = self.column(c)?.value_at(r as usize);
+        if !matches!(v, Value::Missing) || spilled == 0 {
+            return Ok(v);
+        }
+        let path: Path = self.reader.columns()[c].path.iter().map(PathStep::field).collect();
+        Ok(self.residual_values(r, std::slice::from_ref(&path))?.remove(0))
+    }
+}
+
+/// Try the columnar fast scan. `Ok(None)` means "not covered — run the
+/// generic scan instead": either the shape disqualifies up front, or a
+/// storage fault mid-scan quarantined the component (PR 8's degradation
+/// contract), in which case the generic path sees the quarantined
+/// component and applies the query's corruption policy.
+pub(crate) fn try_scan_columnar(
+    ds: &Dataset,
+    scan: &ScanSpec,
+    limit_hint: Option<usize>,
+    scanned: &mut u64,
+    bytes: &mut u64,
+) -> Result<Option<Vec<Row>>, AdmError> {
+    let Some((_, component)) = ds.snapshot_columnar() else {
+        return Ok(None);
+    };
+    let component = component.as_ref();
+    let Some((chunk, store)) = component.columnar_view() else {
+        return Ok(None);
+    };
+    let Some(reader) = chunk.as_any().downcast_ref::<ChunkReader>() else {
+        return Ok(None);
+    };
+
+    // ---- classify every output path ----
+    let mut slots: Vec<Slot> = Vec::with_capacity(scan.width());
+    let mut residual_paths: Vec<Path> = Vec::new();
+    for path in scan.paths.iter().chain(&scan.late_paths) {
+        match classify(reader, path) {
+            Some(Slot::Residual(_)) => {
+                slots.push(Slot::Residual(residual_paths.len()));
+                residual_paths.push(path.clone());
+            }
+            Some(slot) => slots.push(slot),
+            None => return Ok(None),
+        }
+    }
+    let early = scan.paths.len();
+
+    // ---- compile the filter ----
+    let conjuncts = match &scan.filter {
+        Some(pred) => split_conjuncts(pred),
+        None => Vec::new(),
+    };
+    let mut typed: Vec<TypedPred<'_>> = Vec::new();
+    let mut generic: Vec<&Expr> = Vec::new();
+    for expr in conjuncts {
+        match typed_cmp_on(expr) {
+            Some((col, op, konst)) if col < early => match (slots[col], konst) {
+                (Slot::Typed(c), Value::Int64(_)) if reader.columns()[c].tag == TypeTag::Int64 => {
+                    typed.push(TypedPred { col: c, op, konst, expr });
+                }
+                (Slot::Typed(c), Value::Double(k))
+                    if reader.columns()[c].tag == TypeTag::Double && !k.is_nan() =>
+                {
+                    typed.push(TypedPred { col: c, op, konst, expr });
+                }
+                _ => generic.push(expr),
+            },
+            _ => generic.push(expr),
+        }
+    }
+
+    match scan_groups(
+        reader,
+        store,
+        ds,
+        component,
+        scan,
+        &slots,
+        &residual_paths,
+        &typed,
+        &generic,
+        limit_hint,
+    ) {
+        Ok((rows, row_scanned, bytes_read)) => {
+            *scanned += row_scanned;
+            *bytes += bytes_read;
+            Ok(Some(rows))
+        }
+        Err(ScanFail::Degraded) => Ok(None),
+        Err(ScanFail::Err(e)) => Err(e),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_groups(
+    reader: &ChunkReader,
+    store: &PageStore,
+    ds: &Dataset,
+    component: &DiskComponent,
+    scan: &ScanSpec,
+    slots: &[Slot],
+    residual_paths: &[Path],
+    typed: &[TypedPred<'_>],
+    generic: &[&Expr],
+    limit_hint: Option<usize>,
+) -> Result<(Vec<Row>, u64, u64), ScanFail> {
+    let cache = ds.primary().cache();
+    let counters = reader.counters();
+    let page_size = store.page_size();
+    let early = scan.paths.len();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut row_scanned = 0u64;
+    let mut bytes_read = 0u64;
+
+    'groups: for g in 0..reader.groups().len() {
+        let gm = &reader.groups()[g];
+
+        // ---- stats-based group skip (Fig 24-style) ----
+        // Sound only for spill-free columns: a spilled value matches under
+        // numeric promotion without appearing in the stats.
+        for p in typed {
+            let meta = &gm.cols[p.col];
+            if meta.spilled == 0 && !stats_may_match(&meta.stats, p.op, p.konst) {
+                counters.note_pages_skipped(reader.group_pages(g, page_size));
+                continue 'groups;
+            }
+        }
+
+        // With any filter conjunct, every row of the group runs through a
+        // loop; a filterless scan only "scans" the rows the assembly loop
+        // actually visits (a LIMIT may stop it mid-group).
+        let has_filter = !(typed.is_empty() && generic.is_empty());
+        if has_filter {
+            row_scanned += gm.rows as u64;
+        }
+        let mut sel: Vec<u32> = (0..gm.rows).collect();
+        let mut io = GroupIo {
+            reader,
+            store,
+            cache,
+            component,
+            g,
+            cols: vec![None; reader.columns().len()],
+            residuals: None,
+            bytes_read: 0,
+        };
+        let mut group_generic: Vec<&Expr> = generic.to_vec();
+
+        // ---- typed primitive filter loops ----
+        for p in typed {
+            if sel.is_empty() {
+                break;
+            }
+            // Spilled values live in the residual with a different type;
+            // the primitive loop cannot see them. Demote for this group.
+            if gm.cols[p.col].spilled > 0 {
+                group_generic.push(p.expr);
+                continue;
+            }
+            let col = io.column(p.col)?;
+            match (&col.values, p.konst) {
+                (ColumnValues::I64(vals), Value::Int64(k)) => {
+                    counters.note_typed_filter_rows(sel.len() as u64);
+                    let (k, def) = (*k, &col.def);
+                    sel.retain(|&r| {
+                        def[r as usize] == DEF_PRESENT && cmp_prim(p.op, vals[r as usize], k)
+                    });
+                }
+                (ColumnValues::F64(vals), Value::Double(k)) => {
+                    // NaN breaks primitive comparison semantics; hand those
+                    // groups to the generic evaluator.
+                    if sel
+                        .iter()
+                        .any(|&r| col.def[r as usize] == DEF_PRESENT && vals[r as usize].is_nan())
+                    {
+                        group_generic.push(p.expr);
+                        continue;
+                    }
+                    counters.note_typed_filter_rows(sel.len() as u64);
+                    let (k, def) = (*k, &col.def);
+                    sel.retain(|&r| {
+                        def[r as usize] == DEF_PRESENT && cmp_prim(p.op, vals[r as usize], k)
+                    });
+                }
+                _ => return Err(ScanFail::Degraded), // index/column disagree
+            }
+        }
+
+        // ---- generic conjuncts over a scratch row of early columns ----
+        if !group_generic.is_empty() && !sel.is_empty() {
+            let mut refd: Vec<usize> =
+                group_generic.iter().flat_map(|c| c.referenced_cols()).collect();
+            refd.sort_unstable();
+            refd.dedup();
+            refd.retain(|&i| i < early);
+            let refd_residual: Vec<(usize, Path)> = refd
+                .iter()
+                .filter_map(|&i| match slots[i] {
+                    Slot::Residual(j) => Some((i, residual_paths[j].clone())),
+                    Slot::Typed(_) => None,
+                })
+                .collect();
+            let res_paths: Vec<Path> = refd_residual.iter().map(|(_, p)| p.clone()).collect();
+            let mut scratch: Vec<Value> = vec![Value::Missing; early];
+            let mut keep: Vec<u32> = Vec::with_capacity(sel.len());
+            for &r in &sel {
+                for &i in &refd {
+                    if let Slot::Typed(c) = slots[i] {
+                        scratch[i] = io.typed_value(c, r)?;
+                    }
+                }
+                if !res_paths.is_empty() {
+                    let vals = io.residual_values(r, &res_paths)?;
+                    for ((i, _), v) in refd_residual.iter().zip(vals) {
+                        scratch[*i] = v;
+                    }
+                }
+                if group_generic.iter().all(|c| c.eval_bool(&scratch)) {
+                    keep.push(r);
+                }
+            }
+            sel = keep;
+        }
+
+        // ---- assemble survivor rows ----
+        for &r in &sel {
+            if !has_filter {
+                row_scanned += 1;
+            }
+            let res_row: Vec<Value> = if residual_paths.is_empty() {
+                Vec::new()
+            } else {
+                io.residual_values(r, residual_paths)?
+            };
+            let mut row: Row = Vec::with_capacity(slots.len());
+            for slot in slots {
+                row.push(match slot {
+                    Slot::Typed(c) => io.typed_value(*c, r)?,
+                    Slot::Residual(i) => res_row[*i].clone(),
+                });
+            }
+            rows.push(row);
+            if limit_hint.is_some_and(|k| rows.len() >= k) {
+                bytes_read += io.bytes_read;
+                return Ok((rows, row_scanned, bytes_read));
+            }
+        }
+        bytes_read += io.bytes_read;
+    }
+
+    Ok((rows, row_scanned, bytes_read))
+}
+
+/// Map a scan path onto its source. `None` = unsupported shape (whole
+/// record, or a prefix with typed columns carved out beneath it).
+fn classify(reader: &ChunkReader, path: &Path) -> Option<Slot> {
+    if path.is_empty() {
+        return None; // whole-record access needs full reconstruction
+    }
+    // The leading run of plain field steps decides where the value lives.
+    let mut fields: Vec<String> = Vec::new();
+    let mut pure = true;
+    for step in path {
+        match step {
+            PathStep::Field(name) if pure => fields.push(name.clone()),
+            _ => {
+                pure = false;
+                break;
+            }
+        }
+    }
+    if pure {
+        if let Some(c) = reader.find_column(&fields) {
+            return Some(Slot::Typed(c));
+        }
+    }
+    // Residual-safe iff no typed column was carved out at/below the prefix
+    // the path enters through — then the residual holds the whole subtree.
+    (!reader.has_column_at_or_below(&fields)).then_some(Slot::Residual(0))
+}
+
+/// Can any *present* value in the group satisfy `col <op> konst`, judged
+/// by the group's min/max stats? Non-present rows never pass a comparison
+/// (SQL++ null/missing semantics), so `false` skips the group outright.
+/// `ColumnStats::None` is inconclusive — it covers both "no present
+/// values" and "stats poisoned by NaN" — so it never skips.
+fn stats_may_match(stats: &ColumnStats, op: CmpOp, konst: &Value) -> bool {
+    match (stats, konst) {
+        (ColumnStats::Int { min, max }, Value::Int64(k)) => range_may_match(*min, *max, op, *k),
+        (ColumnStats::Float { min, max }, Value::Double(k)) => range_may_match(*min, *max, op, *k),
+        _ => true,
+    }
+}
+
+fn range_may_match<T: PartialOrd>(min: T, max: T, op: CmpOp, k: T) -> bool {
+    match op {
+        CmpOp::Eq => min <= k && k <= max,
+        CmpOp::Ne => !(min == k && max == k),
+        CmpOp::Lt => min < k,
+        CmpOp::Le => min <= k,
+        CmpOp::Gt => max > k,
+        CmpOp::Ge => max >= k,
+    }
+}

@@ -16,11 +16,15 @@
 //!   broadcast** accounting for queries with non-local exchanges (§3.4.1);
 //! * [`batch`] — the batched scan: chunked scan → filter → project with
 //!   column buffers, a selection vector, and lazy decode;
+//! * [`columnar`] — the zero-pivot scan over AMAX columnar components:
+//!   typed filter loops straight over column pages, min/max group
+//!   skipping, residual decode for survivors only;
 //! * [`paper_queries`] — builders for Twitter Q1–Q4, WoS Q1–Q4, Sensors
 //!   Q1–Q4, and the Fig 22 field-position probes.
 
 pub mod agg;
 pub mod batch;
+pub mod columnar;
 pub mod exec;
 pub mod expr;
 pub mod paper_queries;

@@ -19,10 +19,12 @@
 //! with union collapse, persistence into a component's metadata page, and a
 //! superset check used to validate the merge-recency invariant (§3.1).
 
+pub mod columns;
 pub mod dictionary;
 pub mod node;
 pub mod schema;
 
+pub use columns::{column_eligible, leaf_columns, LeafColumn};
 pub use dictionary::{FieldNameDictionary, FieldNameId};
 pub use node::{NodeId, SchemaNode};
 pub use schema::Schema;

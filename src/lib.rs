@@ -51,6 +51,7 @@
 
 pub use tc_adm as adm;
 pub use tc_cluster as cluster;
+pub use tc_columnar as columnar;
 pub use tc_compress as compress;
 pub use tc_datagen as datagen;
 pub use tc_formats as formats;

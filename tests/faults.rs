@@ -26,11 +26,15 @@ fn record(id: i64, v: i64) -> Value {
 }
 
 fn make_dataset() -> (Dataset, Arc<Device>) {
+    make_dataset_with(StorageFormat::Inferred)
+}
+
+fn make_dataset_with(format: StorageFormat) -> (Dataset, Arc<Device>) {
     let device = Arc::new(Device::new(DeviceProfile::RAM));
     let cache = Arc::new(BufferCache::new(4096));
     let ds = Dataset::new(
         DatasetConfig::new("Faulty", "id")
-            .with_format(StorageFormat::Inferred)
+            .with_format(format)
             .with_memtable_budget(8 * 1024)
             .with_merge_policy(MergePolicy::NoMerge),
         Arc::clone(&device),
@@ -116,10 +120,9 @@ fn contents(ds: &Dataset) -> BTreeMap<i64, i64> {
 /// The tentpole harness: run the workload once uninjected to count its I/O
 /// operations, then re-run it crashing at every Kth operation, recover, and
 /// require the survivors to equal the acked oracle exactly.
-#[test]
-fn crash_point_sweep_recovers_every_acked_write() {
+fn sweep_crash_points(format: StorageFormat) {
     // Calibrate: an empty plan injects nothing but counts operations.
-    let (ds, device) = make_dataset();
+    let (ds, device) = make_dataset_with(format);
     device.set_fault_plan(FaultPlan::new(0));
     let (full_oracle, completed) = run_workload(&ds);
     assert!(completed, "uninjected workload must complete");
@@ -133,7 +136,7 @@ fn crash_point_sweep_recovers_every_acked_write() {
     let mut crash_points: Vec<u64> = (1..=total_ops).step_by(step as usize).collect();
     crash_points.push(total_ops + 1);
     for k in crash_points {
-        let (ds, device) = make_dataset();
+        let (ds, device) = make_dataset_with(format);
         device.set_fault_plan(FaultPlan::new(k).with_crash_after_ops(k));
         let (oracle, completed) = run_workload(&ds);
         assert_eq!(
@@ -153,6 +156,19 @@ fn crash_point_sweep_recovers_every_acked_write() {
             "crash at op {k}/{total_ops}: recovered dataset != acked oracle"
         );
     }
+}
+
+#[test]
+fn crash_point_sweep_recovers_every_acked_write() {
+    sweep_crash_points(StorageFormat::Inferred);
+}
+
+/// The same sweep over the AMAX columnar format: crash points land inside
+/// the column-shredding flush and merge writers (keys/column/residual pages
+/// and the column index blob), and recovery must behave identically.
+#[test]
+fn crash_point_sweep_recovers_every_acked_write_columnar() {
+    sweep_crash_points(StorageFormat::Columnar);
 }
 
 // ---------------------------------------------------------------------
@@ -471,6 +487,70 @@ fn bit_flips_are_always_detected_never_decoded() {
         }
     }
     assert!(detections > 0, "no flip in the sweep was ever detected");
+}
+
+/// Bit flips inside a resting columnar component: the zero-pivot batched
+/// scan must never serve wrong rows. Each flipped write either lands in
+/// pages the query never faults (exact correct answer), or the checksum
+/// failure quarantines the component and the scan degrades through the
+/// generic path's corruption policy — fewer rows, accounted for, no panic.
+#[test]
+fn columnar_bit_flip_quarantines_and_degrades_batched_scan() {
+    use tc_query::exec::{execute, CorruptionPolicy, Engine, ExecOptions};
+    use tc_query::{AccessStrategy, CmpOp, Expr, Query, ScanSpec};
+
+    // id >= 0 runs the typed filter loop over the id column; `v` and `tag`
+    // come out of other columns (or the residual), so different flip
+    // positions corrupt different parts of the read set.
+    let q = Query {
+        scan: ScanSpec {
+            paths: vec![tc_adm::path::parse_path("id")],
+            filter: Some(Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit(0i64))),
+            late_paths: vec![tc_adm::path::parse_path("v"), tc_adm::path::parse_path("tag")],
+            access: AccessStrategy::Consolidated,
+        },
+        ops: vec![],
+    };
+    let mut degradations = 0u64;
+    for n in 1..=10u64 {
+        let (ds, device) = make_dataset_with(StorageFormat::Columnar);
+        let mut w = ds.writer();
+        for i in 0..60i64 {
+            w.insert(&record(i, i)).unwrap();
+        }
+        drop(w);
+        // Armed right before the flush: write #n is columnar component data
+        // (a keys/column/residual page, the index blob, or the footer).
+        device.set_fault_plan(FaultPlan::new(n).flip_bit_in_nth_write(n));
+        ds.flush().unwrap();
+        let fired = device.faults_injected() > 0;
+        device.clear_fault_plan();
+        if !fired {
+            continue;
+        }
+        assert!(ds.snapshot_columnar().is_some(), "partition must be at rest");
+
+        let opts = ExecOptions {
+            corruption_policy: CorruptionPolicy::Degrade,
+            ..ExecOptions::with_engine(Engine::Batched)
+        };
+        let res = execute(&[&ds], &q, &opts).unwrap();
+        if res.rows.len() == 60 {
+            // The flip landed outside the query's read set; every served
+            // row must still be exact.
+            for (i, row) in res.rows.iter().enumerate() {
+                assert_eq!(row[0], Value::Int64(i as i64), "flip {n}: wrong id served");
+                assert_eq!(row[1], Value::Int64(i as i64), "flip {n}: wrong v served");
+            }
+        } else {
+            assert!(
+                res.stats.quarantined_components >= 1,
+                "flip {n}: partial answer without a quarantine"
+            );
+            degradations += 1;
+        }
+    }
+    assert!(degradations > 0, "no flip in the sweep ever degraded the columnar batched scan");
 }
 
 /// A WAL tail torn mid-append (the crash landed a prefix of the record):
